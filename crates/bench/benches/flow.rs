@@ -1,0 +1,26 @@
+//! Criterion bench: placement and synthesis throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cnfet_core::Scheme;
+use cnfet_flow::{full_adder, place_cnfet, synthesize};
+use cnfet_logic::Expr;
+
+fn bench_place(c: &mut Criterion) {
+    let fa = full_adder();
+    c.bench_function("place_fa_scheme1", |b| {
+        b.iter(|| place_cnfet(&fa, Scheme::Scheme1).unwrap())
+    });
+    c.bench_function("place_fa_scheme2", |b| {
+        b.iter(|| place_cnfet(&fa, Scheme::Scheme2).unwrap())
+    });
+}
+
+fn bench_synthesize(c: &mut Criterion) {
+    let parsed = Expr::parse("(a*b + c*d) * (e + f*g) + !(a*h)").unwrap();
+    c.bench_function("synthesize_medium_expr", |b| {
+        b.iter(|| synthesize("bench", &parsed.expr, &parsed.vars, "y"))
+    });
+}
+
+criterion_group!(benches, bench_place, bench_synthesize);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: immunity certification and Monte-Carlo throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cnfet_core::{generate_cell, GenerateOptions, StdCellKind, Style};
+use cnfet_immunity::{certify, simulate, McOptions};
+
+fn bench_certify(c: &mut Criterion) {
+    let nand3 = generate_cell(StdCellKind::Nand(3), &GenerateOptions::default()).unwrap();
+    let aoi31 = generate_cell(StdCellKind::Aoi31, &GenerateOptions::default()).unwrap();
+    c.bench_function("certify_nand3", |b| b.iter(|| certify(&nand3.semantics)));
+    c.bench_function("certify_aoi31", |b| b.iter(|| certify(&aoi31.semantics)));
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let vuln = generate_cell(
+        StdCellKind::Nand(2),
+        &GenerateOptions {
+            style: Style::Vulnerable,
+            ..GenerateOptions::default()
+        },
+    )
+    .unwrap();
+    let opts = McOptions {
+        tubes: 500,
+        ..McOptions::default()
+    };
+    c.bench_function("mc_500_tubes_nand2", |b| {
+        b.iter(|| simulate(&vuln.semantics, &opts))
+    });
+}
+
+criterion_group!(benches, bench_certify, bench_monte_carlo);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: transient-simulation throughput (the Figure 7 /
+//! Case-study hot path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cnfet_device::{CnfetModel, Polarity};
+use cnfet_spice::{transient, Circuit, Waveform};
+use std::sync::Arc;
+
+fn inverter_chain(stages: usize) -> Circuit {
+    let model = CnfetModel::poly_65nm();
+    let nd = Arc::new(model.device(Polarity::N, 26, 130e-9));
+    let pd = Arc::new(model.device(Polarity::P, 26, 130e-9));
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.add_vsource(vdd, Circuit::GROUND, Waveform::Dc(1.0));
+    let vin = ckt.node("n0");
+    ckt.add_vsource(
+        vin,
+        Circuit::GROUND,
+        Waveform::Pulse {
+            v0: 0.0,
+            v1: 1.0,
+            delay: 20e-12,
+            rise: 5e-12,
+            fall: 5e-12,
+            width: 200e-12,
+            period: 0.0,
+        },
+    );
+    let mut prev = vin;
+    for i in 1..=stages {
+        let n = ckt.node(&format!("n{i}"));
+        ckt.add_fet(n, prev, vdd, pd.clone());
+        ckt.add_fet(n, prev, Circuit::GROUND, nd.clone());
+        prev = n;
+    }
+    ckt
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let ckt5 = inverter_chain(5);
+    c.bench_function("transient_inv5_500steps", |b| {
+        b.iter(|| transient(&ckt5, 1e-12, 0.5e-9).unwrap())
+    });
+    let ckt15 = inverter_chain(15);
+    c.bench_function("transient_inv15_250steps", |b| {
+        b.iter(|| transient(&ckt15, 2e-12, 0.5e-9).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_transient);
+criterion_main!(benches);

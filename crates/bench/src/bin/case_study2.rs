@@ -1,0 +1,61 @@
+//! Regenerates **Case study 2**: the full adder of Figure 8 — delay and
+//! energy gains over CMOS, and the area gains of the two layout schemes.
+
+use cnfet_bench::compare_line;
+use cnfet_core::Scheme;
+use cnfet_flow::{full_adder, place_cmos, place_cnfet, simulate_netlist, Tech};
+use std::collections::BTreeMap;
+
+fn main() {
+    let fa = full_adder();
+    println!("Case study 2 — full adder (9x NAND2 2X + 4X/7X/9X inverters)\n");
+
+    // Area: CMOS rows vs Scheme 1 rows vs Scheme 2 compact shelves.
+    let cmos_p = place_cmos(&fa);
+    let s1 = place_cnfet(&fa, Scheme::Scheme1).expect("scheme 1 placement");
+    let s2 = place_cnfet(&fa, Scheme::Scheme2).expect("scheme 2 placement");
+    println!("placement                    area/λ²   width×height        utilization");
+    for (name, p) in [("CMOS rows", &cmos_p), ("CNFET scheme 1", &s1), ("CNFET scheme 2", &s2)] {
+        println!(
+            "{name:<26} {:>9.0}   {:>7.0} × {:<8.0}   {:>6.1}%",
+            p.area_l2,
+            p.width_l,
+            p.height_l,
+            p.utilization * 100.0
+        );
+    }
+    println!();
+    println!("{}", compare_line("area gain, scheme 1", cmos_p.area_l2 / s1.area_l2, 1.4, "x"));
+    println!("{}", compare_line("area gain, scheme 2", cmos_p.area_l2 / s2.area_l2, 1.6, "x"));
+
+    // Delay/energy: transistor-level simulation with placed wire loads.
+    // Toggle `a` with b=1, cin=0 so both sum and carry switch.
+    let mut ties = BTreeMap::new();
+    ties.insert("b".to_string(), true);
+    ties.insert("cin".to_string(), false);
+
+    let mut delay_gains = Vec::new();
+    let mut energy_gains = Vec::new();
+    for out in ["sum", "carry"] {
+        let cnfet = simulate_netlist(&fa, &s1, Tech::Cnfet, "a", &ties, out)
+            .expect("cnfet FA simulates");
+        let cmos = simulate_netlist(&fa, &cmos_p, Tech::Cmos, "a", &ties, out)
+            .expect("cmos FA simulates");
+        println!(
+            "\npath a→{out}: CNFET {:.1} ps / {:.2} fJ   CMOS {:.1} ps / {:.2} fJ",
+            cnfet.delay_s * 1e12,
+            cnfet.energy_j * 1e15,
+            cmos.delay_s * 1e12,
+            cmos.energy_j * 1e15
+        );
+        delay_gains.push(cmos.delay_s / cnfet.delay_s);
+        energy_gains.push(cmos.energy_j / cnfet.energy_j);
+    }
+    let avg_delay = delay_gains.iter().sum::<f64>() / delay_gains.len() as f64;
+    let avg_energy = energy_gains.iter().sum::<f64>() / energy_gains.len() as f64;
+    println!();
+    println!("{}", compare_line("average delay gain", avg_delay, 3.5, "x"));
+    println!("{}", compare_line("average energy gain", avg_energy, 1.5, "x"));
+    println!("\nPaper: >30% (scheme 1) and >50% (scheme 2) area savings over CMOS,");
+    println!("~3.5x delay and ~1.5x energy/cycle improvement.");
+}

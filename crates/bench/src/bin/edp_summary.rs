@@ -1,0 +1,34 @@
+//! Regenerates the headline **EDP/EDAP** numbers of the abstract and
+//! conclusions.
+
+use cnfet_bench::compare_line;
+use cnfet_core::area::inverter_area_gain;
+use cnfet_core::DesignRules;
+use cnfet_device::fo4::gain_curve;
+use cnfet_device::{CmosModel, CnfetModel};
+
+fn main() {
+    let cnfet = CnfetModel::poly_65nm();
+    let cmos = CmosModel::industrial_65nm();
+    let rules = DesignRules::cnfet65();
+
+    let curve = gain_curve(&cnfet, &cmos, 32);
+    let peak = curve
+        .iter()
+        .max_by(|a, b| a.delay_gain.total_cmp(&b.delay_gain))
+        .expect("nonempty");
+    let area = inverter_area_gain(4, &rules);
+    let edp = peak.delay_gain * peak.energy_gain;
+    let edap = edp * area;
+
+    println!("Headline gains of the CNFET inverter at the optimal pitch\n");
+    println!("{}", compare_line("delay gain", peak.delay_gain, 4.2, "x"));
+    println!("{}", compare_line("energy/cycle gain", peak.energy_gain, 2.0, "x"));
+    println!("{}", compare_line("area gain", area, 1.4, "x"));
+    println!("{}", compare_line("EDP gain", edp, 8.4, "x"));
+    println!("{}", compare_line("EDAP gain", edap, 12.0, "x"));
+    println!("\nAbstract: \"more than 4x in delay, 2x in energy/cycle and more than");
+    println!("30% area savings\"; conclusions: \"EDAP gains in the order of ~12x\".");
+    println!("(The conclusions also quote \">10x EDP\", which is inconsistent with");
+    println!("the paper's own 4.2x × 2x = 8.4x — see EXPERIMENTS.md.)");
+}

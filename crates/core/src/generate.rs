@@ -1,0 +1,1137 @@
+//! The layout generators: new compact immune, old etched immune, and the
+//! vulnerable CMOS-style baseline.
+
+use crate::cells::StdCellKind;
+use crate::rules::DesignRules;
+use crate::semantics::{PullSide, SemEdge, SemKind, SemRect, SemanticLayout};
+use crate::sizing::{SizedNetwork, Sizing};
+use crate::strip::{Strip, StripElem};
+use cnfet_geom::{Cell, Dbu, Layer, Rect};
+use cnfet_logic::{euler_trails, NodeKind, PullGraph, SpNetwork, Trail, VarId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Layout style.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Style {
+    /// The paper's Euler-path layout with redundant contacts (Section III).
+    NewImmune,
+    /// Patil et al. [6]: stacked branches with etched regions and
+    /// vertical-gating vias.
+    OldEtched,
+    /// CMOS-style layout with under-sized gate endcaps — functionally
+    /// correct for perfectly aligned tubes, but *not* immune (Figure 2b).
+    Vulnerable,
+}
+
+impl fmt::Display for Style {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Style::NewImmune => write!(f, "new"),
+            Style::OldEtched => write!(f, "old"),
+            Style::Vulnerable => write!(f, "vuln"),
+        }
+    }
+}
+
+/// Standard-cell arrangement scheme (Section IV.A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// CMOS-like: PUN above PDN, separated by the intra-cell routing band.
+    Scheme1,
+    /// Novel compact form: PUN and PDN side by side, shrinking cell height.
+    Scheme2,
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scheme::Scheme1 => write!(f, "s1"),
+            Scheme::Scheme2 => write!(f, "s2"),
+        }
+    }
+}
+
+/// How parallel networks are decomposed into diffusion rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RowPolicy {
+    /// The paper's Section III procedure: in SOP form, every multi-device
+    /// product term becomes its own row "terminated by metal contacts at
+    /// both ends"; parallel single devices and POS structures are stitched
+    /// into one strip along an Euler path.
+    PaperProductTerms,
+    /// Extension: always cover the network with a minimum set of Euler
+    /// trails, snaking series product terms through shared contacts. Never
+    /// larger than the paper's construction, often smaller (e.g. the AOI22
+    /// pull-down collapses from two 16λ rows to one 29λ row).
+    FullEuler,
+}
+
+/// Options controlling generation.
+#[derive(Clone, Debug)]
+pub struct GenerateOptions {
+    /// Layout style.
+    pub style: Style,
+    /// Cell arrangement scheme.
+    pub scheme: Scheme,
+    /// Transistor sizing policy.
+    pub sizing: Sizing,
+    /// Row decomposition policy (new/vulnerable styles).
+    pub row_policy: RowPolicy,
+    /// Rule deck.
+    pub rules: DesignRules,
+}
+
+impl Default for GenerateOptions {
+    fn default() -> Self {
+        GenerateOptions {
+            style: Style::NewImmune,
+            scheme: Scheme::Scheme1,
+            sizing: Sizing::Matched { base_lambda: 4 },
+            row_policy: RowPolicy::PaperProductTerms,
+            rules: DesignRules::cnfet65(),
+        }
+    }
+}
+
+/// Which outer edge of a network block faces the intra-cell routing band
+/// (where gate endcaps must shrink to the doping overhang so PUN and PDN
+/// gates keep their spacing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BandEdge {
+    None,
+    Bottom,
+    Top,
+}
+
+/// Generation failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GenerateError {
+    /// The old etched style only supports branches that are plain series
+    /// chains (as in [6]'s published constructions).
+    UnsupportedOldStyleBranch(String),
+    /// A series composition with non-uniform device widths cannot be laid
+    /// out as rows.
+    NonUniformSeries(String),
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::UnsupportedOldStyleBranch(what) => {
+                write!(f, "old-style layout does not support nested branch `{what}`")
+            }
+            GenerateError::NonUniformSeries(what) => {
+                write!(f, "non-uniform widths inside a series composition: `{what}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+/// A fully generated standard cell.
+#[derive(Clone, Debug)]
+pub struct GeneratedCell {
+    /// Library name, e.g. `NAND3_X4_new_s1`.
+    pub name: String,
+    /// Cell function.
+    pub kind: StdCellKind,
+    /// Style used.
+    pub style: Style,
+    /// Scheme used.
+    pub scheme: Scheme,
+    /// Drawn geometry.
+    pub cell: Cell,
+    /// Semantic view for the immunity analysis.
+    pub semantics: SemanticLayout,
+    /// Pull-up active area in λ² (the paper's Table 1 accounting: Σ row
+    /// length × row width for strip layouts; stage bounding box for the
+    /// old style, whose etched regions consume active area).
+    pub pun_active_area_l2: f64,
+    /// Pull-down active area in λ².
+    pub pdn_active_area_l2: f64,
+    /// Footprint: active-extent width × height in λ² (excludes rails).
+    pub footprint_l2: f64,
+    /// Footprint width, λ.
+    pub width_lambda: f64,
+    /// Footprint height, λ.
+    pub height_lambda: f64,
+    /// Number of vertical-gating (via-on-gate) sites the layout requires —
+    /// zero for the new style, positive for buried gates in the old style.
+    pub via_on_gate_count: usize,
+    /// Pin name → pin rectangle.
+    pub pins: Vec<(String, Rect)>,
+}
+
+impl GeneratedCell {
+    /// Total active area (PUN + PDN), λ².
+    pub fn active_area_l2(&self) -> f64 {
+        self.pun_active_area_l2 + self.pdn_active_area_l2
+    }
+}
+
+/// Geometry summary of one emitted network.
+struct NetworkGeom {
+    /// Horizontal extent, λ.
+    len: i64,
+    /// Vertical extent, λ.
+    height: i64,
+    /// Active-area accounting, λ².
+    active_area: f64,
+    /// Vertical-gating count.
+    vias: usize,
+    /// Gate rectangles by var (drawn).
+    gates: Vec<(VarId, Rect)>,
+    /// Node-level device list with net names matching the contacts.
+    edges: Vec<SemEdge>,
+}
+
+/// Generates a standard cell.
+///
+/// # Errors
+///
+/// Returns [`GenerateError`] for network/style combinations the style
+/// cannot realize (see the error variants).
+///
+/// # Example
+///
+/// ```
+/// use cnfet_core::{generate_cell, GenerateOptions, StdCellKind};
+/// let cell = generate_cell(StdCellKind::Nand(2), &GenerateOptions::default()).unwrap();
+/// assert_eq!(cell.via_on_gate_count, 0); // new style needs no vertical gating
+/// ```
+pub fn generate_cell(
+    kind: StdCellKind,
+    opts: &GenerateOptions,
+) -> Result<GeneratedCell, GenerateError> {
+    let (pdn, pun, vars) = kind.networks();
+    let name = format!(
+        "{}_X{}_{}_{}",
+        kind.name(),
+        opts.sizing.base(),
+        opts.style,
+        opts.scheme
+    );
+    generate_from_networks(name, kind, pdn, pun, vars, opts)
+}
+
+/// Generates a cell from explicit pull networks — the general entry point
+/// used for fingered library cells and custom functions.
+///
+/// `pdn` must realize the positive pull-down condition between GND and
+/// OUT; `pun` its dual between VDD and OUT; `vars` names the inputs.
+///
+/// # Errors
+///
+/// Returns [`GenerateError`] for network/style combinations the style
+/// cannot realize.
+pub fn generate_from_networks(
+    name: String,
+    kind: StdCellKind,
+    pdn: SpNetwork,
+    pun: SpNetwork,
+    vars: cnfet_logic::VarTable,
+    opts: &GenerateOptions,
+) -> Result<GeneratedCell, GenerateError> {
+    let spdn = SizedNetwork::from_network(&pdn, opts.sizing);
+    let spun = SizedNetwork::from_network(&pun, opts.sizing);
+    let rules = &opts.rules;
+
+    let mut cell = Cell::new(name.clone());
+    let mut sems: Vec<SemRect> = Vec::new();
+
+    // Emit the two networks at the origin, measure, then place.
+    let emit = |sized: &SizedNetwork,
+                side: PullSide,
+                source: &str,
+                x0: i64,
+                y0: i64,
+                band: BandEdge,
+                cell: &mut Cell,
+                sems: &mut Vec<SemRect>|
+     -> Result<NetworkGeom, GenerateError> {
+        match opts.style {
+            Style::NewImmune => emit_strip_network(
+                sized,
+                side,
+                source,
+                rules,
+                rules.gate_endcap,
+                band,
+                opts.row_policy,
+                x0,
+                y0,
+                cell,
+                sems,
+            ),
+            Style::Vulnerable => emit_strip_network(
+                sized,
+                side,
+                source,
+                rules,
+                rules.vulnerable_endcap,
+                BandEdge::None,
+                opts.row_policy,
+                x0,
+                y0,
+                cell,
+                sems,
+            ),
+            Style::OldEtched => {
+                emit_old_network(sized, side, source, rules, band, x0, y0, cell, sems)
+            }
+        }
+    };
+
+    let (pdn_geom, pun_geom, width_l, height_l);
+    match opts.scheme {
+        Scheme::Scheme1 => {
+            let g_pdn = emit(
+                &spdn,
+                PullSide::Down,
+                "GND",
+                0,
+                0,
+                BandEdge::Top,
+                &mut cell,
+                &mut sems,
+            )?;
+            let y_pun = g_pdn.height + rules.sep_cnfet;
+            let g_pun = emit(
+                &spun,
+                PullSide::Up,
+                "VDD",
+                0,
+                y_pun,
+                BandEdge::Bottom,
+                &mut cell,
+                &mut sems,
+            )?;
+            width_l = g_pdn.len.max(g_pun.len);
+            height_l = y_pun + g_pun.height;
+            pdn_geom = g_pdn;
+            pun_geom = g_pun;
+        }
+        Scheme::Scheme2 => {
+            let g_pdn = emit(
+                &spdn,
+                PullSide::Down,
+                "GND",
+                0,
+                0,
+                BandEdge::None,
+                &mut cell,
+                &mut sems,
+            )?;
+            let x_pun = g_pdn.len + rules.sep_cnfet;
+            let g_pun = emit(
+                &spun,
+                PullSide::Up,
+                "VDD",
+                x_pun,
+                0,
+                BandEdge::None,
+                &mut cell,
+                &mut sems,
+            )?;
+            width_l = x_pun + g_pun.len;
+            height_l = g_pdn.height.max(g_pun.height);
+            pdn_geom = g_pdn;
+            pun_geom = g_pun;
+        }
+    }
+
+    // Pins: 2λ×2λ input pins in the routing band, each at a conflict-free
+    // x derived from a gate of its signal; OUT on a PDN output contact.
+    let mut pins = Vec::new();
+    let lam = Dbu::from_lambda_int;
+    let pin_band = match opts.scheme {
+        Scheme::Scheme1 => {
+            let y = pdn_geom.height + (rules.sep_cnfet - 2) / 2;
+            (lam(y), lam(y + 2))
+        }
+        Scheme::Scheme2 => (lam(-4), lam(-2)),
+    };
+    let mut used_centers: Vec<Dbu> = Vec::new();
+    let min_pitch = lam(4);
+    for (vid, _) in vars.iter() {
+        let candidates: Vec<Dbu> = pdn_geom
+            .gates
+            .iter()
+            .chain(pun_geom.gates.iter())
+            .filter(|(v, _)| *v == vid)
+            .map(|(_, r)| r.center().x)
+            .collect();
+        let free = candidates
+            .iter()
+            .copied()
+            .find(|cx| used_centers.iter().all(|u| (*cx - *u).abs() >= min_pitch))
+            .unwrap_or_else(|| {
+                used_centers
+                    .iter()
+                    .copied()
+                    .max()
+                    .map_or(lam(2), |m| m + min_pitch)
+            });
+        used_centers.push(free);
+        let rect = Rect::new(free - lam(1), pin_band.0, free + lam(1), pin_band.1);
+        cell.add_rect(Layer::Metal1, rect);
+        cell.add_rect(Layer::Pin, rect);
+        cell.add_text(Layer::Pin, rect.center(), vars.name(vid));
+        pins.push((vars.name(vid).to_string(), rect));
+    }
+    // OUT pin: on top of the rightmost PDN OUT contact.
+    let out_contact = sems
+        .iter()
+        .filter_map(|s| match &s.kind {
+            SemKind::Contact { net } if net == "OUT" => Some(s.rect),
+            _ => None,
+        })
+        .max_by_key(|r| r.x1())
+        .expect("every cell has an OUT contact");
+    cell.add_rect(Layer::Metal1, out_contact);
+    cell.add_rect(Layer::Pin, out_contact);
+    cell.add_text(Layer::Pin, out_contact.center(), "OUT");
+    pins.push(("OUT".to_string(), out_contact));
+
+    // Supply rails on Metal1, kept 2λ clear of the active footprint.
+    let rail = 3;
+    let (vdd_rail, gnd_rail) = match opts.scheme {
+        Scheme::Scheme1 => (
+            Rect::new(lam(0), lam(height_l + 2), lam(width_l), lam(height_l + 2 + rail)),
+            Rect::new(lam(0), lam(-2 - rail), lam(width_l), lam(-2)),
+        ),
+        Scheme::Scheme2 => (
+            Rect::new(lam(-2 - rail), lam(0), lam(-2), lam(height_l)),
+            Rect::new(lam(width_l + 2), lam(0), lam(width_l + 2 + rail), lam(height_l)),
+        ),
+    };
+    cell.add_rect(Layer::Metal1, vdd_rail);
+    cell.add_text(Layer::Metal1, vdd_rail.center(), "VDD");
+    cell.add_rect(Layer::Metal1, gnd_rail);
+    cell.add_text(Layer::Metal1, gnd_rail.center(), "GND");
+    pins.push(("VDD".to_string(), vdd_rail));
+    pins.push(("GND".to_string(), gnd_rail));
+
+    // Boundary: everything drawn, plus 1λ margin. Tubes are clipped here
+    // (cell-boundary etch).
+    let bbox = cell.bbox().expect("cell has geometry");
+    let boundary = bbox.expanded(Dbu::from_lambda_int(1));
+    cell.add_rect(Layer::Boundary, boundary);
+
+    let mut edges = pdn_geom.edges.clone();
+    edges.extend(pun_geom.edges.clone());
+    let semantics = SemanticLayout {
+        rects: sems,
+        bbox: boundary,
+        vars,
+        pun,
+        pdn,
+        edges,
+    };
+
+    Ok(GeneratedCell {
+        name,
+        kind,
+        style: opts.style,
+        scheme: opts.scheme,
+        cell,
+        semantics,
+        pun_active_area_l2: pun_geom.active_area,
+        pdn_active_area_l2: pdn_geom.active_area,
+        footprint_l2: width_l as f64 * height_l as f64,
+        width_lambda: width_l as f64,
+        height_lambda: height_l as f64,
+        via_on_gate_count: pdn_geom.vias + pun_geom.vias,
+        pins,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// New-style (and vulnerable) strip networks
+// ---------------------------------------------------------------------------
+
+/// Converts a sized network back to its unsized shape.
+fn to_sp(net: &SizedNetwork) -> SpNetwork {
+    match net {
+        SizedNetwork::Device { var, .. } => SpNetwork::Device(*var),
+        SizedNetwork::Series(ns) => SpNetwork::Series(ns.iter().map(to_sp).collect()),
+        SizedNetwork::Parallel(ns) => SpNetwork::Parallel(ns.iter().map(to_sp).collect()),
+    }
+}
+
+/// Splits a network into width groups, each realizable as equal-width rows.
+fn width_groups(sized: &SizedNetwork) -> Result<Vec<(i64, SpNetwork)>, GenerateError> {
+    if sized.is_uniform() {
+        return Ok(vec![(sized.max_width(), to_sp(sized).normalized())]);
+    }
+    let branches = match sized {
+        SizedNetwork::Parallel(bs) => bs,
+        other => {
+            return Err(GenerateError::NonUniformSeries(format!("{other:?}")));
+        }
+    };
+    let mut by_width: Vec<(i64, Vec<SpNetwork>)> = Vec::new();
+    for b in branches {
+        if !b.is_uniform() {
+            return Err(GenerateError::NonUniformSeries(format!("{b:?}")));
+        }
+        let w = b.max_width();
+        match by_width.iter_mut().find(|(bw, _)| *bw == w) {
+            Some((_, v)) => v.push(to_sp(b)),
+            None => by_width.push((w, vec![to_sp(b)])),
+        }
+    }
+    // Widest group at the bottom for a stable look.
+    by_width.sort_by(|a, b| b.0.cmp(&a.0));
+    Ok(by_width
+        .into_iter()
+        .map(|(w, nets)| {
+            let net = if nets.len() == 1 {
+                nets.into_iter().next().expect("nonempty")
+            } else {
+                SpNetwork::Parallel(nets)
+            };
+            (w, net.normalized())
+        })
+        .collect())
+}
+
+/// Plans the diffusion rows of a network: per width group, either the
+/// paper's per-product-term rows or a minimum Euler-trail cover. Also
+/// returns the node-level device list with names consistent with the
+/// planned contacts.
+///
+/// Exposed crate-wide so the CMOS baseline generator can reuse the planner.
+pub(crate) fn plan_rows(
+    sized: &SizedNetwork,
+    side: PullSide,
+    source_net: &str,
+    policy: RowPolicy,
+) -> Result<(Vec<Strip>, Vec<SemEdge>), GenerateError> {
+    let groups = width_groups(sized)?;
+    let mut strips = Vec::new();
+    let mut edges = Vec::new();
+    let mut m_counter = 0usize;
+    let mut i_counter = 0usize;
+    // Per-network prefix keeps PUN and PDN internal node names distinct.
+    let prefix = match side {
+        PullSide::Up => "U",
+        PullSide::Down => "D",
+    };
+    for (width, net) in &groups {
+        // The paper's SOP rule: when a parallel composition contains a
+        // multi-device product term, each product term becomes its own row
+        // "terminated by metal contacts at both ends". Parallel single
+        // devices (and everything else) are stitched by Euler trails.
+        let subnets: Vec<SpNetwork> = match (policy, net) {
+            (RowPolicy::PaperProductTerms, SpNetwork::Parallel(branches))
+                if branches.iter().any(|b| b.device_count() > 1) =>
+            {
+                branches.clone()
+            }
+            _ => vec![net.clone()],
+        };
+        for sub in &subnets {
+            let graph = PullGraph::from_network(sub);
+            // Name every node up front: terminals by net, high-degree
+            // internals as visible contacts (m…), series interiors as
+            // synthetic nodes (i…) that never receive a contact.
+            let mut names: HashMap<u32, String> = HashMap::new();
+            for n in 0..graph.node_count() as u32 {
+                let node = cnfet_logic::NodeId(n);
+                let name = match graph.kind(node) {
+                    NodeKind::Source => source_net.to_string(),
+                    NodeKind::Drain => "OUT".to_string(),
+                    NodeKind::Internal => {
+                        if graph.degree(node) == 2 {
+                            i_counter += 1;
+                            format!("i{prefix}{i_counter}")
+                        } else {
+                            m_counter += 1;
+                            format!("m{prefix}{m_counter}")
+                        }
+                    }
+                };
+                names.insert(n, name);
+            }
+            for e in graph.edges() {
+                edges.push(SemEdge {
+                    var: e.gate,
+                    side,
+                    a: names[&e.a.0].clone(),
+                    b: names[&e.b.0].clone(),
+                });
+            }
+            let trails = euler_trails(&graph);
+            for trail in &trails {
+                strips.push(trail_to_strip(&graph, trail, *width, &names));
+            }
+        }
+    }
+    Ok((strips, edges))
+}
+
+/// Builds the strip of one Euler trail: every node visit that is a terminal
+/// or a degree-≠2 internal node receives a (possibly redundant) contact;
+/// plain series interiors get none.
+fn trail_to_strip(
+    graph: &PullGraph,
+    trail: &Trail,
+    width: i64,
+    names: &HashMap<u32, String>,
+) -> Strip {
+    let rules = DesignRules::cnfet65();
+    let mut elems = Vec::new();
+    let last = trail.nodes.len() - 1;
+    for (k, node) in trail.nodes.iter().enumerate() {
+        let needs_contact = k == 0
+            || k == last
+            || graph.kind(*node) != NodeKind::Internal
+            || graph.degree(*node) != 2;
+        if needs_contact {
+            elems.push(StripElem::Contact {
+                net: names[&node.0].clone(),
+            });
+        }
+        if k < last {
+            let edge = graph.edge(trail.edges[k]);
+            elems.push(StripElem::Gate {
+                var: edge.gate,
+                len_lambda: rules.lg,
+            });
+        }
+    }
+    Strip {
+        elems,
+        width_lambda: width,
+    }
+}
+
+/// Emits a strip-style network (new immune or vulnerable), rows stacked
+/// bottom-up with the rule gap, all rows stretched to the longest.
+#[allow(clippy::too_many_arguments)]
+fn emit_strip_network(
+    sized: &SizedNetwork,
+    side: PullSide,
+    source_net: &str,
+    rules: &DesignRules,
+    endcap: i64,
+    band: BandEdge,
+    policy: RowPolicy,
+    x0: i64,
+    y0: i64,
+    cell: &mut Cell,
+    sems: &mut Vec<SemRect>,
+) -> Result<NetworkGeom, GenerateError> {
+    let (mut strips, edges) = plan_rows(sized, side, source_net, policy)?;
+    let target = strips
+        .iter()
+        .map(|s| s.length_lambda(rules))
+        .max()
+        .expect("network has at least one row");
+    for s in &mut strips {
+        s.stretch_to(target, rules);
+    }
+
+    let mut y = y0;
+    let mut gates = Vec::new();
+    let mut active_area = 0.0;
+    let rows = strips.len();
+    for (i, s) in strips.iter().enumerate() {
+        if i > 0 {
+            y += rules.row_gap;
+        }
+        let cap_below = if i == 0 && band == BandEdge::Bottom {
+            rules.doping_overhang.min(endcap)
+        } else {
+            endcap
+        };
+        let cap_above = if i + 1 == rows && band == BandEdge::Top {
+            rules.doping_overhang.min(endcap)
+        } else {
+            endcap
+        };
+        let geom = s.emit(rules, x0, y, side, cap_below, cap_above, cell, sems);
+        // Per-row doping with the process overhang.
+        let doped = geom.active.expanded(Dbu::from_lambda_int(rules.doping_overhang));
+        let layer = match side {
+            PullSide::Up => Layer::PDoping,
+            PullSide::Down => Layer::NDoping,
+        };
+        cell.add_rect(layer, doped);
+        sems.push(SemRect {
+            rect: doped,
+            kind: SemKind::Doped { side },
+        });
+        gates.extend(geom.gate_rects);
+        active_area += geom.len_lambda as f64 * s.width_lambda as f64;
+        y += s.width_lambda;
+    }
+
+    Ok(NetworkGeom {
+        len: target,
+        height: y - y0,
+        active_area,
+        vias: 0,
+        gates,
+        edges,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Old etched style
+// ---------------------------------------------------------------------------
+
+/// One series stage: parallel branches, each a plain chain of devices.
+struct OldStage {
+    branches: Vec<Vec<(VarId, i64)>>,
+}
+
+fn chain_of(net: &SizedNetwork) -> Option<Vec<(VarId, i64)>> {
+    match net {
+        SizedNetwork::Device { var, width_lambda } => Some(vec![(*var, *width_lambda)]),
+        SizedNetwork::Series(ns) => {
+            let mut out = Vec::new();
+            for n in ns {
+                match n {
+                    SizedNetwork::Device { var, width_lambda } => out.push((*var, *width_lambda)),
+                    _ => return None,
+                }
+            }
+            Some(out)
+        }
+        SizedNetwork::Parallel(_) => None,
+    }
+}
+
+fn old_stages(sized: &SizedNetwork) -> Result<Vec<OldStage>, GenerateError> {
+    let mut stages = Vec::new();
+    let mut pending: Vec<(VarId, i64)> = Vec::new();
+    let children: Vec<&SizedNetwork> = match sized {
+        SizedNetwork::Series(ns) => ns.iter().collect(),
+        other => vec![other],
+    };
+    for child in children {
+        match child {
+            SizedNetwork::Device { var, width_lambda } => pending.push((*var, *width_lambda)),
+            SizedNetwork::Parallel(branches) => {
+                if !pending.is_empty() {
+                    stages.push(OldStage {
+                        branches: vec![std::mem::take(&mut pending)],
+                    });
+                }
+                let mut bs = Vec::new();
+                for b in branches {
+                    bs.push(chain_of(b).ok_or_else(|| {
+                        GenerateError::UnsupportedOldStyleBranch(format!("{b:?}"))
+                    })?);
+                }
+                stages.push(OldStage { branches: bs });
+            }
+            SizedNetwork::Series(_) => {
+                // Normalized networks have no nested series.
+                return Err(GenerateError::UnsupportedOldStyleBranch(format!(
+                    "{child:?}"
+                )));
+            }
+        }
+    }
+    if !pending.is_empty() {
+        stages.push(OldStage {
+            branches: vec![pending],
+        });
+    }
+    Ok(stages)
+}
+
+/// Emits an old-style network: stages left to right, each with stacked
+/// branches separated by 2λ etched regions, buried gates flagged with
+/// vertical-gating vias.
+#[allow(clippy::too_many_arguments)]
+fn emit_old_network(
+    sized: &SizedNetwork,
+    side: PullSide,
+    source_net: &str,
+    rules: &DesignRules,
+    band: BandEdge,
+    x0: i64,
+    y0: i64,
+    cell: &mut Cell,
+    sems: &mut Vec<SemRect>,
+) -> Result<NetworkGeom, GenerateError> {
+    let stages = old_stages(sized)?;
+    let lam = Dbu::from_lambda_int;
+    let dope_layer = match side {
+        PullSide::Up => Layer::PDoping,
+        PullSide::Down => Layer::NDoping,
+    };
+
+    let mut x = x0;
+    let mut vias = 0usize;
+    let mut gates = Vec::new();
+    let mut edges = Vec::new();
+    let mut max_height = 0i64;
+    let mut m_counter = 0usize;
+    let mut x_counter = 0usize;
+    let prefix = match side {
+        PullSide::Up => "U",
+        PullSide::Down => "D",
+    };
+
+    for (si, stage) in stages.iter().enumerate() {
+        if si > 0 {
+            x += rules.lgg;
+        }
+        let left_net = if si == 0 {
+            source_net.to_string()
+        } else {
+            format!("m{prefix}{m_counter}")
+        };
+        let right_net = if si + 1 == stages.len() {
+            "OUT".to_string()
+        } else {
+            m_counter += 1;
+            format!("m{prefix}{m_counter}")
+        };
+
+        // Node-level devices of this stage.
+        for branch in &stage.branches {
+            let mut prev = left_net.clone();
+            for (gi, (var, _)) in branch.iter().enumerate() {
+                let next = if gi + 1 == branch.len() {
+                    right_net.clone()
+                } else {
+                    x_counter += 1;
+                    format!("i{prefix}x{x_counter}")
+                };
+                edges.push(SemEdge {
+                    var: *var,
+                    side,
+                    a: prev.clone(),
+                    b: next.clone(),
+                });
+                prev = next;
+            }
+        }
+
+        let span = stage
+            .branches
+            .iter()
+            .map(|b| b.len() as i64 * rules.lg + (b.len() as i64 - 1) * rules.lgg)
+            .max()
+            .expect("stage has branches");
+        let len = 2 * rules.lc + 2 * rules.lgs + span;
+        let k = stage.branches.len();
+        let height: i64 = stage.branches.iter().map(|b| branch_width(b)).sum::<i64>()
+            + (k as i64 - 1) * rules.etch;
+        max_height = max_height.max(height);
+
+        // Contact columns spanning the full stage height.
+        for (cx, net) in [(x, &left_net), (x + len - rules.lc, &right_net)] {
+            let r = Rect::new(lam(cx), lam(y0), lam(cx + rules.lc), lam(y0 + height));
+            cell.add_rect(Layer::Contact, r);
+            cell.add_text(Layer::Contact, r.center(), net);
+            sems.push(SemRect {
+                rect: r,
+                kind: SemKind::Contact { net: net.clone() },
+            });
+        }
+
+        // Active + doping for the whole stage.
+        let active = Rect::new(lam(x), lam(y0), lam(x + len), lam(y0 + height));
+        cell.add_rect(Layer::CntActive, active);
+        let doped = active.expanded(lam(rules.doping_overhang));
+        cell.add_rect(dope_layer, doped);
+        sems.push(SemRect {
+            rect: doped,
+            kind: SemKind::Doped { side },
+        });
+
+        // Branch rows bottom-up.
+        let mut y = y0;
+        for (bi, branch) in stage.branches.iter().enumerate() {
+            let w = branch_width(branch);
+            if bi > 0 {
+                // Etched region between rows (2λ), spanning between the
+                // contact columns.
+                let er = Rect::new(
+                    lam(x + rules.lc),
+                    lam(y),
+                    lam(x + len - rules.lc),
+                    lam(y + rules.etch),
+                );
+                cell.add_rect(Layer::Etch, er);
+                sems.push(SemRect {
+                    rect: er,
+                    kind: SemKind::Etch,
+                });
+                y += rules.etch;
+            }
+            let buried = k >= 3 && bi > 0 && bi + 1 < k;
+            let natural = branch.len() as i64 * rules.lg + (branch.len() as i64 - 1) * rules.lgg;
+            let mut gx = x + rules.lc + rules.lgs;
+            for (gi, (var, _)) in branch.iter().enumerate() {
+                let mut glen = rules.lg;
+                if gi + 1 == branch.len() {
+                    glen += span - natural; // stretch last gate to align
+                }
+                let outer_below = if band == BandEdge::Bottom {
+                    rules.doping_overhang
+                } else {
+                    rules.gate_endcap
+                };
+                let outer_above = if band == BandEdge::Top {
+                    rules.doping_overhang
+                } else {
+                    rules.gate_endcap
+                };
+                let cap_below = if bi == 0 { outer_below } else { 0 };
+                let cap_above = if bi + 1 == k { outer_above } else { 0 };
+                let gr = Rect::new(
+                    lam(gx),
+                    lam(y - cap_below),
+                    lam(gx + glen),
+                    lam(y + w + cap_above),
+                );
+                cell.add_rect(Layer::Gate, gr);
+                sems.push(SemRect {
+                    rect: gr,
+                    kind: SemKind::Gate { var: *var, side },
+                });
+                gates.push((*var, gr));
+                if buried {
+                    // Vertical gating: a via must land on the gate.
+                    let cx = gx + glen / 2;
+                    let cy = y + w / 2;
+                    let h = rules.via;
+                    let vr = Rect::new(
+                        lam(cx - h / 2),
+                        lam(cy - h / 2),
+                        lam(cx - h / 2 + h),
+                        lam(cy - h / 2 + h),
+                    );
+                    cell.add_rect(Layer::Via, vr);
+                    vias += 1;
+                }
+                gx += glen + rules.lgg;
+            }
+            y += w;
+        }
+        x += len;
+    }
+
+    Ok(NetworkGeom {
+        len: x - x0,
+        height: max_height,
+        // The paper's accounting: the old layout pays for its etched
+        // regions and duplicated contact columns — bounding box area.
+        active_area: (x - x0) as f64 * max_height as f64,
+        vias,
+        gates,
+        edges,
+    })
+}
+
+fn branch_width(branch: &[(VarId, i64)]) -> i64 {
+    branch.iter().map(|(_, w)| *w).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(style: Style, scheme: Scheme, sizing: Sizing) -> GenerateOptions {
+        GenerateOptions {
+            style,
+            scheme,
+            sizing,
+            ..GenerateOptions::default()
+        }
+    }
+
+    fn matched(base: i64) -> Sizing {
+        Sizing::Matched { base_lambda: base }
+    }
+
+    fn uniform(w: i64) -> Sizing {
+        Sizing::Uniform { width_lambda: w }
+    }
+
+    #[test]
+    fn nand3_new_matches_figure3b() {
+        let c = generate_cell(
+            StdCellKind::Nand(3),
+            &opts(Style::NewImmune, Scheme::Scheme1, matched(4)),
+        )
+        .unwrap();
+        // PUN: Euler strip 30λ × 4λ = 120 λ².
+        assert_eq!(c.pun_active_area_l2, 120.0);
+        // PDN: series strip 20λ × 12λ = 240 λ².
+        assert_eq!(c.pdn_active_area_l2, 240.0);
+        assert_eq!(c.via_on_gate_count, 0);
+    }
+
+    #[test]
+    fn nand3_old_matches_figure3a() {
+        let c = generate_cell(
+            StdCellKind::Nand(3),
+            &opts(Style::OldEtched, Scheme::Scheme1, matched(4)),
+        )
+        .unwrap();
+        // PUN: 12λ stage × (3·4 + 2·2)λ = 12 × 16 = 192 λ².
+        assert_eq!(c.pun_active_area_l2, 192.0);
+        // PDN identical to the new style: 240 λ².
+        assert_eq!(c.pdn_active_area_l2, 240.0);
+        // Gate B is buried → exactly one vertical-gating via.
+        assert_eq!(c.via_on_gate_count, 1);
+    }
+
+    #[test]
+    fn table1_nand3_entry() {
+        // (432 - 360) / 432 = 16.67%.
+        let old = generate_cell(
+            StdCellKind::Nand(3),
+            &opts(Style::OldEtched, Scheme::Scheme1, matched(4)),
+        )
+        .unwrap();
+        let new = generate_cell(
+            StdCellKind::Nand(3),
+            &opts(Style::NewImmune, Scheme::Scheme1, matched(4)),
+        )
+        .unwrap();
+        let diff = (old.active_area_l2() - new.active_area_l2()) / old.active_area_l2();
+        assert!((diff - 1.0 / 6.0).abs() < 1e-9, "{diff}");
+    }
+
+    #[test]
+    fn inverter_styles_identical_area() {
+        for style in [Style::NewImmune, Style::OldEtched] {
+            let c = generate_cell(
+                StdCellKind::Inv,
+                &opts(style, Scheme::Scheme1, matched(4)),
+            )
+            .unwrap();
+            assert_eq!(c.active_area_l2(), 96.0, "{style}: 12λ × 4λ × 2");
+        }
+    }
+
+    #[test]
+    fn aoi21_uniform_areas() {
+        let old = generate_cell(
+            StdCellKind::Aoi21,
+            &opts(Style::OldEtched, Scheme::Scheme1, uniform(4)),
+        )
+        .unwrap();
+        // PUN (A+B then C): stages 12+2+12 = 26λ × (2·4+2)λ = 260;
+        // PDN (AB ∥ C): one stage 16λ... span = 2 gates = 6λ → len 16, height 2·4+2 = 10 → 160.
+        assert_eq!(old.pun_active_area_l2, 260.0);
+        assert_eq!(old.pdn_active_area_l2, 160.0);
+        let new = generate_cell(
+            StdCellKind::Aoi21,
+            &opts(Style::NewImmune, Scheme::Scheme1, uniform(4)),
+        )
+        .unwrap();
+        // PUN Euler strip (3 gates, 4 contacts) 30λ × 4 = 120;
+        // PDN rows [GND A B OUT] and [GND C OUT→stretched] 16λ × 4 × 2 = 128.
+        assert_eq!(new.pun_active_area_l2, 120.0);
+        assert_eq!(new.pdn_active_area_l2, 128.0);
+    }
+
+    #[test]
+    fn scheme2_shrinks_height() {
+        let s1 = generate_cell(
+            StdCellKind::Nand(2),
+            &opts(Style::NewImmune, Scheme::Scheme1, matched(4)),
+        )
+        .unwrap();
+        let s2 = generate_cell(
+            StdCellKind::Nand(2),
+            &opts(Style::NewImmune, Scheme::Scheme2, matched(4)),
+        )
+        .unwrap();
+        assert!(s2.height_lambda < s1.height_lambda);
+        assert!(s2.width_lambda > s1.width_lambda);
+    }
+
+    #[test]
+    fn all_catalog_cells_generate_in_new_style() {
+        for kind in StdCellKind::ALL {
+            for sizing in [matched(4), uniform(4)] {
+                for scheme in [Scheme::Scheme1, Scheme::Scheme2] {
+                    let c = generate_cell(kind, &opts(Style::NewImmune, scheme, sizing));
+                    assert!(c.is_ok(), "{kind} {sizing:?} {scheme}: {c:?}");
+                    let c = c.unwrap();
+                    assert!(c.active_area_l2() > 0.0);
+                    assert_eq!(c.via_on_gate_count, 0, "{kind}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_catalog_cells_generate_in_old_style() {
+        for kind in StdCellKind::ALL {
+            let c = generate_cell(kind, &opts(Style::OldEtched, Scheme::Scheme1, uniform(4)));
+            assert!(c.is_ok(), "{kind}: {c:?}");
+        }
+    }
+
+    #[test]
+    fn pins_cover_all_inputs() {
+        let c = generate_cell(
+            StdCellKind::Aoi22,
+            &opts(Style::NewImmune, Scheme::Scheme1, uniform(4)),
+        )
+        .unwrap();
+        let names: Vec<&str> = c.pins.iter().map(|(n, _)| n.as_str()).collect();
+        for expected in ["A", "B", "C", "D", "OUT", "VDD", "GND"] {
+            assert!(names.contains(&expected), "missing pin {expected}");
+        }
+    }
+
+    #[test]
+    fn redundant_contacts_in_nand3_pun() {
+        // The compact layout's signature: 4 contact columns for a 3-gate
+        // parallel network (Vdd, Out, Vdd, Out).
+        let c = generate_cell(
+            StdCellKind::Nand(3),
+            &opts(Style::NewImmune, Scheme::Scheme1, matched(4)),
+        )
+        .unwrap();
+        let pun_contacts = c
+            .semantics
+            .rects
+            .iter()
+            .filter(|s| {
+                matches!(&s.kind, SemKind::Contact { net } if net == "VDD" || net == "OUT")
+            })
+            .count();
+        // PUN contributes 4 (VDD, OUT, VDD, OUT); the PDN adds one OUT.
+        assert_eq!(pun_contacts, 5);
+    }
+
+    #[test]
+    fn old_style_has_etch_new_style_does_not() {
+        let old = generate_cell(
+            StdCellKind::Nand(3),
+            &opts(Style::OldEtched, Scheme::Scheme1, matched(4)),
+        )
+        .unwrap();
+        let new = generate_cell(
+            StdCellKind::Nand(3),
+            &opts(Style::NewImmune, Scheme::Scheme1, matched(4)),
+        )
+        .unwrap();
+        let etch = |c: &GeneratedCell| {
+            c.semantics
+                .rects
+                .iter()
+                .filter(|s| matches!(s.kind, SemKind::Etch))
+                .count()
+        };
+        assert_eq!(etch(&old), 2, "two etched regions between A-B and B-C");
+        assert_eq!(etch(&new), 0, "new style uses redundant contacts instead");
+    }
+}

@@ -1,0 +1,143 @@
+//! The λ-convention design-rule deck.
+//!
+//! Values were recovered by solving the paper's Table 1 exactly (see
+//! DESIGN.md §3): with `Lc = 3λ`, `Lg = 2λ`, `Lgs = Lgd = Lgg = 2λ` and 2λ
+//! etched regions, every INV/NAND/NOR entry of Table 1 reproduces to the
+//! printed precision.
+
+/// Scalable design rules in integer λ.
+///
+/// # Example
+///
+/// ```
+/// use cnfet_core::DesignRules;
+/// let r = DesignRules::cnfet65();
+/// // An Euler strip with k gates and k+1 contacts is 9k+3 λ long:
+/// assert_eq!(r.euler_strip_len(3), 30);
+/// // A series chain with end contacts only is 4k+8 λ long:
+/// assert_eq!(r.series_strip_len(3), 20);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DesignRules {
+    /// Gate length `Lg`.
+    pub lg: i64,
+    /// Gate-to-contact spacing `Lgs`/`Lgd`.
+    pub lgs: i64,
+    /// Contact column length `Ls`/`Ld`.
+    pub lc: i64,
+    /// Gate-to-gate spacing in a series chain.
+    pub lgg: i64,
+    /// Minimum etched-region size (the 65 nm lithography limit).
+    pub etch: i64,
+    /// Via edge length (larger than the gate length, as the paper notes).
+    pub via: i64,
+    /// Gate endcap past the CNT strip in immune layouts (must cover the
+    /// doping overhang so tubes cannot dodge around gate ends).
+    pub gate_endcap: i64,
+    /// Doping-mask overhang past the active strip (process margin).
+    pub doping_overhang: i64,
+    /// Under-sized endcap used by the *vulnerable* CMOS-style layout; being
+    /// smaller than the doping overhang it leaves conductive corridors
+    /// around gate ends — the Figure 2(b) failure mechanism.
+    pub vulnerable_endcap: i64,
+    /// Vertical gap between stacked rows of the same network. Must be at
+    /// least `2·gate_endcap + lgg` so that gate endcaps of adjacent rows
+    /// keep poly spacing, and more than `2·doping_overhang` so an intrinsic
+    /// (undoped) band separates rows — mispositioned tubes crossing rows
+    /// die there, which is what makes multi-row layouts immune.
+    pub row_gap: i64,
+    /// PUN–PDN separation of CNFET cells (limited by the 6λ input pin).
+    pub sep_cnfet: i64,
+    /// PUN(n-well)–PDN separation of the CMOS baseline (10λ at 65 nm).
+    pub sep_cmos: i64,
+    /// Input pin edge length.
+    pub pin: i64,
+}
+
+impl DesignRules {
+    /// The paper's 65 nm CNFET rule set.
+    pub fn cnfet65() -> DesignRules {
+        DesignRules {
+            lg: 2,
+            lgs: 2,
+            lc: 3,
+            lgg: 2,
+            etch: 2,
+            via: 3,
+            gate_endcap: 3,
+            doping_overhang: 2,
+            vulnerable_endcap: 1,
+            row_gap: 8,
+            sep_cnfet: 6,
+            sep_cmos: 10,
+            pin: 6,
+        }
+    }
+
+    /// Length in λ of an alternating contact/gate Euler strip with `k`
+    /// gates and `k+1` contact columns: `(k+1)·Lc + k·Lg + 2k·Lgs`.
+    pub fn euler_strip_len(&self, k: i64) -> i64 {
+        (k + 1) * self.lc + k * self.lg + 2 * k * self.lgs
+    }
+
+    /// Length in λ of a series chain with contacts only at the ends:
+    /// `2·Lc + k·Lg + 2·Lgs + (k−1)·Lgg`.
+    pub fn series_strip_len(&self, k: i64) -> i64 {
+        2 * self.lc + k * self.lg + 2 * self.lgs + (k - 1) * self.lgg
+    }
+
+    /// Length in λ of one old-style stage column (one gate column between
+    /// two contact columns).
+    pub fn stage_len(&self) -> i64 {
+        2 * self.lc + self.lg + 2 * self.lgs
+    }
+}
+
+impl Default for DesignRules {
+    fn default() -> Self {
+        DesignRules::cnfet65()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_length_formulas() {
+        let r = DesignRules::cnfet65();
+        // Inverter strip = 12λ in both forms.
+        assert_eq!(r.euler_strip_len(1), 12);
+        assert_eq!(r.series_strip_len(1), 12);
+        // NAND2 PUN (Vdd-A-Out-B-Vdd) = 21λ; NAND3 PUN = 30λ.
+        assert_eq!(r.euler_strip_len(2), 21);
+        assert_eq!(r.euler_strip_len(3), 30);
+        // NAND2 PDN = 16λ; NAND3 PDN = 20λ.
+        assert_eq!(r.series_strip_len(2), 16);
+        assert_eq!(r.series_strip_len(3), 20);
+        // Old-style stage column = 12λ.
+        assert_eq!(r.stage_len(), 12);
+    }
+
+    #[test]
+    fn vulnerable_endcap_smaller_than_overhang() {
+        // The vulnerability mechanism requires an ungated doped corridor.
+        let r = DesignRules::cnfet65();
+        assert!(r.vulnerable_endcap < r.doping_overhang);
+        assert!(r.gate_endcap >= r.doping_overhang);
+    }
+
+    #[test]
+    fn row_gap_consistency() {
+        let r = DesignRules::cnfet65();
+        assert!(r.row_gap >= 2 * r.gate_endcap + r.lgg);
+        assert!(r.row_gap > 2 * r.doping_overhang);
+    }
+
+    #[test]
+    fn etch_is_lithography_limit() {
+        // 2λ = 65 nm at the 65 nm node.
+        let r = DesignRules::cnfet65();
+        assert_eq!(r.etch, 2);
+    }
+}

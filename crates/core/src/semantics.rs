@@ -1,0 +1,232 @@
+//! Semantic layout view consumed by the imperfection-immunity analysis.
+//!
+//! The immunity engine does not reverse-engineer raw mask layers; the
+//! generators emit, alongside the drawn geometry, a list of semantically
+//! tagged rectangles plus the nominal pull networks they realize.
+
+use cnfet_geom::Rect;
+use cnfet_logic::{SpNetwork, VarId, VarTable};
+use std::collections::BTreeSet;
+
+/// Which pull network a region belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PullSide {
+    /// Pull-up network (p-type devices; conduct on gate LOW).
+    Up,
+    /// Pull-down network (n-type devices; conduct on gate HIGH).
+    Down,
+}
+
+/// Semantic role of a rectangle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SemKind {
+    /// Metal contact tied to a net.
+    Contact {
+        /// Net name (`VDD`, `GND`, `OUT`, `m1`, …).
+        net: String,
+    },
+    /// Gate region: tubes crossing it are gated by `var`.
+    Gate {
+        /// Controlling input.
+        var: VarId,
+        /// Polarity of the devices this gate forms.
+        side: PullSide,
+    },
+    /// Doped region: tubes here conduct unconditionally.
+    Doped {
+        /// Doping polarity (p+ for PUN, n+ for PDN).
+        side: PullSide,
+    },
+    /// Etched region: tubes are cut.
+    Etch,
+}
+
+/// A semantically tagged rectangle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SemRect {
+    /// Geometry in database units.
+    pub rect: Rect,
+    /// Role.
+    pub kind: SemKind,
+}
+
+/// A nominal device of the cell, at the node level: gate `var` of the
+/// given polarity between the named nets `a` and `b` (contact nets or
+/// synthetic internal nodes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SemEdge {
+    /// Gate input.
+    pub var: VarId,
+    /// Device polarity.
+    pub side: PullSide,
+    /// One terminal's net name.
+    pub a: String,
+    /// Other terminal's net name.
+    pub b: String,
+}
+
+/// The complete semantic view of a generated cell.
+#[derive(Clone, Debug)]
+pub struct SemanticLayout {
+    /// Tagged regions. Priority on overlap: `Etch` > `Contact` > `Gate` >
+    /// `Doped` (a gate region inside a doped strip is gated, not doped).
+    pub rects: Vec<SemRect>,
+    /// Cell bounding box; tubes are clipped here (cell-boundary etch).
+    pub bbox: Rect,
+    /// Names of the variables used by the networks.
+    pub vars: VarTable,
+    /// Nominal pull-up network between `VDD` and `OUT`.
+    pub pun: SpNetwork,
+    /// Nominal pull-down network between `GND` and `OUT`.
+    pub pdn: SpNetwork,
+    /// Node-level device list of both networks, with terminal names
+    /// matching the contact nets.
+    pub edges: Vec<SemEdge>,
+}
+
+impl SemanticLayout {
+    /// Nominal conduction paths (gate-variable sets) between a pair of
+    /// nets, if that pair has a nominal network.
+    ///
+    /// `VDD–OUT` maps to the PUN, `GND–OUT` to the PDN; any other pair has
+    /// no legal conduction and returns an empty list.
+    pub fn nominal_paths(&self, net_a: &str, net_b: &str) -> Vec<BTreeSet<VarId>> {
+        let pair = if net_a < net_b {
+            (net_a, net_b)
+        } else {
+            (net_b, net_a)
+        };
+        match pair {
+            ("OUT", "VDD") => self.pun.paths(),
+            ("GND", "OUT") => self.pdn.paths(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// All simple-path gate sets between two *named nodes* of the combined
+    /// device graph, each as a set of polarity-tagged gates.
+    ///
+    /// This is the reference against which stray CNT conduction segments
+    /// are judged (Patil et al.'s criterion): a stray segment between two
+    /// nets is harmless iff its gate set is a superset of some nominal
+    /// simple path between the same nets.
+    pub fn node_paths(&self, net_a: &str, net_b: &str) -> Vec<BTreeSet<(VarId, PullSide)>> {
+        if net_a == net_b {
+            return vec![BTreeSet::new()];
+        }
+        let mut out = Vec::new();
+        let mut used = vec![false; self.edges.len()];
+        let mut visited_nodes: Vec<&str> = vec![net_a];
+        let mut gates: Vec<(VarId, PullSide)> = Vec::new();
+        self.dfs_paths(net_a, net_b, &mut used, &mut visited_nodes, &mut gates, &mut out);
+        out
+    }
+
+    #[allow(clippy::only_used_in_recursion)]
+    fn dfs_paths<'a>(
+        &'a self,
+        at: &'a str,
+        target: &str,
+        used: &mut Vec<bool>,
+        visited_nodes: &mut Vec<&'a str>,
+        gates: &mut Vec<(VarId, PullSide)>,
+        out: &mut Vec<BTreeSet<(VarId, PullSide)>>,
+    ) {
+        if at == target {
+            out.push(gates.iter().copied().collect());
+            return;
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let next = if e.a == at {
+                &e.b
+            } else if e.b == at {
+                &e.a
+            } else {
+                continue;
+            };
+            if next != target && visited_nodes.iter().any(|n| n == next) {
+                continue;
+            }
+            used[i] = true;
+            visited_nodes.push(next);
+            gates.push((e.var, e.side));
+            self.dfs_paths(next, target, used, visited_nodes, gates, out);
+            gates.pop();
+            visited_nodes.pop();
+            used[i] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnfet_logic::Expr;
+
+    fn demo() -> SemanticLayout {
+        let mut vars = VarTable::new();
+        let pdn_expr = Expr::parse_with("A*B", &mut vars).unwrap();
+        let pdn = SpNetwork::from_expr(&pdn_expr).unwrap();
+        let pun = pdn.dual();
+        let a = VarId(0);
+        let b = VarId(1);
+        let e = |var, side, x: &str, y: &str| SemEdge {
+            var,
+            side,
+            a: x.to_string(),
+            b: y.to_string(),
+        };
+        SemanticLayout {
+            rects: Vec::new(),
+            bbox: Rect::from_lambda(0.0, 0.0, 10.0, 10.0),
+            vars,
+            pun,
+            pdn,
+            edges: vec![
+                // NAND2: PUN A ∥ B, PDN series A-B via i1.
+                e(a, PullSide::Up, "VDD", "OUT"),
+                e(b, PullSide::Up, "VDD", "OUT"),
+                e(a, PullSide::Down, "GND", "i1"),
+                e(b, PullSide::Down, "i1", "OUT"),
+            ],
+        }
+    }
+
+    #[test]
+    fn node_paths_between_terminals() {
+        let s = demo();
+        // VDD→OUT: two single-device PUN paths (plus none through PDN that
+        // stay simple... paths through GND exist but carry PDN gates too).
+        let paths = s.node_paths("VDD", "OUT");
+        assert!(paths
+            .iter()
+            .any(|p| p.len() == 1 && p.contains(&(VarId(0), PullSide::Up))));
+        // VDD→i1 (an internal PDN node): must pass OUT then gate A(n).
+        let to_internal = s.node_paths("VDD", "i1");
+        assert!(!to_internal.is_empty());
+        for p in &to_internal {
+            assert!(p.iter().any(|(_, side)| *side == PullSide::Down));
+        }
+        // Same net: the empty path.
+        assert_eq!(s.node_paths("OUT", "OUT"), vec![BTreeSet::new()]);
+    }
+
+    #[test]
+    fn nominal_paths_by_net_pair() {
+        let s = demo();
+        // PUN of NAND2: A ∥ B → two single-gate paths.
+        assert_eq!(s.nominal_paths("VDD", "OUT").len(), 2);
+        assert_eq!(s.nominal_paths("OUT", "VDD").len(), 2);
+        // PDN: series A,B → one two-gate path.
+        let pdn = s.nominal_paths("OUT", "GND");
+        assert_eq!(pdn.len(), 1);
+        assert_eq!(pdn[0].len(), 2);
+        // Vdd–Gnd has no legal conduction.
+        assert!(s.nominal_paths("VDD", "GND").is_empty());
+        // Internal nodes neither.
+        assert!(s.nominal_paths("m1", "OUT").is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Transistor sizing policies.
+
+use cnfet_logic::{SpNetwork, VarId};
+
+/// How device widths are assigned across a pull network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sizing {
+    /// Every device gets the same width. Table 1's AOI/OAI rows follow
+    /// this convention.
+    Uniform {
+        /// Drawn width in λ.
+        width_lambda: i64,
+    },
+    /// Series-compensated (logical-effort style): a device's width is the
+    /// base width times the number of devices stacked in series along its
+    /// path, so every path conducts like a single base-width device. The
+    /// paper's NAND sizing ("n-CNFETs are three times bigger than the
+    /// p-CNFETs for a NAND3") follows this convention.
+    Matched {
+        /// Base width in λ.
+        base_lambda: i64,
+    },
+}
+
+impl Sizing {
+    /// The base width parameter in λ.
+    pub fn base(&self) -> i64 {
+        match self {
+            Sizing::Uniform { width_lambda } => *width_lambda,
+            Sizing::Matched { base_lambda } => *base_lambda,
+        }
+    }
+}
+
+/// A pull network annotated with per-device widths.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SizedNetwork {
+    /// A device with its drawn width.
+    Device {
+        /// Gate input.
+        var: VarId,
+        /// Drawn width in λ.
+        width_lambda: i64,
+    },
+    /// Series composition.
+    Series(Vec<SizedNetwork>),
+    /// Parallel composition.
+    Parallel(Vec<SizedNetwork>),
+}
+
+impl SizedNetwork {
+    /// Applies a sizing policy to a network.
+    pub fn from_network(net: &SpNetwork, sizing: Sizing) -> SizedNetwork {
+        match sizing {
+            Sizing::Uniform { width_lambda } => Self::build(net, width_lambda, false),
+            Sizing::Matched { base_lambda } => Self::build(net, base_lambda, true),
+        }
+    }
+
+    fn build(net: &SpNetwork, factor: i64, compensate: bool) -> SizedNetwork {
+        match net {
+            SpNetwork::Device(v) => SizedNetwork::Device {
+                var: *v,
+                width_lambda: factor,
+            },
+            SpNetwork::Parallel(ns) => SizedNetwork::Parallel(
+                ns.iter().map(|n| Self::build(n, factor, compensate)).collect(),
+            ),
+            SpNetwork::Series(ns) => {
+                let f = if compensate {
+                    factor * ns.len() as i64
+                } else {
+                    factor
+                };
+                SizedNetwork::Series(ns.iter().map(|n| Self::build(n, f, compensate)).collect())
+            }
+        }
+    }
+
+    /// All device widths in left-to-right order.
+    pub fn widths(&self) -> Vec<i64> {
+        let mut out = Vec::new();
+        self.collect_widths(&mut out);
+        out
+    }
+
+    fn collect_widths(&self, out: &mut Vec<i64>) {
+        match self {
+            SizedNetwork::Device { width_lambda, .. } => out.push(*width_lambda),
+            SizedNetwork::Series(ns) | SizedNetwork::Parallel(ns) => {
+                for n in ns {
+                    n.collect_widths(out);
+                }
+            }
+        }
+    }
+
+    /// Maximum device width, λ.
+    pub fn max_width(&self) -> i64 {
+        self.widths().into_iter().max().unwrap_or(0)
+    }
+
+    /// Whether every device has the same width.
+    pub fn is_uniform(&self) -> bool {
+        let w = self.widths();
+        w.windows(2).all(|p| p[0] == p[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::StdCellKind;
+
+    #[test]
+    fn uniform_sizing() {
+        let (pdn, _, _) = StdCellKind::Aoi22.networks();
+        let sized = SizedNetwork::from_network(&pdn, Sizing::Uniform { width_lambda: 4 });
+        assert!(sized.is_uniform());
+        assert_eq!(sized.max_width(), 4);
+    }
+
+    #[test]
+    fn matched_nand3_pdn_is_3x() {
+        // The paper: "n-CNFETs are three times bigger than the p-CNFETs
+        // for a NAND3 cell".
+        let (pdn, pun, _) = StdCellKind::Nand(3).networks();
+        let spdn = SizedNetwork::from_network(&pdn, Sizing::Matched { base_lambda: 4 });
+        let spun = SizedNetwork::from_network(&pun, Sizing::Matched { base_lambda: 4 });
+        assert_eq!(spdn.widths(), vec![12, 12, 12]);
+        assert_eq!(spun.widths(), vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn matched_nested_series_multiplies() {
+        // OAI21 PDN = (A+B)·C: series of 2 → A,B,C all 2x base.
+        let (pdn, _, _) = StdCellKind::Oai21.networks();
+        let sized = SizedNetwork::from_network(&pdn, Sizing::Matched { base_lambda: 3 });
+        assert_eq!(sized.widths(), vec![6, 6, 6]);
+    }
+
+    #[test]
+    fn matched_aoi31_branches_differ() {
+        // AOI31 PDN = ABC + D: branch ABC at 3x, branch D at 1x.
+        let (pdn, _, _) = StdCellKind::Aoi31.networks();
+        let sized = SizedNetwork::from_network(&pdn, Sizing::Matched { base_lambda: 2 });
+        assert_eq!(sized.widths(), vec![6, 6, 6, 2]);
+        assert!(!sized.is_uniform());
+    }
+}

@@ -1,0 +1,289 @@
+//! The diffusion-strip abstraction: one horizontal row of alternating
+//! contact columns and gate fingers over a CNT bundle.
+
+use crate::rules::DesignRules;
+use crate::semantics::{PullSide, SemKind, SemRect};
+use cnfet_geom::{Cell, Dbu, Layer, Point, Rect};
+use cnfet_logic::VarId;
+
+/// One element of a strip, left to right.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StripElem {
+    /// A metal contact column tied to a net.
+    Contact {
+        /// Net name.
+        net: String,
+    },
+    /// A gate finger.
+    Gate {
+        /// Controlling input.
+        var: VarId,
+        /// Drawn gate length in λ (≥ the rule `lg`; stretched gates are
+        /// longer).
+        len_lambda: i64,
+    },
+}
+
+/// A planned diffusion row: element sequence plus transistor width.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Strip {
+    /// Elements, left to right.
+    pub elems: Vec<StripElem>,
+    /// Transistor width = strip height, λ.
+    pub width_lambda: i64,
+}
+
+/// Geometry produced by emitting one strip.
+#[derive(Clone, Debug, Default)]
+pub struct StripGeom {
+    /// Total strip length, λ.
+    pub len_lambda: i64,
+    /// For each gate (in order): its controlling var and drawn rect.
+    pub gate_rects: Vec<(VarId, Rect)>,
+    /// For each contact (in order): its net and drawn rect.
+    pub contact_rects: Vec<(String, Rect)>,
+    /// The active (CNT) rectangle.
+    pub active: Rect,
+}
+
+impl Strip {
+    /// Natural (unstretched) length of the strip in λ under the rules:
+    /// contacts are `lc` long, gates their drawn length; contact–gate gaps
+    /// are `lgs` and gate–gate gaps `lgg`.
+    pub fn length_lambda(&self, rules: &DesignRules) -> i64 {
+        let mut len = 0;
+        for (i, e) in self.elems.iter().enumerate() {
+            if i > 0 {
+                len += match (&self.elems[i - 1], e) {
+                    (StripElem::Gate { .. }, StripElem::Gate { .. }) => rules.lgg,
+                    _ => rules.lgs,
+                };
+            }
+            len += match e {
+                StripElem::Contact { .. } => rules.lc,
+                StripElem::Gate { len_lambda, .. } => *len_lambda,
+            };
+        }
+        len
+    }
+
+    /// Stretches the strip to `target` λ by lengthening its last gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strip has no gate or is already longer than `target`.
+    pub fn stretch_to(&mut self, target: i64, rules: &DesignRules) {
+        let natural = self.length_lambda(rules);
+        assert!(natural <= target, "strip longer than stretch target");
+        let extra = target - natural;
+        if extra == 0 {
+            return;
+        }
+        let gate = self
+            .elems
+            .iter_mut()
+            .rev()
+            .find_map(|e| match e {
+                StripElem::Gate { len_lambda, .. } => Some(len_lambda),
+                _ => None,
+            })
+            .expect("cannot stretch a strip without gates");
+        *gate += extra;
+    }
+
+    /// X-position (λ, relative to the strip origin) and drawn length of
+    /// every element, in order.
+    pub fn element_positions(&self, rules: &DesignRules) -> Vec<(i64, i64, &StripElem)> {
+        let mut out = Vec::with_capacity(self.elems.len());
+        let mut x = 0;
+        for (i, e) in self.elems.iter().enumerate() {
+            if i > 0 {
+                x += match (&self.elems[i - 1], e) {
+                    (StripElem::Gate { .. }, StripElem::Gate { .. }) => rules.lgg,
+                    _ => rules.lgs,
+                };
+            }
+            let len = match e {
+                StripElem::Contact { .. } => rules.lc,
+                StripElem::Gate { len_lambda, .. } => *len_lambda,
+            };
+            out.push((x, len, e));
+            x += len;
+        }
+        out
+    }
+
+    /// Number of gates.
+    pub fn gate_count(&self) -> usize {
+        self.elems
+            .iter()
+            .filter(|e| matches!(e, StripElem::Gate { .. }))
+            .count()
+    }
+
+    /// Draws the strip into `cell` with its lower-left active corner at
+    /// `(x0, y0)` (λ), emitting mask geometry and semantic rectangles.
+    ///
+    /// `cap_below`/`cap_above` are the gate extensions beyond the active
+    /// strip on each side: the full endcap on outward edges, the doping
+    /// overhang on edges facing the intra-cell routing band (so PUN and
+    /// PDN gates never touch), and the under-sized vulnerable endcap for
+    /// the Figure 2(b) baseline.
+    #[allow(clippy::too_many_arguments)]
+    pub fn emit(
+        &self,
+        rules: &DesignRules,
+        x0: i64,
+        y0: i64,
+        side: PullSide,
+        cap_below: i64,
+        cap_above: i64,
+        cell: &mut Cell,
+        sems: &mut Vec<SemRect>,
+    ) -> StripGeom {
+        let w = self.width_lambda;
+        let mut geom = StripGeom {
+            len_lambda: self.length_lambda(rules),
+            ..StripGeom::default()
+        };
+
+        let lam = |v: i64| Dbu::from_lambda_int(v);
+        let active = Rect::new(lam(x0), lam(y0), lam(x0 + geom.len_lambda), lam(y0 + w));
+        cell.add_rect(Layer::CntActive, active);
+        geom.active = active;
+
+        let mut x = x0;
+        for (i, e) in self.elems.iter().enumerate() {
+            if i > 0 {
+                x += match (&self.elems[i - 1], e) {
+                    (StripElem::Gate { .. }, StripElem::Gate { .. }) => rules.lgg,
+                    _ => rules.lgs,
+                };
+            }
+            match e {
+                StripElem::Contact { net } => {
+                    let r = Rect::new(lam(x), lam(y0), lam(x + rules.lc), lam(y0 + w));
+                    cell.add_rect(Layer::Contact, r);
+                    cell.add_text(Layer::Contact, Point::new(r.center().x, r.center().y), net);
+                    sems.push(SemRect {
+                        rect: r,
+                        kind: SemKind::Contact { net: net.clone() },
+                    });
+                    geom.contact_rects.push((net.clone(), r));
+                    x += rules.lc;
+                }
+                StripElem::Gate { var, len_lambda } => {
+                    let r = Rect::new(
+                        lam(x),
+                        lam(y0 - cap_below),
+                        lam(x + len_lambda),
+                        lam(y0 + w + cap_above),
+                    );
+                    cell.add_rect(Layer::Gate, r);
+                    sems.push(SemRect {
+                        rect: r,
+                        kind: SemKind::Gate { var: *var, side },
+                    });
+                    geom.gate_rects.push((*var, r));
+                    x += len_lambda;
+                }
+            }
+        }
+        geom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate(v: u32) -> StripElem {
+        StripElem::Gate {
+            var: VarId(v),
+            len_lambda: 2,
+        }
+    }
+
+    fn contact(net: &str) -> StripElem {
+        StripElem::Contact { net: net.into() }
+    }
+
+    fn rules() -> DesignRules {
+        DesignRules::cnfet65()
+    }
+
+    #[test]
+    fn euler_strip_length_matches_rules() {
+        // Vdd-A-Out-B-Vdd-C-Out: 4 contacts, 3 gates → 30λ.
+        let s = Strip {
+            elems: vec![
+                contact("VDD"),
+                gate(0),
+                contact("OUT"),
+                gate(1),
+                contact("VDD"),
+                gate(2),
+                contact("OUT"),
+            ],
+            width_lambda: 4,
+        };
+        assert_eq!(s.length_lambda(&rules()), rules().euler_strip_len(3));
+    }
+
+    #[test]
+    fn series_strip_length_matches_rules() {
+        // Gnd-A-B-C-Out: 2 contacts, 3 gates in series → 20λ.
+        let s = Strip {
+            elems: vec![contact("GND"), gate(0), gate(1), gate(2), contact("OUT")],
+            width_lambda: 12,
+        };
+        assert_eq!(s.length_lambda(&rules()), rules().series_strip_len(3));
+    }
+
+    #[test]
+    fn stretch_lengthens_last_gate() {
+        let mut s = Strip {
+            elems: vec![contact("GND"), gate(0), contact("OUT")],
+            width_lambda: 4,
+        };
+        assert_eq!(s.length_lambda(&rules()), 12);
+        s.stretch_to(16, &rules());
+        assert_eq!(s.length_lambda(&rules()), 16);
+        match &s.elems[1] {
+            StripElem::Gate { len_lambda, .. } => assert_eq!(*len_lambda, 6),
+            _ => panic!("expected gate"),
+        }
+    }
+
+    #[test]
+    fn emit_produces_expected_geometry() {
+        let s = Strip {
+            elems: vec![contact("GND"), gate(0), gate(1), contact("OUT")],
+            width_lambda: 8,
+        };
+        let mut cell = Cell::new("t");
+        let mut sems = Vec::new();
+        let geom = s.emit(&rules(), 0, 0, PullSide::Down, 3, 3, &mut cell, &mut sems);
+        assert_eq!(geom.len_lambda, 16);
+        assert_eq!(geom.gate_rects.len(), 2);
+        assert_eq!(geom.contact_rects.len(), 2);
+        // Gates extend past the active by the endcap.
+        let (_, g0) = geom.gate_rects[0];
+        assert_eq!(g0.y0(), Dbu::from_lambda_int(-3));
+        assert_eq!(g0.y1(), Dbu::from_lambda_int(11));
+        // Active covers the full strip.
+        assert_eq!(geom.active.width(), Dbu::from_lambda_int(16));
+        // Semantic rects: 2 contacts + 2 gates.
+        assert_eq!(sems.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "without gates")]
+    fn stretch_without_gate_panics() {
+        let mut s = Strip {
+            elems: vec![contact("GND")],
+            width_lambda: 4,
+        };
+        s.stretch_to(20, &rules());
+    }
+}

@@ -1,0 +1,157 @@
+//! Industrial-65nm-like CMOS baseline model.
+//!
+//! Stands in for the commercial 65 nm design library the paper benchmarks
+//! against. Parameters are representative of a 65 nm poly/SiON general-
+//! purpose process; what matters for reproduction is that the *ratios*
+//! against the CNFET model land on the paper's published gains.
+
+use crate::alpha_power::AlphaPowerLaw;
+use crate::{FetModel, Polarity};
+
+/// Per-micron CMOS technology parameters.
+#[derive(Clone, Debug)]
+pub struct CmosModel {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Threshold voltage (V), shared by both polarities for simplicity.
+    pub vth: f64,
+    /// NMOS on-current per metre of width at full bias (A/m).
+    pub ion_n_per_width: f64,
+    /// PMOS/NMOS drive ratio; the paper sizes `pMOS = 1.4 × nMOS`, implying
+    /// this mobility ratio.
+    pub pn_drive_ratio: f64,
+    /// Gate capacitance per metre of width (F/m), including overlap.
+    pub cgate_per_width: f64,
+    /// Drain junction capacitance per metre of width (F/m).
+    pub cj_per_width: f64,
+    /// Alpha-power saturation index.
+    pub alpha: f64,
+    /// Alpha-power saturation-voltage coefficient.
+    pub vd0: f64,
+    /// Minimum NMOS width of the standard-cell library (m) — 4λ.
+    pub wmin_n: f64,
+}
+
+impl CmosModel {
+    /// Representative industrial 65 nm general-purpose process.
+    pub fn industrial_65nm() -> CmosModel {
+        CmosModel {
+            vdd: 1.0,
+            vth: 0.22,
+            ion_n_per_width: 600.0, // 600 µA/µm = 600 A/m
+            pn_drive_ratio: 1.4,
+            cgate_per_width: 1.3e-15 / 1e-6, // 1.3 fF/µm
+            cj_per_width: 0.8e-15 / 1e-6,    // 0.8 fF/µm
+            alpha: 1.25,
+            vd0: 0.8,
+            wmin_n: 130e-9, // 4λ
+        }
+    }
+
+    /// Builds a MOSFET of drawn width `width_m`. P-devices are weaker by
+    /// `pn_drive_ratio`, which the 1.4x sizing compensates.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the width is positive.
+    pub fn device(&self, polarity: Polarity, width_m: f64) -> MosDevice {
+        assert!(width_m > 0.0, "width must be positive");
+        let drive = match polarity {
+            Polarity::N => self.ion_n_per_width,
+            Polarity::P => self.ion_n_per_width / self.pn_drive_ratio,
+        };
+        MosDevice {
+            polarity,
+            width_m,
+            ion: drive * width_m,
+            cgate: self.cgate_per_width * width_m,
+            cdrain: self.cj_per_width * width_m,
+            curve: AlphaPowerLaw::new(self.vth, self.alpha, self.vd0, self.vdd),
+        }
+    }
+
+    /// The drawn PMOS width paired with a given NMOS width under the
+    /// paper's 1.4x convention.
+    pub fn paired_pmos_width(&self, wn: f64) -> f64 {
+        wn * self.pn_drive_ratio
+    }
+}
+
+/// A sized bulk MOSFET instance.
+#[derive(Clone, Debug)]
+pub struct MosDevice {
+    polarity: Polarity,
+    width_m: f64,
+    ion: f64,
+    cgate: f64,
+    cdrain: f64,
+    curve: AlphaPowerLaw,
+}
+
+impl MosDevice {
+    /// Drawn width in metres.
+    pub fn width_m(&self) -> f64 {
+        self.width_m
+    }
+
+    /// On-current at full bias, amperes.
+    pub fn ion(&self) -> f64 {
+        self.ion
+    }
+}
+
+impl FetModel for MosDevice {
+    fn ids(&self, vgs: f64, vds: f64) -> f64 {
+        self.ion * self.curve.id(vgs, vds)
+    }
+
+    fn cgate(&self) -> f64 {
+        self.cgate
+    }
+
+    fn cdrain(&self) -> f64 {
+        self.cdrain
+    }
+
+    fn polarity(&self) -> Polarity {
+        self.polarity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmos_weaker_by_ratio() {
+        let m = CmosModel::industrial_65nm();
+        let n = m.device(Polarity::N, 1e-6);
+        let p = m.device(Polarity::P, 1e-6);
+        assert!((n.ion() / p.ion() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sizing_compensates_drive() {
+        let m = CmosModel::industrial_65nm();
+        let wn = m.wmin_n;
+        let n = m.device(Polarity::N, wn);
+        let p = m.device(Polarity::P, m.paired_pmos_width(wn));
+        assert!((n.ion() - p.ion()).abs() / n.ion() < 1e-12);
+    }
+
+    #[test]
+    fn min_inverter_input_cap() {
+        // 4λ NMOS + 1.4x PMOS at 1.3 fF/µm ≈ 0.406 fF.
+        let m = CmosModel::industrial_65nm();
+        let cin = m.cgate_per_width * (m.wmin_n + m.paired_pmos_width(m.wmin_n));
+        assert!((cin - 0.4056e-15).abs() < 1e-20, "{cin}");
+    }
+
+    #[test]
+    fn iv_surface() {
+        let m = CmosModel::industrial_65nm();
+        let d = m.device(Polarity::N, 1e-6);
+        assert_eq!(d.ids(0.1, 1.0), 0.0);
+        assert!((d.ids(1.0, 1.0) - 600e-6).abs() < 1e-12);
+    }
+}

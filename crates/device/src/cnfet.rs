@@ -1,0 +1,245 @@
+//! The CNFET compact model: per-tube drive and capacitance with inter-CNT
+//! screening, after Deng & Wong [14, 15] as used in the paper's design kit.
+
+use crate::alpha_power::AlphaPowerLaw;
+use crate::cnt::Chirality;
+use crate::interp::LinearTable;
+use crate::{FetModel, Polarity};
+
+/// Technology parameters of the MOSFET-like CNFET at the paper's 65 nm
+/// poly-gate / low-k node.
+///
+/// The paper stresses that the optimal CNT pitch is a *technology
+/// parameter*; these constants are for its 65 nm assumption (polysilicon
+/// gating, low-k dielectric), calibrated to the published Section V anchor
+/// points (see crate docs). n- and p-CNFETs have near-identical drive
+/// ("due to similar electrical characteristics"), so a single parameter set
+/// serves both polarities.
+#[derive(Clone, Debug)]
+pub struct CnfetModel {
+    /// Reference semiconducting tube.
+    pub chirality: Chirality,
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Threshold voltage (V).
+    pub vth: f64,
+    /// On-current of one *unscreened* tube at `vgs = vds = vdd`, amperes.
+    pub ion_per_tube: f64,
+    /// Gate capacitance of one unscreened tube over the gate length
+    /// (electrostatic ∥ quantum, plus fringe), farads.
+    pub cgate_per_tube: f64,
+    /// Source/drain contact-strip parasitic capacitance per metre of device
+    /// width (unscreened — metal strips see the full field), F/m.
+    pub cpar_per_width: f64,
+    /// Alpha-power saturation index (≈1 for quasi-ballistic transport).
+    pub alpha: f64,
+    /// Alpha-power `vd0` saturation-voltage coefficient.
+    pub vd0: f64,
+    /// Charge-screening factor on gate-to-channel *capacitance* versus
+    /// pitch: `s_c(p) = p / (p + pitch_cap_nm)`.
+    pub pitch_cap_nm: f64,
+    /// Calibrated charge-screening factor on per-tube *drive current*
+    /// versus pitch (nm → factor in (0, 1]).
+    pub current_screening: LinearTable,
+}
+
+impl CnfetModel {
+    /// The paper's 65 nm CNFET technology: poly gate, low-k dielectric,
+    /// (19,0) tubes, 1 V supply.
+    pub fn poly_65nm() -> CnfetModel {
+        CnfetModel {
+            chirality: Chirality::new(19, 0),
+            vdd: 1.0,
+            vth: 0.22,
+            ion_per_tube: 34e-6,
+            cgate_per_tube: 4.5e-18,
+            cpar_per_width: 1.0e-9, // 1 aF per nm of device width
+            alpha: 1.1,
+            vd0: 0.6,
+            pitch_cap_nm: 1.923,
+            current_screening: LinearTable::new(vec![
+                (2.0, 0.08),
+                (3.0, 0.115),
+                (4.0625, 0.1536),
+                (4.483, 0.1716),
+                (4.5, 0.1746),
+                (5.0, 0.1853),
+                (5.5, 0.1922),
+                (5.652, 0.1941),
+                (6.5, 0.2049),
+                (8.125, 0.2251),
+                (10.0, 0.246),
+                (13.0, 0.2777),
+                (16.25, 0.3092),
+                (26.0, 0.393),
+                (32.5, 0.4427),
+                (43.33, 0.52),
+                (65.0, 0.647),
+                (130.0, 1.0),
+            ]),
+        }
+    }
+
+    /// Capacitance screening factor at a given inter-CNT pitch.
+    ///
+    /// Tends to 1 for widely spaced tubes and collapses as neighbouring
+    /// tubes steal field lines — the effect the paper blames for the
+    /// delay worsening beyond the optimal pitch.
+    pub fn cap_screening(&self, pitch_nm: f64) -> f64 {
+        assert!(pitch_nm > 0.0, "pitch must be positive");
+        pitch_nm / (pitch_nm + self.pitch_cap_nm)
+    }
+
+    /// Drive-current screening factor at a given pitch (calibrated table).
+    pub fn drive_screening(&self, pitch_nm: f64) -> f64 {
+        assert!(pitch_nm > 0.0, "pitch must be positive");
+        if pitch_nm >= 130.0 {
+            1.0
+        } else if pitch_nm < 2.0 {
+            (0.08 * pitch_nm / 2.0).max(1e-3)
+        } else {
+            self.current_screening.eval(pitch_nm)
+        }
+    }
+
+    /// Builds a device of `n_tubes` tubes in a gate of width
+    /// `width_m` metres. One tube is treated as unscreened; `n ≥ 2` tubes
+    /// are evenly pitched at `width / n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tubes == 0` or the width is not positive.
+    pub fn device(&self, polarity: Polarity, n_tubes: u32, width_m: f64) -> CnfetDevice {
+        assert!(n_tubes > 0, "a CNFET needs at least one tube");
+        assert!(width_m > 0.0, "width must be positive");
+        let (sc, si) = if n_tubes == 1 {
+            (1.0, 1.0)
+        } else {
+            let pitch_nm = width_m * 1e9 / n_tubes as f64;
+            (self.cap_screening(pitch_nm), self.drive_screening(pitch_nm))
+        };
+        let curve = AlphaPowerLaw::new(self.vth, self.alpha, self.vd0, self.vdd);
+        CnfetDevice {
+            polarity,
+            n_tubes,
+            width_m,
+            ion: self.ion_per_tube * n_tubes as f64 * si,
+            cgate: self.cgate_per_tube * n_tubes as f64 * sc,
+            cdrain: self.cpar_per_width * width_m,
+            curve,
+        }
+    }
+
+    /// Inter-CNT pitch for `n` tubes in a device of the given width, nm.
+    pub fn pitch_nm(&self, n_tubes: u32, width_m: f64) -> f64 {
+        width_m * 1e9 / n_tubes as f64
+    }
+}
+
+/// A sized CNFET instance: `n` tubes under one gate.
+#[derive(Clone, Debug)]
+pub struct CnfetDevice {
+    polarity: Polarity,
+    n_tubes: u32,
+    width_m: f64,
+    ion: f64,
+    cgate: f64,
+    cdrain: f64,
+    curve: AlphaPowerLaw,
+}
+
+impl CnfetDevice {
+    /// Number of tubes.
+    pub fn n_tubes(&self) -> u32 {
+        self.n_tubes
+    }
+
+    /// Drawn gate width in metres.
+    pub fn width_m(&self) -> f64 {
+        self.width_m
+    }
+
+    /// On-current at full gate and drain bias, amperes (screening applied).
+    pub fn ion(&self) -> f64 {
+        self.ion
+    }
+}
+
+impl FetModel for CnfetDevice {
+    fn ids(&self, vgs: f64, vds: f64) -> f64 {
+        self.ion * self.curve.id(vgs, vds)
+    }
+
+    fn cgate(&self) -> f64 {
+        self.cgate
+    }
+
+    fn cdrain(&self) -> f64 {
+        self.cdrain
+    }
+
+    fn polarity(&self) -> Polarity {
+        self.polarity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W4L: f64 = 130e-9; // 4λ at λ = 32.5 nm
+
+    #[test]
+    fn screening_factors_bounded_and_monotone() {
+        let m = CnfetModel::poly_65nm();
+        let mut prev_c = 0.0;
+        let mut prev_i = 0.0;
+        for p in [2.0, 3.0, 4.0, 5.0, 6.5, 10.0, 20.0, 50.0, 100.0, 129.0] {
+            let sc = m.cap_screening(p);
+            let si = m.drive_screening(p);
+            assert!(sc > prev_c && sc <= 1.0, "cap screening at {p}");
+            assert!(si >= prev_i && si <= 1.0, "drive screening at {p}");
+            prev_c = sc;
+            prev_i = si;
+        }
+    }
+
+    #[test]
+    fn single_tube_unscreened() {
+        let m = CnfetModel::poly_65nm();
+        let d = m.device(Polarity::N, 1, W4L);
+        assert!((d.ion() - m.ion_per_tube).abs() / m.ion_per_tube < 1e-12);
+        assert!((d.cgate() - m.cgate_per_tube).abs() < 1e-24);
+    }
+
+    #[test]
+    fn optimal_pitch_is_26_tubes_in_4_lambda() {
+        let m = CnfetModel::poly_65nm();
+        assert!((m.pitch_nm(26, W4L) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ion_scales_sublinearly_with_tubes() {
+        let m = CnfetModel::poly_65nm();
+        let i1 = m.device(Polarity::N, 1, W4L).ion();
+        let i26 = m.device(Polarity::N, 26, W4L).ion();
+        assert!(i26 > i1, "more tubes must drive more");
+        assert!(i26 < 26.0 * i1, "screening must bite");
+    }
+
+    #[test]
+    fn iv_surface_reasonable() {
+        let m = CnfetModel::poly_65nm();
+        let d = m.device(Polarity::N, 4, W4L);
+        assert_eq!(d.ids(0.0, 1.0), 0.0);
+        assert!((d.ids(1.0, 1.0) - d.ion()).abs() / d.ion() < 1e-12);
+        assert!(d.ids(1.0, 0.1) < d.ids(1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tube")]
+    fn zero_tubes_rejected() {
+        let m = CnfetModel::poly_65nm();
+        let _ = m.device(Polarity::N, 0, W4L);
+    }
+}

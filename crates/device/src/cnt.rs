@@ -1,0 +1,141 @@
+//! Carbon nanotube physics: chirality, diameter, band gap, metallicity.
+
+use std::fmt;
+
+/// Graphene lattice constant in nanometres (`a = √3 · a_cc`).
+pub const GRAPHENE_LATTICE_NM: f64 = 0.246;
+
+/// Empirical band-gap prefactor: `Eg ≈ 0.84 eV·nm / d` for semiconducting
+/// tubes (tight-binding estimate `2 a_cc γ0 / d`).
+pub const BANDGAP_EV_NM: f64 = 0.84;
+
+/// A single-walled CNT chirality `(n, m)`.
+///
+/// Chirality fixes everything this library needs about a tube: its
+/// diameter, whether it is metallic (the imperfection the paper assumes is
+/// removed during manufacturing) and its band gap.
+///
+/// # Example
+///
+/// ```
+/// use cnfet_device::Chirality;
+/// let tube = Chirality::new(19, 0);
+/// assert!(!tube.is_metallic());
+/// assert!((tube.diameter_nm() - 1.49).abs() < 0.01);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Chirality {
+    n: u32,
+    m: u32,
+}
+
+impl Chirality {
+    /// Creates a chirality vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both indices are zero.
+    pub fn new(n: u32, m: u32) -> Chirality {
+        assert!(n + m > 0, "chirality (0,0) is not a tube");
+        Chirality { n, m }
+    }
+
+    /// The `n` index.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The `m` index.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Tube diameter in nanometres:
+    /// `d = a·√(n² + nm + m²) / π`.
+    pub fn diameter_nm(&self) -> f64 {
+        let (n, m) = (self.n as f64, self.m as f64);
+        GRAPHENE_LATTICE_NM * (n * n + n * m + m * m).sqrt() / std::f64::consts::PI
+    }
+
+    /// A tube is metallic when `(n − m) mod 3 == 0`; roughly one third of
+    /// as-grown tubes. Metallic tubes short source to drain and must be
+    /// removed (Section II; Zhang et al. [9]).
+    pub fn is_metallic(&self) -> bool {
+        (self.n as i64 - self.m as i64).rem_euclid(3) == 0
+    }
+
+    /// Band gap in eV (zero for metallic tubes).
+    pub fn bandgap_ev(&self) -> f64 {
+        if self.is_metallic() {
+            0.0
+        } else {
+            BANDGAP_EV_NM / self.diameter_nm()
+        }
+    }
+}
+
+impl fmt::Display for Chirality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.n, self.m)
+    }
+}
+
+/// Fraction of chiralities that are metallic under uniform growth: 1/3.
+pub const METALLIC_FRACTION: f64 = 1.0 / 3.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armchair_is_metallic() {
+        assert!(Chirality::new(10, 10).is_metallic());
+        assert!(Chirality::new(5, 5).is_metallic());
+    }
+
+    #[test]
+    fn zigzag_metallicity_rule() {
+        assert!(Chirality::new(9, 0).is_metallic());
+        assert!(!Chirality::new(19, 0).is_metallic());
+        assert!(!Chirality::new(10, 0).is_metallic());
+        assert!(Chirality::new(12, 0).is_metallic());
+    }
+
+    #[test]
+    fn diameter_of_19_0() {
+        // d = 0.246 * 19 / π ≈ 1.4878 nm — the Deng–Wong reference tube.
+        let d = Chirality::new(19, 0).diameter_nm();
+        assert!((d - 1.4878).abs() < 1e-3, "{d}");
+    }
+
+    #[test]
+    fn bandgap_inverse_with_diameter() {
+        let small = Chirality::new(10, 0);
+        let large = Chirality::new(22, 0);
+        assert!(small.bandgap_ev() > large.bandgap_ev());
+        assert_eq!(Chirality::new(9, 0).bandgap_ev(), 0.0);
+    }
+
+    #[test]
+    fn metallic_fraction_over_enumeration() {
+        // Over a uniform enumeration of (n,m), about 1/3 are metallic.
+        let mut metallic = 0usize;
+        let mut total = 0usize;
+        for n in 1..40u32 {
+            for m in 0..=n {
+                total += 1;
+                if Chirality::new(n, m).is_metallic() {
+                    metallic += 1;
+                }
+            }
+        }
+        let frac = metallic as f64 / total as f64;
+        assert!((frac - METALLIC_FRACTION).abs() < 0.02, "{frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a tube")]
+    fn zero_chirality_panics() {
+        let _ = Chirality::new(0, 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Analytic FO4 inverter-chain estimator — the workhorse behind Figure 7
+//! and Case study 1.
+//!
+//! A fanout-of-4 stage drives four copies of itself; its delay is estimated
+//! with the symmetric effective-current model
+//! `t = (C_self + 4·C_in) · Vdd / (2·I_on)` and its switching energy per
+//! cycle as `E = C_total · Vdd²`. Both technologies go through the *same*
+//! estimator, so the reported gains are insensitive to the estimator's
+//! absolute calibration — exactly the property the paper relies on when
+//! comparing CNFET and CMOS at a common node.
+
+use crate::cmos::CmosModel;
+use crate::cnfet::CnfetModel;
+use crate::{FetModel, Polarity};
+
+/// FO4 metrics of one inverter design.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fo4Metrics {
+    /// Stage delay, seconds.
+    pub delay_s: f64,
+    /// Switching energy per cycle, joules.
+    pub energy_j: f64,
+    /// Input capacitance of one inverter, farads.
+    pub cin_f: f64,
+    /// Effective drive current, amperes.
+    pub idrive_a: f64,
+}
+
+/// One point of the Figure 7 sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GainPoint {
+    /// CNTs per device.
+    pub n_tubes: u32,
+    /// Inter-CNT pitch, nm (device width / n).
+    pub pitch_nm: f64,
+    /// CMOS FO4 delay / CNFET FO4 delay.
+    pub delay_gain: f64,
+    /// CMOS energy per cycle / CNFET energy per cycle.
+    pub energy_gain: f64,
+}
+
+/// FO4 metrics of the minimum CMOS inverter (`Wn = 4λ`, `Wp = 1.4·Wn`).
+pub fn cmos_fo4(model: &CmosModel) -> Fo4Metrics {
+    let wn = model.wmin_n;
+    let wp = model.paired_pmos_width(wn);
+    let n = model.device(Polarity::N, wn);
+    let p = model.device(Polarity::P, wp);
+    let cin = n.cgate() + p.cgate();
+    let cself = n.cdrain() + p.cdrain();
+    // Pull-up and pull-down drives are equal by construction of the 1.4x
+    // sizing, so either polarity's on-current serves as the effective drive.
+    let idrive = n.ion();
+    metrics(cself, cin, idrive, model.vdd)
+}
+
+/// FO4 metrics of a CNFET inverter with `n_tubes` per device, both devices
+/// `width_m` wide (`n = p` per the paper).
+pub fn cnfet_fo4(model: &CnfetModel, n_tubes: u32, width_m: f64) -> Fo4Metrics {
+    let d = model.device(Polarity::N, n_tubes, width_m);
+    let cin = 2.0 * d.cgate();
+    let cself = 2.0 * d.cdrain();
+    let idrive = d.ion();
+    metrics(cself, cin, idrive, model.vdd)
+}
+
+fn metrics(cself: f64, cin: f64, idrive: f64, vdd: f64) -> Fo4Metrics {
+    let cload = cself + 4.0 * cin;
+    Fo4Metrics {
+        delay_s: cload * vdd / (2.0 * idrive),
+        energy_j: cload * vdd * vdd,
+        cin_f: cin,
+        idrive_a: idrive,
+    }
+}
+
+/// The Figure 7 sweep: delay and energy gains of a 4λ-wide CNFET inverter
+/// over the minimum CMOS inverter, as the number of tubes per device grows.
+pub fn gain_curve(cnfet: &CnfetModel, cmos: &CmosModel, max_tubes: u32) -> Vec<GainPoint> {
+    let width = cmos.wmin_n; // both compared at a 4λ device width
+    let base = cmos_fo4(cmos);
+    (1..=max_tubes)
+        .map(|n| {
+            let m = cnfet_fo4(cnfet, n, width);
+            GainPoint {
+                n_tubes: n,
+                pitch_nm: cnfet.pitch_nm(n, width),
+                delay_gain: base.delay_s / m.delay_s,
+                energy_gain: base.energy_j / m.energy_j,
+            }
+        })
+        .collect()
+}
+
+/// FO4 delay at a *continuous* pitch (fractional tube count), used to
+/// verify the paper's "1% variation across 4.5–5.5 nm" claim.
+pub fn cnfet_fo4_delay_at_pitch(cnfet: &CnfetModel, pitch_nm: f64, width_m: f64) -> f64 {
+    let n = width_m * 1e9 / pitch_nm;
+    let sc = cnfet.cap_screening(pitch_nm);
+    let si = cnfet.drive_screening(pitch_nm);
+    let cin = 2.0 * n * cnfet.cgate_per_tube * sc;
+    let cself = 2.0 * cnfet.cpar_per_width * width_m;
+    let idrive = n * cnfet.ion_per_tube * si;
+    (cself + 4.0 * cin) * cnfet.vdd / (2.0 * idrive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models() -> (CnfetModel, CmosModel) {
+        (CnfetModel::poly_65nm(), CmosModel::industrial_65nm())
+    }
+
+    #[test]
+    fn cmos_fo4_near_12ps() {
+        let (_, cmos) = models();
+        let m = cmos_fo4(&cmos);
+        assert!((m.delay_s - 12.0e-12).abs() < 0.2e-12, "{}", m.delay_s);
+        assert!((m.energy_j - 1.872e-15).abs() < 0.05e-15, "{}", m.energy_j);
+    }
+
+    #[test]
+    fn single_tube_anchors() {
+        // Paper: 1 CNT/device → ~2.75x faster, ~6.3x lower energy/cycle.
+        let (cnfet, cmos) = models();
+        let curve = gain_curve(&cnfet, &cmos, 1);
+        assert!((curve[0].delay_gain - 2.75).abs() < 0.05, "{}", curve[0].delay_gain);
+        assert!((curve[0].energy_gain - 6.3).abs() < 0.15, "{}", curve[0].energy_gain);
+    }
+
+    #[test]
+    fn peak_at_5nm_pitch_with_paper_gains() {
+        // Paper: optimal pitch 5 nm → 4.2x delay, 2x energy.
+        let (cnfet, cmos) = models();
+        let curve = gain_curve(&cnfet, &cmos, 32);
+        let peak = curve
+            .iter()
+            .max_by(|a, b| a.delay_gain.total_cmp(&b.delay_gain))
+            .unwrap();
+        assert_eq!(peak.n_tubes, 26, "peak at {} tubes", peak.n_tubes);
+        assert!((peak.pitch_nm - 5.0).abs() < 1e-9);
+        assert!((peak.delay_gain - 4.2).abs() < 0.05, "{}", peak.delay_gain);
+        assert!((peak.energy_gain - 2.0).abs() < 0.1, "{}", peak.energy_gain);
+    }
+
+    #[test]
+    fn gain_curve_rises_then_falls() {
+        let (cnfet, cmos) = models();
+        let curve = gain_curve(&cnfet, &cmos, 32);
+        // Monotone non-decreasing up to the peak...
+        for w in curve[..26].windows(2) {
+            assert!(
+                w[1].delay_gain >= w[0].delay_gain - 1e-9,
+                "dip before peak at {} tubes",
+                w[1].n_tubes
+            );
+        }
+        // ...and strictly lower past it.
+        assert!(curve[31].delay_gain < curve[25].delay_gain - 0.2);
+    }
+
+    #[test]
+    fn energy_gain_monotonically_decreasing() {
+        let (cnfet, cmos) = models();
+        let curve = gain_curve(&cnfet, &cmos, 32);
+        for w in curve.windows(2) {
+            assert!(
+                w[1].energy_gain <= w[0].energy_gain + 1e-9,
+                "energy gain rose at {} tubes",
+                w[1].n_tubes
+            );
+        }
+    }
+
+    #[test]
+    fn one_percent_window_around_optimum() {
+        // Paper: pitch in [4.5, 5.5] nm keeps FO4 delay within 1%.
+        let (cnfet, _) = models();
+        let w = 130e-9;
+        let dmin = cnfet_fo4_delay_at_pitch(&cnfet, 5.0, w);
+        for i in 0..=20 {
+            let p = 4.5 + i as f64 * 0.05;
+            let d = cnfet_fo4_delay_at_pitch(&cnfet, p, w);
+            assert!(
+                (d - dmin) / dmin <= 0.011,
+                "delay at pitch {p} is {:.2}% above minimum",
+                (d - dmin) / dmin * 100.0
+            );
+        }
+        // And clearly worse outside the window.
+        let d4 = cnfet_fo4_delay_at_pitch(&cnfet, 4.0, w);
+        assert!((d4 - dmin) / dmin > 0.02, "no penalty below the window");
+    }
+
+    #[test]
+    fn edp_gain_at_optimum_matches_conclusions() {
+        // delay 4.2x × energy 2.0x ≈ 8.4x EDP; with the 1.4x area gain the
+        // paper's "~12x EDAP" follows.
+        let (cnfet, cmos) = models();
+        let curve = gain_curve(&cnfet, &cmos, 32);
+        let peak = &curve[25];
+        let edp = peak.delay_gain * peak.energy_gain;
+        assert!(edp > 8.0 && edp < 9.0, "EDP gain {edp}");
+        let edap = edp * 1.4;
+        assert!((edap - 12.0).abs() < 1.0, "EDAP gain {edap}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Piecewise-linear monotone lookup tables used for calibrated model
+//! curves.
+
+/// A piecewise-linear interpolation table over strictly increasing x.
+///
+/// Values outside the table are clamped to the end values (the screening
+/// model handles sub-range extrapolation itself).
+///
+/// # Example
+///
+/// ```
+/// use cnfet_device::LinearTable;
+/// let t = LinearTable::new(vec![(0.0, 0.0), (10.0, 1.0)]);
+/// assert_eq!(t.eval(5.0), 0.5);
+/// assert_eq!(t.eval(-3.0), 0.0);
+/// assert_eq!(t.eval(99.0), 1.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinearTable {
+    points: Vec<(f64, f64)>,
+}
+
+impl LinearTable {
+    /// Builds a table from `(x, y)` control points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are supplied or x values are not
+    /// strictly increasing.
+    pub fn new(points: Vec<(f64, f64)>) -> LinearTable {
+        assert!(points.len() >= 2, "need at least two control points");
+        assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0),
+            "x values must be strictly increasing"
+        );
+        LinearTable { points }
+    }
+
+    /// Interpolated value at `x`, clamped to the table's range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        // Binary search for the segment containing x.
+        let mut lo = 0;
+        let mut hi = pts.len() - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if pts[mid].0 <= x {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let (x0, y0) = pts[lo];
+        let (x1, y1) = pts[hi];
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Whether the table's y values are monotonically non-decreasing.
+    pub fn is_monotone(&self) -> bool {
+        self.points.windows(2).all(|w| w[0].1 <= w[1].1)
+    }
+
+    /// The control points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_control_points_exactly() {
+        let t = LinearTable::new(vec![(1.0, 2.0), (3.0, 7.0), (10.0, 7.5)]);
+        assert_eq!(t.eval(1.0), 2.0);
+        assert_eq!(t.eval(3.0), 7.0);
+        assert_eq!(t.eval(10.0), 7.5);
+    }
+
+    #[test]
+    fn interpolates_between() {
+        let t = LinearTable::new(vec![(0.0, 0.0), (4.0, 8.0)]);
+        assert_eq!(t.eval(1.0), 2.0);
+        assert_eq!(t.eval(3.0), 6.0);
+    }
+
+    #[test]
+    fn clamps_outside() {
+        let t = LinearTable::new(vec![(0.0, 1.0), (1.0, 2.0)]);
+        assert_eq!(t.eval(-5.0), 1.0);
+        assert_eq!(t.eval(5.0), 2.0);
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        assert!(LinearTable::new(vec![(0.0, 0.0), (1.0, 1.0)]).is_monotone());
+        assert!(!LinearTable::new(vec![(0.0, 1.0), (1.0, 0.0)]).is_monotone());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted() {
+        let _ = LinearTable::new(vec![(1.0, 0.0), (1.0, 1.0)]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Spice-based cell characterization: delay vs load and switching energy.
+
+use crate::kit::DesignKit;
+use crate::libgen::LibCell;
+use cnfet_core::Sizing;
+use cnfet_core::SizedNetwork;
+use cnfet_device::Polarity;
+use cnfet_logic::{NodeKind, PullGraph, SpNetwork};
+use cnfet_spice::{
+    energy_from_supply, propagation_delay, transient, Circuit, Edge, SimError, Waveform,
+};
+use std::sync::Arc;
+
+/// NLDM-style load-indexed timing data for one cell arc.
+#[derive(Clone, Debug)]
+pub struct TimingTable {
+    /// Output loads, farads.
+    pub loads_f: Vec<f64>,
+    /// Average propagation delay per load, seconds.
+    pub delays_s: Vec<f64>,
+    /// Switching energy per full output cycle at the first load, joules.
+    pub energy_j: f64,
+}
+
+impl TimingTable {
+    /// Linear-interpolated delay at a load.
+    pub fn delay_at(&self, load_f: f64) -> f64 {
+        if self.loads_f.is_empty() {
+            return 0.0;
+        }
+        if load_f <= self.loads_f[0] {
+            return self.delays_s[0];
+        }
+        for i in 1..self.loads_f.len() {
+            if load_f <= self.loads_f[i] {
+                let t = (load_f - self.loads_f[i - 1]) / (self.loads_f[i] - self.loads_f[i - 1]);
+                return self.delays_s[i - 1] + t * (self.delays_s[i] - self.delays_s[i - 1]);
+            }
+        }
+        *self.delays_s.last().expect("nonempty")
+    }
+}
+
+/// Builds the transistor-level circuit of a cell and measures delay from
+/// its first input pin to the output across the given loads.
+///
+/// Side inputs are tied to the sensitizing values that make the output
+/// toggle with the probed input.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when a transient fails to converge.
+pub fn characterize_cell(
+    kit: &DesignKit,
+    cell: &LibCell,
+    loads_f: &[f64],
+) -> Result<TimingTable, SimError> {
+    let (pdn, pun, vars) = cell.kind.networks();
+    let n_inputs = vars.len();
+    let side_mask = sensitizing_mask(&pdn, n_inputs);
+
+    let mut delays = Vec::with_capacity(loads_f.len());
+    let mut energy = 0.0;
+    let period = 4e-9;
+    for (li, &load) in loads_f.iter().enumerate() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let out = ckt.node("out");
+        let vin = ckt.node("in");
+        let supply = ckt.add_vsource(vdd, Circuit::GROUND, Waveform::Dc(kit.cnfet.vdd));
+        ckt.add_vsource(
+            vin,
+            Circuit::GROUND,
+            Waveform::Pulse {
+                v0: 0.0,
+                v1: kit.cnfet.vdd,
+                delay: 0.2e-9,
+                rise: 10e-12,
+                fall: 10e-12,
+                width: period / 2.0,
+                period,
+            },
+        );
+        // Side input rails.
+        let mut input_nodes = Vec::with_capacity(n_inputs);
+        for i in 0..n_inputs {
+            if i == 0 {
+                input_nodes.push(vin);
+            } else {
+                let node = ckt.node(&format!("side{i}"));
+                let v = if side_mask >> i & 1 == 1 { kit.cnfet.vdd } else { 0.0 };
+                ckt.add_vsource(node, Circuit::GROUND, Waveform::Dc(v));
+                input_nodes.push(node);
+            }
+        }
+        instantiate_network(kit, &mut ckt, &pdn, Polarity::N, Circuit::GROUND, out, &input_nodes, cell.strength);
+        instantiate_network(kit, &mut ckt, &pun, Polarity::P, vdd, out, &input_nodes, cell.strength);
+        ckt.add_load(out, load);
+
+        let tran = transient(&ckt, 2e-12, period * 1.1)?;
+        let d1 = propagation_delay(&tran, vin, out, kit.cnfet.vdd, Edge::Rising, 0.0);
+        let d2 = propagation_delay(
+            &tran,
+            vin,
+            out,
+            kit.cnfet.vdd,
+            Edge::Falling,
+            0.2e-9 + period / 2.0 - 50e-12,
+        );
+        let avg = match (d1, d2) {
+            (Some(a), Some(b)) => (a + b) / 2.0,
+            (Some(a), None) | (None, Some(a)) => a,
+            (None, None) => 0.0,
+        };
+        delays.push(avg);
+        if li == 0 {
+            energy = energy_from_supply(&tran, supply, kit.cnfet.vdd, 0.0, period * 1.05);
+        }
+    }
+
+    Ok(TimingTable {
+        loads_f: loads_f.to_vec(),
+        delays_s: delays,
+        energy_j: energy,
+    })
+}
+
+/// Chooses side-input values such that the output toggles with input 0.
+fn sensitizing_mask(pdn: &SpNetwork, n_inputs: usize) -> u64 {
+    for m in 0..1u64 << n_inputs.saturating_sub(1) {
+        let mask = m << 1;
+        if pdn.conducts(mask | 1) && !pdn.conducts(mask) {
+            return mask;
+        }
+    }
+    0
+}
+
+/// Adds one pull network's FETs between `source` and `out`.
+#[allow(clippy::too_many_arguments)]
+fn instantiate_network(
+    kit: &DesignKit,
+    ckt: &mut Circuit,
+    net: &SpNetwork,
+    polarity: Polarity,
+    source: cnfet_spice::Node,
+    out: cnfet_spice::Node,
+    inputs: &[cnfet_spice::Node],
+    strength: u8,
+) {
+    let sized = SizedNetwork::from_network(
+        net,
+        Sizing::Matched {
+            base_lambda: kit.base_width_lambda,
+        },
+    );
+    let widths = sized.widths();
+    let graph = PullGraph::from_network(net);
+    let mut nodes = Vec::with_capacity(graph.node_count());
+    for n in 0..graph.node_count() {
+        let node = match graph.kind(cnfet_logic::NodeId(n as u32)) {
+            NodeKind::Source => source,
+            NodeKind::Drain => out,
+            NodeKind::Internal => ckt.node(&format!("{polarity:?}_int{n}_{}", ckt.node_count())),
+        };
+        nodes.push(node);
+    }
+    for (ei, e) in graph.edges().iter().enumerate() {
+        let w_lambda = widths.get(ei).copied().unwrap_or(kit.base_width_lambda);
+        let width_m = w_lambda as f64 * 32.5e-9;
+        let tubes = (kit.tubes_per_4lambda as f64 * w_lambda as f64
+            / kit.base_width_lambda as f64)
+            .round()
+            .max(1.0) as u32;
+        let dev = kit.cnfet.device(polarity, tubes * strength as u32, width_m);
+        ckt.add_fet(
+            nodes[e.b.0 as usize],
+            inputs[e.gate.index()],
+            nodes[e.a.0 as usize],
+            Arc::new(dev),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnfet_core::Scheme;
+
+    #[test]
+    fn inverter_delay_increases_with_load() {
+        let kit = DesignKit::cnfet65();
+        let lib = kit.build_library(Scheme::Scheme1).unwrap();
+        let inv = lib.cell("INV_X1").unwrap();
+        let table = characterize_cell(&kit, inv, &[0.2e-15, 1e-15, 4e-15]).unwrap();
+        assert!(table.delays_s[0] > 0.0);
+        assert!(table.delays_s[2] > table.delays_s[1]);
+        assert!(table.delays_s[1] > table.delays_s[0]);
+        assert!(table.energy_j > 0.0);
+    }
+
+    #[test]
+    fn nand2_characterizes() {
+        let kit = DesignKit::cnfet65();
+        let lib = kit.build_library(Scheme::Scheme1).unwrap();
+        let nand = lib.cell("NAND2_X1").unwrap();
+        let table = characterize_cell(&kit, nand, &[1e-15]).unwrap();
+        assert!(table.delays_s[0] > 0.0 && table.delays_s[0] < 1e-9);
+    }
+
+    #[test]
+    fn delay_interpolation() {
+        let t = TimingTable {
+            loads_f: vec![1.0, 3.0],
+            delays_s: vec![10.0, 30.0],
+            energy_j: 0.0,
+        };
+        assert_eq!(t.delay_at(2.0), 20.0);
+        assert_eq!(t.delay_at(0.5), 10.0);
+        assert_eq!(t.delay_at(9.0), 30.0);
+    }
+
+    #[test]
+    fn sensitizing_masks() {
+        let (nand_pdn, _, _) = cnfet_core::StdCellKind::Nand(3).networks();
+        let m = sensitizing_mask(&nand_pdn, 3);
+        assert_eq!(m, 0b110, "NAND needs side inputs high");
+        let (nor_pdn, _, _) = cnfet_core::StdCellKind::Nor(3).networks();
+        assert_eq!(sensitizing_mask(&nor_pdn, 3), 0, "NOR needs side inputs low");
+    }
+}

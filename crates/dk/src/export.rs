@@ -1,0 +1,36 @@
+//! GDSII stream-out of the whole library.
+
+use crate::libgen::CellLibrary;
+use cnfet_geom::{write_gds, Library};
+
+/// Assembles every cell's drawn geometry into one GDS library and
+/// serializes it.
+pub fn library_gds(lib: &CellLibrary) -> Vec<u8> {
+    let mut gds = Library::new(format!("cnfet65_{}", lib.scheme));
+    for cell in &lib.cells {
+        let mut c = cell.layout.cell.clone();
+        c.set_name(cell.name.clone());
+        gds.add_cell(c);
+    }
+    write_gds(&gds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kit::DesignKit;
+    use cnfet_core::Scheme;
+    use cnfet_geom::read_gds;
+
+    #[test]
+    fn gds_round_trips() {
+        let kit = DesignKit::cnfet65();
+        let lib = kit.build_library(Scheme::Scheme1).unwrap();
+        let bytes = library_gds(&lib);
+        let back = read_gds(&bytes).unwrap();
+        assert_eq!(back.len(), lib.cells.len());
+        let inv = back.cell("INV_X1").unwrap();
+        assert!(!inv.shapes().is_empty());
+        assert!(!inv.texts().is_empty(), "pin labels must stream out");
+    }
+}

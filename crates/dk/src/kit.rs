@@ -1,0 +1,74 @@
+//! The kit bundle: rules + models + library construction.
+
+use crate::libgen::{build_library, CellLibrary};
+use cnfet_core::{DesignRules, GenerateError, Scheme, StdCellKind};
+use cnfet_device::{CmosModel, CnfetModel};
+
+/// Everything the flow needs about the target technology.
+#[derive(Clone, Debug)]
+pub struct DesignKit {
+    /// λ-convention rule deck.
+    pub rules: DesignRules,
+    /// CNFET compact model.
+    pub cnfet: CnfetModel,
+    /// CMOS baseline model (the "industrial 65 nm" comparator).
+    pub cmos: CmosModel,
+    /// CNTs per 4λ of device width — the library is built at the optimal
+    /// 5 nm pitch (26 tubes in 130 nm).
+    pub tubes_per_4lambda: u32,
+    /// Base device width of a 1X cell, λ.
+    pub base_width_lambda: i64,
+    /// Drive strengths instantiated per function.
+    pub strengths: Vec<u8>,
+    /// Functions instantiated in the library.
+    pub functions: Vec<StdCellKind>,
+}
+
+impl DesignKit {
+    /// The paper's 65 nm CNFET design kit: poly gate, low-k dielectric,
+    /// cells at the optimal CNT pitch, drive strengths 1/2/4/7/9 as used
+    /// by the Figure 8 full adder.
+    pub fn cnfet65() -> DesignKit {
+        DesignKit {
+            rules: DesignRules::cnfet65(),
+            cnfet: CnfetModel::poly_65nm(),
+            cmos: CmosModel::industrial_65nm(),
+            tubes_per_4lambda: 26,
+            base_width_lambda: 4,
+            strengths: vec![1, 2, 4, 7, 9],
+            functions: vec![
+                StdCellKind::Inv,
+                StdCellKind::Nand(2),
+                StdCellKind::Nand(3),
+                StdCellKind::Nor(2),
+                StdCellKind::Nor(3),
+                StdCellKind::Aoi21,
+                StdCellKind::Aoi22,
+                StdCellKind::Oai21,
+            ],
+        }
+    }
+
+    /// Builds the full standard-cell library in the given scheme.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GenerateError`] if any cell cannot be laid out (does
+    /// not happen for the default kit).
+    pub fn build_library(&self, scheme: Scheme) -> Result<CellLibrary, GenerateError> {
+        build_library(self, scheme)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kit_is_at_optimal_pitch() {
+        let kit = DesignKit::cnfet65();
+        let width_m = kit.base_width_lambda as f64 * 32.5e-9 / 1.0;
+        let pitch = kit.cnfet.pitch_nm(kit.tubes_per_4lambda, width_m);
+        assert!((pitch - 5.0).abs() < 0.01, "{pitch}");
+    }
+}

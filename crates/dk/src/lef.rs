@@ -1,0 +1,56 @@
+//! LEF-like abstract emission: macro footprints and pin shapes.
+
+use crate::libgen::CellLibrary;
+use std::fmt::Write as _;
+
+/// Emits a LEF-like abstract of the library for place & route.
+pub fn write_lef(lib: &CellLibrary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "VERSION 5.6 ;");
+    let _ = writeln!(out, "UNITS DATABASE MICRONS 1000 ; END UNITS");
+    for cell in &lib.cells {
+        let _ = writeln!(out, "MACRO {}", cell.name);
+        let _ = writeln!(
+            out,
+            "  SIZE {:.3} BY {:.3} ;",
+            cell.layout.width_lambda * 0.0325,
+            cell.layout.height_lambda * 0.0325
+        );
+        for (pin, rect) in &cell.layout.pins {
+            let _ = writeln!(out, "  PIN {pin}");
+            let _ = writeln!(out, "    PORT");
+            let _ = writeln!(
+                out,
+                "      LAYER metal1 ; RECT {:.3} {:.3} {:.3} {:.3} ;",
+                rect.x0().to_lambda() * 0.0325,
+                rect.y0().to_lambda() * 0.0325,
+                rect.x1().to_lambda() * 0.0325,
+                rect.y1().to_lambda() * 0.0325
+            );
+            let _ = writeln!(out, "    END");
+            let _ = writeln!(out, "  END {pin}");
+        }
+        let _ = writeln!(out, "END {}", cell.name);
+    }
+    let _ = writeln!(out, "END LIBRARY");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kit::DesignKit;
+    use cnfet_core::Scheme;
+
+    #[test]
+    fn lef_contains_macros_and_pins() {
+        let kit = DesignKit::cnfet65();
+        let lib = kit.build_library(Scheme::Scheme2).unwrap();
+        let text = write_lef(&lib);
+        assert!(text.contains("MACRO INV_X1"));
+        assert!(text.contains("PIN OUT"));
+        assert!(text.contains("PIN VDD"));
+        assert!(text.contains("SIZE"));
+        assert!(text.ends_with("END LIBRARY\n"));
+    }
+}

@@ -1,0 +1,32 @@
+//! The CNFET Design Kit (Section IV of the paper).
+//!
+//! Bundles everything a logic-to-GDSII flow needs: the rule deck, the
+//! device models, a standard-cell library generated with the compact
+//! imperfection-immune layouts (in both Scheme 1 and Scheme 2 variants),
+//! spice-based timing/energy characterization, and exporters for
+//! Liberty-like timing views, LEF-like abstracts, and GDSII.
+//!
+//! # Example
+//!
+//! ```
+//! use cnfet_dk::DesignKit;
+//!
+//! let kit = DesignKit::cnfet65();
+//! let lib = kit.build_library(cnfet_core::Scheme::Scheme1).unwrap();
+//! let inv = lib.cell("INV_X1").unwrap();
+//! assert!(inv.input_cap_f > 0.0);
+//! ```
+
+pub mod characterize;
+pub mod export;
+pub mod kit;
+pub mod lef;
+pub mod liberty;
+pub mod libgen;
+
+pub use characterize::{characterize_cell, TimingTable};
+pub use export::library_gds;
+pub use kit::DesignKit;
+pub use lef::write_lef;
+pub use liberty::write_liberty;
+pub use libgen::{CellLibrary, LibCell};

@@ -1,0 +1,91 @@
+//! Liberty-like timing-view emission.
+
+use crate::characterize::TimingTable;
+use crate::libgen::CellLibrary;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Emits a Liberty-like `.lib` for the library; `timing` maps cell names
+/// to characterized tables (cells without tables get capacitance-only
+/// views).
+pub fn write_liberty(lib: &CellLibrary, timing: &HashMap<String, TimingTable>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "library (cnfet65_{}) {{", lib.scheme);
+    let _ = writeln!(out, "  time_unit : \"1ps\";");
+    let _ = writeln!(out, "  capacitive_load_unit (1, ff);");
+    let _ = writeln!(out, "  voltage_unit : \"1V\";");
+    for cell in &lib.cells {
+        let (f, vars) = cell.kind.function();
+        let _ = writeln!(out, "  cell ({}) {{", cell.name);
+        let _ = writeln!(out, "    area : {:.2};", cell.layout.footprint_l2);
+        for (_, name) in vars.iter() {
+            let _ = writeln!(out, "    pin ({name}) {{");
+            let _ = writeln!(out, "      direction : input;");
+            let _ = writeln!(
+                out,
+                "      capacitance : {:.4};",
+                cell.input_cap_f * 1e15
+            );
+            let _ = writeln!(out, "    }}");
+        }
+        let _ = writeln!(out, "    pin (OUT) {{");
+        let _ = writeln!(out, "      direction : output;");
+        let _ = writeln!(out, "      function : \"{}\";", f.display(&vars));
+        if let Some(table) = timing.get(&cell.name) {
+            let _ = writeln!(out, "      timing () {{");
+            let loads: Vec<String> = table
+                .loads_f
+                .iter()
+                .map(|l| format!("{:.4}", l * 1e15))
+                .collect();
+            let delays: Vec<String> = table
+                .delays_s
+                .iter()
+                .map(|d| format!("{:.2}", d * 1e12))
+                .collect();
+            let _ = writeln!(out, "        index_1 (\"{}\");", loads.join(", "));
+            let _ = writeln!(out, "        values (\"{}\");", delays.join(", "));
+            let _ = writeln!(out, "      }}");
+        }
+        let _ = writeln!(out, "    }}");
+        let _ = writeln!(out, "  }}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kit::DesignKit;
+    use cnfet_core::Scheme;
+
+    #[test]
+    fn liberty_contains_cells_and_functions() {
+        let kit = DesignKit::cnfet65();
+        let lib = kit.build_library(Scheme::Scheme1).unwrap();
+        let text = write_liberty(&lib, &HashMap::new());
+        assert!(text.contains("library (cnfet65_s1)"));
+        assert!(text.contains("cell (NAND2_X1)"));
+        assert!(text.contains("function : \"!(A*B)\""));
+        assert!(text.contains("capacitance"));
+    }
+
+    #[test]
+    fn timing_tables_rendered() {
+        let kit = DesignKit::cnfet65();
+        let lib = kit.build_library(Scheme::Scheme1).unwrap();
+        let mut timing = HashMap::new();
+        timing.insert(
+            "INV_X1".to_string(),
+            TimingTable {
+                loads_f: vec![1e-15],
+                delays_s: vec![5e-12],
+                energy_j: 1e-15,
+            },
+        );
+        let text = write_liberty(&lib, &timing);
+        assert!(text.contains("index_1"));
+        assert!(text.contains("5.00"));
+    }
+}

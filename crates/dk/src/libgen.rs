@@ -1,0 +1,192 @@
+//! Standard-cell library generation.
+
+use crate::kit::DesignKit;
+use cnfet_core::{
+    generate_cell, GenerateError, GenerateOptions, GeneratedCell, Scheme, Sizing, StdCellKind,
+    Style,
+};
+use cnfet_device::Polarity;
+use cnfet_logic::SpNetwork;
+use std::collections::HashMap;
+
+/// One library cell: layout plus electrical summary.
+#[derive(Clone, Debug)]
+pub struct LibCell {
+    /// Library name, e.g. `NAND2_X2`.
+    pub name: String,
+    /// Function.
+    pub kind: StdCellKind,
+    /// Drive strength (number of fingers).
+    pub strength: u8,
+    /// Generated layout (new immune style).
+    pub layout: GeneratedCell,
+    /// Input capacitance per pin, farads.
+    pub input_cap_f: f64,
+    /// Worst-case pull drive current, amperes.
+    pub drive_a: f64,
+    /// CNTs per finger device.
+    pub tubes_per_device: u32,
+}
+
+/// A generated cell library.
+#[derive(Clone, Debug)]
+pub struct CellLibrary {
+    /// Scheme the layouts use.
+    pub scheme: Scheme,
+    /// All cells.
+    pub cells: Vec<LibCell>,
+    by_name: HashMap<String, usize>,
+}
+
+impl CellLibrary {
+    /// Looks up a cell by library name.
+    pub fn cell(&self, name: &str) -> Option<&LibCell> {
+        self.by_name.get(name).map(|&i| &self.cells[i])
+    }
+
+    /// Library name of a function at a strength.
+    pub fn cell_name(kind: StdCellKind, strength: u8) -> String {
+        format!("{}_X{strength}", kind.name())
+    }
+}
+
+/// Replicates a network `x` times in parallel — multi-finger drive
+/// strengths, CMOS-library style.
+pub fn replicate(net: &SpNetwork, x: u8) -> SpNetwork {
+    if x <= 1 {
+        return net.clone();
+    }
+    SpNetwork::Parallel(vec![net.clone(); x as usize]).normalized()
+}
+
+/// Builds the library for a kit.
+pub fn build_library(kit: &DesignKit, scheme: Scheme) -> Result<CellLibrary, GenerateError> {
+    let mut cells = Vec::new();
+    let mut by_name = HashMap::new();
+
+    for &kind in &kit.functions {
+        for &strength in &kit.strengths {
+            // Only INV gets the full strength ladder; other functions stop
+            // at 2X like the paper's full-adder library.
+            if kind != StdCellKind::Inv && strength > 2 {
+                continue;
+            }
+            let layout = generate_fingered(kind, strength, kit, scheme)?;
+            let name = CellLibrary::cell_name(kind, strength);
+
+            let device = kit.cnfet.device(
+                Polarity::N,
+                kit.tubes_per_4lambda,
+                kit.base_width_lambda as f64 * 32.5e-9,
+            );
+            use cnfet_device::FetModel;
+            // A pin drives one gate per finger in each network.
+            let input_cap = 2.0 * device.cgate() * strength as f64;
+            let (pdn, _, _) = kind.networks();
+            let depth = pdn.max_series_depth() as f64;
+            let drive = device.ion() * strength as f64 / depth;
+
+            by_name.insert(name.clone(), cells.len());
+            cells.push(LibCell {
+                name,
+                kind,
+                strength,
+                layout,
+                input_cap_f: input_cap,
+                drive_a: drive,
+                tubes_per_device: kit.tubes_per_4lambda,
+            });
+        }
+    }
+
+    Ok(CellLibrary {
+        scheme,
+        cells,
+        by_name,
+    })
+}
+
+/// Generates the fingered layout of a function at a drive strength:
+/// `strength` parallel copies of both networks, snaked through shared
+/// contacts by the Euler machinery exactly like multi-finger CMOS cells.
+fn generate_fingered(
+    kind: StdCellKind,
+    strength: u8,
+    kit: &DesignKit,
+    scheme: Scheme,
+) -> Result<GeneratedCell, GenerateError> {
+    let opts = GenerateOptions {
+        style: Style::NewImmune,
+        scheme,
+        sizing: Sizing::Matched {
+            base_lambda: kit.base_width_lambda,
+        },
+        // Fingered product terms share contacts along one snake; the
+        // full-Euler policy keeps the cell compact and stays immune
+        // (certified in this crate's tests).
+        row_policy: cnfet_core::RowPolicy::FullEuler,
+        rules: kit.rules,
+    };
+    if strength <= 1 {
+        let mut c = generate_cell(kind, &opts)?;
+        c.name = CellLibrary::cell_name(kind, strength);
+        return Ok(c);
+    }
+    let (pdn, pun, vars) = kind.networks();
+    let mut c = cnfet_core::generate_from_networks(
+        CellLibrary::cell_name(kind, strength),
+        kind,
+        replicate(&pdn, strength),
+        replicate(&pun, strength),
+        vars,
+        &opts,
+    )?;
+    c.name = CellLibrary::cell_name(kind, strength);
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kit::DesignKit;
+
+    #[test]
+    fn library_builds_with_expected_cells() {
+        let kit = DesignKit::cnfet65();
+        let lib = kit.build_library(Scheme::Scheme1).unwrap();
+        for name in ["INV_X1", "INV_X4", "INV_X9", "NAND2_X1", "NAND2_X2", "AOI21_X1"] {
+            assert!(lib.cell(name).is_some(), "missing {name}");
+        }
+        assert!(lib.cell("NAND2_X9").is_none(), "only INV gets big drives");
+    }
+
+    #[test]
+    fn strength_scales_drive_and_cap() {
+        let kit = DesignKit::cnfet65();
+        let lib = kit.build_library(Scheme::Scheme1).unwrap();
+        let x1 = lib.cell("INV_X1").unwrap();
+        let x4 = lib.cell("INV_X4").unwrap();
+        assert!((x4.drive_a / x1.drive_a - 4.0).abs() < 1e-9);
+        assert!((x4.input_cap_f / x1.input_cap_f - 4.0).abs() < 1e-9);
+        assert!(x4.layout.width_lambda > x1.layout.width_lambda);
+    }
+
+    #[test]
+    fn replicate_preserves_function() {
+        let (pdn, _, _) = StdCellKind::Nand(2).networks();
+        let r3 = replicate(&pdn, 3);
+        assert_eq!(r3.device_count(), 6);
+        for m in 0..4u64 {
+            assert_eq!(pdn.conducts(m), r3.conducts(m));
+        }
+    }
+
+    #[test]
+    fn nand_drive_derated_by_stack() {
+        let kit = DesignKit::cnfet65();
+        let lib = kit.build_library(Scheme::Scheme1).unwrap();
+        let inv = lib.cell("INV_X1").unwrap();
+        let nand3 = lib.cell("NAND3_X1").unwrap();
+        assert!(nand3.drive_a < inv.drive_a);
+    }
+}

@@ -1,0 +1,71 @@
+//! Final GDS assembly of a placed design — the flow's "to-GDSII" step.
+
+use crate::place::Placement;
+use cnfet_core::Scheme;
+use cnfet_dk::DesignKit;
+use cnfet_geom::{write_gds, Cell, Dbu, Instance, Layer, Library, Rect, Transform};
+
+/// Assembles a placed design into a GDS stream: one top cell instantiating
+/// the library cells at their placed positions, plus the cell definitions.
+///
+/// # Panics
+///
+/// Panics if the placement references cells the kit cannot generate (does
+/// not happen for placements produced by this crate).
+pub fn assemble_gds(design_name: &str, placement: &Placement, scheme: Scheme) -> Vec<u8> {
+    let kit = DesignKit::cnfet65();
+    let lib = kit.build_library(scheme).expect("library generation");
+    let mut gds = Library::new(format!("{design_name}_{scheme}"));
+
+    let mut used: Vec<&str> = placement.instances.iter().map(|p| p.cell.as_str()).collect();
+    used.sort_unstable();
+    used.dedup();
+    for name in used {
+        let cell = lib.cell(name).expect("placed cell exists in library");
+        let mut c = cell.layout.cell.clone();
+        c.set_name(name);
+        gds.add_cell(c);
+    }
+
+    let mut top = Cell::new(design_name);
+    for p in &placement.instances {
+        top.add_instance(Instance {
+            cell: p.cell.clone(),
+            transform: Transform::translate(Dbu::from_lambda(p.x), Dbu::from_lambda(p.y)),
+            name: p.name.clone(),
+        });
+    }
+    // Block outline.
+    top.add_rect(
+        Layer::Boundary,
+        Rect::new(
+            Dbu(0),
+            Dbu(0),
+            Dbu::from_lambda(placement.width_l),
+            Dbu::from_lambda(placement.height_l),
+        ),
+    );
+    gds.add_cell(top);
+    write_gds(&gds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fa::full_adder;
+    use crate::place::place_cnfet;
+    use cnfet_geom::read_gds;
+
+    #[test]
+    fn fa_assembles_and_flattens() {
+        let fa = full_adder();
+        let placement = place_cnfet(&fa, Scheme::Scheme2).unwrap();
+        let bytes = assemble_gds("full_adder", &placement, Scheme::Scheme2);
+        let lib = read_gds(&bytes).unwrap();
+        let flat = lib.flatten("full_adder").unwrap();
+        assert!(
+            flat.shapes_on(Layer::Gate).count() >= 2 * (9 * 4 + 6),
+            "flattened FA must contain every instance's gates"
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! The Figure 8(a) full adder: nine NAND2 gates plus output inverter
+//! chains at the drive strengths the paper draws (2X NANDs; 4X/7X/9X
+//! inverters).
+
+use crate::netlist::{Netlist, PortDir};
+use cnfet_core::StdCellKind;
+
+/// Builds the paper's full adder netlist.
+///
+/// The logic core is the classic nine-NAND2 full adder; `sum` and `carry`
+/// are buffered by 4X→9X inverter pairs and the carry-path also feeds a
+/// 4X→7X pair, matching the cell mix visible in Figure 8(b)/(c)
+/// (2X NAND2s and inverters sized 4X, 7X, 4X, 9X, 4X, 9X).
+pub fn full_adder() -> Netlist {
+    let mut n = Netlist::new("full_adder");
+    n.add_port("a", PortDir::Input)
+        .add_port("b", PortDir::Input)
+        .add_port("cin", PortDir::Input)
+        .add_port("sum", PortDir::Output)
+        .add_port("carry", PortDir::Output);
+
+    let nand = StdCellKind::Nand(2);
+    let inv = StdCellKind::Inv;
+
+    // Nine-NAND2 full adder.
+    n.add_gate(nand, 2, &["a", "b"], "s1");
+    n.add_gate(nand, 2, &["a", "s1"], "s2");
+    n.add_gate(nand, 2, &["b", "s1"], "s3");
+    n.add_gate(nand, 2, &["s2", "s3"], "axb"); // a ⊕ b
+    n.add_gate(nand, 2, &["axb", "cin"], "s5");
+    n.add_gate(nand, 2, &["axb", "s5"], "s6");
+    n.add_gate(nand, 2, &["cin", "s5"], "s7");
+    n.add_gate(nand, 2, &["s6", "s7"], "sum_raw"); // a ⊕ b ⊕ cin
+    n.add_gate(nand, 2, &["s5", "s1"], "carry_raw"); // majority
+
+    // Output buffering at the figure's drive strengths.
+    n.add_gate(inv, 4, &["sum_raw"], "sum_n");
+    n.add_gate(inv, 9, &["sum_n"], "sum");
+    n.add_gate(inv, 4, &["carry_raw"], "carry_n");
+    n.add_gate(inv, 9, &["carry_n"], "carry");
+    n.add_gate(inv, 4, &["carry_raw"], "carry_aux_n");
+    n.add_gate(inv, 7, &["carry_aux_n"], "carry_aux");
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn truth_table() {
+        let fa = full_adder();
+        for m in 0..8u32 {
+            let (a, b, cin) = (m & 1 == 1, m & 2 == 2, m & 4 == 4);
+            let mut inputs = BTreeMap::new();
+            inputs.insert("a".into(), a);
+            inputs.insert("b".into(), b);
+            inputs.insert("cin".into(), cin);
+            let v = fa.evaluate(&inputs);
+            let total = u8::from(a) + u8::from(b) + u8::from(cin);
+            assert_eq!(v["sum"], total & 1 == 1, "sum at {m:03b}");
+            assert_eq!(v["carry"], total >= 2, "carry at {m:03b}");
+        }
+    }
+
+    #[test]
+    fn cell_mix_matches_figure8() {
+        let fa = full_adder();
+        let nands = fa
+            .instances
+            .iter()
+            .filter(|i| i.kind == StdCellKind::Nand(2))
+            .count();
+        assert_eq!(nands, 9);
+        let mut inv_strengths: Vec<u8> = fa
+            .instances
+            .iter()
+            .filter(|i| i.kind == StdCellKind::Inv)
+            .map(|i| i.strength)
+            .collect();
+        inv_strengths.sort_unstable();
+        assert_eq!(inv_strengths, vec![4, 4, 4, 7, 9, 9]);
+    }
+}

@@ -1,0 +1,35 @@
+//! The logic-to-GDSII flow of the CNFET design kit.
+//!
+//! Covers the path the paper's Section IV describes on top of the design
+//! kit: gate-level netlists ([`Netlist`]), a small technology mapper from
+//! boolean expressions to NAND2/INV ([`synth`]), the Figure 8 full adder
+//! ([`full_adder`]), standard-cell placement in the CMOS baseline and the
+//! two CNFET schemes ([`place`]), transistor-level netlist simulation with
+//! wire loads ([`sim`]), and final GDS assembly ([`assemble_gds`]).
+//!
+//! # Example: place the paper's full adder in both schemes
+//!
+//! ```
+//! use cnfet_flow::{full_adder, place};
+//!
+//! let fa = full_adder();
+//! let s1 = place::place_cnfet(&fa, cnfet_core::Scheme::Scheme1).unwrap();
+//! let s2 = place::place_cnfet(&fa, cnfet_core::Scheme::Scheme2).unwrap();
+//! assert!(s2.area_l2 < s1.area_l2, "Scheme 2 is the denser arrangement");
+//! ```
+
+pub mod assemble;
+pub mod fa;
+pub mod netlist;
+pub mod place;
+pub mod sim;
+pub mod synth;
+pub mod verilog;
+
+pub use assemble::assemble_gds;
+pub use fa::full_adder;
+pub use netlist::{GateInst, Netlist, PortDir};
+pub use place::{place_cmos, place_cnfet, Placement};
+pub use sim::{simulate_netlist, NetlistMetrics, Tech};
+pub use synth::synthesize;
+pub use verilog::parse_verilog;

@@ -1,0 +1,169 @@
+//! Gate-level netlists over the design-kit library.
+
+use cnfet_core::StdCellKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Port direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PortDir {
+    /// Primary input.
+    Input,
+    /// Primary output.
+    Output,
+}
+
+/// One placed-library-cell instance.
+#[derive(Clone, Debug)]
+pub struct GateInst {
+    /// Instance name.
+    pub name: String,
+    /// Cell function.
+    pub kind: StdCellKind,
+    /// Drive strength.
+    pub strength: u8,
+    /// Input pin → net, in pin order (`A`, `B`, …).
+    pub inputs: Vec<String>,
+    /// Output net.
+    pub output: String,
+}
+
+/// A combinational gate-level netlist.
+#[derive(Clone, Debug, Default)]
+pub struct Netlist {
+    /// Design name.
+    pub name: String,
+    /// Primary ports.
+    pub ports: Vec<(String, PortDir)>,
+    /// Instances in topological order (drivers before loads by
+    /// construction in this crate's builders).
+    pub instances: Vec<GateInst>,
+}
+
+impl Netlist {
+    /// Creates an empty design.
+    pub fn new(name: impl Into<String>) -> Netlist {
+        Netlist {
+            name: name.into(),
+            ports: Vec::new(),
+            instances: Vec::new(),
+        }
+    }
+
+    /// Declares a primary port.
+    pub fn add_port(&mut self, name: impl Into<String>, dir: PortDir) -> &mut Netlist {
+        self.ports.push((name.into(), dir));
+        self
+    }
+
+    /// Adds an instance.
+    pub fn add_gate(
+        &mut self,
+        kind: StdCellKind,
+        strength: u8,
+        inputs: &[&str],
+        output: &str,
+    ) -> &mut Netlist {
+        let name = format!("u{}", self.instances.len());
+        self.instances.push(GateInst {
+            name,
+            kind,
+            strength,
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            output: output.to_string(),
+        });
+        self
+    }
+
+    /// All nets (sorted, deduplicated).
+    pub fn nets(&self) -> Vec<String> {
+        let mut set: BTreeSet<String> = BTreeSet::new();
+        for (p, _) in &self.ports {
+            set.insert(p.clone());
+        }
+        for inst in &self.instances {
+            set.insert(inst.output.clone());
+            for i in &inst.inputs {
+                set.insert(i.clone());
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Net → number of gate input pins it drives.
+    pub fn fanout(&self) -> BTreeMap<String, usize> {
+        let mut map = BTreeMap::new();
+        for inst in &self.instances {
+            for i in &inst.inputs {
+                *map.entry(i.clone()).or_insert(0) += 1;
+            }
+        }
+        map
+    }
+
+    /// Evaluates the netlist on a primary-input assignment, returning net
+    /// values. Instances must be in topological order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an instance reads an undriven net.
+    pub fn evaluate(
+        &self,
+        inputs: &BTreeMap<String, bool>,
+    ) -> BTreeMap<String, bool> {
+        let mut values: BTreeMap<String, bool> = inputs.clone();
+        for inst in &self.instances {
+            let (f, vars) = inst.kind.function();
+            let mut mask = 0u64;
+            for (i, net) in inst.inputs.iter().enumerate() {
+                let v = *values
+                    .get(net)
+                    .unwrap_or_else(|| panic!("undriven net `{net}` read by {}", inst.name));
+                if v {
+                    mask |= 1 << i;
+                }
+            }
+            let _ = vars;
+            values.insert(inst.output.clone(), f.eval(mask));
+        }
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor2() -> Netlist {
+        // XOR via 4 NAND2.
+        let mut n = Netlist::new("xor2");
+        n.add_port("a", PortDir::Input)
+            .add_port("b", PortDir::Input)
+            .add_port("y", PortDir::Output);
+        n.add_gate(StdCellKind::Nand(2), 1, &["a", "b"], "n1");
+        n.add_gate(StdCellKind::Nand(2), 1, &["a", "n1"], "n2");
+        n.add_gate(StdCellKind::Nand(2), 1, &["b", "n1"], "n3");
+        n.add_gate(StdCellKind::Nand(2), 1, &["n2", "n3"], "y");
+        n
+    }
+
+    #[test]
+    fn evaluate_xor() {
+        let n = xor2();
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let mut inputs = BTreeMap::new();
+            inputs.insert("a".to_string(), a);
+            inputs.insert("b".to_string(), b);
+            let v = n.evaluate(&inputs);
+            assert_eq!(v["y"], a ^ b, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn nets_and_fanout() {
+        let n = xor2();
+        assert!(n.nets().contains(&"n1".to_string()));
+        let fanout = n.fanout();
+        assert_eq!(fanout["n1"], 2);
+        assert_eq!(fanout["a"], 2);
+    }
+}

@@ -1,0 +1,342 @@
+//! Standard-cell placement: CMOS rows, CNFET Scheme-1 rows, and the
+//! Scheme-2 compact shelf arrangement of Figure 8(c).
+//!
+//! Heights include the physical overheads each technology pays:
+//! both technologies add 3λ power rails top and bottom of a row; the CMOS
+//! baseline additionally pays a 4λ n-well enclosure margin per cell row —
+//! the "one p-well" constraint the paper says CNFET technology does not
+//! have.
+
+use crate::netlist::Netlist;
+use cnfet_core::{cmos_cell, DesignRules, GenerateError, Scheme};
+use cnfet_dk::{CellLibrary, DesignKit};
+use std::collections::HashMap;
+
+/// Power-rail height per row edge, λ.
+pub const RAIL_LAMBDA: f64 = 3.0;
+/// CMOS n-well enclosure margin per row, λ.
+pub const WELL_MARGIN_LAMBDA: f64 = 4.0;
+/// Spacing between abutted cells, λ.
+pub const CELL_SPACING_LAMBDA: f64 = 2.0;
+
+/// A placed instance.
+#[derive(Clone, Debug)]
+pub struct PlacedInst {
+    /// Instance name.
+    pub name: String,
+    /// Library cell name.
+    pub cell: String,
+    /// Lower-left x, λ.
+    pub x: f64,
+    /// Lower-left y, λ.
+    pub y: f64,
+    /// Cell width, λ.
+    pub w: f64,
+    /// Cell height, λ.
+    pub h: f64,
+}
+
+/// A placement result.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    /// Placed instances.
+    pub instances: Vec<PlacedInst>,
+    /// Block width, λ.
+    pub width_l: f64,
+    /// Block height, λ.
+    pub height_l: f64,
+    /// Block area, λ².
+    pub area_l2: f64,
+    /// Σ cell areas / block area.
+    pub utilization: f64,
+}
+
+impl Placement {
+    /// Half-perimeter wirelength estimate over the netlist, λ.
+    pub fn hpwl(&self, netlist: &Netlist) -> f64 {
+        let centers: HashMap<&str, (f64, f64)> = self
+            .instances
+            .iter()
+            .map(|p| (p.name.as_str(), (p.x + p.w / 2.0, p.y + p.h / 2.0)))
+            .collect();
+        let mut net_boxes: HashMap<String, (f64, f64, f64, f64)> = HashMap::new();
+        let touch = |net: &str, x: f64, y: f64, boxes: &mut HashMap<String, (f64, f64, f64, f64)>| {
+            let e = boxes.entry(net.to_string()).or_insert((x, y, x, y));
+            let (x0, y0, x1, y1) = *e;
+            *e = (x0.min(x), y0.min(y), x1.max(x), y1.max(y));
+        };
+        for inst in &netlist.instances {
+            if let Some(&(cx, cy)) = centers.get(inst.name.as_str()) {
+                touch(&inst.output, cx, cy, &mut net_boxes);
+                for i in &inst.inputs {
+                    touch(i, cx, cy, &mut net_boxes);
+                }
+            }
+        }
+        net_boxes
+            .values()
+            .map(|(x0, y0, x1, y1)| (x1 - x0) + (y1 - y0))
+            .sum()
+    }
+
+    /// Wirelength of one net, λ (HPWL of its pins' cells).
+    pub fn net_hpwl(&self, netlist: &Netlist, net: &str) -> f64 {
+        let mut b: Option<(f64, f64, f64, f64)> = None;
+        for inst in &netlist.instances {
+            if inst.output == net || inst.inputs.iter().any(|i| i == net) {
+                if let Some(p) = self.instances.iter().find(|p| p.name == inst.name) {
+                    let (cx, cy) = (p.x + p.w / 2.0, p.y + p.h / 2.0);
+                    b = Some(match b {
+                        None => (cx, cy, cx, cy),
+                        Some((x0, y0, x1, y1)) => {
+                            (x0.min(cx), y0.min(cy), x1.max(cx), y1.max(cy))
+                        }
+                    });
+                }
+            }
+        }
+        b.map_or(0.0, |(x0, y0, x1, y1)| (x1 - x0) + (y1 - y0))
+    }
+}
+
+/// Footprint provider: cell name → (width λ, height λ).
+type Footprints = HashMap<String, (f64, f64)>;
+
+fn cnfet_footprints(
+    netlist: &Netlist,
+    scheme: Scheme,
+) -> Result<(Footprints, CellLibrary), GenerateError> {
+    let kit = DesignKit::cnfet65();
+    let lib = kit.build_library(scheme)?;
+    let mut map = HashMap::new();
+    for inst in &netlist.instances {
+        let name = CellLibrary::cell_name(inst.kind, inst.strength);
+        let cell = lib
+            .cell(&name)
+            .unwrap_or_else(|| panic!("cell {name} not in library"));
+        map.insert(
+            name,
+            (cell.layout.width_lambda, cell.layout.height_lambda),
+        );
+    }
+    Ok((map, lib))
+}
+
+/// Places a netlist with the CNFET library in the given scheme.
+///
+/// Scheme 1 uses standardized-height rows (like CMOS); Scheme 2 packs the
+/// natural-height cells onto shelves, "built using the original sizes of
+/// each cell thereby having an optimum area utilization factor".
+///
+/// # Errors
+///
+/// Propagates library generation failures.
+pub fn place_cnfet(netlist: &Netlist, scheme: Scheme) -> Result<Placement, GenerateError> {
+    let (fp, _lib) = cnfet_footprints(netlist, scheme)?;
+    let rail = 2.0 * RAIL_LAMBDA;
+    Ok(match scheme {
+        Scheme::Scheme1 => place_rows(netlist, &fp, rail),
+        Scheme::Scheme2 => place_shelves(netlist, &fp, RAIL_LAMBDA),
+    })
+}
+
+/// Places the netlist with the CMOS baseline library.
+pub fn place_cmos(netlist: &Netlist) -> Placement {
+    let rules = DesignRules::cnfet65();
+    // CMOS widths equal the CNFET strip widths (same λ rules); heights pay
+    // the 10λ well separation, scaled PMOS, rails and well margin.
+    let kit = DesignKit::cnfet65();
+    let lib = kit
+        .build_library(Scheme::Scheme1)
+        .expect("library generation");
+    let mut fp: Footprints = HashMap::new();
+    for inst in &netlist.instances {
+        let name = CellLibrary::cell_name(inst.kind, inst.strength);
+        let cell = lib.cell(&name).expect("cell in library");
+        let cmos = cmos_cell(inst.kind, 4, &rules);
+        // Fingered width follows the CNFET fingered strip; height is the
+        // 1X CMOS height (fingering widens, never heightens).
+        fp.insert(name, (cell.layout.width_lambda, cmos.height_lambda));
+    }
+    place_rows(netlist, &fp, 2.0 * RAIL_LAMBDA + WELL_MARGIN_LAMBDA)
+}
+
+/// Standardized-height row placement: every row is as tall as the tallest
+/// cell plus overhead; the row count minimizing block area is chosen.
+fn place_rows(netlist: &Netlist, fp: &Footprints, height_overhead: f64) -> Placement {
+    let items = gather(netlist, fp);
+    let row_h = items
+        .iter()
+        .map(|(_, _, _, h)| *h)
+        .fold(0.0f64, f64::max)
+        + height_overhead;
+    best_over_counts(&items, |items, rows| {
+        let total_w: f64 = items.iter().map(|(_, _, w, _)| w + CELL_SPACING_LAMBDA).sum();
+        let target_row_w = total_w / rows as f64;
+        let mut placed = Vec::new();
+        let mut x = 0.0;
+        let mut row = 0usize;
+        let mut max_w = 0.0f64;
+        for (name, cell, w, h) in items.iter().cloned() {
+            if x >= target_row_w && row + 1 < rows {
+                max_w = max_w.max(x);
+                row += 1;
+                x = 0.0;
+            }
+            placed.push(PlacedInst {
+                name,
+                cell,
+                x,
+                y: row as f64 * row_h,
+                w,
+                h,
+            });
+            x += w + CELL_SPACING_LAMBDA;
+        }
+        max_w = max_w.max(x);
+        finish(placed, max_w, (row + 1) as f64 * row_h)
+    })
+}
+
+/// Shelf packing for Scheme 2: cells sorted by height so each shelf is as
+/// tall as its tallest member only; the shelf count minimizing block area
+/// is chosen. This realizes Figure 8(c)'s "optimum area utilization
+/// factor" from non-standardized cell heights.
+fn place_shelves(netlist: &Netlist, fp: &Footprints, shelf_overhead: f64) -> Placement {
+    let mut items = gather(netlist, fp);
+    items.sort_by(|a, b| b.3.total_cmp(&a.3).then(a.0.cmp(&b.0)));
+    best_over_counts(&items, |items, shelves| {
+        let total_w: f64 = items.iter().map(|(_, _, w, _)| w + CELL_SPACING_LAMBDA).sum();
+        let target_w = total_w / shelves as f64;
+        let mut placed = Vec::new();
+        let mut x = 0.0;
+        let mut y = 0.0;
+        let mut shelf_h = 0.0f64;
+        let mut max_w = 0.0f64;
+        let mut shelf = 0usize;
+        for (name, cell, w, h) in items.iter().cloned() {
+            if x >= target_w && shelf + 1 < shelves {
+                max_w = max_w.max(x);
+                y += shelf_h + shelf_overhead;
+                x = 0.0;
+                shelf_h = 0.0;
+                shelf += 1;
+            }
+            shelf_h = shelf_h.max(h);
+            placed.push(PlacedInst {
+                name,
+                cell,
+                x,
+                y,
+                w,
+                h,
+            });
+            x += w + CELL_SPACING_LAMBDA;
+        }
+        max_w = max_w.max(x);
+        finish(placed, max_w, y + shelf_h + shelf_overhead)
+    })
+}
+
+/// Runs a placement strategy for 1..=8 row/shelf counts and keeps the
+/// lowest-area result.
+fn best_over_counts(
+    items: &[(String, String, f64, f64)],
+    strategy: impl Fn(&[(String, String, f64, f64)], usize) -> Placement,
+) -> Placement {
+    (1..=8)
+        .map(|n| strategy(items, n))
+        .min_by(|a, b| a.area_l2.total_cmp(&b.area_l2))
+        .expect("at least one candidate")
+}
+
+fn gather(netlist: &Netlist, fp: &Footprints) -> Vec<(String, String, f64, f64)> {
+    netlist
+        .instances
+        .iter()
+        .map(|inst| {
+            let cell = CellLibrary::cell_name(inst.kind, inst.strength);
+            let &(w, h) = fp.get(&cell).expect("footprint known");
+            (inst.name.clone(), cell, w, h)
+        })
+        .collect()
+}
+
+fn finish(instances: Vec<PlacedInst>, width: f64, height: f64) -> Placement {
+    let cell_area: f64 = instances.iter().map(|p| p.w * p.h).sum();
+    let area = width * height;
+    Placement {
+        instances,
+        width_l: width,
+        height_l: height,
+        area_l2: area,
+        utilization: cell_area / area,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fa::full_adder;
+
+    #[test]
+    fn fa_places_in_all_targets() {
+        let fa = full_adder();
+        let cmos = place_cmos(&fa);
+        let s1 = place_cnfet(&fa, Scheme::Scheme1).unwrap();
+        let s2 = place_cnfet(&fa, Scheme::Scheme2).unwrap();
+        assert_eq!(cmos.instances.len(), fa.instances.len());
+        assert!(cmos.area_l2 > s1.area_l2, "CMOS {} vs S1 {}", cmos.area_l2, s1.area_l2);
+        assert!(s1.area_l2 > s2.area_l2, "S1 {} vs S2 {}", s1.area_l2, s2.area_l2);
+    }
+
+    #[test]
+    fn fa_area_gains_match_case_study_2() {
+        // Paper: ~1.4x (Scheme 1) and ~1.6x (Scheme 2) over CMOS.
+        let fa = full_adder();
+        let cmos = place_cmos(&fa);
+        let s1 = place_cnfet(&fa, Scheme::Scheme1).unwrap();
+        let s2 = place_cnfet(&fa, Scheme::Scheme2).unwrap();
+        let g1 = cmos.area_l2 / s1.area_l2;
+        let g2 = cmos.area_l2 / s2.area_l2;
+        assert!((1.2..1.7).contains(&g1), "scheme 1 gain {g1}");
+        assert!((1.4..2.4).contains(&g2), "scheme 2 gain {g2}");
+        assert!(g2 > g1, "scheme 2 must beat scheme 1");
+    }
+
+    #[test]
+    fn no_overlaps() {
+        let fa = full_adder();
+        for placement in [
+            place_cmos(&fa),
+            place_cnfet(&fa, Scheme::Scheme1).unwrap(),
+            place_cnfet(&fa, Scheme::Scheme2).unwrap(),
+        ] {
+            let insts = &placement.instances;
+            for i in 0..insts.len() {
+                for j in i + 1..insts.len() {
+                    let (a, b) = (&insts[i], &insts[j]);
+                    let overlap_x = a.x < b.x + b.w && b.x < a.x + a.w;
+                    let overlap_y = a.y < b.y + b.h && b.y < a.y + a.h;
+                    assert!(!(overlap_x && overlap_y), "{} overlaps {}", a.name, b.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hpwl_positive_and_consistent() {
+        let fa = full_adder();
+        let p = place_cnfet(&fa, Scheme::Scheme1).unwrap();
+        assert!(p.hpwl(&fa) > 0.0);
+        assert!(p.net_hpwl(&fa, "s1") > 0.0);
+        assert_eq!(p.net_hpwl(&fa, "no_such_net"), 0.0);
+    }
+
+    #[test]
+    fn utilization_below_one() {
+        let fa = full_adder();
+        let p = place_cnfet(&fa, Scheme::Scheme2).unwrap();
+        assert!(p.utilization > 0.2 && p.utilization <= 1.0, "{}", p.utilization);
+    }
+}

@@ -1,0 +1,180 @@
+//! Minimal technology mapping: boolean expressions to NAND2/INV netlists.
+//!
+//! Enough of a synthesis front-end to drive the standard-cell flow the
+//! paper targets: any combinational expression decomposes into the
+//! two-cell basis via De Morgan rewriting, with structural sharing of
+//! repeated subterms.
+
+use crate::netlist::{Netlist, PortDir};
+use cnfet_core::StdCellKind;
+use cnfet_logic::{Expr, VarTable};
+use std::collections::HashMap;
+
+/// Synthesizes `expr` into a NAND2/INV netlist computing `out`.
+///
+/// # Example
+///
+/// ```
+/// use cnfet_flow::synthesize;
+/// use cnfet_logic::Expr;
+/// let parsed = Expr::parse("a*b + !c").unwrap();
+/// let netlist = synthesize("demo", &parsed.expr, &parsed.vars, "y");
+/// assert!(netlist.instances.len() >= 3);
+/// ```
+pub fn synthesize(name: &str, expr: &Expr, vars: &VarTable, out: &str) -> Netlist {
+    let mut n = Netlist::new(name);
+    for (_, var_name) in vars.iter() {
+        n.add_port(var_name, PortDir::Input);
+    }
+    n.add_port(out, PortDir::Output);
+
+    let mut mapper = Mapper {
+        netlist: &mut n,
+        vars,
+        cache: HashMap::new(),
+        fresh: 0,
+    };
+    let result_net = mapper.map(expr);
+    // Tie the result to the output net with a buffer (two inverters) if it
+    // isn't already named `out`; a single rename suffices when the result
+    // is an internal net we created.
+    if result_net != out {
+        let inv_net = mapper.fresh_net();
+        let netlist = mapper.netlist;
+        netlist.add_gate(StdCellKind::Inv, 1, &[&result_net], &inv_net);
+        netlist.add_gate(StdCellKind::Inv, 1, &[&inv_net], out);
+    }
+    n
+}
+
+struct Mapper<'a> {
+    netlist: &'a mut Netlist,
+    vars: &'a VarTable,
+    cache: HashMap<String, String>,
+    fresh: usize,
+}
+
+impl Mapper<'_> {
+    fn fresh_net(&mut self) -> String {
+        self.fresh += 1;
+        format!("t{}", self.fresh)
+    }
+
+    /// Returns the net computing `expr`, emitting gates as needed.
+    fn map(&mut self, expr: &Expr) -> String {
+        let key = format!("{expr:?}");
+        if let Some(net) = self.cache.get(&key) {
+            return net.clone();
+        }
+        let net = match expr {
+            Expr::Var(v) => self.vars.name(*v).to_string(),
+            Expr::Const(_) => {
+                // Constants are not driven by library cells; model as a net
+                // the simulator ties off. Rare in practice.
+                let net = self.fresh_net();
+                net
+            }
+            Expr::Not(inner) => {
+                // !(a*b) is a single NAND.
+                if let Expr::And(terms) = inner.as_ref() {
+                    if terms.len() == 2 {
+                        let a = self.map(&terms[0]);
+                        let b = self.map(&terms[1]);
+                        let out = self.fresh_net();
+                        self.netlist
+                            .add_gate(StdCellKind::Nand(2), 1, &[&a, &b], &out);
+                        self.cache.insert(key, out.clone());
+                        return out;
+                    }
+                }
+                let a = self.map(inner);
+                let out = self.fresh_net();
+                self.netlist.add_gate(StdCellKind::Inv, 1, &[&a], &out);
+                out
+            }
+            Expr::And(terms) => {
+                // Left-deep NAND+INV chain.
+                let mut acc = self.map(&terms[0]);
+                for t in &terms[1..] {
+                    let rhs = self.map(t);
+                    let nand_out = self.fresh_net();
+                    self.netlist
+                        .add_gate(StdCellKind::Nand(2), 1, &[&acc, &rhs], &nand_out);
+                    let and_out = self.fresh_net();
+                    self.netlist
+                        .add_gate(StdCellKind::Inv, 1, &[&nand_out], &and_out);
+                    acc = and_out;
+                }
+                acc
+            }
+            Expr::Or(terms) => {
+                // Left-deep OR chain: a + b = !( !a · !b ).
+                let mut acc = self.map(&terms[0]);
+                for t in &terms[1..] {
+                    let rhs = self.map(t);
+                    let na = self.fresh_net();
+                    self.netlist.add_gate(StdCellKind::Inv, 1, &[&acc], &na);
+                    let nb = self.fresh_net();
+                    self.netlist.add_gate(StdCellKind::Inv, 1, &[&rhs], &nb);
+                    let or_out = self.fresh_net();
+                    self.netlist
+                        .add_gate(StdCellKind::Nand(2), 1, &[&na, &nb], &or_out);
+                    acc = or_out;
+                }
+                acc
+            }
+        };
+        self.cache.insert(key, net.clone());
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn verify(expr_text: &str) {
+        let parsed = Expr::parse(expr_text).unwrap();
+        let n = synthesize("t", &parsed.expr, &parsed.vars, "y");
+        let var_names: Vec<String> = parsed.vars.iter().map(|(_, s)| s.to_string()).collect();
+        for m in 0..1u64 << var_names.len() {
+            let mut inputs = BTreeMap::new();
+            for (i, name) in var_names.iter().enumerate() {
+                inputs.insert(name.clone(), m >> i & 1 == 1);
+            }
+            let v = n.evaluate(&inputs);
+            assert_eq!(v["y"], parsed.expr.eval(m), "{expr_text} at {m:b}");
+        }
+    }
+
+    #[test]
+    fn maps_basic_gates() {
+        verify("a*b");
+        verify("!(a*b)");
+        verify("a+b");
+        verify("!a");
+    }
+
+    #[test]
+    fn maps_compound_expressions() {
+        verify("a*b + !c");
+        verify("(a+b)*(c+d)");
+        verify("a*b*c");
+        verify("a+b+c");
+        verify("!(a*b + c*d)");
+    }
+
+    #[test]
+    fn structural_sharing() {
+        // The same subterm used twice maps to a single cone.
+        let parsed = Expr::parse("(a*b) + (a*b)").unwrap();
+        let n = synthesize("t", &parsed.expr, &parsed.vars, "y");
+        let nands_on_a = n
+            .instances
+            .iter()
+            .filter(|i| i.kind == StdCellKind::Nand(2) && i.inputs.contains(&"a".to_string()))
+            .count();
+        assert_eq!(nands_on_a, 1);
+    }
+}

@@ -1,0 +1,337 @@
+//! Structural Verilog front-end: the RTL entry point of the
+//! logic-to-GDSII flow.
+//!
+//! Supports the combinational structural subset a mapped netlist needs:
+//! `module`/`endmodule`, `input`/`output`/`wire` declarations, library
+//! cell instantiations with named port connections, and `assign` of
+//! boolean expressions (which are synthesized through [`crate::synth`]).
+
+use crate::netlist::{Netlist, PortDir};
+use crate::synth::synthesize;
+use cnfet_core::StdCellKind;
+use cnfet_logic::Expr;
+use std::fmt;
+
+/// Verilog parse error with a line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerilogError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for VerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verilog error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for VerilogError {}
+
+/// Parses a structural Verilog module into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`VerilogError`] on unsupported constructs or malformed input.
+///
+/// # Example
+///
+/// ```
+/// use cnfet_flow::verilog::parse_verilog;
+/// let src = r#"
+///   module majority (input a, input b, input c, output y);
+///     wire ab, bc, ac;
+///     NAND2_X1 u0 (.A(a), .B(b), .OUT(ab));
+///     NAND2_X1 u1 (.A(b), .B(c), .OUT(bc));
+///     NAND2_X1 u2 (.A(a), .B(c), .OUT(ac));
+///     assign y = !(ab * bc * ac);
+///   endmodule
+/// "#;
+/// let netlist = parse_verilog(src)?;
+/// assert_eq!(netlist.name, "majority");
+/// # Ok::<(), cnfet_flow::verilog::VerilogError>(())
+/// ```
+pub fn parse_verilog(src: &str) -> Result<Netlist, VerilogError> {
+    let mut netlist = Netlist::new("");
+    let mut in_module = false;
+    let mut assigns: Vec<(usize, String, String)> = Vec::new();
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: &str| VerilogError {
+            line: lineno + 1,
+            message: message.to_string(),
+        };
+
+        if let Some(rest) = line.strip_prefix("module") {
+            in_module = true;
+            let (name, ports) = parse_module_header(rest).map_err(|m| err(&m))?;
+            netlist.name = name;
+            for (port, dir) in ports {
+                netlist.add_port(&port, dir);
+            }
+        } else if line.starts_with("endmodule") {
+            in_module = false;
+        } else if !in_module {
+            return Err(err("statement outside module"));
+        } else if let Some(rest) = line.strip_prefix("input") {
+            for p in parse_ident_list(rest) {
+                netlist.add_port(&p, PortDir::Input);
+            }
+        } else if let Some(rest) = line.strip_prefix("output") {
+            for p in parse_ident_list(rest) {
+                netlist.add_port(&p, PortDir::Output);
+            }
+        } else if line.starts_with("wire") {
+            // Declarations are implicit in our netlist model.
+        } else if let Some(rest) = line.strip_prefix("assign") {
+            let body = rest.trim().trim_end_matches(';');
+            let (lhs, rhs) = body
+                .split_once('=')
+                .ok_or_else(|| err("assign without `=`"))?;
+            assigns.push((lineno + 1, lhs.trim().to_string(), rhs.trim().to_string()));
+        } else {
+            parse_instance(&line, &mut netlist).map_err(|m| err(&m))?;
+        }
+    }
+
+    // Synthesize assigns after all structure is known.
+    for (lineno, lhs, rhs) in assigns {
+        let parsed = Expr::parse(&rhs).map_err(|e| VerilogError {
+            line: lineno,
+            message: format!("bad expression `{rhs}`: {e}"),
+        })?;
+        let sub = synthesize("assign", &parsed.expr, &parsed.vars, &lhs);
+        // Merge sub-netlist instances, renaming to stay unique.
+        for (k, mut inst) in sub.instances.into_iter().enumerate() {
+            inst.name = format!("a{lineno}_{k}");
+            // Internal nets of the sub-netlist get a unique prefix; ports
+            // (primary inputs of the expression and the lhs) keep their
+            // names so they connect to the surrounding structure.
+            let is_local = |n: &str| n.starts_with('t') && n[1..].chars().all(|c| c.is_ascii_digit());
+            for net in inst.inputs.iter_mut() {
+                if is_local(net) {
+                    *net = format!("a{lineno}_{net}");
+                }
+            }
+            if is_local(&inst.output) {
+                inst.output = format!("a{lineno}_{}", inst.output);
+            }
+            netlist.instances.push(inst);
+        }
+    }
+    if netlist.name.is_empty() {
+        return Err(VerilogError {
+            line: 1,
+            message: "no module found".to_string(),
+        });
+    }
+    Ok(netlist)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_module_header(rest: &str) -> Result<(String, Vec<(String, PortDir)>), String> {
+    let rest = rest.trim().trim_end_matches(';');
+    let (name, ports) = match rest.split_once('(') {
+        Some((n, p)) => (n.trim(), p.trim_end_matches(')')),
+        None => (rest, ""),
+    };
+    if name.is_empty() {
+        return Err("module needs a name".to_string());
+    }
+    let mut out = Vec::new();
+    for item in ports.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        if let Some(p) = item.strip_prefix("input") {
+            out.push((p.trim().to_string(), PortDir::Input));
+        } else if let Some(p) = item.strip_prefix("output") {
+            out.push((p.trim().to_string(), PortDir::Output));
+        }
+        // Bare names: declared by body `input`/`output` statements.
+    }
+    Ok((name.to_string(), out))
+}
+
+fn parse_ident_list(rest: &str) -> Vec<String> {
+    rest.trim()
+        .trim_end_matches(';')
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Parses `CELL_Xk name (.A(net), .B(net), .OUT(net));`.
+fn parse_instance(line: &str, netlist: &mut Netlist) -> Result<(), String> {
+    let line = line.trim_end_matches(';');
+    let open = line.find('(').ok_or("expected `(` in instantiation")?;
+    let head: Vec<&str> = line[..open].split_whitespace().collect();
+    if head.len() != 2 {
+        return Err(format!("expected `CELL name (...)`, got `{line}`"));
+    }
+    let (cell, inst_name) = (head[0], head[1]);
+    let (kind, strength) = parse_cell_name(cell)?;
+
+    let body = &line[open + 1..line.rfind(')').ok_or("expected `)`")?];
+    let mut pins: Vec<(String, String)> = Vec::new();
+    for conn in split_top_level(body) {
+        let conn = conn.trim();
+        if conn.is_empty() {
+            continue;
+        }
+        let conn = conn
+            .strip_prefix('.')
+            .ok_or("only named port connections are supported")?;
+        let (pin, net) = conn
+            .split_once('(')
+            .ok_or("expected `.PIN(net)`")?;
+        pins.push((
+            pin.trim().to_string(),
+            net.trim_end_matches(')').trim().to_string(),
+        ));
+    }
+    let output = pins
+        .iter()
+        .find(|(p, _)| p == "OUT" || p == "Y" || p == "Z")
+        .ok_or("instance needs an OUT connection")?
+        .1
+        .clone();
+    let mut inputs: Vec<(String, String)> = pins
+        .into_iter()
+        .filter(|(p, _)| p != "OUT" && p != "Y" && p != "Z")
+        .collect();
+    inputs.sort_by(|a, b| a.0.cmp(&b.0));
+    let input_nets: Vec<&str> = inputs.iter().map(|(_, n)| n.as_str()).collect();
+
+    netlist.add_gate(kind, strength, &input_nets, &output);
+    // Keep the user's instance name.
+    let idx = netlist.instances.len() - 1;
+    netlist.instances[idx].name = inst_name.to_string();
+    Ok(())
+}
+
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+fn parse_cell_name(cell: &str) -> Result<(StdCellKind, u8), String> {
+    let (base, strength) = match cell.rsplit_once("_X") {
+        Some((b, s)) => (
+            b,
+            s.parse::<u8>().map_err(|_| format!("bad strength in `{cell}`"))?,
+        ),
+        None => (cell, 1),
+    };
+    let kind = match base {
+        "INV" => StdCellKind::Inv,
+        "NAND2" => StdCellKind::Nand(2),
+        "NAND3" => StdCellKind::Nand(3),
+        "NAND4" => StdCellKind::Nand(4),
+        "NOR2" => StdCellKind::Nor(2),
+        "NOR3" => StdCellKind::Nor(3),
+        "NOR4" => StdCellKind::Nor(4),
+        "AOI21" => StdCellKind::Aoi21,
+        "AOI22" => StdCellKind::Aoi22,
+        "AOI31" => StdCellKind::Aoi31,
+        "OAI21" => StdCellKind::Oai21,
+        "OAI22" => StdCellKind::Oai22,
+        other => return Err(format!("unknown cell `{other}`")),
+    };
+    Ok((kind, strength))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    const XOR_SRC: &str = r#"
+        // 4-NAND xor
+        module xor2 (input a, input b, output y);
+          wire n1, n2, n3;
+          NAND2_X1 u0 (.A(a), .B(b), .OUT(n1));
+          NAND2_X1 u1 (.A(a), .B(n1), .OUT(n2));
+          NAND2_X1 u2 (.A(b), .B(n1), .OUT(n3));
+          NAND2_X2 u3 (.A(n2), .B(n3), .OUT(y));
+        endmodule
+    "#;
+
+    #[test]
+    fn parses_and_evaluates_structural() {
+        let n = parse_verilog(XOR_SRC).unwrap();
+        assert_eq!(n.name, "xor2");
+        assert_eq!(n.instances.len(), 4);
+        assert_eq!(n.instances[3].strength, 2);
+        for (a, b) in [(false, false), (true, false), (false, true), (true, true)] {
+            let mut inputs = BTreeMap::new();
+            inputs.insert("a".to_string(), a);
+            inputs.insert("b".to_string(), b);
+            assert_eq!(n.evaluate(&inputs)["y"], a ^ b);
+        }
+    }
+
+    #[test]
+    fn assigns_are_synthesized() {
+        let src = r#"
+            module f (input a, input b, input c, output y);
+              assign y = a*b + !c;
+            endmodule
+        "#;
+        let n = parse_verilog(src).unwrap();
+        assert!(n.instances.len() >= 3);
+        for m in 0..8u32 {
+            let (a, b, c) = (m & 1 == 1, m & 2 == 2, m & 4 == 4);
+            let mut inputs = BTreeMap::new();
+            inputs.insert("a".to_string(), a);
+            inputs.insert("b".to_string(), b);
+            inputs.insert("c".to_string(), c);
+            assert_eq!(n.evaluate(&inputs)["y"], (a && b) || !c, "{m:03b}");
+        }
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let err = parse_verilog("module m (input a);\n  BOGUS u (.A(a), .OUT(y));\nendmodule")
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("BOGUS"));
+        assert!(parse_verilog("wire x;").is_err());
+        assert!(parse_verilog("").is_err());
+    }
+
+    #[test]
+    fn verilog_to_placement_end_to_end() {
+        let n = parse_verilog(XOR_SRC).unwrap();
+        let p = crate::place::place_cnfet(&n, cnfet_core::Scheme::Scheme2).unwrap();
+        assert_eq!(p.instances.len(), 4);
+        assert!(p.area_l2 > 0.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Integer database-unit coordinates and points.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub, SubAssign};
+
+/// Number of database units per lambda of the scalable rule convention.
+///
+/// Twenty units per lambda keeps every rule in the paper on-grid, including
+/// the 1.4x CMOS pull-up widening (`1.4 * 4λ = 5.6λ = 112 dbu`).
+pub const DBU_PER_LAMBDA: i64 = 20;
+
+/// Physical size of one lambda at the paper's 65 nm node, in nanometres.
+///
+/// The paper equates the minimum etched region, `2λ`, with the 65 nm
+/// lithography limit, so `λ = 32.5 nm`.
+pub const LAMBDA_NM: f64 = 32.5;
+
+/// A coordinate or distance in database units.
+///
+/// `Dbu` is a plain integer newtype: arithmetic is exact, comparisons are
+/// total, and conversion to lambda or nanometres is explicit.
+///
+/// # Example
+///
+/// ```
+/// use cnfet_geom::Dbu;
+/// let w = Dbu::from_lambda(4.0);
+/// assert_eq!(w.0, 80);
+/// assert_eq!(w.to_lambda(), 4.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Dbu(pub i64);
+
+impl Dbu {
+    /// Zero-length distance.
+    pub const ZERO: Dbu = Dbu(0);
+
+    /// Converts a (possibly fractional) lambda count to database units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` does not land on the database grid, which would
+    /// silently corrupt design-rule arithmetic.
+    pub fn from_lambda(lambda: f64) -> Dbu {
+        let raw = lambda * DBU_PER_LAMBDA as f64;
+        let rounded = raw.round();
+        assert!(
+            (raw - rounded).abs() < 1e-6,
+            "off-grid lambda value: {lambda}"
+        );
+        Dbu(rounded as i64)
+    }
+
+    /// Exact conversion from an integer lambda count.
+    pub const fn from_lambda_int(lambda: i64) -> Dbu {
+        Dbu(lambda * DBU_PER_LAMBDA)
+    }
+
+    /// This distance expressed in lambda.
+    pub fn to_lambda(self) -> f64 {
+        self.0 as f64 / DBU_PER_LAMBDA as f64
+    }
+
+    /// This distance expressed in nanometres at the 65 nm node.
+    pub fn to_nm(self) -> f64 {
+        self.to_lambda() * LAMBDA_NM
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Dbu {
+        Dbu(self.0.abs())
+    }
+
+    /// The smaller of two distances.
+    pub fn min(self, other: Dbu) -> Dbu {
+        Dbu(self.0.min(other.0))
+    }
+
+    /// The larger of two distances.
+    pub fn max(self, other: Dbu) -> Dbu {
+        Dbu(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for Dbu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}λ", self.to_lambda())
+    }
+}
+
+impl Add for Dbu {
+    type Output = Dbu;
+    fn add(self, rhs: Dbu) -> Dbu {
+        Dbu(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Dbu {
+    fn add_assign(&mut self, rhs: Dbu) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Dbu {
+    type Output = Dbu;
+    fn sub(self, rhs: Dbu) -> Dbu {
+        Dbu(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Dbu {
+    fn sub_assign(&mut self, rhs: Dbu) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Dbu {
+    type Output = Dbu;
+    fn neg(self) -> Dbu {
+        Dbu(-self.0)
+    }
+}
+
+impl Mul<i64> for Dbu {
+    type Output = Dbu;
+    fn mul(self, rhs: i64) -> Dbu {
+        Dbu(self.0 * rhs)
+    }
+}
+
+impl Div<i64> for Dbu {
+    type Output = Dbu;
+    fn div(self, rhs: i64) -> Dbu {
+        Dbu(self.0 / rhs)
+    }
+}
+
+impl Rem<i64> for Dbu {
+    type Output = Dbu;
+    fn rem(self, rhs: i64) -> Dbu {
+        Dbu(self.0 % rhs)
+    }
+}
+
+impl std::iter::Sum for Dbu {
+    fn sum<I: Iterator<Item = Dbu>>(iter: I) -> Dbu {
+        Dbu(iter.map(|d| d.0).sum())
+    }
+}
+
+/// A point on the database grid.
+///
+/// # Example
+///
+/// ```
+/// use cnfet_geom::{Point, Dbu};
+/// let p = Point::new(Dbu(10), Dbu(20));
+/// let q = p.translated(Dbu(5), Dbu(-5));
+/// assert_eq!(q, Point::new(Dbu(15), Dbu(15)));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: Dbu,
+    /// Vertical coordinate.
+    pub y: Dbu,
+}
+
+impl Point {
+    /// Origin of the coordinate system.
+    pub const ORIGIN: Point = Point {
+        x: Dbu(0),
+        y: Dbu(0),
+    };
+
+    /// Creates a point from two coordinates.
+    pub const fn new(x: Dbu, y: Dbu) -> Point {
+        Point { x, y }
+    }
+
+    /// Creates a point from lambda coordinates.
+    pub fn from_lambda(x: f64, y: f64) -> Point {
+        Point::new(Dbu::from_lambda(x), Dbu::from_lambda(y))
+    }
+
+    /// Returns this point shifted by `(dx, dy)`.
+    pub fn translated(self, dx: Dbu, dy: Dbu) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_round_trip() {
+        for l in [0.0, 1.0, 2.5, 4.0, 5.6, 10.0] {
+            assert_eq!(Dbu::from_lambda(l).to_lambda(), l);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "off-grid")]
+    fn off_grid_rejected() {
+        let _ = Dbu::from_lambda(0.001);
+    }
+
+    #[test]
+    fn nm_conversion_matches_node() {
+        // Gate length 2λ must be the node's 65 nm feature size.
+        assert!((Dbu::from_lambda(2.0).to_nm() - 65.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Dbu(30);
+        let b = Dbu(12);
+        assert_eq!(a + b, Dbu(42));
+        assert_eq!(a - b, Dbu(18));
+        assert_eq!(-a, Dbu(-30));
+        assert_eq!(a * 2, Dbu(60));
+        assert_eq!(a / 3, Dbu(10));
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        assert_eq!(Dbu(-4).abs(), Dbu(4));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Dbu = [Dbu(1), Dbu(2), Dbu(3)].into_iter().sum();
+        assert_eq!(total, Dbu(6));
+    }
+
+    #[test]
+    fn display_in_lambda() {
+        assert_eq!(Dbu::from_lambda(4.0).to_string(), "4λ");
+    }
+}

@@ -1,0 +1,555 @@
+//! Binary GDSII stream format writer and reader.
+//!
+//! Implements the subset of GDSII needed for standard-cell libraries and
+//! placed blocks: `BOUNDARY` elements (rectangles), `SREF` instances with
+//! the eight Manhattan orientations, and `TEXT` labels. The reader exists
+//! so round-trips can be verified in tests and so downstream tools can
+//! re-import streamed layouts.
+
+use crate::coord::{Dbu, Point, DBU_PER_LAMBDA, LAMBDA_NM};
+use crate::layer::Layer;
+use crate::layout::{Cell, Instance, Library};
+use crate::rect::Rect;
+use crate::transform::{Orientation, Transform};
+use std::fmt;
+
+/// Errors produced while reading a GDSII stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GdsError {
+    /// Stream ended in the middle of a record.
+    Truncated,
+    /// Record had an unexpected length for its type.
+    MalformedRecord(&'static str),
+    /// A `BOUNDARY` polygon was not an axis-aligned rectangle.
+    NonRectangular,
+    /// Unknown layer number.
+    UnknownLayer(i16),
+    /// STRANS flags encode an orientation we do not support.
+    UnsupportedTransform,
+}
+
+impl fmt::Display for GdsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GdsError::Truncated => write!(f, "truncated gds stream"),
+            GdsError::MalformedRecord(what) => write!(f, "malformed {what} record"),
+            GdsError::NonRectangular => write!(f, "non-rectangular boundary"),
+            GdsError::UnknownLayer(n) => write!(f, "unknown layer number {n}"),
+            GdsError::UnsupportedTransform => write!(f, "unsupported strans flags"),
+        }
+    }
+}
+
+impl std::error::Error for GdsError {}
+
+// GDSII record types used here.
+const HEADER: u8 = 0x00;
+const BGNLIB: u8 = 0x01;
+const LIBNAME: u8 = 0x02;
+const UNITS: u8 = 0x03;
+const ENDLIB: u8 = 0x04;
+const BGNSTR: u8 = 0x05;
+const STRNAME: u8 = 0x06;
+const ENDSTR: u8 = 0x07;
+const BOUNDARY: u8 = 0x08;
+const SREF: u8 = 0x0a;
+const TEXT_EL: u8 = 0x0c;
+const LAYER_RT: u8 = 0x0d;
+const DATATYPE: u8 = 0x0e;
+const XY: u8 = 0x10;
+const ENDEL: u8 = 0x11;
+const SNAME: u8 = 0x12;
+const STRING_RT: u8 = 0x19;
+const STRANS: u8 = 0x1a;
+const ANGLE: u8 = 0x1c;
+const TEXTTYPE: u8 = 0x16;
+
+// Record data types.
+const DT_NONE: u8 = 0x00;
+const DT_I16: u8 = 0x02;
+const DT_I32: u8 = 0x03;
+const DT_F64: u8 = 0x05;
+const DT_ASCII: u8 = 0x06;
+
+fn push_record(out: &mut Vec<u8>, rtype: u8, dtype: u8, data: &[u8]) {
+    let len = 4 + data.len();
+    assert!(len <= u16::MAX as usize, "gds record too long");
+    out.extend_from_slice(&(len as u16).to_be_bytes());
+    out.push(rtype);
+    out.push(dtype);
+    out.extend_from_slice(data);
+}
+
+fn push_i16s(out: &mut Vec<u8>, rtype: u8, vals: &[i16]) {
+    let mut data = Vec::with_capacity(vals.len() * 2);
+    for v in vals {
+        data.extend_from_slice(&v.to_be_bytes());
+    }
+    push_record(out, rtype, DT_I16, &data);
+}
+
+fn push_i32s(out: &mut Vec<u8>, rtype: u8, vals: &[i32]) {
+    let mut data = Vec::with_capacity(vals.len() * 4);
+    for v in vals {
+        data.extend_from_slice(&v.to_be_bytes());
+    }
+    push_record(out, rtype, DT_I32, &data);
+}
+
+fn push_ascii(out: &mut Vec<u8>, rtype: u8, s: &str) {
+    let mut data = s.as_bytes().to_vec();
+    if data.len() % 2 == 1 {
+        data.push(0);
+    }
+    push_record(out, rtype, DT_ASCII, &data);
+}
+
+/// Encodes an `f64` in GDSII 8-byte excess-64 floating point.
+fn gds_f64(value: f64) -> [u8; 8] {
+    if value == 0.0 {
+        return [0; 8];
+    }
+    let sign: u8 = if value < 0.0 { 0x80 } else { 0x00 };
+    let mut v = value.abs();
+    let mut exp: i32 = 64;
+    while v >= 1.0 {
+        v /= 16.0;
+        exp += 1;
+    }
+    while v < 1.0 / 16.0 {
+        v *= 16.0;
+        exp -= 1;
+    }
+    let mantissa = (v * 2f64.powi(56)) as u64;
+    let mut out = [0u8; 8];
+    out[0] = sign | (exp as u8);
+    out[1..8].copy_from_slice(&mantissa.to_be_bytes()[1..8]);
+    out
+}
+
+/// Decodes GDSII 8-byte real.
+fn parse_gds_f64(b: &[u8]) -> f64 {
+    let sign = if b[0] & 0x80 != 0 { -1.0 } else { 1.0 };
+    let exp = (b[0] & 0x7f) as i32 - 64;
+    let mut mantissa = 0u64;
+    for &byte in &b[1..8] {
+        mantissa = (mantissa << 8) | byte as u64;
+    }
+    sign * mantissa as f64 / 2f64.powi(56) * 16f64.powi(exp)
+}
+
+/// Serializes a library to a GDSII byte stream.
+///
+/// Database units are `λ / DBU_PER_LAMBDA` with `λ = 32.5 nm`, so one dbu is
+/// 1.625 nm.
+///
+/// # Example
+///
+/// ```
+/// use cnfet_geom::{write_gds, read_gds, Library, Cell, Layer, Rect};
+/// let mut lib = Library::new("demo");
+/// let mut c = Cell::new("INV");
+/// c.add_rect(Layer::Gate, Rect::from_lambda(0.0, 0.0, 2.0, 4.0));
+/// lib.add_cell(c);
+/// let bytes = write_gds(&lib);
+/// let back = read_gds(&bytes)?;
+/// assert_eq!(back.cell("INV").unwrap().shapes().len(), 1);
+/// # Ok::<(), cnfet_geom::GdsError>(())
+/// ```
+pub fn write_gds(lib: &Library) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_i16s(&mut out, HEADER, &[600]);
+    // Modification/access timestamps: fixed for reproducible streams.
+    let ts = [2009i16, 3, 1, 0, 0, 0];
+    let mut bgn = ts.to_vec();
+    bgn.extend_from_slice(&ts);
+    push_i16s(&mut out, BGNLIB, &bgn);
+    push_ascii(&mut out, LIBNAME, lib.name());
+
+    // UNITS: user units per dbu, metres per dbu.
+    let meters_per_dbu = LAMBDA_NM * 1e-9 / DBU_PER_LAMBDA as f64;
+    let user_per_dbu = 1.0 / DBU_PER_LAMBDA as f64; // user unit = 1 lambda
+    let mut units = Vec::new();
+    units.extend_from_slice(&gds_f64(user_per_dbu));
+    units.extend_from_slice(&gds_f64(meters_per_dbu));
+    push_record(&mut out, UNITS, DT_F64, &units);
+
+    for cell in lib.cells() {
+        push_i16s(&mut out, BGNSTR, &bgn);
+        push_ascii(&mut out, STRNAME, cell.name());
+        for shape in cell.shapes() {
+            push_record(&mut out, BOUNDARY, DT_NONE, &[]);
+            push_i16s(&mut out, LAYER_RT, &[shape.layer.gds_layer()]);
+            push_i16s(&mut out, DATATYPE, &[0]);
+            let r = shape.rect;
+            let pts = [
+                (r.x0(), r.y0()),
+                (r.x1(), r.y0()),
+                (r.x1(), r.y1()),
+                (r.x0(), r.y1()),
+                (r.x0(), r.y0()),
+            ];
+            let xy: Vec<i32> = pts
+                .iter()
+                .flat_map(|&(x, y)| [x.0 as i32, y.0 as i32])
+                .collect();
+            push_i32s(&mut out, XY, &xy);
+            push_record(&mut out, ENDEL, DT_NONE, &[]);
+        }
+        for text in cell.texts() {
+            push_record(&mut out, TEXT_EL, DT_NONE, &[]);
+            push_i16s(&mut out, LAYER_RT, &[text.layer.gds_layer()]);
+            push_i16s(&mut out, TEXTTYPE, &[0]);
+            push_i32s(&mut out, XY, &[text.position.x.0 as i32, text.position.y.0 as i32]);
+            push_ascii(&mut out, STRING_RT, &text.string);
+            push_record(&mut out, ENDEL, DT_NONE, &[]);
+        }
+        for inst in cell.instances() {
+            push_record(&mut out, SREF, DT_NONE, &[]);
+            push_ascii(&mut out, SNAME, &inst.cell);
+            let (mirror, angle) = orientation_to_strans(inst.transform.orientation);
+            if mirror || angle != 0.0 {
+                push_i16s(&mut out, STRANS, &[if mirror { -0x8000i16 as i16 } else { 0 }]);
+                if angle != 0.0 {
+                    let mut a = Vec::new();
+                    a.extend_from_slice(&gds_f64(angle));
+                    push_record(&mut out, ANGLE, DT_F64, &a);
+                }
+            }
+            push_i32s(
+                &mut out,
+                XY,
+                &[inst.transform.dx.0 as i32, inst.transform.dy.0 as i32],
+            );
+            push_record(&mut out, ENDEL, DT_NONE, &[]);
+        }
+        push_record(&mut out, ENDSTR, DT_NONE, &[]);
+    }
+    push_record(&mut out, ENDLIB, DT_NONE, &[]);
+    out
+}
+
+/// GDS STRANS encoding: (mirror about x before rotation, CCW angle degrees).
+fn orientation_to_strans(o: Orientation) -> (bool, f64) {
+    match o {
+        Orientation::R0 => (false, 0.0),
+        Orientation::R90 => (false, 90.0),
+        Orientation::R180 => (false, 180.0),
+        Orientation::R270 => (false, 270.0),
+        Orientation::MX => (true, 0.0),
+        Orientation::MX90 => (true, 90.0),
+        Orientation::MY => (true, 180.0),
+        Orientation::MY90 => (true, 270.0),
+    }
+}
+
+fn strans_to_orientation(mirror: bool, angle: f64) -> Result<Orientation, GdsError> {
+    let a = ((angle % 360.0) + 360.0) % 360.0;
+    let quarter = (a / 90.0).round() as i32 % 4;
+    if (a - quarter as f64 * 90.0).abs() > 1e-6 {
+        return Err(GdsError::UnsupportedTransform);
+    }
+    Ok(match (mirror, quarter) {
+        (false, 0) => Orientation::R0,
+        (false, 1) => Orientation::R90,
+        (false, 2) => Orientation::R180,
+        (false, 3) => Orientation::R270,
+        (true, 0) => Orientation::MX,
+        (true, 1) => Orientation::MX90,
+        (true, 2) => Orientation::MY,
+        (true, 3) => Orientation::MY90,
+        _ => unreachable!(),
+    })
+}
+
+struct Record<'a> {
+    rtype: u8,
+    data: &'a [u8],
+}
+
+fn records(bytes: &[u8]) -> Result<Vec<Record<'_>>, GdsError> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos + 4 <= bytes.len() {
+        let len = u16::from_be_bytes([bytes[pos], bytes[pos + 1]]) as usize;
+        if len < 4 || pos + len > bytes.len() {
+            return Err(GdsError::Truncated);
+        }
+        out.push(Record {
+            rtype: bytes[pos + 2],
+            data: &bytes[pos + 4..pos + len],
+        });
+        if bytes[pos + 2] == ENDLIB {
+            return Ok(out);
+        }
+        pos += len;
+    }
+    Err(GdsError::Truncated)
+}
+
+fn ascii(data: &[u8]) -> String {
+    let end = data.iter().position(|&b| b == 0).unwrap_or(data.len());
+    String::from_utf8_lossy(&data[..end]).into_owned()
+}
+
+fn i16_at(data: &[u8], idx: usize) -> Result<i16, GdsError> {
+    data.get(idx * 2..idx * 2 + 2)
+        .map(|b| i16::from_be_bytes([b[0], b[1]]))
+        .ok_or(GdsError::MalformedRecord("i16"))
+}
+
+fn i32_list(data: &[u8]) -> Result<Vec<i32>, GdsError> {
+    if data.len() % 4 != 0 {
+        return Err(GdsError::MalformedRecord("xy"));
+    }
+    Ok(data
+        .chunks_exact(4)
+        .map(|b| i32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+        .collect())
+}
+
+/// Parses a GDSII byte stream produced by [`write_gds`] (or any stream
+/// restricted to rectangles, texts and SREFs on known layers).
+///
+/// # Errors
+///
+/// Returns a [`GdsError`] on truncated or malformed streams, unknown layer
+/// numbers, non-rectangular boundaries or non-Manhattan transforms.
+pub fn read_gds(bytes: &[u8]) -> Result<Library, GdsError> {
+    let recs = records(bytes)?;
+    let mut lib = Library::new("gds");
+    let mut i = 0usize;
+    let mut cur: Option<Cell> = None;
+
+    while i < recs.len() {
+        let rec = &recs[i];
+        match rec.rtype {
+            LIBNAME => lib = Library::new(ascii(rec.data)),
+            BGNSTR => cur = Some(Cell::new("")),
+            STRNAME => {
+                if let Some(c) = cur.as_mut() {
+                    c.set_name(ascii(rec.data));
+                }
+            }
+            ENDSTR => {
+                if let Some(c) = cur.take() {
+                    lib.add_cell(c);
+                }
+            }
+            BOUNDARY => {
+                let (layer, xy, consumed) = parse_element(&recs, i)?;
+                let rect = rect_from_xy(&xy)?;
+                if let Some(c) = cur.as_mut() {
+                    c.add_rect(layer, rect);
+                }
+                i += consumed;
+                continue;
+            }
+            TEXT_EL => {
+                let mut layer = None;
+                let mut pos = None;
+                let mut string = String::new();
+                let mut j = i + 1;
+                while recs[j].rtype != ENDEL {
+                    match recs[j].rtype {
+                        LAYER_RT => {
+                            let n = i16_at(recs[j].data, 0)?;
+                            layer = Some(Layer::from_gds_layer(n).ok_or(GdsError::UnknownLayer(n))?);
+                        }
+                        XY => {
+                            let v = i32_list(recs[j].data)?;
+                            if v.len() < 2 {
+                                return Err(GdsError::MalformedRecord("text xy"));
+                            }
+                            pos = Some(Point::new(Dbu(v[0] as i64), Dbu(v[1] as i64)));
+                        }
+                        STRING_RT => string = ascii(recs[j].data),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let (Some(c), Some(layer), Some(position)) = (cur.as_mut(), layer, pos) {
+                    c.add_text(layer, position, string);
+                }
+                i = j + 1;
+                continue;
+            }
+            SREF => {
+                let mut name = String::new();
+                let mut mirror = false;
+                let mut angle = 0.0;
+                let mut dx = Dbu(0);
+                let mut dy = Dbu(0);
+                let mut j = i + 1;
+                while recs[j].rtype != ENDEL {
+                    match recs[j].rtype {
+                        SNAME => name = ascii(recs[j].data),
+                        STRANS => mirror = recs[j].data.first().is_some_and(|&b| b & 0x80 != 0),
+                        ANGLE => {
+                            if recs[j].data.len() != 8 {
+                                return Err(GdsError::MalformedRecord("angle"));
+                            }
+                            angle = parse_gds_f64(recs[j].data);
+                        }
+                        XY => {
+                            let v = i32_list(recs[j].data)?;
+                            if v.len() < 2 {
+                                return Err(GdsError::MalformedRecord("sref xy"));
+                            }
+                            dx = Dbu(v[0] as i64);
+                            dy = Dbu(v[1] as i64);
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let orientation = strans_to_orientation(mirror, angle)?;
+                if let Some(c) = cur.as_mut() {
+                    let n = c.instances().len();
+                    c.add_instance(Instance {
+                        cell: name,
+                        transform: Transform::new(orientation, dx, dy),
+                        name: format!("u{n}"),
+                    });
+                }
+                i = j + 1;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Ok(lib)
+}
+
+/// Parses a BOUNDARY element starting at `recs[start]`; returns layer, xy
+/// list and the number of records consumed.
+fn parse_element(
+    recs: &[Record<'_>],
+    start: usize,
+) -> Result<(Layer, Vec<i32>, usize), GdsError> {
+    let mut layer = None;
+    let mut xy = Vec::new();
+    let mut j = start + 1;
+    while j < recs.len() && recs[j].rtype != ENDEL {
+        match recs[j].rtype {
+            LAYER_RT => {
+                let n = i16_at(recs[j].data, 0)?;
+                layer = Some(Layer::from_gds_layer(n).ok_or(GdsError::UnknownLayer(n))?);
+            }
+            XY => xy = i32_list(recs[j].data)?,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= recs.len() {
+        return Err(GdsError::Truncated);
+    }
+    let layer = layer.ok_or(GdsError::MalformedRecord("boundary missing layer"))?;
+    Ok((layer, xy, j - start + 1))
+}
+
+fn rect_from_xy(xy: &[i32]) -> Result<Rect, GdsError> {
+    if xy.len() != 10 {
+        return Err(GdsError::NonRectangular);
+    }
+    let pts: Vec<(i64, i64)> = xy.chunks_exact(2).map(|c| (c[0] as i64, c[1] as i64)).collect();
+    if pts[0] != pts[4] {
+        return Err(GdsError::NonRectangular);
+    }
+    let xs: Vec<i64> = pts[..4].iter().map(|p| p.0).collect();
+    let ys: Vec<i64> = pts[..4].iter().map(|p| p.1).collect();
+    let (x0, x1) = (*xs.iter().min().unwrap(), *xs.iter().max().unwrap());
+    let (y0, y1) = (*ys.iter().min().unwrap(), *ys.iter().max().unwrap());
+    // Verify all corners are corners of the bbox (axis-aligned rectangle).
+    for &(x, y) in &pts[..4] {
+        if (x != x0 && x != x1) || (y != y0 && y != y1) {
+            return Err(GdsError::NonRectangular);
+        }
+    }
+    Ok(Rect::new(Dbu(x0), Dbu(y0), Dbu(x1), Dbu(y1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trip() {
+        for v in [0.0, 1.0, -1.0, 0.05, 1e-9, 1.625e-9, 123456.789, -0.001] {
+            let enc = gds_f64(v);
+            let dec = parse_gds_f64(&enc);
+            if v == 0.0 {
+                assert_eq!(dec, 0.0);
+            } else {
+                assert!((dec - v).abs() / v.abs() < 1e-12, "{v} -> {dec}");
+            }
+        }
+    }
+
+    #[test]
+    fn library_round_trip() {
+        let mut lib = Library::new("rt_test");
+        let mut inv = Cell::new("INV");
+        inv.add_rect(Layer::Gate, Rect::from_lambda(5.0, 0.0, 7.0, 4.0));
+        inv.add_rect(Layer::Contact, Rect::from_lambda(0.0, 0.0, 3.0, 4.0));
+        inv.add_text(Layer::Pin, Point::from_lambda(1.0, 2.0), "A");
+        lib.add_cell(inv);
+
+        let mut top = Cell::new("TOP");
+        for (i, o) in Orientation::ALL.iter().enumerate() {
+            top.add_instance(Instance {
+                cell: "INV".into(),
+                transform: Transform::new(*o, Dbu(100 * i as i64), Dbu(0)),
+                name: format!("u{i}"),
+            });
+        }
+        lib.add_cell(top);
+
+        let bytes = write_gds(&lib);
+        let back = read_gds(&bytes).unwrap();
+        assert_eq!(back.name(), "rt_test");
+        let inv2 = back.cell("INV").unwrap();
+        assert_eq!(inv2.shapes().len(), 2);
+        assert_eq!(inv2.texts().len(), 1);
+        assert_eq!(inv2.texts()[0].string, "A");
+        let top2 = back.cell("TOP").unwrap();
+        assert_eq!(top2.instances().len(), 8);
+        for (a, b) in lib
+            .cell("TOP")
+            .unwrap()
+            .instances()
+            .iter()
+            .zip(top2.instances())
+        {
+            assert_eq!(a.transform, b.transform);
+            assert_eq!(a.cell, b.cell);
+        }
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let mut lib = Library::new("x");
+        lib.add_cell(Cell::new("c"));
+        let bytes = write_gds(&lib);
+        assert!(matches!(
+            read_gds(&bytes[..bytes.len() - 6]),
+            Err(GdsError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn strans_round_trip() {
+        for o in Orientation::ALL {
+            let (m, a) = orientation_to_strans(o);
+            assert_eq!(strans_to_orientation(m, a).unwrap(), o);
+        }
+    }
+
+    #[test]
+    fn header_is_gds_version_600() {
+        let lib = Library::new("x");
+        let bytes = write_gds(&lib);
+        assert_eq!(&bytes[..6], &[0x00, 0x06, 0x00, 0x02, 0x02, 0x58]);
+    }
+}

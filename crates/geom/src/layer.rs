@@ -1,0 +1,162 @@
+//! Process layers of the CNFET design kit.
+//!
+//! The paper customizes an industrial 65 nm CMOS stack by replacing the
+//! silicon active layer with a CNT plane over 10 µm of SiO2 and reusing
+//! everything from polysilicon up to metal 7 for routing. The layers below
+//! reflect that stack, plus the CNFET-specific doping and etch masks that
+//! the imperfection-immune layout technique manipulates.
+
+use std::fmt;
+
+/// A mask layer in the CNFET (or baseline CMOS) process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layer {
+    /// The CNT plane: region where carbon nanotubes are grown/transferred.
+    /// Plays the role of the active/diffusion layer in CMOS.
+    CntActive,
+    /// Polysilicon gate strips (the paper validates poly gating with low-k
+    /// dielectric against its technology partners).
+    Gate,
+    /// Source/drain metal contact strips sitting directly on the CNTs.
+    Contact,
+    /// First routing metal.
+    Metal1,
+    /// Second routing metal.
+    Metal2,
+    /// Contact-to-metal1 / metal1-to-metal2 cut.
+    Via,
+    /// p+ doping mask (pull-up network tubes).
+    PDoping,
+    /// n+ doping mask (pull-down network tubes).
+    NDoping,
+    /// Etched region: CNTs under this mask are cut away. Only the *old*
+    /// immune layout style of Patil et al. [DAC'07] uses intra-cell etch.
+    Etch,
+    /// Cell abstract boundary (prBoundary analogue).
+    Boundary,
+    /// Pin shapes for router access.
+    Pin,
+}
+
+impl Layer {
+    /// Every layer, in stream-out order.
+    pub const ALL: [Layer; 11] = [
+        Layer::CntActive,
+        Layer::Gate,
+        Layer::Contact,
+        Layer::Metal1,
+        Layer::Metal2,
+        Layer::Via,
+        Layer::PDoping,
+        Layer::NDoping,
+        Layer::Etch,
+        Layer::Boundary,
+        Layer::Pin,
+    ];
+
+    /// GDSII layer number used on stream-out.
+    pub fn gds_layer(self) -> i16 {
+        match self {
+            Layer::CntActive => 1,
+            Layer::Gate => 2,
+            Layer::Contact => 3,
+            Layer::Metal1 => 4,
+            Layer::Metal2 => 5,
+            Layer::Via => 6,
+            Layer::PDoping => 7,
+            Layer::NDoping => 8,
+            Layer::Etch => 9,
+            Layer::Boundary => 10,
+            Layer::Pin => 11,
+        }
+    }
+
+    /// Inverse of [`Layer::gds_layer`].
+    pub fn from_gds_layer(n: i16) -> Option<Layer> {
+        Layer::ALL.into_iter().find(|l| l.gds_layer() == n)
+    }
+
+    /// Fill colour used by the SVG renderer.
+    pub fn svg_color(self) -> &'static str {
+        match self {
+            Layer::CntActive => "#d9f2d9",
+            Layer::Gate => "#cc2222",
+            Layer::Contact => "#4444cc",
+            Layer::Metal1 => "#3399ff",
+            Layer::Metal2 => "#9966ff",
+            Layer::Via => "#222222",
+            Layer::PDoping => "#ff9999",
+            Layer::NDoping => "#99ccff",
+            Layer::Etch => "#666666",
+            Layer::Boundary => "none",
+            Layer::Pin => "#ffcc00",
+        }
+    }
+
+    /// Fill opacity used by the SVG renderer.
+    pub fn svg_opacity(self) -> f64 {
+        match self {
+            Layer::CntActive => 0.6,
+            Layer::PDoping | Layer::NDoping => 0.35,
+            Layer::Boundary => 0.0,
+            _ => 0.8,
+        }
+    }
+
+    /// Short name used in reports and SVG legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::CntActive => "cnt",
+            Layer::Gate => "gate",
+            Layer::Contact => "contact",
+            Layer::Metal1 => "metal1",
+            Layer::Metal2 => "metal2",
+            Layer::Via => "via",
+            Layer::PDoping => "pplus",
+            Layer::NDoping => "nplus",
+            Layer::Etch => "etch",
+            Layer::Boundary => "boundary",
+            Layer::Pin => "pin",
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gds_numbers_round_trip() {
+        for layer in Layer::ALL {
+            assert_eq!(Layer::from_gds_layer(layer.gds_layer()), Some(layer));
+        }
+    }
+
+    #[test]
+    fn gds_numbers_unique() {
+        let mut nums: Vec<i16> = Layer::ALL.iter().map(|l| l.gds_layer()).collect();
+        nums.sort_unstable();
+        nums.dedup();
+        assert_eq!(nums.len(), Layer::ALL.len());
+    }
+
+    #[test]
+    fn unknown_gds_layer() {
+        assert_eq!(Layer::from_gds_layer(99), None);
+    }
+
+    #[test]
+    fn names_unique_and_displayed() {
+        let mut names: Vec<&str> = Layer::ALL.iter().map(|l| l.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Layer::ALL.len());
+        assert_eq!(Layer::Gate.to_string(), "gate");
+    }
+}

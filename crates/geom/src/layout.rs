@@ -1,0 +1,440 @@
+//! Cells, instances and libraries: the layout database.
+
+use crate::coord::{Dbu, Point};
+use crate::layer::Layer;
+use crate::rect::Rect;
+use crate::transform::Transform;
+use crate::union_area::union_area;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A rectangle on a process layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Process layer the rectangle is drawn on.
+    pub layer: Layer,
+    /// The geometry.
+    pub rect: Rect,
+}
+
+/// A text label, used for pin names and net annotations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Text {
+    /// Layer the label is attached to.
+    pub layer: Layer,
+    /// Anchor position.
+    pub position: Point,
+    /// Label string (net or pin name).
+    pub string: String,
+}
+
+/// A placed reference to another cell in the same library.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Instance {
+    /// Name of the referenced cell.
+    pub cell: String,
+    /// Placement transform applied to the referenced cell's geometry.
+    pub transform: Transform,
+    /// Instance name (unique within the parent cell by convention).
+    pub name: String,
+}
+
+/// A layout cell: a named bag of shapes, labels and instances.
+///
+/// # Example
+///
+/// ```
+/// use cnfet_geom::{Cell, Layer, Rect};
+/// let mut inv = Cell::new("INV_1X");
+/// inv.add_rect(Layer::Gate, Rect::from_lambda(5.0, 0.0, 7.0, 4.0));
+/// assert_eq!(inv.shapes_on(Layer::Gate).count(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Cell {
+    name: String,
+    shapes: Vec<Shape>,
+    texts: Vec<Text>,
+    instances: Vec<Instance>,
+}
+
+impl Cell {
+    /// Creates an empty cell.
+    pub fn new(name: impl Into<String>) -> Cell {
+        Cell {
+            name: name.into(),
+            shapes: Vec::new(),
+            texts: Vec::new(),
+            instances: Vec::new(),
+        }
+    }
+
+    /// The cell name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the cell.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Adds a rectangle on a layer; degenerate rectangles are kept (they can
+    /// be probes) but contribute no area.
+    pub fn add_rect(&mut self, layer: Layer, rect: Rect) -> &mut Cell {
+        self.shapes.push(Shape { layer, rect });
+        self
+    }
+
+    /// Adds a pre-built shape.
+    pub fn add_shape(&mut self, shape: Shape) -> &mut Cell {
+        self.shapes.push(shape);
+        self
+    }
+
+    /// Adds a text label.
+    pub fn add_text(
+        &mut self,
+        layer: Layer,
+        position: Point,
+        string: impl Into<String>,
+    ) -> &mut Cell {
+        self.texts.push(Text {
+            layer,
+            position,
+            string: string.into(),
+        });
+        self
+    }
+
+    /// Adds an instance of another cell.
+    pub fn add_instance(&mut self, instance: Instance) -> &mut Cell {
+        self.instances.push(instance);
+        self
+    }
+
+    /// All shapes in insertion order.
+    pub fn shapes(&self) -> &[Shape] {
+        &self.shapes
+    }
+
+    /// All text labels.
+    pub fn texts(&self) -> &[Text] {
+        &self.texts
+    }
+
+    /// All instances.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Iterator over shapes on one layer.
+    pub fn shapes_on(&self, layer: Layer) -> impl Iterator<Item = &Shape> {
+        self.shapes.iter().filter(move |s| s.layer == layer)
+    }
+
+    /// Rectangles on one layer.
+    pub fn rects_on(&self, layer: Layer) -> Vec<Rect> {
+        self.shapes_on(layer).map(|s| s.rect).collect()
+    }
+
+    /// Union area of one layer in square database units.
+    pub fn area_on(&self, layer: Layer) -> i128 {
+        union_area(&self.rects_on(layer))
+    }
+
+    /// Bounding box of all local shapes (instances excluded), if any.
+    pub fn bbox(&self) -> Option<Rect> {
+        self.shapes
+            .iter()
+            .filter(|s| s.layer != Layer::Boundary || true)
+            .map(|s| s.rect)
+            .reduce(|a, b| a.union_bbox(&b))
+    }
+
+    /// Translates every shape, text and instance by `(dx, dy)`.
+    pub fn translate(&mut self, dx: Dbu, dy: Dbu) {
+        for s in &mut self.shapes {
+            s.rect = s.rect.translated(dx, dy);
+        }
+        for t in &mut self.texts {
+            t.position = t.position.translated(dx, dy);
+        }
+        for i in &mut self.instances {
+            i.transform.dx += dx;
+            i.transform.dy += dy;
+        }
+    }
+
+    /// Merges another cell's local shapes and texts into this one under a
+    /// transform (instances of `other` are *not* resolved; see
+    /// [`Library::flatten`]).
+    pub fn merge_transformed(&mut self, other: &Cell, t: &Transform) {
+        for s in &other.shapes {
+            self.shapes.push(Shape {
+                layer: s.layer,
+                rect: t.apply_rect(s.rect),
+            });
+        }
+        for txt in &other.texts {
+            self.texts.push(Text {
+                layer: txt.layer,
+                position: t.apply(txt.position),
+                string: txt.string.clone(),
+            });
+        }
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cell {} ({} shapes, {} insts)",
+            self.name,
+            self.shapes.len(),
+            self.instances.len()
+        )
+    }
+}
+
+/// Errors raised by library operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LibraryError {
+    /// A referenced cell does not exist in the library.
+    MissingCell(String),
+    /// Instance graph contains a cycle through the named cell.
+    RecursiveHierarchy(String),
+}
+
+impl fmt::Display for LibraryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibraryError::MissingCell(name) => write!(f, "missing cell `{name}`"),
+            LibraryError::RecursiveHierarchy(name) => {
+                write!(f, "recursive hierarchy through `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LibraryError {}
+
+/// A collection of cells forming a design library.
+///
+/// # Example
+///
+/// ```
+/// use cnfet_geom::{Library, Cell};
+/// let mut lib = Library::new("cnfet65");
+/// lib.add_cell(Cell::new("INV_1X"));
+/// assert!(lib.cell("INV_1X").is_some());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Library {
+    name: String,
+    cells: Vec<Cell>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Library {
+    /// Creates an empty library.
+    pub fn new(name: impl Into<String>) -> Library {
+        Library {
+            name: name.into(),
+            cells: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// The library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds (or replaces) a cell, returning its index.
+    pub fn add_cell(&mut self, cell: Cell) -> usize {
+        if let Some(&idx) = self.by_name.get(cell.name()) {
+            self.cells[idx] = cell;
+            idx
+        } else {
+            let idx = self.cells.len();
+            self.by_name.insert(cell.name().to_string(), idx);
+            self.cells.push(cell);
+            idx
+        }
+    }
+
+    /// Looks up a cell by name.
+    pub fn cell(&self, name: &str) -> Option<&Cell> {
+        self.by_name.get(name).map(|&i| &self.cells[i])
+    }
+
+    /// Mutable cell lookup.
+    pub fn cell_mut(&mut self, name: &str) -> Option<&mut Cell> {
+        self.by_name.get(name).map(|&i| &mut self.cells[i])
+    }
+
+    /// All cells in insertion order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the library holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Produces a new cell with the full hierarchy under `name` resolved to
+    /// local shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::MissingCell`] if `name` or any referenced cell
+    /// is absent, and [`LibraryError::RecursiveHierarchy`] on instance
+    /// cycles.
+    pub fn flatten(&self, name: &str) -> Result<Cell, LibraryError> {
+        let mut out = Cell::new(format!("{name}_flat"));
+        let mut stack = vec![name.to_string()];
+        self.flatten_into(name, &Transform::IDENTITY, &mut out, &mut stack)?;
+        Ok(out)
+    }
+
+    fn flatten_into(
+        &self,
+        name: &str,
+        t: &Transform,
+        out: &mut Cell,
+        stack: &mut Vec<String>,
+    ) -> Result<(), LibraryError> {
+        let cell = self
+            .cell(name)
+            .ok_or_else(|| LibraryError::MissingCell(name.to_string()))?;
+        out.merge_transformed(cell, t);
+        for inst in cell.instances() {
+            if stack.iter().any(|n| n == &inst.cell) {
+                return Err(LibraryError::RecursiveHierarchy(inst.cell.clone()));
+            }
+            stack.push(inst.cell.clone());
+            let combined = t.compose(&inst.transform);
+            self.flatten_into(&inst.cell, &combined, out, stack)?;
+            stack.pop();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::Orientation;
+
+    fn rect(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect {
+        Rect::new(Dbu(x0), Dbu(y0), Dbu(x1), Dbu(y1))
+    }
+
+    #[test]
+    fn add_and_query_shapes() {
+        let mut c = Cell::new("t");
+        c.add_rect(Layer::Gate, rect(0, 0, 2, 10));
+        c.add_rect(Layer::Contact, rect(4, 0, 7, 10));
+        c.add_rect(Layer::Gate, rect(9, 0, 11, 10));
+        assert_eq!(c.shapes_on(Layer::Gate).count(), 2);
+        assert_eq!(c.area_on(Layer::Gate), 40);
+        assert_eq!(c.bbox(), Some(rect(0, 0, 11, 10)));
+    }
+
+    #[test]
+    fn overlapping_area_not_double_counted() {
+        let mut c = Cell::new("t");
+        c.add_rect(Layer::Contact, rect(0, 0, 10, 10));
+        c.add_rect(Layer::Contact, rect(5, 0, 15, 10));
+        assert_eq!(c.area_on(Layer::Contact), 150);
+    }
+
+    #[test]
+    fn translate_moves_everything() {
+        let mut c = Cell::new("t");
+        c.add_rect(Layer::Gate, rect(0, 0, 2, 2));
+        c.add_text(Layer::Pin, Point::new(Dbu(1), Dbu(1)), "A");
+        c.translate(Dbu(10), Dbu(20));
+        assert_eq!(c.shapes()[0].rect, rect(10, 20, 12, 22));
+        assert_eq!(c.texts()[0].position, Point::new(Dbu(11), Dbu(21)));
+    }
+
+    #[test]
+    fn library_flatten_two_levels() {
+        let mut lib = Library::new("lib");
+        let mut leaf = Cell::new("leaf");
+        leaf.add_rect(Layer::Gate, rect(0, 0, 2, 4));
+        lib.add_cell(leaf);
+
+        let mut mid = Cell::new("mid");
+        mid.add_instance(Instance {
+            cell: "leaf".into(),
+            transform: Transform::translate(Dbu(10), Dbu(0)),
+            name: "u0".into(),
+        });
+        lib.add_cell(mid);
+
+        let mut top = Cell::new("top");
+        top.add_instance(Instance {
+            cell: "mid".into(),
+            transform: Transform::new(Orientation::MY, Dbu(100), Dbu(0)),
+            name: "m".into(),
+        });
+        lib.add_cell(top);
+
+        let flat = lib.flatten("top").unwrap();
+        assert_eq!(flat.shapes().len(), 1);
+        // leaf at x=[10,12] mirrored about y then +100 => x=[88,90]
+        assert_eq!(flat.shapes()[0].rect, rect(88, 0, 90, 4));
+    }
+
+    #[test]
+    fn flatten_detects_recursion() {
+        let mut lib = Library::new("lib");
+        let mut a = Cell::new("a");
+        a.add_instance(Instance {
+            cell: "b".into(),
+            transform: Transform::IDENTITY,
+            name: "u".into(),
+        });
+        lib.add_cell(a);
+        let mut b = Cell::new("b");
+        b.add_instance(Instance {
+            cell: "a".into(),
+            transform: Transform::IDENTITY,
+            name: "v".into(),
+        });
+        lib.add_cell(b);
+        assert!(matches!(
+            lib.flatten("a"),
+            Err(LibraryError::RecursiveHierarchy(_))
+        ));
+    }
+
+    #[test]
+    fn flatten_missing_cell() {
+        let lib = Library::new("lib");
+        assert_eq!(
+            lib.flatten("nope"),
+            Err(LibraryError::MissingCell("nope".into()))
+        );
+    }
+
+    #[test]
+    fn add_cell_replaces_same_name() {
+        let mut lib = Library::new("lib");
+        lib.add_cell(Cell::new("x"));
+        let mut x2 = Cell::new("x");
+        x2.add_rect(Layer::Gate, rect(0, 0, 1, 1));
+        lib.add_cell(x2);
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib.cell("x").unwrap().shapes().len(), 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! Axis-aligned rectangles, the only primitive shape in the layout database.
+//!
+//! CNFET standard cells in the paper are Manhattan: contact strips, gate
+//! strips, etched regions and routing are all axis-aligned rectangles, so a
+//! rectangle-only database (with union-area sweeps for overlap accounting)
+//! is a faithful substitute for a full polygon database.
+
+use crate::coord::{Dbu, Point};
+use std::fmt;
+
+/// A closed axis-aligned rectangle `[x0, x1] x [y0, y1]`.
+///
+/// Invariant: `x0 <= x1` and `y0 <= y1`; constructors normalize their
+/// arguments so the invariant always holds. Degenerate (zero-width or
+/// zero-height) rectangles are permitted: they are useful as cut lines and
+/// measurement probes, and report zero area.
+///
+/// # Example
+///
+/// ```
+/// use cnfet_geom::{Rect, Dbu};
+/// let r = Rect::from_lambda(0.0, 0.0, 3.0, 4.0);
+/// assert_eq!(r.width(), Dbu::from_lambda(3.0));
+/// assert_eq!(r.area_lambda2(), 12.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rect {
+    x0: Dbu,
+    y0: Dbu,
+    x1: Dbu,
+    y1: Dbu,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corner coordinates (any order).
+    pub fn new(xa: Dbu, ya: Dbu, xb: Dbu, yb: Dbu) -> Rect {
+        Rect {
+            x0: xa.min(xb),
+            y0: ya.min(yb),
+            x1: xa.max(xb),
+            y1: ya.max(yb),
+        }
+    }
+
+    /// Creates a rectangle from lambda corner coordinates.
+    pub fn from_lambda(xa: f64, ya: f64, xb: f64, yb: f64) -> Rect {
+        Rect::new(
+            Dbu::from_lambda(xa),
+            Dbu::from_lambda(ya),
+            Dbu::from_lambda(xb),
+            Dbu::from_lambda(yb),
+        )
+    }
+
+    /// Creates a rectangle from its lower-left corner, width and height.
+    pub fn from_wh(origin: Point, w: Dbu, h: Dbu) -> Rect {
+        Rect::new(origin.x, origin.y, origin.x + w, origin.y + h)
+    }
+
+    /// Left edge.
+    pub fn x0(&self) -> Dbu {
+        self.x0
+    }
+
+    /// Bottom edge.
+    pub fn y0(&self) -> Dbu {
+        self.y0
+    }
+
+    /// Right edge.
+    pub fn x1(&self) -> Dbu {
+        self.x1
+    }
+
+    /// Top edge.
+    pub fn y1(&self) -> Dbu {
+        self.y1
+    }
+
+    /// Lower-left corner.
+    pub fn ll(&self) -> Point {
+        Point::new(self.x0, self.y0)
+    }
+
+    /// Upper-right corner.
+    pub fn ur(&self) -> Point {
+        Point::new(self.x1, self.y1)
+    }
+
+    /// Horizontal extent.
+    pub fn width(&self) -> Dbu {
+        self.x1 - self.x0
+    }
+
+    /// Vertical extent.
+    pub fn height(&self) -> Dbu {
+        self.y1 - self.y0
+    }
+
+    /// Centre point (rounded down to the grid).
+    pub fn center(&self) -> Point {
+        Point::new((self.x0 + self.x1) / 2, (self.y0 + self.y1) / 2)
+    }
+
+    /// Exact area in square database units.
+    pub fn area(&self) -> i128 {
+        self.width().0 as i128 * self.height().0 as i128
+    }
+
+    /// Area in square lambda.
+    pub fn area_lambda2(&self) -> f64 {
+        self.width().to_lambda() * self.height().to_lambda()
+    }
+
+    /// Whether the rectangle has zero area.
+    pub fn is_degenerate(&self) -> bool {
+        self.x0 == self.x1 || self.y0 == self.y1
+    }
+
+    /// Whether `p` lies inside or on the boundary.
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.x0 <= p.x && p.x <= self.x1 && self.y0 <= p.y && p.y <= self.y1
+    }
+
+    /// Whether `other` is entirely inside or on the boundary of `self`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.x0 <= other.x0 && other.x1 <= self.x1 && self.y0 <= other.y0 && other.y1 <= self.y1
+    }
+
+    /// Whether the two rectangles share interior area (touching edges do not
+    /// count as an overlap).
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+
+    /// Whether the two rectangles overlap or abut (share at least an edge
+    /// point).
+    pub fn touches(&self, other: &Rect) -> bool {
+        self.x0 <= other.x1 && other.x0 <= self.x1 && self.y0 <= other.y1 && other.y0 <= self.y1
+    }
+
+    /// The overlapping region, if the rectangles share any area or edge.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.touches(other) {
+            return None;
+        }
+        Some(Rect {
+            x0: self.x0.max(other.x0),
+            y0: self.y0.max(other.y0),
+            x1: self.x1.min(other.x1),
+            y1: self.y1.min(other.y1),
+        })
+    }
+
+    /// Smallest rectangle containing both inputs.
+    pub fn union_bbox(&self, other: &Rect) -> Rect {
+        Rect {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+
+    /// The rectangle grown by `margin` on all four sides.
+    ///
+    /// A negative margin shrinks the rectangle; if it would invert, the
+    /// result collapses to its centre point.
+    pub fn expanded(&self, margin: Dbu) -> Rect {
+        let x0 = self.x0 - margin;
+        let x1 = self.x1 + margin;
+        let y0 = self.y0 - margin;
+        let y1 = self.y1 + margin;
+        if x0 > x1 || y0 > y1 {
+            let c = self.center();
+            return Rect::new(c.x, c.y, c.x, c.y);
+        }
+        Rect { x0, y0, x1, y1 }
+    }
+
+    /// The rectangle shifted by `(dx, dy)`.
+    pub fn translated(&self, dx: Dbu, dy: Dbu) -> Rect {
+        Rect {
+            x0: self.x0 + dx,
+            y0: self.y0 + dy,
+            x1: self.x1 + dx,
+            y1: self.y1 + dy,
+        }
+    }
+
+    /// Euclidean-free Manhattan gap between two rectangles: the larger of
+    /// the horizontal and vertical separations, or zero when they touch.
+    ///
+    /// This is the quantity spacing design rules constrain.
+    pub fn spacing_to(&self, other: &Rect) -> Dbu {
+        let dx = (other.x0 - self.x1).max(self.x0 - other.x1).max(Dbu(0));
+        let dy = (other.y0 - self.y1).max(self.y0 - other.y1).max(Dbu(0));
+        // Diagonal separation: both gaps positive; the rule distance is the
+        // larger component under the Manhattan convention.
+        dx.max(dy)
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}, {}]x[{}, {}]",
+            self.x0, self.x1, self.y0, self.y1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect {
+        Rect::new(Dbu(x0), Dbu(y0), Dbu(x1), Dbu(y1))
+    }
+
+    #[test]
+    fn normalizes_corners() {
+        let a = r(10, 20, 0, 0);
+        assert_eq!(a.x0(), Dbu(0));
+        assert_eq!(a.y1(), Dbu(20));
+    }
+
+    #[test]
+    fn area_and_extents() {
+        let a = r(0, 0, 60, 80);
+        assert_eq!(a.width(), Dbu(60));
+        assert_eq!(a.height(), Dbu(80));
+        assert_eq!(a.area(), 4800);
+        assert_eq!(Rect::from_lambda(0.0, 0.0, 3.0, 4.0).area_lambda2(), 12.0);
+    }
+
+    #[test]
+    fn overlap_vs_touch() {
+        let a = r(0, 0, 10, 10);
+        let abut = r(10, 0, 20, 10);
+        let apart = r(11, 0, 20, 10);
+        let inside = r(2, 2, 8, 8);
+        assert!(!a.overlaps(&abut));
+        assert!(a.touches(&abut));
+        assert!(!a.touches(&apart));
+        assert!(a.overlaps(&inside));
+        assert!(a.contains_rect(&inside));
+        assert!(!inside.contains_rect(&a));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = r(0, 0, 10, 10);
+        assert_eq!(a.intersection(&r(5, 5, 15, 15)), Some(r(5, 5, 10, 10)));
+        assert_eq!(a.intersection(&r(10, 0, 20, 10)), Some(r(10, 0, 10, 10)));
+        assert_eq!(a.intersection(&r(12, 0, 20, 10)), None);
+    }
+
+    #[test]
+    fn union_bbox_covers_both() {
+        let a = r(0, 0, 5, 5);
+        let b = r(10, -5, 12, 2);
+        let u = a.union_bbox(&b);
+        assert!(u.contains_rect(&a) && u.contains_rect(&b));
+        assert_eq!(u, r(0, -5, 12, 5));
+    }
+
+    #[test]
+    fn expand_and_collapse() {
+        let a = r(0, 0, 10, 10);
+        assert_eq!(a.expanded(Dbu(2)), r(-2, -2, 12, 12));
+        let collapsed = a.expanded(Dbu(-6));
+        assert!(collapsed.is_degenerate());
+    }
+
+    #[test]
+    fn spacing() {
+        let a = r(0, 0, 10, 10);
+        assert_eq!(a.spacing_to(&r(14, 0, 20, 10)), Dbu(4));
+        assert_eq!(a.spacing_to(&r(0, 13, 10, 20)), Dbu(3));
+        assert_eq!(a.spacing_to(&r(14, 15, 20, 20)), Dbu(5));
+        assert_eq!(a.spacing_to(&r(5, 5, 20, 20)), Dbu(0));
+    }
+
+    #[test]
+    fn contains_point_boundary() {
+        let a = r(0, 0, 10, 10);
+        assert!(a.contains_point(Point::new(Dbu(0), Dbu(10))));
+        assert!(!a.contains_point(Point::new(Dbu(-1), Dbu(5))));
+    }
+}

@@ -1,0 +1,152 @@
+//! SVG rendering of layout cells for visual inspection.
+//!
+//! The examples and figure-regeneration binaries dump layouts as SVG so the
+//! reproduced Figure 2/3/4/8 geometry can be eyeballed against the paper.
+
+use crate::layer::Layer;
+use crate::layout::Cell;
+use std::fmt::Write as _;
+
+/// Renders a cell's local shapes as a standalone SVG document.
+///
+/// The y-axis is flipped so that the layout's +y (up) matches the screen's
+/// visual up. `scale` is pixels per database unit (0.5–2.0 works well for
+/// standard cells).
+///
+/// # Example
+///
+/// ```
+/// use cnfet_geom::{render_svg, Cell, Layer, Rect};
+/// let mut c = Cell::new("demo");
+/// c.add_rect(Layer::Gate, Rect::from_lambda(0.0, 0.0, 2.0, 4.0));
+/// let svg = render_svg(&c, 1.0);
+/// assert!(svg.starts_with("<svg") && svg.contains("</svg>"));
+/// ```
+pub fn render_svg(cell: &Cell, scale: f64) -> String {
+    let bbox = cell.bbox();
+    let (x0, y0, w, h) = match bbox {
+        Some(b) => (
+            b.x0().0 as f64,
+            b.y0().0 as f64,
+            b.width().0 as f64,
+            b.height().0 as f64,
+        ),
+        None => (0.0, 0.0, 1.0, 1.0),
+    };
+    let margin = 10.0;
+    let width = w * scale + 2.0 * margin;
+    let height = h * scale + 2.0 * margin;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {width:.0} {height:.0}\">\n"
+    );
+    let _ = writeln!(
+        svg,
+        "<rect x=\"0\" y=\"0\" width=\"{width:.0}\" height=\"{height:.0}\" fill=\"white\"/>"
+    );
+    let _ = writeln!(svg, "<!-- cell: {} -->", cell.name());
+
+    // Draw in a deterministic layer order so stacking is stable.
+    for layer in Layer::ALL {
+        for shape in cell.shapes_on(layer) {
+            let r = shape.rect;
+            let sx = (r.x0().0 as f64 - x0) * scale + margin;
+            // Flip y: top of the SVG is max y of the layout.
+            let sy = (y0 + h - r.y1().0 as f64) * scale + margin;
+            let sw = r.width().0 as f64 * scale;
+            let sh = r.height().0 as f64 * scale;
+            let color = layer.svg_color();
+            let stroke = if layer == Layer::Boundary {
+                "stroke=\"#333\" stroke-dasharray=\"4 2\" fill=\"none\""
+            } else {
+                ""
+            };
+            if layer == Layer::Boundary {
+                let _ = writeln!(
+                    svg,
+                    "<rect x=\"{sx:.1}\" y=\"{sy:.1}\" width=\"{sw:.1}\" height=\"{sh:.1}\" {stroke}/>"
+                );
+            } else {
+                let _ = writeln!(
+                    svg,
+                    "<rect x=\"{sx:.1}\" y=\"{sy:.1}\" width=\"{sw:.1}\" height=\"{sh:.1}\" \
+                     fill=\"{color}\" fill-opacity=\"{:.2}\" stroke=\"#222\" stroke-width=\"0.3\"><title>{}</title></rect>",
+                    layer.svg_opacity(),
+                    layer.name()
+                );
+            }
+        }
+    }
+
+    for text in cell.texts() {
+        let sx = (text.position.x.0 as f64 - x0) * scale + margin;
+        let sy = (y0 + h - text.position.y.0 as f64) * scale + margin;
+        let _ = writeln!(
+            svg,
+            "<text x=\"{sx:.1}\" y=\"{sy:.1}\" font-size=\"10\" font-family=\"monospace\" \
+             fill=\"#000\">{}</text>",
+            xml_escape(&text.string)
+        );
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::Point;
+    use crate::rect::Rect;
+
+    #[test]
+    fn empty_cell_renders() {
+        let svg = render_svg(&Cell::new("empty"), 1.0);
+        assert!(svg.contains("<svg"));
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn shapes_and_texts_present() {
+        let mut c = Cell::new("t");
+        c.add_rect(Layer::Gate, Rect::from_lambda(0.0, 0.0, 2.0, 4.0));
+        c.add_rect(Layer::Boundary, Rect::from_lambda(-1.0, -1.0, 3.0, 5.0));
+        c.add_text(Layer::Pin, Point::from_lambda(1.0, 1.0), "A<&>");
+        let svg = render_svg(&c, 2.0);
+        assert!(svg.contains("fill=\"#cc2222\""), "gate fill missing");
+        assert!(svg.contains("stroke-dasharray"), "boundary style missing");
+        assert!(svg.contains("A&lt;&amp;&gt;"), "text not escaped");
+    }
+
+    #[test]
+    fn y_axis_flipped() {
+        let mut c = Cell::new("t");
+        c.add_rect(Layer::Gate, Rect::from_lambda(0.0, 0.0, 1.0, 1.0));
+        c.add_rect(Layer::Contact, Rect::from_lambda(0.0, 9.0, 1.0, 10.0));
+        let svg = render_svg(&c, 1.0);
+        // The higher-y contact must be drawn at a smaller svg y than the gate.
+        let y_attr = |line: &str| -> f64 {
+            line.split(" y=\"")
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let gate_line = svg.lines().find(|l| l.contains("#cc2222")).unwrap();
+        let contact_line = svg.lines().find(|l| l.contains("#4444cc")).unwrap();
+        let (gate_y, contact_y) = (y_attr(gate_line), y_attr(contact_line));
+        assert!(contact_y < gate_y, "contact {contact_y} should be above gate {gate_y}");
+    }
+}

@@ -1,0 +1,216 @@
+//! Placement transforms: the eight Manhattan orientations plus translation.
+
+use crate::coord::{Dbu, Point};
+use crate::rect::Rect;
+use std::fmt;
+
+/// One of the eight axis-aligned orientations (D4 symmetry group).
+///
+/// Names follow the usual EDA convention: `R*` are counter-clockwise
+/// rotations, `M*` are mirrors about the named axis followed by the
+/// rotation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// Identity.
+    #[default]
+    R0,
+    /// Rotate 90° CCW.
+    R90,
+    /// Rotate 180°.
+    R180,
+    /// Rotate 270° CCW.
+    R270,
+    /// Mirror about the x-axis (flip vertically).
+    MX,
+    /// Mirror about x, then rotate 90°.
+    MX90,
+    /// Mirror about the y-axis (flip horizontally).
+    MY,
+    /// Mirror about y, then rotate 90°.
+    MY90,
+}
+
+impl Orientation {
+    /// All eight orientations.
+    pub const ALL: [Orientation; 8] = [
+        Orientation::R0,
+        Orientation::R90,
+        Orientation::R180,
+        Orientation::R270,
+        Orientation::MX,
+        Orientation::MX90,
+        Orientation::MY,
+        Orientation::MY90,
+    ];
+
+    /// Applies the orientation to a point about the origin.
+    pub fn apply(self, p: Point) -> Point {
+        let (x, y) = (p.x, p.y);
+        let (nx, ny) = match self {
+            Orientation::R0 => (x, y),
+            Orientation::R90 => (-y, x),
+            Orientation::R180 => (-x, -y),
+            Orientation::R270 => (y, -x),
+            Orientation::MX => (x, -y),
+            Orientation::MX90 => (y, x),
+            Orientation::MY => (-x, y),
+            Orientation::MY90 => (-y, -x),
+        };
+        Point::new(nx, ny)
+    }
+
+    /// The orientation that undoes this one.
+    pub fn inverse(self) -> Orientation {
+        match self {
+            Orientation::R90 => Orientation::R270,
+            Orientation::R270 => Orientation::R90,
+            other => other,
+        }
+    }
+
+    /// Whether the orientation swaps the x and y extents of shapes.
+    pub fn swaps_axes(self) -> bool {
+        matches!(
+            self,
+            Orientation::R90 | Orientation::R270 | Orientation::MX90 | Orientation::MY90
+        )
+    }
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// An orientation followed by a translation, applied as
+/// `T(p) = orient(p) + (dx, dy)`.
+///
+/// # Example
+///
+/// ```
+/// use cnfet_geom::{Transform, Orientation, Point, Dbu};
+/// let t = Transform::new(Orientation::MY, Dbu(100), Dbu(0));
+/// assert_eq!(t.apply(Point::new(Dbu(10), Dbu(5))), Point::new(Dbu(90), Dbu(5)));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Transform {
+    /// Orientation applied before the translation.
+    pub orientation: Orientation,
+    /// Horizontal offset.
+    pub dx: Dbu,
+    /// Vertical offset.
+    pub dy: Dbu,
+}
+
+impl Transform {
+    /// The identity transform.
+    pub const IDENTITY: Transform = Transform {
+        orientation: Orientation::R0,
+        dx: Dbu(0),
+        dy: Dbu(0),
+    };
+
+    /// Creates a transform from its parts.
+    pub fn new(orientation: Orientation, dx: Dbu, dy: Dbu) -> Transform {
+        Transform {
+            orientation,
+            dx,
+            dy,
+        }
+    }
+
+    /// A pure translation.
+    pub fn translate(dx: Dbu, dy: Dbu) -> Transform {
+        Transform::new(Orientation::R0, dx, dy)
+    }
+
+    /// Applies the transform to a point.
+    pub fn apply(&self, p: Point) -> Point {
+        self.orientation.apply(p).translated(self.dx, self.dy)
+    }
+
+    /// Applies the transform to a rectangle (re-normalizing corners).
+    pub fn apply_rect(&self, r: Rect) -> Rect {
+        let a = self.apply(r.ll());
+        let b = self.apply(r.ur());
+        Rect::new(a.x, a.y, b.x, b.y)
+    }
+
+    /// The transform equivalent to applying `self` after `inner`
+    /// (`(self ∘ inner)(p) = self(inner(p))`).
+    pub fn compose(&self, inner: &Transform) -> Transform {
+        // self(inner(p)) = O_s(O_i(p) + t_i) + t_s = (O_s∘O_i)(p) + O_s(t_i) + t_s
+        let combined = compose_orientations(self.orientation, inner.orientation);
+        let shifted = self
+            .orientation
+            .apply(Point::new(inner.dx, inner.dy))
+            .translated(self.dx, self.dy);
+        Transform::new(combined, shifted.x, shifted.y)
+    }
+}
+
+/// Returns the orientation equivalent to applying `outer` after `inner`.
+fn compose_orientations(outer: Orientation, inner: Orientation) -> Orientation {
+    // Probe with two points that uniquely identify each of the 8 elements.
+    let probe = |o: Orientation, p: Point| o.apply(p);
+    let p1 = probe(outer, probe(inner, Point::new(Dbu(1), Dbu(0))));
+    let p2 = probe(outer, probe(inner, Point::new(Dbu(0), Dbu(1))));
+    for cand in Orientation::ALL {
+        if probe(cand, Point::new(Dbu(1), Dbu(0))) == p1
+            && probe(cand, Point::new(Dbu(0), Dbu(1))) == p2
+        {
+            return cand;
+        }
+    }
+    unreachable!("orientation composition is closed");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_round_trip() {
+        let p = Point::new(Dbu(7), Dbu(-3));
+        for o in Orientation::ALL {
+            assert_eq!(o.inverse().apply(o.apply(p)), p, "orientation {o}");
+        }
+    }
+
+    #[test]
+    fn rect_transform_preserves_area() {
+        let r = Rect::new(Dbu(2), Dbu(3), Dbu(10), Dbu(8));
+        for o in Orientation::ALL {
+            let t = Transform::new(o, Dbu(100), Dbu(-50));
+            assert_eq!(t.apply_rect(r).area(), r.area(), "orientation {o}");
+        }
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let p = Point::new(Dbu(5), Dbu(9));
+        for a in Orientation::ALL {
+            for b in Orientation::ALL {
+                let ta = Transform::new(a, Dbu(3), Dbu(-2));
+                let tb = Transform::new(b, Dbu(-7), Dbu(11));
+                let composed = ta.compose(&tb);
+                assert_eq!(composed.apply(p), ta.apply(tb.apply(p)), "{a} ∘ {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn swaps_axes_consistent_with_extents() {
+        let r = Rect::new(Dbu(0), Dbu(0), Dbu(4), Dbu(2));
+        for o in Orientation::ALL {
+            let t = Transform::new(o, Dbu(0), Dbu(0));
+            let tr = t.apply_rect(r);
+            if o.swaps_axes() {
+                assert_eq!((tr.width(), tr.height()), (r.height(), r.width()));
+            } else {
+                assert_eq!((tr.width(), tr.height()), (r.width(), r.height()));
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Monte-Carlo mispositioned-tube simulation — the quantitative engine
+//! behind the Figure 2 comparison.
+//!
+//! Tubes are x-monotone piecewise-linear random walks: each segment of
+//! length `segment_len_lambda` (in x) draws a slope uniformly from
+//! `[-tau, tau]`. The tube is traced through the region decomposition;
+//! every contact-to-contact conduction segment is judged, and a tube whose
+//! trace contains any harmful segment counts as a functional failure.
+
+use crate::region::{build_columns, ColumnMap, RegionKind};
+use crate::verdict::{Judge, Segment, Verdict};
+use cnfet_core::{PullSide, SemanticLayout};
+use cnfet_geom::DBU_PER_LAMBDA;
+use cnfet_logic::VarId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Monte-Carlo options.
+#[derive(Clone, Debug)]
+pub struct McOptions {
+    /// Number of tubes to sample.
+    pub tubes: usize,
+    /// Slope bound per segment (`dy/dx`). The paper's mispositioned tubes
+    /// are wavy but roughly aligned; 1.0 (45°) is a generous bound.
+    pub tau: f64,
+    /// Length (in x) of each straight sub-segment, λ.
+    pub segment_len_lambda: f64,
+    /// RNG seed (runs are deterministic).
+    pub seed: u64,
+}
+
+impl Default for McOptions {
+    fn default() -> Self {
+        McOptions {
+            tubes: 2000,
+            tau: 1.0,
+            segment_len_lambda: 6.0,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A concrete failing tube.
+#[derive(Clone, Debug)]
+pub struct Witness {
+    /// Polyline vertices (dbu).
+    pub polyline: Vec<(i64, i64)>,
+    /// The harmful segment it created.
+    pub segment: Segment,
+}
+
+/// Monte-Carlo result.
+#[derive(Clone, Debug)]
+pub struct McReport {
+    /// Tubes sampled.
+    pub tubes: usize,
+    /// Tubes that broke the cell's function.
+    pub failures: usize,
+    /// Example failures (up to 8).
+    pub witnesses: Vec<Witness>,
+}
+
+impl McReport {
+    /// Failure probability per mispositioned tube.
+    pub fn failure_probability(&self) -> f64 {
+        if self.tubes == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.tubes as f64
+        }
+    }
+}
+
+/// Runs the Monte-Carlo mispositioning experiment on a cell.
+pub fn simulate(sem: &SemanticLayout, opts: &McOptions) -> McReport {
+    let cm = build_columns(sem);
+    let mut judge = Judge::new(sem);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let bbox = sem.bbox;
+    let (x0, x1) = (bbox.x0().0, bbox.x1().0);
+    let (y0, y1) = (bbox.y0().0, bbox.y1().0);
+    let seg_dx = (opts.segment_len_lambda * DBU_PER_LAMBDA as f64).max(1.0);
+
+    let mut failures = 0usize;
+    let mut witnesses = Vec::new();
+
+    for _ in 0..opts.tubes {
+        // Sample an x-monotone polyline spanning the cell.
+        let mut poly: Vec<(f64, f64)> = Vec::new();
+        let mut x = x0 as f64;
+        let mut y = rng.gen_range(y0 as f64..=y1 as f64);
+        poly.push((x, y));
+        while x < x1 as f64 {
+            let slope: f64 = rng.gen_range(-opts.tau..=opts.tau);
+            let nx = (x + seg_dx).min(x1 as f64);
+            y += slope * (nx - x);
+            x = nx;
+            poly.push((x, y));
+        }
+
+        if let Some(seg) = first_harmful_segment(&cm, &poly, &mut judge) {
+            failures += 1;
+            if witnesses.len() < 8 {
+                witnesses.push(Witness {
+                    polyline: poly.iter().map(|&(a, b)| (a as i64, b as i64)).collect(),
+                    segment: seg,
+                });
+            }
+        }
+    }
+
+    McReport {
+        tubes: opts.tubes,
+        failures,
+        witnesses,
+    }
+}
+
+/// Traces a polyline and returns its first harmful conduction segment.
+fn first_harmful_segment(
+    cm: &ColumnMap,
+    poly: &[(f64, f64)],
+    judge: &mut Judge<'_>,
+) -> Option<Segment> {
+    // Sample the polyline densely and build the region sequence.
+    let step = DBU_PER_LAMBDA as f64 / 4.0; // 0.25λ
+    let mut regions: Vec<&RegionKind> = Vec::new();
+    for w in poly.windows(2) {
+        let ((xa, ya), (xb, yb)) = (w[0], w[1]);
+        let dx = xb - xa;
+        let n = (dx / step).ceil().max(1.0) as usize;
+        for k in 0..n {
+            let t = k as f64 / n as f64;
+            let x = (xa + t * dx) as i64;
+            let y = (ya + t * (yb - ya)) as i64;
+            let Some(col) = cm.column_at(x) else { continue };
+            let Some(si) = cm.slab_at(col, y) else { continue };
+            let kind = &cm.columns[col][si].kind;
+            if regions.last() != Some(&kind) {
+                regions.push(kind);
+            }
+        }
+    }
+
+    // Split into contact-to-contact conduction segments.
+    let mut current: Option<(String, BTreeSet<(VarId, PullSide)>)> = None;
+    for kind in regions {
+        match kind {
+            RegionKind::Dead => current = None,
+            RegionKind::Doped(_) => {}
+            RegionKind::Gate(v, s) => {
+                if let Some((_, gates)) = current.as_mut() {
+                    gates.insert((*v, *s));
+                }
+            }
+            RegionKind::Contact(net) => {
+                if let Some((start, gates)) = current.take() {
+                    let seg = Segment {
+                        net_a: start,
+                        net_b: net.clone(),
+                        gates,
+                    };
+                    if judge.classify(&seg) == Verdict::Harmful {
+                        return Some(seg);
+                    }
+                }
+                current = Some((net.clone(), BTreeSet::new()));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnfet_core::{generate_cell, GenerateOptions, Sizing, StdCellKind, Style};
+
+    fn cell(kind: StdCellKind, style: Style) -> cnfet_core::GeneratedCell {
+        generate_cell(
+            kind,
+            &GenerateOptions {
+                style,
+                sizing: Sizing::Matched { base_lambda: 4 },
+                ..GenerateOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn vulnerable_nand2_fails_sometimes() {
+        // Figure 2(b): the misaligned-CNT-vulnerable NAND layout.
+        let c = cell(StdCellKind::Nand(2), Style::Vulnerable);
+        let report = simulate(&c.semantics, &McOptions::default());
+        assert!(
+            report.failures > 0,
+            "vulnerable layout produced no failures in {} tubes",
+            report.tubes
+        );
+        assert!(!report.witnesses.is_empty());
+    }
+
+    #[test]
+    fn new_immune_nand2_never_fails() {
+        // Figure 2(c): 100% functional immunity.
+        let c = cell(StdCellKind::Nand(2), Style::NewImmune);
+        let report = simulate(
+            &c.semantics,
+            &McOptions {
+                tubes: 5000,
+                ..McOptions::default()
+            },
+        );
+        assert_eq!(report.failures, 0, "{:?}", report.witnesses.first());
+    }
+
+    #[test]
+    fn old_immune_nand3_never_fails() {
+        let c = cell(StdCellKind::Nand(3), Style::OldEtched);
+        let report = simulate(&c.semantics, &McOptions::default());
+        assert_eq!(report.failures, 0, "{:?}", report.witnesses.first());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = cell(StdCellKind::Nand(2), Style::Vulnerable);
+        let a = simulate(&c.semantics, &McOptions::default());
+        let b = simulate(&c.semantics, &McOptions::default());
+        assert_eq!(a.failures, b.failures);
+    }
+
+    #[test]
+    fn failure_probability_math() {
+        let r = McReport {
+            tubes: 200,
+            failures: 25,
+            witnesses: Vec::new(),
+        };
+        assert!((r.failure_probability() - 0.125).abs() < 1e-12);
+    }
+}

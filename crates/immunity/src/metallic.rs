@@ -1,0 +1,85 @@
+//! Metallic-CNT yield model.
+//!
+//! The paper assumes metallic tubes are removed during manufacturing
+//! (Section II, citing Zhang et al. [9]'s processing guidelines) and
+//! focuses on mispositioning. This module quantifies that assumption: how
+//! clean must growth + removal be for a cell/circuit to function, since a
+//! single surviving metallic tube shorts its device.
+
+/// Metallic-CNT process parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MetallicProcess {
+    /// Fraction of grown tubes that are metallic (≈1/3 for uniform
+    /// chirality; preferential growth reduces it).
+    pub metallic_fraction: f64,
+    /// Probability that the removal step (electrical burning / chemical
+    /// etching) eliminates a given metallic tube.
+    pub removal_efficiency: f64,
+}
+
+impl MetallicProcess {
+    /// Uniform growth with a given removal efficiency.
+    pub fn with_removal(removal_efficiency: f64) -> MetallicProcess {
+        MetallicProcess {
+            metallic_fraction: 1.0 / 3.0,
+            removal_efficiency,
+        }
+    }
+
+    /// Probability that one grown tube site ends up as a *surviving
+    /// metallic* tube.
+    pub fn surviving_metallic_probability(&self) -> f64 {
+        self.metallic_fraction * (1.0 - self.removal_efficiency)
+    }
+}
+
+/// Probability that a circuit of `total_tubes` tube sites has **no**
+/// surviving metallic tube (every device functional).
+///
+/// # Example
+///
+/// ```
+/// use cnfet_immunity::MetallicProcess;
+/// use cnfet_immunity::metallic_yield;
+/// // 99.99% removal on a 1000-tube circuit still loses ~3.3% of dies.
+/// let p = metallic_yield(&MetallicProcess::with_removal(0.9999), 1000);
+/// assert!(p > 0.96 && p < 0.97);
+/// ```
+pub fn metallic_yield(process: &MetallicProcess, total_tubes: u64) -> f64 {
+    let p_bad = process.surviving_metallic_probability();
+    (1.0 - p_bad).powf(total_tubes as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_removal_gives_full_yield() {
+        let p = MetallicProcess::with_removal(1.0);
+        assert_eq!(metallic_yield(&p, 1_000_000), 1.0);
+    }
+
+    #[test]
+    fn no_removal_is_hopeless_at_scale() {
+        let p = MetallicProcess::with_removal(0.0);
+        assert!(metallic_yield(&p, 100) < 1e-10);
+    }
+
+    #[test]
+    fn yield_decreases_with_size() {
+        let p = MetallicProcess::with_removal(0.999);
+        let small = metallic_yield(&p, 100);
+        let big = metallic_yield(&p, 10_000);
+        assert!(small > big);
+    }
+
+    #[test]
+    fn vlsi_needs_major_advancement() {
+        // Zhang et al.'s conclusion: VLSI-scale CNFET circuits need major
+        // technology-level advancement. A 10M-tube design at 99.99%
+        // removal yields essentially zero.
+        let p = MetallicProcess::with_removal(0.9999);
+        assert!(metallic_yield(&p, 10_000_000) < 1e-100);
+    }
+}

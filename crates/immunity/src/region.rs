@@ -1,0 +1,214 @@
+//! Column decomposition of a semantic layout.
+//!
+//! The cell is cut into vertical slabs at every rectangle edge; within a
+//! column, the y-axis is cut into [`Slab`]s of uniform semantics. Priority
+//! on overlap: etch > contact > gate > doped; anything uncovered is
+//! intrinsic (dead for conduction).
+
+use cnfet_core::{PullSide, SemKind, SemanticLayout};
+use cnfet_logic::VarId;
+
+/// What a tube experiences inside a region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegionKind {
+    /// Touching metal of the named net.
+    Contact(String),
+    /// Gated (channel) region: conducts iff the gate is on.
+    Gate(VarId, PullSide),
+    /// Doped region: conducts unconditionally.
+    Doped(PullSide),
+    /// Etched or intrinsic: conduction dies here.
+    Dead,
+}
+
+impl RegionKind {
+    /// Whether a conduction segment can pass through this region.
+    pub fn conducts(&self) -> bool {
+        !matches!(self, RegionKind::Dead)
+    }
+}
+
+/// A maximal y-interval of uniform semantics within one column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Slab {
+    /// Bottom edge, dbu.
+    pub y0: i64,
+    /// Top edge, dbu.
+    pub y1: i64,
+    /// Semantics.
+    pub kind: RegionKind,
+}
+
+/// The column decomposition of a cell.
+#[derive(Clone, Debug)]
+pub struct ColumnMap {
+    /// Column boundaries (ascending, `len = columns.len() + 1`), dbu.
+    pub xs: Vec<i64>,
+    /// Slabs per column, bottom-up, covering the cell bbox exactly.
+    pub columns: Vec<Vec<Slab>>,
+}
+
+impl ColumnMap {
+    /// Index of the column containing x (columns are half-open `[xa, xb)`;
+    /// the last column is closed). Returns `None` outside the cell.
+    pub fn column_at(&self, x: i64) -> Option<usize> {
+        if self.xs.is_empty() || x < self.xs[0] || x > *self.xs.last().expect("nonempty") {
+            return None;
+        }
+        let idx = match self.xs.binary_search(&x) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        Some(idx.min(self.columns.len() - 1))
+    }
+
+    /// Index of the slab containing y within a column (slabs half-open
+    /// `[y0, y1)`; top slab closed). Returns `None` outside.
+    pub fn slab_at(&self, col: usize, y: i64) -> Option<usize> {
+        let slabs = &self.columns[col];
+        for (i, s) in slabs.iter().enumerate() {
+            if y >= s.y0 && (y < s.y1 || (i + 1 == slabs.len() && y <= s.y1)) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Column width, dbu.
+    pub fn column_width(&self, col: usize) -> i64 {
+        self.xs[col + 1] - self.xs[col]
+    }
+}
+
+fn priority(kind: &SemKind) -> u8 {
+    match kind {
+        SemKind::Etch => 3,
+        SemKind::Contact { .. } => 2,
+        SemKind::Gate { .. } => 1,
+        SemKind::Doped { .. } => 0,
+    }
+}
+
+fn to_region(kind: &SemKind) -> RegionKind {
+    match kind {
+        SemKind::Etch => RegionKind::Dead,
+        SemKind::Contact { net } => RegionKind::Contact(net.clone()),
+        SemKind::Gate { var, side } => RegionKind::Gate(*var, *side),
+        SemKind::Doped { side } => RegionKind::Doped(*side),
+    }
+}
+
+/// Builds the column decomposition of a semantic layout.
+pub fn build_columns(layout: &SemanticLayout) -> ColumnMap {
+    let bbox = layout.bbox;
+    let mut xs: Vec<i64> = vec![bbox.x0().0, bbox.x1().0];
+    for r in &layout.rects {
+        xs.push(r.rect.x0().0.clamp(bbox.x0().0, bbox.x1().0));
+        xs.push(r.rect.x1().0.clamp(bbox.x0().0, bbox.x1().0));
+    }
+    xs.sort_unstable();
+    xs.dedup();
+
+    let mut columns = Vec::with_capacity(xs.len() - 1);
+    for w in xs.windows(2) {
+        let (xa, xb) = (w[0], w[1]);
+        // Rects covering this whole column.
+        let covering: Vec<_> = layout
+            .rects
+            .iter()
+            .filter(|r| r.rect.x0().0 <= xa && r.rect.x1().0 >= xb)
+            .collect();
+        let mut ys: Vec<i64> = vec![bbox.y0().0, bbox.y1().0];
+        for r in &covering {
+            ys.push(r.rect.y0().0.clamp(bbox.y0().0, bbox.y1().0));
+            ys.push(r.rect.y1().0.clamp(bbox.y0().0, bbox.y1().0));
+        }
+        ys.sort_unstable();
+        ys.dedup();
+
+        let mut slabs: Vec<Slab> = Vec::new();
+        for yw in ys.windows(2) {
+            let (ya, yb) = (yw[0], yw[1]);
+            let winner = covering
+                .iter()
+                .filter(|r| r.rect.y0().0 <= ya && r.rect.y1().0 >= yb)
+                .max_by_key(|r| priority(&r.kind));
+            let kind = winner.map_or(RegionKind::Dead, |r| to_region(&r.kind));
+            match slabs.last_mut() {
+                Some(last) if last.kind == kind => last.y1 = yb,
+                _ => slabs.push(Slab { y0: ya, y1: yb, kind }),
+            }
+        }
+        columns.push(slabs);
+    }
+    ColumnMap { xs, columns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnfet_core::{generate_cell, GenerateOptions, StdCellKind};
+
+    fn nand2_columns() -> ColumnMap {
+        let cell = generate_cell(StdCellKind::Nand(2), &GenerateOptions::default()).unwrap();
+        build_columns(&cell.semantics)
+    }
+
+    #[test]
+    fn columns_cover_bbox() {
+        let cell = generate_cell(StdCellKind::Nand(2), &GenerateOptions::default()).unwrap();
+        let cm = nand2_columns();
+        let bbox = cell.semantics.bbox;
+        assert_eq!(cm.xs[0], bbox.x0().0);
+        assert_eq!(*cm.xs.last().unwrap(), bbox.x1().0);
+        for slabs in &cm.columns {
+            assert_eq!(slabs.first().unwrap().y0, bbox.y0().0);
+            assert_eq!(slabs.last().unwrap().y1, bbox.y1().0);
+            for w in slabs.windows(2) {
+                assert_eq!(w[0].y1, w[1].y0, "slabs must tile");
+                assert_ne!(w[0].kind, w[1].kind, "adjacent slabs merged");
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_present() {
+        let cm = nand2_columns();
+        let mut has = (false, false, false, false);
+        for slabs in &cm.columns {
+            for s in slabs {
+                match &s.kind {
+                    RegionKind::Contact(_) => has.0 = true,
+                    RegionKind::Gate(..) => has.1 = true,
+                    RegionKind::Doped(_) => has.2 = true,
+                    RegionKind::Dead => has.3 = true,
+                }
+            }
+        }
+        assert!(has.0 && has.1 && has.2 && has.3, "{has:?}");
+    }
+
+    #[test]
+    fn lookup_functions() {
+        let cm = nand2_columns();
+        let x_mid = (cm.xs[0] + cm.xs[cm.xs.len() - 1]) / 2;
+        let col = cm.column_at(x_mid).unwrap();
+        assert!(cm.column_width(col) > 0);
+        let slabs = &cm.columns[col];
+        let y_mid = (slabs[0].y0 + slabs[slabs.len() - 1].y1) / 2;
+        assert!(cm.slab_at(col, y_mid).is_some());
+        assert_eq!(cm.column_at(cm.xs[0] - 1), None);
+    }
+
+    #[test]
+    fn contact_beats_doped_gate_beats_doped() {
+        // In a contact column the contact wins over the doping mask.
+        let cm = nand2_columns();
+        let any_contact = cm
+            .columns
+            .iter()
+            .flatten()
+            .any(|s| matches!(s.kind, RegionKind::Contact(_)));
+        assert!(any_contact);
+    }
+}

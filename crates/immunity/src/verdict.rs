@@ -1,0 +1,184 @@
+//! Harmfulness judgement of stray conduction segments.
+
+use cnfet_core::{PullSide, SemanticLayout};
+use cnfet_logic::VarId;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// A stray conduction segment created by a mispositioned tube: it ties the
+/// contacts of `net_a` and `net_b` together through the polarity-tagged
+/// gate regions in `gates`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Segment {
+    /// Net of the first contact touched.
+    pub net_a: String,
+    /// Net of the second contact touched.
+    pub net_b: String,
+    /// Gates crossed between the two contacts.
+    pub gates: BTreeSet<(VarId, PullSide)>,
+}
+
+/// The judgement of a segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Both ends on the same net: a harmless parallel wire/device.
+    SameNet,
+    /// The segment's conduction condition is unsatisfiable (some input
+    /// would need to be high and low simultaneously).
+    Unsatisfiable,
+    /// The gate set is a superset of a nominal path between the nets: the
+    /// stray tube conducts only when the cell already does.
+    SupersetOfNominal,
+    /// None of the above: the segment can change the cell's function
+    /// (e.g. the fully doped Vdd–Out short of Figure 2b).
+    Harmful,
+}
+
+impl Verdict {
+    /// Whether the segment leaves the function intact.
+    pub fn is_harmless(&self) -> bool {
+        !matches!(self, Verdict::Harmful)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::SameNet => write!(f, "same-net"),
+            Verdict::Unsatisfiable => write!(f, "unsatisfiable"),
+            Verdict::SupersetOfNominal => write!(f, "superset-of-nominal"),
+            Verdict::Harmful => write!(f, "HARMFUL"),
+        }
+    }
+}
+
+/// A memoizing judge over one cell's semantics.
+pub struct Judge<'a> {
+    sem: &'a SemanticLayout,
+    path_cache: HashMap<(String, String), Vec<BTreeSet<(VarId, PullSide)>>>,
+}
+
+impl<'a> Judge<'a> {
+    /// Creates a judge for a cell.
+    pub fn new(sem: &'a SemanticLayout) -> Judge<'a> {
+        Judge {
+            sem,
+            path_cache: HashMap::new(),
+        }
+    }
+
+    /// Judges one segment.
+    pub fn classify(&mut self, seg: &Segment) -> Verdict {
+        if seg.net_a == seg.net_b {
+            return Verdict::SameNet;
+        }
+        // Unsatisfiable: some variable appears as both a p-gate (needs 0)
+        // and an n-gate (needs 1).
+        let vars_up: BTreeSet<VarId> = seg
+            .gates
+            .iter()
+            .filter(|(_, s)| *s == PullSide::Up)
+            .map(|(v, _)| *v)
+            .collect();
+        let unsat = seg
+            .gates
+            .iter()
+            .any(|(v, s)| *s == PullSide::Down && vars_up.contains(v));
+        if unsat {
+            return Verdict::Unsatisfiable;
+        }
+        let key = if seg.net_a <= seg.net_b {
+            (seg.net_a.clone(), seg.net_b.clone())
+        } else {
+            (seg.net_b.clone(), seg.net_a.clone())
+        };
+        let sem = self.sem;
+        let paths = self
+            .path_cache
+            .entry(key.clone())
+            .or_insert_with(|| sem.node_paths(&key.0, &key.1));
+        if paths.iter().any(|p| p.is_subset(&seg.gates)) {
+            Verdict::SupersetOfNominal
+        } else {
+            Verdict::Harmful
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnfet_core::{generate_cell, GenerateOptions, StdCellKind};
+
+    fn seg(a: &str, b: &str, gates: &[(u32, PullSide)]) -> Segment {
+        Segment {
+            net_a: a.to_string(),
+            net_b: b.to_string(),
+            gates: gates.iter().map(|&(v, s)| (VarId(v), s)).collect(),
+        }
+    }
+
+    fn nand2_judge_test(segment: Segment, expected: Verdict) {
+        let cell = generate_cell(StdCellKind::Nand(2), &GenerateOptions::default()).unwrap();
+        let mut judge = Judge::new(&cell.semantics);
+        assert_eq!(judge.classify(&segment), expected, "{segment:?}");
+    }
+
+    #[test]
+    fn bare_short_is_harmful() {
+        // The Figure 2(b) failure: fully doped tube from Vdd to Out.
+        nand2_judge_test(seg("VDD", "OUT", &[]), Verdict::Harmful);
+    }
+
+    #[test]
+    fn same_net_harmless() {
+        nand2_judge_test(seg("VDD", "VDD", &[(0, PullSide::Up)]), Verdict::SameNet);
+    }
+
+    #[test]
+    fn redundant_parallel_device_harmless() {
+        // A stray A-gated p-tube between Vdd and Out duplicates a nominal
+        // device.
+        nand2_judge_test(
+            seg("VDD", "OUT", &[(0, PullSide::Up)]),
+            Verdict::SupersetOfNominal,
+        );
+    }
+
+    #[test]
+    fn superset_harmless() {
+        nand2_judge_test(
+            seg("VDD", "OUT", &[(0, PullSide::Up), (1, PullSide::Up)]),
+            Verdict::SupersetOfNominal,
+        );
+    }
+
+    #[test]
+    fn crowbar_with_one_polarity_harmful() {
+        // Vdd–Gnd bridge gated only by A(p): conducts whenever A = 0.
+        nand2_judge_test(seg("VDD", "GND", &[(0, PullSide::Up)]), Verdict::Harmful);
+    }
+
+    #[test]
+    fn inverter_like_crossing_unsatisfiable() {
+        // Vdd–Gnd bridge through both A(p) and A(n) never conducts.
+        nand2_judge_test(
+            seg("VDD", "GND", &[(0, PullSide::Up), (0, PullSide::Down)]),
+            Verdict::Unsatisfiable,
+        );
+    }
+
+    #[test]
+    fn partial_pdn_path_harmful() {
+        // Gnd→Out through only A(n): NAND2 needs A·B.
+        nand2_judge_test(seg("GND", "OUT", &[(0, PullSide::Down)]), Verdict::Harmful);
+    }
+
+    #[test]
+    fn full_pdn_path_harmless() {
+        nand2_judge_test(
+            seg("GND", "OUT", &[(0, PullSide::Down), (1, PullSide::Down)]),
+            Verdict::SupersetOfNominal,
+        );
+    }
+}

@@ -1,0 +1,395 @@
+//! Euler paths and minimum open-trail decompositions of pull graphs.
+//!
+//! The paper obtains its compact misaligned-CNT-immune layout "by drawing
+//! an Euler path from the Vdd to the Gnd traversing both the PUN and the
+//! PDN", placing a (possibly redundant) metal contact at every node visit.
+//! When a network admits no single Euler trail, it can always be covered by
+//! `max(1, k)` edge-disjoint open trails where `2k` is the number of
+//! odd-degree vertices; each trail becomes one diffusion row of the layout,
+//! generalizing the paper's SOP product-term rows.
+
+use crate::graph::{EdgeId, NodeId, PullGraph};
+
+/// A walk through a [`PullGraph`] using each of its edges at most once.
+///
+/// Invariant: `nodes.len() == edges.len() + 1`, and edge `i` connects
+/// `nodes[i]` to `nodes[i+1]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trail {
+    /// Node visit sequence (every visit receives a metal contact in the
+    /// compact layout).
+    pub nodes: Vec<NodeId>,
+    /// Edge (device) sequence.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Trail {
+    /// Number of devices along the trail.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the trail contains no devices.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Finds a single Euler trail covering every edge exactly once, if one
+/// exists (0 or 2 odd-degree vertices and a connected edge set).
+///
+/// The trail deterministically prefers to start at the source terminal,
+/// then the drain, then the lowest-id eligible node.
+///
+/// # Example
+///
+/// ```
+/// use cnfet_logic::{Expr, SpNetwork, PullGraph, euler_path};
+/// let e = Expr::parse("A+B+C").unwrap(); // NAND3 PUN
+/// let g = PullGraph::from_network(&SpNetwork::from_expr(&e.expr).unwrap());
+/// let t = euler_path(&g).unwrap();
+/// assert_eq!(t.edges.len(), 3); // Vdd-A-Out-B-Vdd-C-Out
+/// ```
+pub fn euler_path(graph: &PullGraph) -> Option<Trail> {
+    let odd = graph.odd_nodes();
+    if odd.len() > 2 || !edges_connected(graph) {
+        return None;
+    }
+    let trails = euler_trails(graph);
+    debug_assert_eq!(trails.len(), 1);
+    trails.into_iter().next()
+}
+
+/// Decomposes the graph's edges into a minimum number of open trails:
+/// one trail if the graph is Eulerian (≤2 odd vertices per connected
+/// component), otherwise `k` trails for `2k` odd vertices, per component.
+///
+/// Every edge appears in exactly one trail, exactly once. Trail starts
+/// prefer terminal nodes so the layout's end contacts land on Vdd/Gnd/Out.
+pub fn euler_trails(graph: &PullGraph) -> Vec<Trail> {
+    let mut out = Vec::new();
+    let edge_count = graph.edge_count();
+    if edge_count == 0 {
+        return out;
+    }
+
+    // Partition edges into connected components (by node union-find).
+    let mut uf = UnionFind::new(graph.node_count());
+    for e in graph.edges() {
+        uf.union(e.a.0 as usize, e.b.0 as usize);
+    }
+    let mut component_edges: Vec<Vec<EdgeId>> = Vec::new();
+    let mut component_of_root: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
+    for (i, e) in graph.edges().iter().enumerate() {
+        let root = uf.find(e.a.0 as usize);
+        let next_idx = component_edges.len();
+        let idx = *component_of_root.entry(root).or_insert(next_idx);
+        if idx == component_edges.len() {
+            component_edges.push(Vec::new());
+        }
+        component_edges[idx].push(EdgeId(i as u32));
+    }
+
+    for edges in component_edges {
+        out.extend(component_trails(graph, &edges));
+    }
+    out
+}
+
+/// Trails for a single connected edge set.
+fn component_trails(graph: &PullGraph, edges: &[EdgeId]) -> Vec<Trail> {
+    // Degrees restricted to this component.
+    let mut degree = vec![0usize; graph.node_count()];
+    for &eid in edges {
+        let e = graph.edge(eid);
+        degree[e.a.0 as usize] += 1;
+        degree[e.b.0 as usize] += 1;
+    }
+    let mut odd: Vec<NodeId> = (0..graph.node_count() as u32)
+        .map(NodeId)
+        .filter(|n| degree[n.0 as usize] % 2 == 1)
+        .collect();
+
+    // Prefer terminals as the open path's endpoints: sort odd nodes so
+    // Source and Drain come first; they become the unpaired endpoints.
+    odd.sort_by_key(|n| match *n {
+        PullGraph::SOURCE => (0, 0),
+        PullGraph::DRAIN => (1, 0),
+        other => (2, other.0),
+    });
+
+    // Virtual edges pair up surplus odd vertices: with 2k odd vertices we
+    // add k-1 virtual edges (between odd[2]&odd[3], odd[4]&odd[5], ...),
+    // leaving odd[0], odd[1] as the Euler path endpoints. Splitting the
+    // resulting Euler path at the virtual edges yields k real trails.
+    #[derive(Clone, Copy)]
+    struct HalfEdge {
+        to: NodeId,
+        edge: Option<EdgeId>, // None = virtual
+        pair_id: usize,
+    }
+    let mut adj: Vec<Vec<HalfEdge>> = vec![Vec::new(); graph.node_count()];
+    let mut used: Vec<bool> = Vec::new();
+    let push_pair = |adj: &mut Vec<Vec<HalfEdge>>,
+                         used: &mut Vec<bool>,
+                         a: NodeId,
+                         b: NodeId,
+                         edge: Option<EdgeId>| {
+        let pair_id = used.len();
+        used.push(false);
+        adj[a.0 as usize].push(HalfEdge { to: b, edge, pair_id });
+        adj[b.0 as usize].push(HalfEdge { to: a, edge, pair_id });
+    };
+    for &eid in edges {
+        let e = graph.edge(eid);
+        push_pair(&mut adj, &mut used, e.a, e.b, Some(eid));
+    }
+    for pair in odd.chunks(2).skip(1) {
+        if let [a, b] = pair {
+            push_pair(&mut adj, &mut used, *a, *b, None);
+        }
+    }
+
+    // Start node: an odd endpoint if any, else prefer Source/Drain/lowest
+    // node that has edges in this component.
+    let start = odd.first().copied().unwrap_or_else(|| {
+        let candidates = [PullGraph::SOURCE, PullGraph::DRAIN];
+        candidates
+            .into_iter()
+            .find(|n| !adj[n.0 as usize].is_empty())
+            .unwrap_or_else(|| {
+                let e = graph.edge(edges[0]);
+                e.a
+            })
+    });
+
+    // Hierholzer, iterative, deterministic (edges taken in insertion order).
+    let mut cursor: Vec<usize> = vec![0; graph.node_count()];
+    let mut stack: Vec<(NodeId, Option<Option<EdgeId>>)> = vec![(start, None)];
+    // Output sequence built in reverse: (node, edge-that-led-here).
+    let mut seq: Vec<(NodeId, Option<Option<EdgeId>>)> = Vec::new();
+    while let Some(&(v, via)) = stack.last() {
+        let vi = v.0 as usize;
+        let mut advanced = false;
+        while cursor[vi] < adj[vi].len() {
+            let he = adj[vi][cursor[vi]];
+            cursor[vi] += 1;
+            if !used[he.pair_id] {
+                used[he.pair_id] = true;
+                stack.push((he.to, Some(he.edge)));
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            seq.push((v, via));
+            stack.pop();
+        }
+    }
+    seq.reverse();
+
+    // Split at virtual edges into real trails.
+    let mut trails = Vec::new();
+    let mut nodes = vec![seq[0].0];
+    let mut tedges: Vec<EdgeId> = Vec::new();
+    for &(node, via) in &seq[1..] {
+        match via.expect("non-first entries record their edge") {
+            Some(eid) => {
+                tedges.push(eid);
+                nodes.push(node);
+            }
+            None => {
+                if !tedges.is_empty() {
+                    trails.push(Trail {
+                        nodes: std::mem::take(&mut nodes),
+                        edges: std::mem::take(&mut tedges),
+                    });
+                }
+                nodes = vec![node];
+            }
+        }
+    }
+    if !tedges.is_empty() {
+        trails.push(Trail { nodes, edges: tedges });
+    }
+    trails
+}
+
+fn edges_connected(graph: &PullGraph) -> bool {
+    let mut uf = UnionFind::new(graph.node_count());
+    for e in graph.edges() {
+        uf.union(e.a.0 as usize, e.b.0 as usize);
+    }
+    let mut root = None;
+    for e in graph.edges() {
+        let r = uf.find(e.a.0 as usize);
+        match root {
+            None => root = Some(r),
+            Some(r0) if r0 != r => return false,
+            _ => {}
+        }
+    }
+    true
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::network::SpNetwork;
+    use crate::vars::VarTable;
+
+    fn graph(s: &str) -> PullGraph {
+        let mut vars = VarTable::new();
+        let e = Expr::parse_with(s, &mut vars).unwrap();
+        PullGraph::from_network(&SpNetwork::from_expr(&e).unwrap())
+    }
+
+    /// Checks trail invariants: edge/node counts, adjacency, single-use.
+    fn validate(graph: &PullGraph, trails: &[Trail]) {
+        let mut seen = vec![false; graph.edge_count()];
+        for t in trails {
+            assert_eq!(t.nodes.len(), t.edges.len() + 1);
+            for (i, &eid) in t.edges.iter().enumerate() {
+                assert!(!seen[eid.0 as usize], "edge reused");
+                seen[eid.0 as usize] = true;
+                let e = graph.edge(eid);
+                let (a, b) = (t.nodes[i], t.nodes[i + 1]);
+                assert!(
+                    (e.a == a && e.b == b) || (e.a == b && e.b == a),
+                    "edge endpoints mismatch"
+                );
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "not all edges covered");
+    }
+
+    #[test]
+    fn nand3_pun_single_trail() {
+        let g = graph("A+B+C");
+        let t = euler_path(&g).expect("eulerian");
+        validate(&g, std::slice::from_ref(&t));
+        assert_eq!(t.nodes.len(), 4);
+        // Endpoints are the two terminals.
+        let ends = [t.nodes[0], *t.nodes.last().unwrap()];
+        assert!(ends.contains(&PullGraph::SOURCE));
+        assert!(ends.contains(&PullGraph::DRAIN));
+    }
+
+    #[test]
+    fn series_chain_trivial_trail() {
+        let g = graph("A*B*C");
+        let t = euler_path(&g).expect("eulerian");
+        assert_eq!(t.nodes.first(), Some(&PullGraph::SOURCE));
+        assert_eq!(t.nodes.last(), Some(&PullGraph::DRAIN));
+        validate(&g, std::slice::from_ref(&t));
+    }
+
+    #[test]
+    fn aoi31_pun_is_single_trail() {
+        // (A+B+C)*D: odd nodes are m1 and Out → Euler path exists.
+        let g = graph("(A+B+C)*D");
+        let t = euler_path(&g).expect("eulerian");
+        validate(&g, std::slice::from_ref(&t));
+        assert_eq!(t.edges.len(), 4);
+    }
+
+    #[test]
+    fn aoi31_pdn_circuit() {
+        // ABC + D: all nodes even → circuit (closed trail).
+        let g = graph("A*B*C+D");
+        let t = euler_path(&g).expect("eulerian circuit");
+        validate(&g, std::slice::from_ref(&t));
+        assert_eq!(t.nodes.first(), t.nodes.last());
+    }
+
+    #[test]
+    fn four_odd_vertices_two_trails() {
+        // Parallel branches with internal odd nodes: (A*B)+(C*D)+E gives
+        // odd degrees at Source(3) and Drain(3) only — still 1 trail.
+        let g = graph("A*B+C*D+E");
+        let trails = euler_trails(&g);
+        validate(&g, &trails);
+        assert_eq!(trails.len(), 1);
+
+        // Construct a genuine 4-odd-vertex graph: two triangles sharing no
+        // vertex cannot occur in SP networks, so build manually: star K1,3.
+        let mut g2 = PullGraph::new();
+        let m = g2.add_internal();
+        let x = g2.add_internal();
+        g2.add_edge(crate::vars::VarId(0), PullGraph::SOURCE, m);
+        g2.add_edge(crate::vars::VarId(1), PullGraph::DRAIN, m);
+        g2.add_edge(crate::vars::VarId(2), x, m);
+        // Degrees: Source 1, Drain 1, x 1, m 3 → 4 odd vertices → 2 trails.
+        let trails = euler_trails(&g2);
+        validate(&g2, &trails);
+        assert_eq!(trails.len(), 2);
+        assert!(euler_path(&g2).is_none());
+    }
+
+    #[test]
+    fn disconnected_components_each_covered() {
+        let mut g = PullGraph::new();
+        let a = g.add_internal();
+        let b = g.add_internal();
+        g.add_edge(crate::vars::VarId(0), PullGraph::SOURCE, PullGraph::DRAIN);
+        g.add_edge(crate::vars::VarId(1), a, b);
+        let trails = euler_trails(&g);
+        validate(&g, &trails);
+        assert_eq!(trails.len(), 2);
+        assert!(euler_path(&g).is_none());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = PullGraph::new();
+        assert!(euler_trails(&g).is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = graph("A*(B+C)+D*(E+F)");
+        let t1 = euler_trails(&g);
+        let t2 = euler_trails(&g);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn nand3_pun_matches_paper_sequence() {
+        // The paper's Figure 3(b): Vdd-A-Out-B-Vdd-C-Out. Our deterministic
+        // traversal must produce an alternating contact pattern.
+        let g = graph("A+B+C");
+        let t = euler_path(&g).unwrap();
+        for w in t.nodes.windows(2) {
+            assert_ne!(w[0], w[1], "consecutive contacts must alternate");
+        }
+    }
+}

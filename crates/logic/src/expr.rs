@@ -1,0 +1,483 @@
+//! Boolean expressions: AST, parser, evaluator.
+
+use crate::vars::{VarId, VarTable};
+use std::fmt;
+
+/// A boolean expression over named variables.
+///
+/// Supported concrete syntax (see [`Expr::parse`]):
+///
+/// * variables: identifiers (`A`, `cin`, `x1`);
+/// * AND: `*` or `&`; OR: `+` or `|`;
+/// * NOT: prefix `!`/`~` or postfix `'` (as in the paper's `(ABC+D)'`);
+/// * constants `0` and `1`; parentheses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// A variable reference.
+    Var(VarId),
+    /// Logical constant.
+    Const(bool),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Conjunction of two or more operands.
+    And(Vec<Expr>),
+    /// Disjunction of two or more operands.
+    Or(Vec<Expr>),
+}
+
+/// Error from [`Expr::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input at which parsing failed.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Expr {
+    /// Parses an expression, interning variables into a fresh table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] on malformed input.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cnfet_logic::Expr;
+    /// let e = Expr::parse("!(A*B + C)").unwrap();
+    /// assert_eq!(e.vars().len(), 3);
+    /// ```
+    pub fn parse(input: &str) -> Result<ExprWithVars, ParseError> {
+        let mut vars = VarTable::new();
+        let expr = Self::parse_with(input, &mut vars)?;
+        Ok(ExprWithVars { expr, vars })
+    }
+
+    /// Parses an expression, interning variables into an existing table so
+    /// several expressions can share ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] on malformed input.
+    pub fn parse_with(input: &str, vars: &mut VarTable) -> Result<Expr, ParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            vars,
+        };
+        let e = p.parse_or()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing input"));
+        }
+        Ok(e)
+    }
+
+    /// Evaluates under an assignment bitmask (bit `i` = value of `VarId(i)`).
+    pub fn eval(&self, assignment: u64) -> bool {
+        match self {
+            Expr::Var(v) => assignment >> v.index() & 1 == 1,
+            Expr::Const(b) => *b,
+            Expr::Not(e) => !e.eval(assignment),
+            Expr::And(es) => es.iter().all(|e| e.eval(assignment)),
+            Expr::Or(es) => es.iter().any(|e| e.eval(assignment)),
+        }
+    }
+
+    /// Sorted list of distinct variables appearing in the expression.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Expr::Var(v) => out.push(*v),
+            Expr::Const(_) => {}
+            Expr::Not(e) => e.collect_vars(out),
+            Expr::And(es) | Expr::Or(es) => {
+                for e in es {
+                    e.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Whether the expression is positive-unate syntactically (contains no
+    /// negation). Pull networks of static gates must be positive.
+    pub fn is_positive(&self) -> bool {
+        match self {
+            Expr::Var(_) | Expr::Const(_) => true,
+            Expr::Not(_) => false,
+            Expr::And(es) | Expr::Or(es) => es.iter().all(Expr::is_positive),
+        }
+    }
+
+    /// Applies De Morgan's laws to push all negations to the literals,
+    /// returning the negation-normal form of `!self`.
+    pub fn complement_nnf(&self) -> Expr {
+        match self {
+            Expr::Var(_) => Expr::Not(Box::new(self.clone())),
+            Expr::Const(b) => Expr::Const(!b),
+            Expr::Not(e) => e.to_nnf(),
+            Expr::And(es) => Expr::Or(es.iter().map(Expr::complement_nnf).collect()),
+            Expr::Or(es) => Expr::And(es.iter().map(Expr::complement_nnf).collect()),
+        }
+    }
+
+    /// Negation-normal form of `self`.
+    pub fn to_nnf(&self) -> Expr {
+        match self {
+            Expr::Var(_) | Expr::Const(_) => self.clone(),
+            Expr::Not(e) => e.complement_nnf(),
+            Expr::And(es) => Expr::And(es.iter().map(Expr::to_nnf).collect()),
+            Expr::Or(es) => Expr::Or(es.iter().map(Expr::to_nnf).collect()),
+        }
+    }
+
+    /// Renders with explicit operators using the given name table.
+    pub fn display<'a>(&'a self, vars: &'a VarTable) -> DisplayExpr<'a> {
+        DisplayExpr { expr: self, vars }
+    }
+}
+
+/// An expression together with the variable table its ids refer to.
+#[derive(Clone, Debug)]
+pub struct ExprWithVars {
+    /// The parsed expression.
+    pub expr: Expr,
+    /// Names of the variables appearing in `expr`.
+    pub vars: VarTable,
+}
+
+impl ExprWithVars {
+    /// Evaluates under an assignment bitmask.
+    pub fn eval(&self, assignment: u64) -> bool {
+        self.expr.eval(assignment)
+    }
+
+    /// Sorted distinct variables.
+    pub fn vars(&self) -> Vec<VarId> {
+        self.expr.vars()
+    }
+}
+
+/// Helper returned by [`Expr::display`].
+pub struct DisplayExpr<'a> {
+    expr: &'a Expr,
+    vars: &'a VarTable,
+}
+
+impl fmt::Display for DisplayExpr<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(e: &Expr, vars: &VarTable, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+            match e {
+                Expr::Var(v) => f.write_str(vars.name(*v)),
+                Expr::Const(b) => write!(f, "{}", u8::from(*b)),
+                Expr::Not(inner) => {
+                    f.write_str("!")?;
+                    go(inner, vars, f, 2)
+                }
+                Expr::And(es) => {
+                    let need = parent >= 2;
+                    if need {
+                        f.write_str("(")?;
+                    }
+                    for (i, sub) in es.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str("*")?;
+                        }
+                        go(sub, vars, f, 1)?;
+                    }
+                    if need {
+                        f.write_str(")")?;
+                    }
+                    Ok(())
+                }
+                Expr::Or(es) => {
+                    let need = parent >= 1;
+                    if need {
+                        f.write_str("(")?;
+                    }
+                    for (i, sub) in es.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str("+")?;
+                        }
+                        go(sub, vars, f, 0)?;
+                    }
+                    if need {
+                        f.write_str(")")?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        go(self.expr, self.vars, f, 0)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    vars: &'a mut VarTable,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut terms = vec![self.parse_and()?];
+        while let Some(c) = self.peek() {
+            if c == b'+' || c == b'|' {
+                self.pos += 1;
+                terms.push(self.parse_and()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("nonempty")
+        } else {
+            Expr::Or(terms)
+        })
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut factors = vec![self.parse_factor()?];
+        loop {
+            match self.peek() {
+                Some(b'*') | Some(b'&') => {
+                    self.pos += 1;
+                    factors.push(self.parse_factor()?);
+                }
+                // Implicit AND by juxtaposition: `AB`, `A(B+C)`, `!A B`.
+                Some(c) if c == b'(' || c == b'!' || c == b'~' || c.is_ascii_alphabetic() || c == b'_' => {
+                    factors.push(self.parse_factor()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(if factors.len() == 1 {
+            factors.pop().expect("nonempty")
+        } else {
+            Expr::And(factors)
+        })
+    }
+
+    fn parse_factor(&mut self) -> Result<Expr, ParseError> {
+        let mut e = match self.peek() {
+            Some(b'!') | Some(b'~') => {
+                self.pos += 1;
+                let inner = self.parse_factor()?;
+                Expr::Not(Box::new(inner))
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                let inner = self.parse_or()?;
+                if self.peek() != Some(b')') {
+                    return Err(self.err("expected `)`"));
+                }
+                self.pos += 1;
+                inner
+            }
+            Some(b'0') => {
+                self.pos += 1;
+                Expr::Const(false)
+            }
+            Some(b'1') => {
+                self.pos += 1;
+                Expr::Const(true)
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while self.pos < self.bytes.len()
+                    && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                let name = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("ascii identifier");
+                Expr::Var(self.vars.intern(name))
+            }
+            _ => return Err(self.err("expected variable, constant, `(`, `!` or `~`")),
+        };
+        // Postfix complement(s): A', (A+B)''.
+        while self.peek() == Some(b'\'') {
+            self.pos += 1;
+            e = Expr::Not(Box::new(e));
+        }
+        Ok(e)
+    }
+}
+
+/// Parses a *single-letter-variable* product-of-letters shorthand like the
+/// paper's `ABC+D`, treating every ASCII letter as its own variable.
+///
+/// Provided as a convenience for writing cell functions exactly as the
+/// paper prints them. Multi-character identifiers in the input still work
+/// (identifier tokens take maximal munch), so prefer [`Expr::parse`] unless
+/// you need letter-splitting.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input.
+pub fn parse_letters(input: &str, vars: &mut VarTable) -> Result<Expr, ParseError> {
+    // Insert explicit `*` between adjacent letters so `ABC` → `A*B*C`.
+    let mut rewritten = String::with_capacity(input.len() * 2);
+    let chars: Vec<char> = input.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        rewritten.push(c);
+        if c.is_ascii_alphabetic() {
+            if let Some(&next) = chars.get(i + 1) {
+                if next.is_ascii_alphabetic() {
+                    rewritten.push('*');
+                }
+            }
+        }
+    }
+    Expr::parse_with(&rewritten, vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_same_function(a: &str, b: &str) {
+        let mut vars = VarTable::new();
+        let ea = Expr::parse_with(a, &mut vars).unwrap();
+        let eb = Expr::parse_with(b, &mut vars).unwrap();
+        let n = vars.len();
+        for m in 0..1u64 << n {
+            assert_eq!(ea.eval(m), eb.eval(m), "{a} vs {b} at {m:b}");
+        }
+    }
+
+    #[test]
+    fn parses_basic_operators() {
+        assert_same_function("A*B", "A&B");
+        assert_same_function("A+B", "A|B");
+        assert_same_function("!A", "~A");
+        assert_same_function("!A", "A'");
+    }
+
+    #[test]
+    fn implicit_and() {
+        assert_same_function("A B", "A*B");
+        assert_same_function("A(B+C)", "A*(B+C)");
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        let parsed = Expr::parse("A*B+C").unwrap();
+        // (A*B)+C: true when C alone.
+        assert!(parsed.eval(0b100));
+        assert!(!parsed.eval(0b001));
+        assert!(parsed.eval(0b011));
+    }
+
+    #[test]
+    fn paper_style_postfix_complement() {
+        let e = Expr::parse("(A*B*C + D)'").unwrap();
+        // !(ABC+D): false when D=1.
+        assert!(!e.eval(0b1000));
+        assert!(!e.eval(0b0111));
+        assert!(e.eval(0b0011));
+    }
+
+    #[test]
+    fn letters_shorthand() {
+        let mut vars = VarTable::new();
+        let e = parse_letters("ABC+D", &mut vars).unwrap();
+        assert_eq!(vars.len(), 4);
+        assert!(e.eval(0b0111));
+        assert!(e.eval(0b1000));
+        assert!(!e.eval(0b0101));
+    }
+
+    #[test]
+    fn constants() {
+        assert!(Expr::parse("1").unwrap().expr.eval(0));
+        assert!(!Expr::parse("0").unwrap().expr.eval(0));
+        assert_same_function("A*1", "A");
+        assert_same_function("A+0", "A");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Expr::parse("").is_err());
+        assert!(Expr::parse("A+").is_err());
+        assert!(Expr::parse("(A").is_err());
+        assert!(Expr::parse("A)").is_err());
+        assert!(Expr::parse("A $ B").is_err());
+    }
+
+    #[test]
+    fn nnf_and_complement() {
+        let parsed = Expr::parse("!(A*!B + !C)").unwrap();
+        let nnf = parsed.expr.to_nnf();
+        // NNF evaluates identically.
+        for m in 0..8u64 {
+            assert_eq!(parsed.expr.eval(m), nnf.eval(m));
+        }
+        // And all negations are on literals.
+        fn check(e: &Expr) -> bool {
+            match e {
+                Expr::Not(inner) => matches!(**inner, Expr::Var(_)),
+                Expr::And(es) | Expr::Or(es) => es.iter().all(check),
+                _ => true,
+            }
+        }
+        assert!(check(&nnf));
+    }
+
+    #[test]
+    fn positivity() {
+        assert!(Expr::parse("A*B+C").unwrap().expr.is_positive());
+        assert!(!Expr::parse("A*!B").unwrap().expr.is_positive());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let parsed = Expr::parse("!(A*B+C)*(D+E)").unwrap();
+        let shown = parsed.expr.display(&parsed.vars).to_string();
+        let mut vars2 = VarTable::new();
+        let reparsed = Expr::parse_with(&shown, &mut vars2).unwrap();
+        for m in 0..32u64 {
+            assert_eq!(parsed.expr.eval(m), reparsed.eval(m), "mask {m:b} in {shown}");
+        }
+    }
+
+    #[test]
+    fn vars_sorted_dedup() {
+        let parsed = Expr::parse("B*A+B*C").unwrap();
+        assert_eq!(parsed.vars().len(), 3);
+    }
+}

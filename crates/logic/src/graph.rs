@@ -1,0 +1,253 @@
+//! The multigraph view of a pull network: contacts are nodes, gates are
+//! edges — exactly the abstraction the paper uses to draw Euler paths.
+
+use crate::network::SpNetwork;
+use crate::vars::VarId;
+use std::fmt;
+
+/// Index of a node within a [`PullGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Index of an edge within a [`PullGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+/// The electrical role of a graph node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// The supply-side terminal (Vdd for a PUN, Gnd for a PDN).
+    Source,
+    /// The output terminal of the network.
+    Drain,
+    /// An intermediate node (`m1`, `m2`, … in the paper's Figure 4).
+    Internal,
+}
+
+/// A device edge: a transistor whose gate is `gate`, connected between
+/// nodes `a` and `b`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Edge {
+    /// Gate signal controlling the device.
+    pub gate: VarId,
+    /// One terminal.
+    pub a: NodeId,
+    /// The other terminal.
+    pub b: NodeId,
+}
+
+/// A multigraph of devices between metal-contact nodes.
+///
+/// Node 0 is always the [`NodeKind::Source`] terminal and node 1 the
+/// [`NodeKind::Drain`] terminal.
+///
+/// # Example
+///
+/// ```
+/// use cnfet_logic::{Expr, SpNetwork, PullGraph, NodeKind};
+/// let e = Expr::parse("A*B+C").unwrap();
+/// let g = PullGraph::from_network(&SpNetwork::from_expr(&e.expr).unwrap());
+/// assert_eq!(g.edge_count(), 3);
+/// assert_eq!(g.kind(cnfet_logic::NodeId(0)), NodeKind::Source);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PullGraph {
+    kinds: Vec<NodeKind>,
+    edges: Vec<Edge>,
+}
+
+impl PullGraph {
+    /// Creates a graph with only the two terminals.
+    pub fn new() -> PullGraph {
+        PullGraph {
+            kinds: vec![NodeKind::Source, NodeKind::Drain],
+            edges: Vec::new(),
+        }
+    }
+
+    /// The source terminal node.
+    pub const SOURCE: NodeId = NodeId(0);
+    /// The drain (output) terminal node.
+    pub const DRAIN: NodeId = NodeId(1);
+
+    /// Builds the multigraph of a series–parallel network between the two
+    /// terminals, introducing internal nodes for series connections.
+    pub fn from_network(net: &SpNetwork) -> PullGraph {
+        let mut g = PullGraph::new();
+        g.wire(net, PullGraph::SOURCE, PullGraph::DRAIN);
+        g
+    }
+
+    fn wire(&mut self, net: &SpNetwork, a: NodeId, b: NodeId) {
+        match net {
+            SpNetwork::Device(v) => {
+                self.edges.push(Edge { gate: *v, a, b });
+            }
+            SpNetwork::Parallel(ns) => {
+                for n in ns {
+                    self.wire(n, a, b);
+                }
+            }
+            SpNetwork::Series(ns) => {
+                let mut prev = a;
+                for (i, n) in ns.iter().enumerate() {
+                    let next = if i + 1 == ns.len() {
+                        b
+                    } else {
+                        self.add_internal()
+                    };
+                    self.wire(n, prev, next);
+                    prev = next;
+                }
+            }
+        }
+    }
+
+    /// Adds an internal node, returning its id.
+    pub fn add_internal(&mut self) -> NodeId {
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(NodeKind::Internal);
+        id
+    }
+
+    /// Adds a device edge.
+    pub fn add_edge(&mut self, gate: VarId, a: NodeId, b: NodeId) -> EdgeId {
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { gate, a, b });
+        id
+    }
+
+    /// The role of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from another graph.
+    pub fn kind(&self, node: NodeId) -> NodeKind {
+        self.kinds[node.0 as usize]
+    }
+
+    /// Number of nodes (including both terminals).
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of device edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from another graph.
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        self.edges[id.0 as usize]
+    }
+
+    /// All edges in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Degree (number of incident device edges, self-loops counted twice).
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.edges
+            .iter()
+            .map(|e| usize::from(e.a == node) + usize::from(e.b == node))
+            .sum()
+    }
+
+    /// Nodes of odd degree, ascending.
+    pub fn odd_nodes(&self) -> Vec<NodeId> {
+        (0..self.kinds.len() as u32)
+            .map(NodeId)
+            .filter(|&n| self.degree(n) % 2 == 1)
+            .collect()
+    }
+
+    /// Human-readable node label (`Vdd`/`Gnd` handled by the caller via
+    /// `source_name`).
+    pub fn node_label(&self, node: NodeId, source_name: &str) -> String {
+        match self.kind(node) {
+            NodeKind::Source => source_name.to_string(),
+            NodeKind::Drain => "Out".to_string(),
+            NodeKind::Internal => format!("m{}", node.0 - 1),
+        }
+    }
+}
+
+impl Default for PullGraph {
+    fn default() -> Self {
+        PullGraph::new()
+    }
+}
+
+impl fmt::Display for PullGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph({} nodes", self.node_count())?;
+        for e in &self.edges {
+            write!(f, ", {}-[{}]-{}", e.a.0, e.gate, e.b.0)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::vars::VarTable;
+
+    fn graph(s: &str) -> PullGraph {
+        let mut vars = VarTable::new();
+        let e = Expr::parse_with(s, &mut vars).unwrap();
+        PullGraph::from_network(&SpNetwork::from_expr(&e).unwrap())
+    }
+
+    #[test]
+    fn parallel_has_no_internal_nodes() {
+        let g = graph("A+B+C");
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(PullGraph::SOURCE), 3);
+        assert_eq!(g.degree(PullGraph::DRAIN), 3);
+    }
+
+    #[test]
+    fn series_chain_nodes() {
+        let g = graph("A*B*C");
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(PullGraph::SOURCE), 1);
+        assert_eq!(g.degree(NodeId(2)), 2);
+    }
+
+    #[test]
+    fn aoi31_structure() {
+        // (A+B+C)*D — the paper's Figure 4 PUN.
+        let g = graph("(A+B+C)*D");
+        // Nodes: Vdd, Out, m1. Edges: A,B,C from Vdd to m1; D from m1 to Out.
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 4);
+        let m1 = NodeId(2);
+        assert_eq!(g.kind(m1), NodeKind::Internal);
+        assert_eq!(g.degree(m1), 4);
+        assert_eq!(g.degree(PullGraph::SOURCE), 3);
+        assert_eq!(g.degree(PullGraph::DRAIN), 1);
+    }
+
+    #[test]
+    fn odd_nodes_nand3_pun() {
+        let g = graph("A+B+C");
+        assert_eq!(g.odd_nodes(), vec![PullGraph::SOURCE, PullGraph::DRAIN]);
+    }
+
+    #[test]
+    fn labels() {
+        let g = graph("(A+B)*C");
+        assert_eq!(g.node_label(PullGraph::SOURCE, "Vdd"), "Vdd");
+        assert_eq!(g.node_label(PullGraph::DRAIN, "Vdd"), "Out");
+        assert_eq!(g.node_label(NodeId(2), "Vdd"), "m1");
+    }
+}

@@ -1,0 +1,382 @@
+//! Series–parallel device networks and their duals.
+
+use crate::expr::Expr;
+use crate::vars::VarId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A series–parallel network of FET devices.
+///
+/// A network conducts between its two terminals when the boolean condition
+/// it realizes is true: a [`SpNetwork::Device`] conducts when its gate
+/// variable is 1, [`SpNetwork::Series`] is conjunction, and
+/// [`SpNetwork::Parallel`] is disjunction. Pull-down networks realize the
+/// gate's complemented function directly; pull-up networks realize the
+/// [dual](SpNetwork::dual).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpNetwork {
+    /// A single transistor controlled by a gate signal.
+    Device(VarId),
+    /// Sub-networks connected head-to-tail (AND).
+    Series(Vec<SpNetwork>),
+    /// Sub-networks connected across the same pair of terminals (OR).
+    Parallel(Vec<SpNetwork>),
+}
+
+/// Error converting an expression into a network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetworkError {
+    /// The expression contains negation; pull networks are positive-unate.
+    NotPositive,
+    /// The expression contains a constant, which has no device realization.
+    ConstantSubexpression,
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::NotPositive => {
+                write!(f, "pull networks require a positive (negation-free) expression")
+            }
+            NetworkError::ConstantSubexpression => {
+                write!(f, "constants cannot be realized as devices")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+impl SpNetwork {
+    /// Builds the network realizing a positive expression (AND → series,
+    /// OR → parallel), flattened to canonical form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::NotPositive`] on negations and
+    /// [`NetworkError::ConstantSubexpression`] on constants.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cnfet_logic::{Expr, SpNetwork};
+    /// let e = Expr::parse("A*B + C").unwrap();
+    /// let n = SpNetwork::from_expr(&e.expr).unwrap();
+    /// assert_eq!(n.device_count(), 3);
+    /// ```
+    pub fn from_expr(expr: &Expr) -> Result<SpNetwork, NetworkError> {
+        let net = match expr {
+            Expr::Var(v) => SpNetwork::Device(*v),
+            Expr::Const(_) => return Err(NetworkError::ConstantSubexpression),
+            Expr::Not(_) => return Err(NetworkError::NotPositive),
+            Expr::And(es) => SpNetwork::Series(
+                es.iter()
+                    .map(SpNetwork::from_expr)
+                    .collect::<Result<_, _>>()?,
+            ),
+            Expr::Or(es) => SpNetwork::Parallel(
+                es.iter()
+                    .map(SpNetwork::from_expr)
+                    .collect::<Result<_, _>>()?,
+            ),
+        };
+        Ok(net.normalized())
+    }
+
+    /// The dual network: series and parallel swapped. The pull-up network
+    /// of a static gate is the dual of its pull-down network.
+    pub fn dual(&self) -> SpNetwork {
+        match self {
+            SpNetwork::Device(v) => SpNetwork::Device(*v),
+            SpNetwork::Series(ns) => SpNetwork::Parallel(ns.iter().map(SpNetwork::dual).collect()),
+            SpNetwork::Parallel(ns) => SpNetwork::Series(ns.iter().map(SpNetwork::dual).collect()),
+        }
+    }
+
+    /// Canonical form: nested series-of-series and parallel-of-parallel are
+    /// flattened, singleton groups unwrapped.
+    pub fn normalized(&self) -> SpNetwork {
+        match self {
+            SpNetwork::Device(v) => SpNetwork::Device(*v),
+            SpNetwork::Series(ns) => {
+                let mut flat = Vec::new();
+                for n in ns {
+                    match n.normalized() {
+                        SpNetwork::Series(inner) => flat.extend(inner),
+                        other => flat.push(other),
+                    }
+                }
+                if flat.len() == 1 {
+                    flat.pop().expect("nonempty")
+                } else {
+                    SpNetwork::Series(flat)
+                }
+            }
+            SpNetwork::Parallel(ns) => {
+                let mut flat = Vec::new();
+                for n in ns {
+                    match n.normalized() {
+                        SpNetwork::Parallel(inner) => flat.extend(inner),
+                        other => flat.push(other),
+                    }
+                }
+                if flat.len() == 1 {
+                    flat.pop().expect("nonempty")
+                } else {
+                    SpNetwork::Parallel(flat)
+                }
+            }
+        }
+    }
+
+    /// Whether the network conducts under an assignment bitmask.
+    pub fn conducts(&self, assignment: u64) -> bool {
+        match self {
+            SpNetwork::Device(v) => assignment >> v.index() & 1 == 1,
+            SpNetwork::Series(ns) => ns.iter().all(|n| n.conducts(assignment)),
+            SpNetwork::Parallel(ns) => ns.iter().any(|n| n.conducts(assignment)),
+        }
+    }
+
+    /// Number of devices (transistors).
+    pub fn device_count(&self) -> usize {
+        match self {
+            SpNetwork::Device(_) => 1,
+            SpNetwork::Series(ns) | SpNetwork::Parallel(ns) => {
+                ns.iter().map(SpNetwork::device_count).sum()
+            }
+        }
+    }
+
+    /// Sorted distinct gate variables.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            SpNetwork::Device(v) => out.push(*v),
+            SpNetwork::Series(ns) | SpNetwork::Parallel(ns) => {
+                for n in ns {
+                    n.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// All terminal-to-terminal conduction paths, each as the set of gates
+    /// along it. A network conducts iff some path's gates are all on.
+    ///
+    /// The immunity analysis compares stray CNT conduction conditions
+    /// against this set (Section III of the paper / Patil et al. [6]).
+    pub fn paths(&self) -> Vec<BTreeSet<VarId>> {
+        match self {
+            SpNetwork::Device(v) => vec![BTreeSet::from([*v])],
+            SpNetwork::Parallel(ns) => ns.iter().flat_map(SpNetwork::paths).collect(),
+            SpNetwork::Series(ns) => {
+                let mut acc: Vec<BTreeSet<VarId>> = vec![BTreeSet::new()];
+                for n in ns {
+                    let sub = n.paths();
+                    let mut next = Vec::with_capacity(acc.len() * sub.len());
+                    for a in &acc {
+                        for s in &sub {
+                            let mut merged = a.clone();
+                            merged.extend(s.iter().copied());
+                            next.push(merged);
+                        }
+                    }
+                    acc = next;
+                }
+                acc
+            }
+        }
+    }
+
+    /// All minimal cut sets (gate sets whose simultaneous off-state
+    /// disconnects the terminals): the paths of the dual network.
+    pub fn cuts(&self) -> Vec<BTreeSet<VarId>> {
+        self.dual().paths()
+    }
+
+    /// Depth of the longest series chain through the network — the
+    /// worst-case device stack, which sizing policies compensate for.
+    pub fn max_series_depth(&self) -> usize {
+        match self {
+            SpNetwork::Device(_) => 1,
+            SpNetwork::Series(ns) => ns.iter().map(SpNetwork::max_series_depth).sum(),
+            SpNetwork::Parallel(ns) => ns
+                .iter()
+                .map(SpNetwork::max_series_depth)
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Top-level parallel branches (the SOP "product terms" when the
+    /// network came from an SOP expression). For series or device
+    /// networks, returns a single branch.
+    pub fn branches(&self) -> Vec<&SpNetwork> {
+        match self {
+            SpNetwork::Parallel(ns) => ns.iter().collect(),
+            other => vec![other],
+        }
+    }
+}
+
+impl fmt::Display for SpNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpNetwork::Device(v) => write!(f, "{v}"),
+            SpNetwork::Series(ns) => {
+                write!(f, "series(")?;
+                for (i, n) in ns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                write!(f, ")")
+            }
+            SpNetwork::Parallel(ns) => {
+                write!(f, "par(")?;
+                for (i, n) in ns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::vars::VarTable;
+
+    fn net(s: &str) -> SpNetwork {
+        let mut vars = VarTable::new();
+        let e = Expr::parse_with(s, &mut vars).unwrap();
+        SpNetwork::from_expr(&e).unwrap()
+    }
+
+    #[test]
+    fn conduction_matches_expression() {
+        let mut vars = VarTable::new();
+        let e = Expr::parse_with("A*(B+C*D)+E", &mut vars).unwrap();
+        let n = SpNetwork::from_expr(&e).unwrap();
+        for m in 0..32u64 {
+            assert_eq!(n.conducts(m), e.eval(m), "mask {m:05b}");
+        }
+    }
+
+    #[test]
+    fn dual_complement_identity() {
+        // Dual network conducts exactly when original does NOT conduct under
+        // complemented inputs: D*(x) = !D(!x).
+        let n = net("A*(B+C)+D");
+        let d = n.dual();
+        let nvars = 4;
+        let full = (1u64 << nvars) - 1;
+        for m in 0..=full {
+            assert_eq!(d.conducts(m), !n.conducts(!m & full), "mask {m:b}");
+        }
+    }
+
+    #[test]
+    fn dual_of_dual_is_identity() {
+        for s in ["A", "A*B*C", "A+B+C", "A*(B+C)+D*E"] {
+            let n = net(s);
+            assert_eq!(n.dual().dual(), n, "{s}");
+        }
+    }
+
+    #[test]
+    fn rejects_negative_and_constant() {
+        let mut vars = VarTable::new();
+        let neg = Expr::parse_with("!A", &mut vars).unwrap();
+        assert_eq!(SpNetwork::from_expr(&neg), Err(NetworkError::NotPositive));
+        let konst = Expr::parse_with("A+1", &mut vars).unwrap();
+        assert_eq!(
+            SpNetwork::from_expr(&konst),
+            Err(NetworkError::ConstantSubexpression)
+        );
+    }
+
+    #[test]
+    fn paths_of_aoi21() {
+        // PDN of AOI21: A*B + C → paths {A,B} and {C}.
+        let n = net("A*B+C");
+        let paths = n.paths();
+        assert_eq!(paths.len(), 2);
+        assert!(paths.iter().any(|p| p.len() == 2));
+        assert!(paths.iter().any(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn paths_characterize_conduction() {
+        let n = net("A*(B+C*D)+E");
+        let paths = n.paths();
+        for m in 0..32u64 {
+            let via_paths = paths
+                .iter()
+                .any(|p| p.iter().all(|v| m >> v.index() & 1 == 1));
+            assert_eq!(via_paths, n.conducts(m));
+        }
+    }
+
+    #[test]
+    fn cuts_block_conduction() {
+        let n = net("A*B+C");
+        for cut in n.cuts() {
+            // Turn on everything except the cut gates: must not conduct.
+            let mut m = u64::MAX;
+            for v in &cut {
+                m &= !(1 << v.index());
+            }
+            assert!(!n.conducts(m), "cut {cut:?} fails to block");
+        }
+    }
+
+    #[test]
+    fn series_depth() {
+        assert_eq!(net("A*B*C").max_series_depth(), 3);
+        assert_eq!(net("A+B+C").max_series_depth(), 1);
+        assert_eq!(net("(A+B)*C").max_series_depth(), 2);
+        assert_eq!(net("A*B+C").max_series_depth(), 2);
+    }
+
+    #[test]
+    fn normalization_flattens() {
+        let n = SpNetwork::Series(vec![
+            SpNetwork::Series(vec![
+                SpNetwork::Device(VarId(0)),
+                SpNetwork::Device(VarId(1)),
+            ]),
+            SpNetwork::Device(VarId(2)),
+        ])
+        .normalized();
+        assert_eq!(
+            n,
+            SpNetwork::Series(vec![
+                SpNetwork::Device(VarId(0)),
+                SpNetwork::Device(VarId(1)),
+                SpNetwork::Device(VarId(2)),
+            ])
+        );
+    }
+
+    #[test]
+    fn branches_of_sop() {
+        let n = net("A*B+C*D+E");
+        assert_eq!(n.branches().len(), 3);
+        assert_eq!(net("A*B").branches().len(), 1);
+    }
+}

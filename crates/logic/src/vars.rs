@@ -1,0 +1,124 @@
+//! Variable identifiers and name tables.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A compact identifier for a boolean variable (a gate input signal).
+///
+/// `VarId`s index into a [`VarTable`]; assignments are bitmasks, so at most
+/// 64 distinct variables may appear in one expression — far beyond any
+/// standard cell's fan-in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Index usable for slices and bitmasks.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Bidirectional map between variable names and [`VarId`]s.
+///
+/// # Example
+///
+/// ```
+/// use cnfet_logic::VarTable;
+/// let mut vars = VarTable::new();
+/// let a = vars.intern("A");
+/// assert_eq!(vars.intern("A"), a);
+/// assert_eq!(vars.name(a), "A");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct VarTable {
+    names: Vec<String>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl VarTable {
+    /// Creates an empty table.
+    pub fn new() -> VarTable {
+        VarTable::default()
+    }
+
+    /// Returns the id for `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than 64 variables are interned; assignments are
+    /// 64-bit masks.
+    pub fn intern(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        assert!(self.names.len() < 64, "too many variables (max 64)");
+        let id = VarId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing variable by name.
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn name(&self, id: VarId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterator over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (VarId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = VarTable::new();
+        let a = t.intern("A");
+        let b = t.intern("B");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("A"), a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(b), "B");
+        assert_eq!(t.lookup("C"), None);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut t = VarTable::new();
+        t.intern("x");
+        t.intern("y");
+        let names: Vec<&str> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+}

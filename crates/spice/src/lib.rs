@@ -1,0 +1,33 @@
+//! A small SPICE: modified nodal analysis, Newton–Raphson DC, and
+//! backward-Euler transient simulation.
+//!
+//! This crate replaces HSPICE in the paper's design kit. It supports
+//! exactly what the paper's experiments need — resistors, capacitors,
+//! independent voltage sources (DC / pulse / PWL) and quasi-static FETs
+//! driven by the [`cnfet_device::FetModel`] trait — plus the delay and
+//! energy probes of Section V.
+//!
+//! # Example: an RC low-pass step response
+//!
+//! ```
+//! use cnfet_spice::{Circuit, Waveform, transient};
+//!
+//! let mut ckt = Circuit::new();
+//! let vin = ckt.node("in");
+//! let vout = ckt.node("out");
+//! ckt.add_vsource(vin, Circuit::GROUND, Waveform::Dc(1.0));
+//! ckt.add_resistor(vin, vout, 1e3);
+//! ckt.add_capacitor(vout, Circuit::GROUND, 1e-12);
+//! let tran = transient(&ckt, 1e-11, 10e-9).unwrap();
+//! let v_end = *tran.voltage(vout).last().unwrap();
+//! assert!((v_end - 1.0).abs() < 1e-3); // fully charged after 10 RC
+//! ```
+
+pub mod measure;
+pub mod netlist;
+pub mod sim;
+pub mod solve;
+
+pub use measure::{crossing_time, energy_from_supply, propagation_delay, Edge};
+pub use netlist::{Circuit, Element, Node, Waveform};
+pub use sim::{dc_operating_point, transient, SimError, Transient};

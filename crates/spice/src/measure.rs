@@ -1,0 +1,145 @@
+//! Measurement probes: threshold crossings, propagation delay, switching
+//! energy — the `.measure` statements of the paper's HSPICE decks.
+
+use crate::sim::Transient;
+
+/// Direction of a threshold crossing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Edge {
+    /// Signal passes the threshold going up.
+    Rising,
+    /// Signal passes the threshold going down.
+    Falling,
+    /// Either direction.
+    Any,
+}
+
+/// Time at which `signal` crosses `threshold` with the given edge,
+/// starting the search at `t_from`. Linearly interpolates between samples.
+///
+/// Returns `None` when no such crossing exists.
+///
+/// # Example
+///
+/// ```
+/// use cnfet_spice::{crossing_time, Edge};
+/// // A waveform sampled at 1 s ticks rising from 0 to 1:
+/// let time = vec![0.0, 1.0, 2.0];
+/// let v = vec![0.0, 0.4, 1.0];
+/// let t = crossing_time(&time, &v, 0.5, Edge::Rising, 0.0).unwrap();
+/// assert!((t - 1.1666).abs() < 1e-3);
+/// ```
+pub fn crossing_time(
+    time: &[f64],
+    signal: &[f64],
+    threshold: f64,
+    edge: Edge,
+    t_from: f64,
+) -> Option<f64> {
+    assert_eq!(time.len(), signal.len(), "waveform length mismatch");
+    for k in 1..time.len() {
+        if time[k] < t_from {
+            continue;
+        }
+        let (v0, v1) = (signal[k - 1], signal[k]);
+        let rising = v0 < threshold && v1 >= threshold;
+        let falling = v0 > threshold && v1 <= threshold;
+        let hit = match edge {
+            Edge::Rising => rising,
+            Edge::Falling => falling,
+            Edge::Any => rising || falling,
+        };
+        if hit {
+            let frac = (threshold - v0) / (v1 - v0);
+            let t = time[k - 1] + frac * (time[k] - time[k - 1]);
+            if t >= t_from {
+                return Some(t);
+            }
+        }
+    }
+    None
+}
+
+/// Propagation delay from `input` crossing mid-rail to the *next* `output`
+/// mid-rail crossing, both thresholds at `vdd/2`.
+///
+/// Returns `None` if either crossing is missing.
+pub fn propagation_delay(
+    tran: &Transient,
+    input: crate::netlist::Node,
+    output: crate::netlist::Node,
+    vdd: f64,
+    input_edge: Edge,
+    t_from: f64,
+) -> Option<f64> {
+    let half = vdd / 2.0;
+    let t_in = crossing_time(&tran.time, tran.voltage(input), half, input_edge, t_from)?;
+    let t_out = crossing_time(&tran.time, tran.voltage(output), half, Edge::Any, t_in)?;
+    Some(t_out - t_in)
+}
+
+/// Energy drawn from the `idx`-th voltage source over `[t0, t1]`:
+/// `E = ∫ V·(−I_branch) dt` (branch current flows into the positive
+/// terminal, so supplies see negative current).
+///
+/// Trapezoidal integration over the recorded samples.
+pub fn energy_from_supply(tran: &Transient, idx: usize, vdd: f64, t0: f64, t1: f64) -> f64 {
+    let i = tran.source_current(idx);
+    let mut energy = 0.0;
+    for k in 1..tran.time.len() {
+        let (ta, tb) = (tran.time[k - 1], tran.time[k]);
+        if tb <= t0 || ta >= t1 {
+            continue;
+        }
+        let dt = tb.min(t1) - ta.max(t0);
+        let p = vdd * (-(i[k - 1] + i[k]) / 2.0);
+        energy += p * dt;
+    }
+    energy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{Circuit, Waveform};
+    use crate::sim::transient;
+
+    #[test]
+    fn crossing_interpolation() {
+        let time = [0.0, 1.0, 2.0, 3.0];
+        let v = [0.0, 1.0, 1.0, 0.0];
+        assert!((crossing_time(&time, &v, 0.5, Edge::Rising, 0.0).unwrap() - 0.5).abs() < 1e-12);
+        assert!((crossing_time(&time, &v, 0.5, Edge::Falling, 0.0).unwrap() - 2.5).abs() < 1e-12);
+        assert_eq!(crossing_time(&time, &v, 0.5, Edge::Rising, 1.0), None);
+        assert!((crossing_time(&time, &v, 0.5, Edge::Any, 1.0).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_crossing_returns_none() {
+        let time = [0.0, 1.0];
+        let v = [0.0, 0.2];
+        assert_eq!(crossing_time(&time, &v, 0.5, Edge::Any, 0.0), None);
+    }
+
+    #[test]
+    fn rc_charge_energy() {
+        // Charging C to V through R draws E = C·V² from the supply
+        // (half stored, half dissipated).
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let vout = c.node("out");
+        let src = c.add_vsource(
+            vin,
+            Circuit::GROUND,
+            Waveform::Pwl(vec![(0.0, 0.0), (1e-12, 1.0)]),
+        );
+        c.add_resistor(vin, vout, 1e3);
+        c.add_capacitor(vout, Circuit::GROUND, 1e-12);
+        let tran = transient(&c, 1e-12, 12e-9).unwrap();
+        let e = energy_from_supply(&tran, src, 1.0, 0.0, 12e-9);
+        assert!(
+            (e - 1e-12).abs() < 0.03e-12,
+            "expected ~1 pJ, got {e:e}"
+        );
+    }
+}

@@ -1,0 +1,348 @@
+//! Circuit netlists: nodes, passive elements, sources and FETs.
+
+use cnfet_device::FetModel;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A circuit node. Node 0 is ground.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Node(pub usize);
+
+/// A time-dependent independent source value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Waveform {
+    /// Constant voltage.
+    Dc(f64),
+    /// Periodic trapezoidal pulse (SPICE `PULSE` semantics).
+    Pulse {
+        /// Initial level (V).
+        v0: f64,
+        /// Pulsed level (V).
+        v1: f64,
+        /// Delay before the first edge (s).
+        delay: f64,
+        /// Rise time (s).
+        rise: f64,
+        /// Fall time (s).
+        fall: f64,
+        /// Pulse width at `v1` (s).
+        width: f64,
+        /// Period (s); 0 disables repetition.
+        period: f64,
+    },
+    /// Piecewise-linear waveform through `(time, value)` points.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Waveform {
+    /// The source value at time `t`.
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *v0;
+                }
+                let mut tt = t - delay;
+                if *period > 0.0 {
+                    tt %= period;
+                }
+                if tt < *rise {
+                    v0 + (v1 - v0) * tt / rise
+                } else if tt < rise + width {
+                    *v1
+                } else if tt < rise + width + fall {
+                    v1 + (v0 - v1) * (tt - rise - width) / fall
+                } else {
+                    *v0
+                }
+            }
+            Waveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for w in points.windows(2) {
+                    let ((t0, v0), (t1, v1)) = (w[0], w[1]);
+                    if t <= t1 {
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points[points.len() - 1].1
+            }
+        }
+    }
+}
+
+/// A netlist element.
+#[derive(Clone)]
+pub enum Element {
+    /// Linear resistor between two nodes.
+    Resistor {
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Resistance in ohms.
+        ohms: f64,
+    },
+    /// Linear capacitor between two nodes.
+    Capacitor {
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Capacitance in farads.
+        farads: f64,
+    },
+    /// Independent voltage source from `p` to `n`.
+    VSource {
+        /// Positive terminal.
+        p: Node,
+        /// Negative terminal.
+        n: Node,
+        /// Source waveform.
+        wave: Waveform,
+    },
+    /// Quasi-static FET (current element only; add terminal capacitors via
+    /// [`Circuit::add_fet`], which does both).
+    Fet {
+        /// Drain terminal.
+        d: Node,
+        /// Gate terminal.
+        g: Node,
+        /// Source terminal.
+        s: Node,
+        /// Large-signal device model.
+        model: Arc<dyn FetModel + Send + Sync>,
+    },
+}
+
+impl std::fmt::Debug for Element {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Element::Resistor { a, b, ohms } => write!(f, "R({a:?},{b:?},{ohms})"),
+            Element::Capacitor { a, b, farads } => write!(f, "C({a:?},{b:?},{farads})"),
+            Element::VSource { p, n, .. } => write!(f, "V({p:?},{n:?})"),
+            Element::Fet { d, g, s, .. } => write!(f, "FET(d={d:?},g={g:?},s={s:?})"),
+        }
+    }
+}
+
+/// A circuit under construction.
+///
+/// # Example
+///
+/// ```
+/// use cnfet_spice::{Circuit, Waveform};
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// ckt.add_vsource(a, Circuit::GROUND, Waveform::Dc(1.0));
+/// ckt.add_resistor(a, Circuit::GROUND, 50.0);
+/// assert_eq!(ckt.node_count(), 2); // ground + a
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Circuit {
+    names: Vec<String>,
+    by_name: HashMap<String, Node>,
+    elements: Vec<Element>,
+}
+
+impl Circuit {
+    /// The ground node (always node 0).
+    pub const GROUND: Node = Node(0);
+
+    /// Creates a circuit containing only the ground node.
+    pub fn new() -> Circuit {
+        let mut c = Circuit {
+            names: Vec::new(),
+            by_name: HashMap::new(),
+            elements: Vec::new(),
+        };
+        let g = c.intern("0");
+        debug_assert_eq!(g, Circuit::GROUND);
+        c
+    }
+
+    fn intern(&mut self, name: &str) -> Node {
+        if let Some(&n) = self.by_name.get(name) {
+            return n;
+        }
+        let n = Node(self.names.len());
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), n);
+        n
+    }
+
+    /// Returns (creating if needed) the node with the given name. The names
+    /// `"0"` and `"gnd"` both refer to ground.
+    pub fn node(&mut self, name: &str) -> Node {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Circuit::GROUND;
+        }
+        self.intern(name)
+    }
+
+    /// Name of a node.
+    pub fn node_name(&self, node: Node) -> &str {
+        &self.names[node.0]
+    }
+
+    /// Total node count including ground.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// All elements.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Mutable element access (used by the simulator's source ramping).
+    pub(crate) fn elements_mut(&mut self) -> &mut [Element] {
+        &mut self.elements
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the resistance is positive and finite.
+    pub fn add_resistor(&mut self, a: Node, b: Node, ohms: f64) -> &mut Circuit {
+        assert!(ohms.is_finite() && ohms > 0.0, "resistance must be positive");
+        self.elements.push(Element::Resistor { a, b, ohms });
+        self
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the capacitance is non-negative and finite.
+    pub fn add_capacitor(&mut self, a: Node, b: Node, farads: f64) -> &mut Circuit {
+        assert!(
+            farads.is_finite() && farads >= 0.0,
+            "capacitance must be non-negative"
+        );
+        if farads > 0.0 {
+            self.elements.push(Element::Capacitor { a, b, farads });
+        }
+        self
+    }
+
+    /// Adds an independent voltage source and returns its index among
+    /// sources (usable with [`crate::Transient::source_current`]).
+    pub fn add_vsource(&mut self, p: Node, n: Node, wave: Waveform) -> usize {
+        let idx = self
+            .elements
+            .iter()
+            .filter(|e| matches!(e, Element::VSource { .. }))
+            .count();
+        self.elements.push(Element::VSource { p, n, wave });
+        idx
+    }
+
+    /// Adds a FET plus its terminal capacitances (gate capacitance split
+    /// half to source, half to drain; drain parasitic to ground).
+    pub fn add_fet(
+        &mut self,
+        d: Node,
+        g: Node,
+        s: Node,
+        model: Arc<dyn FetModel + Send + Sync>,
+    ) -> &mut Circuit {
+        let cg = model.cgate();
+        let cd = model.cdrain();
+        self.add_capacitor(g, s, cg / 2.0);
+        self.add_capacitor(g, d, cg / 2.0);
+        self.add_capacitor(d, Circuit::GROUND, cd);
+        self.elements.push(Element::Fet { d, g, s, model });
+        self
+    }
+
+    /// Adds a load capacitor to ground (no-op when zero), a convenience for
+    /// characterization sweeps.
+    pub fn add_load(&mut self, node: Node, farads: f64) -> &mut Circuit {
+        self.add_capacitor(node, Circuit::GROUND, farads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_aliases() {
+        let mut c = Circuit::new();
+        assert_eq!(c.node("0"), Circuit::GROUND);
+        assert_eq!(c.node("gnd"), Circuit::GROUND);
+        assert_eq!(c.node("GND"), Circuit::GROUND);
+        let a = c.node("a");
+        assert_ne!(a, Circuit::GROUND);
+        assert_eq!(c.node("a"), a);
+    }
+
+    #[test]
+    fn pulse_waveform_shape() {
+        let w = Waveform::Pulse {
+            v0: 0.0,
+            v1: 1.0,
+            delay: 1.0,
+            rise: 1.0,
+            fall: 1.0,
+            width: 2.0,
+            period: 10.0,
+        };
+        assert_eq!(w.value_at(0.0), 0.0);
+        assert_eq!(w.value_at(1.5), 0.5);
+        assert_eq!(w.value_at(3.0), 1.0);
+        assert_eq!(w.value_at(4.5), 0.5);
+        assert_eq!(w.value_at(6.0), 0.0);
+        // Periodicity.
+        assert_eq!(w.value_at(11.5), 0.5);
+    }
+
+    #[test]
+    fn pwl_waveform() {
+        let w = Waveform::Pwl(vec![(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)]);
+        assert_eq!(w.value_at(-1.0), 0.0);
+        assert_eq!(w.value_at(0.5), 0.5);
+        assert_eq!(w.value_at(1.5), 0.75);
+        assert_eq!(w.value_at(5.0), 0.5);
+    }
+
+    #[test]
+    fn zero_capacitor_skipped() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_capacitor(a, Circuit::GROUND, 0.0);
+        assert!(c.elements().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn negative_resistance_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_resistor(a, Circuit::GROUND, -5.0);
+    }
+
+    #[test]
+    fn vsource_indices_count_up() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        assert_eq!(c.add_vsource(a, Circuit::GROUND, Waveform::Dc(1.0)), 0);
+        assert_eq!(c.add_vsource(b, Circuit::GROUND, Waveform::Dc(2.0)), 1);
+    }
+}

@@ -1,0 +1,545 @@
+//! DC operating point and transient simulation.
+
+use crate::netlist::{Circuit, Element, Node, Waveform};
+use crate::solve::Matrix;
+use std::fmt;
+
+/// Final conductance from every FET terminal to ground, keeping the
+/// Jacobian well-conditioned when devices are off.
+const GMIN: f64 = 1e-9;
+/// Gmin-stepping ladder used to coax large circuits into their DC
+/// operating point: solve with heavy shunts first, then tighten.
+const GMIN_STEPS: [f64; 4] = [1e-3, 1e-5, 1e-7, GMIN];
+/// Newton–Raphson convergence tolerance on node voltages (volts).
+const NR_TOL: f64 = 1e-7;
+/// Maximum Newton iterations per solve.
+const NR_MAX_ITERS: usize = 400;
+
+/// Simulation failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// Newton iteration failed to converge.
+    NoConvergence {
+        /// Simulation time at which convergence failed.
+        at_step: usize,
+    },
+    /// The MNA matrix was singular (floating node or source loop).
+    Singular,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoConvergence { at_step } => {
+                write!(f, "newton iteration did not converge at step {at_step}")
+            }
+            SimError::Singular => write!(f, "singular MNA matrix (floating node?)"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of a transient run: waveforms for every node and every source
+/// branch current.
+#[derive(Clone, Debug)]
+pub struct Transient {
+    /// Sample times (s).
+    pub time: Vec<f64>,
+    /// `voltages[node][k]` is node's voltage at `time[k]`.
+    voltages: Vec<Vec<f64>>,
+    /// `currents[src][k]` is the branch current of voltage source `src`
+    /// (positive current flows *into* the positive terminal through the
+    /// source, SPICE convention).
+    currents: Vec<Vec<f64>>,
+}
+
+impl Transient {
+    /// Voltage waveform of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a node from a different circuit.
+    pub fn voltage(&self, node: Node) -> &[f64] {
+        &self.voltages[node.0]
+    }
+
+    /// Branch-current waveform of the `idx`-th voltage source (insertion
+    /// order, as returned by [`Circuit::add_vsource`]).
+    pub fn source_current(&self, idx: usize) -> &[f64] {
+        &self.currents[idx]
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// Whether the run produced no samples.
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+}
+
+/// The system being assembled: nodes 1..n map to unknowns 0..n-1, then one
+/// unknown per voltage source branch current.
+struct Assembler<'a> {
+    circuit: &'a Circuit,
+    n_nodes: usize, // excluding ground
+    n_sources: usize,
+}
+
+impl<'a> Assembler<'a> {
+    fn new(circuit: &'a Circuit) -> Assembler<'a> {
+        let n_sources = circuit
+            .elements()
+            .iter()
+            .filter(|e| matches!(e, Element::VSource { .. }))
+            .count();
+        Assembler {
+            circuit,
+            n_nodes: circuit.node_count() - 1,
+            n_sources,
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.n_nodes + self.n_sources
+    }
+
+    /// Unknown index of a node (None for ground).
+    fn node_idx(&self, n: Node) -> Option<usize> {
+        if n == Circuit::GROUND {
+            None
+        } else {
+            Some(n.0 - 1)
+        }
+    }
+
+    fn voltage_of(&self, x: &[f64], n: Node) -> f64 {
+        match self.node_idx(n) {
+            None => 0.0,
+            Some(i) => x[i],
+        }
+    }
+
+    /// Assembles the linearized MNA system about the candidate solution `x`.
+    ///
+    /// `dt` of `None` means DC (capacitors open); otherwise backward-Euler
+    /// companion models reference `prev` (the solution at the previous
+    /// timestep).
+    fn assemble(
+        &self,
+        a: &mut Matrix,
+        b: &mut [f64],
+        x: &[f64],
+        prev: Option<&[f64]>,
+        dt: Option<f64>,
+        t: f64,
+        gmin: f64,
+    ) {
+        a.clear();
+        b.fill(0.0);
+        let mut src_idx = 0usize;
+
+        for elem in self.circuit.elements() {
+            match elem {
+                Element::Resistor { a: na, b: nb, ohms } => {
+                    self.stamp_conductance(a, *na, *nb, 1.0 / ohms);
+                }
+                Element::Capacitor {
+                    a: na,
+                    b: nb,
+                    farads,
+                } => {
+                    if let Some(dt) = dt {
+                        // Backward Euler companion: i = C/dt (v - v_prev).
+                        let g = farads / dt;
+                        self.stamp_conductance(a, *na, *nb, g);
+                        let prev = prev.expect("transient step requires previous state");
+                        let vprev = self.voltage_of(prev, *na) - self.voltage_of(prev, *nb);
+                        let ieq = g * vprev;
+                        if let Some(i) = self.node_idx(*na) {
+                            b[i] += ieq;
+                        }
+                        if let Some(i) = self.node_idx(*nb) {
+                            b[i] -= ieq;
+                        }
+                    }
+                    // DC: open circuit — no stamp.
+                }
+                Element::VSource { p, n, wave } => {
+                    let row = self.n_nodes + src_idx;
+                    if let Some(i) = self.node_idx(*p) {
+                        a.stamp(i, row, 1.0);
+                        a.stamp(row, i, 1.0);
+                    }
+                    if let Some(i) = self.node_idx(*n) {
+                        a.stamp(i, row, -1.0);
+                        a.stamp(row, i, -1.0);
+                    }
+                    b[row] = wave.value_at(t);
+                    src_idx += 1;
+                }
+                Element::Fet { d, g, s, model } => {
+                    self.stamp_fet(a, b, x, *d, *g, *s, model.as_ref(), gmin);
+                }
+            }
+        }
+    }
+
+    fn stamp_conductance(&self, a: &mut Matrix, na: Node, nb: Node, g: f64) {
+        if let Some(i) = self.node_idx(na) {
+            a.stamp(i, i, g);
+        }
+        if let Some(j) = self.node_idx(nb) {
+            a.stamp(j, j, g);
+        }
+        if let (Some(i), Some(j)) = (self.node_idx(na), self.node_idx(nb)) {
+            a.stamp(i, j, -g);
+            a.stamp(j, i, -g);
+        }
+    }
+
+    /// Drain current (into the drain) of the device at the given terminal
+    /// voltages, with polarity and source/drain symmetry handled.
+    fn fet_current(model: &dyn cnfet_device::FetModel, vd: f64, vg: f64, vs: f64) -> f64 {
+        use cnfet_device::Polarity;
+        match model.polarity() {
+            Polarity::N => {
+                if vd >= vs {
+                    model.ids(vg - vs, vd - vs)
+                } else {
+                    -model.ids(vg - vd, vs - vd)
+                }
+            }
+            // A p-device is the n-device under voltage mirroring.
+            Polarity::P => {
+                if vd <= vs {
+                    -model.ids(vs - vg, vs - vd)
+                } else {
+                    model.ids(vd - vg, vd - vs)
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn stamp_fet(
+        &self,
+        a: &mut Matrix,
+        b: &mut [f64],
+        x: &[f64],
+        d: Node,
+        g: Node,
+        s: Node,
+        model: &dyn cnfet_device::FetModel,
+        gmin: f64,
+    ) {
+        let vd = self.voltage_of(x, d);
+        let vg = self.voltage_of(x, g);
+        let vs = self.voltage_of(x, s);
+
+        let id0 = Self::fet_current(model, vd, vg, vs);
+        // Numerical differentiation: robust against any model kinks.
+        let h = 1e-6;
+        let gds = (Self::fet_current(model, vd + h, vg, vs) - id0) / h;
+        let gm = (Self::fet_current(model, vd, vg + h, vs) - id0) / h;
+        let gs = (Self::fet_current(model, vd, vg, vs + h) - id0) / h;
+
+        // Linearized: i_d(v) ≈ id0 + gds·Δvd + gm·Δvg + gs·Δvs.
+        // Equivalent current source: ieq = id0 - gds·vd - gm·vg - gs·vs.
+        let ieq = id0 - gds * vd - gm * vg - gs * vs;
+
+        // Current leaves the drain node and enters the source node.
+        if let Some(i) = self.node_idx(d) {
+            if let Some(jd) = self.node_idx(d) {
+                a.stamp(i, jd, gds);
+            }
+            if let Some(jg) = self.node_idx(g) {
+                a.stamp(i, jg, gm);
+            }
+            if let Some(js) = self.node_idx(s) {
+                a.stamp(i, js, gs);
+            }
+            b[i] -= ieq;
+        }
+        if let Some(i) = self.node_idx(s) {
+            if let Some(jd) = self.node_idx(d) {
+                a.stamp(i, jd, -gds);
+            }
+            if let Some(jg) = self.node_idx(g) {
+                a.stamp(i, jg, -gm);
+            }
+            if let Some(js) = self.node_idx(s) {
+                a.stamp(i, js, -gs);
+            }
+            b[i] += ieq;
+        }
+
+        // Convergence aids: gmin from drain and source to ground.
+        if let Some(i) = self.node_idx(d) {
+            a.stamp(i, i, gmin);
+        }
+        if let Some(i) = self.node_idx(s) {
+            a.stamp(i, i, gmin);
+        }
+    }
+
+    /// One Newton solve at time `t`; `x` holds the initial guess and the
+    /// converged solution.
+    fn newton(
+        &self,
+        x: &mut Vec<f64>,
+        prev: Option<&[f64]>,
+        dt: Option<f64>,
+        t: f64,
+        step: usize,
+        gmin: f64,
+    ) -> Result<(), SimError> {
+        let dim = self.dim();
+        let mut a = Matrix::zeros(dim);
+        let mut b = vec![0.0; dim];
+        for _ in 0..NR_MAX_ITERS {
+            self.assemble(&mut a, &mut b, x, prev, dt, t, gmin);
+            let next = a.solve(&b).ok_or(SimError::Singular)?;
+            let mut delta: f64 = 0.0;
+            for i in 0..self.n_nodes {
+                delta = delta.max((next[i] - x[i]).abs());
+            }
+            // Damped update for large steps keeps the FET linearization in
+            // its region of validity.
+            let relax = if delta > 0.5 { 0.5 / delta } else { 1.0 };
+            for i in 0..dim {
+                x[i] += (next[i] - x[i]) * relax;
+            }
+            if delta < NR_TOL {
+                return Ok(());
+            }
+        }
+        Err(SimError::NoConvergence { at_step: step })
+    }
+}
+
+/// Solves the DC operating point at `t = 0` with source ramping, returning
+/// node voltages indexed by [`Node`] (`result[0]` is ground, 0 V).
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the Newton iteration cannot converge or the
+/// system is singular.
+pub fn dc_operating_point(circuit: &Circuit) -> Result<Vec<f64>, SimError> {
+    let asm = Assembler::new(circuit);
+    let mut x = vec![0.0; asm.dim()];
+
+    // Source stepping: ramp all sources from 0 to their t=0 value.
+    let ramped = |fraction: f64| -> Circuit {
+        let mut c = circuit.clone();
+        for e in c.elements_mut() {
+            if let Element::VSource { wave, .. } = e {
+                let v = wave.value_at(0.0) * fraction;
+                *wave = Waveform::Dc(v);
+            }
+        }
+        c
+    };
+    // Source stepping at heavy gmin, then gmin stepping at full sources.
+    for step in 1..=4 {
+        let frac = step as f64 / 4.0;
+        let c = ramped(frac);
+        let asm_step = Assembler::new(&c);
+        asm_step.newton(&mut x, None, None, 0.0, 0, GMIN_STEPS[0])?;
+    }
+    for &gmin in &GMIN_STEPS[1..] {
+        let c = ramped(1.0);
+        let asm_step = Assembler::new(&c);
+        asm_step.newton(&mut x, None, None, 0.0, 0, gmin)?;
+    }
+
+    let mut volts = vec![0.0; circuit.node_count()];
+    for n in 1..circuit.node_count() {
+        volts[n] = x[n - 1];
+    }
+    Ok(volts)
+}
+
+/// Runs a fixed-step backward-Euler transient from the DC operating point.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on convergence failure at any timestep.
+///
+/// # Panics
+///
+/// Panics unless `dt` and `t_stop` are positive.
+pub fn transient(circuit: &Circuit, dt: f64, t_stop: f64) -> Result<Transient, SimError> {
+    assert!(dt > 0.0 && t_stop > 0.0, "dt and t_stop must be positive");
+    let asm = Assembler::new(circuit);
+    let dim = asm.dim();
+
+    // Initial condition: DC operating point at t=0.
+    let dc = dc_operating_point(circuit)?;
+    let mut x = vec![0.0; dim];
+    for n in 1..circuit.node_count() {
+        x[n - 1] = dc[n];
+    }
+
+    let steps = (t_stop / dt).ceil() as usize;
+    let mut time = Vec::with_capacity(steps + 1);
+    let mut voltages = vec![Vec::with_capacity(steps + 1); circuit.node_count()];
+    let mut currents = vec![Vec::with_capacity(steps + 1); asm.n_sources];
+
+    let record = |x: &[f64], t: f64, time: &mut Vec<f64>, voltages: &mut Vec<Vec<f64>>, currents: &mut Vec<Vec<f64>>| {
+        time.push(t);
+        voltages[0].push(0.0);
+        for n in 1..circuit.node_count() {
+            voltages[n].push(x[n - 1]);
+        }
+        for (s, current) in currents.iter_mut().enumerate() {
+            current.push(x[asm.n_nodes + s]);
+        }
+    };
+    record(&x, 0.0, &mut time, &mut voltages, &mut currents);
+
+    let mut prev = x.clone();
+    for k in 1..=steps {
+        let t = k as f64 * dt;
+        asm.newton(&mut x, Some(&prev), Some(dt), t, k, GMIN)?;
+        record(&x, t, &mut time, &mut voltages, &mut currents);
+        prev.copy_from_slice(&x);
+    }
+
+    Ok(Transient {
+        time,
+        voltages,
+        currents,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnfet_device::{CnfetModel, Polarity};
+    use std::sync::Arc;
+
+    #[test]
+    fn resistive_divider_dc() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let mid = c.node("mid");
+        c.add_vsource(a, Circuit::GROUND, Waveform::Dc(2.0));
+        c.add_resistor(a, mid, 1e3);
+        c.add_resistor(mid, Circuit::GROUND, 3e3);
+        let v = dc_operating_point(&c).unwrap();
+        assert!((v[mid.0] - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rc_step_matches_analytic() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.add_vsource(
+            vin,
+            Circuit::GROUND,
+            Waveform::Pwl(vec![(0.0, 0.0), (1e-12, 1.0)]),
+        );
+        c.add_resistor(vin, vout, 1e3);
+        c.add_capacitor(vout, Circuit::GROUND, 1e-12); // tau = 1 ns
+        let tran = transient(&c, 2e-12, 5e-9).unwrap();
+        for (k, &t) in tran.time.iter().enumerate() {
+            if t < 1e-10 {
+                continue;
+            }
+            let expected = 1.0 - (-(t - 1e-12) / 1e-9).exp();
+            let got = tran.voltage(vout)[k];
+            assert!(
+                (got - expected).abs() < 0.01,
+                "t={t}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn cnfet_inverter_dc_transfer() {
+        let model = CnfetModel::poly_65nm();
+        let nd = Arc::new(model.device(Polarity::N, 4, 130e-9));
+        let pd = Arc::new(model.device(Polarity::P, 4, 130e-9));
+        for (vin_val, expect_high) in [(0.0, true), (1.0, false)] {
+            let mut c = Circuit::new();
+            let vdd = c.node("vdd");
+            let vin = c.node("in");
+            let vout = c.node("out");
+            c.add_vsource(vdd, Circuit::GROUND, Waveform::Dc(1.0));
+            c.add_vsource(vin, Circuit::GROUND, Waveform::Dc(vin_val));
+            c.add_fet(vout, vin, vdd, pd.clone());
+            c.add_fet(vout, vin, Circuit::GROUND, nd.clone());
+            let v = dc_operating_point(&c).unwrap();
+            let vo = v[vout.0];
+            if expect_high {
+                assert!(vo > 0.95, "in={vin_val} → out={vo}");
+            } else {
+                assert!(vo < 0.05, "in={vin_val} → out={vo}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverter_transient_switches() {
+        let model = CnfetModel::poly_65nm();
+        let nd = Arc::new(model.device(Polarity::N, 4, 130e-9));
+        let pd = Arc::new(model.device(Polarity::P, 4, 130e-9));
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.add_vsource(vdd, Circuit::GROUND, Waveform::Dc(1.0));
+        c.add_vsource(
+            vin,
+            Circuit::GROUND,
+            Waveform::Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 10e-12,
+                rise: 2e-12,
+                fall: 2e-12,
+                width: 100e-12,
+                period: 0.0,
+            },
+        );
+        c.add_fet(vout, vin, vdd, pd);
+        c.add_fet(vout, vin, Circuit::GROUND, nd);
+        c.add_load(vout, 50e-18);
+        let tran = transient(&c, 0.25e-12, 80e-12).unwrap();
+        let v = tran.voltage(vout);
+        assert!(v[0] > 0.95, "initial output should be high, got {}", v[0]);
+        assert!(
+            *v.last().unwrap() < 0.05,
+            "final output should be low, got {}",
+            v.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn floating_node_is_singular() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource(a, Circuit::GROUND, Waveform::Dc(1.0));
+        c.add_resistor(a, Circuit::GROUND, 1e3);
+        // A node with no elements at all: its matrix row is empty.
+        let _floating = c.node("floating");
+        assert_eq!(dc_operating_point(&c), Err(SimError::Singular));
+    }
+
+    #[test]
+    fn supply_current_recorded() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let src = c.add_vsource(a, Circuit::GROUND, Waveform::Dc(1.0));
+        c.add_resistor(a, Circuit::GROUND, 1e3);
+        let tran = transient(&c, 1e-12, 1e-11).unwrap();
+        // 1 mA flows out of the source (SPICE sign: negative branch current).
+        let i = tran.source_current(src);
+        assert!((i.last().unwrap().abs() - 1e-3).abs() < 1e-6);
+    }
+}

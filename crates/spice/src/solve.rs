@@ -1,0 +1,168 @@
+//! Dense linear algebra: LU factorization with partial pivoting.
+//!
+//! The paper's circuits (inverter chains, a full adder) have tens of nodes,
+//! where a dense solver is both simplest and fastest.
+
+/// A dense square matrix stored row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n x n` zero matrix.
+    pub fn zeros(n: usize) -> Matrix {
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.n + c]
+    }
+
+    /// Adds `v` to element `(r, c)` — the MNA "stamp" operation.
+    #[inline]
+    pub fn stamp(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n + c] += v;
+    }
+
+    /// Resets all entries to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Solves `A x = b` in place via LU with partial pivoting.
+    ///
+    /// Returns `None` when the matrix is numerically singular.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(b.len(), self.n, "dimension mismatch");
+        let n = self.n;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot_row = col;
+            let mut pivot_val = lu[perm[col] * n + col].abs();
+            for (r, &pr) in perm.iter().enumerate().skip(col + 1) {
+                let v = lu[pr * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return None;
+            }
+            perm.swap(col, pivot_row);
+            let prow = perm[col];
+            let pval = lu[prow * n + col];
+            for &row in &perm[col + 1..] {
+                let factor = lu[row * n + col] / pval;
+                lu[row * n + col] = factor;
+                for c in col + 1..n {
+                    lu[row * n + c] -= factor * lu[prow * n + c];
+                }
+            }
+        }
+
+        // Forward substitution (L has implicit unit diagonal).
+        let mut y = vec![0.0; n];
+        for (i, &row) in perm.iter().enumerate() {
+            let mut sum = b[row];
+            for (j, yj) in y.iter().enumerate().take(i) {
+                sum -= lu[row * n + j] * yj;
+            }
+            y[i] = sum;
+        }
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let row = perm[i];
+            let mut sum = y[i];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= lu[row * n + j] * xj;
+            }
+            x[i] = sum / lu[row * n + i];
+        }
+        Some(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut m = Matrix::zeros(3);
+        for i in 0..3 {
+            m.stamp(i, i, 1.0);
+        }
+        let x = m.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_requiring_pivot() {
+        // First pivot is zero; naive elimination would fail.
+        let mut m = Matrix::zeros(2);
+        m.stamp(0, 1, 1.0);
+        m.stamp(1, 0, 1.0);
+        let x = m.solve(&[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let mut m = Matrix::zeros(2);
+        m.stamp(0, 0, 1.0);
+        m.stamp(0, 1, 2.0);
+        m.stamp(1, 0, 2.0);
+        m.stamp(1, 1, 4.0);
+        assert!(m.solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn random_round_trip() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for n in [1, 2, 5, 12, 30] {
+            let mut m = Matrix::zeros(n);
+            for r in 0..n {
+                for c in 0..n {
+                    m.stamp(r, c, rng.gen_range(-1.0..1.0));
+                }
+                m.stamp(r, r, 3.0); // diagonally dominant => nonsingular
+            }
+            let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 2.5).collect();
+            let b: Vec<f64> = (0..n)
+                .map(|r| (0..n).map(|c| m.at(r, c) * x_true[c]).sum())
+                .collect();
+            let x = m.solve(&b).unwrap();
+            for (a, e) in x.iter().zip(&x_true) {
+                assert!((a - e).abs() < 1e-9, "n={n}: {a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn clear_keeps_dimension() {
+        let mut m = Matrix::zeros(2);
+        m.stamp(0, 0, 5.0);
+        m.clear();
+        assert_eq!(m.at(0, 0), 0.0);
+        assert_eq!(m.n(), 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! # cnfet — compact imperfection-immune CNFET layouts
+//!
+//! A full reproduction, as a Rust library suite, of *"Design of Compact
+//! Imperfection-Immune CNFET Layouts for Standard-Cell-Based Logic
+//! Synthesis"* (Bobba, Zhang, Pullini, Atienza, De Micheli — DATE 2009).
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`geom`] — λ-grid layout geometry, GDSII and SVG;
+//! * [`logic`] — boolean expressions, series–parallel networks, Euler paths;
+//! * [`device`] — CNT physics, the screened CNFET compact model, the CMOS
+//!   65 nm baseline, FO4 analytics;
+//! * [`spice`] — MNA DC/transient simulation;
+//! * [`core`] — the paper's contribution: the compact misaligned-CNT-immune
+//!   layout generator (plus the old etched style and the vulnerable
+//!   baseline), schemes 1/2, Table 1 area models, DRC;
+//! * [`immunity`] — certification and Monte-Carlo analysis of functional
+//!   immunity to mispositioned CNTs;
+//! * [`dk`] — the CNFET design kit: library, characterization,
+//!   Liberty/LEF/GDS;
+//! * [`flow`] — logic-to-GDSII: synthesis, placement, simulation, assembly.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cnfet::core::{generate_cell, GenerateOptions, StdCellKind};
+//! use cnfet::immunity::certify;
+//!
+//! // The paper's Figure 3(b): a NAND3 laid out along an Euler path.
+//! let cell = generate_cell(StdCellKind::Nand(3), &GenerateOptions::default())?;
+//! assert_eq!(cell.pun_active_area_l2, 120.0); // 30λ × 4λ
+//! assert!(certify(&cell.semantics).immune);   // 100% misposition-immune
+//! # Ok::<(), cnfet::core::GenerateError>(())
+//! ```
+
+pub use cnfet_core as core;
+pub use cnfet_device as device;
+pub use cnfet_dk as dk;
+pub use cnfet_flow as flow;
+pub use cnfet_geom as geom;
+pub use cnfet_immunity as immunity;
+pub use cnfet_logic as logic;
+pub use cnfet_spice as spice;

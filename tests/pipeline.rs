@@ -1,0 +1,138 @@
+//! Integration tests spanning the whole stack: logic → layout → DRC →
+//! immunity → GDSII, and netlist → placement → simulation.
+
+use cnfet::core::{
+    check_drc, generate_cell, DesignRules, GenerateOptions, Scheme, Sizing, StdCellKind, Style,
+};
+use cnfet::geom::{read_gds, write_gds, Layer, Library};
+use cnfet::immunity::{certify, simulate, McOptions};
+
+#[test]
+fn every_catalog_cell_full_pipeline() {
+    let rules = DesignRules::cnfet65();
+    for kind in StdCellKind::ALL {
+        for scheme in [Scheme::Scheme1, Scheme::Scheme2] {
+            let cell = generate_cell(
+                kind,
+                &GenerateOptions {
+                    scheme,
+                    sizing: Sizing::Matched { base_lambda: 4 },
+                    ..GenerateOptions::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{kind} {scheme}: {e}"));
+
+            // DRC clean.
+            let drc = check_drc(&cell.cell, &rules);
+            assert!(drc.is_empty(), "{kind} {scheme}: {drc:?}");
+
+            // Certified 100% immune.
+            assert!(
+                certify(&cell.semantics).immune,
+                "{kind} {scheme} failed certification"
+            );
+
+            // Streams to GDS and back without loss of shape counts.
+            let mut lib = Library::new("pipeline");
+            lib.add_cell(cell.cell.clone());
+            let bytes = write_gds(&lib);
+            let back = read_gds(&bytes).expect("valid gds");
+            let orig = lib.cells()[0].shapes().len();
+            let rt = back.cells()[0].shapes().len();
+            assert_eq!(orig, rt, "{kind} {scheme}: gds round trip");
+        }
+    }
+}
+
+#[test]
+fn new_layout_never_larger_than_old() {
+    // The headline claim of Section III: the compact technique saves area
+    // for every cell and every size.
+    for kind in StdCellKind::ALL {
+        for w in [3, 4, 6, 10] {
+            let mk = |style| {
+                generate_cell(
+                    kind,
+                    &GenerateOptions {
+                        style,
+                        sizing: Sizing::Uniform { width_lambda: w },
+                        ..GenerateOptions::default()
+                    },
+                )
+                .expect("generates")
+            };
+            let new = mk(Style::NewImmune);
+            let old = mk(Style::OldEtched);
+            assert!(
+                new.active_area_l2() <= old.active_area_l2() + 1e-9,
+                "{kind} at {w}λ: new {} > old {}",
+                new.active_area_l2(),
+                old.active_area_l2()
+            );
+        }
+    }
+}
+
+#[test]
+fn vulnerable_layouts_fail_where_immune_ones_do_not() {
+    let opts = McOptions {
+        tubes: 4000,
+        ..McOptions::default()
+    };
+    let vulnerable = generate_cell(
+        StdCellKind::Nand(2),
+        &GenerateOptions {
+            style: Style::Vulnerable,
+            ..GenerateOptions::default()
+        },
+    )
+    .expect("generates");
+    let immune = generate_cell(StdCellKind::Nand(2), &GenerateOptions::default())
+        .expect("generates");
+    let v = simulate(&vulnerable.semantics, &opts);
+    let i = simulate(&immune.semantics, &opts);
+    assert!(v.failures > 0, "vulnerable layout never failed");
+    assert_eq!(i.failures, 0, "immune layout failed");
+}
+
+#[test]
+fn scheme2_cells_are_shorter_scheme1_cells_are_narrower() {
+    for kind in [StdCellKind::Inv, StdCellKind::Nand(2), StdCellKind::Aoi21] {
+        let mk = |scheme| {
+            generate_cell(
+                kind,
+                &GenerateOptions {
+                    scheme,
+                    ..GenerateOptions::default()
+                },
+            )
+            .expect("generates")
+        };
+        let s1 = mk(Scheme::Scheme1);
+        let s2 = mk(Scheme::Scheme2);
+        assert!(s2.height_lambda < s1.height_lambda, "{kind}");
+        assert!(s2.width_lambda > s1.width_lambda, "{kind}");
+    }
+}
+
+#[test]
+fn gds_stream_contains_cnt_doping_and_etch_layers() {
+    let old = generate_cell(
+        StdCellKind::Nand(3),
+        &GenerateOptions {
+            style: Style::OldEtched,
+            ..GenerateOptions::default()
+        },
+    )
+    .expect("generates");
+    let mut lib = Library::new("layers");
+    lib.add_cell(old.cell.clone());
+    let back = read_gds(&write_gds(&lib)).expect("valid gds");
+    let cell = &back.cells()[0];
+    for layer in [Layer::CntActive, Layer::PDoping, Layer::NDoping, Layer::Etch, Layer::Via] {
+        assert!(
+            cell.shapes_on(layer).count() > 0,
+            "missing {layer} shapes after round trip"
+        );
+    }
+}
