@@ -1,37 +1,31 @@
-//! Criterion bench: layout generation throughput (the Table 1 hot path).
+//! Bench: layout generation throughput (the Table 1 hot path).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cnfet_bench::harness::Harness;
 use cnfet_core::{generate_cell, GenerateOptions, Sizing, StdCellKind, Style};
 
-fn bench_generate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generate");
-    for (name, style) in [("new_immune", Style::NewImmune), ("old_etched", Style::OldEtched)] {
-        group.bench_function(format!("nand3_{name}"), |b| {
-            b.iter(|| {
-                generate_cell(
-                    StdCellKind::Nand(3),
-                    &GenerateOptions {
-                        style,
-                        sizing: Sizing::Matched { base_lambda: 4 },
-                        ..GenerateOptions::default()
-                    },
-                )
-                .unwrap()
-            })
+fn main() {
+    let mut h = Harness::new("euler_layout");
+    for (name, style) in [
+        ("new_immune", Style::NewImmune),
+        ("old_etched", Style::OldEtched),
+    ] {
+        h.bench(format!("generate_nand3_{name}"), 200, || {
+            generate_cell(
+                StdCellKind::Nand(3),
+                &GenerateOptions {
+                    style,
+                    sizing: Sizing::Matched { base_lambda: 4 },
+                    ..GenerateOptions::default()
+                },
+            )
+            .unwrap()
         });
     }
-    group.bench_function("aoi31_new", |b| {
-        b.iter(|| generate_cell(StdCellKind::Aoi31, &GenerateOptions::default()).unwrap())
+    h.bench("generate_aoi31_new", 200, || {
+        generate_cell(StdCellKind::Aoi31, &GenerateOptions::default()).unwrap()
     });
-    group.finish();
-}
 
-fn bench_table1(c: &mut Criterion) {
     let rules = cnfet_core::DesignRules::cnfet65();
-    c.bench_function("table1_full", |b| {
-        b.iter(|| cnfet_core::area::table1(&rules))
-    });
+    h.bench("table1_full", 100, || cnfet_core::area::table1(&rules));
+    h.finish();
 }
-
-criterion_group!(benches, bench_generate, bench_table1);
-criterion_main!(benches);

@@ -1,26 +1,23 @@
-//! Criterion bench: placement and synthesis throughput.
+//! Bench: placement and synthesis throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cnfet_bench::harness::Harness;
 use cnfet_core::Scheme;
-use cnfet_flow::{full_adder, place_cnfet, synthesize};
+use cnfet_dk::{build_library, DesignKit};
+use cnfet_flow::{full_adder, place_cnfet_with, synthesize};
 use cnfet_logic::Expr;
 
-fn bench_place(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("flow");
     let fa = full_adder();
-    c.bench_function("place_fa_scheme1", |b| {
-        b.iter(|| place_cnfet(&fa, Scheme::Scheme1).unwrap())
-    });
-    c.bench_function("place_fa_scheme2", |b| {
-        b.iter(|| place_cnfet(&fa, Scheme::Scheme2).unwrap())
-    });
-}
+    let kit = DesignKit::cnfet65();
+    let lib1 = build_library(&kit, Scheme::Scheme1).unwrap();
+    let lib2 = build_library(&kit, Scheme::Scheme2).unwrap();
+    h.bench("place_fa_scheme1", 100, || place_cnfet_with(&fa, &lib1));
+    h.bench("place_fa_scheme2", 100, || place_cnfet_with(&fa, &lib2));
 
-fn bench_synthesize(c: &mut Criterion) {
     let parsed = Expr::parse("(a*b + c*d) * (e + f*g) + !(a*h)").unwrap();
-    c.bench_function("synthesize_medium_expr", |b| {
-        b.iter(|| synthesize("bench", &parsed.expr, &parsed.vars, "y"))
+    h.bench("synthesize_medium_expr", 200, || {
+        synthesize("bench", &parsed.expr, &parsed.vars, "y")
     });
+    h.finish();
 }
-
-criterion_group!(benches, bench_place, bench_synthesize);
-criterion_main!(benches);

@@ -1,17 +1,16 @@
-//! Criterion bench: immunity certification and Monte-Carlo throughput.
+//! Bench: immunity certification and Monte-Carlo throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cnfet_bench::harness::Harness;
 use cnfet_core::{generate_cell, GenerateOptions, StdCellKind, Style};
 use cnfet_immunity::{certify, simulate, McOptions};
 
-fn bench_certify(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("immunity");
     let nand3 = generate_cell(StdCellKind::Nand(3), &GenerateOptions::default()).unwrap();
     let aoi31 = generate_cell(StdCellKind::Aoi31, &GenerateOptions::default()).unwrap();
-    c.bench_function("certify_nand3", |b| b.iter(|| certify(&nand3.semantics)));
-    c.bench_function("certify_aoi31", |b| b.iter(|| certify(&aoi31.semantics)));
-}
+    h.bench("certify_nand3", 100, || certify(&nand3.semantics));
+    h.bench("certify_aoi31", 100, || certify(&aoi31.semantics));
 
-fn bench_monte_carlo(c: &mut Criterion) {
     let vuln = generate_cell(
         StdCellKind::Nand(2),
         &GenerateOptions {
@@ -24,10 +23,8 @@ fn bench_monte_carlo(c: &mut Criterion) {
         tubes: 500,
         ..McOptions::default()
     };
-    c.bench_function("mc_500_tubes_nand2", |b| {
-        b.iter(|| simulate(&vuln.semantics, &opts))
+    h.bench("mc_500_tubes_nand2", 20, || {
+        simulate(&vuln.semantics, &opts)
     });
+    h.finish();
 }
-
-criterion_group!(benches, bench_certify, bench_monte_carlo);
-criterion_main!(benches);

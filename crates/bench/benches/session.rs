@@ -1,0 +1,78 @@
+//! Bench: the `Session` engine — cold vs cached vs batched generation of
+//! the full `StdCellKind::ALL` × scheme request matrix, plus the library
+//! build. This is the baseline future perf PRs (sharding, async serving)
+//! must not regress.
+
+use cnfet::core::{GenerateOptions, Scheme, StdCellKind};
+use cnfet::{CellRequest, LibraryRequest, Session};
+use cnfet_bench::harness::Harness;
+
+fn matrix() -> Vec<CellRequest> {
+    let mut requests = Vec::new();
+    for kind in StdCellKind::ALL {
+        for scheme in [Scheme::Scheme1, Scheme::Scheme2] {
+            requests.push(CellRequest::new(kind).options(GenerateOptions {
+                scheme,
+                ..GenerateOptions::default()
+            }));
+        }
+    }
+    requests
+}
+
+fn main() {
+    let mut h = Harness::new("session");
+    let requests = matrix();
+    let n = requests.len();
+
+    // Cold: a fresh session every iteration — every request generates.
+    h.bench(format!("cold_serial_{n}_cells"), 50, || {
+        let session = Session::new();
+        for r in &requests {
+            session.generate(r).unwrap();
+        }
+        session
+    });
+
+    // Cached: one warm session — every request is a cache hit.
+    let warm = Session::new();
+    for r in &requests {
+        warm.generate(r).unwrap();
+    }
+    h.bench(format!("cached_serial_{n}_cells"), 200, || {
+        for r in &requests {
+            assert!(warm.generate(r).unwrap().cached);
+        }
+    });
+
+    // Batched: a fresh session fanned out across threads.
+    h.bench(format!("cold_batch_{n}_cells"), 50, || {
+        let session = Session::new();
+        let results = session.generate_batch(&requests);
+        assert!(results.iter().all(|r| r.is_ok()));
+        session
+    });
+
+    // Batched against the warm cache.
+    h.bench(format!("cached_batch_{n}_cells"), 200, || {
+        warm.generate_batch(&requests)
+    });
+
+    // Library build: cold (fresh session) vs memoized.
+    h.bench("library_scheme1_cold", 20, || {
+        Session::new()
+            .library(&LibraryRequest::new(Scheme::Scheme1))
+            .unwrap()
+    });
+    let warm_lib = Session::new();
+    warm_lib
+        .library(&LibraryRequest::new(Scheme::Scheme1))
+        .unwrap();
+    h.bench("library_scheme1_cached", 200, || {
+        warm_lib
+            .library(&LibraryRequest::new(Scheme::Scheme1))
+            .unwrap()
+    });
+
+    h.finish();
+}

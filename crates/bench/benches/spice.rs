@@ -1,7 +1,7 @@
-//! Criterion bench: transient-simulation throughput (the Figure 7 /
-//! Case-study hot path).
+//! Bench: transient-simulation throughput (the Figure 7 / Case-study hot
+//! path).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cnfet_bench::harness::Harness;
 use cnfet_device::{CnfetModel, Polarity};
 use cnfet_spice::{transient, Circuit, Waveform};
 use std::sync::Arc;
@@ -37,16 +37,15 @@ fn inverter_chain(stages: usize) -> Circuit {
     ckt
 }
 
-fn bench_transient(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("spice");
     let ckt5 = inverter_chain(5);
-    c.bench_function("transient_inv5_500steps", |b| {
-        b.iter(|| transient(&ckt5, 1e-12, 0.5e-9).unwrap())
+    h.bench("transient_inv5_500steps", 20, || {
+        transient(&ckt5, 1e-12, 0.5e-9).unwrap()
     });
     let ckt15 = inverter_chain(15);
-    c.bench_function("transient_inv15_250steps", |b| {
-        b.iter(|| transient(&ckt15, 2e-12, 0.5e-9).unwrap())
+    h.bench("transient_inv15_250steps", 20, || {
+        transient(&ckt15, 2e-12, 0.5e-9).unwrap()
     });
+    h.finish();
 }
-
-criterion_group!(benches, bench_transient);
-criterion_main!(benches);

@@ -4,15 +4,15 @@
 //!
 //! The paper lays every multi-device SOP product term in its own row;
 //! a minimum Euler-trail cover can snake several terms through shared
-//! contacts instead, and is never larger.
+//! contacts instead, and is never larger. Both variants of every cell go
+//! through one session — the 2×12 request matrix is a single batch.
 
+use cnfet::core::{GenerateOptions, RowPolicy, Scheme, Sizing, StdCellKind, Style};
+use cnfet::{CellRequest, ImmunityRequest, Session};
 use cnfet_bench::row;
-use cnfet_core::{
-    generate_cell, GenerateOptions, RowPolicy, Scheme, Sizing, StdCellKind, Style,
-};
-use cnfet_immunity::certify;
 
 fn main() {
+    let session = Session::new();
     println!("Ablation — row decomposition policy (uniform 4λ sizing)\n");
     let widths = [10, 16, 16, 10, 10];
     println!(
@@ -29,26 +29,39 @@ fn main() {
         )
     );
 
-    for kind in StdCellKind::ALL {
-        let mk = |policy| {
-            generate_cell(
+    let request = |kind, policy| {
+        CellRequest::new(kind).options(GenerateOptions {
+            style: Style::NewImmune,
+            scheme: Scheme::Scheme1,
+            sizing: Sizing::Uniform { width_lambda: 4 },
+            row_policy: policy,
+            ..GenerateOptions::default()
+        })
+    };
+    let requests: Vec<CellRequest> = StdCellKind::ALL
+        .into_iter()
+        .flat_map(|kind| {
+            [
+                request(kind, RowPolicy::PaperProductTerms),
+                request(kind, RowPolicy::FullEuler),
+            ]
+        })
+        .collect();
+    let results = session.generate_batch(&requests);
+
+    for (kind, pair) in StdCellKind::ALL.into_iter().zip(results.chunks(2)) {
+        let paper = &pair[0].as_ref().expect("generates").cell;
+        let euler = &pair[1].as_ref().expect("generates").cell;
+        let saving =
+            (paper.active_area_l2() - euler.active_area_l2()) / paper.active_area_l2() * 100.0;
+        // The immunity request recalls the batch-cached cell.
+        let immune = session
+            .immunity(&ImmunityRequest::certify(request(
                 kind,
-                &GenerateOptions {
-                    style: Style::NewImmune,
-                    scheme: Scheme::Scheme1,
-                    sizing: Sizing::Uniform { width_lambda: 4 },
-                    row_policy: policy,
-                    ..GenerateOptions::default()
-                },
-            )
-            .expect("generates")
-        };
-        let paper = mk(RowPolicy::PaperProductTerms);
-        let euler = mk(RowPolicy::FullEuler);
-        let saving = (paper.active_area_l2() - euler.active_area_l2())
-            / paper.active_area_l2()
-            * 100.0;
-        let immune = certify(&euler.semantics).immune;
+                RowPolicy::FullEuler,
+            )))
+            .expect("certifies")
+            .immune;
         println!(
             "{}",
             row(
@@ -68,6 +81,11 @@ fn main() {
         );
         assert!(immune, "{kind}: full Euler layout must stay immune");
     }
+    assert_eq!(
+        session.stats().cell_misses,
+        2 * StdCellKind::ALL.len() as u64,
+        "certification must not regenerate"
+    );
     println!("\nThe full-Euler policy collapses e.g. the AOI22 pull-down from two");
     println!("16λ rows into one 29λ snake — a compaction beyond the paper's own");
     println!("technique, with immunity preserved (certified above).");

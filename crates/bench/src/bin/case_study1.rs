@@ -17,19 +17,41 @@ fn main() {
     println!("Case study 1 — CNFET vs CMOS technology comparison at 65 nm\n");
     let curve = gain_curve(&cnfet, &cmos, 32);
     let peak = &curve[25];
-    println!("{}", compare_line("FO4 delay gain, 1 CNT", curve[0].delay_gain, 2.75, "x"));
-    println!("{}", compare_line("energy gain, 1 CNT", curve[0].energy_gain, 6.3, "x"));
-    println!("{}", compare_line("optimal CNT pitch", peak.pitch_nm, 5.0, "nm"));
-    println!("{}", compare_line("FO4 delay gain at optimum", peak.delay_gain, 4.2, "x"));
-    println!("{}", compare_line("energy gain at optimum", peak.energy_gain, 2.0, "x"));
-    println!("{}", compare_line(
-        "inverter area gain (4λ)",
-        inverter_area_gain(4, &rules),
-        1.4,
-        "x",
-    ));
+    println!(
+        "{}",
+        compare_line("FO4 delay gain, 1 CNT", curve[0].delay_gain, 2.75, "x")
+    );
+    println!(
+        "{}",
+        compare_line("energy gain, 1 CNT", curve[0].energy_gain, 6.3, "x")
+    );
+    println!(
+        "{}",
+        compare_line("optimal CNT pitch", peak.pitch_nm, 5.0, "nm")
+    );
+    println!(
+        "{}",
+        compare_line("FO4 delay gain at optimum", peak.delay_gain, 4.2, "x")
+    );
+    println!(
+        "{}",
+        compare_line("energy gain at optimum", peak.energy_gain, 2.0, "x")
+    );
+    println!(
+        "{}",
+        compare_line(
+            "inverter area gain (4λ)",
+            inverter_area_gain(4, &rules),
+            1.4,
+            "x",
+        )
+    );
     for w in [6, 10] {
-        println!("  (area gain declines with width: {}λ → {:.2}x)", w, inverter_area_gain(w, &rules));
+        println!(
+            "  (area gain declines with width: {}λ → {:.2}x)",
+            w,
+            inverter_area_gain(w, &rules)
+        );
     }
 
     // Cross-validation: simulate a 5-stage FO4 chain transistor-level and
@@ -38,11 +60,20 @@ fn main() {
     let cnfet_delay = fo4_chain_delay_cnfet(&cnfet);
     let cmos_delay = fo4_chain_delay_cmos(&cmos);
     let analytic = cmos_fo4(&cmos).delay_s;
-    println!("  CMOS 3rd-stage delay: {:.2} ps (analytic estimator: {:.2} ps)",
-        cmos_delay * 1e12, analytic * 1e12);
-    println!("  CNFET 3rd-stage delay (26 tubes): {:.2} ps", cnfet_delay * 1e12);
-    println!("  simulated delay gain: {:.2}x (analytic: {:.2}x)",
-        cmos_delay / cnfet_delay, peak.delay_gain);
+    println!(
+        "  CMOS 3rd-stage delay: {:.2} ps (analytic estimator: {:.2} ps)",
+        cmos_delay * 1e12,
+        analytic * 1e12
+    );
+    println!(
+        "  CNFET 3rd-stage delay (26 tubes): {:.2} ps",
+        cnfet_delay * 1e12
+    );
+    println!(
+        "  simulated delay gain: {:.2}x (analytic: {:.2}x)",
+        cmos_delay / cnfet_delay,
+        peak.delay_gain
+    );
 }
 
 /// Builds a 5-stage inverter chain where each stage fans out to 4 copies
@@ -53,14 +84,10 @@ fn fo4_chain_delay_cnfet(model: &CnfetModel) -> f64 {
     let p_dev = Arc::new(model.device(Polarity::P, 26, w));
     use cnfet_device::FetModel;
     let cin = n_dev.cgate() + p_dev.cgate();
-    fo4_chain_delay(
-        model.vdd,
-        cin,
-        |ckt, vin, vout, vdd| {
-            ckt.add_fet(vout, vin, vdd, p_dev.clone());
-            ckt.add_fet(vout, vin, Circuit::GROUND, n_dev.clone());
-        },
-    )
+    fo4_chain_delay(model.vdd, cin, |ckt, vin, vout, vdd| {
+        ckt.add_fet(vout, vin, vdd, p_dev.clone());
+        ckt.add_fet(vout, vin, Circuit::GROUND, n_dev.clone());
+    })
 }
 
 fn fo4_chain_delay_cmos(model: &CmosModel) -> f64 {
@@ -70,14 +97,10 @@ fn fo4_chain_delay_cmos(model: &CmosModel) -> f64 {
     let p_dev = Arc::new(model.device(Polarity::P, wp));
     use cnfet_device::FetModel;
     let cin = n_dev.cgate() + p_dev.cgate();
-    fo4_chain_delay(
-        model.vdd,
-        cin,
-        |ckt, vin, vout, vdd| {
-            ckt.add_fet(vout, vin, vdd, p_dev.clone());
-            ckt.add_fet(vout, vin, Circuit::GROUND, n_dev.clone());
-        },
-    )
+    fo4_chain_delay(model.vdd, cin, |ckt, vin, vout, vdd| {
+        ckt.add_fet(vout, vin, vdd, p_dev.clone());
+        ckt.add_fet(vout, vin, Circuit::GROUND, n_dev.clone());
+    })
 }
 
 fn fo4_chain_delay(
@@ -113,6 +136,5 @@ fn fo4_chain_delay(
         ckt.add_load(nodes[i + 1], 3.0 * cin);
     }
     let tran = transient(&ckt, 1e-12, 1e-9).expect("fo4 chain converges");
-    propagation_delay(&tran, nodes[2], nodes[3], vdd_v, Edge::Any, 0.0)
-        .expect("stage 3 switches")
+    propagation_delay(&tran, nodes[2], nodes[3], vdd_v, Edge::Any, 0.0).expect("stage 3 switches")
 }

@@ -1,21 +1,33 @@
 //! Regenerates **Case study 2**: the full adder of Figure 8 — delay and
 //! energy gains over CMOS, and the area gains of the two layout schemes.
+//! All three runs are typed `FlowRequest`s against one session, so the
+//! Scheme-1 library is built once and shared.
 
+use cnfet::core::Scheme;
+use cnfet::{FlowRequest, FlowSource, Session, SimSpec};
 use cnfet_bench::compare_line;
-use cnfet_core::Scheme;
-use cnfet_flow::{full_adder, place_cmos, place_cnfet, simulate_netlist, Tech};
 use std::collections::BTreeMap;
 
 fn main() {
-    let fa = full_adder();
+    let session = Session::new();
     println!("Case study 2 — full adder (9x NAND2 2X + 4X/7X/9X inverters)\n");
 
     // Area: CMOS rows vs Scheme 1 rows vs Scheme 2 compact shelves.
-    let cmos_p = place_cmos(&fa);
-    let s1 = place_cnfet(&fa, Scheme::Scheme1).expect("scheme 1 placement");
-    let s2 = place_cnfet(&fa, Scheme::Scheme2).expect("scheme 2 placement");
+    let cmos = session
+        .flow(&FlowRequest::cmos(FlowSource::FullAdder))
+        .expect("cmos placement");
+    let s1 = session
+        .flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1))
+        .expect("scheme 1 placement");
+    let s2 = session
+        .flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme2))
+        .expect("scheme 2 placement");
     println!("placement                    area/λ²   width×height        utilization");
-    for (name, p) in [("CMOS rows", &cmos_p), ("CNFET scheme 1", &s1), ("CNFET scheme 2", &s2)] {
+    for (name, p) in [
+        ("CMOS rows", &cmos.placement),
+        ("CNFET scheme 1", &s1.placement),
+        ("CNFET scheme 2", &s2.placement),
+    ] {
         println!(
             "{name:<26} {:>9.0}   {:>7.0} × {:<8.0}   {:>6.1}%",
             p.area_l2,
@@ -25,8 +37,24 @@ fn main() {
         );
     }
     println!();
-    println!("{}", compare_line("area gain, scheme 1", cmos_p.area_l2 / s1.area_l2, 1.4, "x"));
-    println!("{}", compare_line("area gain, scheme 2", cmos_p.area_l2 / s2.area_l2, 1.6, "x"));
+    println!(
+        "{}",
+        compare_line(
+            "area gain, scheme 1",
+            cmos.placement.area_l2 / s1.placement.area_l2,
+            1.4,
+            "x",
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            "area gain, scheme 2",
+            cmos.placement.area_l2 / s2.placement.area_l2,
+            1.6,
+            "x",
+        )
+    );
 
     // Delay/energy: transistor-level simulation with placed wire loads.
     // Toggle `a` with b=1, cin=0 so both sum and carry switch.
@@ -37,10 +65,21 @@ fn main() {
     let mut delay_gains = Vec::new();
     let mut energy_gains = Vec::new();
     for out in ["sum", "carry"] {
-        let cnfet = simulate_netlist(&fa, &s1, Tech::Cnfet, "a", &ties, out)
-            .expect("cnfet FA simulates");
-        let cmos = simulate_netlist(&fa, &cmos_p, Tech::Cmos, "a", &ties, out)
-            .expect("cmos FA simulates");
+        let sim = SimSpec {
+            toggle_in: "a".to_string(),
+            ties: ties.clone(),
+            watch_out: out.to_string(),
+        };
+        let cnfet = session
+            .flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1).simulate(sim.clone()))
+            .expect("cnfet FA simulates")
+            .metrics
+            .expect("simulation requested");
+        let cmos = session
+            .flow(&FlowRequest::cmos(FlowSource::FullAdder).simulate(sim))
+            .expect("cmos FA simulates")
+            .metrics
+            .expect("simulation requested");
         println!(
             "\npath a→{out}: CNFET {:.1} ps / {:.2} fJ   CMOS {:.1} ps / {:.2} fJ",
             cnfet.delay_s * 1e12,
@@ -54,8 +93,19 @@ fn main() {
     let avg_delay = delay_gains.iter().sum::<f64>() / delay_gains.len() as f64;
     let avg_energy = energy_gains.iter().sum::<f64>() / energy_gains.len() as f64;
     println!();
-    println!("{}", compare_line("average delay gain", avg_delay, 3.5, "x"));
-    println!("{}", compare_line("average energy gain", avg_energy, 1.5, "x"));
+    println!(
+        "{}",
+        compare_line("average delay gain", avg_delay, 3.5, "x")
+    );
+    println!(
+        "{}",
+        compare_line("average energy gain", avg_energy, 1.5, "x")
+    );
     println!("\nPaper: >30% (scheme 1) and >50% (scheme 2) area savings over CMOS,");
     println!("~3.5x delay and ~1.5x energy/cycle improvement.");
+    let stats = session.stats();
+    println!(
+        "(session: {} flows, {} library builds, {} library cache hits)",
+        stats.flows, stats.library_misses, stats.library_hits
+    );
 }

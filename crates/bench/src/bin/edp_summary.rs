@@ -23,7 +23,10 @@ fn main() {
 
     println!("Headline gains of the CNFET inverter at the optimal pitch\n");
     println!("{}", compare_line("delay gain", peak.delay_gain, 4.2, "x"));
-    println!("{}", compare_line("energy/cycle gain", peak.energy_gain, 2.0, "x"));
+    println!(
+        "{}",
+        compare_line("energy/cycle gain", peak.energy_gain, 2.0, "x")
+    );
     println!("{}", compare_line("area gain", area, 1.4, "x"));
     println!("{}", compare_line("EDP gain", edp, 8.4, "x"));
     println!("{}", compare_line("EDAP gain", edap, 12.0, "x"));

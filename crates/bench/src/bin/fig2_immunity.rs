@@ -1,11 +1,14 @@
 //! Regenerates the **Figure 2** comparison: mispositioned CNTs on the
 //! vulnerable CMOS-style NAND versus the immune layouts, plus the formal
-//! immunity certificates.
+//! immunity certificates — one `ImmunityRequest` per layout, both engines
+//! in a single pass.
 
-use cnfet_core::{generate_cell, GenerateOptions, Scheme, Sizing, StdCellKind, Style};
-use cnfet_immunity::{certify, simulate, McOptions};
+use cnfet::core::{GenerateOptions, Scheme, Sizing, StdCellKind, Style};
+use cnfet::immunity::McOptions;
+use cnfet::{CellRequest, ImmunityEngine, ImmunityRequest, Session};
 
 fn main() {
+    let session = Session::new();
     println!("Figure 2 — functional immunity to mispositioned CNTs");
     println!("(Monte-Carlo: 20000 wavy tubes, slope ≤ 1.0, plus exact certification)\n");
     println!(
@@ -14,12 +17,36 @@ fn main() {
     );
 
     let cases = [
-        ("INV vulnerable (fig 2a)", StdCellKind::Inv, Style::Vulnerable),
-        ("NAND2 vulnerable (fig 2b)", StdCellKind::Nand(2), Style::Vulnerable),
-        ("NAND2 old immune [6] (2c)", StdCellKind::Nand(2), Style::OldEtched),
-        ("NAND2 new immune (ours)", StdCellKind::Nand(2), Style::NewImmune),
-        ("NAND3 new immune (ours)", StdCellKind::Nand(3), Style::NewImmune),
-        ("AOI31 new immune (fig 4)", StdCellKind::Aoi31, Style::NewImmune),
+        (
+            "INV vulnerable (fig 2a)",
+            StdCellKind::Inv,
+            Style::Vulnerable,
+        ),
+        (
+            "NAND2 vulnerable (fig 2b)",
+            StdCellKind::Nand(2),
+            Style::Vulnerable,
+        ),
+        (
+            "NAND2 old immune [6] (2c)",
+            StdCellKind::Nand(2),
+            Style::OldEtched,
+        ),
+        (
+            "NAND2 new immune (ours)",
+            StdCellKind::Nand(2),
+            Style::NewImmune,
+        ),
+        (
+            "NAND3 new immune (ours)",
+            StdCellKind::Nand(3),
+            Style::NewImmune,
+        ),
+        (
+            "AOI31 new immune (fig 4)",
+            StdCellKind::Aoi31,
+            Style::NewImmune,
+        ),
     ];
     let opts = McOptions {
         tubes: 20_000,
@@ -27,18 +54,19 @@ fn main() {
     };
 
     for (label, kind, style) in cases {
-        let cell = generate_cell(
-            kind,
-            &GenerateOptions {
-                style,
-                scheme: Scheme::Scheme1,
-                sizing: Sizing::Matched { base_lambda: 4 },
-                ..GenerateOptions::default()
-            },
-        )
-        .expect("cell generates");
-        let mc = simulate(&cell.semantics, &opts);
-        let cert = certify(&cell.semantics);
+        let report = session
+            .immunity(&ImmunityRequest {
+                cell: CellRequest::new(kind).options(GenerateOptions {
+                    style,
+                    scheme: Scheme::Scheme1,
+                    sizing: Sizing::Matched { base_lambda: 4 },
+                    ..GenerateOptions::default()
+                }),
+                engine: ImmunityEngine::Both(opts.clone()),
+            })
+            .expect("cell generates");
+        let mc = report.mc.expect("monte-carlo ran");
+        let cert = report.cert.expect("certification ran");
         println!(
             "{label:<28} {:>10} {:>11.2}% {:>12}",
             mc.failures,

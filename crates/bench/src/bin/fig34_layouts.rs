@@ -1,37 +1,63 @@
 //! Regenerates the **Figure 3 / Figure 4** layouts: NAND3 in the old and
 //! new immune styles, and the AOI31 of Figure 4, dumping SVG and GDSII
-//! into `target/figures/`.
+//! into `target/figures/` — all served by one session.
 
-use cnfet_core::{generate_cell, GenerateOptions, Scheme, Sizing, StdCellKind, Style};
-use cnfet_geom::{render_svg, write_gds, Library};
+use cnfet::core::{GenerateOptions, Scheme, Sizing, StdCellKind, Style};
+use cnfet::geom::{render_svg, write_gds, Library};
+use cnfet::{CellRequest, Session};
 use std::fs;
 use std::path::Path;
 
 fn main() {
+    let session = Session::new();
     let out_dir = Path::new("target/figures");
     fs::create_dir_all(out_dir).expect("create output directory");
 
     let mut gds_lib = Library::new("figures_3_4");
     let cases = [
-        ("fig3a_nand3_old", StdCellKind::Nand(3), Style::OldEtched, Sizing::Matched { base_lambda: 4 }),
-        ("fig3b_nand3_new", StdCellKind::Nand(3), Style::NewImmune, Sizing::Matched { base_lambda: 4 }),
-        ("fig4a_aoi31_basic", StdCellKind::Aoi31, Style::NewImmune, Sizing::Uniform { width_lambda: 4 }),
-        ("fig4b_aoi31_symmetric", StdCellKind::Aoi31, Style::NewImmune, Sizing::Matched { base_lambda: 2 }),
-        ("fig2b_nand2_vulnerable", StdCellKind::Nand(2), Style::Vulnerable, Sizing::Matched { base_lambda: 4 }),
+        (
+            "fig3a_nand3_old",
+            StdCellKind::Nand(3),
+            Style::OldEtched,
+            Sizing::Matched { base_lambda: 4 },
+        ),
+        (
+            "fig3b_nand3_new",
+            StdCellKind::Nand(3),
+            Style::NewImmune,
+            Sizing::Matched { base_lambda: 4 },
+        ),
+        (
+            "fig4a_aoi31_basic",
+            StdCellKind::Aoi31,
+            Style::NewImmune,
+            Sizing::Uniform { width_lambda: 4 },
+        ),
+        (
+            "fig4b_aoi31_symmetric",
+            StdCellKind::Aoi31,
+            Style::NewImmune,
+            Sizing::Matched { base_lambda: 2 },
+        ),
+        (
+            "fig2b_nand2_vulnerable",
+            StdCellKind::Nand(2),
+            Style::Vulnerable,
+            Sizing::Matched { base_lambda: 4 },
+        ),
     ];
 
     println!("Figures 3–4 — layout generation\n");
     for (name, kind, style, sizing) in cases {
-        let cell = generate_cell(
-            kind,
-            &GenerateOptions {
+        let cell = session
+            .generate(&CellRequest::new(kind).options(GenerateOptions {
                 style,
                 scheme: Scheme::Scheme1,
                 sizing,
                 ..GenerateOptions::default()
-            },
-        )
-        .expect("cell generates");
+            }))
+            .expect("cell generates")
+            .cell;
         let svg = render_svg(&cell.cell, 2.0);
         let svg_path = out_dir.join(format!("{name}.svg"));
         fs::write(&svg_path, svg).expect("write svg");

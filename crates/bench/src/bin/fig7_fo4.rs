@@ -10,9 +10,16 @@ fn main() {
     let curve = gain_curve(&cnfet, &cmos, 32);
 
     println!("Figure 7 — FO4 delay gain vs number of CNTs (4λ device width)\n");
-    println!("{:>6} {:>10} {:>12} {:>12}", "CNTs", "pitch/nm", "delay gain", "energy gain");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12}",
+        "CNTs", "pitch/nm", "delay gain", "energy gain"
+    );
     for p in &curve {
-        let marker = if p.n_tubes == 26 { "  <= optimal pitch (5 nm)" } else { "" };
+        let marker = if p.n_tubes == 26 {
+            "  <= optimal pitch (5 nm)"
+        } else {
+            ""
+        };
         println!(
             "{:>6} {:>10.2} {:>12.2} {:>12.2}{marker}",
             p.n_tubes, p.pitch_nm, p.delay_gain, p.energy_gain
@@ -24,14 +31,26 @@ fn main() {
         .max_by(|a, b| a.delay_gain.total_cmp(&b.delay_gain))
         .expect("nonempty");
     println!("\nAnchors (paper → measured):");
-    println!("  1 CNT/device delay gain:   2.75x → {:.2}x", curve[0].delay_gain);
-    println!("  1 CNT/device energy gain:  6.3x  → {:.2}x", curve[0].energy_gain);
+    println!(
+        "  1 CNT/device delay gain:   2.75x → {:.2}x",
+        curve[0].delay_gain
+    );
+    println!(
+        "  1 CNT/device energy gain:  6.3x  → {:.2}x",
+        curve[0].energy_gain
+    );
     println!(
         "  optimal pitch:             5 nm  → {:.1} nm ({} tubes)",
         peak.pitch_nm, peak.n_tubes
     );
-    println!("  delay gain at optimum:     4.2x  → {:.2}x", peak.delay_gain);
-    println!("  energy gain at optimum:    2.0x  → {:.2}x", peak.energy_gain);
+    println!(
+        "  delay gain at optimum:     4.2x  → {:.2}x",
+        peak.delay_gain
+    );
+    println!(
+        "  energy gain at optimum:    2.0x  → {:.2}x",
+        peak.energy_gain
+    );
 
     // The 1% window claim.
     let w = 130e-9;
@@ -42,7 +61,5 @@ fn main() {
         let d = cnfet_fo4_delay_at_pitch(&cnfet, p, w);
         worst = worst.max((d - dmin) / dmin * 100.0);
     }
-    println!(
-        "  4.5–5.5 nm delay window:   ≤1%   → ≤{worst:.2}% variation"
-    );
+    println!("  4.5–5.5 nm delay window:   ≤1%   → ≤{worst:.2}% variation");
 }

@@ -1,0 +1,167 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The workspace builds without network access, so criterion is not an
+//! option; this harness covers what the perf work needs: named samples
+//! over a fixed iteration count, min/mean/max reporting, and a machine-
+//! readable JSON baseline under `target/bench-baselines/<suite>.json`
+//! that future perf PRs diff against.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark's timing summary.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Benchmark name.
+    pub name: String,
+    /// Timed iterations (after one untimed warmup).
+    pub iters: u32,
+    /// Mean time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: f64,
+    /// Slowest iteration, nanoseconds.
+    pub max_ns: f64,
+}
+
+/// Collects samples for one bench suite and writes the baseline on
+/// [`Harness::finish`].
+pub struct Harness {
+    suite: String,
+    samples: Vec<Sample>,
+}
+
+impl Harness {
+    /// Starts a suite (named after the bench target).
+    pub fn new(suite: impl Into<String>) -> Harness {
+        let suite = suite.into();
+        println!("bench suite `{suite}`");
+        println!(
+            "{:<38} {:>6} {:>12} {:>12} {:>12}",
+            "name", "iters", "min", "mean", "max"
+        );
+        Harness {
+            suite,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Runs `f` once untimed (warmup), then `iters` timed iterations.
+    /// The result of every call is passed through [`black_box`] so the
+    /// optimizer cannot delete the work.
+    pub fn bench<T>(&mut self, name: impl Into<String>, iters: u32, mut f: impl FnMut() -> T) {
+        let name = name.into();
+        black_box(f());
+        let mut times = Vec::with_capacity(iters as usize);
+        for _ in 0..iters.max(1) {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(0.0f64, f64::max);
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        println!(
+            "{:<38} {:>6} {:>12} {:>12} {:>12}",
+            name,
+            iters,
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+        self.samples.push(Sample {
+            name,
+            iters: iters.max(1),
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+        });
+    }
+
+    /// Prints the footer and writes `target/bench-baselines/<suite>.json`
+    /// under the workspace target directory.
+    pub fn finish(self) {
+        let dir = baseline_dir();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{}.json", self.suite));
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => println!("baseline written to {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+
+    /// The suite as a JSON baseline document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"suite\": \"{}\",\n  \"samples\": [\n",
+            self.suite
+        ));
+        for (i, s) in self.samples.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"iters\": {}, \"min_ns\": {:.1}, \"mean_ns\": {:.1}, \"max_ns\": {:.1}}}{}\n",
+                s.name,
+                s.iters,
+                s.min_ns,
+                s.mean_ns,
+                s.max_ns,
+                if i + 1 == self.samples.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// The baseline directory: `$CARGO_TARGET_DIR/bench-baselines` when set,
+/// else the workspace `target/` (two levels above this crate's manifest
+/// when run under cargo), else the current directory.
+fn baseline_dir() -> std::path::PathBuf {
+    if let Some(t) = std::env::var_os("CARGO_TARGET_DIR") {
+        return std::path::PathBuf::from(t).join("bench-baselines");
+    }
+    if let Some(m) = std::env::var_os("CARGO_MANIFEST_DIR") {
+        let manifest = std::path::PathBuf::from(m);
+        if let Some(ws) = manifest.parent().and_then(|p| p.parent()) {
+            return ws.join("target/bench-baselines");
+        }
+    }
+    std::path::PathBuf::from("target/bench-baselines")
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_record_and_serialize() {
+        let mut h = Harness::new("unit");
+        let mut calls = 0u32;
+        h.bench("counting", 5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 6, "one warmup + five timed");
+        assert_eq!(h.samples.len(), 1);
+        assert!(h.samples[0].min_ns <= h.samples[0].mean_ns);
+        assert!(h.samples[0].mean_ns <= h.samples[0].max_ns);
+        let json = h.to_json();
+        assert!(json.contains("\"suite\": \"unit\""));
+        assert!(json.contains("\"name\": \"counting\""));
+    }
+}

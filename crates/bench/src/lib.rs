@@ -1,4 +1,5 @@
-//! Shared reporting helpers for the table/figure regenerator binaries.
+//! Shared reporting helpers for the table/figure regenerator binaries,
+//! and the workspace's dependency-free benchmark harness.
 //!
 //! Each binary under `src/bin/` regenerates one experimental artifact of
 //! the paper and prints measured-vs-paper rows:
@@ -11,6 +12,13 @@
 //! * `case_study1` — Case study 1 (technology comparison + area gain);
 //! * `case_study2` — Case study 2 (full-adder delay/energy/area);
 //! * `edp_summary` — the headline EDP/EDAP gains.
+//!
+//! The `benches/` targets use [`harness`] (the workspace builds without
+//! network access, so criterion is not available): wall-clock timing over
+//! a fixed iteration count, a printed table, and a JSON baseline written
+//! under `target/bench-baselines/` for future perf PRs to diff against.
+
+pub mod harness;
 
 /// Formats a measured-vs-paper comparison line.
 pub fn compare_line(label: &str, measured: f64, paper: f64, unit: &str) -> String {

@@ -124,6 +124,7 @@ mod tests {
         let rules = DesignRules::cnfet65();
         let t = table1(&rules);
         for entry in t.iter().take(3) {
+            #[allow(clippy::needless_range_loop)]
             for i in 0..4 {
                 // Within the paper's own print rounding (it truncates
                 // 13.4615% to 13.45%).
@@ -144,6 +145,7 @@ mod tests {
         let rules = DesignRules::cnfet65();
         let t = table1(&rules);
         for entry in t.iter().skip(3) {
+            #[allow(clippy::needless_range_loop)]
             for i in 0..4 {
                 // Within 9 percentage points (the AOI22 row deviates most:
                 // the paper's own 14.9% at 10λ breaks the hyperbolic trend

@@ -98,12 +98,7 @@ fn min_width_checks(cell: &Cell, rules: &DesignRules, out: &mut Vec<DrcViolation
             out.push(DrcViolation {
                 rule: DrcRule::MinWidth(shape.layer),
                 rect: shape.rect,
-                message: format!(
-                    "{} wide, minimum {} on {}",
-                    w,
-                    min,
-                    shape.layer
-                ),
+                message: format!("{} wide, minimum {} on {}", w, min, shape.layer),
             });
         }
     }
@@ -169,9 +164,7 @@ fn doping_enclosure_checks(cell: &Cell, rules: &DesignRules, out: &mut Vec<DrcVi
             out.push(DrcViolation {
                 rule: DrcRule::DopingEnclosure,
                 rect: active.rect,
-                message: format!(
-                    "active region not enclosed by doping with {margin} margin"
-                ),
+                message: format!("active region not enclosed by doping with {margin} margin"),
             });
         }
     }
@@ -203,7 +196,9 @@ mod tests {
                 assert!(
                     v.is_empty(),
                     "{kind} {scheme}: {:?}",
-                    v.iter().map(|x| format!("{}: {}", x.rule, x.message)).collect::<Vec<_>>()
+                    v.iter()
+                        .map(|x| format!("{}: {}", x.rule, x.message))
+                        .collect::<Vec<_>>()
                 );
             }
         }
@@ -215,8 +210,11 @@ mod tests {
         // buried gate B requires a via on the gate, which conventional
         // rules forbid.
         let rules = DesignRules::cnfet65();
-        let cell = generate_cell(StdCellKind::Nand(3), &opts(Style::OldEtched, Scheme::Scheme1))
-            .unwrap();
+        let cell = generate_cell(
+            StdCellKind::Nand(3),
+            &opts(Style::OldEtched, Scheme::Scheme1),
+        )
+        .unwrap();
         let v = check_drc(&cell.cell, &rules);
         let via_violations: Vec<_> = v.iter().filter(|x| x.rule == DrcRule::ViaOnGate).collect();
         assert_eq!(via_violations.len(), 1);

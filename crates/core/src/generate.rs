@@ -68,7 +68,11 @@ pub enum RowPolicy {
 }
 
 /// Options controlling generation.
-#[derive(Clone, Debug)]
+///
+/// `Eq`/`Hash` make options usable directly as (part of) a memoization
+/// key — the `cnfet::Session` engine caches generated cells by
+/// `(StdCellKind, GenerateOptions)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct GenerateOptions {
     /// Layout style.
     pub style: Style,
@@ -119,10 +123,16 @@ impl fmt::Display for GenerateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GenerateError::UnsupportedOldStyleBranch(what) => {
-                write!(f, "old-style layout does not support nested branch `{what}`")
+                write!(
+                    f,
+                    "old-style layout does not support nested branch `{what}`"
+                )
             }
             GenerateError::NonUniformSeries(what) => {
-                write!(f, "non-uniform widths inside a series composition: `{what}`")
+                write!(
+                    f,
+                    "non-uniform widths inside a series composition: `{what}`"
+                )
             }
         }
     }
@@ -399,12 +409,22 @@ pub fn generate_from_networks(
     let rail = 3;
     let (vdd_rail, gnd_rail) = match opts.scheme {
         Scheme::Scheme1 => (
-            Rect::new(lam(0), lam(height_l + 2), lam(width_l), lam(height_l + 2 + rail)),
+            Rect::new(
+                lam(0),
+                lam(height_l + 2),
+                lam(width_l),
+                lam(height_l + 2 + rail),
+            ),
             Rect::new(lam(0), lam(-2 - rail), lam(width_l), lam(-2)),
         ),
         Scheme::Scheme2 => (
             Rect::new(lam(-2 - rail), lam(0), lam(-2), lam(height_l)),
-            Rect::new(lam(width_l + 2), lam(0), lam(width_l + 2 + rail), lam(height_l)),
+            Rect::new(
+                lam(width_l + 2),
+                lam(0),
+                lam(width_l + 2 + rail),
+                lam(height_l),
+            ),
         ),
     };
     cell.add_rect(Layer::Metal1, vdd_rail);
@@ -484,7 +504,7 @@ fn width_groups(sized: &SizedNetwork) -> Result<Vec<(i64, SpNetwork)>, GenerateE
         }
     }
     // Widest group at the bottom for a stable look.
-    by_width.sort_by(|a, b| b.0.cmp(&a.0));
+    by_width.sort_by_key(|(w, _)| std::cmp::Reverse(*w));
     Ok(by_width
         .into_iter()
         .map(|(w, nets)| {
@@ -655,7 +675,9 @@ fn emit_strip_network(
         };
         let geom = s.emit(rules, x0, y, side, cap_below, cap_above, cell, sems);
         // Per-row doping with the process overhang.
-        let doped = geom.active.expanded(Dbu::from_lambda_int(rules.doping_overhang));
+        let doped = geom
+            .active
+            .expanded(Dbu::from_lambda_int(rules.doping_overhang));
         let layer = match side {
             PullSide::Up => Layer::PDoping,
             PullSide::Down => Layer::NDoping,
@@ -1008,11 +1030,8 @@ mod tests {
     #[test]
     fn inverter_styles_identical_area() {
         for style in [Style::NewImmune, Style::OldEtched] {
-            let c = generate_cell(
-                StdCellKind::Inv,
-                &opts(style, Scheme::Scheme1, matched(4)),
-            )
-            .unwrap();
+            let c =
+                generate_cell(StdCellKind::Inv, &opts(style, Scheme::Scheme1, matched(4))).unwrap();
             assert_eq!(c.active_area_l2(), 96.0, "{style}: 12λ × 4λ × 2");
         }
     }
@@ -1104,9 +1123,7 @@ mod tests {
             .semantics
             .rects
             .iter()
-            .filter(|s| {
-                matches!(&s.kind, SemKind::Contact { net } if net == "VDD" || net == "OUT")
-            })
+            .filter(|s| matches!(&s.kind, SemKind::Contact { net } if net == "VDD" || net == "OUT"))
             .count();
         // PUN contributes 4 (VDD, OUT, VDD, OUT); the PDN adds one OUT.
         assert_eq!(pun_contacts, 5);

@@ -17,7 +17,7 @@
 /// // A series chain with end contacts only is 4k+8 λ long:
 /// assert_eq!(r.series_strip_len(3), 20);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct DesignRules {
     /// Gate length `Lg`.
     pub lg: i64,

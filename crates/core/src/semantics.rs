@@ -118,7 +118,14 @@ impl SemanticLayout {
         let mut used = vec![false; self.edges.len()];
         let mut visited_nodes: Vec<&str> = vec![net_a];
         let mut gates: Vec<(VarId, PullSide)> = Vec::new();
-        self.dfs_paths(net_a, net_b, &mut used, &mut visited_nodes, &mut gates, &mut out);
+        self.dfs_paths(
+            net_a,
+            net_b,
+            &mut used,
+            &mut visited_nodes,
+            &mut gates,
+            &mut out,
+        );
         out
     }
 

@@ -3,7 +3,7 @@
 use cnfet_logic::{SpNetwork, VarId};
 
 /// How device widths are assigned across a pull network.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Sizing {
     /// Every device gets the same width. Table 1's AOI/OAI rows follow
     /// this convention.
@@ -64,7 +64,9 @@ impl SizedNetwork {
                 width_lambda: factor,
             },
             SpNetwork::Parallel(ns) => SizedNetwork::Parallel(
-                ns.iter().map(|n| Self::build(n, factor, compensate)).collect(),
+                ns.iter()
+                    .map(|n| Self::build(n, factor, compensate))
+                    .collect(),
             ),
             SpNetwork::Series(ns) => {
                 let f = if compensate {

@@ -124,8 +124,16 @@ mod tests {
         // Paper: 1 CNT/device → ~2.75x faster, ~6.3x lower energy/cycle.
         let (cnfet, cmos) = models();
         let curve = gain_curve(&cnfet, &cmos, 1);
-        assert!((curve[0].delay_gain - 2.75).abs() < 0.05, "{}", curve[0].delay_gain);
-        assert!((curve[0].energy_gain - 6.3).abs() < 0.15, "{}", curve[0].energy_gain);
+        assert!(
+            (curve[0].delay_gain - 2.75).abs() < 0.05,
+            "{}",
+            curve[0].delay_gain
+        );
+        assert!(
+            (curve[0].energy_gain - 6.3).abs() < 0.15,
+            "{}",
+            curve[0].energy_gain
+        );
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Spice-based cell characterization: delay vs load and switching energy.
 
 use crate::kit::DesignKit;
+#[cfg(test)]
+use crate::libgen::build_library;
 use crate::libgen::LibCell;
-use cnfet_core::Sizing;
 use cnfet_core::SizedNetwork;
+use cnfet_core::Sizing;
 use cnfet_device::Polarity;
 use cnfet_logic::{NodeKind, PullGraph, SpNetwork};
 use cnfet_spice::{
@@ -88,13 +90,35 @@ pub fn characterize_cell(
                 input_nodes.push(vin);
             } else {
                 let node = ckt.node(&format!("side{i}"));
-                let v = if side_mask >> i & 1 == 1 { kit.cnfet.vdd } else { 0.0 };
+                let v = if side_mask >> i & 1 == 1 {
+                    kit.cnfet.vdd
+                } else {
+                    0.0
+                };
                 ckt.add_vsource(node, Circuit::GROUND, Waveform::Dc(v));
                 input_nodes.push(node);
             }
         }
-        instantiate_network(kit, &mut ckt, &pdn, Polarity::N, Circuit::GROUND, out, &input_nodes, cell.strength);
-        instantiate_network(kit, &mut ckt, &pun, Polarity::P, vdd, out, &input_nodes, cell.strength);
+        instantiate_network(
+            kit,
+            &mut ckt,
+            &pdn,
+            Polarity::N,
+            Circuit::GROUND,
+            out,
+            &input_nodes,
+            cell.strength,
+        );
+        instantiate_network(
+            kit,
+            &mut ckt,
+            &pun,
+            Polarity::P,
+            vdd,
+            out,
+            &input_nodes,
+            cell.strength,
+        );
         ckt.add_load(out, load);
 
         let tran = transient(&ckt, 2e-12, period * 1.1)?;
@@ -168,8 +192,7 @@ fn instantiate_network(
     for (ei, e) in graph.edges().iter().enumerate() {
         let w_lambda = widths.get(ei).copied().unwrap_or(kit.base_width_lambda);
         let width_m = w_lambda as f64 * 32.5e-9;
-        let tubes = (kit.tubes_per_4lambda as f64 * w_lambda as f64
-            / kit.base_width_lambda as f64)
+        let tubes = (kit.tubes_per_4lambda as f64 * w_lambda as f64 / kit.base_width_lambda as f64)
             .round()
             .max(1.0) as u32;
         let dev = kit.cnfet.device(polarity, tubes * strength as u32, width_m);
@@ -190,7 +213,7 @@ mod tests {
     #[test]
     fn inverter_delay_increases_with_load() {
         let kit = DesignKit::cnfet65();
-        let lib = kit.build_library(Scheme::Scheme1).unwrap();
+        let lib = build_library(&kit, Scheme::Scheme1).unwrap();
         let inv = lib.cell("INV_X1").unwrap();
         let table = characterize_cell(&kit, inv, &[0.2e-15, 1e-15, 4e-15]).unwrap();
         assert!(table.delays_s[0] > 0.0);
@@ -202,7 +225,7 @@ mod tests {
     #[test]
     fn nand2_characterizes() {
         let kit = DesignKit::cnfet65();
-        let lib = kit.build_library(Scheme::Scheme1).unwrap();
+        let lib = build_library(&kit, Scheme::Scheme1).unwrap();
         let nand = lib.cell("NAND2_X1").unwrap();
         let table = characterize_cell(&kit, nand, &[1e-15]).unwrap();
         assert!(table.delays_s[0] > 0.0 && table.delays_s[0] < 1e-9);
@@ -226,6 +249,10 @@ mod tests {
         let m = sensitizing_mask(&nand_pdn, 3);
         assert_eq!(m, 0b110, "NAND needs side inputs high");
         let (nor_pdn, _, _) = cnfet_core::StdCellKind::Nor(3).networks();
-        assert_eq!(sensitizing_mask(&nor_pdn, 3), 0, "NOR needs side inputs low");
+        assert_eq!(
+            sensitizing_mask(&nor_pdn, 3),
+            0,
+            "NOR needs side inputs low"
+        );
     }
 }

@@ -19,13 +19,14 @@ pub fn library_gds(lib: &CellLibrary) -> Vec<u8> {
 mod tests {
     use super::*;
     use crate::kit::DesignKit;
+    use crate::libgen::build_library;
     use cnfet_core::Scheme;
     use cnfet_geom::read_gds;
 
     #[test]
     fn gds_round_trips() {
         let kit = DesignKit::cnfet65();
-        let lib = kit.build_library(Scheme::Scheme1).unwrap();
+        let lib = build_library(&kit, Scheme::Scheme1).unwrap();
         let bytes = library_gds(&lib);
         let back = read_gds(&bytes).unwrap();
         assert_eq!(back.len(), lib.cells.len());

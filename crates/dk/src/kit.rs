@@ -55,6 +55,10 @@ impl DesignKit {
     ///
     /// Propagates [`GenerateError`] if any cell cannot be laid out (does
     /// not happen for the default kit).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `cnfet::Session::library` (memoizing) or `cnfet_dk::libgen::build_library`"
+    )]
     pub fn build_library(&self, scheme: Scheme) -> Result<CellLibrary, GenerateError> {
         build_library(self, scheme)
     }

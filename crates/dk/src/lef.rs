@@ -40,12 +40,13 @@ pub fn write_lef(lib: &CellLibrary) -> String {
 mod tests {
     use super::*;
     use crate::kit::DesignKit;
+    use crate::libgen::build_library;
     use cnfet_core::Scheme;
 
     #[test]
     fn lef_contains_macros_and_pins() {
         let kit = DesignKit::cnfet65();
-        let lib = kit.build_library(Scheme::Scheme2).unwrap();
+        let lib = build_library(&kit, Scheme::Scheme2).unwrap();
         let text = write_lef(&lib);
         assert!(text.contains("MACRO INV_X1"));
         assert!(text.contains("PIN OUT"));

@@ -9,13 +9,16 @@
 //! # Example
 //!
 //! ```
-//! use cnfet_dk::DesignKit;
+//! use cnfet_dk::{build_library, DesignKit};
 //!
 //! let kit = DesignKit::cnfet65();
-//! let lib = kit.build_library(cnfet_core::Scheme::Scheme1).unwrap();
+//! let lib = build_library(&kit, cnfet_core::Scheme::Scheme1).unwrap();
 //! let inv = lib.cell("INV_X1").unwrap();
 //! assert!(inv.input_cap_f > 0.0);
 //! ```
+//!
+//! Production callers should prefer the umbrella crate's `cnfet::Session`,
+//! which memoizes cell generation and library builds across requests.
 
 pub mod characterize;
 pub mod export;
@@ -29,4 +32,7 @@ pub use export::library_gds;
 pub use kit::DesignKit;
 pub use lef::write_lef;
 pub use liberty::write_liberty;
-pub use libgen::{CellLibrary, LibCell};
+pub use libgen::{
+    build_library, build_library_with, fingered_layout, fingered_networks, library_options,
+    replicate, CellLibrary, LibCell,
+};

@@ -21,11 +21,7 @@ pub fn write_liberty(lib: &CellLibrary, timing: &HashMap<String, TimingTable>) -
         for (_, name) in vars.iter() {
             let _ = writeln!(out, "    pin ({name}) {{");
             let _ = writeln!(out, "      direction : input;");
-            let _ = writeln!(
-                out,
-                "      capacitance : {:.4};",
-                cell.input_cap_f * 1e15
-            );
+            let _ = writeln!(out, "      capacitance : {:.4};", cell.input_cap_f * 1e15);
             let _ = writeln!(out, "    }}");
         }
         let _ = writeln!(out, "    pin (OUT) {{");
@@ -58,12 +54,13 @@ pub fn write_liberty(lib: &CellLibrary, timing: &HashMap<String, TimingTable>) -
 mod tests {
     use super::*;
     use crate::kit::DesignKit;
+    use crate::libgen::build_library;
     use cnfet_core::Scheme;
 
     #[test]
     fn liberty_contains_cells_and_functions() {
         let kit = DesignKit::cnfet65();
-        let lib = kit.build_library(Scheme::Scheme1).unwrap();
+        let lib = build_library(&kit, Scheme::Scheme1).unwrap();
         let text = write_liberty(&lib, &HashMap::new());
         assert!(text.contains("library (cnfet65_s1)"));
         assert!(text.contains("cell (NAND2_X1)"));
@@ -74,7 +71,7 @@ mod tests {
     #[test]
     fn timing_tables_rendered() {
         let kit = DesignKit::cnfet65();
-        let lib = kit.build_library(Scheme::Scheme1).unwrap();
+        let lib = build_library(&kit, Scheme::Scheme1).unwrap();
         let mut timing = HashMap::new();
         timing.insert(
             "INV_X1".to_string(),

@@ -1,4 +1,10 @@
 //! Standard-cell library generation.
+//!
+//! [`build_library_with`] is the engine: it walks the kit's function ×
+//! strength matrix and asks a caller-supplied *cell provider* for each
+//! layout, so a memoizing engine (the umbrella crate's `cnfet::Session`)
+//! can serve repeated builds from its cache. [`build_library`] is the
+//! standalone form that generates every layout directly.
 
 use crate::kit::DesignKit;
 use cnfet_core::{
@@ -6,10 +12,14 @@ use cnfet_core::{
     Style,
 };
 use cnfet_device::Polarity;
-use cnfet_logic::SpNetwork;
+use cnfet_logic::{SpNetwork, VarTable};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One library cell: layout plus electrical summary.
+///
+/// The layout is shared ([`Arc`]) so a memoizing cache and any number of
+/// libraries can hold the same generated cell without copying geometry.
 #[derive(Clone, Debug)]
 pub struct LibCell {
     /// Library name, e.g. `NAND2_X2`.
@@ -19,7 +29,7 @@ pub struct LibCell {
     /// Drive strength (number of fingers).
     pub strength: u8,
     /// Generated layout (new immune style).
-    pub layout: GeneratedCell,
+    pub layout: Arc<GeneratedCell>,
     /// Input capacitance per pin, farads.
     pub input_cap_f: f64,
     /// Worst-case pull drive current, amperes.
@@ -59,8 +69,54 @@ pub fn replicate(net: &SpNetwork, x: u8) -> SpNetwork {
     SpNetwork::Parallel(vec![net.clone(); x as usize]).normalized()
 }
 
-/// Builds the library for a kit.
+/// Generation options used for every library cell of a kit/scheme pair.
+///
+/// Fingered product terms share contacts along one snake; the full-Euler
+/// policy keeps the cell compact and stays immune (certified in this
+/// crate's tests).
+pub fn library_options(kit: &DesignKit, scheme: Scheme) -> GenerateOptions {
+    GenerateOptions {
+        style: Style::NewImmune,
+        scheme,
+        sizing: Sizing::Matched {
+            base_lambda: kit.base_width_lambda,
+        },
+        row_policy: cnfet_core::RowPolicy::FullEuler,
+        rules: kit.rules,
+    }
+}
+
+/// The pull networks of a function replicated to a drive strength:
+/// `strength` parallel copies of the PDN and of its dual.
+pub fn fingered_networks(kind: StdCellKind, strength: u8) -> (SpNetwork, SpNetwork, VarTable) {
+    let (pdn, pun, vars) = kind.networks();
+    (replicate(&pdn, strength), replicate(&pun, strength), vars)
+}
+
+/// Builds the library for a kit, generating every layout directly.
 pub fn build_library(kit: &DesignKit, scheme: Scheme) -> Result<CellLibrary, GenerateError> {
+    build_library_with(kit, scheme, |kind, strength| {
+        fingered_layout(kind, strength, kit, scheme).map(Arc::new)
+    })
+}
+
+/// Builds the library for a kit, obtaining each layout from `provider`.
+///
+/// The provider is called once per `(function, strength)` pair with the
+/// expected library cell name already applied, letting callers interpose
+/// a cache (see `cnfet::Session`).
+///
+/// # Errors
+///
+/// Propagates the first provider failure.
+pub fn build_library_with<F>(
+    kit: &DesignKit,
+    scheme: Scheme,
+    mut provider: F,
+) -> Result<CellLibrary, GenerateError>
+where
+    F: FnMut(StdCellKind, u8) -> Result<Arc<GeneratedCell>, GenerateError>,
+{
     let mut cells = Vec::new();
     let mut by_name = HashMap::new();
 
@@ -71,7 +127,7 @@ pub fn build_library(kit: &DesignKit, scheme: Scheme) -> Result<CellLibrary, Gen
             if kind != StdCellKind::Inv && strength > 2 {
                 continue;
             }
-            let layout = generate_fingered(kind, strength, kit, scheme)?;
+            let layout = provider(kind, strength)?;
             let name = CellLibrary::cell_name(kind, strength);
 
             let device = kit.cnfet.device(
@@ -109,40 +165,31 @@ pub fn build_library(kit: &DesignKit, scheme: Scheme) -> Result<CellLibrary, Gen
 /// Generates the fingered layout of a function at a drive strength:
 /// `strength` parallel copies of both networks, snaked through shared
 /// contacts by the Euler machinery exactly like multi-finger CMOS cells.
-fn generate_fingered(
+///
+/// # Errors
+///
+/// Propagates layout generation failures (none occur for catalog cells).
+pub fn fingered_layout(
     kind: StdCellKind,
     strength: u8,
     kit: &DesignKit,
     scheme: Scheme,
 ) -> Result<GeneratedCell, GenerateError> {
-    let opts = GenerateOptions {
-        style: Style::NewImmune,
-        scheme,
-        sizing: Sizing::Matched {
-            base_lambda: kit.base_width_lambda,
-        },
-        // Fingered product terms share contacts along one snake; the
-        // full-Euler policy keeps the cell compact and stays immune
-        // (certified in this crate's tests).
-        row_policy: cnfet_core::RowPolicy::FullEuler,
-        rules: kit.rules,
-    };
+    let opts = library_options(kit, scheme);
     if strength <= 1 {
         let mut c = generate_cell(kind, &opts)?;
         c.name = CellLibrary::cell_name(kind, strength);
         return Ok(c);
     }
-    let (pdn, pun, vars) = kind.networks();
-    let mut c = cnfet_core::generate_from_networks(
+    let (pdn, pun, vars) = fingered_networks(kind, strength);
+    cnfet_core::generate_from_networks(
         CellLibrary::cell_name(kind, strength),
         kind,
-        replicate(&pdn, strength),
-        replicate(&pun, strength),
+        pdn,
+        pun,
         vars,
         &opts,
-    )?;
-    c.name = CellLibrary::cell_name(kind, strength);
-    Ok(c)
+    )
 }
 
 #[cfg(test)]
@@ -153,8 +200,10 @@ mod tests {
     #[test]
     fn library_builds_with_expected_cells() {
         let kit = DesignKit::cnfet65();
-        let lib = kit.build_library(Scheme::Scheme1).unwrap();
-        for name in ["INV_X1", "INV_X4", "INV_X9", "NAND2_X1", "NAND2_X2", "AOI21_X1"] {
+        let lib = build_library(&kit, Scheme::Scheme1).unwrap();
+        for name in [
+            "INV_X1", "INV_X4", "INV_X9", "NAND2_X1", "NAND2_X2", "AOI21_X1",
+        ] {
             assert!(lib.cell(name).is_some(), "missing {name}");
         }
         assert!(lib.cell("NAND2_X9").is_none(), "only INV gets big drives");
@@ -163,7 +212,7 @@ mod tests {
     #[test]
     fn strength_scales_drive_and_cap() {
         let kit = DesignKit::cnfet65();
-        let lib = kit.build_library(Scheme::Scheme1).unwrap();
+        let lib = build_library(&kit, Scheme::Scheme1).unwrap();
         let x1 = lib.cell("INV_X1").unwrap();
         let x4 = lib.cell("INV_X4").unwrap();
         assert!((x4.drive_a / x1.drive_a - 4.0).abs() < 1e-9);
@@ -184,9 +233,25 @@ mod tests {
     #[test]
     fn nand_drive_derated_by_stack() {
         let kit = DesignKit::cnfet65();
-        let lib = kit.build_library(Scheme::Scheme1).unwrap();
+        let lib = build_library(&kit, Scheme::Scheme1).unwrap();
         let inv = lib.cell("INV_X1").unwrap();
         let nand3 = lib.cell("NAND3_X1").unwrap();
         assert!(nand3.drive_a < inv.drive_a);
+    }
+
+    #[test]
+    fn provider_sees_every_library_slot_once() {
+        let kit = DesignKit::cnfet65();
+        let mut calls = Vec::new();
+        let lib = build_library_with(&kit, Scheme::Scheme1, |kind, strength| {
+            calls.push((kind, strength));
+            fingered_layout(kind, strength, &kit, Scheme::Scheme1).map(Arc::new)
+        })
+        .unwrap();
+        assert_eq!(calls.len(), lib.cells.len());
+        let mut dedup = calls.clone();
+        dedup.sort_by_key(|(k, s)| (format!("{k}"), *s));
+        dedup.dedup();
+        assert_eq!(dedup.len(), calls.len(), "no slot requested twice");
     }
 }

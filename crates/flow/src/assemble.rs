@@ -2,22 +2,43 @@
 
 use crate::place::Placement;
 use cnfet_core::Scheme;
-use cnfet_dk::DesignKit;
+use cnfet_dk::{CellLibrary, DesignKit};
 use cnfet_geom::{write_gds, Cell, Dbu, Instance, Layer, Library, Rect, Transform};
 
 /// Assembles a placed design into a GDS stream: one top cell instantiating
 /// the library cells at their placed positions, plus the cell definitions.
+/// Builds the library from scratch; prefer [`assemble_gds_with`].
 ///
 /// # Panics
 ///
 /// Panics if the placement references cells the kit cannot generate (does
 /// not happen for placements produced by this crate).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `cnfet::Session::flow` (memoizing) or `assemble_gds_with` with a prebuilt library"
+)]
 pub fn assemble_gds(design_name: &str, placement: &Placement, scheme: Scheme) -> Vec<u8> {
     let kit = DesignKit::cnfet65();
-    let lib = kit.build_library(scheme).expect("library generation");
+    let lib = cnfet_dk::build_library(&kit, scheme).expect("library generation");
+    assemble_gds_with(design_name, placement, &lib)
+}
+
+/// Assembles a placed design into a GDS stream from an already-built
+/// library: one top cell instantiating the library cells at their placed
+/// positions, plus the cell definitions.
+///
+/// # Panics
+///
+/// Panics if the placement references cells missing from the library.
+pub fn assemble_gds_with(design_name: &str, placement: &Placement, lib: &CellLibrary) -> Vec<u8> {
+    let scheme = lib.scheme;
     let mut gds = Library::new(format!("{design_name}_{scheme}"));
 
-    let mut used: Vec<&str> = placement.instances.iter().map(|p| p.cell.as_str()).collect();
+    let mut used: Vec<&str> = placement
+        .instances
+        .iter()
+        .map(|p| p.cell.as_str())
+        .collect();
     used.sort_unstable();
     used.dedup();
     for name in used {
@@ -53,14 +74,15 @@ pub fn assemble_gds(design_name: &str, placement: &Placement, scheme: Scheme) ->
 mod tests {
     use super::*;
     use crate::fa::full_adder;
-    use crate::place::place_cnfet;
+    use crate::place::place_cnfet_with;
     use cnfet_geom::read_gds;
 
     #[test]
     fn fa_assembles_and_flattens() {
         let fa = full_adder();
-        let placement = place_cnfet(&fa, Scheme::Scheme2).unwrap();
-        let bytes = assemble_gds("full_adder", &placement, Scheme::Scheme2);
+        let lib = cnfet_dk::build_library(&DesignKit::cnfet65(), Scheme::Scheme2).unwrap();
+        let placement = place_cnfet_with(&fa, &lib);
+        let bytes = assemble_gds_with("full_adder", &placement, &lib);
         let lib = read_gds(&bytes).unwrap();
         let flat = lib.flatten("full_adder").unwrap();
         assert!(

@@ -10,13 +10,19 @@
 //! # Example: place the paper's full adder in both schemes
 //!
 //! ```
-//! use cnfet_flow::{full_adder, place};
+//! use cnfet_core::Scheme;
+//! use cnfet_dk::{build_library, DesignKit};
+//! use cnfet_flow::{full_adder, place_cnfet_with};
 //!
+//! let kit = DesignKit::cnfet65();
 //! let fa = full_adder();
-//! let s1 = place::place_cnfet(&fa, cnfet_core::Scheme::Scheme1).unwrap();
-//! let s2 = place::place_cnfet(&fa, cnfet_core::Scheme::Scheme2).unwrap();
+//! let s1 = place_cnfet_with(&fa, &build_library(&kit, Scheme::Scheme1).unwrap());
+//! let s2 = place_cnfet_with(&fa, &build_library(&kit, Scheme::Scheme2).unwrap());
 //! assert!(s2.area_l2 < s1.area_l2, "Scheme 2 is the denser arrangement");
 //! ```
+//!
+//! Production callers should prefer the umbrella crate's `cnfet::Session`,
+//! which caches the library build behind typed `FlowRequest`s.
 
 pub mod assemble;
 pub mod fa;
@@ -26,10 +32,15 @@ pub mod sim;
 pub mod synth;
 pub mod verilog;
 
-pub use assemble::assemble_gds;
+pub use assemble::assemble_gds_with;
 pub use fa::full_adder;
 pub use netlist::{GateInst, Netlist, PortDir};
-pub use place::{place_cmos, place_cnfet, Placement};
-pub use sim::{simulate_netlist, NetlistMetrics, Tech};
+pub use place::{place_cmos_with, place_cnfet_with, Placement};
+pub use sim::{simulate_netlist, simulate_netlist_with, NetlistMetrics, Tech};
 pub use synth::synthesize;
-pub use verilog::parse_verilog;
+pub use verilog::{parse_verilog, VerilogError};
+
+#[allow(deprecated)]
+pub use assemble::assemble_gds;
+#[allow(deprecated)]
+pub use place::{place_cmos, place_cnfet};

@@ -106,10 +106,7 @@ impl Netlist {
     /// # Panics
     ///
     /// Panics if an instance reads an undriven net.
-    pub fn evaluate(
-        &self,
-        inputs: &BTreeMap<String, bool>,
-    ) -> BTreeMap<String, bool> {
+    pub fn evaluate(&self, inputs: &BTreeMap<String, bool>) -> BTreeMap<String, bool> {
         let mut values: BTreeMap<String, bool> = inputs.clone();
         for inst in &self.instances {
             let (f, vars) = inst.kind.function();

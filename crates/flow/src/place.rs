@@ -8,7 +8,7 @@
 //! have.
 
 use crate::netlist::Netlist;
-use cnfet_core::{cmos_cell, DesignRules, GenerateError, Scheme};
+use cnfet_core::{cmos_cell, GenerateError, Scheme};
 use cnfet_dk::{CellLibrary, DesignKit};
 use std::collections::HashMap;
 
@@ -60,11 +60,12 @@ impl Placement {
             .map(|p| (p.name.as_str(), (p.x + p.w / 2.0, p.y + p.h / 2.0)))
             .collect();
         let mut net_boxes: HashMap<String, (f64, f64, f64, f64)> = HashMap::new();
-        let touch = |net: &str, x: f64, y: f64, boxes: &mut HashMap<String, (f64, f64, f64, f64)>| {
-            let e = boxes.entry(net.to_string()).or_insert((x, y, x, y));
-            let (x0, y0, x1, y1) = *e;
-            *e = (x0.min(x), y0.min(y), x1.max(x), y1.max(y));
-        };
+        let touch =
+            |net: &str, x: f64, y: f64, boxes: &mut HashMap<String, (f64, f64, f64, f64)>| {
+                let e = boxes.entry(net.to_string()).or_insert((x, y, x, y));
+                let (x0, y0, x1, y1) = *e;
+                *e = (x0.min(x), y0.min(y), x1.max(x), y1.max(y));
+            };
         for inst in &netlist.instances {
             if let Some(&(cx, cy)) = centers.get(inst.name.as_str()) {
                 touch(&inst.output, cx, cy, &mut net_boxes);
@@ -88,9 +89,7 @@ impl Placement {
                     let (cx, cy) = (p.x + p.w / 2.0, p.y + p.h / 2.0);
                     b = Some(match b {
                         None => (cx, cy, cx, cy),
-                        Some((x0, y0, x1, y1)) => {
-                            (x0.min(cx), y0.min(cy), x1.max(cx), y1.max(cy))
-                        }
+                        Some((x0, y0, x1, y1)) => (x0.min(cx), y0.min(cy), x1.max(cx), y1.max(cy)),
                     });
                 }
             }
@@ -102,58 +101,68 @@ impl Placement {
 /// Footprint provider: cell name → (width λ, height λ).
 type Footprints = HashMap<String, (f64, f64)>;
 
-fn cnfet_footprints(
-    netlist: &Netlist,
-    scheme: Scheme,
-) -> Result<(Footprints, CellLibrary), GenerateError> {
-    let kit = DesignKit::cnfet65();
-    let lib = kit.build_library(scheme)?;
+fn cnfet_footprints(netlist: &Netlist, lib: &CellLibrary) -> Footprints {
     let mut map = HashMap::new();
     for inst in &netlist.instances {
         let name = CellLibrary::cell_name(inst.kind, inst.strength);
         let cell = lib
             .cell(&name)
             .unwrap_or_else(|| panic!("cell {name} not in library"));
-        map.insert(
-            name,
-            (cell.layout.width_lambda, cell.layout.height_lambda),
-        );
+        map.insert(name, (cell.layout.width_lambda, cell.layout.height_lambda));
     }
-    Ok((map, lib))
+    map
 }
 
-/// Places a netlist with the CNFET library in the given scheme.
+/// Places a netlist with an already-built CNFET library.
 ///
 /// Scheme 1 uses standardized-height rows (like CMOS); Scheme 2 packs the
 /// natural-height cells onto shelves, "built using the original sizes of
-/// each cell thereby having an optimum area utilization factor".
+/// each cell thereby having an optimum area utilization factor". The
+/// scheme is taken from the library.
+///
+/// # Panics
+///
+/// Panics if the netlist references a cell missing from the library.
+pub fn place_cnfet_with(netlist: &Netlist, lib: &CellLibrary) -> Placement {
+    let fp = cnfet_footprints(netlist, lib);
+    let rail = 2.0 * RAIL_LAMBDA;
+    match lib.scheme {
+        Scheme::Scheme1 => place_rows(netlist, &fp, rail),
+        Scheme::Scheme2 => place_shelves(netlist, &fp, RAIL_LAMBDA),
+    }
+}
+
+/// Places a netlist with the CNFET library in the given scheme, building
+/// the library from scratch first.
 ///
 /// # Errors
 ///
 /// Propagates library generation failures.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `cnfet::Session::flow` (memoizing) or `place_cnfet_with` with a prebuilt library"
+)]
 pub fn place_cnfet(netlist: &Netlist, scheme: Scheme) -> Result<Placement, GenerateError> {
-    let (fp, _lib) = cnfet_footprints(netlist, scheme)?;
-    let rail = 2.0 * RAIL_LAMBDA;
-    Ok(match scheme {
-        Scheme::Scheme1 => place_rows(netlist, &fp, rail),
-        Scheme::Scheme2 => place_shelves(netlist, &fp, RAIL_LAMBDA),
-    })
+    let kit = DesignKit::cnfet65();
+    let lib = cnfet_dk::build_library(&kit, scheme)?;
+    Ok(place_cnfet_with(netlist, &lib))
 }
 
-/// Places the netlist with the CMOS baseline library.
-pub fn place_cmos(netlist: &Netlist) -> Placement {
-    let rules = DesignRules::cnfet65();
+/// Places the netlist with the CMOS baseline, deriving widths from an
+/// already-built CNFET library (any scheme).
+///
+/// # Panics
+///
+/// Panics if the netlist references a cell missing from the library.
+pub fn place_cmos_with(kit: &DesignKit, netlist: &Netlist, lib: &CellLibrary) -> Placement {
+    let rules = kit.rules;
     // CMOS widths equal the CNFET strip widths (same λ rules); heights pay
     // the 10λ well separation, scaled PMOS, rails and well margin.
-    let kit = DesignKit::cnfet65();
-    let lib = kit
-        .build_library(Scheme::Scheme1)
-        .expect("library generation");
     let mut fp: Footprints = HashMap::new();
     for inst in &netlist.instances {
         let name = CellLibrary::cell_name(inst.kind, inst.strength);
         let cell = lib.cell(&name).expect("cell in library");
-        let cmos = cmos_cell(inst.kind, 4, &rules);
+        let cmos = cmos_cell(inst.kind, kit.base_width_lambda, &rules);
         // Fingered width follows the CNFET fingered strip; height is the
         // 1X CMOS height (fingering widens, never heightens).
         fp.insert(name, (cell.layout.width_lambda, cmos.height_lambda));
@@ -161,17 +170,28 @@ pub fn place_cmos(netlist: &Netlist) -> Placement {
     place_rows(netlist, &fp, 2.0 * RAIL_LAMBDA + WELL_MARGIN_LAMBDA)
 }
 
+/// Places the netlist with the CMOS baseline library, building the CNFET
+/// reference library from scratch first.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `cnfet::Session::flow` (memoizing) or `place_cmos_with` with a prebuilt library"
+)]
+pub fn place_cmos(netlist: &Netlist) -> Placement {
+    let kit = DesignKit::cnfet65();
+    let lib = cnfet_dk::build_library(&kit, Scheme::Scheme1).expect("library generation");
+    place_cmos_with(&kit, netlist, &lib)
+}
+
 /// Standardized-height row placement: every row is as tall as the tallest
 /// cell plus overhead; the row count minimizing block area is chosen.
 fn place_rows(netlist: &Netlist, fp: &Footprints, height_overhead: f64) -> Placement {
     let items = gather(netlist, fp);
-    let row_h = items
-        .iter()
-        .map(|(_, _, _, h)| *h)
-        .fold(0.0f64, f64::max)
-        + height_overhead;
+    let row_h = items.iter().map(|(_, _, _, h)| *h).fold(0.0f64, f64::max) + height_overhead;
     best_over_counts(&items, |items, rows| {
-        let total_w: f64 = items.iter().map(|(_, _, w, _)| w + CELL_SPACING_LAMBDA).sum();
+        let total_w: f64 = items
+            .iter()
+            .map(|(_, _, w, _)| w + CELL_SPACING_LAMBDA)
+            .sum();
         let target_row_w = total_w / rows as f64;
         let mut placed = Vec::new();
         let mut x = 0.0;
@@ -206,7 +226,10 @@ fn place_shelves(netlist: &Netlist, fp: &Footprints, shelf_overhead: f64) -> Pla
     let mut items = gather(netlist, fp);
     items.sort_by(|a, b| b.3.total_cmp(&a.3).then(a.0.cmp(&b.0)));
     best_over_counts(&items, |items, shelves| {
-        let total_w: f64 = items.iter().map(|(_, _, w, _)| w + CELL_SPACING_LAMBDA).sum();
+        let total_w: f64 = items
+            .iter()
+            .map(|(_, _, w, _)| w + CELL_SPACING_LAMBDA)
+            .sum();
         let target_w = total_w / shelves as f64;
         let mut placed = Vec::new();
         let mut x = 0.0;
@@ -279,24 +302,38 @@ mod tests {
     use super::*;
     use crate::fa::full_adder;
 
+    fn lib(scheme: Scheme) -> CellLibrary {
+        cnfet_dk::build_library(&DesignKit::cnfet65(), scheme).unwrap()
+    }
+
     #[test]
     fn fa_places_in_all_targets() {
         let fa = full_adder();
-        let cmos = place_cmos(&fa);
-        let s1 = place_cnfet(&fa, Scheme::Scheme1).unwrap();
-        let s2 = place_cnfet(&fa, Scheme::Scheme2).unwrap();
+        let cmos = place_cmos_with(&DesignKit::cnfet65(), &fa, &lib(Scheme::Scheme1));
+        let s1 = place_cnfet_with(&fa, &lib(Scheme::Scheme1));
+        let s2 = place_cnfet_with(&fa, &lib(Scheme::Scheme2));
         assert_eq!(cmos.instances.len(), fa.instances.len());
-        assert!(cmos.area_l2 > s1.area_l2, "CMOS {} vs S1 {}", cmos.area_l2, s1.area_l2);
-        assert!(s1.area_l2 > s2.area_l2, "S1 {} vs S2 {}", s1.area_l2, s2.area_l2);
+        assert!(
+            cmos.area_l2 > s1.area_l2,
+            "CMOS {} vs S1 {}",
+            cmos.area_l2,
+            s1.area_l2
+        );
+        assert!(
+            s1.area_l2 > s2.area_l2,
+            "S1 {} vs S2 {}",
+            s1.area_l2,
+            s2.area_l2
+        );
     }
 
     #[test]
     fn fa_area_gains_match_case_study_2() {
         // Paper: ~1.4x (Scheme 1) and ~1.6x (Scheme 2) over CMOS.
         let fa = full_adder();
-        let cmos = place_cmos(&fa);
-        let s1 = place_cnfet(&fa, Scheme::Scheme1).unwrap();
-        let s2 = place_cnfet(&fa, Scheme::Scheme2).unwrap();
+        let cmos = place_cmos_with(&DesignKit::cnfet65(), &fa, &lib(Scheme::Scheme1));
+        let s1 = place_cnfet_with(&fa, &lib(Scheme::Scheme1));
+        let s2 = place_cnfet_with(&fa, &lib(Scheme::Scheme2));
         let g1 = cmos.area_l2 / s1.area_l2;
         let g2 = cmos.area_l2 / s2.area_l2;
         assert!((1.2..1.7).contains(&g1), "scheme 1 gain {g1}");
@@ -308,9 +345,9 @@ mod tests {
     fn no_overlaps() {
         let fa = full_adder();
         for placement in [
-            place_cmos(&fa),
-            place_cnfet(&fa, Scheme::Scheme1).unwrap(),
-            place_cnfet(&fa, Scheme::Scheme2).unwrap(),
+            place_cmos_with(&DesignKit::cnfet65(), &fa, &lib(Scheme::Scheme1)),
+            place_cnfet_with(&fa, &lib(Scheme::Scheme1)),
+            place_cnfet_with(&fa, &lib(Scheme::Scheme2)),
         ] {
             let insts = &placement.instances;
             for i in 0..insts.len() {
@@ -327,7 +364,7 @@ mod tests {
     #[test]
     fn hpwl_positive_and_consistent() {
         let fa = full_adder();
-        let p = place_cnfet(&fa, Scheme::Scheme1).unwrap();
+        let p = place_cnfet_with(&fa, &lib(Scheme::Scheme1));
         assert!(p.hpwl(&fa) > 0.0);
         assert!(p.net_hpwl(&fa, "s1") > 0.0);
         assert_eq!(p.net_hpwl(&fa, "no_such_net"), 0.0);
@@ -336,7 +373,11 @@ mod tests {
     #[test]
     fn utilization_below_one() {
         let fa = full_adder();
-        let p = place_cnfet(&fa, Scheme::Scheme2).unwrap();
-        assert!(p.utilization > 0.2 && p.utilization <= 1.0, "{}", p.utilization);
+        let p = place_cnfet_with(&fa, &lib(Scheme::Scheme2));
+        assert!(
+            p.utilization > 0.2 && p.utilization <= 1.0,
+            "{}",
+            p.utilization
+        );
     }
 }

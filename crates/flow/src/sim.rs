@@ -3,8 +3,8 @@
 
 use crate::netlist::Netlist;
 use crate::place::Placement;
-use cnfet_core::{Sizing, SizedNetwork};
-use cnfet_device::{Polarity, FetModel};
+use cnfet_core::{SizedNetwork, Sizing};
+use cnfet_device::{FetModel, Polarity};
 use cnfet_dk::DesignKit;
 use cnfet_logic::{NodeKind, PullGraph};
 use cnfet_spice::{
@@ -54,7 +54,37 @@ pub fn simulate_netlist(
     tie_values: &BTreeMap<String, bool>,
     watch_out: &str,
 ) -> Result<NetlistMetrics, SimError> {
-    let kit = DesignKit::cnfet65();
+    simulate_netlist_with(
+        &DesignKit::cnfet65(),
+        netlist,
+        placement,
+        tech,
+        toggle_in,
+        tie_values,
+        watch_out,
+    )
+}
+
+/// [`simulate_netlist`] against an explicit design kit (device models,
+/// supply voltage, base widths) — the form `cnfet::Session` uses so a
+/// custom kit flows through simulation too.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the transient fails.
+///
+/// # Panics
+///
+/// Panics if `toggle_in`/`watch_out` are not primary ports of the netlist.
+pub fn simulate_netlist_with(
+    kit: &DesignKit,
+    netlist: &Netlist,
+    placement: &Placement,
+    tech: Tech,
+    toggle_in: &str,
+    tie_values: &BTreeMap<String, bool>,
+    watch_out: &str,
+) -> Result<NetlistMetrics, SimError> {
     let vdd_v = kit.cnfet.vdd;
     let mut ckt = Circuit::new();
     let vdd = ckt.node("vdd");
@@ -96,8 +126,28 @@ pub fn simulate_netlist(
         let (pdn, pun, _) = inst.kind.networks();
         let out = ckt.node(&inst.output);
         let inputs: Vec<Node> = inst.inputs.iter().map(|n| ckt.node(n)).collect();
-        add_network(&kit, &mut ckt, tech, &pdn, Polarity::N, Circuit::GROUND, out, &inputs, inst);
-        add_network(&kit, &mut ckt, tech, &pun, Polarity::P, vdd, out, &inputs, inst);
+        add_network(
+            kit,
+            &mut ckt,
+            tech,
+            &pdn,
+            Polarity::N,
+            Circuit::GROUND,
+            out,
+            &inputs,
+            inst,
+        );
+        add_network(
+            kit,
+            &mut ckt,
+            tech,
+            &pun,
+            Polarity::P,
+            vdd,
+            out,
+            &inputs,
+            inst,
+        );
     }
 
     let out_node = ckt.node(watch_out);
@@ -148,15 +198,13 @@ fn add_network(
         let node = match graph.kind(cnfet_logic::NodeId(n as u32)) {
             NodeKind::Source => source,
             NodeKind::Drain => out,
-            NodeKind::Internal => {
-                ckt.node(&format!("{}_{polarity:?}_i{n}", inst.name))
-            }
+            NodeKind::Internal => ckt.node(&format!("{}_{polarity:?}_i{n}", inst.name)),
         };
         nodes.push(node);
     }
     for (ei, e) in graph.edges().iter().enumerate() {
-        let w_lambda = widths.get(ei).copied().unwrap_or(kit.base_width_lambda)
-            * inst.strength as i64;
+        let w_lambda =
+            widths.get(ei).copied().unwrap_or(kit.base_width_lambda) * inst.strength as i64;
         let width_m = w_lambda as f64 * 32.5e-9;
         let model: Arc<dyn FetModel + Send + Sync> = match tech {
             Tech::Cnfet => {
@@ -187,8 +235,13 @@ fn add_network(
 mod tests {
     use super::*;
     use crate::fa::full_adder;
-    use crate::place::{place_cmos, place_cnfet};
+    use crate::place::{place_cmos_with, place_cnfet_with};
     use cnfet_core::Scheme;
+    use cnfet_dk::CellLibrary;
+
+    fn lib(scheme: Scheme) -> CellLibrary {
+        cnfet_dk::build_library(&DesignKit::cnfet65(), scheme).unwrap()
+    }
 
     fn fa_ties() -> BTreeMap<String, bool> {
         // Toggle `a` with b=1, cin=0: sum = !a (toggles), carry = a.
@@ -201,9 +254,10 @@ mod tests {
     #[test]
     fn fa_simulates_in_both_technologies() {
         let fa = full_adder();
-        let p = place_cnfet(&fa, Scheme::Scheme1).unwrap();
+        let l1 = lib(Scheme::Scheme1);
+        let p = place_cnfet_with(&fa, &l1);
         let cnfet = simulate_netlist(&fa, &p, Tech::Cnfet, "a", &fa_ties(), "carry").unwrap();
-        let pc = place_cmos(&fa);
+        let pc = place_cmos_with(&DesignKit::cnfet65(), &fa, &l1);
         let cmos = simulate_netlist(&fa, &pc, Tech::Cmos, "a", &fa_ties(), "carry").unwrap();
         assert!(cnfet.delay_s > 0.0 && cmos.delay_s > 0.0);
         assert!(cnfet.energy_j > 0.0 && cmos.energy_j > 0.0);
@@ -218,8 +272,9 @@ mod tests {
         // shape requirement: gains well above 1 and below the inverter's
         // 4.2x/2.0x (wires dilute CNFET's advantage).
         let fa = full_adder();
-        let p = place_cnfet(&fa, Scheme::Scheme1).unwrap();
-        let pc = place_cmos(&fa);
+        let l1 = lib(Scheme::Scheme1);
+        let p = place_cnfet_with(&fa, &l1);
+        let pc = place_cmos_with(&DesignKit::cnfet65(), &fa, &l1);
         let cnfet = simulate_netlist(&fa, &p, Tech::Cnfet, "a", &fa_ties(), "sum").unwrap();
         let cmos = simulate_netlist(&fa, &pc, Tech::Cmos, "a", &fa_ties(), "sum").unwrap();
         let delay_gain = cmos.delay_s / cnfet.delay_s;

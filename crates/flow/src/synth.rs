@@ -71,8 +71,8 @@ impl Mapper<'_> {
             Expr::Const(_) => {
                 // Constants are not driven by library cells; model as a net
                 // the simulator ties off. Rare in practice.
-                let net = self.fresh_net();
-                net
+
+                self.fresh_net()
             }
             Expr::Not(inner) => {
                 // !(a*b) is a single NAND.

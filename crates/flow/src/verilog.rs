@@ -112,7 +112,8 @@ pub fn parse_verilog(src: &str) -> Result<Netlist, VerilogError> {
             // Internal nets of the sub-netlist get a unique prefix; ports
             // (primary inputs of the expression and the lhs) keep their
             // names so they connect to the surrounding structure.
-            let is_local = |n: &str| n.starts_with('t') && n[1..].chars().all(|c| c.is_ascii_digit());
+            let is_local =
+                |n: &str| n.starts_with('t') && n[1..].chars().all(|c| c.is_ascii_digit());
             for net in inst.inputs.iter_mut() {
                 if is_local(net) {
                     *net = format!("a{lineno}_{net}");
@@ -195,9 +196,7 @@ fn parse_instance(line: &str, netlist: &mut Netlist) -> Result<(), String> {
         let conn = conn
             .strip_prefix('.')
             .ok_or("only named port connections are supported")?;
-        let (pin, net) = conn
-            .split_once('(')
-            .ok_or("expected `.PIN(net)`")?;
+        let (pin, net) = conn.split_once('(').ok_or("expected `.PIN(net)`")?;
         pins.push((
             pin.trim().to_string(),
             net.trim_end_matches(')').trim().to_string(),
@@ -246,7 +245,8 @@ fn parse_cell_name(cell: &str) -> Result<(StdCellKind, u8), String> {
     let (base, strength) = match cell.rsplit_once("_X") {
         Some((b, s)) => (
             b,
-            s.parse::<u8>().map_err(|_| format!("bad strength in `{cell}`"))?,
+            s.parse::<u8>()
+                .map_err(|_| format!("bad strength in `{cell}`"))?,
         ),
         None => (cell, 1),
     };
@@ -330,7 +330,10 @@ mod tests {
     #[test]
     fn verilog_to_placement_end_to_end() {
         let n = parse_verilog(XOR_SRC).unwrap();
-        let p = crate::place::place_cnfet(&n, cnfet_core::Scheme::Scheme2).unwrap();
+        let lib =
+            cnfet_dk::build_library(&cnfet_dk::DesignKit::cnfet65(), cnfet_core::Scheme::Scheme2)
+                .unwrap();
+        let p = crate::place::place_cnfet_with(&n, &lib);
         assert_eq!(p.instances.len(), 4);
         assert!(p.area_l2 > 0.0);
     }

@@ -200,7 +200,11 @@ pub fn write_gds(lib: &Library) -> Vec<u8> {
             push_record(&mut out, TEXT_EL, DT_NONE, &[]);
             push_i16s(&mut out, LAYER_RT, &[text.layer.gds_layer()]);
             push_i16s(&mut out, TEXTTYPE, &[0]);
-            push_i32s(&mut out, XY, &[text.position.x.0 as i32, text.position.y.0 as i32]);
+            push_i32s(
+                &mut out,
+                XY,
+                &[text.position.x.0 as i32, text.position.y.0 as i32],
+            );
             push_ascii(&mut out, STRING_RT, &text.string);
             push_record(&mut out, ENDEL, DT_NONE, &[]);
         }
@@ -209,7 +213,7 @@ pub fn write_gds(lib: &Library) -> Vec<u8> {
             push_ascii(&mut out, SNAME, &inst.cell);
             let (mirror, angle) = orientation_to_strans(inst.transform.orientation);
             if mirror || angle != 0.0 {
-                push_i16s(&mut out, STRANS, &[if mirror { -0x8000i16 as i16 } else { 0 }]);
+                push_i16s(&mut out, STRANS, &[if mirror { -0x8000i16 } else { 0 }]);
                 if angle != 0.0 {
                     let mut a = Vec::new();
                     a.extend_from_slice(&gds_f64(angle));
@@ -299,7 +303,7 @@ fn i16_at(data: &[u8], idx: usize) -> Result<i16, GdsError> {
 }
 
 fn i32_list(data: &[u8]) -> Result<Vec<i32>, GdsError> {
-    if data.len() % 4 != 0 {
+    if !data.len().is_multiple_of(4) {
         return Err(GdsError::MalformedRecord("xy"));
     }
     Ok(data
@@ -354,7 +358,8 @@ pub fn read_gds(bytes: &[u8]) -> Result<Library, GdsError> {
                     match recs[j].rtype {
                         LAYER_RT => {
                             let n = i16_at(recs[j].data, 0)?;
-                            layer = Some(Layer::from_gds_layer(n).ok_or(GdsError::UnknownLayer(n))?);
+                            layer =
+                                Some(Layer::from_gds_layer(n).ok_or(GdsError::UnknownLayer(n))?);
                         }
                         XY => {
                             let v = i32_list(recs[j].data)?;
@@ -424,10 +429,7 @@ pub fn read_gds(bytes: &[u8]) -> Result<Library, GdsError> {
 
 /// Parses a BOUNDARY element starting at `recs[start]`; returns layer, xy
 /// list and the number of records consumed.
-fn parse_element(
-    recs: &[Record<'_>],
-    start: usize,
-) -> Result<(Layer, Vec<i32>, usize), GdsError> {
+fn parse_element(recs: &[Record<'_>], start: usize) -> Result<(Layer, Vec<i32>, usize), GdsError> {
     let mut layer = None;
     let mut xy = Vec::new();
     let mut j = start + 1;
@@ -453,7 +455,10 @@ fn rect_from_xy(xy: &[i32]) -> Result<Rect, GdsError> {
     if xy.len() != 10 {
         return Err(GdsError::NonRectangular);
     }
-    let pts: Vec<(i64, i64)> = xy.chunks_exact(2).map(|c| (c[0] as i64, c[1] as i64)).collect();
+    let pts: Vec<(i64, i64)> = xy
+        .chunks_exact(2)
+        .map(|c| (c[0] as i64, c[1] as i64))
+        .collect();
     if pts[0] != pts[4] {
         return Err(GdsError::NonRectangular);
     }

@@ -113,20 +113,30 @@ mod tests {
 
     #[test]
     fn brute_force_agreement() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use cnfet_rng::{Rng, SeedableRng};
+        let mut rng = cnfet_rng::rngs::StdRng::seed_from_u64(7);
         let rects: Vec<Rect> = (0..200)
             .map(|_| {
-                let x = rng.gen_range(-500..500);
-                let y = rng.gen_range(-500..500);
-                r(x, y, x + rng.gen_range(1..50), y + rng.gen_range(1..50))
+                let x = rng.gen_range(-500..500i64);
+                let y = rng.gen_range(-500..500i64);
+                r(
+                    x,
+                    y,
+                    x + rng.gen_range(1..50i64),
+                    y + rng.gen_range(1..50i64),
+                )
             })
             .collect();
         let idx = GridIndex::build(&rects, Dbu(37));
         for _ in 0..50 {
-            let x = rng.gen_range(-500..500);
-            let y = rng.gen_range(-500..500);
-            let w = r(x, y, x + rng.gen_range(1..80), y + rng.gen_range(1..80));
+            let x = rng.gen_range(-500..500i64);
+            let y = rng.gen_range(-500..500i64);
+            let w = r(
+                x,
+                y,
+                x + rng.gen_range(1..80i64),
+                y + rng.gen_range(1..80i64),
+            );
             let mut expect: Vec<usize> = rects
                 .iter()
                 .enumerate()

@@ -146,7 +146,6 @@ impl Cell {
     pub fn bbox(&self) -> Option<Rect> {
         self.shapes
             .iter()
-            .filter(|s| s.layer != Layer::Boundary || true)
             .map(|s| s.rect)
             .reduce(|a, b| a.union_bbox(&b))
     }

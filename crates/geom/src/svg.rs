@@ -38,10 +38,10 @@ pub fn render_svg(cell: &Cell, scale: f64) -> String {
     let height = h * scale + 2.0 * margin;
 
     let mut svg = String::new();
-    let _ = write!(
+    let _ = writeln!(
         svg,
         "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
-         viewBox=\"0 0 {width:.0} {height:.0}\">\n"
+         viewBox=\"0 0 {width:.0} {height:.0}\">"
     );
     let _ = writeln!(
         svg,
@@ -147,6 +147,9 @@ mod tests {
         let gate_line = svg.lines().find(|l| l.contains("#cc2222")).unwrap();
         let contact_line = svg.lines().find(|l| l.contains("#4444cc")).unwrap();
         let (gate_y, contact_y) = (y_attr(gate_line), y_attr(contact_line));
-        assert!(contact_y < gate_y, "contact {contact_y} should be above gate {gate_y}");
+        assert!(
+            contact_y < gate_y,
+            "contact {contact_y} should be above gate {gate_y}"
+        );
     }
 }

@@ -145,7 +145,12 @@ mod tests {
     #[test]
     fn brute_force_agreement() {
         // Compare against per-unit-cell counting on a small grid.
-        let rects = [r(0, 0, 7, 5), r(3, 2, 10, 9), r(-2, -2, 1, 1), r(6, 0, 8, 12)];
+        let rects = [
+            r(0, 0, 7, 5),
+            r(3, 2, 10, 9),
+            r(-2, -2, 1, 1),
+            r(6, 0, 8, 12),
+        ];
         let mut count = 0i128;
         for x in -5..15 {
             for y in -5..15 {

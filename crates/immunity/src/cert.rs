@@ -145,9 +145,7 @@ fn walk(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cnfet_core::{
-        generate_cell, GenerateOptions, Scheme, Sizing, StdCellKind, Style,
-    };
+    use cnfet_core::{generate_cell, GenerateOptions, Scheme, Sizing, StdCellKind, Style};
 
     fn opts(style: Style, scheme: Scheme) -> GenerateOptions {
         GenerateOptions {
@@ -204,16 +202,15 @@ mod tests {
     fn vulnerable_nand2_not_immune() {
         // Figure 2(b): the CMOS-style layout lets fully doped tubes sneak
         // around gate endcaps.
-        let cell =
-            generate_cell(StdCellKind::Nand(2), &opts(Style::Vulnerable, Scheme::Scheme1))
-                .unwrap();
+        let cell = generate_cell(
+            StdCellKind::Nand(2),
+            &opts(Style::Vulnerable, Scheme::Scheme1),
+        )
+        .unwrap();
         let report = certify(&cell.semantics);
         assert!(!report.immune, "vulnerable layout must fail certification");
         // And the failure is the paper's: a conduction path missing gates.
-        assert!(report
-            .harmful
-            .iter()
-            .any(|s| s.net_a != s.net_b));
+        assert!(report.harmful.iter().any(|s| s.net_a != s.net_b));
     }
 
     #[test]

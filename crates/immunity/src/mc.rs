@@ -12,8 +12,8 @@ use crate::verdict::{Judge, Segment, Verdict};
 use cnfet_core::{PullSide, SemanticLayout};
 use cnfet_geom::DBU_PER_LAMBDA;
 use cnfet_logic::VarId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cnfet_rng::rngs::StdRng;
+use cnfet_rng::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 
 /// Monte-Carlo options.
@@ -135,7 +135,9 @@ fn first_harmful_segment(
             let x = (xa + t * dx) as i64;
             let y = (ya + t * (yb - ya)) as i64;
             let Some(col) = cm.column_at(x) else { continue };
-            let Some(si) = cm.slab_at(col, y) else { continue };
+            let Some(si) = cm.slab_at(col, y) else {
+                continue;
+            };
             let kind = &cm.columns[col][si].kind;
             if regions.last() != Some(&kind) {
                 regions.push(kind);

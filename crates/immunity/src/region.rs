@@ -136,7 +136,11 @@ pub fn build_columns(layout: &SemanticLayout) -> ColumnMap {
             let kind = winner.map_or(RegionKind::Dead, |r| to_region(&r.kind));
             match slabs.last_mut() {
                 Some(last) if last.kind == kind => last.y1 = yb,
-                _ => slabs.push(Slab { y0: ya, y1: yb, kind }),
+                _ => slabs.push(Slab {
+                    y0: ya,
+                    y1: yb,
+                    kind,
+                }),
             }
         }
         columns.push(slabs);

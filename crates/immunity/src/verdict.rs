@@ -52,10 +52,14 @@ impl fmt::Display for Verdict {
     }
 }
 
+/// Gate sets (polarity-tagged) of the nominal simple paths between one
+/// pair of nets.
+type PathSets = Vec<BTreeSet<(VarId, PullSide)>>;
+
 /// A memoizing judge over one cell's semantics.
 pub struct Judge<'a> {
     sem: &'a SemanticLayout,
-    path_cache: HashMap<(String, String), Vec<BTreeSet<(VarId, PullSide)>>>,
+    path_cache: HashMap<(String, String), PathSets>,
 }
 
 impl<'a> Judge<'a> {

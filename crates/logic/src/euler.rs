@@ -132,14 +132,22 @@ fn component_trails(graph: &PullGraph, edges: &[EdgeId]) -> Vec<Trail> {
     let mut adj: Vec<Vec<HalfEdge>> = vec![Vec::new(); graph.node_count()];
     let mut used: Vec<bool> = Vec::new();
     let push_pair = |adj: &mut Vec<Vec<HalfEdge>>,
-                         used: &mut Vec<bool>,
-                         a: NodeId,
-                         b: NodeId,
-                         edge: Option<EdgeId>| {
+                     used: &mut Vec<bool>,
+                     a: NodeId,
+                     b: NodeId,
+                     edge: Option<EdgeId>| {
         let pair_id = used.len();
         used.push(false);
-        adj[a.0 as usize].push(HalfEdge { to: b, edge, pair_id });
-        adj[b.0 as usize].push(HalfEdge { to: a, edge, pair_id });
+        adj[a.0 as usize].push(HalfEdge {
+            to: b,
+            edge,
+            pair_id,
+        });
+        adj[b.0 as usize].push(HalfEdge {
+            to: a,
+            edge,
+            pair_id,
+        });
     };
     for &eid in edges {
         let e = graph.edge(eid);
@@ -211,7 +219,10 @@ fn component_trails(graph: &PullGraph, edges: &[EdgeId]) -> Vec<Trail> {
         }
     }
     if !tedges.is_empty() {
-        trails.push(Trail { nodes, edges: tedges });
+        trails.push(Trail {
+            nodes,
+            edges: tedges,
+        });
     }
     trails
 }

@@ -279,7 +279,13 @@ impl Parser<'_> {
                     factors.push(self.parse_factor()?);
                 }
                 // Implicit AND by juxtaposition: `AB`, `A(B+C)`, `!A B`.
-                Some(c) if c == b'(' || c == b'!' || c == b'~' || c.is_ascii_alphabetic() || c == b'_' => {
+                Some(c)
+                    if c == b'('
+                        || c == b'!'
+                        || c == b'~'
+                        || c.is_ascii_alphabetic()
+                        || c == b'_' =>
+                {
                     factors.push(self.parse_factor()?);
                 }
                 _ => break,
@@ -319,12 +325,13 @@ impl Parser<'_> {
             Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = self.pos;
                 while self.pos < self.bytes.len()
-                    && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+                    && (self.bytes[self.pos].is_ascii_alphanumeric()
+                        || self.bytes[self.pos] == b'_')
                 {
                     self.pos += 1;
                 }
-                let name = std::str::from_utf8(&self.bytes[start..self.pos])
-                    .expect("ascii identifier");
+                let name =
+                    std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii identifier");
                 Expr::Var(self.vars.intern(name))
             }
             _ => return Err(self.err("expected variable, constant, `(`, `!` or `~`")),
@@ -471,7 +478,11 @@ mod tests {
         let mut vars2 = VarTable::new();
         let reparsed = Expr::parse_with(&shown, &mut vars2).unwrap();
         for m in 0..32u64 {
-            assert_eq!(parsed.expr.eval(m), reparsed.eval(m), "mask {m:b} in {shown}");
+            assert_eq!(
+                parsed.expr.eval(m),
+                reparsed.eval(m),
+                "mask {m:b} in {shown}"
+            );
         }
     }
 

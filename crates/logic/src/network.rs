@@ -13,7 +13,7 @@ use std::fmt;
 /// [`SpNetwork::Parallel`] is disjunction. Pull-down networks realize the
 /// gate's complemented function directly; pull-up networks realize the
 /// [dual](SpNetwork::dual).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum SpNetwork {
     /// A single transistor controlled by a gate signal.
     Device(VarId),
@@ -36,7 +36,10 @@ impl fmt::Display for NetworkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetworkError::NotPositive => {
-                write!(f, "pull networks require a positive (negation-free) expression")
+                write!(
+                    f,
+                    "pull networks require a positive (negation-free) expression"
+                )
             }
             NetworkError::ConstantSubexpression => {
                 write!(f, "constants cannot be realized as devices")

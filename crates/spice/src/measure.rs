@@ -137,9 +137,6 @@ mod tests {
         c.add_capacitor(vout, Circuit::GROUND, 1e-12);
         let tran = transient(&c, 1e-12, 12e-9).unwrap();
         let e = energy_from_supply(&tran, src, 1.0, 0.0, 12e-9);
-        assert!(
-            (e - 1e-12).abs() < 0.03e-12,
-            "expected ~1 pJ, got {e:e}"
-        );
+        assert!((e - 1e-12).abs() < 0.03e-12, "expected ~1 pJ, got {e:e}");
     }
 }

@@ -219,7 +219,10 @@ impl Circuit {
     ///
     /// Panics unless the resistance is positive and finite.
     pub fn add_resistor(&mut self, a: Node, b: Node, ohms: f64) -> &mut Circuit {
-        assert!(ohms.is_finite() && ohms > 0.0, "resistance must be positive");
+        assert!(
+            ohms.is_finite() && ohms > 0.0,
+            "resistance must be positive"
+        );
         self.elements.push(Element::Resistor { a, b, ohms });
         self
     }

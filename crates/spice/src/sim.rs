@@ -128,6 +128,7 @@ impl<'a> Assembler<'a> {
     /// `dt` of `None` means DC (capacitors open); otherwise backward-Euler
     /// companion models reference `prev` (the solution at the previous
     /// timestep).
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         &self,
         a: &mut Matrix,
@@ -290,7 +291,7 @@ impl<'a> Assembler<'a> {
     /// converged solution.
     fn newton(
         &self,
-        x: &mut Vec<f64>,
+        x: &mut [f64],
         prev: Option<&[f64]>,
         dt: Option<f64>,
         t: f64,
@@ -357,9 +358,8 @@ pub fn dc_operating_point(circuit: &Circuit) -> Result<Vec<f64>, SimError> {
     }
 
     let mut volts = vec![0.0; circuit.node_count()];
-    for n in 1..circuit.node_count() {
-        volts[n] = x[n - 1];
-    }
+    let n = circuit.node_count();
+    volts[1..n].copy_from_slice(&x[..n - 1]);
     Ok(volts)
 }
 
@@ -380,16 +380,19 @@ pub fn transient(circuit: &Circuit, dt: f64, t_stop: f64) -> Result<Transient, S
     // Initial condition: DC operating point at t=0.
     let dc = dc_operating_point(circuit)?;
     let mut x = vec![0.0; dim];
-    for n in 1..circuit.node_count() {
-        x[n - 1] = dc[n];
-    }
+    let n = circuit.node_count();
+    x[..n - 1].copy_from_slice(&dc[1..n]);
 
     let steps = (t_stop / dt).ceil() as usize;
     let mut time = Vec::with_capacity(steps + 1);
     let mut voltages = vec![Vec::with_capacity(steps + 1); circuit.node_count()];
     let mut currents = vec![Vec::with_capacity(steps + 1); asm.n_sources];
 
-    let record = |x: &[f64], t: f64, time: &mut Vec<f64>, voltages: &mut Vec<Vec<f64>>, currents: &mut Vec<Vec<f64>>| {
+    let record = |x: &[f64],
+                  t: f64,
+                  time: &mut Vec<f64>,
+                  voltages: &mut Vec<Vec<f64>>,
+                  currents: &mut Vec<Vec<f64>>| {
         time.push(t);
         voltages[0].push(0.0);
         for n in 1..circuit.node_count() {

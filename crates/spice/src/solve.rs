@@ -136,8 +136,8 @@ mod tests {
 
     #[test]
     fn random_round_trip() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        use cnfet_rng::{Rng, SeedableRng};
+        let mut rng = cnfet_rng::rngs::StdRng::seed_from_u64(42);
         for n in [1, 2, 5, 12, 30] {
             let mut m = Matrix::zeros(n);
             for r in 0..n {

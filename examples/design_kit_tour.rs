@@ -1,38 +1,61 @@
-//! Tour of the CNFET design kit: build the library, characterize an
-//! inverter, synthesize a custom function, and export Liberty/LEF views.
+//! Tour of the CNFET design kit through the session engine: build the
+//! library, characterize an inverter, synthesize a custom function, and
+//! export Liberty/LEF views.
 //!
 //! Run with: `cargo run --release --example design_kit_tour`
 
 use cnfet::core::Scheme;
-use cnfet::dk::{characterize_cell, write_lef, write_liberty, DesignKit};
+use cnfet::dk::{characterize_cell, write_lef, write_liberty};
 use cnfet::flow::synthesize;
 use cnfet::logic::Expr;
+use cnfet::{LibraryRequest, Session};
 use std::collections::HashMap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let kit = DesignKit::cnfet65();
-    let lib = kit.build_library(Scheme::Scheme1)?;
-    println!("library: {} cells at the optimal 5 nm pitch", lib.cells.len());
+    let session = Session::new();
+    let lib = session.library(&LibraryRequest::new(Scheme::Scheme1))?;
+    println!(
+        "library: {} cells at the optimal 5 nm pitch",
+        lib.cells.len()
+    );
 
     // Characterize the unit inverter across loads.
     let inv = lib.cell("INV_X1").expect("INV_X1 in library");
-    let table = characterize_cell(&kit, inv, &[0.2e-15, 0.5e-15, 1e-15, 2e-15])?;
+    let table = characterize_cell(session.kit(), inv, &[0.2e-15, 0.5e-15, 1e-15, 2e-15])?;
     println!("INV_X1 delay vs load:");
     for (l, d) in table.loads_f.iter().zip(&table.delays_s) {
         println!("  {:.2} fF → {:.2} ps", l * 1e15, d * 1e12);
     }
-    println!("  energy/cycle at min load: {:.3} fJ", table.energy_j * 1e15);
+    println!(
+        "  energy/cycle at min load: {:.3} fJ",
+        table.energy_j * 1e15
+    );
 
     // Synthesize an arbitrary function into the library's NAND2/INV basis.
     let parsed = Expr::parse("(a*b + c) * !(d*e)")?;
     let mapped = synthesize("custom", &parsed.expr, &parsed.vars, "y");
-    println!("synthesized `(a*b + c) * !(d*e)` into {} gates", mapped.instances.len());
+    println!(
+        "synthesized `(a*b + c) * !(d*e)` into {} gates",
+        mapped.instances.len()
+    );
 
-    // Export the views a P&R tool would consume.
+    // Export the views a P&R tool would consume. A second library request
+    // is free: the session memoizes it.
+    let lib = session.library(&LibraryRequest::new(Scheme::Scheme1))?;
     let liberty = write_liberty(&lib, &HashMap::new());
     let lef = write_lef(&lib);
     std::fs::write("cnfet65.lib", &liberty)?;
     std::fs::write("cnfet65.lef", &lef)?;
-    println!("wrote cnfet65.lib ({} B) and cnfet65.lef ({} B)", liberty.len(), lef.len());
+    println!(
+        "wrote cnfet65.lib ({} B) and cnfet65.lef ({} B)",
+        liberty.len(),
+        lef.len()
+    );
+    println!(
+        "session stats: {} cell generations, {} library builds, {} library hits",
+        session.stats().cell_misses,
+        session.stats().library_misses,
+        session.stats().library_hits
+    );
     Ok(())
 }

@@ -1,32 +1,48 @@
-//! The full logic-to-GDSII flow on the paper's Figure 8 full adder:
-//! netlist → placement (both schemes) → transistor-level simulation →
-//! GDSII.
+//! The full logic-to-GDSII flow on the paper's Figure 8 full adder, as
+//! three typed `FlowRequest`s against one session: placement in the CMOS
+//! baseline and both CNFET schemes, transistor-level simulation, GDSII.
 //!
 //! Run with: `cargo run --release --example full_adder_flow`
 
 use cnfet::core::Scheme;
-use cnfet::flow::{
-    assemble_gds, full_adder, place_cmos, place_cnfet, simulate_netlist, Tech,
-};
+use cnfet::{FlowRequest, FlowSource, Session, SimSpec};
 use std::collections::BTreeMap;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let fa = full_adder();
-    println!("full adder: {} gates, {} nets", fa.instances.len(), fa.nets().len());
-
-    let cmos = place_cmos(&fa);
-    let s1 = place_cnfet(&fa, Scheme::Scheme1)?;
-    let s2 = place_cnfet(&fa, Scheme::Scheme2)?;
-    println!("area: CMOS {:.0} λ², scheme1 {:.0} λ² ({:.2}x), scheme2 {:.0} λ² ({:.2}x)",
-        cmos.area_l2,
-        s1.area_l2, cmos.area_l2 / s1.area_l2,
-        s2.area_l2, cmos.area_l2 / s2.area_l2);
+fn main() -> cnfet::Result<()> {
+    let session = Session::new();
 
     let mut ties = BTreeMap::new();
     ties.insert("b".to_string(), true);
     ties.insert("cin".to_string(), false);
-    let cn = simulate_netlist(&fa, &s1, Tech::Cnfet, "a", &ties, "sum")?;
-    let cm = simulate_netlist(&fa, &cmos, Tech::Cmos, "a", &ties, "sum")?;
+    let sim = SimSpec {
+        toggle_in: "a".to_string(),
+        ties,
+        watch_out: "sum".to_string(),
+    };
+
+    let cmos = session.flow(&FlowRequest::cmos(FlowSource::FullAdder).simulate(sim.clone()))?;
+    let s1 = session
+        .flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1).simulate(sim.clone()))?;
+    let s2 =
+        session.flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme2).with_gds())?;
+
+    let fa = &s1.netlist;
+    println!(
+        "full adder: {} gates, {} nets",
+        fa.instances.len(),
+        fa.nets().len()
+    );
+    println!(
+        "area: CMOS {:.0} λ², scheme1 {:.0} λ² ({:.2}x), scheme2 {:.0} λ² ({:.2}x)",
+        cmos.placement.area_l2,
+        s1.placement.area_l2,
+        cmos.placement.area_l2 / s1.placement.area_l2,
+        s2.placement.area_l2,
+        cmos.placement.area_l2 / s2.placement.area_l2
+    );
+
+    let cn = s1.metrics.expect("simulation requested");
+    let cm = cmos.metrics.expect("simulation requested");
     println!(
         "a→sum: CNFET {:.1} ps / {:.1} fJ vs CMOS {:.1} ps / {:.1} fJ ({:.2}x, {:.2}x)",
         cn.delay_s * 1e12,
@@ -37,8 +53,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cm.energy_j / cn.energy_j
     );
 
-    let gds = assemble_gds("full_adder", &s2, Scheme::Scheme2);
+    let gds = s2.gds.expect("gds requested");
     std::fs::write("full_adder_scheme2.gds", &gds)?;
     println!("wrote full_adder_scheme2.gds ({} bytes)", gds.len());
+    println!(
+        "one Scheme-1 library build served both the CMOS and Scheme-1 runs: {:?}",
+        session.stats()
+    );
     Ok(())
 }

@@ -1,13 +1,17 @@
 //! Mispositioned-CNT Monte Carlo: compare the vulnerable CMOS-style NAND2
-//! of Figure 2(b) against the immune layouts under wavy random tubes.
+//! of Figure 2(b) against the immune layouts under wavy random tubes —
+//! one `ImmunityRequest` per style, certification and Monte-Carlo in a
+//! single engine pass.
 //!
 //! Run with: `cargo run --release --example immunity_monte_carlo`
 
-use cnfet::core::{generate_cell, GenerateOptions, StdCellKind, Style};
-use cnfet::immunity::{certify, simulate, McOptions};
+use cnfet::core::{GenerateOptions, StdCellKind, Style};
+use cnfet::immunity::McOptions;
+use cnfet::{CellRequest, ImmunityEngine, ImmunityRequest, Session};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let opts = McOptions {
+fn main() -> cnfet::Result<()> {
+    let session = Session::new();
+    let mc = McOptions {
         tubes: 10_000,
         tau: 1.0,
         segment_len_lambda: 6.0,
@@ -15,23 +19,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     for style in [Style::Vulnerable, Style::OldEtched, Style::NewImmune] {
-        let cell = generate_cell(
-            StdCellKind::Nand(2),
-            &GenerateOptions {
+        let report = session.immunity(&ImmunityRequest {
+            cell: CellRequest::new(StdCellKind::Nand(2)).options(GenerateOptions {
                 style,
                 ..GenerateOptions::default()
-            },
-        )?;
-        let mc = simulate(&cell.semantics, &opts);
-        let cert = certify(&cell.semantics);
+            }),
+            engine: ImmunityEngine::Both(mc.clone()),
+        })?;
+        let mc_report = report.mc.as_ref().expect("monte-carlo ran");
+        let cert = report.cert.as_ref().expect("certification ran");
         println!(
             "NAND2 {style:>4}: {:>5} / {} tubes break the function ({:.3}%), certified {}",
-            mc.failures,
-            mc.tubes,
-            mc.failure_probability() * 100.0,
+            mc_report.failures,
+            mc_report.tubes,
+            mc_report.failure_probability() * 100.0,
             if cert.immune { "immune" } else { "NOT immune" },
         );
-        if let Some(w) = mc.witnesses.first() {
+        if let Some(w) = mc_report.witnesses.first() {
             println!(
                 "  e.g. a tube creating a stray {}–{} segment through {} gates",
                 w.segment.net_a,

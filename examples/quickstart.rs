@@ -1,48 +1,67 @@
-//! Quickstart: generate the paper's NAND3 in both immune styles, compare
-//! areas, verify immunity, and write an SVG.
+//! Quickstart: one `Session`, the paper's NAND3 in both immune styles,
+//! area comparison, immunity verdicts, and an SVG dump.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use cnfet::core::{
-    check_drc, generate_cell, DesignRules, GenerateOptions, Sizing, StdCellKind, Style,
-};
+use cnfet::core::{check_drc, DesignRules, GenerateOptions, Sizing, StdCellKind, Style};
 use cnfet::geom::render_svg;
-use cnfet::immunity::certify;
+use cnfet::{CellRequest, ImmunityRequest, Session};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut opts = GenerateOptions {
+fn main() -> cnfet::Result<()> {
+    let session = Session::new();
+    let opts = |style| GenerateOptions {
+        style,
         sizing: Sizing::Matched { base_lambda: 4 },
         ..GenerateOptions::default()
     };
 
     // The compact layout of Figure 3(b): Euler path Vdd-A-Out-B-Vdd-C-Out.
-    opts.style = Style::NewImmune;
-    let new = generate_cell(StdCellKind::Nand(3), &opts)?;
+    let new = session
+        .generate(&CellRequest::new(StdCellKind::Nand(3)).options(opts(Style::NewImmune)))?
+        .cell;
 
     // The prior art of Figure 3(a): etched regions + vertical gating.
-    opts.style = Style::OldEtched;
-    let old = generate_cell(StdCellKind::Nand(3), &opts)?;
+    let old = session
+        .generate(&CellRequest::new(StdCellKind::Nand(3)).options(opts(Style::OldEtched)))?
+        .cell;
 
     println!("NAND3 at 4λ:");
-    println!("  new compact layout: {:>6.0} λ² active", new.active_area_l2());
-    println!("  old etched layout:  {:>6.0} λ² active", old.active_area_l2());
+    println!(
+        "  new compact layout: {:>6.0} λ² active",
+        new.active_area_l2()
+    );
+    println!(
+        "  old etched layout:  {:>6.0} λ² active",
+        old.active_area_l2()
+    );
     println!(
         "  saving: {:.2}% (paper: 16.67%)",
         (old.active_area_l2() - new.active_area_l2()) / old.active_area_l2() * 100.0
     );
 
     // Both are 100% immune to mispositioned CNTs — but only the new one
-    // passes conventional design rules (no via-on-gate).
+    // passes conventional design rules (no via-on-gate). The immunity
+    // requests recall the cached layouts instead of regenerating.
+    let new_report = session.immunity(&ImmunityRequest::certify(
+        CellRequest::new(StdCellKind::Nand(3)).options(opts(Style::NewImmune)),
+    ))?;
+    let old_report = session.immunity(&ImmunityRequest::certify(
+        CellRequest::new(StdCellKind::Nand(3)).options(opts(Style::OldEtched)),
+    ))?;
     println!(
         "  immunity: new = {}, old = {}",
-        certify(&new.semantics).immune,
-        certify(&old.semantics).immune
+        new_report.immune, old_report.immune
     );
     let rules = DesignRules::cnfet65();
     println!(
         "  DRC violations: new = {}, old = {} (vertical gating)",
         check_drc(&new.cell, &rules).len(),
         check_drc(&old.cell, &rules).len()
+    );
+    let stats = session.stats();
+    println!(
+        "  session: {} generated, {} served from cache",
+        stats.cell_misses, stats.cell_hits
     );
 
     std::fs::write("nand3_new.svg", render_svg(&new.cell, 2.0))?;

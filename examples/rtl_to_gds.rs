@@ -1,11 +1,13 @@
-//! RTL-to-GDSII: parse a structural Verilog module, place it in Scheme 2,
-//! simulate it transistor-level in both technologies, and stream GDSII —
-//! the complete flow the paper's design kit enables.
+//! RTL-to-GDSII as one typed request: parse a structural Verilog module,
+//! place it in Scheme 2, simulate it transistor-level in both
+//! technologies, and stream GDSII — the complete flow the paper's design
+//! kit enables, served by a `Session`.
 //!
 //! Run with: `cargo run --release --example rtl_to_gds`
 
 use cnfet::core::Scheme;
-use cnfet::flow::{assemble_gds, parse_verilog, place_cmos, place_cnfet, simulate_netlist, Tech};
+use cnfet::flow::parse_verilog;
+use cnfet::{FlowRequest, FlowSource, Session, SimSpec};
 use std::collections::BTreeMap;
 
 const SRC: &str = r#"
@@ -21,32 +23,48 @@ module mux2 (input d0, input d1, input sel, output y);
 endmodule
 "#;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let netlist = parse_verilog(SRC)?;
-    println!("parsed `{}`: {} instances", netlist.name, netlist.instances.len());
-
+fn main() -> cnfet::Result<()> {
     // Functional check straight off the netlist.
+    let netlist = parse_verilog(SRC)?;
+    println!(
+        "parsed `{}`: {} instances",
+        netlist.name,
+        netlist.instances.len()
+    );
     let mut inputs = BTreeMap::new();
     inputs.insert("d0".to_string(), true);
     inputs.insert("d1".to_string(), false);
     inputs.insert("sel".to_string(), false);
     assert!(netlist.evaluate(&inputs)["y"], "mux selects d0 when sel=0");
 
-    let placement = place_cnfet(&netlist, Scheme::Scheme2)?;
-    println!(
-        "placed: {:.0} λ² ({:.0}λ × {:.0}λ), utilization {:.0}%",
-        placement.area_l2,
-        placement.width_l,
-        placement.height_l,
-        placement.utilization * 100.0
-    );
-
+    let session = Session::new();
     let mut ties = BTreeMap::new();
     ties.insert("d0".to_string(), true);
     ties.insert("d1".to_string(), false);
-    let cn = simulate_netlist(&netlist, &placement, Tech::Cnfet, "sel", &ties, "y")?;
-    let cmos_p = place_cmos(&netlist);
-    let cm = simulate_netlist(&netlist, &cmos_p, Tech::Cmos, "sel", &ties, "y")?;
+    let sim = SimSpec {
+        toggle_in: "sel".to_string(),
+        ties,
+        watch_out: "y".to_string(),
+    };
+
+    let cnfet = session.flow(
+        &FlowRequest::cnfet(FlowSource::Verilog(SRC.to_string()), Scheme::Scheme2)
+            .simulate(sim.clone())
+            .with_gds(),
+    )?;
+    let cmos =
+        session.flow(&FlowRequest::cmos(FlowSource::Verilog(SRC.to_string())).simulate(sim))?;
+
+    println!(
+        "placed: {:.0} λ² ({:.0}λ × {:.0}λ), utilization {:.0}%",
+        cnfet.placement.area_l2,
+        cnfet.placement.width_l,
+        cnfet.placement.height_l,
+        cnfet.placement.utilization * 100.0
+    );
+
+    let cn = cnfet.metrics.expect("simulation requested");
+    let cm = cmos.metrics.expect("simulation requested");
     println!(
         "sel→y: CNFET {:.1} ps vs CMOS {:.1} ps ({:.2}x)",
         cn.delay_s * 1e12,
@@ -54,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cm.delay_s / cn.delay_s
     );
 
-    let gds = assemble_gds(&netlist.name, &placement, Scheme::Scheme2);
+    let gds = cnfet.gds.expect("gds requested");
     std::fs::write("mux2.gds", &gds)?;
     println!("wrote mux2.gds ({} bytes)", gds.len());
     Ok(())

@@ -4,7 +4,45 @@
 //! Imperfection-Immune CNFET Layouts for Standard-Cell-Based Logic
 //! Synthesis"* (Bobba, Zhang, Pullini, Atienza, De Micheli — DATE 2009).
 //!
-//! This umbrella crate re-exports the workspace:
+//! # The `Session` engine
+//!
+//! The front door of the stack is [`Session`]: build one from a
+//! [`SessionBuilder`] (design rules, device model, scheme/style/sizing
+//! defaults) and feed it typed requests. Cell layouts are memoized by
+//! their complete generation input, so repeated requests — the shape of
+//! any co-optimization sweep — cost one generation plus
+//! [`Arc`](std::sync::Arc) clones,
+//! and [`Session::generate_batch`] fans request lists out across threads.
+//! All failures converge on one hierarchy, [`CnfetError`], with a
+//! workspace-wide [`Result`] alias.
+//!
+//! | Request | Result | What runs |
+//! |---|---|---|
+//! | [`CellRequest`] | [`CellResult`] | the compact immune layout generator |
+//! | [`LibraryRequest`] | [`dk::CellLibrary`] | the full function × strength library |
+//! | [`ImmunityRequest`] | [`ImmunityReport`] | certification and/or Monte-Carlo |
+//! | [`FlowRequest`] | [`FlowResult`] | place → simulate → GDSII |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cnfet::{CellRequest, ImmunityRequest, Session};
+//! use cnfet::core::StdCellKind;
+//!
+//! let session = Session::new();
+//!
+//! // The paper's Figure 3(b): a NAND3 laid out along an Euler path.
+//! let nand3 = session.generate(&CellRequest::new(StdCellKind::Nand(3)))?;
+//! assert_eq!(nand3.cell.pun_active_area_l2, 120.0); // 30λ × 4λ
+//!
+//! // 100% misposition-immune, and the second request is a cache hit.
+//! let report = session.immunity(&ImmunityRequest::certify(StdCellKind::Nand(3)))?;
+//! assert!(report.immune);
+//! assert_eq!(session.stats().cell_hits, 1);
+//! # Ok::<(), cnfet::CnfetError>(())
+//! ```
+//!
+//! # The workspace underneath
 //!
 //! * [`geom`] — λ-grid layout geometry, GDSII and SVG;
 //! * [`logic`] — boolean expressions, series–parallel networks, Euler paths;
@@ -20,18 +58,11 @@
 //!   Liberty/LEF/GDS;
 //! * [`flow`] — logic-to-GDSII: synthesis, placement, simulation, assembly.
 //!
-//! # Quickstart
-//!
-//! ```
-//! use cnfet::core::{generate_cell, GenerateOptions, StdCellKind};
-//! use cnfet::immunity::certify;
-//!
-//! // The paper's Figure 3(b): a NAND3 laid out along an Euler path.
-//! let cell = generate_cell(StdCellKind::Nand(3), &GenerateOptions::default())?;
-//! assert_eq!(cell.pun_active_area_l2, 120.0); // 30λ × 4λ
-//! assert!(certify(&cell.semantics).immune);   // 100% misposition-immune
-//! # Ok::<(), cnfet::core::GenerateError>(())
-//! ```
+//! The per-crate free functions ([`core::generate_cell`],
+//! `dk::build_library`, …) remain available for one-shot use; the
+//! previous convenience entry points that rebuilt state on every call
+//! (`dk::DesignKit::build_library`, `flow::place_cnfet`, …) are kept as
+//! deprecated shims for one release.
 
 pub use cnfet_core as core;
 pub use cnfet_device as device;
@@ -41,3 +72,13 @@ pub use cnfet_geom as geom;
 pub use cnfet_immunity as immunity;
 pub use cnfet_logic as logic;
 pub use cnfet_spice as spice;
+
+mod error;
+mod session;
+
+pub use error::{CnfetError, Result};
+pub use session::{
+    CellRequest, CellResult, FlowRequest, FlowResult, FlowSource, FlowTarget, ImmunityEngine,
+    ImmunityReport, ImmunityRequest, LibraryRequest, Session, SessionBuilder, SessionStats,
+    SimSpec,
+};

@@ -1,0 +1,835 @@
+//! The `Session` engine: one front door for the whole CNFET stack.
+//!
+//! A [`Session`] owns a design kit and default generation options, and
+//! services typed requests — [`CellRequest`] → [`CellResult`],
+//! [`LibraryRequest`] → [`CellLibrary`], [`ImmunityRequest`] →
+//! [`ImmunityReport`], [`FlowRequest`] → [`FlowResult`] — through an
+//! internal memoizing cache. The cache is keyed by the full generation
+//! input (`StdCellKind` × strength × `GenerateOptions`, which embeds the
+//! `DesignRules`), so co-optimization sweeps that re-request the same
+//! cells thousands of times (Hills et al.'s CNT-variation loops) pay for
+//! each layout exactly once; every later hit returns the same
+//! [`Arc`]-shared cell. [`Session::generate_batch`] fans a request list
+//! out across threads against the shared cache.
+//!
+//! # Example
+//!
+//! ```
+//! use cnfet::{CellRequest, Session};
+//! use cnfet::core::StdCellKind;
+//!
+//! let session = Session::new();
+//! let first = session.generate(&CellRequest::new(StdCellKind::Nand(3)))?;
+//! let again = session.generate(&CellRequest::new(StdCellKind::Nand(3)))?;
+//! assert!(!first.cached && again.cached, "second request is a cache hit");
+//! assert_eq!(session.stats().cell_misses, 1);
+//! # Ok::<(), cnfet::CnfetError>(())
+//! ```
+
+use crate::core::{
+    generate_cell, generate_from_networks, GenerateError, GenerateOptions, GeneratedCell,
+    RowPolicy, Scheme, Sizing, StdCellKind, Style,
+};
+use crate::dk::{self, CellLibrary, DesignKit};
+use crate::error::{CnfetError, Result};
+use crate::flow::{
+    assemble_gds_with, full_adder, parse_verilog, place_cmos_with, place_cnfet_with,
+    simulate_netlist_with, Netlist, NetlistMetrics, Placement, Tech,
+};
+use crate::immunity::{certify, simulate, CertReport, McOptions, McReport};
+use crate::logic::{SpNetwork, VarTable};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// A request for one standard-cell layout.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CellRequest {
+    /// Cell function.
+    pub kind: StdCellKind,
+    /// Drive strength: `1` for the plain cell, `n > 1` for an `n`-fingered
+    /// library cell (parallel replicas snaked through shared contacts).
+    pub strength: u8,
+    /// Generation options; `None` uses the session defaults.
+    pub options: Option<GenerateOptions>,
+    /// Overrides the generated cell's name (library cells use `INV_X4`
+    /// style names).
+    pub name: Option<String>,
+}
+
+impl CellRequest {
+    /// A strength-1 request with session-default options.
+    pub fn new(kind: StdCellKind) -> CellRequest {
+        CellRequest {
+            kind,
+            strength: 1,
+            options: None,
+            name: None,
+        }
+    }
+
+    /// Sets explicit generation options.
+    #[must_use]
+    pub fn options(mut self, options: GenerateOptions) -> CellRequest {
+        self.options = Some(options);
+        self
+    }
+
+    /// Sets the drive strength.
+    #[must_use]
+    pub fn strength(mut self, strength: u8) -> CellRequest {
+        self.strength = strength.max(1);
+        self
+    }
+
+    /// Overrides the generated cell name.
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> CellRequest {
+        self.name = Some(name.into());
+        self
+    }
+}
+
+impl From<StdCellKind> for CellRequest {
+    fn from(kind: StdCellKind) -> CellRequest {
+        CellRequest::new(kind)
+    }
+}
+
+/// The answer to a [`CellRequest`].
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// The generated (possibly cache-shared) layout.
+    pub cell: Arc<GeneratedCell>,
+    /// Whether the session cache already held this layout.
+    pub cached: bool,
+}
+
+/// A request for a full standard-cell library.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LibraryRequest {
+    /// Cell arrangement scheme for every layout in the library.
+    pub scheme: Scheme,
+}
+
+impl LibraryRequest {
+    /// Library in the given scheme.
+    pub fn new(scheme: Scheme) -> LibraryRequest {
+        LibraryRequest { scheme }
+    }
+}
+
+impl From<Scheme> for LibraryRequest {
+    fn from(scheme: Scheme) -> LibraryRequest {
+        LibraryRequest { scheme }
+    }
+}
+
+/// Which immunity engine(s) to run on a cell.
+#[derive(Clone, Debug)]
+pub enum ImmunityEngine {
+    /// Sound certification only (fast; if it says immune, no mispositioned
+    /// tube can break the cell).
+    Certify,
+    /// Monte-Carlo only: sampled wavy tubes, failure counts, witnesses.
+    MonteCarlo(McOptions),
+    /// Both engines; the verdict requires both to pass.
+    Both(McOptions),
+}
+
+/// A request to analyze a cell's mispositioned-CNT immunity.
+#[derive(Clone, Debug)]
+pub struct ImmunityRequest {
+    /// Which cell to analyze (generated through the session cache).
+    pub cell: CellRequest,
+    /// Which engine(s) to run.
+    pub engine: ImmunityEngine,
+}
+
+impl ImmunityRequest {
+    /// Certification-only request for a cell.
+    pub fn certify(cell: impl Into<CellRequest>) -> ImmunityRequest {
+        ImmunityRequest {
+            cell: cell.into(),
+            engine: ImmunityEngine::Certify,
+        }
+    }
+
+    /// Monte-Carlo request for a cell.
+    pub fn monte_carlo(cell: impl Into<CellRequest>, opts: McOptions) -> ImmunityRequest {
+        ImmunityRequest {
+            cell: cell.into(),
+            engine: ImmunityEngine::MonteCarlo(opts),
+        }
+    }
+}
+
+/// The answer to an [`ImmunityRequest`].
+#[derive(Clone, Debug)]
+pub struct ImmunityReport {
+    /// The analyzed cell.
+    pub cell: Arc<GeneratedCell>,
+    /// Combined verdict of every engine that ran.
+    pub immune: bool,
+    /// Certification details, when requested.
+    pub cert: Option<CertReport>,
+    /// Monte-Carlo details, when requested.
+    pub mc: Option<McReport>,
+}
+
+/// Where a flow's gate-level netlist comes from.
+#[derive(Clone, Debug)]
+pub enum FlowSource {
+    /// The paper's Figure 8 full adder.
+    FullAdder,
+    /// Structural Verilog source text.
+    Verilog(String),
+    /// An already-built netlist.
+    Netlist(Netlist),
+}
+
+/// Target technology/arrangement of a flow run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowTarget {
+    /// CNFET library in the given scheme.
+    Cnfet(Scheme),
+    /// The industrial-65nm-like CMOS baseline (row placement).
+    Cmos,
+}
+
+/// Transient-simulation spec for a flow run.
+#[derive(Clone, Debug)]
+pub struct SimSpec {
+    /// Primary input that gets the full-cycle pulse.
+    pub toggle_in: String,
+    /// Values for the remaining primary inputs.
+    pub ties: BTreeMap<String, bool>,
+    /// Primary output the delay is measured to.
+    pub watch_out: String,
+}
+
+/// A request to run the logic-to-GDSII flow.
+#[derive(Clone, Debug)]
+pub struct FlowRequest {
+    /// Netlist source.
+    pub source: FlowSource,
+    /// Target technology.
+    pub target: FlowTarget,
+    /// Optional transistor-level simulation after placement.
+    pub sim: Option<SimSpec>,
+    /// Assemble the placed design to a GDSII stream (CNFET targets only;
+    /// the CMOS baseline has no drawn library).
+    pub emit_gds: bool,
+}
+
+impl FlowRequest {
+    /// Place-only flow for a source in a CNFET scheme.
+    pub fn cnfet(source: FlowSource, scheme: Scheme) -> FlowRequest {
+        FlowRequest {
+            source,
+            target: FlowTarget::Cnfet(scheme),
+            sim: None,
+            emit_gds: false,
+        }
+    }
+
+    /// Place-only flow for a source in the CMOS baseline.
+    pub fn cmos(source: FlowSource) -> FlowRequest {
+        FlowRequest {
+            source,
+            target: FlowTarget::Cmos,
+            sim: None,
+            emit_gds: false,
+        }
+    }
+
+    /// Adds a transient simulation to the run.
+    #[must_use]
+    pub fn simulate(mut self, spec: SimSpec) -> FlowRequest {
+        self.sim = Some(spec);
+        self
+    }
+
+    /// Requests GDSII assembly of the placed design.
+    #[must_use]
+    pub fn with_gds(mut self) -> FlowRequest {
+        self.emit_gds = true;
+        self
+    }
+}
+
+/// The answer to a [`FlowRequest`].
+#[derive(Clone, Debug)]
+pub struct FlowResult {
+    /// The flow's netlist (parsed or passed through).
+    pub netlist: Netlist,
+    /// The placement.
+    pub placement: Placement,
+    /// Delay/energy metrics, when a simulation was requested.
+    pub metrics: Option<NetlistMetrics>,
+    /// GDSII stream, when requested on a CNFET target.
+    pub gds: Option<Vec<u8>>,
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    cell_hits: AtomicU64,
+    cell_misses: AtomicU64,
+    library_hits: AtomicU64,
+    library_misses: AtomicU64,
+    batches: AtomicU64,
+    flows: AtomicU64,
+}
+
+/// A point-in-time snapshot of a session's cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Cell requests answered from the cache.
+    pub cell_hits: u64,
+    /// Cell requests that ran the layout generator.
+    pub cell_misses: u64,
+    /// Library requests answered from the cache.
+    pub library_hits: u64,
+    /// Library requests that built a library.
+    pub library_misses: u64,
+    /// `generate_batch` invocations.
+    pub batches: u64,
+    /// Flow runs.
+    pub flows: u64,
+}
+
+impl SessionStats {
+    /// Total cell requests served.
+    pub fn cell_requests(&self) -> u64 {
+        self.cell_hits + self.cell_misses
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache keys
+// ---------------------------------------------------------------------------
+
+/// The memoization key: the complete input of a generation. Options embed
+/// the [`DesignRules`](crate::core::DesignRules), so two sessions-worth of
+/// rule decks never collide.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum CellKey {
+    Catalog {
+        kind: StdCellKind,
+        strength: u8,
+        name: Option<String>,
+        opts: GenerateOptions,
+    },
+    Custom {
+        name: String,
+        pdn: SpNetwork,
+        pun: SpNetwork,
+        var_names: Vec<String>,
+        opts: GenerateOptions,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Configures and builds a [`Session`].
+///
+/// # Example
+///
+/// ```
+/// use cnfet::SessionBuilder;
+/// use cnfet::core::{Scheme, Sizing, Style};
+///
+/// let session = SessionBuilder::new()
+///     .scheme(Scheme::Scheme2)
+///     .sizing(Sizing::Uniform { width_lambda: 6 })
+///     .build();
+/// assert_eq!(session.defaults().scheme, Scheme::Scheme2);
+/// assert_eq!(session.defaults().style, Style::NewImmune);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SessionBuilder {
+    kit: DesignKit,
+    defaults: GenerateOptions,
+}
+
+impl SessionBuilder {
+    /// Starts from the paper's 65 nm kit and default generation options.
+    pub fn new() -> SessionBuilder {
+        SessionBuilder {
+            kit: DesignKit::cnfet65(),
+            defaults: GenerateOptions::default(),
+        }
+    }
+
+    /// Replaces the whole design kit (rules + device models + library
+    /// matrix).
+    #[must_use]
+    pub fn kit(mut self, kit: DesignKit) -> SessionBuilder {
+        self.defaults.rules = kit.rules;
+        self.kit = kit;
+        self
+    }
+
+    /// Sets the rule deck (on both the kit and the generation defaults).
+    #[must_use]
+    pub fn rules(mut self, rules: crate::core::DesignRules) -> SessionBuilder {
+        self.kit.rules = rules;
+        self.defaults.rules = rules;
+        self
+    }
+
+    /// Sets the default layout style.
+    #[must_use]
+    pub fn style(mut self, style: Style) -> SessionBuilder {
+        self.defaults.style = style;
+        self
+    }
+
+    /// Sets the default arrangement scheme.
+    #[must_use]
+    pub fn scheme(mut self, scheme: Scheme) -> SessionBuilder {
+        self.defaults.scheme = scheme;
+        self
+    }
+
+    /// Sets the default sizing policy.
+    #[must_use]
+    pub fn sizing(mut self, sizing: Sizing) -> SessionBuilder {
+        self.defaults.sizing = sizing;
+        self
+    }
+
+    /// Sets the default row-decomposition policy.
+    #[must_use]
+    pub fn row_policy(mut self, policy: RowPolicy) -> SessionBuilder {
+        self.defaults.row_policy = policy;
+        self
+    }
+
+    /// Builds the session.
+    pub fn build(self) -> Session {
+        Session {
+            kit: self.kit,
+            defaults: self.defaults,
+            cells: OnceMap::new(),
+            libraries: OnceMap::new(),
+            stats: StatsInner::default(),
+        }
+    }
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-flight memoization
+// ---------------------------------------------------------------------------
+
+/// A memoizing map with single-flight builds: when several threads miss
+/// on the same key at once, exactly one runs the builder while the others
+/// block on the condvar and receive the finished value as a hit. A failed
+/// build releases the key so the next waiter retries.
+#[derive(Debug)]
+struct OnceMap<K, V> {
+    state: Mutex<OnceState<K, V>>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+struct OnceState<K, V> {
+    done: HashMap<K, V>,
+    in_flight: HashSet<K>,
+}
+
+impl<K: Clone + Eq + std::hash::Hash, V: Clone> OnceMap<K, V> {
+    fn new() -> OnceMap<K, V> {
+        OnceMap {
+            state: Mutex::new(OnceState {
+                done: HashMap::new(),
+                in_flight: HashSet::new(),
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Returns `(value, was_cached)`; `was_cached` is true whenever the
+    /// value came from another build (earlier or concurrent), so a miss
+    /// is reported exactly once per cached entry.
+    fn get_or_build<E>(
+        &self,
+        key: &K,
+        build: impl FnOnce() -> std::result::Result<V, E>,
+    ) -> std::result::Result<(V, bool), E> {
+        let mut state = self.state.lock().expect("cache lock");
+        loop {
+            if let Some(v) = state.done.get(key) {
+                return Ok((v.clone(), true));
+            }
+            if !state.in_flight.contains(key) {
+                break;
+            }
+            state = self.ready.wait(state).expect("cache lock");
+        }
+        state.in_flight.insert(key.clone());
+        drop(state);
+
+        let built = build();
+
+        let mut state = self.state.lock().expect("cache lock");
+        state.in_flight.remove(key);
+        let result = match built {
+            Ok(v) => {
+                state.done.insert(key.clone(), v.clone());
+                Ok((v, false))
+            }
+            // Waiters re-check and the next one retries the build.
+            Err(e) => Err(e),
+        };
+        drop(state);
+        self.ready.notify_all();
+        result
+    }
+
+    fn len(&self) -> usize {
+        self.state.lock().expect("cache lock").done.len()
+    }
+
+    fn clear(&self) {
+        self.state.lock().expect("cache lock").done.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+/// The engine: kit + defaults + memoizing caches behind typed requests.
+///
+/// Sessions are internally synchronized — `&Session` methods may be called
+/// from many threads, and [`Session::generate_batch`] does exactly that.
+/// Cache builds are single-flight: concurrent requests for the same key
+/// run one generation; the rest wait and hit.
+#[derive(Debug)]
+pub struct Session {
+    kit: DesignKit,
+    defaults: GenerateOptions,
+    cells: OnceMap<CellKey, Arc<GeneratedCell>>,
+    libraries: OnceMap<LibraryRequest, Arc<CellLibrary>>,
+    stats: StatsInner,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A session over the paper's 65 nm kit with default options.
+    pub fn new() -> Session {
+        SessionBuilder::new().build()
+    }
+
+    /// Starts configuring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    /// The session's design kit.
+    pub fn kit(&self) -> &DesignKit {
+        &self.kit
+    }
+
+    /// The generation options used when a request does not carry its own.
+    pub fn defaults(&self) -> &GenerateOptions {
+        &self.defaults
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            cell_hits: self.stats.cell_hits.load(Ordering::Relaxed),
+            cell_misses: self.stats.cell_misses.load(Ordering::Relaxed),
+            library_hits: self.stats.library_hits.load(Ordering::Relaxed),
+            library_misses: self.stats.library_misses.load(Ordering::Relaxed),
+            batches: self.stats.batches.load(Ordering::Relaxed),
+            flows: self.stats.flows.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct cell layouts currently cached.
+    pub fn cached_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Drops every cached cell and library (counters are kept).
+    pub fn clear_cache(&self) {
+        self.cells.clear();
+        self.libraries.clear();
+    }
+
+    fn resolve_options(&self, req: &CellRequest) -> GenerateOptions {
+        req.options.clone().unwrap_or_else(|| self.defaults.clone())
+    }
+
+    // -- cells --------------------------------------------------------------
+
+    /// Services a [`CellRequest`] through the memoizing cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GenerateError`] (as [`CnfetError::Generate`]) for
+    /// network/style combinations the style cannot realize.
+    pub fn generate(&self, request: &CellRequest) -> Result<CellResult> {
+        let opts = self.resolve_options(request);
+        let key = CellKey::Catalog {
+            kind: request.kind,
+            strength: request.strength.max(1),
+            name: request.name.clone(),
+            opts: opts.clone(),
+        };
+        self.serve(key, || {
+            let strength = request.strength.max(1);
+            let mut cell = if strength <= 1 {
+                generate_cell(request.kind, &opts)?
+            } else {
+                let (pdn, pun, vars) = dk::fingered_networks(request.kind, strength);
+                let name = request
+                    .name
+                    .clone()
+                    .unwrap_or_else(|| CellLibrary::cell_name(request.kind, strength));
+                generate_from_networks(name, request.kind, pdn, pun, vars, &opts)?
+            };
+            if let Some(name) = &request.name {
+                cell.name = name.clone();
+            }
+            Ok(cell)
+        })
+    }
+
+    /// Generates a cell from explicit pull networks, memoized like any
+    /// other request (the key includes both networks and the input names).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GenerateError`] for unrealizable networks.
+    pub fn generate_custom(
+        &self,
+        name: impl Into<String>,
+        pdn: SpNetwork,
+        pun: SpNetwork,
+        vars: VarTable,
+        options: Option<GenerateOptions>,
+    ) -> Result<CellResult> {
+        let name = name.into();
+        let opts = options.unwrap_or_else(|| self.defaults.clone());
+        let key = CellKey::Custom {
+            name: name.clone(),
+            pdn: pdn.clone(),
+            pun: pun.clone(),
+            var_names: vars.iter().map(|(_, n)| n.to_string()).collect(),
+            opts: opts.clone(),
+        };
+        self.serve(key, || {
+            generate_from_networks(name, StdCellKind::Inv, pdn, pun, vars, &opts)
+        })
+    }
+
+    /// The common cache path: a hit (earlier *or* concurrent build of the
+    /// same key) returns the shared [`Arc`]; a miss runs `build` outside
+    /// the cache lock, single-flight, so misses on different keys
+    /// generate in parallel while duplicates wait instead of regenerating.
+    fn serve<F>(&self, key: CellKey, build: F) -> Result<CellResult>
+    where
+        F: FnOnce() -> std::result::Result<GeneratedCell, GenerateError>,
+    {
+        let (cell, cached) = self.cells.get_or_build(&key, || build().map(Arc::new))?;
+        let counter = if cached {
+            &self.stats.cell_hits
+        } else {
+            &self.stats.cell_misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        Ok(CellResult { cell, cached })
+    }
+
+    /// Services many cell requests at once, fanning out across threads
+    /// against the shared cache. Results keep request order, one per
+    /// request; all requests are attempted even when some fail.
+    pub fn generate_batch(&self, requests: &[CellRequest]) -> Vec<Result<CellResult>> {
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(requests.len());
+        if workers <= 1 {
+            return requests.iter().map(|r| self.generate(r)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<CellResult>>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(request) = requests.get(i) else {
+                        break;
+                    };
+                    *slots[i].lock().expect("batch slot lock") = Some(self.generate(request));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("batch slot lock")
+                    .expect("every slot visited")
+            })
+            .collect()
+    }
+
+    // -- libraries ----------------------------------------------------------
+
+    /// Services a [`LibraryRequest`]: the full function × strength matrix
+    /// of the session's kit, every layout drawn through the cell cache,
+    /// and the finished library itself memoized per scheme.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first cell generation failure.
+    pub fn library(&self, request: &LibraryRequest) -> Result<Arc<CellLibrary>> {
+        let (lib, cached) = self.libraries.get_or_build(request, || {
+            let opts = dk::library_options(&self.kit, request.scheme);
+            let built = dk::build_library_with(&self.kit, request.scheme, |kind, strength| {
+                let req = CellRequest {
+                    kind,
+                    strength,
+                    options: Some(opts.clone()),
+                    name: Some(CellLibrary::cell_name(kind, strength)),
+                };
+                match self.generate(&req) {
+                    Ok(result) => Ok(result.cell),
+                    Err(CnfetError::Generate(e)) => Err(e),
+                    Err(other) => {
+                        unreachable!("cell generation only fails with GenerateError: {other}")
+                    }
+                }
+            })?;
+            Ok::<_, CnfetError>(Arc::new(built))
+        })?;
+        let counter = if cached {
+            &self.stats.library_hits
+        } else {
+            &self.stats.library_misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        Ok(lib)
+    }
+
+    // -- immunity -----------------------------------------------------------
+
+    /// Services an [`ImmunityRequest`]: generates (or recalls) the cell,
+    /// then runs the requested engine(s).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cell generation failures.
+    pub fn immunity(&self, request: &ImmunityRequest) -> Result<ImmunityReport> {
+        let cell = self.generate(&request.cell)?.cell;
+        let (cert, mc) = match &request.engine {
+            ImmunityEngine::Certify => (Some(certify(&cell.semantics)), None),
+            ImmunityEngine::MonteCarlo(opts) => (None, Some(simulate(&cell.semantics, opts))),
+            ImmunityEngine::Both(opts) => (
+                Some(certify(&cell.semantics)),
+                Some(simulate(&cell.semantics, opts)),
+            ),
+        };
+        let immune =
+            cert.as_ref().is_none_or(|c| c.immune) && mc.as_ref().is_none_or(|m| m.failures == 0);
+        Ok(ImmunityReport {
+            cell,
+            immune,
+            cert,
+            mc,
+        })
+    }
+
+    // -- flow ---------------------------------------------------------------
+
+    /// Services a [`FlowRequest`]: netlist → placement → optional
+    /// transistor-level simulation → optional GDSII, with the library
+    /// build served from the session cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Verilog parse, library generation and simulation
+    /// failures.
+    pub fn flow(&self, request: &FlowRequest) -> Result<FlowResult> {
+        self.stats.flows.fetch_add(1, Ordering::Relaxed);
+        let netlist = match &request.source {
+            FlowSource::FullAdder => full_adder(),
+            FlowSource::Verilog(src) => parse_verilog(src)?,
+            FlowSource::Netlist(n) => n.clone(),
+        };
+        let scheme = match request.target {
+            FlowTarget::Cnfet(scheme) => scheme,
+            // The CMOS baseline derives its widths from the Scheme-1
+            // CNFET library (identical λ rules).
+            FlowTarget::Cmos => Scheme::Scheme1,
+        };
+        let lib = self.library(&LibraryRequest::new(scheme))?;
+        for inst in &netlist.instances {
+            let name = CellLibrary::cell_name(inst.kind, inst.strength);
+            if lib.cell(&name).is_none() {
+                return Err(CnfetError::MissingCell(name));
+            }
+        }
+        let placement = match request.target {
+            FlowTarget::Cnfet(_) => place_cnfet_with(&netlist, &lib),
+            FlowTarget::Cmos => place_cmos_with(&self.kit, &netlist, &lib),
+        };
+        let metrics = match &request.sim {
+            Some(spec) => {
+                let tech = match request.target {
+                    FlowTarget::Cnfet(_) => Tech::Cnfet,
+                    FlowTarget::Cmos => Tech::Cmos,
+                };
+                Some(simulate_netlist_with(
+                    &self.kit,
+                    &netlist,
+                    &placement,
+                    tech,
+                    &spec.toggle_in,
+                    &spec.ties,
+                    &spec.watch_out,
+                )?)
+            }
+            None => None,
+        };
+        let gds = if request.emit_gds && matches!(request.target, FlowTarget::Cnfet(_)) {
+            Some(assemble_gds_with(&netlist.name, &placement, &lib))
+        } else {
+            None
+        };
+        Ok(FlowResult {
+            netlist,
+            placement,
+            metrics,
+            gds,
+        })
+    }
+}

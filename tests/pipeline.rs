@@ -1,36 +1,43 @@
-//! Integration tests spanning the whole stack: logic → layout → DRC →
-//! immunity → GDSII, and netlist → placement → simulation.
+//! Integration tests spanning the whole stack through the `Session`
+//! engine: logic → layout → DRC → immunity → GDSII, and netlist →
+//! placement → simulation.
 
-use cnfet::core::{
-    check_drc, generate_cell, DesignRules, GenerateOptions, Scheme, Sizing, StdCellKind, Style,
-};
+use cnfet::core::{check_drc, DesignRules, GenerateOptions, Scheme, Sizing, StdCellKind, Style};
 use cnfet::geom::{read_gds, write_gds, Layer, Library};
-use cnfet::immunity::{certify, simulate, McOptions};
+use cnfet::immunity::McOptions;
+use cnfet::{CellRequest, ImmunityEngine, ImmunityRequest, Session};
+
+fn opts(scheme: Scheme) -> GenerateOptions {
+    GenerateOptions {
+        scheme,
+        sizing: Sizing::Matched { base_lambda: 4 },
+        ..GenerateOptions::default()
+    }
+}
 
 #[test]
 fn every_catalog_cell_full_pipeline() {
+    let session = Session::new();
     let rules = DesignRules::cnfet65();
     for kind in StdCellKind::ALL {
         for scheme in [Scheme::Scheme1, Scheme::Scheme2] {
-            let cell = generate_cell(
-                kind,
-                &GenerateOptions {
-                    scheme,
-                    sizing: Sizing::Matched { base_lambda: 4 },
-                    ..GenerateOptions::default()
-                },
-            )
-            .unwrap_or_else(|e| panic!("{kind} {scheme}: {e}"));
+            let cell = session
+                .generate(&CellRequest::new(kind).options(opts(scheme)))
+                .unwrap_or_else(|e| panic!("{kind} {scheme}: {e}"))
+                .cell;
 
             // DRC clean.
             let drc = check_drc(&cell.cell, &rules);
             assert!(drc.is_empty(), "{kind} {scheme}: {drc:?}");
 
             // Certified 100% immune.
-            assert!(
-                certify(&cell.semantics).immune,
-                "{kind} {scheme} failed certification"
-            );
+            let report = session
+                .immunity(&ImmunityRequest {
+                    cell: CellRequest::new(kind).options(opts(scheme)),
+                    engine: ImmunityEngine::Certify,
+                })
+                .unwrap();
+            assert!(report.immune, "{kind} {scheme} failed certification");
 
             // Streams to GDS and back without loss of shape counts.
             let mut lib = Library::new("pipeline");
@@ -42,71 +49,91 @@ fn every_catalog_cell_full_pipeline() {
             assert_eq!(orig, rt, "{kind} {scheme}: gds round trip");
         }
     }
+    // Each (kind, scheme) was generated once and recalled once by the
+    // immunity request — the engine's whole point.
+    let stats = session.stats();
+    assert_eq!(stats.cell_misses, 2 * StdCellKind::ALL.len() as u64);
+    assert_eq!(stats.cell_hits, 2 * StdCellKind::ALL.len() as u64);
 }
 
 #[test]
 fn new_layout_never_larger_than_old() {
     // The headline claim of Section III: the compact technique saves area
-    // for every cell and every size.
+    // for every cell and every size. Generated as one batched request
+    // matrix through the session.
+    let session = Session::new();
+    let mut requests = Vec::new();
     for kind in StdCellKind::ALL {
         for w in [3, 4, 6, 10] {
-            let mk = |style| {
-                generate_cell(
-                    kind,
-                    &GenerateOptions {
-                        style,
-                        sizing: Sizing::Uniform { width_lambda: w },
-                        ..GenerateOptions::default()
-                    },
-                )
-                .expect("generates")
-            };
-            let new = mk(Style::NewImmune);
-            let old = mk(Style::OldEtched);
-            assert!(
-                new.active_area_l2() <= old.active_area_l2() + 1e-9,
-                "{kind} at {w}λ: new {} > old {}",
-                new.active_area_l2(),
-                old.active_area_l2()
-            );
+            for style in [Style::NewImmune, Style::OldEtched] {
+                requests.push(CellRequest::new(kind).options(GenerateOptions {
+                    style,
+                    sizing: Sizing::Uniform { width_lambda: w },
+                    ..GenerateOptions::default()
+                }));
+            }
         }
+    }
+    let results = session.generate_batch(&requests);
+    for pair in results.chunks(2) {
+        let new = pair[0].as_ref().expect("generates");
+        let old = pair[1].as_ref().expect("generates");
+        assert!(
+            new.cell.active_area_l2() <= old.cell.active_area_l2() + 1e-9,
+            "{}: new {} > old {}",
+            new.cell.name,
+            new.cell.active_area_l2(),
+            old.cell.active_area_l2()
+        );
     }
 }
 
 #[test]
 fn vulnerable_layouts_fail_where_immune_ones_do_not() {
-    let opts = McOptions {
+    let session = Session::new();
+    let mc = ImmunityEngine::MonteCarlo(McOptions {
         tubes: 4000,
         ..McOptions::default()
-    };
-    let vulnerable = generate_cell(
-        StdCellKind::Nand(2),
-        &GenerateOptions {
-            style: Style::Vulnerable,
-            ..GenerateOptions::default()
-        },
-    )
-    .expect("generates");
-    let immune = generate_cell(StdCellKind::Nand(2), &GenerateOptions::default())
+    });
+    let vulnerable = session
+        .immunity(&ImmunityRequest {
+            cell: CellRequest::new(StdCellKind::Nand(2)).options(GenerateOptions {
+                style: Style::Vulnerable,
+                ..GenerateOptions::default()
+            }),
+            engine: mc.clone(),
+        })
         .expect("generates");
-    let v = simulate(&vulnerable.semantics, &opts);
-    let i = simulate(&immune.semantics, &opts);
-    assert!(v.failures > 0, "vulnerable layout never failed");
-    assert_eq!(i.failures, 0, "immune layout failed");
+    let immune = session
+        .immunity(&ImmunityRequest {
+            cell: CellRequest::new(StdCellKind::Nand(2)),
+            engine: mc,
+        })
+        .expect("generates");
+    assert!(
+        vulnerable.mc.as_ref().unwrap().failures > 0,
+        "vulnerable layout never failed"
+    );
+    assert_eq!(
+        immune.mc.as_ref().unwrap().failures,
+        0,
+        "immune layout failed"
+    );
+    assert!(!vulnerable.immune && immune.immune);
 }
 
 #[test]
 fn scheme2_cells_are_shorter_scheme1_cells_are_narrower() {
+    let session = Session::new();
     for kind in [StdCellKind::Inv, StdCellKind::Nand(2), StdCellKind::Aoi21] {
         let mk = |scheme| {
-            generate_cell(
-                kind,
-                &GenerateOptions {
+            session
+                .generate(&CellRequest::new(kind).options(GenerateOptions {
                     scheme,
                     ..GenerateOptions::default()
-                },
-            )
-            .expect("generates")
+                }))
+                .expect("generates")
+                .cell
         };
         let s1 = mk(Scheme::Scheme1);
         let s2 = mk(Scheme::Scheme2);
@@ -117,19 +144,26 @@ fn scheme2_cells_are_shorter_scheme1_cells_are_narrower() {
 
 #[test]
 fn gds_stream_contains_cnt_doping_and_etch_layers() {
-    let old = generate_cell(
-        StdCellKind::Nand(3),
-        &GenerateOptions {
-            style: Style::OldEtched,
-            ..GenerateOptions::default()
-        },
-    )
-    .expect("generates");
+    let session = Session::new();
+    let old = session
+        .generate(
+            &CellRequest::new(StdCellKind::Nand(3)).options(GenerateOptions {
+                style: Style::OldEtched,
+                ..GenerateOptions::default()
+            }),
+        )
+        .expect("generates");
     let mut lib = Library::new("layers");
-    lib.add_cell(old.cell.clone());
+    lib.add_cell(old.cell.cell.clone());
     let back = read_gds(&write_gds(&lib)).expect("valid gds");
     let cell = &back.cells()[0];
-    for layer in [Layer::CntActive, Layer::PDoping, Layer::NDoping, Layer::Etch, Layer::Via] {
+    for layer in [
+        Layer::CntActive,
+        Layer::PDoping,
+        Layer::NDoping,
+        Layer::Etch,
+        Layer::Via,
+    ] {
         assert!(
             cell.shapes_on(layer).count() > 0,
             "missing {layer} shapes after round trip"

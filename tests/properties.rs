@@ -1,32 +1,46 @@
 //! Property-based tests of the core invariants.
+//!
+//! The workspace builds without network access, so instead of `proptest`
+//! these use the in-repo deterministic RNG (`cnfet_rng`) to sample random
+//! series–parallel expressions: same properties, reproducible cases.
 
-use cnfet::core::{generate_from_networks, GenerateOptions, Sizing, StdCellKind};
-use cnfet::immunity::certify;
+use cnfet::core::{GenerateOptions, Sizing};
 use cnfet::logic::{euler_trails, Expr, PullGraph, SpNetwork, VarTable};
-use proptest::prelude::*;
+use cnfet::Session;
+use cnfet_rng::{rngs::StdRng, Rng, SeedableRng};
 
-/// Random positive series–parallel expressions over up to 6 variables.
-fn sp_expr() -> impl Strategy<Value = String> {
-    let leaf = prop::sample::select(vec!["a", "b", "c", "d", "e", "f"])
-        .prop_map(|s| s.to_string());
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}*{b})")),
-            (inner.clone(), inner).prop_map(|(a, b)| format!("({a}+{b})")),
-        ]
-    })
+const CASES: usize = 64;
+
+/// Random positive series–parallel expression over up to 6 variables,
+/// recursion-bounded like the old proptest strategy (depth 3).
+fn sp_expr(rng: &mut StdRng, depth: usize) -> String {
+    let leaves = ["a", "b", "c", "d", "e", "f"];
+    if depth == 0 || rng.gen_range(0..3u32) == 0 {
+        return leaves[rng.gen_range(0..leaves.len())].to_string();
+    }
+    let a = sp_expr(rng, depth - 1);
+    let b = sp_expr(rng, depth - 1);
+    if rng.gen_range(0..2u32) == 0 {
+        format!("({a}*{b})")
+    } else {
+        format!("({a}+{b})")
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn parse(expr: &str) -> (SpNetwork, VarTable) {
+    let mut vars = VarTable::new();
+    let e = Expr::parse_with(expr, &mut vars).unwrap();
+    (SpNetwork::from_expr(&e).unwrap(), vars)
+}
 
-    /// Every edge of a pull graph is covered exactly once by the Euler
-    /// trail decomposition.
-    #[test]
-    fn euler_trails_cover_every_edge_once(expr in sp_expr()) {
-        let mut vars = VarTable::new();
-        let e = Expr::parse_with(&expr, &mut vars).unwrap();
-        let net = SpNetwork::from_expr(&e).unwrap();
+/// Every edge of a pull graph is covered exactly once by the Euler trail
+/// decomposition.
+#[test]
+fn euler_trails_cover_every_edge_once() {
+    let mut rng = StdRng::seed_from_u64(0xE0_1E5);
+    for case in 0..CASES {
+        let expr = sp_expr(&mut rng, 3);
+        let (net, _) = parse(&expr);
         let graph = PullGraph::from_network(&net);
         let trails = euler_trails(&graph);
         let mut covered = vec![0usize; graph.edge_count()];
@@ -35,67 +49,87 @@ proptest! {
                 covered[eid.0 as usize] += 1;
                 let edge = graph.edge(*eid);
                 let (a, b) = (t.nodes[i], t.nodes[i + 1]);
-                prop_assert!(
+                assert!(
                     (edge.a == a && edge.b == b) || (edge.a == b && edge.b == a),
-                    "trail edge endpoints mismatch"
+                    "case {case} `{expr}`: trail edge endpoints mismatch"
                 );
             }
         }
-        prop_assert!(covered.iter().all(|&c| c == 1));
+        assert!(
+            covered.iter().all(|&c| c == 1),
+            "case {case} `{expr}`: {covered:?}"
+        );
     }
+}
 
-    /// The dual of the dual is the original network, and the dual conducts
-    /// exactly when the original does not (under complemented inputs).
-    #[test]
-    fn duality_laws(expr in sp_expr()) {
-        let mut vars = VarTable::new();
-        let e = Expr::parse_with(&expr, &mut vars).unwrap();
-        let net = SpNetwork::from_expr(&e).unwrap();
-        prop_assert_eq!(net.dual().dual(), net.clone());
+/// The dual of the dual is the original network, and the dual conducts
+/// exactly when the original does not (under complemented inputs).
+#[test]
+fn duality_laws() {
+    let mut rng = StdRng::seed_from_u64(0xD0A1);
+    for case in 0..CASES {
+        let expr = sp_expr(&mut rng, 3);
+        let (net, vars) = parse(&expr);
+        assert_eq!(net.dual().dual(), net, "case {case} `{expr}`");
         let n = vars.len();
         let full = (1u64 << n) - 1;
         for m in 0..=full {
-            prop_assert_eq!(net.dual().conducts(m), !net.conducts(!m & full));
+            assert_eq!(
+                net.dual().conducts(m),
+                !net.conducts(!m & full),
+                "case {case} `{expr}` at {m:b}"
+            );
         }
     }
+}
 
-    /// Any random series–parallel function laid out with the new compact
-    /// technique generates, passes DRC-relevant invariants, and is
-    /// certified 100% immune to mispositioned CNTs.
-    #[test]
-    fn arbitrary_functions_generate_immune_layouts(expr in sp_expr()) {
-        let mut vars = VarTable::new();
-        let e = Expr::parse_with(&expr, &mut vars).unwrap();
-        let pdn = SpNetwork::from_expr(&e).unwrap();
+/// Any random series–parallel function laid out with the new compact
+/// technique generates, passes DRC-relevant invariants, and is certified
+/// 100% immune to mispositioned CNTs. Runs through the session engine,
+/// which also exercises the custom-network cache path.
+#[test]
+fn arbitrary_functions_generate_immune_layouts() {
+    let session = Session::new();
+    let opts = GenerateOptions {
+        sizing: Sizing::Uniform { width_lambda: 4 },
+        ..GenerateOptions::default()
+    };
+    let mut rng = StdRng::seed_from_u64(0x1A_90);
+    for case in 0..CASES {
+        let expr = sp_expr(&mut rng, 3);
+        let (pdn, vars) = parse(&expr);
         let pun = pdn.dual();
-        let opts = GenerateOptions {
-            sizing: Sizing::Uniform { width_lambda: 4 },
-            ..GenerateOptions::default()
-        };
-        let cell = generate_from_networks(
-            "prop".to_string(),
-            StdCellKind::Inv, // kind tag is informational here
-            pdn.clone(),
-            pun,
-            vars,
-            &opts,
-        ).unwrap();
-        prop_assert!(cell.active_area_l2() > 0.0);
-        let report = certify(&cell.semantics);
-        prop_assert!(report.immune, "harmful: {:?}", report.harmful);
+        let result = session
+            .generate_custom(format!("prop_{expr}"), pdn, pun, vars, Some(opts.clone()))
+            .unwrap();
+        assert!(result.cell.active_area_l2() > 0.0, "case {case} `{expr}`");
+        let report = cnfet::immunity::certify(&result.cell.semantics);
+        assert!(
+            report.immune,
+            "case {case} `{expr}` harmful: {:?}",
+            report.harmful
+        );
     }
+    // Duplicate expressions across cases are cache hits, never repeats.
+    let stats = session.stats();
+    assert_eq!(stats.cell_requests(), CASES as u64);
+    assert_eq!(stats.cell_misses, session.cached_cells() as u64);
+}
 
-    /// Paths of a network characterize its conduction exactly.
-    #[test]
-    fn paths_characterize_conduction(expr in sp_expr()) {
-        let mut vars = VarTable::new();
-        let e = Expr::parse_with(&expr, &mut vars).unwrap();
-        let net = SpNetwork::from_expr(&e).unwrap();
+/// Paths of a network characterize its conduction exactly.
+#[test]
+fn paths_characterize_conduction() {
+    let mut rng = StdRng::seed_from_u64(0xFA_77);
+    for case in 0..CASES {
+        let expr = sp_expr(&mut rng, 3);
+        let (net, vars) = parse(&expr);
         let paths = net.paths();
         let n = vars.len();
         for m in 0..1u64 << n {
-            let by_paths = paths.iter().any(|p| p.iter().all(|v| m >> v.index() & 1 == 1));
-            prop_assert_eq!(by_paths, net.conducts(m));
+            let by_paths = paths
+                .iter()
+                .any(|p| p.iter().all(|v| m >> v.index() & 1 == 1));
+            assert_eq!(by_paths, net.conducts(m), "case {case} `{expr}` at {m:b}");
         }
     }
 }

@@ -1,0 +1,322 @@
+//! Integration tests of the `cnfet::Session` engine: cache hit/miss
+//! semantics, batch-vs-serial equivalence, library/flow memoization, and
+//! the unified error hierarchy.
+
+use cnfet::core::{GenerateOptions, Scheme, Sizing, StdCellKind, Style};
+use cnfet::{
+    CellRequest, CnfetError, FlowRequest, FlowSource, ImmunityEngine, ImmunityRequest,
+    LibraryRequest, Session, SessionBuilder,
+};
+use std::sync::Arc;
+
+#[test]
+fn concurrent_identical_requests_generate_once() {
+    // Single-flight: a batch of duplicates must run ONE generation; the
+    // other workers wait on it and come back as hits on the same Arc.
+    let session = Session::new();
+    let requests = vec![CellRequest::new(StdCellKind::Nand(3)); 16];
+    let results: Vec<_> = session
+        .generate_batch(&requests)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+
+    let stats = session.stats();
+    assert_eq!(stats.cell_misses, 1, "exactly one layout generation");
+    assert_eq!(stats.cell_hits, 15);
+    assert_eq!(session.cached_cells(), 1);
+    assert_eq!(
+        results.iter().filter(|r| !r.cached).count(),
+        1,
+        "exactly one result reports a fresh build"
+    );
+    let first = &results[0].cell;
+    assert!(results.iter().all(|r| Arc::ptr_eq(&r.cell, first)));
+}
+
+#[test]
+fn identical_requests_hit_the_cache() {
+    let session = Session::new();
+    let req = CellRequest::new(StdCellKind::Nand(3));
+
+    let first = session.generate(&req).unwrap();
+    assert!(!first.cached);
+    let second = session.generate(&req).unwrap();
+    assert!(second.cached);
+
+    // No second layout generation happened: one miss, one hit, and both
+    // results share the same allocation.
+    let stats = session.stats();
+    assert_eq!(stats.cell_misses, 1);
+    assert_eq!(stats.cell_hits, 1);
+    assert!(Arc::ptr_eq(&first.cell, &second.cell));
+    assert_eq!(session.cached_cells(), 1);
+}
+
+#[test]
+fn changed_options_miss_the_cache() {
+    let session = Session::new();
+    let base = CellRequest::new(StdCellKind::Nand(2));
+    session.generate(&base).unwrap();
+
+    for options in [
+        GenerateOptions {
+            scheme: Scheme::Scheme2,
+            ..GenerateOptions::default()
+        },
+        GenerateOptions {
+            style: Style::OldEtched,
+            ..GenerateOptions::default()
+        },
+        GenerateOptions {
+            sizing: Sizing::Uniform { width_lambda: 6 },
+            ..GenerateOptions::default()
+        },
+    ] {
+        let r = session.generate(&base.clone().options(options)).unwrap();
+        assert!(!r.cached, "distinct options must regenerate");
+    }
+    // A different strength is a distinct cell too.
+    let x2 = session
+        .generate(&CellRequest::new(StdCellKind::Nand(2)).strength(2))
+        .unwrap();
+    assert!(!x2.cached);
+
+    let stats = session.stats();
+    assert_eq!(stats.cell_hits, 0);
+    assert_eq!(stats.cell_misses, 5);
+}
+
+#[test]
+fn explicit_default_options_share_the_default_entry() {
+    let session = Session::new();
+    let implicit = session
+        .generate(&CellRequest::new(StdCellKind::Inv))
+        .unwrap();
+    let explicit = session
+        .generate(&CellRequest::new(StdCellKind::Inv).options(GenerateOptions::default()))
+        .unwrap();
+    assert!(explicit.cached, "None-options resolve to the same key");
+    assert!(Arc::ptr_eq(&implicit.cell, &explicit.cell));
+}
+
+#[test]
+fn batch_equals_serial() {
+    let mut requests = Vec::new();
+    for kind in StdCellKind::ALL {
+        for scheme in [Scheme::Scheme1, Scheme::Scheme2] {
+            requests.push(CellRequest::new(kind).options(GenerateOptions {
+                scheme,
+                ..GenerateOptions::default()
+            }));
+        }
+    }
+
+    let serial_session = Session::new();
+    let serial: Vec<_> = requests
+        .iter()
+        .map(|r| serial_session.generate(r).unwrap())
+        .collect();
+
+    let batch_session = Session::new();
+    let batch: Vec<_> = batch_session
+        .generate_batch(&requests)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+
+    assert_eq!(serial.len(), batch.len());
+    for (s, b) in serial.iter().zip(&batch) {
+        assert_eq!(s.cell.name, b.cell.name, "results keep request order");
+        assert_eq!(s.cell.active_area_l2(), b.cell.active_area_l2());
+        assert_eq!(s.cell.width_lambda, b.cell.width_lambda);
+        assert_eq!(s.cell.height_lambda, b.cell.height_lambda);
+        assert_eq!(s.cell.via_on_gate_count, b.cell.via_on_gate_count);
+    }
+    assert_eq!(batch_session.stats().batches, 1);
+
+    // Re-running the same batch is served entirely from the cache.
+    let rerun = batch_session.generate_batch(&requests);
+    assert!(rerun.into_iter().all(|r| r.unwrap().cached));
+    assert_eq!(
+        batch_session.stats().cell_hits,
+        requests.len() as u64,
+        "every rerun request must hit"
+    );
+}
+
+#[test]
+fn library_is_memoized_and_feeds_the_cell_cache() {
+    let session = Session::new();
+    let lib1 = session
+        .library(&LibraryRequest::new(Scheme::Scheme1))
+        .unwrap();
+    let misses_after_build = session.stats().cell_misses;
+    assert_eq!(misses_after_build, lib1.cells.len() as u64);
+
+    // Second build: whole library from the library cache.
+    let lib2 = session
+        .library(&LibraryRequest::new(Scheme::Scheme1))
+        .unwrap();
+    assert!(Arc::ptr_eq(&lib1, &lib2));
+    let stats = session.stats();
+    assert_eq!(stats.library_hits, 1);
+    assert_eq!(stats.library_misses, 1);
+    assert_eq!(stats.cell_misses, misses_after_build, "no regeneration");
+
+    // A library cell requested directly is a cell-cache hit.
+    let inv = session
+        .generate(
+            &CellRequest::new(StdCellKind::Inv)
+                .options(cnfet::dk::library_options(session.kit(), Scheme::Scheme1))
+                .named("INV_X1"),
+        )
+        .unwrap();
+    assert!(inv.cached);
+    assert!(Arc::ptr_eq(&lib1.cell("INV_X1").unwrap().layout, &inv.cell));
+}
+
+#[test]
+fn builder_defaults_apply_to_requests() {
+    let session = SessionBuilder::new()
+        .scheme(Scheme::Scheme2)
+        .sizing(Sizing::Uniform { width_lambda: 4 })
+        .build();
+    let c = session
+        .generate(&CellRequest::new(StdCellKind::Nand(2)))
+        .unwrap();
+    assert_eq!(c.cell.scheme, Scheme::Scheme2);
+
+    let s1 = Session::new()
+        .generate(&CellRequest::new(StdCellKind::Nand(2)))
+        .unwrap();
+    assert!(
+        c.cell.height_lambda < s1.cell.height_lambda,
+        "scheme 2 is shorter"
+    );
+}
+
+#[test]
+fn immunity_through_the_session() {
+    let session = Session::new();
+    let cert = session
+        .immunity(&ImmunityRequest::certify(StdCellKind::Nand(2)))
+        .unwrap();
+    assert!(cert.immune);
+    assert!(cert.cert.is_some() && cert.mc.is_none());
+
+    let vulnerable = CellRequest::new(StdCellKind::Nand(2)).options(GenerateOptions {
+        style: Style::Vulnerable,
+        ..GenerateOptions::default()
+    });
+    let mc = session
+        .immunity(&ImmunityRequest {
+            cell: vulnerable,
+            engine: ImmunityEngine::MonteCarlo(cnfet::immunity::McOptions {
+                tubes: 2000,
+                ..Default::default()
+            }),
+        })
+        .unwrap();
+    assert!(!mc.immune, "vulnerable layout must fail under Monte-Carlo");
+    assert!(mc.mc.unwrap().failures > 0);
+
+    // The immune cell was generated once and reused by the repeat request.
+    let again = session
+        .immunity(&ImmunityRequest::certify(StdCellKind::Nand(2)))
+        .unwrap();
+    assert!(again.immune);
+    assert!(session.stats().cell_hits >= 1);
+}
+
+#[test]
+fn flow_through_the_session() {
+    let session = Session::new();
+    let cmos = session
+        .flow(&FlowRequest::cmos(FlowSource::FullAdder))
+        .unwrap();
+    let s1 = session
+        .flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1))
+        .unwrap();
+    let s2 = session
+        .flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme2).with_gds())
+        .unwrap();
+
+    assert!(cmos.placement.area_l2 > s1.placement.area_l2);
+    assert!(s1.placement.area_l2 > s2.placement.area_l2);
+    assert!(s2.gds.as_ref().is_some_and(|g| !g.is_empty()));
+    assert!(cmos.gds.is_none() && s1.gds.is_none());
+    assert_eq!(session.stats().flows, 3);
+    // Scheme-1 library was built once and shared by the CMOS baseline run.
+    assert_eq!(session.stats().library_misses, 2);
+}
+
+#[test]
+fn flow_rejects_unknown_cells() {
+    let src = r#"
+module bad (input a, output y);
+  NAND2_X7 u0 (.A(a), .B(a), .OUT(y));
+endmodule
+"#;
+    let err = Session::new()
+        .flow(&FlowRequest::cnfet(
+            FlowSource::Verilog(src.to_string()),
+            Scheme::Scheme1,
+        ))
+        .unwrap_err();
+    assert!(matches!(err, CnfetError::MissingCell(name) if name == "NAND2_X7"));
+}
+
+#[test]
+fn errors_unify_under_cnfet_error() {
+    let session = Session::new();
+
+    // Layout generation failure → CnfetError::Generate. Matched sizing
+    // makes `A*(B + C*D)` a non-uniform series, which rows cannot realize.
+    let mut vars = cnfet::logic::VarTable::new();
+    let expr = cnfet::logic::Expr::parse_with("A*(B+C*D)", &mut vars).unwrap();
+    let pdn = cnfet::logic::SpNetwork::from_expr(&expr).unwrap();
+    let pun = pdn.dual();
+    let err = session
+        .generate_custom(
+            "nonuniform",
+            pdn,
+            pun,
+            vars,
+            Some(GenerateOptions {
+                sizing: Sizing::Matched { base_lambda: 4 },
+                ..GenerateOptions::default()
+            }),
+        )
+        .unwrap_err();
+    assert!(matches!(err, CnfetError::Generate(_)), "{err}");
+
+    // Verilog failure → CnfetError::Verilog.
+    let err = session
+        .flow(&FlowRequest::cnfet(
+            FlowSource::Verilog("not verilog at all".into()),
+            Scheme::Scheme1,
+        ))
+        .unwrap_err();
+    assert!(matches!(err, CnfetError::Verilog(_)), "{err}");
+
+    // Crate-level errors convert via `From` (the `#[from]`-style ladder).
+    let sim: CnfetError = cnfet::spice::SimError::Singular.into();
+    assert!(sim.to_string().contains("singular"));
+    let gds: CnfetError = cnfet::geom::GdsError::Truncated.into();
+    assert!(matches!(gds, CnfetError::Gds(_)));
+    let net: CnfetError = cnfet::logic::network::NetworkError::NotPositive.into();
+    assert!(matches!(net, CnfetError::Network(_)));
+}
+
+#[test]
+fn clear_cache_forgets_cells_but_keeps_counters() {
+    let session = Session::new();
+    let req = CellRequest::new(StdCellKind::Inv);
+    session.generate(&req).unwrap();
+    session.clear_cache();
+    assert_eq!(session.cached_cells(), 0);
+    let again = session.generate(&req).unwrap();
+    assert!(!again.cached);
+    assert_eq!(session.stats().cell_misses, 2);
+}
