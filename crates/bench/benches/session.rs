@@ -1,7 +1,9 @@
 //! Bench: the `Session` engine — cold vs cached vs batched generation of
-//! the full `StdCellKind::ALL` × scheme request matrix, plus the library
-//! build. This is the baseline future perf PRs (sharding, async serving)
-//! must not regress.
+//! the full `StdCellKind::ALL` × scheme request matrix, the library
+//! build, a contended multi-thread hit path, and a skewed batch. This is
+//! the baseline future perf PRs (sharding, async serving) must not
+//! regress; CI gates the `cached_*`/`contended_*` samples through
+//! `check_regression`.
 
 use cnfet::core::{GenerateOptions, Scheme, StdCellKind};
 use cnfet::{CellRequest, LibraryRequest, Session};
@@ -15,6 +17,21 @@ fn matrix() -> Vec<CellRequest> {
                 scheme,
                 ..GenerateOptions::default()
             }));
+        }
+    }
+    requests
+}
+
+/// A cost-skewed request list: mostly cheap strength-1 inverters plus a
+/// tail of heavy high-strength complex gates, the shape that leaves
+/// fixed-chunk executors with idle workers.
+fn skewed(n_cheap: usize) -> Vec<CellRequest> {
+    let mut requests: Vec<CellRequest> = (0..n_cheap)
+        .map(|i| CellRequest::new(StdCellKind::Inv).named(format!("INV_SKEW_{i}")))
+        .collect();
+    for kind in [StdCellKind::Aoi22, StdCellKind::Oai21, StdCellKind::Nand(3)] {
+        for strength in [7, 9] {
+            requests.push(CellRequest::new(kind).strength(strength));
         }
     }
     requests
@@ -56,6 +73,34 @@ fn main() {
     // Batched against the warm cache.
     h.bench(format!("cached_batch_{n}_cells"), 200, || {
         warm.generate_batch(&requests)
+    });
+
+    // Contended hit path: every thread hammers the same warm cache with
+    // the full matrix at once. This is the sample the sharded cache must
+    // move — under a single lock all threads serialize here.
+    for threads in [4, 8] {
+        h.bench(format!("contended_hits_{threads}t_{n}_cells"), 100, || {
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| {
+                        for r in &requests {
+                            assert!(warm.generate(r).unwrap().cached);
+                        }
+                    });
+                }
+            })
+        });
+    }
+
+    // Skewed batch: many cheap cells plus a heavy tail, cold every
+    // iteration — measures how well the batch executor load-balances.
+    let skewed_requests = skewed(48);
+    let sn = skewed_requests.len();
+    h.bench(format!("skewed_batch_{sn}_cells"), 30, || {
+        let session = Session::new();
+        let results = session.generate_batch(&skewed_requests);
+        assert!(results.iter().all(|r| r.is_ok()));
+        session
     });
 
     // Library build: cold (fresh session) vs memoized.

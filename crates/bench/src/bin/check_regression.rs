@@ -1,0 +1,201 @@
+//! CI perf gate: compares a freshly-run bench baseline against the
+//! committed reference and fails when a cached-hit sample regresses.
+//!
+//! ```text
+//! cargo bench -p cnfet-bench --bench session
+//! cargo run -p cnfet-bench --bin check_regression
+//! ```
+//!
+//! By default it reads the committed reference from
+//! `crates/bench/baselines/session.json`, the fresh run from
+//! `target/bench-baselines/session.json`, and fails (exit 1) when any
+//! gated sample — the `cached_*` / `contended_*` hit-path samples, i.e.
+//! the latencies that are pure cache/lock work and therefore meaningful
+//! to gate — is more than 25% slower than the reference.
+//!
+//! The committed reference and the CI runner are different machines, so
+//! absolute nanoseconds do not transfer. Each gated sample is therefore
+//! normalized by an **anchor** sample from its own run (default: the
+//! `cold_serial` generation workload): the gated metric is
+//! `min_ns / anchor.min_ns`, a machine-relative cost of the cache hit
+//! path in units of "cold generation work", and the >25% comparison is
+//! applied to that ratio. Cold samples time the layout generator itself
+//! and are reported as info only. Pass `--absolute` for raw-nanosecond
+//! comparison on a same-machine reference.
+//!
+//! Flags: `--baseline <path>`, `--current <path>`, `--max-regress <pct>`
+//! (also honors the `BENCH_MAX_REGRESS_PCT` env var), `--gate <prefix>`
+//! (repeatable; replaces the default gated prefixes), `--anchor <prefix>`,
+//! `--absolute`.
+
+use cnfet_bench::harness::{baseline_path, parse_baseline, Sample};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Sample-name prefixes gated by default: the pure cache/lock hit paths.
+const DEFAULT_GATES: [&str; 3] = ["cached_", "contended_", "library_scheme1_cached"];
+
+struct Args {
+    baseline: PathBuf,
+    current: PathBuf,
+    max_regress_pct: f64,
+    gates: Vec<String>,
+    anchor: String,
+    absolute: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline: PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("baselines/session.json"),
+        current: baseline_path("session"),
+        max_regress_pct: std::env::var("BENCH_MAX_REGRESS_PCT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(25.0),
+        gates: DEFAULT_GATES.iter().map(|s| s.to_string()).collect(),
+        anchor: "cold_serial".to_string(),
+        absolute: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut custom_gates = Vec::new();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--baseline" => args.baseline = PathBuf::from(value("--baseline")?),
+            "--current" => args.current = PathBuf::from(value("--current")?),
+            "--max-regress" => {
+                args.max_regress_pct = value("--max-regress")?
+                    .parse()
+                    .map_err(|e| format!("--max-regress: {e}"))?
+            }
+            "--gate" => custom_gates.push(value("--gate")?),
+            "--anchor" => args.anchor = value("--anchor")?,
+            "--absolute" => args.absolute = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if !custom_gates.is_empty() {
+        args.gates = custom_gates;
+    }
+    Ok(args)
+}
+
+/// The anchor's `min_ns` in a sample set: the first sample whose name
+/// starts with the anchor prefix.
+fn anchor_min_ns<'a>(samples: impl IntoIterator<Item = &'a Sample>, anchor: &str) -> Option<f64> {
+    samples
+        .into_iter()
+        .find(|s| s.name.starts_with(anchor))
+        .map(|s| s.min_ns)
+}
+
+fn load(path: &PathBuf) -> Result<Vec<Sample>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let (_, samples) =
+        parse_baseline(&text).ok_or_else(|| format!("{}: malformed baseline", path.display()))?;
+    Ok(samples)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (reference, current) = match (load(&args.baseline), load(&args.current)) {
+        (Ok(r), Ok(c)) => (r, c),
+        (r, c) => {
+            for e in [r.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    // Normalizing by a same-run anchor makes the gated metric
+    // machine-relative: the committed reference and the CI runner are
+    // different hardware, so raw nanoseconds do not transfer.
+    let anchors = if args.absolute {
+        None
+    } else {
+        match (
+            anchor_min_ns(&reference, &args.anchor),
+            anchor_min_ns(&current, &args.anchor),
+        ) {
+            (Some(r), Some(c)) => Some((r, c)),
+            _ => {
+                eprintln!(
+                    "error: anchor sample `{}*` missing from reference or current run",
+                    args.anchor
+                );
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let current: HashMap<&str, &Sample> = current.iter().map(|s| (s.name.as_str(), s)).collect();
+
+    match anchors {
+        Some(_) => println!(
+            "perf gate: min_ns / same-run `{}*` min_ns, vs {}, limit +{:.0}%",
+            args.anchor,
+            args.baseline.display(),
+            args.max_regress_pct
+        ),
+        None => println!(
+            "perf gate: absolute min_ns vs {}, limit +{:.0}%",
+            args.baseline.display(),
+            args.max_regress_pct
+        ),
+    }
+    println!(
+        "{:<38} {:>12} {:>12} {:>8}  verdict",
+        "name", "reference", "current", "delta"
+    );
+    let mut failures = 0u32;
+    for reference_sample in &reference {
+        let name = reference_sample.name.as_str();
+        let gated = args.gates.iter().any(|g| name.starts_with(g.as_str()));
+        let Some(current_sample) = current.get(name) else {
+            if gated {
+                println!(
+                    "{name:<38} {:>12.0} {:>12} {:>8}  FAIL (missing)",
+                    reference_sample.min_ns, "—", "—"
+                );
+                failures += 1;
+            }
+            continue;
+        };
+        let (reference_metric, current_metric) = match anchors {
+            Some((r, c)) => (
+                reference_sample.min_ns / r.max(f64::MIN_POSITIVE),
+                current_sample.min_ns / c.max(f64::MIN_POSITIVE),
+            ),
+            None => (reference_sample.min_ns, current_sample.min_ns),
+        };
+        let delta_pct =
+            (current_metric - reference_metric) / reference_metric.max(f64::MIN_POSITIVE) * 100.0;
+        let verdict = if !gated {
+            "info"
+        } else if delta_pct > args.max_regress_pct {
+            failures += 1;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "{name:<38} {:>12.0} {:>12.0} {:>+7.1}%  {verdict}",
+            reference_sample.min_ns, current_sample.min_ns, delta_pct
+        );
+    }
+    if failures > 0 {
+        eprintln!(
+            "perf gate FAILED: {failures} gated sample(s) regressed >{:.0}%",
+            args.max_regress_pct
+        );
+        return ExitCode::from(1);
+    }
+    println!("perf gate passed");
+    ExitCode::SUCCESS
+}

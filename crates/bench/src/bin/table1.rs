@@ -1,5 +1,5 @@
 //! Regenerates **Table 1**: area difference between the new compact
-//! immune layout and the etched-region layout of Patil et al. [6].
+//! immune layout and the etched-region layout of Patil et al. \[6\].
 
 use cnfet_bench::row;
 use cnfet_core::area::{table1, TABLE1_WIDTHS};

@@ -116,6 +116,53 @@ impl Harness {
     }
 }
 
+/// Parses a baseline document previously written by [`Harness::finish`]
+/// back into `(suite, samples)`. This is the exact inverse of
+/// [`Harness::to_json`] — a hand-rolled scanner, since the workspace
+/// builds without serde — and returns `None` on any malformed field.
+pub fn parse_baseline(json: &str) -> Option<(String, Vec<Sample>)> {
+    let suite = field_str(json, "\"suite\"")?;
+    let mut samples = Vec::new();
+    for chunk in json.split("{\"name\"").skip(1) {
+        // Re-anchor the chunk so the field helpers see a full object.
+        let chunk = format!("{{\"name\"{}", chunk.split('}').next()?);
+        samples.push(Sample {
+            name: field_str(&chunk, "\"name\"")?,
+            iters: field_f64(&chunk, "\"iters\"")? as u32,
+            min_ns: field_f64(&chunk, "\"min_ns\"")?,
+            mean_ns: field_f64(&chunk, "\"mean_ns\"")?,
+            max_ns: field_f64(&chunk, "\"max_ns\"")?,
+        });
+    }
+    Some((suite, samples))
+}
+
+/// Extracts the string value of `"key": "value"`.
+fn field_str(json: &str, key: &str) -> Option<String> {
+    let after = &json[json.find(key)? + key.len()..];
+    let open = after.find('"')? + 1;
+    let rest = &after[open..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts the numeric value of `"key": 123.4`.
+fn field_f64(json: &str, key: &str) -> Option<f64> {
+    let after = &json[json.find(key)? + key.len()..];
+    let colon = after.find(':')? + 1;
+    let rest = after[colon..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The canonical path of a suite's baseline:
+/// `<baseline dir>/<suite>.json`. See [`parse_baseline`] to read one
+/// back.
+pub fn baseline_path(suite: &str) -> std::path::PathBuf {
+    baseline_dir().join(format!("{suite}.json"))
+}
+
 /// The baseline directory: `$CARGO_TARGET_DIR/bench-baselines` when set,
 /// else the workspace `target/` (two levels above this crate's manifest
 /// when run under cargo), else the current directory.
@@ -163,5 +210,28 @@ mod tests {
         let json = h.to_json();
         assert!(json.contains("\"suite\": \"unit\""));
         assert!(json.contains("\"name\": \"counting\""));
+    }
+
+    #[test]
+    fn parse_baseline_inverts_to_json() {
+        let mut h = Harness::new("roundtrip");
+        h.bench("fast", 3, || 1 + 1);
+        h.bench("slow", 2, || {
+            std::thread::sleep(std::time::Duration::from_micros(50))
+        });
+        let (suite, samples) = parse_baseline(&h.to_json()).expect("parses");
+        assert_eq!(suite, "roundtrip");
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].name, "fast");
+        assert_eq!(samples[0].iters, 3);
+        assert_eq!(samples[1].name, "slow");
+        assert!((samples[1].min_ns - h.samples[1].min_ns).abs() < 0.11);
+        assert!((samples[1].mean_ns - h.samples[1].mean_ns).abs() < 0.11);
+    }
+
+    #[test]
+    fn parse_baseline_rejects_garbage() {
+        assert!(parse_baseline("not json").is_none());
+        assert!(parse_baseline("{\"suite\": \"x\", \"samples\": [{\"name\": \"y\"}]}").is_none());
     }
 }

@@ -21,7 +21,7 @@ pub struct Table1Entry {
     pub paper: [f64; 4],
 }
 
-/// Area difference between the old [6] and new immune layouts for one
+/// Area difference between the old \[6\] and new immune layouts for one
 /// cell at one size, in percent of the old layout's active area.
 ///
 /// `Sizing::Matched` reproduces the paper's NAND/NOR convention
@@ -46,7 +46,7 @@ pub fn area_difference_percent(kind: StdCellKind, sizing: Sizing, rules: &Design
 }
 
 /// Regenerates Table 1: area difference between the new layout technique
-/// and the old one of [6], per cell type and transistor size.
+/// and the old one of \[6\], per cell type and transistor size.
 pub fn table1(rules: &DesignRules) -> Vec<Table1Entry> {
     let rows: [(&'static str, StdCellKind, bool, [f64; 4]); 5] = [
         ("Inverter", StdCellKind::Inv, true, [0.0, 0.0, 0.0, 0.0]),

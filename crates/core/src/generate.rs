@@ -16,7 +16,7 @@ use std::fmt;
 pub enum Style {
     /// The paper's Euler-path layout with redundant contacts (Section III).
     NewImmune,
-    /// Patil et al. [6]: stacked branches with etched regions and
+    /// Patil et al. \[6\]: stacked branches with etched regions and
     /// vertical-gating vias.
     OldEtched,
     /// CMOS-style layout with under-sized gate endcaps — functionally
@@ -112,7 +112,7 @@ enum BandEdge {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum GenerateError {
     /// The old etched style only supports branches that are plain series
-    /// chains (as in [6]'s published constructions).
+    /// chains (as in \[6\]'s published constructions).
     UnsupportedOldStyleBranch(String),
     /// A series composition with non-uniform device widths cannot be laid
     /// out as rows.

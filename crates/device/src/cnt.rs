@@ -59,7 +59,7 @@ impl Chirality {
 
     /// A tube is metallic when `(n − m) mod 3 == 0`; roughly one third of
     /// as-grown tubes. Metallic tubes short source to drain and must be
-    /// removed (Section II; Zhang et al. [9]).
+    /// removed (Section II; Zhang et al. \[9\]).
     pub fn is_metallic(&self) -> bool {
         (self.n as i64 - self.m as i64).rem_euclid(3) == 0
     }

@@ -1,7 +1,6 @@
 //! The kit bundle: rules + models + library construction.
 
-use crate::libgen::{build_library, CellLibrary};
-use cnfet_core::{DesignRules, GenerateError, Scheme, StdCellKind};
+use cnfet_core::{DesignRules, StdCellKind};
 use cnfet_device::{CmosModel, CnfetModel};
 
 /// Everything the flow needs about the target technology.
@@ -47,20 +46,6 @@ impl DesignKit {
                 StdCellKind::Oai21,
             ],
         }
-    }
-
-    /// Builds the full standard-cell library in the given scheme.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GenerateError`] if any cell cannot be laid out (does
-    /// not happen for the default kit).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `cnfet::Session::library` (memoizing) or `cnfet_dk::libgen::build_library`"
-    )]
-    pub fn build_library(&self, scheme: Scheme) -> Result<CellLibrary, GenerateError> {
-        build_library(self, scheme)
     }
 }
 

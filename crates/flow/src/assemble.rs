@@ -1,27 +1,8 @@
 //! Final GDS assembly of a placed design — the flow's "to-GDSII" step.
 
 use crate::place::Placement;
-use cnfet_core::Scheme;
-use cnfet_dk::{CellLibrary, DesignKit};
+use cnfet_dk::CellLibrary;
 use cnfet_geom::{write_gds, Cell, Dbu, Instance, Layer, Library, Rect, Transform};
-
-/// Assembles a placed design into a GDS stream: one top cell instantiating
-/// the library cells at their placed positions, plus the cell definitions.
-/// Builds the library from scratch; prefer [`assemble_gds_with`].
-///
-/// # Panics
-///
-/// Panics if the placement references cells the kit cannot generate (does
-/// not happen for placements produced by this crate).
-#[deprecated(
-    since = "0.1.0",
-    note = "use `cnfet::Session::flow` (memoizing) or `assemble_gds_with` with a prebuilt library"
-)]
-pub fn assemble_gds(design_name: &str, placement: &Placement, scheme: Scheme) -> Vec<u8> {
-    let kit = DesignKit::cnfet65();
-    let lib = cnfet_dk::build_library(&kit, scheme).expect("library generation");
-    assemble_gds_with(design_name, placement, &lib)
-}
 
 /// Assembles a placed design into a GDS stream from an already-built
 /// library: one top cell instantiating the library cells at their placed
@@ -75,6 +56,8 @@ mod tests {
     use super::*;
     use crate::fa::full_adder;
     use crate::place::place_cnfet_with;
+    use cnfet_core::Scheme;
+    use cnfet_dk::DesignKit;
     use cnfet_geom::read_gds;
 
     #[test]

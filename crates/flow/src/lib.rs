@@ -5,7 +5,7 @@
 //! boolean expressions to NAND2/INV ([`synth`]), the Figure 8 full adder
 //! ([`full_adder`]), standard-cell placement in the CMOS baseline and the
 //! two CNFET schemes ([`place`]), transistor-level netlist simulation with
-//! wire loads ([`sim`]), and final GDS assembly ([`assemble_gds`]).
+//! wire loads ([`sim`]), and final GDS assembly ([`assemble_gds_with`]).
 //!
 //! # Example: place the paper's full adder in both schemes
 //!
@@ -39,8 +39,3 @@ pub use place::{place_cmos_with, place_cnfet_with, Placement};
 pub use sim::{simulate_netlist, simulate_netlist_with, NetlistMetrics, Tech};
 pub use synth::synthesize;
 pub use verilog::{parse_verilog, VerilogError};
-
-#[allow(deprecated)]
-pub use assemble::assemble_gds;
-#[allow(deprecated)]
-pub use place::{place_cmos, place_cnfet};

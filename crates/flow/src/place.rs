@@ -8,7 +8,7 @@
 //! have.
 
 use crate::netlist::Netlist;
-use cnfet_core::{cmos_cell, GenerateError, Scheme};
+use cnfet_core::{cmos_cell, Scheme};
 use cnfet_dk::{CellLibrary, DesignKit};
 use std::collections::HashMap;
 
@@ -132,22 +132,6 @@ pub fn place_cnfet_with(netlist: &Netlist, lib: &CellLibrary) -> Placement {
     }
 }
 
-/// Places a netlist with the CNFET library in the given scheme, building
-/// the library from scratch first.
-///
-/// # Errors
-///
-/// Propagates library generation failures.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `cnfet::Session::flow` (memoizing) or `place_cnfet_with` with a prebuilt library"
-)]
-pub fn place_cnfet(netlist: &Netlist, scheme: Scheme) -> Result<Placement, GenerateError> {
-    let kit = DesignKit::cnfet65();
-    let lib = cnfet_dk::build_library(&kit, scheme)?;
-    Ok(place_cnfet_with(netlist, &lib))
-}
-
 /// Places the netlist with the CMOS baseline, deriving widths from an
 /// already-built CNFET library (any scheme).
 ///
@@ -168,18 +152,6 @@ pub fn place_cmos_with(kit: &DesignKit, netlist: &Netlist, lib: &CellLibrary) ->
         fp.insert(name, (cell.layout.width_lambda, cmos.height_lambda));
     }
     place_rows(netlist, &fp, 2.0 * RAIL_LAMBDA + WELL_MARGIN_LAMBDA)
-}
-
-/// Places the netlist with the CMOS baseline library, building the CNFET
-/// reference library from scratch first.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `cnfet::Session::flow` (memoizing) or `place_cmos_with` with a prebuilt library"
-)]
-pub fn place_cmos(netlist: &Netlist) -> Placement {
-    let kit = DesignKit::cnfet65();
-    let lib = cnfet_dk::build_library(&kit, Scheme::Scheme1).expect("library generation");
-    place_cmos_with(&kit, netlist, &lib)
 }
 
 /// Standardized-height row placement: every row is as tall as the tallest

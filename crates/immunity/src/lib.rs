@@ -3,7 +3,7 @@
 //! The central claim of the paper is that its compact Euler-path layouts
 //! are **100% functionally immune to mispositioned CNTs**. This crate
 //! verifies that claim mechanically, on the generated geometry, under the
-//! standard mispositioning model (Patil et al. [6]): a mispositioned tube
+//! standard mispositioning model (Patil et al. \[6\]): a mispositioned tube
 //! is an *x-monotone* curve of bounded local slope at an arbitrary
 //! vertical offset, clipped at the cell boundary etch.
 //!

@@ -1,7 +1,7 @@
 //! Metallic-CNT yield model.
 //!
 //! The paper assumes metallic tubes are removed during manufacturing
-//! (Section II, citing Zhang et al. [9]'s processing guidelines) and
+//! (Section II, citing Zhang et al. \[9\]'s processing guidelines) and
 //! focuses on mispositioning. This module quantifies that assumption: how
 //! clean must growth + removal be for a cell/circuit to function, since a
 //! single surviving metallic tube shorts its device.

@@ -175,7 +175,7 @@ impl SpNetwork {
     /// along it. A network conducts iff some path's gates are all on.
     ///
     /// The immunity analysis compares stray CNT conduction conditions
-    /// against this set (Section III of the paper / Patil et al. [6]).
+    /// against this set (Section III of the paper / Patil et al. \[6\]).
     pub fn paths(&self) -> Vec<BTreeSet<VarId>> {
         match self {
             SpNetwork::Device(v) => vec![BTreeSet::from([*v])],

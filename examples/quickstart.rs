@@ -5,10 +5,15 @@
 
 use cnfet::core::{check_drc, DesignRules, GenerateOptions, Sizing, StdCellKind, Style};
 use cnfet::geom::render_svg;
-use cnfet::{CellRequest, ImmunityRequest, Session};
+use cnfet::{CellRequest, ImmunityRequest, SessionBuilder};
 
 fn main() -> cnfet::Result<()> {
-    let session = Session::new();
+    // The cache behind the session is sharded and bounded; both knobs are
+    // tunable (capacity 0 disables caching entirely).
+    let session = SessionBuilder::new()
+        .cache_capacity(1024)
+        .cache_shards(8)
+        .build();
     let opts = |style| GenerateOptions {
         style,
         sizing: Sizing::Matched { base_lambda: 4 },
@@ -60,8 +65,20 @@ fn main() -> cnfet::Result<()> {
     );
     let stats = session.stats();
     println!(
-        "  session: {} generated, {} served from cache",
-        stats.cell_misses, stats.cell_hits
+        "  session: {} generated, {} served from cache, {} evicted; \
+         immunity verdicts {} run / {} recalled",
+        stats.cell_misses,
+        stats.cell_hits,
+        stats.cell_evictions,
+        stats.immunity_misses,
+        stats.immunity_hits
+    );
+    let cache = session.cell_cache_stats();
+    println!(
+        "  cell cache: {} entries over {} shards (capacity {})",
+        cache.entries,
+        cache.shards.len(),
+        cache.capacity
     );
 
     std::fs::write("nand3_new.svg", render_svg(&new.cell, 2.0))?;

@@ -1,0 +1,199 @@
+//! The work-stealing executor behind
+//! [`Session::generate_batch`](crate::Session::generate_batch).
+//!
+//! The PR-1 batch path handed indices out of one atomic counter, which
+//! balances *counts* but not *costs*: a worker that drew a heavy request
+//! (a strength-9 complex gate) finishes long after workers that drew
+//! cheap inverters have gone idle. This std-only executor uses the
+//! classic shared-injector + per-worker-deque shape instead:
+//!
+//! * all task indices start in a shared **injector** queue;
+//! * each worker refills its **local deque** with a small chunk from the
+//!   injector and works through it front-to-back;
+//! * a worker whose deque and the injector are both empty **steals** the
+//!   back half of the fullest other deque, so a skewed tail of expensive
+//!   tasks is redistributed instead of pinning one thread.
+//!
+//! A worker exits only once every task has been *claimed* (popped for
+//! execution, tracked by a shared countdown) — finding all queues
+//! momentarily empty is not enough, because stolen tasks are briefly in
+//! transit between deques and must remain stealable by whichever worker
+//! frees up first.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The results of a batch run plus executor telemetry.
+#[derive(Debug)]
+pub(crate) struct BatchOutcome<T> {
+    /// One result per task, in task order.
+    pub results: Vec<T>,
+    /// Deque-to-deque steal operations performed (0 on an even workload).
+    pub steals: u64,
+}
+
+/// Runs `task(0..tasks)` across `workers` threads with work stealing and
+/// returns the results in task order. `workers` is clamped to `tasks`;
+/// with fewer than two effective workers the tasks run inline.
+pub(crate) fn run<T, F>(tasks: usize, workers: usize, task: F) -> BatchOutcome<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.min(tasks);
+    if workers <= 1 {
+        return BatchOutcome {
+            results: (0..tasks).map(&task).collect(),
+            steals: 0,
+        };
+    }
+
+    let injector: Mutex<VecDeque<usize>> = Mutex::new((0..tasks).collect());
+    let locals: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    let steals = AtomicU64::new(0);
+    // Tasks not yet claimed for execution. Reaching 0 is the only exit
+    // signal: an empty-queues observation can race with a steal in
+    // transit, but a task in transit has not been claimed yet.
+    let unclaimed = AtomicUsize::new(tasks);
+
+    let mut results: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                let injector = &injector;
+                let locals = &locals;
+                let steals = &steals;
+                let unclaimed = &unclaimed;
+                let task = &task;
+                scope.spawn(move || {
+                    let mut done: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        match next_task(me, workers, injector, locals, steals) {
+                            Some(index) => {
+                                unclaimed.fetch_sub(1, Ordering::Relaxed);
+                                done.push((index, task(index)));
+                            }
+                            None if unclaimed.load(Ordering::Relaxed) == 0 => break,
+                            // Unclaimed tasks exist but were momentarily
+                            // invisible (in transit between deques, or
+                            // queued behind a busy owner): retry.
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (index, result) in handle.join().expect("batch worker panicked") {
+                results[index] = Some(result);
+            }
+        }
+    });
+
+    BatchOutcome {
+        results: results
+            .into_iter()
+            .map(|slot| slot.expect("every task ran exactly once"))
+            .collect(),
+        steals: steals.load(Ordering::Relaxed),
+    }
+}
+
+/// Pops worker `me`'s next task: local deque first, then a chunk from the
+/// injector, then the back half of the fullest other deque.
+fn next_task(
+    me: usize,
+    workers: usize,
+    injector: &Mutex<VecDeque<usize>>,
+    locals: &[Mutex<VecDeque<usize>>],
+    steals: &AtomicU64,
+) -> Option<usize> {
+    if let Some(index) = locals[me].lock().expect("local deque lock").pop_front() {
+        return Some(index);
+    }
+
+    // Refill from the injector: small chunks keep the tail available for
+    // idle workers while amortizing the injector lock.
+    {
+        let mut inj = injector.lock().expect("injector lock");
+        if !inj.is_empty() {
+            let chunk = (inj.len() / (2 * workers)).max(1).min(inj.len());
+            let first = inj.pop_front().expect("non-empty injector");
+            let mut local = locals[me].lock().expect("local deque lock");
+            for _ in 1..chunk {
+                match inj.pop_front() {
+                    Some(i) => local.push_back(i),
+                    None => break,
+                }
+            }
+            return Some(first);
+        }
+    }
+
+    // Steal the back half of the fullest victim deque.
+    let victim = (0..workers)
+        .filter(|&w| w != me)
+        .max_by_key(|&w| locals[w].lock().expect("victim deque lock").len())?;
+    let mut stolen: VecDeque<usize> = {
+        let mut v = locals[victim].lock().expect("victim deque lock");
+        let keep = v.len() / 2;
+        v.split_off(keep)
+    };
+    let first = stolen.pop_front()?;
+    steals.fetch_add(1, Ordering::Relaxed);
+    if !stolen.is_empty() {
+        locals[me].lock().expect("local deque lock").extend(stolen);
+    }
+    Some(first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_keep_task_order() {
+        let out = run(100, 4, |i| i * 2);
+        assert_eq!(out.results, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counts: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        run(counts.len(), 8, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let out = run(5, 1, |i| i);
+        assert_eq!(out.results, vec![0, 1, 2, 3, 4]);
+        assert_eq!(out.steals, 0);
+    }
+
+    #[test]
+    fn zero_tasks() {
+        let out = run(0, 8, |i| i);
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn skewed_costs_are_stolen() {
+        // One task sleeps; the cheap tail behind it in the same initial
+        // chunk must get stolen by idle workers rather than waiting.
+        let slow = 0usize;
+        let out = run(64, 4, |i| {
+            if i == slow {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            i
+        });
+        assert_eq!(out.results.len(), 64);
+    }
+}

@@ -1,0 +1,418 @@
+//! The sharded, bounded, single-flight memoization cache behind
+//! [`Session`](crate::Session).
+//!
+//! The PR-1 cache was one `Mutex<HashMap>` with a global `Condvar`: every
+//! hit took the same lock, and every single-flight wakeup broadcast to
+//! every waiter in the whole session. This module replaces it with a
+//! lock-striped design:
+//!
+//! * **Sharding** — keys are distributed over `N` independent shards by
+//!   hash, so concurrent hits on different keys take different locks and
+//!   the hot hit path scales with threads instead of serializing.
+//! * **Per-shard single-flight** — when several threads miss on the same
+//!   key at once, exactly one runs the builder; the rest wait on *their
+//!   shard's* condvar and receive the finished value as a hit. A failed
+//!   build releases the key so the next waiter retries. Waiters on other
+//!   shards are never woken.
+//! * **Bounded capacity with LRU eviction** — each shard holds at most
+//!   `ceil(capacity / shards)` entries; inserting past the bound evicts
+//!   the least-recently-used entry of that shard. `capacity == 0`
+//!   disables caching entirely (every request builds, nothing is stored).
+//! * **Per-shard stats** — hits, misses, evictions and in-flight waits
+//!   are counted per shard and aggregated in [`CacheStats`].
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Default total entry bound of a session cache.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Default shard count of a session cache (rounded up to a power of two).
+pub const DEFAULT_SHARDS: usize = 16;
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+/// A point-in-time snapshot of one shard's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Entries currently resident in the shard.
+    pub entries: usize,
+    /// Requests answered from this shard (including single-flight waits
+    /// that received a concurrent build's value).
+    pub hits: u64,
+    /// Requests that ran the builder on this shard.
+    pub misses: u64,
+    /// Entries evicted from this shard to respect the capacity bound.
+    pub evictions: u64,
+    /// Times a request blocked on this shard waiting for an in-flight
+    /// build of its key.
+    pub inflight_waits: u64,
+}
+
+/// A point-in-time snapshot of a whole cache: aggregate counters plus the
+/// per-shard breakdown.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total entry bound across all shards (`0` = caching disabled).
+    pub capacity: usize,
+    /// Entry bound of each shard.
+    pub shard_capacity: usize,
+    /// Entries currently resident across all shards.
+    pub entries: usize,
+    /// Aggregate hits.
+    pub hits: u64,
+    /// Aggregate misses.
+    pub misses: u64,
+    /// Aggregate evictions.
+    pub evictions: u64,
+    /// Aggregate in-flight waits.
+    pub inflight_waits: u64,
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+// ---------------------------------------------------------------------------
+// Shards
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    /// Monotone per-shard use tick; smallest tick = least recently used.
+    last_used: u64,
+}
+
+/// Shard storage is indexed by the key's full 64-bit hash (computed once
+/// per request, also used for shard selection) with a tiny collision
+/// vector per slot, so the hot hit path hashes the — potentially large —
+/// key exactly once and then does one `u64` map probe plus one key
+/// compare.
+#[derive(Debug)]
+struct ShardState<K, V> {
+    buckets: HashMap<u64, Vec<(K, Entry<V>)>>,
+    /// Total entries across all buckets.
+    len: usize,
+    /// Hashes with a build in flight. Keyed by hash, not key: a 64-bit
+    /// collision merely serializes two unrelated builds, it never
+    /// produces a wrong value (waiters re-check their own key on wake).
+    in_flight: HashSet<u64>,
+    tick: u64,
+}
+
+#[derive(Debug)]
+struct Shard<K, V> {
+    state: Mutex<ShardState<K, V>>,
+    ready: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    inflight_waits: AtomicU64,
+}
+
+impl<K, V> Shard<K, V> {
+    fn new() -> Shard<K, V> {
+        Shard {
+            state: Mutex::new(ShardState {
+                buckets: HashMap::new(),
+                len: 0,
+                in_flight: HashSet::new(),
+                tick: 0,
+            }),
+            ready: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            inflight_waits: AtomicU64::new(0),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache
+// ---------------------------------------------------------------------------
+
+/// A lock-striped memoizing map with per-shard single-flight builds and
+/// LRU-bounded capacity. See the [module docs](self) for the design.
+#[derive(Debug)]
+pub(crate) struct ShardedCache<K, V> {
+    shards: Vec<Shard<K, V>>,
+    /// Per-shard entry bound; `0` disables caching.
+    shard_capacity: usize,
+    /// Total bound as configured (kept for stats; the enforced bound is
+    /// `shard_capacity` per shard).
+    capacity: usize,
+    /// `shards.len() - 1`; shard count is a power of two.
+    mask: usize,
+}
+
+impl<K: Clone + Eq + Hash, V: Clone> ShardedCache<K, V> {
+    /// A cache bounded to `capacity` entries striped over `shards` locks.
+    /// The shard count is clamped to `[1, 256]` and rounded up to a power
+    /// of two; `capacity == 0` disables caching.
+    pub(crate) fn new(capacity: usize, shards: usize) -> ShardedCache<K, V> {
+        let shards = shards.clamp(1, 256).next_power_of_two();
+        // Never stripe wider than the capacity: one entry per shard is
+        // the useful minimum, and fewer shards keep LRU order exact for
+        // small caches.
+        let shards = if capacity == 0 {
+            1
+        } else {
+            shards.min(capacity.next_power_of_two())
+        };
+        let shard_capacity = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shards)
+        };
+        ShardedCache {
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+            shard_capacity,
+            capacity,
+            mask: shards - 1,
+        }
+    }
+
+    /// Hashes the key once; the result selects the shard and indexes the
+    /// shard's buckets.
+    fn hash_of(key: &K) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        h.finish()
+    }
+
+    /// Returns `(value, was_cached)`; `was_cached` is true whenever the
+    /// value came from another build (earlier or concurrent), so a miss
+    /// is reported exactly once per cached entry. With caching disabled
+    /// (`capacity == 0`) every call builds and `was_cached` is false.
+    ///
+    /// The builder runs outside the shard lock, single-flight per key:
+    /// misses on different keys build in parallel while duplicates wait
+    /// on their shard's condvar instead of regenerating. A failed build
+    /// releases the key so the next waiter retries; the error is
+    /// propagated to the caller that ran the builder.
+    pub(crate) fn get_or_build<E>(
+        &self,
+        key: &K,
+        build: impl FnOnce() -> Result<V, E>,
+    ) -> Result<(V, bool), E> {
+        let hash = Self::hash_of(key);
+        let shard = &self.shards[(hash as usize) & self.mask];
+        if self.shard_capacity == 0 {
+            let value = build()?;
+            shard.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok((value, false));
+        }
+
+        let mut state = shard.state.lock().expect("cache shard lock");
+        loop {
+            state.tick += 1;
+            let tick = state.tick;
+            if let Some(bucket) = state.buckets.get_mut(&hash) {
+                if let Some((_, entry)) = bucket.iter_mut().find(|(k, _)| k == key) {
+                    entry.last_used = tick;
+                    let value = entry.value.clone();
+                    drop(state);
+                    shard.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((value, true));
+                }
+            }
+            if !state.in_flight.contains(&hash) {
+                break;
+            }
+            shard.inflight_waits.fetch_add(1, Ordering::Relaxed);
+            state = shard.ready.wait(state).expect("cache shard lock");
+        }
+        state.in_flight.insert(hash);
+        drop(state);
+
+        let built = build();
+
+        let mut state = shard.state.lock().expect("cache shard lock");
+        state.in_flight.remove(&hash);
+        let result = match built {
+            Ok(value) => {
+                state.tick += 1;
+                let tick = state.tick;
+                // The key cannot already be resident: its hash was held
+                // in `in_flight`, so every same-hash requester waited and
+                // re-checked above.
+                state.buckets.entry(hash).or_default().push((
+                    key.clone(),
+                    Entry {
+                        value: value.clone(),
+                        last_used: tick,
+                    },
+                ));
+                state.len += 1;
+                while state.len > self.shard_capacity {
+                    Self::evict_lru(&mut state);
+                    shard.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok((value, false))
+            }
+            // Waiters re-check and the next one retries the build.
+            Err(e) => Err(e),
+        };
+        drop(state);
+        if result.is_ok() {
+            shard.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.ready.notify_all();
+        result
+    }
+
+    /// Removes the least-recently-used entry of the shard (linear scan;
+    /// runs only on over-capacity inserts, never on hits).
+    fn evict_lru(state: &mut ShardState<K, V>) {
+        let Some((&lru_hash, lru_pos)) = state
+            .buckets
+            .iter()
+            .flat_map(|(h, bucket)| {
+                bucket
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, (_, e))| ((h, i), e.last_used))
+            })
+            .min_by_key(|(_, used)| *used)
+            .map(|(at, _)| at)
+        else {
+            return;
+        };
+        let bucket = state.buckets.get_mut(&lru_hash).expect("bucket exists");
+        bucket.swap_remove(lru_pos);
+        if bucket.is_empty() {
+            state.buckets.remove(&lru_hash);
+        }
+        state.len -= 1;
+    }
+
+    /// Entries currently resident across all shards.
+    pub(crate) fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().expect("cache shard lock").len)
+            .sum()
+    }
+
+    /// Drops every resident entry; counters are kept.
+    pub(crate) fn clear(&self) {
+        for shard in &self.shards {
+            let mut state = shard.state.lock().expect("cache shard lock");
+            state.buckets.clear();
+            state.len = 0;
+        }
+    }
+
+    /// A snapshot of the aggregate and per-shard counters.
+    pub(crate) fn stats(&self) -> CacheStats {
+        let mut out = CacheStats {
+            capacity: self.capacity,
+            shard_capacity: self.shard_capacity,
+            shards: Vec::with_capacity(self.shards.len()),
+            ..CacheStats::default()
+        };
+        for shard in &self.shards {
+            let s = ShardStats {
+                entries: shard.state.lock().expect("cache shard lock").len,
+                hits: shard.hits.load(Ordering::Relaxed),
+                misses: shard.misses.load(Ordering::Relaxed),
+                evictions: shard.evictions.load(Ordering::Relaxed),
+                inflight_waits: shard.inflight_waits.load(Ordering::Relaxed),
+            };
+            out.entries += s.entries;
+            out.hits += s.hits;
+            out.misses += s.misses;
+            out.evictions += s.evictions;
+            out.inflight_waits += s.inflight_waits;
+            out.shards.push(s);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+
+    fn ok(v: u32) -> impl FnOnce() -> Result<u32, Infallible> {
+        move || Ok(v)
+    }
+
+    #[test]
+    fn hits_after_first_build() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(64, 4);
+        assert_eq!(cache.get_or_build(&1, ok(10)).unwrap(), (10, false));
+        assert_eq!(cache.get_or_build(&1, ok(99)).unwrap(), (10, true));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(2, 1);
+        cache.get_or_build(&1, ok(1)).unwrap();
+        cache.get_or_build(&2, ok(2)).unwrap();
+        // Touch 1 so 2 becomes the LRU entry, then insert 3.
+        assert!(cache.get_or_build(&1, ok(0)).unwrap().1);
+        cache.get_or_build(&3, ok(3)).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get_or_build(&1, ok(0)).unwrap().1, "1 survives");
+        assert!(!cache.get_or_build(&2, ok(2)).unwrap().1, "2 was evicted");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(0, 8);
+        assert_eq!(cache.get_or_build(&1, ok(10)).unwrap(), (10, false));
+        assert_eq!(cache.get_or_build(&1, ok(11)).unwrap(), (11, false));
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_capacity() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(2, 64);
+        assert_eq!(cache.stats().shards.len(), 2);
+        let unbounded: ShardedCache<u32, u32> = ShardedCache::new(4096, 6);
+        assert_eq!(unbounded.stats().shards.len(), 8, "rounded to power of two");
+    }
+
+    #[test]
+    fn failed_build_releases_the_key() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(16, 1);
+        assert!(cache.get_or_build(&7, || Err::<u32, &str>("boom")).is_err());
+        assert_eq!(cache.get_or_build(&7, ok(42)).unwrap(), (42, false));
+    }
+
+    #[test]
+    fn concurrent_misses_single_flight() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(16, 4);
+        let builds = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let (v, _) = cache
+                        .get_or_build(&5, || {
+                            builds.fetch_add(1, Ordering::Relaxed);
+                            // Widen the race window so waiters actually pile up.
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                            Ok::<_, Infallible>(55)
+                        })
+                        .unwrap();
+                    assert_eq!(v, 55);
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::Relaxed), 1, "exactly one build");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+    }
+}

@@ -58,11 +58,16 @@
 //!   Liberty/LEF/GDS;
 //! * [`flow`] — logic-to-GDSII: synthesis, placement, simulation, assembly.
 //!
-//! The per-crate free functions ([`core::generate_cell`],
-//! `dk::build_library`, …) remain available for one-shot use; the
-//! previous convenience entry points that rebuilt state on every call
-//! (`dk::DesignKit::build_library`, `flow::place_cnfet`, …) are kept as
-//! deprecated shims for one release.
+//! Under the hood every request class (cells, libraries, immunity
+//! verdicts, flow results) is memoized by a sharded, bounded,
+//! single-flight LRU cache ([`cache`]) — tune it with
+//! [`SessionBuilder::cache_capacity`] and
+//! [`SessionBuilder::cache_shards`] — and batches run on a std-only
+//! work-stealing executor. The per-crate free functions
+//! ([`core::generate_cell`], `dk::build_library`, …) remain available
+//! for one-shot use; the deprecated PR-1 shims that rebuilt state on
+//! every call (`dk::DesignKit::build_library`, `flow::place_cnfet`, …)
+//! have been removed.
 
 pub use cnfet_core as core;
 pub use cnfet_device as device;
@@ -73,9 +78,12 @@ pub use cnfet_immunity as immunity;
 pub use cnfet_logic as logic;
 pub use cnfet_spice as spice;
 
+mod batch;
+pub mod cache;
 mod error;
 mod session;
 
+pub use cache::{CacheStats, ShardStats};
 pub use error::{CnfetError, Result};
 pub use session::{
     CellRequest, CellResult, FlowRequest, FlowResult, FlowSource, FlowTarget, ImmunityEngine,

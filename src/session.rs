@@ -9,8 +9,16 @@
 //! `DesignRules`), so co-optimization sweeps that re-request the same
 //! cells thousands of times (Hills et al.'s CNT-variation loops) pay for
 //! each layout exactly once; every later hit returns the same
-//! [`Arc`]-shared cell. [`Session::generate_batch`] fans a request list
-//! out across threads against the shared cache.
+//! [`Arc`]-shared cell.
+//!
+//! The cache is the sharded, bounded, single-flight design of
+//! [`crate::cache`]: hits on different keys take different locks (the
+//! contended hit path scales with threads), capacity is bounded with LRU
+//! eviction, and [`SessionBuilder::cache_capacity`] /
+//! [`SessionBuilder::cache_shards`] tune it. Immunity verdicts and flow
+//! results ride the same machinery. [`Session::generate_batch`] fans a
+//! request list out across a work-stealing executor (the private `batch` module) so
+//! cost-skewed request lists keep every worker busy.
 //!
 //! # Example
 //!
@@ -26,6 +34,8 @@
 //! # Ok::<(), cnfet::CnfetError>(())
 //! ```
 
+use crate::batch;
+use crate::cache::{CacheStats, ShardedCache, DEFAULT_CAPACITY, DEFAULT_SHARDS};
 use crate::core::{
     generate_cell, generate_from_networks, GenerateError, GenerateOptions, GeneratedCell,
     RowPolicy, Scheme, Sizing, StdCellKind, Style,
@@ -38,9 +48,9 @@ use crate::flow::{
 };
 use crate::immunity::{certify, simulate, CertReport, McOptions, McReport};
 use crate::logic::{SpNetwork, VarTable};
-use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // Requests
@@ -281,28 +291,46 @@ pub struct FlowResult {
 
 #[derive(Debug, Default)]
 struct StatsInner {
-    cell_hits: AtomicU64,
-    cell_misses: AtomicU64,
-    library_hits: AtomicU64,
-    library_misses: AtomicU64,
     batches: AtomicU64,
     flows: AtomicU64,
+    steals: AtomicU64,
 }
 
-/// A point-in-time snapshot of a session's cache counters.
+/// A point-in-time snapshot of a session's cache and executor counters.
+///
+/// Hit/miss/eviction counts are aggregated over the cache shards; the
+/// per-shard breakdown is available from [`Session::cell_cache_stats`]
+/// and friends.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Cell requests answered from the cache.
     pub cell_hits: u64,
     /// Cell requests that ran the layout generator.
     pub cell_misses: u64,
+    /// Cell layouts evicted to respect the capacity bound.
+    pub cell_evictions: u64,
     /// Library requests answered from the cache.
     pub library_hits: u64,
     /// Library requests that built a library.
     pub library_misses: u64,
+    /// Libraries evicted to respect the capacity bound.
+    pub library_evictions: u64,
+    /// Immunity requests whose engine verdict was recalled from the cache.
+    pub immunity_hits: u64,
+    /// Immunity requests that ran the engine(s).
+    pub immunity_misses: u64,
+    /// Flow requests answered from the cache.
+    pub flow_hits: u64,
+    /// Flow requests that ran the flow.
+    pub flow_misses: u64,
+    /// Times a request blocked waiting on another thread's in-flight
+    /// build of the same key (across all caches).
+    pub inflight_waits: u64,
     /// `generate_batch` invocations.
     pub batches: u64,
-    /// Flow runs.
+    /// Deque-to-deque steals performed by the batch executor.
+    pub steals: u64,
+    /// Flow runs (every [`Session::flow`] call, hit or miss).
     pub flows: u64,
 }
 
@@ -337,6 +365,24 @@ enum CellKey {
     },
 }
 
+/// Memoization key of an immunity verdict: the cell's cache key plus a
+/// canonical rendering of the engine selection (`McOptions` holds floats,
+/// so the engine is keyed by its exact `Debug` form — equal options render
+/// equally, distinct options render distinctly).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct ImmunityKey {
+    cell: CellKey,
+    engine: String,
+}
+
+/// The cached part of an [`ImmunityReport`] (everything but the cell).
+#[derive(Debug)]
+struct ImmunityOutcome {
+    immune: bool,
+    cert: Option<CertReport>,
+    mc: Option<McReport>,
+}
+
 // ---------------------------------------------------------------------------
 // Builder
 // ---------------------------------------------------------------------------
@@ -360,6 +406,9 @@ enum CellKey {
 pub struct SessionBuilder {
     kit: DesignKit,
     defaults: GenerateOptions,
+    cache_capacity: usize,
+    cache_shards: usize,
+    batch_workers: usize,
 }
 
 impl SessionBuilder {
@@ -368,6 +417,9 @@ impl SessionBuilder {
         SessionBuilder {
             kit: DesignKit::cnfet65(),
             defaults: GenerateOptions::default(),
+            cache_capacity: DEFAULT_CAPACITY,
+            cache_shards: DEFAULT_SHARDS,
+            batch_workers: 0,
         }
     }
 
@@ -416,13 +468,48 @@ impl SessionBuilder {
         self
     }
 
+    /// Bounds each session cache (cells, libraries, immunity verdicts,
+    /// flow results) to `capacity` entries, evicting least-recently-used
+    /// entries past the bound. `0` disables caching entirely: every
+    /// request rebuilds and nothing is stored. Default:
+    /// [`DEFAULT_CAPACITY`](crate::cache::DEFAULT_CAPACITY).
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> SessionBuilder {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Stripes each session cache over `shards` independent locks
+    /// (clamped to `[1, 256]`, rounded up to a power of two, and never
+    /// wider than the capacity). More shards mean less contention on the
+    /// concurrent hit path; `1` gives a single exact LRU. Default:
+    /// [`DEFAULT_SHARDS`](crate::cache::DEFAULT_SHARDS).
+    #[must_use]
+    pub fn cache_shards(mut self, shards: usize) -> SessionBuilder {
+        self.cache_shards = shards;
+        self
+    }
+
+    /// Fixes the number of worker threads [`Session::generate_batch`]
+    /// spawns. `0` (the default) uses the machine's available
+    /// parallelism.
+    #[must_use]
+    pub fn batch_workers(mut self, workers: usize) -> SessionBuilder {
+        self.batch_workers = workers;
+        self
+    }
+
     /// Builds the session.
     pub fn build(self) -> Session {
+        let (capacity, shards) = (self.cache_capacity, self.cache_shards);
         Session {
             kit: self.kit,
             defaults: self.defaults,
-            cells: OnceMap::new(),
-            libraries: OnceMap::new(),
+            cells: ShardedCache::new(capacity, shards),
+            libraries: ShardedCache::new(capacity, shards),
+            immunity: ShardedCache::new(capacity, shards),
+            flow_results: ShardedCache::new(capacity, shards),
+            batch_workers: self.batch_workers,
             stats: StatsInner::default(),
         }
     }
@@ -435,84 +522,6 @@ impl Default for SessionBuilder {
 }
 
 // ---------------------------------------------------------------------------
-// Single-flight memoization
-// ---------------------------------------------------------------------------
-
-/// A memoizing map with single-flight builds: when several threads miss
-/// on the same key at once, exactly one runs the builder while the others
-/// block on the condvar and receive the finished value as a hit. A failed
-/// build releases the key so the next waiter retries.
-#[derive(Debug)]
-struct OnceMap<K, V> {
-    state: Mutex<OnceState<K, V>>,
-    ready: Condvar,
-}
-
-#[derive(Debug)]
-struct OnceState<K, V> {
-    done: HashMap<K, V>,
-    in_flight: HashSet<K>,
-}
-
-impl<K: Clone + Eq + std::hash::Hash, V: Clone> OnceMap<K, V> {
-    fn new() -> OnceMap<K, V> {
-        OnceMap {
-            state: Mutex::new(OnceState {
-                done: HashMap::new(),
-                in_flight: HashSet::new(),
-            }),
-            ready: Condvar::new(),
-        }
-    }
-
-    /// Returns `(value, was_cached)`; `was_cached` is true whenever the
-    /// value came from another build (earlier or concurrent), so a miss
-    /// is reported exactly once per cached entry.
-    fn get_or_build<E>(
-        &self,
-        key: &K,
-        build: impl FnOnce() -> std::result::Result<V, E>,
-    ) -> std::result::Result<(V, bool), E> {
-        let mut state = self.state.lock().expect("cache lock");
-        loop {
-            if let Some(v) = state.done.get(key) {
-                return Ok((v.clone(), true));
-            }
-            if !state.in_flight.contains(key) {
-                break;
-            }
-            state = self.ready.wait(state).expect("cache lock");
-        }
-        state.in_flight.insert(key.clone());
-        drop(state);
-
-        let built = build();
-
-        let mut state = self.state.lock().expect("cache lock");
-        state.in_flight.remove(key);
-        let result = match built {
-            Ok(v) => {
-                state.done.insert(key.clone(), v.clone());
-                Ok((v, false))
-            }
-            // Waiters re-check and the next one retries the build.
-            Err(e) => Err(e),
-        };
-        drop(state);
-        self.ready.notify_all();
-        result
-    }
-
-    fn len(&self) -> usize {
-        self.state.lock().expect("cache lock").done.len()
-    }
-
-    fn clear(&self) {
-        self.state.lock().expect("cache lock").done.clear();
-    }
-}
-
-// ---------------------------------------------------------------------------
 // Session
 // ---------------------------------------------------------------------------
 
@@ -520,14 +529,19 @@ impl<K: Clone + Eq + std::hash::Hash, V: Clone> OnceMap<K, V> {
 ///
 /// Sessions are internally synchronized — `&Session` methods may be called
 /// from many threads, and [`Session::generate_batch`] does exactly that.
-/// Cache builds are single-flight: concurrent requests for the same key
-/// run one generation; the rest wait and hit.
+/// Caches are sharded ([`crate::cache`]): hits on different keys take
+/// different locks, and builds are single-flight per key — concurrent
+/// requests for the same key run one generation; the rest wait on their
+/// shard and hit.
 #[derive(Debug)]
 pub struct Session {
     kit: DesignKit,
     defaults: GenerateOptions,
-    cells: OnceMap<CellKey, Arc<GeneratedCell>>,
-    libraries: OnceMap<LibraryRequest, Arc<CellLibrary>>,
+    cells: ShardedCache<CellKey, Arc<GeneratedCell>>,
+    libraries: ShardedCache<LibraryRequest, Arc<CellLibrary>>,
+    immunity: ShardedCache<ImmunityKey, Arc<ImmunityOutcome>>,
+    flow_results: ShardedCache<String, Arc<FlowResult>>,
+    batch_workers: usize,
     stats: StatsInner,
 }
 
@@ -558,16 +572,42 @@ impl Session {
         &self.defaults
     }
 
-    /// A snapshot of the cache counters.
+    /// A snapshot of the cache and executor counters, aggregated over the
+    /// cache shards.
     pub fn stats(&self) -> SessionStats {
+        let cells = self.cells.stats();
+        let libraries = self.libraries.stats();
+        let immunity = self.immunity.stats();
+        let flows = self.flow_results.stats();
         SessionStats {
-            cell_hits: self.stats.cell_hits.load(Ordering::Relaxed),
-            cell_misses: self.stats.cell_misses.load(Ordering::Relaxed),
-            library_hits: self.stats.library_hits.load(Ordering::Relaxed),
-            library_misses: self.stats.library_misses.load(Ordering::Relaxed),
+            cell_hits: cells.hits,
+            cell_misses: cells.misses,
+            cell_evictions: cells.evictions,
+            library_hits: libraries.hits,
+            library_misses: libraries.misses,
+            library_evictions: libraries.evictions,
+            immunity_hits: immunity.hits,
+            immunity_misses: immunity.misses,
+            flow_hits: flows.hits,
+            flow_misses: flows.misses,
+            inflight_waits: cells.inflight_waits
+                + libraries.inflight_waits
+                + immunity.inflight_waits
+                + flows.inflight_waits,
             batches: self.stats.batches.load(Ordering::Relaxed),
+            steals: self.stats.steals.load(Ordering::Relaxed),
             flows: self.stats.flows.load(Ordering::Relaxed),
         }
+    }
+
+    /// Per-shard counters of the cell cache.
+    pub fn cell_cache_stats(&self) -> CacheStats {
+        self.cells.stats()
+    }
+
+    /// Per-shard counters of the library cache.
+    pub fn library_cache_stats(&self) -> CacheStats {
+        self.libraries.stats()
     }
 
     /// Number of distinct cell layouts currently cached.
@@ -575,14 +615,29 @@ impl Session {
         self.cells.len()
     }
 
-    /// Drops every cached cell and library (counters are kept).
+    /// Drops every cached cell, library, immunity verdict and flow result
+    /// (counters are kept).
     pub fn clear_cache(&self) {
         self.cells.clear();
         self.libraries.clear();
+        self.immunity.clear();
+        self.flow_results.clear();
     }
 
     fn resolve_options(&self, req: &CellRequest) -> GenerateOptions {
         req.options.clone().unwrap_or_else(|| self.defaults.clone())
+    }
+
+    /// The cache key (and resolved options) of a catalog cell request.
+    fn catalog_key(&self, request: &CellRequest) -> (CellKey, GenerateOptions) {
+        let opts = self.resolve_options(request);
+        let key = CellKey::Catalog {
+            kind: request.kind,
+            strength: request.strength.max(1),
+            name: request.name.clone(),
+            opts: opts.clone(),
+        };
+        (key, opts)
     }
 
     // -- cells --------------------------------------------------------------
@@ -594,13 +649,7 @@ impl Session {
     /// Propagates [`GenerateError`] (as [`CnfetError::Generate`]) for
     /// network/style combinations the style cannot realize.
     pub fn generate(&self, request: &CellRequest) -> Result<CellResult> {
-        let opts = self.resolve_options(request);
-        let key = CellKey::Catalog {
-            kind: request.kind,
-            strength: request.strength.max(1),
-            name: request.name.clone(),
-            opts: opts.clone(),
-        };
+        let (key, opts) = self.catalog_key(request);
         self.serve(key, || {
             let strength = request.strength.max(1);
             let mut cell = if strength <= 1 {
@@ -650,56 +699,35 @@ impl Session {
 
     /// The common cache path: a hit (earlier *or* concurrent build of the
     /// same key) returns the shared [`Arc`]; a miss runs `build` outside
-    /// the cache lock, single-flight, so misses on different keys
+    /// the shard lock, single-flight, so misses on different keys
     /// generate in parallel while duplicates wait instead of regenerating.
     fn serve<F>(&self, key: CellKey, build: F) -> Result<CellResult>
     where
         F: FnOnce() -> std::result::Result<GeneratedCell, GenerateError>,
     {
         let (cell, cached) = self.cells.get_or_build(&key, || build().map(Arc::new))?;
-        let counter = if cached {
-            &self.stats.cell_hits
-        } else {
-            &self.stats.cell_misses
-        };
-        counter.fetch_add(1, Ordering::Relaxed);
         Ok(CellResult { cell, cached })
     }
 
-    /// Services many cell requests at once, fanning out across threads
-    /// against the shared cache. Results keep request order, one per
-    /// request; all requests are attempted even when some fail.
+    /// Services many cell requests at once, fanning out across a
+    /// work-stealing thread pool (the private `batch` module) against the shared
+    /// cache, so cost-skewed request lists keep every worker busy.
+    /// Results keep request order, one per request; all requests are
+    /// attempted even when some fail.
     pub fn generate_batch(&self, requests: &[CellRequest]) -> Vec<Result<CellResult>> {
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(requests.len());
-        if workers <= 1 {
-            return requests.iter().map(|r| self.generate(r)).collect();
-        }
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<CellResult>>>> =
-            requests.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(request) = requests.get(i) else {
-                        break;
-                    };
-                    *slots[i].lock().expect("batch slot lock") = Some(self.generate(request));
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("batch slot lock")
-                    .expect("every slot visited")
-            })
-            .collect()
+        let workers = if self.batch_workers > 0 {
+            self.batch_workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        let outcome = batch::run(requests.len(), workers, |i| self.generate(&requests[i]));
+        self.stats
+            .steals
+            .fetch_add(outcome.steals, Ordering::Relaxed);
+        outcome.results
     }
 
     // -- libraries ----------------------------------------------------------
@@ -712,7 +740,7 @@ impl Session {
     ///
     /// Propagates the first cell generation failure.
     pub fn library(&self, request: &LibraryRequest) -> Result<Arc<CellLibrary>> {
-        let (lib, cached) = self.libraries.get_or_build(request, || {
+        let (lib, _cached) = self.libraries.get_or_build(request, || {
             let opts = dk::library_options(&self.kit, request.scheme);
             let built = dk::build_library_with(&self.kit, request.scheme, |kind, strength| {
                 let req = CellRequest {
@@ -731,40 +759,43 @@ impl Session {
             })?;
             Ok::<_, CnfetError>(Arc::new(built))
         })?;
-        let counter = if cached {
-            &self.stats.library_hits
-        } else {
-            &self.stats.library_misses
-        };
-        counter.fetch_add(1, Ordering::Relaxed);
         Ok(lib)
     }
 
     // -- immunity -----------------------------------------------------------
 
     /// Services an [`ImmunityRequest`]: generates (or recalls) the cell,
-    /// then runs the requested engine(s).
+    /// then runs the requested engine(s). The engine verdict is memoized
+    /// on the same cache machinery as cells — repeating an analysis
+    /// (certification or a deterministic seeded Monte-Carlo) is a hit.
     ///
     /// # Errors
     ///
     /// Propagates cell generation failures.
     pub fn immunity(&self, request: &ImmunityRequest) -> Result<ImmunityReport> {
         let cell = self.generate(&request.cell)?.cell;
-        let (cert, mc) = match &request.engine {
-            ImmunityEngine::Certify => (Some(certify(&cell.semantics)), None),
-            ImmunityEngine::MonteCarlo(opts) => (None, Some(simulate(&cell.semantics, opts))),
-            ImmunityEngine::Both(opts) => (
-                Some(certify(&cell.semantics)),
-                Some(simulate(&cell.semantics, opts)),
-            ),
+        let key = ImmunityKey {
+            cell: self.catalog_key(&request.cell).0,
+            engine: format!("{:?}", request.engine),
         };
-        let immune =
-            cert.as_ref().is_none_or(|c| c.immune) && mc.as_ref().is_none_or(|m| m.failures == 0);
+        let (outcome, _cached) = self.immunity.get_or_build(&key, || {
+            let (cert, mc) = match &request.engine {
+                ImmunityEngine::Certify => (Some(certify(&cell.semantics)), None),
+                ImmunityEngine::MonteCarlo(opts) => (None, Some(simulate(&cell.semantics, opts))),
+                ImmunityEngine::Both(opts) => (
+                    Some(certify(&cell.semantics)),
+                    Some(simulate(&cell.semantics, opts)),
+                ),
+            };
+            let immune = cert.as_ref().is_none_or(|c| c.immune)
+                && mc.as_ref().is_none_or(|m| m.failures == 0);
+            Ok::<_, CnfetError>(Arc::new(ImmunityOutcome { immune, cert, mc }))
+        })?;
         Ok(ImmunityReport {
             cell,
-            immune,
-            cert,
-            mc,
+            immune: outcome.immune,
+            cert: outcome.cert.clone(),
+            mc: outcome.mc.clone(),
         })
     }
 
@@ -772,7 +803,10 @@ impl Session {
 
     /// Services a [`FlowRequest`]: netlist → placement → optional
     /// transistor-level simulation → optional GDSII, with the library
-    /// build served from the session cache.
+    /// build served from the session cache. Whole flow results are
+    /// memoized too (keyed by the request's canonical rendering, which
+    /// covers source, target, simulation spec and GDS flag), so repeating
+    /// a run skips placement, simulation and assembly.
     ///
     /// # Errors
     ///
@@ -780,6 +814,15 @@ impl Session {
     /// failures.
     pub fn flow(&self, request: &FlowRequest) -> Result<FlowResult> {
         self.stats.flows.fetch_add(1, Ordering::Relaxed);
+        let key = format!("{request:?}");
+        let (result, _cached) = self
+            .flow_results
+            .get_or_build(&key, || self.run_flow(request).map(Arc::new))?;
+        Ok((*result).clone())
+    }
+
+    /// Runs a flow end to end (the miss path of [`Session::flow`]).
+    fn run_flow(&self, request: &FlowRequest) -> Result<FlowResult> {
         let netlist = match &request.source {
             FlowSource::FullAdder => full_adder(),
             FlowSource::Verilog(src) => parse_verilog(src)?,

@@ -1,0 +1,236 @@
+//! Integration tests of the sharded session cache (bounded capacity, LRU
+//! eviction, disable switch, per-shard stats) and the work-stealing batch
+//! executor under skewed workloads.
+
+use cnfet::core::{GenerateOptions, Scheme, StdCellKind};
+use cnfet::{CellRequest, FlowRequest, FlowSource, ImmunityRequest, Session, SessionBuilder};
+use std::sync::Arc;
+
+/// A single-shard session is an exact LRU: touching an entry protects it
+/// from the next eviction.
+#[test]
+fn lru_evicts_least_recently_used_cell() {
+    let session = SessionBuilder::new()
+        .cache_shards(1)
+        .cache_capacity(2)
+        .build();
+    let a = CellRequest::new(StdCellKind::Inv);
+    let b = CellRequest::new(StdCellKind::Nand(2));
+    let c = CellRequest::new(StdCellKind::Nand(3));
+
+    session.generate(&a).unwrap();
+    session.generate(&b).unwrap();
+    // Touch A so B becomes least-recently-used, then overflow with C.
+    assert!(session.generate(&a).unwrap().cached);
+    session.generate(&c).unwrap();
+
+    assert_eq!(session.cached_cells(), 2, "capacity bound holds");
+    assert_eq!(session.stats().cell_evictions, 1);
+    assert!(session.generate(&a).unwrap().cached, "A was protected");
+    assert!(session.generate(&c).unwrap().cached, "C is resident");
+    assert!(
+        !session.generate(&b).unwrap().cached,
+        "B was the LRU entry and must regenerate"
+    );
+}
+
+#[test]
+fn capacity_zero_disables_caching() {
+    let session = SessionBuilder::new().cache_capacity(0).build();
+    let req = CellRequest::new(StdCellKind::Nand(3));
+
+    let first = session.generate(&req).unwrap();
+    let second = session.generate(&req).unwrap();
+    assert!(!first.cached && !second.cached, "nothing is ever cached");
+    assert!(
+        !Arc::ptr_eq(&first.cell, &second.cell),
+        "each request built its own layout"
+    );
+    assert_eq!(session.cached_cells(), 0);
+
+    let stats = session.stats();
+    assert_eq!(stats.cell_misses, 2);
+    assert_eq!(stats.cell_hits, 0);
+    assert_eq!(stats.cell_evictions, 0, "nothing stored, nothing evicted");
+}
+
+#[test]
+fn eviction_counters_aggregate_over_shards() {
+    // 4 λ-width variants × StdCellKind::ALL blow well past capacity 6.
+    let session = SessionBuilder::new()
+        .cache_shards(4)
+        .cache_capacity(6)
+        .build();
+    let mut generated = 0u64;
+    for width in [4u32, 6, 8, 10] {
+        for kind in StdCellKind::ALL {
+            session
+                .generate(&CellRequest::new(kind).options(GenerateOptions {
+                    sizing: cnfet::core::Sizing::Uniform {
+                        width_lambda: width as i64,
+                    },
+                    ..GenerateOptions::default()
+                }))
+                .unwrap();
+            generated += 1;
+        }
+    }
+
+    let cache = session.cell_cache_stats();
+    assert_eq!(cache.capacity, 6);
+    assert!(
+        cache.entries <= 6 + cache.shards.len(),
+        "bound is per-shard"
+    );
+    assert_eq!(cache.misses, generated);
+    assert!(cache.evictions > 0);
+    // Aggregates are exactly the per-shard sums.
+    assert_eq!(
+        cache.evictions,
+        cache.shards.iter().map(|s| s.evictions).sum::<u64>()
+    );
+    assert_eq!(
+        cache.entries,
+        cache.shards.iter().map(|s| s.entries).sum::<usize>()
+    );
+    assert_eq!(session.stats().cell_evictions, cache.evictions);
+}
+
+/// A cost-skewed batch (cheap inverters + heavy high-strength gates) on a
+/// forced multi-worker pool must match serial results exactly, in order.
+#[test]
+fn work_stealing_batch_matches_serial_under_skew() {
+    let mut requests: Vec<CellRequest> = (0..40)
+        .map(|i| CellRequest::new(StdCellKind::Inv).named(format!("INV_S_{i}")))
+        .collect();
+    for kind in [StdCellKind::Aoi22, StdCellKind::Oai21, StdCellKind::Nand(3)] {
+        for strength in [7, 9] {
+            requests.push(CellRequest::new(kind).strength(strength));
+        }
+    }
+    // Heavy tasks first: the classic worst case for fixed chunking.
+    requests.reverse();
+
+    let serial_session = Session::new();
+    let serial: Vec<_> = requests
+        .iter()
+        .map(|r| serial_session.generate(r).unwrap())
+        .collect();
+
+    let batch_session = SessionBuilder::new().batch_workers(4).build();
+    let batch: Vec<_> = batch_session
+        .generate_batch(&requests)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+
+    assert_eq!(serial.len(), batch.len());
+    for (s, b) in serial.iter().zip(&batch) {
+        assert_eq!(s.cell.name, b.cell.name, "results keep request order");
+        assert_eq!(s.cell.active_area_l2(), b.cell.active_area_l2());
+        assert_eq!(s.cell.width_lambda, b.cell.width_lambda);
+    }
+    assert_eq!(batch_session.stats().batches, 1);
+    assert_eq!(
+        batch_session.stats().cell_misses,
+        requests.len() as u64,
+        "every distinct request generated exactly once"
+    );
+}
+
+/// Single-flight must hold on a forced multi-worker pool: a batch of
+/// duplicates runs one generation even when four workers race for it.
+#[test]
+fn forced_workers_keep_single_flight() {
+    let session = SessionBuilder::new().batch_workers(4).build();
+    let requests = vec![CellRequest::new(StdCellKind::Aoi22); 16];
+    let results: Vec<_> = session
+        .generate_batch(&requests)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+
+    let stats = session.stats();
+    assert_eq!(stats.cell_misses, 1, "exactly one layout generation");
+    assert_eq!(stats.cell_hits, 15);
+    let first = &results[0].cell;
+    assert!(results.iter().all(|r| Arc::ptr_eq(&r.cell, first)));
+}
+
+#[test]
+fn immunity_verdicts_are_memoized() {
+    let session = Session::new();
+    let req = ImmunityRequest::certify(StdCellKind::Nand(2));
+
+    let first = session.immunity(&req).unwrap();
+    let second = session.immunity(&req).unwrap();
+    assert_eq!(first.immune, second.immune);
+
+    let stats = session.stats();
+    assert_eq!(stats.immunity_misses, 1, "engines ran once");
+    assert_eq!(stats.immunity_hits, 1);
+    // The cell itself came from the cell cache on the repeat.
+    assert_eq!(stats.cell_misses, 1);
+    assert_eq!(stats.cell_hits, 1);
+
+    // A different engine selection is a distinct verdict.
+    let mc = ImmunityRequest::monte_carlo(
+        StdCellKind::Nand(2),
+        cnfet::immunity::McOptions {
+            tubes: 200,
+            ..Default::default()
+        },
+    );
+    session.immunity(&mc).unwrap();
+    assert_eq!(session.stats().immunity_misses, 2);
+    session.immunity(&mc).unwrap();
+    assert_eq!(session.stats().immunity_hits, 2);
+}
+
+#[test]
+fn flow_results_are_memoized() {
+    let session = Session::new();
+    let req = FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme2).with_gds();
+
+    let first = session.flow(&req).unwrap();
+    let second = session.flow(&req).unwrap();
+    assert_eq!(first.placement.area_l2, second.placement.area_l2);
+    assert_eq!(first.gds, second.gds);
+
+    let stats = session.stats();
+    assert_eq!(stats.flows, 2, "both invocations counted");
+    assert_eq!(stats.flow_misses, 1, "placement/assembly ran once");
+    assert_eq!(stats.flow_hits, 1);
+
+    // A different target misses.
+    session
+        .flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1))
+        .unwrap();
+    assert_eq!(session.stats().flow_misses, 2);
+}
+
+#[test]
+fn clear_cache_drops_every_request_class() {
+    let session = Session::new();
+    session
+        .generate(&CellRequest::new(StdCellKind::Inv))
+        .unwrap();
+    session
+        .immunity(&ImmunityRequest::certify(StdCellKind::Inv))
+        .unwrap();
+    session
+        .flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1))
+        .unwrap();
+    session.clear_cache();
+
+    assert_eq!(session.cached_cells(), 0);
+    session
+        .immunity(&ImmunityRequest::certify(StdCellKind::Inv))
+        .unwrap();
+    session
+        .flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1))
+        .unwrap();
+    let stats = session.stats();
+    assert_eq!(stats.immunity_misses, 2, "verdict was dropped");
+    assert_eq!(stats.flow_misses, 2, "flow result was dropped");
+}
