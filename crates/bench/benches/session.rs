@@ -1,12 +1,15 @@
 //! Bench: the `Session` engine — cold vs cached vs batched generation of
 //! the full `StdCellKind::ALL` × scheme request matrix, the library
-//! build, a contended multi-thread hit path, and a skewed batch. This is
-//! the baseline future perf PRs (sharding, async serving) must not
-//! regress; CI gates the `cached_*`/`contended_*` samples through
-//! `check_regression`.
+//! build, a contended multi-thread hit path, a skewed batch, and a
+//! heterogeneous `submit_all` mix riding the persistent job pool. This
+//! is the baseline future perf PRs (sharding, async serving) must not
+//! regress; CI gates the `cached_*`/`contended_*`/`mixed_batch_*`
+//! samples through `check_regression`.
 
 use cnfet::core::{GenerateOptions, Scheme, StdCellKind};
-use cnfet::{CellRequest, LibraryRequest, Session};
+use cnfet::{
+    CellRequest, FlowRequest, FlowSource, ImmunityRequest, LibraryRequest, RequestKind, Session,
+};
 use cnfet_bench::harness::Harness;
 
 fn matrix() -> Vec<CellRequest> {
@@ -37,6 +40,26 @@ fn skewed(n_cheap: usize) -> Vec<CellRequest> {
     requests
 }
 
+/// A heterogeneous mix — cells, immunity verdicts, and flows interleaved
+/// — the shape of a co-optimization sweep going through `submit_all`.
+fn mixed(cells: &[CellRequest]) -> Vec<RequestKind> {
+    let mut requests = Vec::new();
+    let verdicts = StdCellKind::ALL.into_iter().map(ImmunityRequest::certify);
+    let flows = [
+        FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1),
+        FlowRequest::cmos(FlowSource::FullAdder),
+    ];
+    let mut cell_iter = cells.iter().cloned();
+    for verdict in verdicts {
+        // Interleave: two cells, one verdict.
+        requests.extend(cell_iter.by_ref().take(2).map(RequestKind::from));
+        requests.push(RequestKind::from(verdict));
+    }
+    requests.extend(cell_iter.map(RequestKind::from));
+    requests.extend(flows.into_iter().map(RequestKind::from));
+    requests
+}
+
 fn main() {
     let mut h = Harness::new("session");
     let requests = matrix();
@@ -46,7 +69,7 @@ fn main() {
     h.bench(format!("cold_serial_{n}_cells"), 50, || {
         let session = Session::new();
         for r in &requests {
-            session.generate(r).unwrap();
+            session.run(r).unwrap();
         }
         session
     });
@@ -54,25 +77,25 @@ fn main() {
     // Cached: one warm session — every request is a cache hit.
     let warm = Session::new();
     for r in &requests {
-        warm.generate(r).unwrap();
+        warm.run(r).unwrap();
     }
     h.bench(format!("cached_serial_{n}_cells"), 200, || {
         for r in &requests {
-            assert!(warm.generate(r).unwrap().cached);
+            assert!(warm.run(r).unwrap().cached);
         }
     });
 
     // Batched: a fresh session fanned out across threads.
     h.bench(format!("cold_batch_{n}_cells"), 50, || {
         let session = Session::new();
-        let results = session.generate_batch(&requests);
+        let results = session.run_batch(&requests);
         assert!(results.iter().all(|r| r.is_ok()));
         session
     });
 
     // Batched against the warm cache.
     h.bench(format!("cached_batch_{n}_cells"), 200, || {
-        warm.generate_batch(&requests)
+        warm.run_batch(&requests)
     });
 
     // Contended hit path: every thread hammers the same warm cache with
@@ -84,7 +107,7 @@ fn main() {
                 for _ in 0..threads {
                     scope.spawn(|| {
                         for r in &requests {
-                            assert!(warm.generate(r).unwrap().cached);
+                            assert!(warm.run(r).unwrap().cached);
                         }
                     });
                 }
@@ -98,25 +121,36 @@ fn main() {
     let sn = skewed_requests.len();
     h.bench(format!("skewed_batch_{sn}_cells"), 30, || {
         let session = Session::new();
-        let results = session.generate_batch(&skewed_requests);
+        let results = session.run_batch(&skewed_requests);
         assert!(results.iter().all(|r| r.is_ok()));
         session
+    });
+
+    // Mixed batch: cells + immunity verdicts + flows interleaved through
+    // the non-blocking submit_all against the warm session — measures
+    // JobHandle + pool dispatch overhead on the pure hit path.
+    let mixed_requests = mixed(&requests);
+    let mn = mixed_requests.len();
+    for r in &mixed_requests {
+        warm.run(r).unwrap();
+    }
+    h.bench(format!("mixed_batch_{mn}_reqs"), 100, || {
+        let handles = warm.submit_all(mixed_requests.iter().cloned());
+        for handle in handles {
+            handle.wait().unwrap();
+        }
     });
 
     // Library build: cold (fresh session) vs memoized.
     h.bench("library_scheme1_cold", 20, || {
         Session::new()
-            .library(&LibraryRequest::new(Scheme::Scheme1))
+            .run(&LibraryRequest::new(Scheme::Scheme1))
             .unwrap()
     });
     let warm_lib = Session::new();
-    warm_lib
-        .library(&LibraryRequest::new(Scheme::Scheme1))
-        .unwrap();
+    warm_lib.run(&LibraryRequest::new(Scheme::Scheme1)).unwrap();
     h.bench("library_scheme1_cached", 200, || {
-        warm_lib
-            .library(&LibraryRequest::new(Scheme::Scheme1))
-            .unwrap()
+        warm_lib.run(&LibraryRequest::new(Scheme::Scheme1)).unwrap()
     });
 
     h.finish();

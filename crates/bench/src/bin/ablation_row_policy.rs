@@ -47,7 +47,7 @@ fn main() {
             ]
         })
         .collect();
-    let results = session.generate_batch(&requests);
+    let results = session.run_batch(&requests);
 
     for (kind, pair) in StdCellKind::ALL.into_iter().zip(results.chunks(2)) {
         let paper = &pair[0].as_ref().expect("generates").cell;
@@ -56,7 +56,7 @@ fn main() {
             (paper.active_area_l2() - euler.active_area_l2()) / paper.active_area_l2() * 100.0;
         // The immunity request recalls the batch-cached cell.
         let immune = session
-            .immunity(&ImmunityRequest::certify(request(
+            .run(&ImmunityRequest::certify(request(
                 kind,
                 RowPolicy::FullEuler,
             )))
@@ -82,7 +82,7 @@ fn main() {
         assert!(immune, "{kind}: full Euler layout must stay immune");
     }
     assert_eq!(
-        session.stats().cell_misses,
+        session.stats().cells.misses,
         2 * StdCellKind::ALL.len() as u64,
         "certification must not regenerate"
     );

@@ -14,13 +14,13 @@ fn main() {
 
     // Area: CMOS rows vs Scheme 1 rows vs Scheme 2 compact shelves.
     let cmos = session
-        .flow(&FlowRequest::cmos(FlowSource::FullAdder))
+        .run(&FlowRequest::cmos(FlowSource::FullAdder))
         .expect("cmos placement");
     let s1 = session
-        .flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1))
+        .run(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1))
         .expect("scheme 1 placement");
     let s2 = session
-        .flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme2))
+        .run(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme2))
         .expect("scheme 2 placement");
     println!("placement                    area/λ²   width×height        utilization");
     for (name, p) in [
@@ -71,12 +71,12 @@ fn main() {
             watch_out: out.to_string(),
         };
         let cnfet = session
-            .flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1).simulate(sim.clone()))
+            .run(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1).simulate(sim.clone()))
             .expect("cnfet FA simulates")
             .metrics
             .expect("simulation requested");
         let cmos = session
-            .flow(&FlowRequest::cmos(FlowSource::FullAdder).simulate(sim))
+            .run(&FlowRequest::cmos(FlowSource::FullAdder).simulate(sim))
             .expect("cmos FA simulates")
             .metrics
             .expect("simulation requested");
@@ -106,6 +106,8 @@ fn main() {
     let stats = session.stats();
     println!(
         "(session: {} flows, {} library builds, {} library cache hits)",
-        stats.flows, stats.library_misses, stats.library_hits
+        stats.flows.requests(),
+        stats.libraries.misses,
+        stats.libraries.hits
     );
 }

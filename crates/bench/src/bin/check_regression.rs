@@ -9,9 +9,10 @@
 //! By default it reads the committed reference from
 //! `crates/bench/baselines/session.json`, the fresh run from
 //! `target/bench-baselines/session.json`, and fails (exit 1) when any
-//! gated sample — the `cached_*` / `contended_*` hit-path samples, i.e.
-//! the latencies that are pure cache/lock work and therefore meaningful
-//! to gate — is more than 25% slower than the reference.
+//! gated sample — the `cached_*` / `contended_*` / `mixed_batch_*`
+//! hit-path samples, i.e. the latencies that are pure cache/lock/pool
+//! work and therefore meaningful to gate — is more than 25% slower than
+//! the reference.
 //!
 //! The committed reference and the CI runner are different machines, so
 //! absolute nanoseconds do not transfer. Each gated sample is therefore
@@ -33,8 +34,15 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-/// Sample-name prefixes gated by default: the pure cache/lock hit paths.
-const DEFAULT_GATES: [&str; 3] = ["cached_", "contended_", "library_scheme1_cached"];
+/// Sample-name prefixes gated by default: the pure cache/lock hit paths,
+/// plus the heterogeneous `submit_all` mix (JobHandle + pool dispatch
+/// over cache hits).
+const DEFAULT_GATES: [&str; 4] = [
+    "cached_",
+    "contended_",
+    "library_scheme1_cached",
+    "mixed_batch_",
+];
 
 struct Args {
     baseline: PathBuf,

@@ -55,7 +55,7 @@ fn main() {
 
     for (label, kind, style) in cases {
         let report = session
-            .immunity(&ImmunityRequest {
+            .run(&ImmunityRequest {
                 cell: CellRequest::new(kind).options(GenerateOptions {
                     style,
                     scheme: Scheme::Scheme1,

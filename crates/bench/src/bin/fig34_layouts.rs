@@ -50,7 +50,7 @@ fn main() {
     println!("Figures 3–4 — layout generation\n");
     for (name, kind, style, sizing) in cases {
         let cell = session
-            .generate(&CellRequest::new(kind).options(GenerateOptions {
+            .run(&CellRequest::new(kind).options(GenerateOptions {
                 style,
                 scheme: Scheme::Scheme1,
                 sizing,

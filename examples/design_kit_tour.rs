@@ -13,7 +13,7 @@ use std::collections::HashMap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let session = Session::new();
-    let lib = session.library(&LibraryRequest::new(Scheme::Scheme1))?;
+    let lib = session.run(&LibraryRequest::new(Scheme::Scheme1))?;
     println!(
         "library: {} cells at the optimal 5 nm pitch",
         lib.cells.len()
@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Export the views a P&R tool would consume. A second library request
     // is free: the session memoizes it.
-    let lib = session.library(&LibraryRequest::new(Scheme::Scheme1))?;
+    let lib = session.run(&LibraryRequest::new(Scheme::Scheme1))?;
     let liberty = write_liberty(&lib, &HashMap::new());
     let lef = write_lef(&lib);
     std::fs::write("cnfet65.lib", &liberty)?;
@@ -53,9 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "session stats: {} cell generations, {} library builds, {} library hits",
-        session.stats().cell_misses,
-        session.stats().library_misses,
-        session.stats().library_hits
+        session.stats().cells.misses,
+        session.stats().libraries.misses,
+        session.stats().libraries.hits
     );
     Ok(())
 }

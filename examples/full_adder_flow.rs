@@ -20,11 +20,10 @@ fn main() -> cnfet::Result<()> {
         watch_out: "sum".to_string(),
     };
 
-    let cmos = session.flow(&FlowRequest::cmos(FlowSource::FullAdder).simulate(sim.clone()))?;
+    let cmos = session.run(&FlowRequest::cmos(FlowSource::FullAdder).simulate(sim.clone()))?;
     let s1 = session
-        .flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1).simulate(sim.clone()))?;
-    let s2 =
-        session.flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme2).with_gds())?;
+        .run(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1).simulate(sim.clone()))?;
+    let s2 = session.run(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme2).with_gds())?;
 
     let fa = &s1.netlist;
     println!(

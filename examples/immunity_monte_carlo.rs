@@ -19,7 +19,7 @@ fn main() -> cnfet::Result<()> {
     };
 
     for style in [Style::Vulnerable, Style::OldEtched, Style::NewImmune] {
-        let report = session.immunity(&ImmunityRequest {
+        let report = session.run(&ImmunityRequest {
             cell: CellRequest::new(StdCellKind::Nand(2)).options(GenerateOptions {
                 style,
                 ..GenerateOptions::default()

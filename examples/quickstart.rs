@@ -1,5 +1,6 @@
 //! Quickstart: one `Session`, the paper's NAND3 in both immune styles,
-//! area comparison, immunity verdicts, and an SVG dump.
+//! area comparison, immunity verdicts (submitted non-blocking), and an
+//! SVG dump — everything through the generic `run`/`submit` API.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -22,12 +23,12 @@ fn main() -> cnfet::Result<()> {
 
     // The compact layout of Figure 3(b): Euler path Vdd-A-Out-B-Vdd-C-Out.
     let new = session
-        .generate(&CellRequest::new(StdCellKind::Nand(3)).options(opts(Style::NewImmune)))?
+        .run(&CellRequest::new(StdCellKind::Nand(3)).options(opts(Style::NewImmune)))?
         .cell;
 
     // The prior art of Figure 3(a): etched regions + vertical gating.
     let old = session
-        .generate(&CellRequest::new(StdCellKind::Nand(3)).options(opts(Style::OldEtched)))?
+        .run(&CellRequest::new(StdCellKind::Nand(3)).options(opts(Style::OldEtched)))?
         .cell;
 
     println!("NAND3 at 4λ:");
@@ -46,32 +47,38 @@ fn main() -> cnfet::Result<()> {
 
     // Both are 100% immune to mispositioned CNTs — but only the new one
     // passes conventional design rules (no via-on-gate). The immunity
-    // requests recall the cached layouts instead of regenerating.
-    let new_report = session.immunity(&ImmunityRequest::certify(
+    // verdicts are submitted non-blocking: both JobHandles resolve on the
+    // session's work-stealing pool while this thread does other work.
+    let new_job = session.submit(ImmunityRequest::certify(
         CellRequest::new(StdCellKind::Nand(3)).options(opts(Style::NewImmune)),
-    ))?;
-    let old_report = session.immunity(&ImmunityRequest::certify(
+    ));
+    let old_job = session.submit(ImmunityRequest::certify(
         CellRequest::new(StdCellKind::Nand(3)).options(opts(Style::OldEtched)),
-    ))?;
+    ));
+    let rules = DesignRules::cnfet65();
+    let drc = (
+        check_drc(&new.cell, &rules).len(),
+        check_drc(&old.cell, &rules).len(),
+    );
+    let (new_report, old_report) = (new_job.wait()?, old_job.wait()?);
     println!(
         "  immunity: new = {}, old = {}",
         new_report.immune, old_report.immune
     );
-    let rules = DesignRules::cnfet65();
     println!(
         "  DRC violations: new = {}, old = {} (vertical gating)",
-        check_drc(&new.cell, &rules).len(),
-        check_drc(&old.cell, &rules).len()
+        drc.0, drc.1
     );
     let stats = session.stats();
     println!(
         "  session: {} generated, {} served from cache, {} evicted; \
-         immunity verdicts {} run / {} recalled",
-        stats.cell_misses,
-        stats.cell_hits,
-        stats.cell_evictions,
-        stats.immunity_misses,
-        stats.immunity_hits
+         immunity verdicts {} run / {} recalled; {} jobs submitted",
+        stats.cells.misses,
+        stats.cells.hits,
+        stats.cells.evictions,
+        stats.immunity.misses,
+        stats.immunity.hits,
+        stats.submitted
     );
     let cache = session.cell_cache_stats();
     println!(

@@ -1,13 +1,15 @@
-//! RTL-to-GDSII as one typed request: parse a structural Verilog module,
+//! RTL-to-GDSII as typed requests: parse a structural Verilog module,
 //! place it in Scheme 2, simulate it transistor-level in both
 //! technologies, and stream GDSII — the complete flow the paper's design
-//! kit enables, served by a `Session`.
+//! kit enables. Both technology targets are submitted together as one
+//! heterogeneous non-blocking batch (`Session::submit_all`), and the
+//! handles are harvested in submission order.
 //!
 //! Run with: `cargo run --release --example rtl_to_gds`
 
 use cnfet::core::Scheme;
 use cnfet::flow::parse_verilog;
-use cnfet::{FlowRequest, FlowSource, Session, SimSpec};
+use cnfet::{FlowRequest, FlowSource, RequestKind, Session, SimSpec};
 use std::collections::BTreeMap;
 
 const SRC: &str = r#"
@@ -47,13 +49,27 @@ fn main() -> cnfet::Result<()> {
         watch_out: "y".to_string(),
     };
 
-    let cnfet = session.flow(
-        &FlowRequest::cnfet(FlowSource::Verilog(SRC.to_string()), Scheme::Scheme2)
-            .simulate(sim.clone())
-            .with_gds(),
-    )?;
-    let cmos =
-        session.flow(&FlowRequest::cmos(FlowSource::Verilog(SRC.to_string())).simulate(sim))?;
+    // One non-blocking fan-out: the pool's workers run both flows while
+    // this thread is free; results come back in submission order.
+    let handles = session.submit_all([
+        RequestKind::from(
+            FlowRequest::cnfet(FlowSource::Verilog(SRC.to_string()), Scheme::Scheme2)
+                .simulate(sim.clone())
+                .with_gds(),
+        ),
+        RequestKind::from(FlowRequest::cmos(FlowSource::Verilog(SRC.to_string())).simulate(sim)),
+    ]);
+    let mut results = handles.into_iter().map(|h| h.wait());
+    let cnfet = results
+        .next()
+        .expect("two handles")?
+        .into_flow()
+        .expect("flow response");
+    let cmos = results
+        .next()
+        .expect("two handles")?
+        .into_flow()
+        .expect("flow response");
 
     println!(
         "placed: {:.0} λ² ({:.0}λ × {:.0}λ), utilization {:.0}%",

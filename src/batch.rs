@@ -19,7 +19,11 @@
 //! momentarily empty is not enough, because stolen tasks are briefly in
 //! transit between deques and must remain stealable by whichever worker
 //! frees up first.
+//!
+//! The pop/refill/steal logic itself lives in [`crate::steal`], shared
+//! with the persistent job pool behind `Session::submit`.
 
+use crate::steal;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -70,7 +74,7 @@ where
                 scope.spawn(move || {
                     let mut done: Vec<(usize, T)> = Vec::new();
                     loop {
-                        match next_task(me, workers, injector, locals, steals) {
+                        match steal::next_item(me, injector, locals, steals, || ()) {
                             Some(index) => {
                                 unclaimed.fetch_sub(1, Ordering::Relaxed);
                                 done.push((index, task(index)));
@@ -100,54 +104,6 @@ where
             .collect(),
         steals: steals.load(Ordering::Relaxed),
     }
-}
-
-/// Pops worker `me`'s next task: local deque first, then a chunk from the
-/// injector, then the back half of the fullest other deque.
-fn next_task(
-    me: usize,
-    workers: usize,
-    injector: &Mutex<VecDeque<usize>>,
-    locals: &[Mutex<VecDeque<usize>>],
-    steals: &AtomicU64,
-) -> Option<usize> {
-    if let Some(index) = locals[me].lock().expect("local deque lock").pop_front() {
-        return Some(index);
-    }
-
-    // Refill from the injector: small chunks keep the tail available for
-    // idle workers while amortizing the injector lock.
-    {
-        let mut inj = injector.lock().expect("injector lock");
-        if !inj.is_empty() {
-            let chunk = (inj.len() / (2 * workers)).max(1).min(inj.len());
-            let first = inj.pop_front().expect("non-empty injector");
-            let mut local = locals[me].lock().expect("local deque lock");
-            for _ in 1..chunk {
-                match inj.pop_front() {
-                    Some(i) => local.push_back(i),
-                    None => break,
-                }
-            }
-            return Some(first);
-        }
-    }
-
-    // Steal the back half of the fullest victim deque.
-    let victim = (0..workers)
-        .filter(|&w| w != me)
-        .max_by_key(|&w| locals[w].lock().expect("victim deque lock").len())?;
-    let mut stolen: VecDeque<usize> = {
-        let mut v = locals[victim].lock().expect("victim deque lock");
-        let keep = v.len() / 2;
-        v.split_off(keep)
-    };
-    let first = stolen.pop_front()?;
-    steals.fetch_add(1, Ordering::Relaxed);
-    if !stolen.is_empty() {
-        locals[me].lock().expect("local deque lock").extend(stolen);
-    }
-    Some(first)
 }
 
 #[cfg(test)]

@@ -51,6 +51,9 @@ pub struct ShardStats {
     /// Times a request blocked on this shard waiting for an in-flight
     /// build of its key.
     pub inflight_waits: u64,
+    /// Builds currently in flight on this shard (claimed by a builder
+    /// thread but not yet inserted or abandoned).
+    pub in_flight: usize,
 }
 
 /// A point-in-time snapshot of a whole cache: aggregate counters plus the
@@ -71,6 +74,8 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Aggregate in-flight waits.
     pub inflight_waits: u64,
+    /// Aggregate builds currently in flight.
+    pub in_flight: usize,
     /// One entry per shard, in shard order.
     pub shards: Vec<ShardStats>,
 }
@@ -128,6 +133,30 @@ impl<K, V> Shard<K, V> {
             evictions: AtomicU64::new(0),
             inflight_waits: AtomicU64::new(0),
         }
+    }
+}
+
+/// A claimed single-flight build: releases the hash from the shard's
+/// `in_flight` set and wakes the shard's waiters when dropped. Running
+/// the release on `Drop` makes the claim panic-safe — a builder that
+/// unwinds (and is caught upstream, e.g. by a pool worker) can never
+/// leave its key permanently claimed with waiters parked forever.
+struct InFlightClaim<'a, K, V> {
+    shard: &'a Shard<K, V>,
+    hash: u64,
+}
+
+impl<K, V> Drop for InFlightClaim<'_, K, V> {
+    fn drop(&mut self) {
+        // Tolerate a poisoned lock: this drop may run during a panic
+        // unwind, where a second panic would abort the process.
+        let mut state = match self.shard.state.lock() {
+            Ok(state) => state,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        state.in_flight.remove(&self.hash);
+        drop(state);
+        self.shard.ready.notify_all();
     }
 }
 
@@ -191,9 +220,12 @@ impl<K: Clone + Eq + Hash, V: Clone> ShardedCache<K, V> {
     ///
     /// The builder runs outside the shard lock, single-flight per key:
     /// misses on different keys build in parallel while duplicates wait
-    /// on their shard's condvar instead of regenerating. A failed build
-    /// releases the key so the next waiter retries; the error is
-    /// propagated to the caller that ran the builder.
+    /// on their shard's condvar instead of regenerating. A failed — or
+    /// panicking — build releases the key so the next waiter retries; an
+    /// error is propagated to the caller that ran the builder, a panic
+    /// unwinds through it (the claim is released by a drop guard, so a
+    /// panic-catching caller such as a pool worker never leaves the key
+    /// permanently claimed).
     pub(crate) fn get_or_build<E>(
         &self,
         key: &K,
@@ -228,11 +260,14 @@ impl<K: Clone + Eq + Hash, V: Clone> ShardedCache<K, V> {
         }
         state.in_flight.insert(hash);
         drop(state);
+        // From here the claim is owned by the guard: however the build
+        // ends — value, error, or panic — the hash is released and the
+        // shard's waiters are woken, exactly once.
+        let claim = InFlightClaim { shard, hash };
 
         let built = build();
 
         let mut state = shard.state.lock().expect("cache shard lock");
-        state.in_flight.remove(&hash);
         let result = match built {
             Ok(value) => {
                 state.tick += 1;
@@ -261,7 +296,7 @@ impl<K: Clone + Eq + Hash, V: Clone> ShardedCache<K, V> {
         if result.is_ok() {
             shard.misses.fetch_add(1, Ordering::Relaxed);
         }
-        shard.ready.notify_all();
+        drop(claim);
         result
     }
 
@@ -298,7 +333,11 @@ impl<K: Clone + Eq + Hash, V: Clone> ShardedCache<K, V> {
             .sum()
     }
 
-    /// Drops every resident entry; counters are kept.
+    /// Drops every resident entry; counters are kept, and so are the
+    /// in-flight claims: a build racing with the clear completes, inserts
+    /// its (post-clear) value, and releases its claim normally, so
+    /// waiters are never stranded and `in_flight` accounting returns to
+    /// zero on its own.
     pub(crate) fn clear(&self) {
         for shard in &self.shards {
             let mut state = shard.state.lock().expect("cache shard lock");
@@ -316,18 +355,24 @@ impl<K: Clone + Eq + Hash, V: Clone> ShardedCache<K, V> {
             ..CacheStats::default()
         };
         for shard in &self.shards {
+            let (entries, in_flight) = {
+                let state = shard.state.lock().expect("cache shard lock");
+                (state.len, state.in_flight.len())
+            };
             let s = ShardStats {
-                entries: shard.state.lock().expect("cache shard lock").len,
+                entries,
                 hits: shard.hits.load(Ordering::Relaxed),
                 misses: shard.misses.load(Ordering::Relaxed),
                 evictions: shard.evictions.load(Ordering::Relaxed),
                 inflight_waits: shard.inflight_waits.load(Ordering::Relaxed),
+                in_flight,
             };
             out.entries += s.entries;
             out.hits += s.hits;
             out.misses += s.misses;
             out.evictions += s.evictions;
             out.inflight_waits += s.inflight_waits;
+            out.in_flight += s.in_flight;
             out.shards.push(s);
         }
         out
@@ -389,6 +434,54 @@ mod tests {
         let cache: ShardedCache<u32, u32> = ShardedCache::new(16, 1);
         assert!(cache.get_or_build(&7, || Err::<u32, &str>("boom")).is_err());
         assert_eq!(cache.get_or_build(&7, ok(42)).unwrap(), (42, false));
+    }
+
+    #[test]
+    fn panicking_build_releases_the_key() {
+        // A pool worker catches request panics, so a panicking builder
+        // must not leave its in-flight claim behind — later requests for
+        // the same key would otherwise wait forever.
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(16, 1);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_build(&7, || -> Result<u32, &str> { panic!("builder blew up") })
+        }));
+        assert!(unwound.is_err(), "panic propagates to the builder's caller");
+        assert_eq!(cache.stats().in_flight, 0, "claim released by the guard");
+        assert_eq!(cache.get_or_build(&7, ok(42)).unwrap(), (42, false));
+    }
+
+    #[test]
+    fn clear_during_inflight_build_keeps_accounting_consistent() {
+        use std::sync::atomic::AtomicBool;
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(16, 1);
+        let release = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                cache
+                    .get_or_build(&1, || {
+                        while !release.load(Ordering::Acquire) {
+                            std::thread::yield_now();
+                        }
+                        Ok::<_, Infallible>(7)
+                    })
+                    .unwrap();
+            });
+            // Wait until the builder has claimed the key, then clear.
+            while cache.stats().in_flight == 0 {
+                std::thread::yield_now();
+            }
+            cache.clear();
+            assert_eq!(
+                cache.stats().in_flight,
+                1,
+                "clearing must not revoke an in-flight claim"
+            );
+            release.store(true, Ordering::Release);
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.in_flight, 0, "claim released after the build");
+        assert_eq!(stats.entries, 1, "the racing build landed post-clear");
+        assert_eq!(cache.get_or_build(&1, ok(9)).unwrap(), (7, true));
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub enum CnfetError {
     Verilog(crate::flow::VerilogError),
     /// A request referenced a cell the session's library does not hold.
     MissingCell(String),
+    /// A submitted job was abandoned before it produced a result: its
+    /// session shut down with the job still queued, or the request
+    /// panicked on a pool worker.
+    Canceled,
     /// Filesystem I/O failed (artifact export).
     Io(std::io::Error),
 }
@@ -50,6 +54,7 @@ impl fmt::Display for CnfetError {
             CnfetError::MissingCell(name) => {
                 write!(f, "cell `{name}` is not in the session's library")
             }
+            CnfetError::Canceled => write!(f, "job canceled before it produced a result"),
             CnfetError::Io(e) => write!(f, "io: {e}"),
         }
     }
@@ -66,6 +71,7 @@ impl std::error::Error for CnfetError {
             CnfetError::Library(e) => Some(e),
             CnfetError::Verilog(e) => Some(e),
             CnfetError::MissingCell(_) => None,
+            CnfetError::Canceled => None,
             CnfetError::Io(e) => Some(e),
         }
     }

@@ -1,0 +1,458 @@
+//! Non-blocking job submission: the persistent work-stealing pool behind
+//! [`Session::submit`](crate::Session::submit) and the [`JobHandle`] it
+//! returns.
+//!
+//! [`Session::run_batch`](crate::Session::run_batch) blocks until a whole
+//! request list finishes; serving heavy heterogeneous traffic needs the
+//! opposite shape — enqueue thousands of requests and harvest results as
+//! they land. This std-only module provides it:
+//!
+//! * [`Pool`] — a lazily-started set of worker threads popping through
+//!   the shared work-stealing core (`crate::steal`, the same injector +
+//!   per-worker-deque + steal-from-the-fullest logic the batch executor
+//!   uses), but persistent: workers park on a condvar when idle and live
+//!   as long as the session.
+//! * [`JobHandle`] — the caller's side of one submitted job: [`wait`],
+//!   [`try_get`], [`wait_timeout`], [`is_done`]. Dropping a handle never
+//!   cancels the job — the work still runs and still populates the
+//!   session cache.
+//! * [`Completion`] — the worker's side. It resolves the handle exactly
+//!   once, *even when the job never runs*: if the job is dropped unrun
+//!   (session shut down) or panics on a worker, the completion's `Drop`
+//!   resolves the handle with [`CnfetError::Canceled`] instead of
+//!   stranding a waiter.
+//!
+//! [`wait`]: JobHandle::wait
+//! [`try_get`]: JobHandle::try_get
+//! [`wait_timeout`]: JobHandle::wait_timeout
+//! [`is_done`]: JobHandle::is_done
+
+use crate::error::{CnfetError, Result};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A unit of work queued on the pool.
+pub(crate) type Job = Box<dyn FnOnce() + Send>;
+
+// ---------------------------------------------------------------------------
+// Job handles
+// ---------------------------------------------------------------------------
+
+/// One job's result slot, shared between its [`JobHandle`] and its
+/// [`Completion`].
+#[derive(Debug)]
+enum Slot<T> {
+    /// The job has not resolved yet.
+    Pending,
+    /// The job resolved; the result awaits collection.
+    Ready(Result<T>),
+    /// The result was collected (by `try_get`/`wait_timeout`/`wait`).
+    Taken,
+}
+
+#[derive(Debug)]
+struct JobState<T> {
+    slot: Mutex<Slot<T>>,
+    done: Condvar,
+}
+
+impl<T> JobState<T> {
+    /// Resolves the slot exactly once; later fills are ignored.
+    fn fill(&self, result: Result<T>) {
+        let mut slot = self.slot.lock().expect("job slot lock");
+        if matches!(*slot, Slot::Pending) {
+            *slot = Slot::Ready(result);
+        }
+        drop(slot);
+        self.done.notify_all();
+    }
+}
+
+/// The caller's side of one job submitted with
+/// [`Session::submit`](crate::Session::submit): a non-blocking future for
+/// the request's output.
+///
+/// The result is collected **exactly once** — by [`wait`](Self::wait),
+/// or by the first [`try_get`](Self::try_get) /
+/// [`wait_timeout`](Self::wait_timeout) that returns `Some`. Dropping the
+/// handle abandons the result but not the job: the work still runs and
+/// still populates the session cache for later requests.
+#[derive(Debug)]
+pub struct JobHandle<T> {
+    state: Arc<JobState<T>>,
+}
+
+impl<T> JobHandle<T> {
+    /// Whether the job has resolved (successfully, with an error, or
+    /// canceled). Non-blocking.
+    pub fn is_done(&self) -> bool {
+        !matches!(
+            *self.state.slot.lock().expect("job slot lock"),
+            Slot::Pending
+        )
+    }
+
+    /// Collects the result if the job has resolved; `None` while it is
+    /// still pending (or if the result was already collected).
+    /// Non-blocking.
+    pub fn try_get(&mut self) -> Option<Result<T>> {
+        take(&mut self.state.slot.lock().expect("job slot lock"))
+    }
+
+    /// Blocks until the job resolves and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result was already collected by an earlier
+    /// [`try_get`](Self::try_get) or [`wait_timeout`](Self::wait_timeout).
+    pub fn wait(self) -> Result<T> {
+        let mut slot = self.state.slot.lock().expect("job slot lock");
+        loop {
+            if matches!(*slot, Slot::Pending) {
+                slot = self.state.done.wait(slot).expect("job slot lock");
+                continue;
+            }
+            return take(&mut slot).expect("job result was already collected");
+        }
+    }
+
+    /// Blocks for at most `timeout` for the job to resolve. Returns the
+    /// result, or `None` if the timeout expired first (the handle stays
+    /// valid — wait again or poll later). Also returns `None` if the
+    /// result was already collected.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Result<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.state.slot.lock().expect("job slot lock");
+        loop {
+            if !matches!(*slot, Slot::Pending) {
+                return take(&mut slot);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timed_out) = self
+                .state
+                .done
+                .wait_timeout(slot, deadline - now)
+                .expect("job slot lock");
+            slot = guard;
+        }
+    }
+}
+
+/// Moves a `Ready` result out of the slot, leaving `Taken`.
+fn take<T>(slot: &mut Slot<T>) -> Option<Result<T>> {
+    if matches!(*slot, Slot::Ready(_)) {
+        match std::mem::replace(slot, Slot::Taken) {
+            Slot::Ready(result) => Some(result),
+            _ => unreachable!("just matched Ready"),
+        }
+    } else {
+        None
+    }
+}
+
+/// The worker's side of one job: resolves the paired [`JobHandle`]
+/// exactly once. If dropped unresolved — the job was discarded unrun at
+/// session shutdown, or the request panicked — the handle resolves to
+/// [`CnfetError::Canceled`] so no waiter is ever stranded.
+#[derive(Debug)]
+pub(crate) struct Completion<T> {
+    state: Option<Arc<JobState<T>>>,
+}
+
+impl<T> Completion<T> {
+    /// Resolves the handle with the job's outcome.
+    pub(crate) fn complete(mut self, result: Result<T>) {
+        if let Some(state) = self.state.take() {
+            state.fill(result);
+        }
+    }
+}
+
+impl<T> Drop for Completion<T> {
+    fn drop(&mut self) {
+        if let Some(state) = self.state.take() {
+            state.fill(Err(CnfetError::Canceled));
+        }
+    }
+}
+
+/// A fresh completion/handle pair for one job.
+pub(crate) fn job_channel<T>() -> (Completion<T>, JobHandle<T>) {
+    let state = Arc::new(JobState {
+        slot: Mutex::new(Slot::Pending),
+        done: Condvar::new(),
+    });
+    (
+        Completion {
+            state: Some(state.clone()),
+        },
+        JobHandle { state },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+/// Backstop interval after which a parked worker rescans for stealable
+/// work. Wakeups are event-driven — submissions and steal/refill residue
+/// notify the condvar, and a worker scans every deque before parking —
+/// so this only papers over the one unsynchronized window (items in
+/// transit between deques at the exact park instant) and can be long.
+const IDLE_RESCAN: Duration = Duration::from_millis(250);
+
+struct PoolShared {
+    injector: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    locals: Vec<Mutex<VecDeque<Job>>>,
+    steals: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// The persistent work-stealing executor of a session's submitted jobs.
+/// Started lazily on the first `submit`; shut down (draining the queue as
+/// cancellations) when the session's last handle drops.
+pub(crate) struct Pool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.workers.len())
+            .field("steals", &self.steals())
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Starts `workers` (at least one) parked worker threads.
+    pub(crate) fn new(workers: usize) -> Pool {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            injector: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            steals: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|me| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("cnfet-pool-{me}"))
+                    .spawn(move || worker(&shared, me))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Enqueues one job and wakes a parked worker.
+    pub(crate) fn submit(&self, job: Job) {
+        self.shared
+            .injector
+            .lock()
+            .expect("pool injector lock")
+            .push_back(job);
+        self.shared.available.notify_one();
+    }
+
+    /// Enqueues a batch under one injector lock and wakes every parked
+    /// worker, so a heterogeneous fan-out starts on all threads at once.
+    pub(crate) fn submit_many(&self, jobs: impl IntoIterator<Item = Job>) {
+        self.shared
+            .injector
+            .lock()
+            .expect("pool injector lock")
+            .extend(jobs);
+        self.shared.available.notify_all();
+    }
+
+    /// Deque-to-deque steal operations performed so far.
+    pub(crate) fn steals(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Pool {
+    /// Signals shutdown and joins the workers. Jobs still queued are
+    /// popped by the draining workers, whose session upgrade fails, so
+    /// every outstanding [`JobHandle`] resolves to
+    /// [`CnfetError::Canceled`] rather than hanging.
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Lock-and-release before notifying: a worker between its
+        // shutdown check and its park holds the injector lock, so this
+        // handshake guarantees it is either not yet parked (and will see
+        // the flag) or parked (and receives the notification).
+        drop(self.shared.injector.lock().expect("pool injector lock"));
+        self.shared.available.notify_all();
+        let current = std::thread::current().id();
+        for handle in self.workers.drain(..) {
+            // A job holding the last live reference to its session drops
+            // the pool from inside a worker thread; joining that thread
+            // from itself would deadlock — detach it instead (it exits on
+            // its own once it observes the shutdown flag).
+            if handle.thread().id() == current {
+                continue;
+            }
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker: run everything reachable through the shared steal core
+/// ([`crate::steal`]: local deque → injector chunk → steal-from-the-
+/// fullest), then park until new work or shutdown. Refill/steal residue
+/// notifies the condvar so parked peers wake to steal it.
+fn worker(shared: &PoolShared, me: usize) {
+    loop {
+        while let Some(job) =
+            crate::steal::next_item(me, &shared.injector, &shared.locals, &shared.steals, || {
+                shared.available.notify_all()
+            })
+        {
+            // A panicking request must not kill the worker; the job's
+            // Completion resolves the handle to Canceled while unwinding.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let queue = shared.injector.lock().expect("pool injector lock");
+        // Park only if there is truly nothing anywhere. Residue is
+        // pushed under the injector lock (refill) or notified after the
+        // push (steal), so scanning the deques while holding the
+        // injector lock closes the lost-wakeup races; IDLE_RESCAN
+        // backstops the remaining in-transit window.
+        let nothing_to_do = queue.is_empty()
+            && !shared.shutdown.load(Ordering::Acquire)
+            && shared
+                .locals
+                .iter()
+                .all(|local| local.lock().expect("local deque lock").is_empty());
+        if nothing_to_do {
+            let _ = shared
+                .available
+                .wait_timeout(queue, IDLE_RESCAN)
+                .expect("pool injector lock");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn jobs_resolve_handles() {
+        let pool = Pool::new(2);
+        let handles: Vec<_> = (0..32)
+            .map(|i| {
+                let (completion, handle) = job_channel::<usize>();
+                pool.submit(Box::new(move || completion.complete(Ok(i * 2))));
+                handle
+            })
+            .collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            assert_eq!(handle.wait().unwrap(), i * 2);
+        }
+    }
+
+    #[test]
+    fn dropped_unrun_jobs_cancel_their_handles() {
+        let (completion, handle) = job_channel::<u32>();
+        let job: Job = Box::new(move || completion.complete(Ok(1)));
+        drop(job);
+        assert!(matches!(handle.wait(), Err(CnfetError::Canceled)));
+    }
+
+    #[test]
+    fn panicking_job_cancels_instead_of_stranding() {
+        let pool = Pool::new(1);
+        let (completion, handle) = job_channel::<u32>();
+        pool.submit(Box::new(move || {
+            let _keep = &completion;
+            panic!("request blew up");
+        }));
+        assert!(matches!(handle.wait(), Err(CnfetError::Canceled)));
+        // The worker survived the panic and still serves jobs.
+        let (completion, handle) = job_channel::<u32>();
+        pool.submit(Box::new(move || completion.complete(Ok(7))));
+        assert_eq!(handle.wait().unwrap(), 7);
+    }
+
+    #[test]
+    fn try_get_and_timeout_semantics() {
+        let pool = Pool::new(1);
+        let gate = Arc::new(AtomicUsize::new(0));
+        let (completion, mut handle) = job_channel::<u32>();
+        let worker_gate = gate.clone();
+        pool.submit(Box::new(move || {
+            while worker_gate.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+            completion.complete(Ok(42));
+        }));
+        assert!(!handle.is_done());
+        assert!(handle.try_get().is_none(), "pending → None");
+        assert!(
+            handle.wait_timeout(Duration::from_millis(5)).is_none(),
+            "timeout expires while the job is gated"
+        );
+        gate.store(1, Ordering::Release);
+        assert_eq!(
+            handle
+                .wait_timeout(Duration::from_secs(30))
+                .expect("resolves once released")
+                .unwrap(),
+            42
+        );
+        assert!(handle.is_done());
+        assert!(handle.try_get().is_none(), "result collected exactly once");
+    }
+
+    #[test]
+    fn pool_drop_cancels_queued_jobs() {
+        let pool = Pool::new(1);
+        let gate = Arc::new(AtomicUsize::new(0));
+        let worker_gate = gate.clone();
+        let (running, running_handle) = job_channel::<u32>();
+        let started = Arc::new(AtomicUsize::new(0));
+        let started_flag = started.clone();
+        pool.submit(Box::new(move || {
+            started_flag.store(1, Ordering::Release);
+            while worker_gate.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+            running.complete(Ok(1));
+        }));
+        while started.load(Ordering::Acquire) == 0 {
+            std::thread::yield_now();
+        }
+        // Queued behind the gated job; the pool drops before it runs.
+        let (queued, queued_handle) = job_channel::<u32>();
+        pool.submit(Box::new(move || queued.complete(Ok(2))));
+        gate.store(1, Ordering::Release);
+        drop(pool);
+        assert_eq!(running_handle.wait().unwrap(), 1, "in-flight job finished");
+        // The queued job either ran before shutdown was observed or was
+        // discarded and canceled — it must resolve either way.
+        match queued_handle.wait() {
+            Ok(2) | Err(CnfetError::Canceled) => {}
+            other => panic!("queued job resolved unexpectedly: {other:?}"),
+        }
+    }
+}

@@ -8,20 +8,31 @@
 //!
 //! The front door of the stack is [`Session`]: build one from a
 //! [`SessionBuilder`] (design rules, device model, scheme/style/sizing
-//! defaults) and feed it typed requests. Cell layouts are memoized by
-//! their complete generation input, so repeated requests — the shape of
-//! any co-optimization sweep — cost one generation plus
-//! [`Arc`](std::sync::Arc) clones,
-//! and [`Session::generate_batch`] fans request lists out across threads.
-//! All failures converge on one hierarchy, [`CnfetError`], with a
-//! workspace-wide [`Result`] alias.
+//! defaults) and feed it typed requests. Every request kind implements
+//! the [`SessionRequest`] trait, and one generic entry point services
+//! them all: [`Session::run`]. Results are memoized by their complete
+//! generation input, so repeated requests — the shape of any
+//! co-optimization sweep — cost one execution plus
+//! [`Arc`](std::sync::Arc) clones. [`Session::run_batch`] fans a request
+//! list out across threads, and [`Session::submit`] /
+//! [`Session::submit_all`] enqueue work **non-blocking** on a persistent
+//! work-stealing pool, returning [`JobHandle`]s (heterogeneous mixes go
+//! through [`RequestKind`]). All failures converge on one hierarchy,
+//! [`CnfetError`], with a workspace-wide [`Result`] alias.
 //!
-//! | Request | Result | What runs |
+//! | Request | `run` output | What runs |
 //! |---|---|---|
 //! | [`CellRequest`] | [`CellResult`] | the compact immune layout generator |
 //! | [`LibraryRequest`] | [`dk::CellLibrary`] | the full function × strength library |
 //! | [`ImmunityRequest`] | [`ImmunityReport`] | certification and/or Monte-Carlo |
 //! | [`FlowRequest`] | [`FlowResult`] | place → simulate → GDSII |
+//! | [`RequestKind`] (any mix) | [`ResponseKind`] | dispatch to the above |
+//!
+//! The per-kind methods of earlier releases (`Session::generate`,
+//! `::library`, `::immunity`, `::flow`, `::generate_batch`) are
+//! deprecated one-line wrappers over `run`/`run_batch` and will be
+//! removed after one release — migrate `session.generate(&r)` to
+//! `session.run(&r)` and so on.
 //!
 //! # Quickstart
 //!
@@ -32,13 +43,17 @@
 //! let session = Session::new();
 //!
 //! // The paper's Figure 3(b): a NAND3 laid out along an Euler path.
-//! let nand3 = session.generate(&CellRequest::new(StdCellKind::Nand(3)))?;
+//! let nand3 = session.run(&CellRequest::new(StdCellKind::Nand(3)))?;
 //! assert_eq!(nand3.cell.pun_active_area_l2, 120.0); // 30λ × 4λ
 //!
-//! // 100% misposition-immune, and the second request is a cache hit.
-//! let report = session.immunity(&ImmunityRequest::certify(StdCellKind::Nand(3)))?;
+//! // 100% misposition-immune, certified without regenerating the cell.
+//! let report = session.run(&ImmunityRequest::certify(StdCellKind::Nand(3)))?;
 //! assert!(report.immune);
-//! assert_eq!(session.stats().cell_hits, 1);
+//! assert_eq!(session.stats().cells.hits, 1);
+//!
+//! // Non-blocking: a JobHandle resolves on the session's job pool.
+//! let job = session.submit(CellRequest::new(StdCellKind::Nand(3)));
+//! assert!(job.wait()?.cached);
 //! # Ok::<(), cnfet::CnfetError>(())
 //! ```
 //!
@@ -58,12 +73,12 @@
 //!   Liberty/LEF/GDS;
 //! * [`flow`] — logic-to-GDSII: synthesis, placement, simulation, assembly.
 //!
-//! Under the hood every request class (cells, libraries, immunity
-//! verdicts, flow results) is memoized by a sharded, bounded,
-//! single-flight LRU cache ([`cache`]) — tune it with
+//! Under the hood every request class ([`RequestClass`]: cells,
+//! libraries, immunity verdicts, flow results) is memoized by its own
+//! sharded, bounded, single-flight LRU cache ([`cache`]) — tune it with
 //! [`SessionBuilder::cache_capacity`] and
-//! [`SessionBuilder::cache_shards`] — and batches run on a std-only
-//! work-stealing executor. The per-crate free functions
+//! [`SessionBuilder::cache_shards`] — and batches and submitted jobs run
+//! on std-only work-stealing executors. The per-crate free functions
 //! ([`core::generate_cell`], `dk::build_library`, …) remain available
 //! for one-shot use; the deprecated PR-1 shims that rebuilt state on
 //! every call (`dk::DesignKit::build_library`, `flow::place_cnfet`, …)
@@ -81,12 +96,17 @@ pub use cnfet_spice as spice;
 mod batch;
 pub mod cache;
 mod error;
+mod jobs;
+mod request;
 mod session;
+mod steal;
 
 pub use cache::{CacheStats, ShardStats};
 pub use error::{CnfetError, Result};
+pub use jobs::JobHandle;
+pub use request::{CacheKey, RequestClass, RequestKind, ResponseKind, SessionRequest};
 pub use session::{
     CellRequest, CellResult, FlowRequest, FlowResult, FlowSource, FlowTarget, ImmunityEngine,
-    ImmunityReport, ImmunityRequest, LibraryRequest, Session, SessionBuilder, SessionStats,
-    SimSpec,
+    ImmunityReport, ImmunityRequest, LibraryRequest, RequestStats, Session, SessionBuilder,
+    SessionStats, SimSpec,
 };

@@ -1,0 +1,558 @@
+//! The [`SessionRequest`] trait: one generic seam for every request the
+//! [`Session`](crate::Session) engine can service.
+//!
+//! PR 1 gave the session four hand-plumbed entry points (`generate`,
+//! `library`, `immunity`, `flow`), each re-implementing cache-key
+//! construction and memoization, and only cells could fan out through the
+//! batch executor. This module retires that shape: every request kind —
+//! [`CellRequest`], [`LibraryRequest`], [`ImmunityRequest`],
+//! [`FlowRequest`] — implements [`SessionRequest`], and memoization,
+//! single-flight, and stats accounting live once, in the generic
+//! [`Session::run`](crate::Session::run).
+//!
+//! The trait has three hooks:
+//!
+//! * [`SessionRequest::cache_key`] — the request's complete memoization
+//!   input as a [`CacheKey`], or `None` for requests that must not be
+//!   cached at this level (the [`RequestKind`] dispatch wrapper returns
+//!   `None` because the inner request memoizes itself);
+//! * [`SessionRequest::execute`] — the miss path: the actual work, run
+//!   single-flight per key outside the cache locks;
+//! * [`SessionRequest::annotate`] — a post-cache touch-up applied to
+//!   every result (cells use it to set [`CellResult::cached`]).
+//!
+//! Heterogeneous mixes go through [`RequestKind`] (an enum over all four
+//! request kinds) and come back as [`ResponseKind`] — the currency of
+//! [`Session::submit_all`](crate::Session::submit_all).
+//!
+//! The trait is sealed: the set of request kinds is fixed per release, so
+//! [`CacheKey`] can stay opaque and the session can hold exactly one
+//! cache per [`RequestClass`].
+
+use crate::core::generate_from_networks;
+use crate::dk::{self, CellLibrary};
+use crate::error::{CnfetError, Result};
+use crate::flow::{
+    assemble_gds_with, full_adder, parse_verilog, place_cmos_with, place_cnfet_with,
+    simulate_netlist_with, Tech,
+};
+use crate::immunity::{certify, simulate};
+use crate::session::{
+    CellKey, CellRequest, CellResult, FlowRequest, FlowResult, FlowSource, FlowTarget,
+    ImmunityEngine, ImmunityReport, ImmunityRequest, LibraryRequest, Session,
+};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Request classes and cache keys
+// ---------------------------------------------------------------------------
+
+/// The four request kinds a session services, each with its own
+/// memoization cache and per-kind counters in
+/// [`SessionStats`](crate::SessionStats).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RequestClass {
+    /// One standard-cell layout ([`CellRequest`]).
+    Cell,
+    /// A full standard-cell library ([`LibraryRequest`]).
+    Library,
+    /// A mispositioned-CNT immunity verdict ([`ImmunityRequest`]).
+    Immunity,
+    /// A logic-to-GDSII flow run ([`FlowRequest`]).
+    Flow,
+}
+
+impl RequestClass {
+    /// Every request class, in cache order.
+    pub const ALL: [RequestClass; 4] = [
+        RequestClass::Cell,
+        RequestClass::Library,
+        RequestClass::Immunity,
+        RequestClass::Flow,
+    ];
+
+    /// Stable index of this class into the session's cache array.
+    pub(crate) fn index(self) -> usize {
+        match self {
+            RequestClass::Cell => 0,
+            RequestClass::Library => 1,
+            RequestClass::Immunity => 2,
+            RequestClass::Flow => 3,
+        }
+    }
+
+    /// Human-readable class name (`"cell"`, `"library"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestClass::Cell => "cell",
+            RequestClass::Library => "library",
+            RequestClass::Immunity => "immunity",
+            RequestClass::Flow => "flow",
+        }
+    }
+}
+
+/// A request's complete memoization input: which cache it lives in plus
+/// everything that distinguishes two non-interchangeable requests of that
+/// class. Two requests with equal keys are served the same cached result.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey(pub(crate) KeyInner);
+
+/// The class-tagged key payload. Each variant belongs to exactly one
+/// request class — the tag is what lets all four caches share one value
+/// representation without keys of different kinds ever colliding.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum KeyInner {
+    /// Cells: the full generation input (see [`CellKey`]).
+    Cell(CellKey),
+    /// Libraries: the request itself (scheme) is the complete input.
+    Library(LibraryRequest),
+    /// Immunity: the analyzed cell's key plus a canonical rendering of
+    /// the engine selection (`McOptions` holds floats, so the engine is
+    /// keyed by its exact `Debug` form — equal options render equally,
+    /// distinct options render distinctly).
+    Immunity { cell: CellKey, engine: String },
+    /// Flows: the request's canonical `Debug` rendering, which covers
+    /// source, target, simulation spec and GDS flag.
+    Flow(String),
+}
+
+impl CacheKey {
+    /// Which request class (and therefore which session cache) this key
+    /// belongs to.
+    pub fn class(&self) -> RequestClass {
+        match self.0 {
+            KeyInner::Cell(_) => RequestClass::Cell,
+            KeyInner::Library(_) => RequestClass::Library,
+            KeyInner::Immunity { .. } => RequestClass::Immunity,
+            KeyInner::Flow(_) => RequestClass::Flow,
+        }
+    }
+}
+
+mod sealed {
+    /// Seals [`SessionRequest`](super::SessionRequest): the request-kind
+    /// set is fixed per release so cache keys stay class-exact.
+    pub trait Sealed {}
+}
+
+// ---------------------------------------------------------------------------
+// The trait
+// ---------------------------------------------------------------------------
+
+/// A typed request the [`Session`] engine can service generically.
+///
+/// Implementations define where a result is memoized ([`cache_key`]) and
+/// how it is produced on a miss ([`execute`]); the session supplies the
+/// rest — sharded caching, per-key single-flight, stats accounting, batch
+/// fan-out ([`Session::run_batch`](crate::Session::run_batch)) and
+/// non-blocking submission ([`Session::submit`](crate::Session::submit)).
+///
+/// This trait is sealed; the implementors are [`CellRequest`],
+/// [`LibraryRequest`], [`ImmunityRequest`], [`FlowRequest`] and the
+/// heterogeneous [`RequestKind`] wrapper.
+///
+/// [`cache_key`]: SessionRequest::cache_key
+/// [`execute`]: SessionRequest::execute
+pub trait SessionRequest: sealed::Sealed {
+    /// What the request resolves to. Outputs are cloned out of the cache
+    /// on every hit, so they are cheap handles ([`Arc`]-backed where the
+    /// payload is large).
+    type Output: Clone + Send + Sync + 'static;
+
+    /// The complete memoization input of this request, or `None` when
+    /// the request must not be cached under its own key (dispatch
+    /// wrappers whose inner request memoizes itself). Requests that
+    /// resolve session defaults (a [`CellRequest`] with `options: None`)
+    /// fold the resolved defaults into the key, so implicit and explicit
+    /// defaults share one entry.
+    fn cache_key(&self, session: &Session) -> Option<CacheKey>;
+
+    /// The miss path: performs the actual work. Runs outside the cache
+    /// shard locks, single-flight per key — concurrent requests for the
+    /// same key run one `execute`; the rest wait and hit.
+    fn execute(&self, session: &Session) -> Result<Self::Output>;
+
+    /// Post-cache touch-up applied to every result of
+    /// [`Session::run`](crate::Session::run), with `cached` telling
+    /// whether the value came from an earlier (or concurrent) build.
+    /// The default keeps the output unchanged.
+    fn annotate(output: Self::Output, cached: bool) -> Self::Output {
+        let _ = cached;
+        output
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The four request kinds
+// ---------------------------------------------------------------------------
+
+impl sealed::Sealed for CellRequest {}
+
+impl SessionRequest for CellRequest {
+    type Output = CellResult;
+
+    fn cache_key(&self, session: &Session) -> Option<CacheKey> {
+        Some(CacheKey(KeyInner::Cell(session.catalog_key(self).0)))
+    }
+
+    fn execute(&self, session: &Session) -> Result<CellResult> {
+        let opts = session.resolve_options(self);
+        let strength = self.strength.max(1);
+        let mut cell = if strength <= 1 {
+            crate::core::generate_cell(self.kind, &opts)?
+        } else {
+            let (pdn, pun, vars) = dk::fingered_networks(self.kind, strength);
+            let name = self
+                .name
+                .clone()
+                .unwrap_or_else(|| CellLibrary::cell_name(self.kind, strength));
+            generate_from_networks(name, self.kind, pdn, pun, vars, &opts)?
+        };
+        if let Some(name) = &self.name {
+            cell.name = name.clone();
+        }
+        Ok(CellResult {
+            cell: Arc::new(cell),
+            cached: false,
+        })
+    }
+
+    fn annotate(mut output: CellResult, cached: bool) -> CellResult {
+        output.cached = cached;
+        output
+    }
+}
+
+impl sealed::Sealed for LibraryRequest {}
+
+impl SessionRequest for LibraryRequest {
+    type Output = Arc<CellLibrary>;
+
+    fn cache_key(&self, _session: &Session) -> Option<CacheKey> {
+        Some(CacheKey(KeyInner::Library(*self)))
+    }
+
+    /// Builds the full function × strength matrix of the session's kit,
+    /// every layout drawn through the session's cell cache.
+    fn execute(&self, session: &Session) -> Result<Arc<CellLibrary>> {
+        let opts = dk::library_options(session.kit(), self.scheme);
+        let built = dk::build_library_with(session.kit(), self.scheme, |kind, strength| {
+            let req = CellRequest {
+                kind,
+                strength,
+                options: Some(opts.clone()),
+                name: Some(CellLibrary::cell_name(kind, strength)),
+            };
+            match session.run(&req) {
+                Ok(result) => Ok(result.cell),
+                Err(CnfetError::Generate(e)) => Err(e),
+                Err(other) => {
+                    unreachable!("cell generation only fails with GenerateError: {other}")
+                }
+            }
+        })?;
+        Ok(Arc::new(built))
+    }
+}
+
+impl sealed::Sealed for ImmunityRequest {}
+
+impl SessionRequest for ImmunityRequest {
+    type Output = ImmunityReport;
+
+    fn cache_key(&self, session: &Session) -> Option<CacheKey> {
+        Some(CacheKey(KeyInner::Immunity {
+            cell: session.catalog_key(&self.cell).0,
+            engine: format!("{:?}", self.engine),
+        }))
+    }
+
+    /// Generates (or recalls) the cell through the session, then runs the
+    /// requested engine(s). The whole report is memoized, so repeating an
+    /// analysis (certification or a deterministic seeded Monte-Carlo) is
+    /// a pure immunity-cache hit that never touches the cell cache.
+    fn execute(&self, session: &Session) -> Result<ImmunityReport> {
+        let cell = session.run(&self.cell)?.cell;
+        let (cert, mc) = match &self.engine {
+            ImmunityEngine::Certify => (Some(certify(&cell.semantics)), None),
+            ImmunityEngine::MonteCarlo(opts) => (None, Some(simulate(&cell.semantics, opts))),
+            ImmunityEngine::Both(opts) => (
+                Some(certify(&cell.semantics)),
+                Some(simulate(&cell.semantics, opts)),
+            ),
+        };
+        let immune =
+            cert.as_ref().is_none_or(|c| c.immune) && mc.as_ref().is_none_or(|m| m.failures == 0);
+        Ok(ImmunityReport {
+            cell,
+            immune,
+            cert,
+            mc,
+        })
+    }
+}
+
+impl sealed::Sealed for FlowRequest {}
+
+impl SessionRequest for FlowRequest {
+    type Output = FlowResult;
+
+    fn cache_key(&self, _session: &Session) -> Option<CacheKey> {
+        Some(CacheKey(KeyInner::Flow(format!("{self:?}"))))
+    }
+
+    /// Runs the flow end to end: netlist → placement → optional
+    /// transistor-level simulation → optional GDSII, with the library
+    /// build served from the session cache.
+    fn execute(&self, session: &Session) -> Result<FlowResult> {
+        let netlist = match &self.source {
+            FlowSource::FullAdder => full_adder(),
+            FlowSource::Verilog(src) => parse_verilog(src)?,
+            FlowSource::Netlist(n) => n.clone(),
+        };
+        let scheme = match self.target {
+            FlowTarget::Cnfet(scheme) => scheme,
+            // The CMOS baseline derives its widths from the Scheme-1
+            // CNFET library (identical λ rules).
+            FlowTarget::Cmos => crate::core::Scheme::Scheme1,
+        };
+        let lib = session.run(&LibraryRequest::new(scheme))?;
+        for inst in &netlist.instances {
+            let name = CellLibrary::cell_name(inst.kind, inst.strength);
+            if lib.cell(&name).is_none() {
+                return Err(CnfetError::MissingCell(name));
+            }
+        }
+        let placement = match self.target {
+            FlowTarget::Cnfet(_) => place_cnfet_with(&netlist, &lib),
+            FlowTarget::Cmos => place_cmos_with(session.kit(), &netlist, &lib),
+        };
+        let metrics = match &self.sim {
+            Some(spec) => {
+                let tech = match self.target {
+                    FlowTarget::Cnfet(_) => Tech::Cnfet,
+                    FlowTarget::Cmos => Tech::Cmos,
+                };
+                Some(simulate_netlist_with(
+                    session.kit(),
+                    &netlist,
+                    &placement,
+                    tech,
+                    &spec.toggle_in,
+                    &spec.ties,
+                    &spec.watch_out,
+                )?)
+            }
+            None => None,
+        };
+        let gds = if self.emit_gds && matches!(self.target, FlowTarget::Cnfet(_)) {
+            Some(assemble_gds_with(&netlist.name, &placement, &lib))
+        } else {
+            None
+        };
+        Ok(FlowResult {
+            netlist,
+            placement,
+            metrics,
+            gds,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Custom cells (explicit pull networks)
+// ---------------------------------------------------------------------------
+
+/// The request behind
+/// [`Session::generate_custom`](crate::Session::generate_custom): a cell
+/// from explicit pull networks, memoized like any catalog request.
+#[derive(Clone, Debug)]
+pub(crate) struct CustomCellRequest {
+    pub(crate) name: String,
+    pub(crate) pdn: crate::logic::SpNetwork,
+    pub(crate) pun: crate::logic::SpNetwork,
+    pub(crate) vars: crate::logic::VarTable,
+    pub(crate) options: Option<crate::core::GenerateOptions>,
+}
+
+impl sealed::Sealed for CustomCellRequest {}
+
+impl SessionRequest for CustomCellRequest {
+    type Output = CellResult;
+
+    fn cache_key(&self, session: &Session) -> Option<CacheKey> {
+        let opts = self
+            .options
+            .clone()
+            .unwrap_or_else(|| session.defaults().clone());
+        Some(CacheKey(KeyInner::Cell(CellKey::Custom {
+            name: self.name.clone(),
+            pdn: self.pdn.clone(),
+            pun: self.pun.clone(),
+            var_names: self.vars.iter().map(|(_, n)| n.to_string()).collect(),
+            opts,
+        })))
+    }
+
+    fn execute(&self, session: &Session) -> Result<CellResult> {
+        let opts = self
+            .options
+            .clone()
+            .unwrap_or_else(|| session.defaults().clone());
+        let cell = generate_from_networks(
+            self.name.clone(),
+            crate::core::StdCellKind::Inv,
+            self.pdn.clone(),
+            self.pun.clone(),
+            self.vars.clone(),
+            &opts,
+        )?;
+        Ok(CellResult {
+            cell: Arc::new(cell),
+            cached: false,
+        })
+    }
+
+    fn annotate(mut output: CellResult, cached: bool) -> CellResult {
+        output.cached = cached;
+        output
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heterogeneous requests
+// ---------------------------------------------------------------------------
+
+/// Any one of the four request kinds, for heterogeneous mixes: a list of
+/// `RequestKind`s is what [`Session::submit_all`](crate::Session::submit_all)
+/// fans out across the job pool. Dispatch is free of double caching —
+/// the wrapper itself is never memoized; the inner request is, under its
+/// own key, so a wrapped and an unwrapped request share one cache entry.
+#[derive(Clone, Debug)]
+pub enum RequestKind {
+    /// A [`CellRequest`].
+    Cell(CellRequest),
+    /// A [`LibraryRequest`].
+    Library(LibraryRequest),
+    /// An [`ImmunityRequest`].
+    Immunity(ImmunityRequest),
+    /// A [`FlowRequest`].
+    Flow(FlowRequest),
+}
+
+impl RequestKind {
+    /// Which request class this wraps.
+    pub fn class(&self) -> RequestClass {
+        match self {
+            RequestKind::Cell(_) => RequestClass::Cell,
+            RequestKind::Library(_) => RequestClass::Library,
+            RequestKind::Immunity(_) => RequestClass::Immunity,
+            RequestKind::Flow(_) => RequestClass::Flow,
+        }
+    }
+}
+
+impl From<CellRequest> for RequestKind {
+    fn from(r: CellRequest) -> RequestKind {
+        RequestKind::Cell(r)
+    }
+}
+
+impl From<LibraryRequest> for RequestKind {
+    fn from(r: LibraryRequest) -> RequestKind {
+        RequestKind::Library(r)
+    }
+}
+
+impl From<ImmunityRequest> for RequestKind {
+    fn from(r: ImmunityRequest) -> RequestKind {
+        RequestKind::Immunity(r)
+    }
+}
+
+impl From<FlowRequest> for RequestKind {
+    fn from(r: FlowRequest) -> RequestKind {
+        RequestKind::Flow(r)
+    }
+}
+
+/// The answer to a [`RequestKind`]: the matching result kind, one variant
+/// per request class.
+#[derive(Clone, Debug)]
+pub enum ResponseKind {
+    /// Result of a [`RequestKind::Cell`].
+    Cell(CellResult),
+    /// Result of a [`RequestKind::Library`].
+    Library(Arc<CellLibrary>),
+    /// Result of a [`RequestKind::Immunity`].
+    Immunity(ImmunityReport),
+    /// Result of a [`RequestKind::Flow`].
+    Flow(FlowResult),
+}
+
+impl ResponseKind {
+    /// Which request class produced this response.
+    pub fn class(&self) -> RequestClass {
+        match self {
+            ResponseKind::Cell(_) => RequestClass::Cell,
+            ResponseKind::Library(_) => RequestClass::Library,
+            ResponseKind::Immunity(_) => RequestClass::Immunity,
+            ResponseKind::Flow(_) => RequestClass::Flow,
+        }
+    }
+
+    /// The cell result, if this is a [`ResponseKind::Cell`].
+    pub fn into_cell(self) -> Option<CellResult> {
+        match self {
+            ResponseKind::Cell(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The library, if this is a [`ResponseKind::Library`].
+    pub fn into_library(self) -> Option<Arc<CellLibrary>> {
+        match self {
+            ResponseKind::Library(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The immunity report, if this is a [`ResponseKind::Immunity`].
+    pub fn into_immunity(self) -> Option<ImmunityReport> {
+        match self {
+            ResponseKind::Immunity(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The flow result, if this is a [`ResponseKind::Flow`].
+    pub fn into_flow(self) -> Option<FlowResult> {
+        match self {
+            ResponseKind::Flow(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl sealed::Sealed for RequestKind {}
+
+impl SessionRequest for RequestKind {
+    type Output = ResponseKind;
+
+    /// `None`: the wrapper must not cache under its own key — the inner
+    /// request memoizes itself, so wrapped and unwrapped requests share
+    /// one entry (and one value type) per key.
+    fn cache_key(&self, _session: &Session) -> Option<CacheKey> {
+        None
+    }
+
+    fn execute(&self, session: &Session) -> Result<ResponseKind> {
+        Ok(match self {
+            RequestKind::Cell(r) => ResponseKind::Cell(session.run(r)?),
+            RequestKind::Library(r) => ResponseKind::Library(session.run(r)?),
+            RequestKind::Immunity(r) => ResponseKind::Immunity(session.run(r)?),
+            RequestKind::Flow(r) => ResponseKind::Flow(session.run(r)?),
+        })
+    }
+}

@@ -1,56 +1,75 @@
 //! The `Session` engine: one front door for the whole CNFET stack.
 //!
 //! A [`Session`] owns a design kit and default generation options, and
-//! services typed requests — [`CellRequest`] → [`CellResult`],
-//! [`LibraryRequest`] → [`CellLibrary`], [`ImmunityRequest`] →
-//! [`ImmunityReport`], [`FlowRequest`] → [`FlowResult`] — through an
-//! internal memoizing cache. The cache is keyed by the full generation
-//! input (`StdCellKind` × strength × `GenerateOptions`, which embeds the
-//! `DesignRules`), so co-optimization sweeps that re-request the same
-//! cells thousands of times (Hills et al.'s CNT-variation loops) pay for
-//! each layout exactly once; every later hit returns the same
-//! [`Arc`]-shared cell.
+//! services every typed request through one generic entry point,
+//! [`Session::run`]: [`CellRequest`] → [`CellResult`], [`LibraryRequest`]
+//! → [`dk::CellLibrary`](crate::dk::CellLibrary), [`ImmunityRequest`] →
+//! [`ImmunityReport`], [`FlowRequest`] → [`FlowResult`]. All four kinds
+//! implement the [`SessionRequest`] trait, so memoization, per-key
+//! single-flight, and stats accounting are written once — `run` looks the
+//! request's [`CacheKey`](crate::CacheKey) up in the class's sharded
+//! cache ([`crate::cache`]) and executes only on a miss.
 //!
-//! The cache is the sharded, bounded, single-flight design of
-//! [`crate::cache`]: hits on different keys take different locks (the
-//! contended hit path scales with threads), capacity is bounded with LRU
-//! eviction, and [`SessionBuilder::cache_capacity`] /
-//! [`SessionBuilder::cache_shards`] tune it. Immunity verdicts and flow
-//! results ride the same machinery. [`Session::generate_batch`] fans a
-//! request list out across a work-stealing executor (the private `batch` module) so
-//! cost-skewed request lists keep every worker busy.
+//! Three ways to drive it:
+//!
+//! * [`Session::run`] — synchronous, one request;
+//! * [`Session::run_batch`] — synchronous, a slice of one request kind,
+//!   fanned out across a scoped work-stealing executor;
+//! * [`Session::submit`] / [`Session::submit_all`] — **non-blocking**:
+//!   the request is queued on a persistent work-stealing pool and a
+//!   [`JobHandle`] comes back immediately, with `wait()` / `try_get()` /
+//!   `wait_timeout()` / `is_done()` to harvest the result.
+//!   `submit_all` accepts heterogeneous mixes via [`RequestKind`] — the
+//!   shape of a co-optimization sweep that interleaves thousands of
+//!   cells, immunity verdicts, and flow runs.
+//!
+//! Sessions are cheap handles: [`Session::clone`] shares the caches, the
+//! stats, and the job pool, so one engine can serve many producers.
 //!
 //! # Example
 //!
 //! ```
-//! use cnfet::{CellRequest, Session};
+//! use cnfet::{CellRequest, ImmunityRequest, RequestKind, Session};
 //! use cnfet::core::StdCellKind;
 //!
 //! let session = Session::new();
-//! let first = session.generate(&CellRequest::new(StdCellKind::Nand(3)))?;
-//! let again = session.generate(&CellRequest::new(StdCellKind::Nand(3)))?;
+//!
+//! // Synchronous: one generic entry point for every request kind.
+//! let first = session.run(&CellRequest::new(StdCellKind::Nand(3)))?;
+//! let again = session.run(&CellRequest::new(StdCellKind::Nand(3)))?;
 //! assert!(!first.cached && again.cached, "second request is a cache hit");
-//! assert_eq!(session.stats().cell_misses, 1);
+//! assert_eq!(session.stats().cells.misses, 1);
+//!
+//! // Non-blocking: submit returns a JobHandle immediately.
+//! let job = session.submit(ImmunityRequest::certify(StdCellKind::Nand(3)));
+//! assert!(job.wait()?.immune);
+//!
+//! // Heterogeneous mixes fan out through the same pool, results in
+//! // submission order.
+//! let handles = session.submit_all([
+//!     RequestKind::from(CellRequest::new(StdCellKind::Inv)),
+//!     RequestKind::from(ImmunityRequest::certify(StdCellKind::Inv)),
+//! ]);
+//! for handle in handles {
+//!     handle.wait()?;
+//! }
 //! # Ok::<(), cnfet::CnfetError>(())
 //! ```
 
 use crate::batch;
 use crate::cache::{CacheStats, ShardedCache, DEFAULT_CAPACITY, DEFAULT_SHARDS};
-use crate::core::{
-    generate_cell, generate_from_networks, GenerateError, GenerateOptions, GeneratedCell,
-    RowPolicy, Scheme, Sizing, StdCellKind, Style,
-};
-use crate::dk::{self, CellLibrary, DesignKit};
-use crate::error::{CnfetError, Result};
-use crate::flow::{
-    assemble_gds_with, full_adder, parse_verilog, place_cmos_with, place_cnfet_with,
-    simulate_netlist_with, Netlist, NetlistMetrics, Placement, Tech,
-};
-use crate::immunity::{certify, simulate, CertReport, McOptions, McReport};
+use crate::core::{GenerateOptions, GeneratedCell, RowPolicy, Scheme, Sizing, StdCellKind, Style};
+use crate::dk::{CellLibrary, DesignKit};
+use crate::error::Result;
+use crate::flow::{Netlist, NetlistMetrics, Placement};
+use crate::immunity::{CertReport, McOptions, McReport};
+use crate::jobs::{job_channel, JobHandle, Pool};
 use crate::logic::{SpNetwork, VarTable};
+use crate::request::{CustomCellRequest, RequestClass, RequestKind, ResponseKind, SessionRequest};
+use std::any::Any;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, Weak};
 
 // ---------------------------------------------------------------------------
 // Requests
@@ -292,52 +311,74 @@ pub struct FlowResult {
 #[derive(Debug, Default)]
 struct StatsInner {
     batches: AtomicU64,
-    flows: AtomicU64,
-    steals: AtomicU64,
+    batch_steals: AtomicU64,
+    submitted: AtomicU64,
+}
+
+/// One request class's cache counters: the uniform per-kind unit of
+/// [`SessionStats`], derived from that class's sharded cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestStats {
+    /// Requests answered from the cache (including single-flight waits
+    /// that received a concurrent build's value).
+    pub hits: u64,
+    /// Requests that executed (every request, when caching is disabled).
+    pub misses: u64,
+    /// Results evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl RequestStats {
+    /// Total requests serviced for this class.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses
+    }
 }
 
 /// A point-in-time snapshot of a session's cache and executor counters.
 ///
-/// Hit/miss/eviction counts are aggregated over the cache shards; the
-/// per-shard breakdown is available from [`Session::cell_cache_stats`]
-/// and friends.
+/// Every request class gets the same [`RequestStats`] treatment —
+/// hit/miss/eviction counts aggregated over that class's cache shards.
+/// The per-shard breakdown is available from [`Session::cache_stats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SessionStats {
-    /// Cell requests answered from the cache.
-    pub cell_hits: u64,
-    /// Cell requests that ran the layout generator.
-    pub cell_misses: u64,
-    /// Cell layouts evicted to respect the capacity bound.
-    pub cell_evictions: u64,
-    /// Library requests answered from the cache.
-    pub library_hits: u64,
-    /// Library requests that built a library.
-    pub library_misses: u64,
-    /// Libraries evicted to respect the capacity bound.
-    pub library_evictions: u64,
-    /// Immunity requests whose engine verdict was recalled from the cache.
-    pub immunity_hits: u64,
-    /// Immunity requests that ran the engine(s).
-    pub immunity_misses: u64,
-    /// Flow requests answered from the cache.
-    pub flow_hits: u64,
-    /// Flow requests that ran the flow.
-    pub flow_misses: u64,
+    /// Cell requests ([`RequestClass::Cell`]).
+    pub cells: RequestStats,
+    /// Library requests ([`RequestClass::Library`]).
+    pub libraries: RequestStats,
+    /// Immunity requests ([`RequestClass::Immunity`]).
+    pub immunity: RequestStats,
+    /// Flow requests ([`RequestClass::Flow`]).
+    pub flows: RequestStats,
     /// Times a request blocked waiting on another thread's in-flight
     /// build of the same key (across all caches).
     pub inflight_waits: u64,
-    /// `generate_batch` invocations.
+    /// [`Session::run_batch`] invocations.
     pub batches: u64,
-    /// Deque-to-deque steals performed by the batch executor.
+    /// Deque-to-deque steals performed by the batch executor and the job
+    /// pool combined.
     pub steals: u64,
-    /// Flow runs (every [`Session::flow`] call, hit or miss).
-    pub flows: u64,
+    /// Jobs enqueued through [`Session::submit`] / [`Session::submit_all`].
+    pub submitted: u64,
 }
 
 impl SessionStats {
-    /// Total cell requests served.
-    pub fn cell_requests(&self) -> u64 {
-        self.cell_hits + self.cell_misses
+    /// The counters of one request class.
+    pub fn class(&self, class: RequestClass) -> RequestStats {
+        match class {
+            RequestClass::Cell => self.cells,
+            RequestClass::Library => self.libraries,
+            RequestClass::Immunity => self.immunity,
+            RequestClass::Flow => self.flows,
+        }
+    }
+
+    /// Total requests serviced across every class.
+    pub fn requests(&self) -> u64 {
+        RequestClass::ALL
+            .into_iter()
+            .map(|c| self.class(c).requests())
+            .sum()
     }
 }
 
@@ -345,11 +386,11 @@ impl SessionStats {
 // Cache keys
 // ---------------------------------------------------------------------------
 
-/// The memoization key: the complete input of a generation. Options embed
-/// the [`DesignRules`](crate::core::DesignRules), so two sessions-worth of
-/// rule decks never collide.
+/// The memoization key of a cell: the complete input of a generation.
+/// Options embed the [`DesignRules`](crate::core::DesignRules), so two
+/// sessions-worth of rule decks never collide.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-enum CellKey {
+pub(crate) enum CellKey {
     Catalog {
         kind: StdCellKind,
         strength: u8,
@@ -365,23 +406,12 @@ enum CellKey {
     },
 }
 
-/// Memoization key of an immunity verdict: the cell's cache key plus a
-/// canonical rendering of the engine selection (`McOptions` holds floats,
-/// so the engine is keyed by its exact `Debug` form — equal options render
-/// equally, distinct options render distinctly).
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
-struct ImmunityKey {
-    cell: CellKey,
-    engine: String,
-}
-
-/// The cached part of an [`ImmunityReport`] (everything but the cell).
-#[derive(Debug)]
-struct ImmunityOutcome {
-    immune: bool,
-    cert: Option<CertReport>,
-    mc: Option<McReport>,
-}
+/// A memoized result, type-erased so all four class caches share one
+/// value representation. The concrete type behind the `dyn Any` is the
+/// request's `Output`, recovered by downcast in [`Session::run`] — safe
+/// because [`CacheKey`](crate::CacheKey)s are class-tagged and each class
+/// has exactly one output type.
+type CachedValue = Arc<dyn Any + Send + Sync>;
 
 // ---------------------------------------------------------------------------
 // Builder
@@ -468,11 +498,10 @@ impl SessionBuilder {
         self
     }
 
-    /// Bounds each session cache (cells, libraries, immunity verdicts,
-    /// flow results) to `capacity` entries, evicting least-recently-used
-    /// entries past the bound. `0` disables caching entirely: every
-    /// request rebuilds and nothing is stored. Default:
-    /// [`DEFAULT_CAPACITY`](crate::cache::DEFAULT_CAPACITY).
+    /// Bounds each session cache (one per [`RequestClass`]) to `capacity`
+    /// entries, evicting least-recently-used entries past the bound. `0`
+    /// disables caching entirely: every request rebuilds and nothing is
+    /// stored. Default: [`DEFAULT_CAPACITY`](crate::cache::DEFAULT_CAPACITY).
     #[must_use]
     pub fn cache_capacity(mut self, capacity: usize) -> SessionBuilder {
         self.cache_capacity = capacity;
@@ -490,9 +519,9 @@ impl SessionBuilder {
         self
     }
 
-    /// Fixes the number of worker threads [`Session::generate_batch`]
-    /// spawns. `0` (the default) uses the machine's available
-    /// parallelism.
+    /// Fixes the number of worker threads used by [`Session::run_batch`]
+    /// and by the persistent [`Session::submit`] pool. `0` (the default)
+    /// uses the machine's available parallelism.
     #[must_use]
     pub fn batch_workers(mut self, workers: usize) -> SessionBuilder {
         self.batch_workers = workers;
@@ -503,14 +532,14 @@ impl SessionBuilder {
     pub fn build(self) -> Session {
         let (capacity, shards) = (self.cache_capacity, self.cache_shards);
         Session {
-            kit: self.kit,
-            defaults: self.defaults,
-            cells: ShardedCache::new(capacity, shards),
-            libraries: ShardedCache::new(capacity, shards),
-            immunity: ShardedCache::new(capacity, shards),
-            flow_results: ShardedCache::new(capacity, shards),
-            batch_workers: self.batch_workers,
-            stats: StatsInner::default(),
+            core: Arc::new(SessionCore {
+                kit: self.kit,
+                defaults: self.defaults,
+                caches: std::array::from_fn(|_| ShardedCache::new(capacity, shards)),
+                batch_workers: self.batch_workers,
+                stats: StatsInner::default(),
+                pool: OnceLock::new(),
+            }),
         }
     }
 }
@@ -525,29 +554,50 @@ impl Default for SessionBuilder {
 // Session
 // ---------------------------------------------------------------------------
 
-/// The engine: kit + defaults + memoizing caches behind typed requests.
-///
-/// Sessions are internally synchronized — `&Session` methods may be called
-/// from many threads, and [`Session::generate_batch`] does exactly that.
-/// Caches are sharded ([`crate::cache`]): hits on different keys take
-/// different locks, and builds are single-flight per key — concurrent
-/// requests for the same key run one generation; the rest wait on their
-/// shard and hit.
-#[derive(Debug)]
-pub struct Session {
+/// Everything a session owns, shared by all of its cheap [`Session`]
+/// handles and referenced weakly by queued jobs.
+struct SessionCore {
     kit: DesignKit,
     defaults: GenerateOptions,
-    cells: ShardedCache<CellKey, Arc<GeneratedCell>>,
-    libraries: ShardedCache<LibraryRequest, Arc<CellLibrary>>,
-    immunity: ShardedCache<ImmunityKey, Arc<ImmunityOutcome>>,
-    flow_results: ShardedCache<String, Arc<FlowResult>>,
+    /// One sharded cache per [`RequestClass`], indexed by
+    /// [`RequestClass::index`]. Values are type-erased (see
+    /// [`CachedValue`]); keys are class-tagged, so a key only ever meets
+    /// values of its own class's output type.
+    caches: [ShardedCache<crate::request::CacheKey, CachedValue>; 4],
     batch_workers: usize,
     stats: StatsInner,
+    /// The persistent job pool, started on the first [`Session::submit`].
+    pool: OnceLock<Pool>,
+}
+
+/// The engine: kit + defaults + memoizing caches behind typed requests,
+/// all serviced through the generic [`Session::run`].
+///
+/// Sessions are internally synchronized and cheap to clone — a clone is
+/// another handle on the same caches, stats, and job pool. `&Session`
+/// methods may be called from many threads; [`Session::run_batch`] and
+/// the [`Session::submit`] pool do exactly that. Caches are sharded
+/// ([`crate::cache`]): hits on different keys take different locks, and
+/// builds are single-flight per key — concurrent requests for the same
+/// key run one execution; the rest wait on their shard and hit.
+#[derive(Clone)]
+pub struct Session {
+    core: Arc<SessionCore>,
 }
 
 impl Default for Session {
     fn default() -> Self {
         Session::new()
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("defaults", &self.core.defaults)
+            .field("stats", &self.stats())
+            .field("pool", &self.core.pool.get())
+            .finish_non_exhaustive()
     }
 }
 
@@ -564,72 +614,81 @@ impl Session {
 
     /// The session's design kit.
     pub fn kit(&self) -> &DesignKit {
-        &self.kit
+        &self.core.kit
     }
 
     /// The generation options used when a request does not carry its own.
     pub fn defaults(&self) -> &GenerateOptions {
-        &self.defaults
+        &self.core.defaults
     }
 
-    /// A snapshot of the cache and executor counters, aggregated over the
-    /// cache shards.
+    /// A snapshot of the cache and executor counters, with every request
+    /// class aggregated the same way over its cache shards.
     pub fn stats(&self) -> SessionStats {
-        let cells = self.cells.stats();
-        let libraries = self.libraries.stats();
-        let immunity = self.immunity.stats();
-        let flows = self.flow_results.stats();
-        SessionStats {
-            cell_hits: cells.hits,
-            cell_misses: cells.misses,
-            cell_evictions: cells.evictions,
-            library_hits: libraries.hits,
-            library_misses: libraries.misses,
-            library_evictions: libraries.evictions,
-            immunity_hits: immunity.hits,
-            immunity_misses: immunity.misses,
-            flow_hits: flows.hits,
-            flow_misses: flows.misses,
-            inflight_waits: cells.inflight_waits
-                + libraries.inflight_waits
-                + immunity.inflight_waits
-                + flows.inflight_waits,
-            batches: self.stats.batches.load(Ordering::Relaxed),
-            steals: self.stats.steals.load(Ordering::Relaxed),
-            flows: self.stats.flows.load(Ordering::Relaxed),
+        let mut per_class = [RequestStats::default(); 4];
+        let mut inflight_waits = 0;
+        for class in RequestClass::ALL {
+            let s = self.core.caches[class.index()].stats();
+            per_class[class.index()] = RequestStats {
+                hits: s.hits,
+                misses: s.misses,
+                evictions: s.evictions,
+            };
+            inflight_waits += s.inflight_waits;
         }
+        let pool_steals = self.core.pool.get().map_or(0, Pool::steals);
+        SessionStats {
+            cells: per_class[RequestClass::Cell.index()],
+            libraries: per_class[RequestClass::Library.index()],
+            immunity: per_class[RequestClass::Immunity.index()],
+            flows: per_class[RequestClass::Flow.index()],
+            inflight_waits,
+            batches: self.core.stats.batches.load(Ordering::Relaxed),
+            steals: self.core.stats.batch_steals.load(Ordering::Relaxed) + pool_steals,
+            submitted: self.core.stats.submitted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-shard counters of one request class's cache.
+    pub fn cache_stats(&self, class: RequestClass) -> CacheStats {
+        self.core.caches[class.index()].stats()
     }
 
     /// Per-shard counters of the cell cache.
     pub fn cell_cache_stats(&self) -> CacheStats {
-        self.cells.stats()
+        self.cache_stats(RequestClass::Cell)
     }
 
     /// Per-shard counters of the library cache.
     pub fn library_cache_stats(&self) -> CacheStats {
-        self.libraries.stats()
+        self.cache_stats(RequestClass::Library)
     }
 
     /// Number of distinct cell layouts currently cached.
     pub fn cached_cells(&self) -> usize {
-        self.cells.len()
+        self.core.caches[RequestClass::Cell.index()].len()
     }
 
-    /// Drops every cached cell, library, immunity verdict and flow result
-    /// (counters are kept).
+    /// Drops every cached result of every request class — cells,
+    /// libraries, immunity verdicts, and flow results alike (counters are
+    /// kept). Builds in flight during the clear complete normally: their
+    /// waiters are served and their claims release on their own, so
+    /// in-flight accounting stays correct across a clear.
     pub fn clear_cache(&self) {
-        self.cells.clear();
-        self.libraries.clear();
-        self.immunity.clear();
-        self.flow_results.clear();
+        for cache in &self.core.caches {
+            cache.clear();
+        }
     }
 
-    fn resolve_options(&self, req: &CellRequest) -> GenerateOptions {
-        req.options.clone().unwrap_or_else(|| self.defaults.clone())
+    /// Resolves a cell request's options against the session defaults.
+    pub(crate) fn resolve_options(&self, req: &CellRequest) -> GenerateOptions {
+        req.options
+            .clone()
+            .unwrap_or_else(|| self.core.defaults.clone())
     }
 
     /// The cache key (and resolved options) of a catalog cell request.
-    fn catalog_key(&self, request: &CellRequest) -> (CellKey, GenerateOptions) {
+    pub(crate) fn catalog_key(&self, request: &CellRequest) -> (CellKey, GenerateOptions) {
         let opts = self.resolve_options(request);
         let key = CellKey::Catalog {
             kind: request.kind,
@@ -640,41 +699,137 @@ impl Session {
         (key, opts)
     }
 
-    // -- cells --------------------------------------------------------------
+    // -- the generic entry points -------------------------------------------
 
-    /// Services a [`CellRequest`] through the memoizing cache.
+    /// Services any [`SessionRequest`] through the memoizing cache of its
+    /// class: a hit (earlier *or* concurrent execution of the same key)
+    /// clones the cached output; a miss runs
+    /// [`execute`](SessionRequest::execute) outside the shard lock,
+    /// single-flight, so misses on different keys run in parallel while
+    /// duplicates wait instead of re-executing.
     ///
     /// # Errors
     ///
-    /// Propagates [`GenerateError`] (as [`CnfetError::Generate`]) for
-    /// network/style combinations the style cannot realize.
-    pub fn generate(&self, request: &CellRequest) -> Result<CellResult> {
-        let (key, opts) = self.catalog_key(request);
-        self.serve(key, || {
-            let strength = request.strength.max(1);
-            let mut cell = if strength <= 1 {
-                generate_cell(request.kind, &opts)?
-            } else {
-                let (pdn, pun, vars) = dk::fingered_networks(request.kind, strength);
-                let name = request
-                    .name
-                    .clone()
-                    .unwrap_or_else(|| CellLibrary::cell_name(request.kind, strength));
-                generate_from_networks(name, request.kind, pdn, pun, vars, &opts)?
-            };
-            if let Some(name) = &request.name {
-                cell.name = name.clone();
-            }
-            Ok(cell)
-        })
+    /// Propagates whatever the request's execution produces — e.g.
+    /// [`GenerateError`](crate::core::GenerateError) (as
+    /// [`CnfetError::Generate`](crate::CnfetError::Generate)) for
+    /// unrealizable cells, Verilog parse or simulation failures for
+    /// flows.
+    pub fn run<R: SessionRequest>(&self, request: &R) -> Result<R::Output> {
+        let Some(key) = request.cache_key(self) else {
+            return request.execute(self);
+        };
+        let cache = &self.core.caches[key.class().index()];
+        let (value, cached) = cache.get_or_build(&key, || {
+            request
+                .execute(self)
+                .map(|output| Arc::new(output) as CachedValue)
+        })?;
+        let output = value
+            .downcast_ref::<R::Output>()
+            .expect("cache value type matches its class-tagged key")
+            .clone();
+        Ok(R::annotate(output, cached))
     }
+
+    /// Services many requests of one kind at once, fanning out across a
+    /// scoped work-stealing thread pool (the private `batch` module)
+    /// against the shared caches, so cost-skewed request lists keep every
+    /// worker busy. Results keep request order, one per request; all
+    /// requests are attempted even when some fail. Blocks until the whole
+    /// batch finishes — for non-blocking submission use
+    /// [`Session::submit`] / [`Session::submit_all`].
+    pub fn run_batch<R>(&self, requests: &[R]) -> Vec<Result<R::Output>>
+    where
+        R: SessionRequest + Sync,
+    {
+        self.core.stats.batches.fetch_add(1, Ordering::Relaxed);
+        let outcome = batch::run(requests.len(), self.worker_count(), |i| {
+            self.run(&requests[i])
+        });
+        self.core
+            .stats
+            .batch_steals
+            .fetch_add(outcome.steals, Ordering::Relaxed);
+        outcome.results
+    }
+
+    /// Enqueues one request on the session's persistent work-stealing
+    /// pool and returns immediately. The [`JobHandle`] resolves to the
+    /// same output `run` would produce (hit or miss through the same
+    /// caches); dropping the handle abandons the result but not the work.
+    /// If the session's last handle drops with the job still queued, the
+    /// handle resolves to [`CnfetError::Canceled`](crate::CnfetError::Canceled).
+    pub fn submit<R>(&self, request: R) -> JobHandle<R::Output>
+    where
+        R: SessionRequest + Send + 'static,
+    {
+        let (completion, handle) = job_channel();
+        self.pool()
+            .submit(make_job(&self.core, request, completion));
+        self.core.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        handle
+    }
+
+    /// Enqueues a heterogeneous request mix — any combination of cells,
+    /// libraries, immunity verdicts, and flows wrapped in [`RequestKind`]
+    /// — under one queue lock, and returns one [`JobHandle`] per request
+    /// **in submission order**. The pool's workers chunk and steal across
+    /// the mix, so a cheap-cell tail never waits behind one heavy flow.
+    pub fn submit_all<I>(&self, requests: I) -> Vec<JobHandle<ResponseKind>>
+    where
+        I: IntoIterator<Item = RequestKind>,
+    {
+        let mut jobs = Vec::new();
+        let handles: Vec<_> = requests
+            .into_iter()
+            .map(|request| {
+                let (completion, handle) = job_channel();
+                jobs.push(make_job(&self.core, request, completion));
+                handle
+            })
+            .collect();
+        if jobs.is_empty() {
+            // Don't spin up worker threads for an empty fan-out.
+            return handles;
+        }
+        self.core
+            .stats
+            .submitted
+            .fetch_add(handles.len() as u64, Ordering::Relaxed);
+        self.pool().submit_many(jobs);
+        handles
+    }
+
+    /// The persistent pool, started on first use with the session's
+    /// worker count.
+    fn pool(&self) -> &Pool {
+        self.core
+            .pool
+            .get_or_init(|| Pool::new(self.worker_count()))
+    }
+
+    /// Effective executor width: the `batch_workers` knob, or the
+    /// machine's available parallelism when unset.
+    fn worker_count(&self) -> usize {
+        if self.core.batch_workers > 0 {
+            self.core.batch_workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    // -- conveniences -------------------------------------------------------
 
     /// Generates a cell from explicit pull networks, memoized like any
     /// other request (the key includes both networks and the input names).
     ///
     /// # Errors
     ///
-    /// Propagates [`GenerateError`] for unrealizable networks.
+    /// Propagates [`GenerateError`](crate::core::GenerateError) for
+    /// unrealizable networks.
     pub fn generate_custom(
         &self,
         name: impl Into<String>,
@@ -683,196 +838,82 @@ impl Session {
         vars: VarTable,
         options: Option<GenerateOptions>,
     ) -> Result<CellResult> {
-        let name = name.into();
-        let opts = options.unwrap_or_else(|| self.defaults.clone());
-        let key = CellKey::Custom {
-            name: name.clone(),
-            pdn: pdn.clone(),
-            pun: pun.clone(),
-            var_names: vars.iter().map(|(_, n)| n.to_string()).collect(),
-            opts: opts.clone(),
-        };
-        self.serve(key, || {
-            generate_from_networks(name, StdCellKind::Inv, pdn, pun, vars, &opts)
+        self.run(&CustomCellRequest {
+            name: name.into(),
+            pdn,
+            pun,
+            vars,
+            options,
         })
     }
 
-    /// The common cache path: a hit (earlier *or* concurrent build of the
-    /// same key) returns the shared [`Arc`]; a miss runs `build` outside
-    /// the shard lock, single-flight, so misses on different keys
-    /// generate in parallel while duplicates wait instead of regenerating.
-    fn serve<F>(&self, key: CellKey, build: F) -> Result<CellResult>
-    where
-        F: FnOnce() -> std::result::Result<GeneratedCell, GenerateError>,
-    {
-        let (cell, cached) = self.cells.get_or_build(&key, || build().map(Arc::new))?;
-        Ok(CellResult { cell, cached })
+    // -- deprecated per-kind wrappers (one-release grace period) ------------
+
+    /// Services a [`CellRequest`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Session::run` — one generic entry point for every request kind"
+    )]
+    pub fn generate(&self, request: &CellRequest) -> Result<CellResult> {
+        self.run(request)
     }
 
-    /// Services many cell requests at once, fanning out across a
-    /// work-stealing thread pool (the private `batch` module) against the shared
-    /// cache, so cost-skewed request lists keep every worker busy.
-    /// Results keep request order, one per request; all requests are
-    /// attempted even when some fail.
+    /// Services many cell requests at once.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Session::run_batch` (any request kind) or `Session::submit_all` (non-blocking, heterogeneous)"
+    )]
     pub fn generate_batch(&self, requests: &[CellRequest]) -> Vec<Result<CellResult>> {
-        self.stats.batches.fetch_add(1, Ordering::Relaxed);
-        let workers = if self.batch_workers > 0 {
-            self.batch_workers
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        };
-        let outcome = batch::run(requests.len(), workers, |i| self.generate(&requests[i]));
-        self.stats
-            .steals
-            .fetch_add(outcome.steals, Ordering::Relaxed);
-        outcome.results
+        self.run_batch(requests)
     }
 
-    // -- libraries ----------------------------------------------------------
-
-    /// Services a [`LibraryRequest`]: the full function × strength matrix
-    /// of the session's kit, every layout drawn through the cell cache,
-    /// and the finished library itself memoized per scheme.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the first cell generation failure.
+    /// Services a [`LibraryRequest`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Session::run` — one generic entry point for every request kind"
+    )]
     pub fn library(&self, request: &LibraryRequest) -> Result<Arc<CellLibrary>> {
-        let (lib, _cached) = self.libraries.get_or_build(request, || {
-            let opts = dk::library_options(&self.kit, request.scheme);
-            let built = dk::build_library_with(&self.kit, request.scheme, |kind, strength| {
-                let req = CellRequest {
-                    kind,
-                    strength,
-                    options: Some(opts.clone()),
-                    name: Some(CellLibrary::cell_name(kind, strength)),
-                };
-                match self.generate(&req) {
-                    Ok(result) => Ok(result.cell),
-                    Err(CnfetError::Generate(e)) => Err(e),
-                    Err(other) => {
-                        unreachable!("cell generation only fails with GenerateError: {other}")
-                    }
-                }
-            })?;
-            Ok::<_, CnfetError>(Arc::new(built))
-        })?;
-        Ok(lib)
+        self.run(request)
     }
 
-    // -- immunity -----------------------------------------------------------
-
-    /// Services an [`ImmunityRequest`]: generates (or recalls) the cell,
-    /// then runs the requested engine(s). The engine verdict is memoized
-    /// on the same cache machinery as cells — repeating an analysis
-    /// (certification or a deterministic seeded Monte-Carlo) is a hit.
-    ///
-    /// # Errors
-    ///
-    /// Propagates cell generation failures.
+    /// Services an [`ImmunityRequest`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Session::run` — one generic entry point for every request kind"
+    )]
     pub fn immunity(&self, request: &ImmunityRequest) -> Result<ImmunityReport> {
-        let cell = self.generate(&request.cell)?.cell;
-        let key = ImmunityKey {
-            cell: self.catalog_key(&request.cell).0,
-            engine: format!("{:?}", request.engine),
-        };
-        let (outcome, _cached) = self.immunity.get_or_build(&key, || {
-            let (cert, mc) = match &request.engine {
-                ImmunityEngine::Certify => (Some(certify(&cell.semantics)), None),
-                ImmunityEngine::MonteCarlo(opts) => (None, Some(simulate(&cell.semantics, opts))),
-                ImmunityEngine::Both(opts) => (
-                    Some(certify(&cell.semantics)),
-                    Some(simulate(&cell.semantics, opts)),
-                ),
-            };
-            let immune = cert.as_ref().is_none_or(|c| c.immune)
-                && mc.as_ref().is_none_or(|m| m.failures == 0);
-            Ok::<_, CnfetError>(Arc::new(ImmunityOutcome { immune, cert, mc }))
-        })?;
-        Ok(ImmunityReport {
-            cell,
-            immune: outcome.immune,
-            cert: outcome.cert.clone(),
-            mc: outcome.mc.clone(),
-        })
+        self.run(request)
     }
 
-    // -- flow ---------------------------------------------------------------
-
-    /// Services a [`FlowRequest`]: netlist → placement → optional
-    /// transistor-level simulation → optional GDSII, with the library
-    /// build served from the session cache. Whole flow results are
-    /// memoized too (keyed by the request's canonical rendering, which
-    /// covers source, target, simulation spec and GDS flag), so repeating
-    /// a run skips placement, simulation and assembly.
-    ///
-    /// # Errors
-    ///
-    /// Propagates Verilog parse, library generation and simulation
-    /// failures.
+    /// Services a [`FlowRequest`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Session::run` — one generic entry point for every request kind"
+    )]
     pub fn flow(&self, request: &FlowRequest) -> Result<FlowResult> {
-        self.stats.flows.fetch_add(1, Ordering::Relaxed);
-        let key = format!("{request:?}");
-        let (result, _cached) = self
-            .flow_results
-            .get_or_build(&key, || self.run_flow(request).map(Arc::new))?;
-        Ok((*result).clone())
+        self.run(request)
     }
+}
 
-    /// Runs a flow end to end (the miss path of [`Session::flow`]).
-    fn run_flow(&self, request: &FlowRequest) -> Result<FlowResult> {
-        let netlist = match &request.source {
-            FlowSource::FullAdder => full_adder(),
-            FlowSource::Verilog(src) => parse_verilog(src)?,
-            FlowSource::Netlist(n) => n.clone(),
-        };
-        let scheme = match request.target {
-            FlowTarget::Cnfet(scheme) => scheme,
-            // The CMOS baseline derives its widths from the Scheme-1
-            // CNFET library (identical λ rules).
-            FlowTarget::Cmos => Scheme::Scheme1,
-        };
-        let lib = self.library(&LibraryRequest::new(scheme))?;
-        for inst in &netlist.instances {
-            let name = CellLibrary::cell_name(inst.kind, inst.strength);
-            if lib.cell(&name).is_none() {
-                return Err(CnfetError::MissingCell(name));
-            }
+/// Packages one request as a pool job. The job holds the session core
+/// only weakly: if every [`Session`] handle is gone by the time the job
+/// is popped, it resolves its handle to
+/// [`CnfetError::Canceled`](crate::CnfetError::Canceled) instead of
+/// keeping a dead engine alive.
+fn make_job<R>(
+    core: &Arc<SessionCore>,
+    request: R,
+    completion: crate::jobs::Completion<R::Output>,
+) -> crate::jobs::Job
+where
+    R: SessionRequest + Send + 'static,
+{
+    let weak: Weak<SessionCore> = Arc::downgrade(core);
+    Box::new(move || match weak.upgrade() {
+        Some(core) => {
+            let session = Session { core };
+            completion.complete(session.run(&request));
         }
-        let placement = match request.target {
-            FlowTarget::Cnfet(_) => place_cnfet_with(&netlist, &lib),
-            FlowTarget::Cmos => place_cmos_with(&self.kit, &netlist, &lib),
-        };
-        let metrics = match &request.sim {
-            Some(spec) => {
-                let tech = match request.target {
-                    FlowTarget::Cnfet(_) => Tech::Cnfet,
-                    FlowTarget::Cmos => Tech::Cmos,
-                };
-                Some(simulate_netlist_with(
-                    &self.kit,
-                    &netlist,
-                    &placement,
-                    tech,
-                    &spec.toggle_in,
-                    &spec.ties,
-                    &spec.watch_out,
-                )?)
-            }
-            None => None,
-        };
-        let gds = if request.emit_gds && matches!(request.target, FlowTarget::Cnfet(_)) {
-            Some(assemble_gds_with(&netlist.name, &placement, &lib))
-        } else {
-            None
-        };
-        Ok(FlowResult {
-            netlist,
-            placement,
-            metrics,
-            gds,
-        })
-    }
+        None => drop(completion),
+    })
 }

@@ -1,0 +1,121 @@
+//! The shared work-stealing core: one injector queue feeding per-worker
+//! deques, with steal-back-half-from-the-fullest rebalancing.
+//!
+//! Both executors pop through [`next_item`] — the scoped batch executor
+//! ([`crate::batch`], items are task indices) and the persistent job
+//! pool ([`crate::jobs`], items are boxed jobs) — so the subtle
+//! chunk/steal logic exists exactly once:
+//!
+//! * a worker's own deque is popped front-to-back;
+//! * an empty deque refills with a small chunk from the injector,
+//!   keeping the tail available for other workers while amortizing the
+//!   injector lock;
+//! * with the injector empty too, the worker steals the back half of the
+//!   fullest other deque, so a skewed tail of expensive items is
+//!   redistributed instead of pinning one thread.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Pops worker `me`'s next item (local deque → injector chunk → steal).
+/// `on_residue` fires whenever the call leaves additional items in the
+/// worker's own deque (refill or steal residue) — a persistent executor
+/// uses it to wake parked peers so the residue is stealable immediately;
+/// the scoped batch executor passes a no-op (its workers never park).
+pub(crate) fn next_item<T>(
+    me: usize,
+    injector: &Mutex<VecDeque<T>>,
+    locals: &[Mutex<VecDeque<T>>],
+    steals: &AtomicU64,
+    on_residue: impl Fn(),
+) -> Option<T> {
+    if let Some(item) = locals[me].lock().expect("local deque lock").pop_front() {
+        return Some(item);
+    }
+
+    // Refill from the injector.
+    {
+        let mut inj = injector.lock().expect("injector lock");
+        if !inj.is_empty() {
+            let chunk = (inj.len() / (2 * locals.len())).max(1).min(inj.len());
+            let first = inj.pop_front().expect("non-empty injector");
+            let mut residue = 0;
+            {
+                let mut local = locals[me].lock().expect("local deque lock");
+                for _ in 1..chunk {
+                    match inj.pop_front() {
+                        Some(item) => {
+                            local.push_back(item);
+                            residue += 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            drop(inj);
+            if residue > 0 {
+                on_residue();
+            }
+            return Some(first);
+        }
+    }
+
+    // Steal the back half of the fullest victim deque.
+    let victim = (0..locals.len())
+        .filter(|&w| w != me)
+        .max_by_key(|&w| locals[w].lock().expect("victim deque lock").len())?;
+    let mut stolen: VecDeque<T> = {
+        let mut v = locals[victim].lock().expect("victim deque lock");
+        let keep = v.len() / 2;
+        v.split_off(keep)
+    };
+    let first = stolen.pop_front()?;
+    steals.fetch_add(1, Ordering::Relaxed);
+    if !stolen.is_empty() {
+        locals[me].lock().expect("local deque lock").extend(stolen);
+        on_residue();
+    }
+    Some(first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn drains_everything_exactly_once() {
+        let injector: Mutex<VecDeque<u32>> = Mutex::new((0..100).collect());
+        let locals: Vec<Mutex<VecDeque<u32>>> =
+            (0..4).map(|_| Mutex::new(VecDeque::new())).collect();
+        let steals = AtomicU64::new(0);
+        let mut seen = [false; 100];
+        for me in (0..4).cycle() {
+            match next_item(me, &injector, &locals, &steals, || ()) {
+                Some(item) => {
+                    assert!(!seen[item as usize], "{item} popped twice");
+                    seen[item as usize] = true;
+                }
+                None if seen.iter().all(|&s| s) => break,
+                None => {}
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn residue_hook_fires_on_chunked_refill() {
+        let injector: Mutex<VecDeque<u32>> = Mutex::new((0..64).collect());
+        let locals: Vec<Mutex<VecDeque<u32>>> =
+            (0..2).map(|_| Mutex::new(VecDeque::new())).collect();
+        let steals = AtomicU64::new(0);
+        let fired = AtomicUsize::new(0);
+        let item = next_item(0, &injector, &locals, &steals, || {
+            fired.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(item, Some(0));
+        assert_eq!(fired.load(Ordering::Relaxed), 1, "chunk left residue");
+        assert!(!locals[0].lock().unwrap().is_empty());
+    }
+}

@@ -1,9 +1,13 @@
 //! Integration tests of the sharded session cache (bounded capacity, LRU
-//! eviction, disable switch, per-shard stats) and the work-stealing batch
-//! executor under skewed workloads.
+//! eviction, disable switch, per-shard stats, uniform coverage of all
+//! four request classes) and the work-stealing batch executor under
+//! skewed workloads.
 
 use cnfet::core::{GenerateOptions, Scheme, StdCellKind};
-use cnfet::{CellRequest, FlowRequest, FlowSource, ImmunityRequest, Session, SessionBuilder};
+use cnfet::{
+    CellRequest, FlowRequest, FlowSource, ImmunityRequest, LibraryRequest, RequestClass, Session,
+    SessionBuilder,
+};
 use std::sync::Arc;
 
 /// A single-shard session is an exact LRU: touching an entry protects it
@@ -18,18 +22,18 @@ fn lru_evicts_least_recently_used_cell() {
     let b = CellRequest::new(StdCellKind::Nand(2));
     let c = CellRequest::new(StdCellKind::Nand(3));
 
-    session.generate(&a).unwrap();
-    session.generate(&b).unwrap();
+    session.run(&a).unwrap();
+    session.run(&b).unwrap();
     // Touch A so B becomes least-recently-used, then overflow with C.
-    assert!(session.generate(&a).unwrap().cached);
-    session.generate(&c).unwrap();
+    assert!(session.run(&a).unwrap().cached);
+    session.run(&c).unwrap();
 
     assert_eq!(session.cached_cells(), 2, "capacity bound holds");
-    assert_eq!(session.stats().cell_evictions, 1);
-    assert!(session.generate(&a).unwrap().cached, "A was protected");
-    assert!(session.generate(&c).unwrap().cached, "C is resident");
+    assert_eq!(session.stats().cells.evictions, 1);
+    assert!(session.run(&a).unwrap().cached, "A was protected");
+    assert!(session.run(&c).unwrap().cached, "C is resident");
     assert!(
-        !session.generate(&b).unwrap().cached,
+        !session.run(&b).unwrap().cached,
         "B was the LRU entry and must regenerate"
     );
 }
@@ -39,8 +43,8 @@ fn capacity_zero_disables_caching() {
     let session = SessionBuilder::new().cache_capacity(0).build();
     let req = CellRequest::new(StdCellKind::Nand(3));
 
-    let first = session.generate(&req).unwrap();
-    let second = session.generate(&req).unwrap();
+    let first = session.run(&req).unwrap();
+    let second = session.run(&req).unwrap();
     assert!(!first.cached && !second.cached, "nothing is ever cached");
     assert!(
         !Arc::ptr_eq(&first.cell, &second.cell),
@@ -49,9 +53,9 @@ fn capacity_zero_disables_caching() {
     assert_eq!(session.cached_cells(), 0);
 
     let stats = session.stats();
-    assert_eq!(stats.cell_misses, 2);
-    assert_eq!(stats.cell_hits, 0);
-    assert_eq!(stats.cell_evictions, 0, "nothing stored, nothing evicted");
+    assert_eq!(stats.cells.misses, 2);
+    assert_eq!(stats.cells.hits, 0);
+    assert_eq!(stats.cells.evictions, 0, "nothing stored, nothing evicted");
 }
 
 #[test]
@@ -65,7 +69,7 @@ fn eviction_counters_aggregate_over_shards() {
     for width in [4u32, 6, 8, 10] {
         for kind in StdCellKind::ALL {
             session
-                .generate(&CellRequest::new(kind).options(GenerateOptions {
+                .run(&CellRequest::new(kind).options(GenerateOptions {
                     sizing: cnfet::core::Sizing::Uniform {
                         width_lambda: width as i64,
                     },
@@ -93,7 +97,7 @@ fn eviction_counters_aggregate_over_shards() {
         cache.entries,
         cache.shards.iter().map(|s| s.entries).sum::<usize>()
     );
-    assert_eq!(session.stats().cell_evictions, cache.evictions);
+    assert_eq!(session.stats().cells.evictions, cache.evictions);
 }
 
 /// A cost-skewed batch (cheap inverters + heavy high-strength gates) on a
@@ -114,12 +118,12 @@ fn work_stealing_batch_matches_serial_under_skew() {
     let serial_session = Session::new();
     let serial: Vec<_> = requests
         .iter()
-        .map(|r| serial_session.generate(r).unwrap())
+        .map(|r| serial_session.run(r).unwrap())
         .collect();
 
     let batch_session = SessionBuilder::new().batch_workers(4).build();
     let batch: Vec<_> = batch_session
-        .generate_batch(&requests)
+        .run_batch(&requests)
         .into_iter()
         .map(|r| r.unwrap())
         .collect();
@@ -132,7 +136,7 @@ fn work_stealing_batch_matches_serial_under_skew() {
     }
     assert_eq!(batch_session.stats().batches, 1);
     assert_eq!(
-        batch_session.stats().cell_misses,
+        batch_session.stats().cells.misses,
         requests.len() as u64,
         "every distinct request generated exactly once"
     );
@@ -145,14 +149,14 @@ fn forced_workers_keep_single_flight() {
     let session = SessionBuilder::new().batch_workers(4).build();
     let requests = vec![CellRequest::new(StdCellKind::Aoi22); 16];
     let results: Vec<_> = session
-        .generate_batch(&requests)
+        .run_batch(&requests)
         .into_iter()
         .map(|r| r.unwrap())
         .collect();
 
     let stats = session.stats();
-    assert_eq!(stats.cell_misses, 1, "exactly one layout generation");
-    assert_eq!(stats.cell_hits, 15);
+    assert_eq!(stats.cells.misses, 1, "exactly one layout generation");
+    assert_eq!(stats.cells.hits, 15);
     let first = &results[0].cell;
     assert!(results.iter().all(|r| Arc::ptr_eq(&r.cell, first)));
 }
@@ -162,16 +166,18 @@ fn immunity_verdicts_are_memoized() {
     let session = Session::new();
     let req = ImmunityRequest::certify(StdCellKind::Nand(2));
 
-    let first = session.immunity(&req).unwrap();
-    let second = session.immunity(&req).unwrap();
+    let first = session.run(&req).unwrap();
+    let second = session.run(&req).unwrap();
     assert_eq!(first.immune, second.immune);
 
     let stats = session.stats();
-    assert_eq!(stats.immunity_misses, 1, "engines ran once");
-    assert_eq!(stats.immunity_hits, 1);
-    // The cell itself came from the cell cache on the repeat.
-    assert_eq!(stats.cell_misses, 1);
-    assert_eq!(stats.cell_hits, 1);
+    assert_eq!(stats.immunity.misses, 1, "engines ran once");
+    assert_eq!(stats.immunity.hits, 1);
+    // The whole report is memoized: the first run generated the cell
+    // (one miss); the repeat is a pure immunity hit that leaves the cell
+    // cache untouched.
+    assert_eq!(stats.cells.misses, 1);
+    assert_eq!(stats.cells.hits, 0);
 
     // A different engine selection is a distinct verdict.
     let mc = ImmunityRequest::monte_carlo(
@@ -181,10 +187,10 @@ fn immunity_verdicts_are_memoized() {
             ..Default::default()
         },
     );
-    session.immunity(&mc).unwrap();
-    assert_eq!(session.stats().immunity_misses, 2);
-    session.immunity(&mc).unwrap();
-    assert_eq!(session.stats().immunity_hits, 2);
+    session.run(&mc).unwrap();
+    assert_eq!(session.stats().immunity.misses, 2);
+    session.run(&mc).unwrap();
+    assert_eq!(session.stats().immunity.hits, 2);
 }
 
 #[test]
@@ -192,45 +198,58 @@ fn flow_results_are_memoized() {
     let session = Session::new();
     let req = FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme2).with_gds();
 
-    let first = session.flow(&req).unwrap();
-    let second = session.flow(&req).unwrap();
+    let first = session.run(&req).unwrap();
+    let second = session.run(&req).unwrap();
     assert_eq!(first.placement.area_l2, second.placement.area_l2);
     assert_eq!(first.gds, second.gds);
 
     let stats = session.stats();
-    assert_eq!(stats.flows, 2, "both invocations counted");
-    assert_eq!(stats.flow_misses, 1, "placement/assembly ran once");
-    assert_eq!(stats.flow_hits, 1);
+    assert_eq!(stats.flows.requests(), 2, "both invocations counted");
+    assert_eq!(stats.flows.misses, 1, "placement/assembly ran once");
+    assert_eq!(stats.flows.hits, 1);
 
     // A different target misses.
     session
-        .flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1))
+        .run(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1))
         .unwrap();
-    assert_eq!(session.stats().flow_misses, 2);
+    assert_eq!(session.stats().flows.misses, 2);
 }
 
 #[test]
 fn clear_cache_drops_every_request_class() {
     let session = Session::new();
+    session.run(&CellRequest::new(StdCellKind::Inv)).unwrap();
+    session.run(&LibraryRequest::new(Scheme::Scheme1)).unwrap();
     session
-        .generate(&CellRequest::new(StdCellKind::Inv))
+        .run(&ImmunityRequest::certify(StdCellKind::Inv))
         .unwrap();
     session
-        .immunity(&ImmunityRequest::certify(StdCellKind::Inv))
+        .run(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1))
         .unwrap();
-    session
-        .flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1))
-        .unwrap();
+    for class in RequestClass::ALL {
+        assert!(
+            session.cache_stats(class).entries > 0,
+            "{} cache populated",
+            class.name()
+        );
+    }
     session.clear_cache();
 
     assert_eq!(session.cached_cells(), 0);
+    for class in RequestClass::ALL {
+        let stats = session.cache_stats(class);
+        assert_eq!(stats.entries, 0, "{} cache cleared", class.name());
+        assert_eq!(stats.in_flight, 0, "{} cache idle", class.name());
+    }
+    session.run(&LibraryRequest::new(Scheme::Scheme1)).unwrap();
     session
-        .immunity(&ImmunityRequest::certify(StdCellKind::Inv))
+        .run(&ImmunityRequest::certify(StdCellKind::Inv))
         .unwrap();
     session
-        .flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1))
+        .run(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1))
         .unwrap();
     let stats = session.stats();
-    assert_eq!(stats.immunity_misses, 2, "verdict was dropped");
-    assert_eq!(stats.flow_misses, 2, "flow result was dropped");
+    assert_eq!(stats.libraries.misses, 2, "library was dropped");
+    assert_eq!(stats.immunity.misses, 2, "verdict was dropped");
+    assert_eq!(stats.flows.misses, 2, "flow result was dropped");
 }

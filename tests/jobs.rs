@@ -1,0 +1,163 @@
+//! Integration tests of the non-blocking submission API:
+//! `Session::submit` / `Session::submit_all`, `JobHandle` semantics
+//! (`wait`, `try_get`, `wait_timeout`, `is_done`), handle-drop safety,
+//! and heterogeneous mixes through the work-stealing pool.
+
+use cnfet::core::{Scheme, StdCellKind};
+use cnfet::immunity::McOptions;
+use cnfet::{
+    CellRequest, CnfetError, FlowRequest, FlowSource, ImmunityRequest, LibraryRequest,
+    RequestClass, RequestKind, ResponseKind, Session, SessionBuilder,
+};
+use std::time::{Duration, Instant};
+
+/// A deliberately slow request: a Monte-Carlo sweep big enough that a
+/// freshly submitted job cannot finish within a few milliseconds.
+fn slow_request() -> ImmunityRequest {
+    ImmunityRequest::monte_carlo(
+        StdCellKind::Aoi22,
+        McOptions {
+            tubes: 100_000,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn submit_resolves_and_populates_the_cache() {
+    let session = Session::new();
+    let request = CellRequest::new(StdCellKind::Nand(3));
+    let handle = session.submit(request.clone());
+    let result = handle.wait().unwrap();
+    assert!(!result.cached, "the job ran the generation");
+    // The job went through the same cache `run` uses.
+    assert!(session.run(&request).unwrap().cached);
+    let stats = session.stats();
+    assert_eq!(stats.submitted, 1);
+    assert_eq!(stats.cells.misses, 1);
+}
+
+#[test]
+fn try_get_and_wait_timeout_on_a_slow_request() {
+    let session = SessionBuilder::new().batch_workers(1).build();
+    let mut handle = session.submit(slow_request());
+
+    // The Monte-Carlo sweep takes far longer than this: the handle must
+    // still be pending, and a short wait must expire.
+    assert!(handle.try_get().is_none(), "pending → try_get is None");
+    let t0 = Instant::now();
+    assert!(
+        handle.wait_timeout(Duration::from_millis(1)).is_none(),
+        "wait_timeout expires while the sweep runs"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "timeout returned promptly"
+    );
+
+    // Waiting long enough resolves; the result is collected exactly once.
+    let report = handle
+        .wait_timeout(Duration::from_secs(120))
+        .expect("sweep finishes")
+        .unwrap();
+    assert!(report.mc.is_some());
+    assert!(handle.is_done());
+    assert!(handle.try_get().is_none(), "already collected");
+}
+
+#[test]
+fn dropped_handle_does_not_poison_the_cache() {
+    let session = SessionBuilder::new().batch_workers(1).build();
+    let request = ImmunityRequest::certify(StdCellKind::Nand(2));
+    drop(session.submit(request.clone()));
+
+    // The job still runs: poll the stats until its miss is recorded
+    // (the miss counter is bumped after the value is resident).
+    let t0 = Instant::now();
+    while session.stats().immunity.misses == 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "abandoned job never ran"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // And the cached verdict it left behind is sound, not poisoned.
+    let report = session.run(&request).unwrap();
+    assert!(report.immune);
+    assert_eq!(session.stats().immunity.hits, 1);
+}
+
+#[test]
+fn submit_all_heterogeneous_returns_results_in_submission_order() {
+    let session = Session::new();
+    let requests = vec![
+        RequestKind::from(CellRequest::new(StdCellKind::Nand(3))),
+        RequestKind::from(ImmunityRequest::certify(StdCellKind::Nand(3))),
+        RequestKind::from(FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1)),
+        RequestKind::from(LibraryRequest::new(Scheme::Scheme2)),
+        RequestKind::from(CellRequest::new(StdCellKind::Inv)),
+    ];
+    let classes: Vec<RequestClass> = requests.iter().map(RequestKind::class).collect();
+
+    let handles = session.submit_all(requests);
+    assert_eq!(handles.len(), 5);
+    let responses: Vec<ResponseKind> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
+
+    // One response per request, matching kinds in submission order.
+    let got: Vec<RequestClass> = responses.iter().map(ResponseKind::class).collect();
+    assert_eq!(got, classes, "results keep submission order");
+
+    match &responses[0] {
+        ResponseKind::Cell(c) => assert_eq!(c.cell.kind, StdCellKind::Nand(3)),
+        other => panic!("expected a cell, got {other:?}"),
+    }
+    assert!(responses[1].clone().into_immunity().unwrap().immune);
+    assert!(responses[2].clone().into_flow().unwrap().placement.area_l2 > 0.0);
+    assert!(!responses[3]
+        .clone()
+        .into_library()
+        .unwrap()
+        .cells
+        .is_empty());
+    assert_eq!(session.stats().submitted, 5);
+}
+
+#[test]
+fn wrapped_and_unwrapped_requests_share_one_cache_entry() {
+    // RequestKind must not double-cache: the inner request memoizes
+    // itself, so a wrapped submit and a direct run share the entry.
+    let session = Session::new();
+    let request = CellRequest::new(StdCellKind::Oai21);
+    let wrapped = session
+        .submit(RequestKind::from(request.clone()))
+        .wait()
+        .unwrap()
+        .into_cell()
+        .unwrap();
+    let direct = session.run(&request).unwrap();
+    assert!(std::sync::Arc::ptr_eq(&wrapped.cell, &direct.cell));
+    assert!(direct.cached);
+    assert_eq!(session.stats().cells.misses, 1);
+}
+
+#[test]
+fn queued_jobs_cancel_when_the_session_drops() {
+    let session = SessionBuilder::new().batch_workers(1).build();
+    let running = session.submit(slow_request());
+    // Wait until the slow job is actually executing (its build claims the
+    // immunity cache key), so the second job is definitely queued behind
+    // it on the single worker.
+    let t0 = Instant::now();
+    while session.cache_stats(RequestClass::Immunity).in_flight == 0 {
+        assert!(t0.elapsed() < Duration::from_secs(60), "job never started");
+        std::thread::yield_now();
+    }
+    let queued = session.submit(CellRequest::new(StdCellKind::Inv));
+
+    // Dropping the last Session handle shuts the engine down: the
+    // in-flight job finishes (it holds the core alive while it runs);
+    // the queued one is popped during shutdown and canceled.
+    drop(session);
+    assert!(running.wait().unwrap().mc.is_some(), "in-flight job landed");
+    assert!(matches!(queued.wait(), Err(CnfetError::Canceled)));
+}

@@ -22,7 +22,7 @@ fn every_catalog_cell_full_pipeline() {
     for kind in StdCellKind::ALL {
         for scheme in [Scheme::Scheme1, Scheme::Scheme2] {
             let cell = session
-                .generate(&CellRequest::new(kind).options(opts(scheme)))
+                .run(&CellRequest::new(kind).options(opts(scheme)))
                 .unwrap_or_else(|e| panic!("{kind} {scheme}: {e}"))
                 .cell;
 
@@ -32,7 +32,7 @@ fn every_catalog_cell_full_pipeline() {
 
             // Certified 100% immune.
             let report = session
-                .immunity(&ImmunityRequest {
+                .run(&ImmunityRequest {
                     cell: CellRequest::new(kind).options(opts(scheme)),
                     engine: ImmunityEngine::Certify,
                 })
@@ -52,8 +52,8 @@ fn every_catalog_cell_full_pipeline() {
     // Each (kind, scheme) was generated once and recalled once by the
     // immunity request — the engine's whole point.
     let stats = session.stats();
-    assert_eq!(stats.cell_misses, 2 * StdCellKind::ALL.len() as u64);
-    assert_eq!(stats.cell_hits, 2 * StdCellKind::ALL.len() as u64);
+    assert_eq!(stats.cells.misses, 2 * StdCellKind::ALL.len() as u64);
+    assert_eq!(stats.cells.hits, 2 * StdCellKind::ALL.len() as u64);
 }
 
 #[test]
@@ -74,7 +74,7 @@ fn new_layout_never_larger_than_old() {
             }
         }
     }
-    let results = session.generate_batch(&requests);
+    let results = session.run_batch(&requests);
     for pair in results.chunks(2) {
         let new = pair[0].as_ref().expect("generates");
         let old = pair[1].as_ref().expect("generates");
@@ -96,7 +96,7 @@ fn vulnerable_layouts_fail_where_immune_ones_do_not() {
         ..McOptions::default()
     });
     let vulnerable = session
-        .immunity(&ImmunityRequest {
+        .run(&ImmunityRequest {
             cell: CellRequest::new(StdCellKind::Nand(2)).options(GenerateOptions {
                 style: Style::Vulnerable,
                 ..GenerateOptions::default()
@@ -105,7 +105,7 @@ fn vulnerable_layouts_fail_where_immune_ones_do_not() {
         })
         .expect("generates");
     let immune = session
-        .immunity(&ImmunityRequest {
+        .run(&ImmunityRequest {
             cell: CellRequest::new(StdCellKind::Nand(2)),
             engine: mc,
         })
@@ -128,7 +128,7 @@ fn scheme2_cells_are_shorter_scheme1_cells_are_narrower() {
     for kind in [StdCellKind::Inv, StdCellKind::Nand(2), StdCellKind::Aoi21] {
         let mk = |scheme| {
             session
-                .generate(&CellRequest::new(kind).options(GenerateOptions {
+                .run(&CellRequest::new(kind).options(GenerateOptions {
                     scheme,
                     ..GenerateOptions::default()
                 }))
@@ -146,7 +146,7 @@ fn scheme2_cells_are_shorter_scheme1_cells_are_narrower() {
 fn gds_stream_contains_cnt_doping_and_etch_layers() {
     let session = Session::new();
     let old = session
-        .generate(
+        .run(
             &CellRequest::new(StdCellKind::Nand(3)).options(GenerateOptions {
                 style: Style::OldEtched,
                 ..GenerateOptions::default()

@@ -112,8 +112,8 @@ fn arbitrary_functions_generate_immune_layouts() {
     }
     // Duplicate expressions across cases are cache hits, never repeats.
     let stats = session.stats();
-    assert_eq!(stats.cell_requests(), CASES as u64);
-    assert_eq!(stats.cell_misses, session.cached_cells() as u64);
+    assert_eq!(stats.cells.requests(), CASES as u64);
+    assert_eq!(stats.cells.misses, session.cached_cells() as u64);
 }
 
 /// Paths of a network characterize its conduction exactly.

@@ -1,11 +1,12 @@
-//! Integration tests of the `cnfet::Session` engine: cache hit/miss
-//! semantics, batch-vs-serial equivalence, library/flow memoization, and
-//! the unified error hierarchy.
+//! Integration tests of the `cnfet::Session` engine: generic `run`
+//! cache hit/miss semantics, batch-vs-serial equivalence, library/flow
+//! memoization, the deprecated per-kind wrappers, and the unified error
+//! hierarchy.
 
 use cnfet::core::{GenerateOptions, Scheme, Sizing, StdCellKind, Style};
 use cnfet::{
     CellRequest, CnfetError, FlowRequest, FlowSource, ImmunityEngine, ImmunityRequest,
-    LibraryRequest, Session, SessionBuilder,
+    LibraryRequest, RequestClass, Session, SessionBuilder, SessionRequest,
 };
 use std::sync::Arc;
 
@@ -16,14 +17,14 @@ fn concurrent_identical_requests_generate_once() {
     let session = Session::new();
     let requests = vec![CellRequest::new(StdCellKind::Nand(3)); 16];
     let results: Vec<_> = session
-        .generate_batch(&requests)
+        .run_batch(&requests)
         .into_iter()
         .map(|r| r.unwrap())
         .collect();
 
     let stats = session.stats();
-    assert_eq!(stats.cell_misses, 1, "exactly one layout generation");
-    assert_eq!(stats.cell_hits, 15);
+    assert_eq!(stats.cells.misses, 1, "exactly one layout generation");
+    assert_eq!(stats.cells.hits, 15);
     assert_eq!(session.cached_cells(), 1);
     assert_eq!(
         results.iter().filter(|r| !r.cached).count(),
@@ -39,16 +40,16 @@ fn identical_requests_hit_the_cache() {
     let session = Session::new();
     let req = CellRequest::new(StdCellKind::Nand(3));
 
-    let first = session.generate(&req).unwrap();
+    let first = session.run(&req).unwrap();
     assert!(!first.cached);
-    let second = session.generate(&req).unwrap();
+    let second = session.run(&req).unwrap();
     assert!(second.cached);
 
     // No second layout generation happened: one miss, one hit, and both
     // results share the same allocation.
     let stats = session.stats();
-    assert_eq!(stats.cell_misses, 1);
-    assert_eq!(stats.cell_hits, 1);
+    assert_eq!(stats.cells.misses, 1);
+    assert_eq!(stats.cells.hits, 1);
     assert!(Arc::ptr_eq(&first.cell, &second.cell));
     assert_eq!(session.cached_cells(), 1);
 }
@@ -57,7 +58,7 @@ fn identical_requests_hit_the_cache() {
 fn changed_options_miss_the_cache() {
     let session = Session::new();
     let base = CellRequest::new(StdCellKind::Nand(2));
-    session.generate(&base).unwrap();
+    session.run(&base).unwrap();
 
     for options in [
         GenerateOptions {
@@ -73,31 +74,56 @@ fn changed_options_miss_the_cache() {
             ..GenerateOptions::default()
         },
     ] {
-        let r = session.generate(&base.clone().options(options)).unwrap();
+        let r = session.run(&base.clone().options(options)).unwrap();
         assert!(!r.cached, "distinct options must regenerate");
     }
     // A different strength is a distinct cell too.
     let x2 = session
-        .generate(&CellRequest::new(StdCellKind::Nand(2)).strength(2))
+        .run(&CellRequest::new(StdCellKind::Nand(2)).strength(2))
         .unwrap();
     assert!(!x2.cached);
 
     let stats = session.stats();
-    assert_eq!(stats.cell_hits, 0);
-    assert_eq!(stats.cell_misses, 5);
+    assert_eq!(stats.cells.hits, 0);
+    assert_eq!(stats.cells.misses, 5);
 }
 
 #[test]
 fn explicit_default_options_share_the_default_entry() {
     let session = Session::new();
-    let implicit = session
-        .generate(&CellRequest::new(StdCellKind::Inv))
-        .unwrap();
+    let implicit = session.run(&CellRequest::new(StdCellKind::Inv)).unwrap();
     let explicit = session
-        .generate(&CellRequest::new(StdCellKind::Inv).options(GenerateOptions::default()))
+        .run(&CellRequest::new(StdCellKind::Inv).options(GenerateOptions::default()))
         .unwrap();
     assert!(explicit.cached, "None-options resolve to the same key");
     assert!(Arc::ptr_eq(&implicit.cell, &explicit.cell));
+}
+
+#[test]
+fn cache_keys_are_class_tagged() {
+    // Every request kind produces a key of its own class, so the four
+    // caches can never serve each other's entries.
+    let session = Session::new();
+    let cell = CellRequest::new(StdCellKind::Inv);
+    let lib = LibraryRequest::new(Scheme::Scheme1);
+    let imm = ImmunityRequest::certify(StdCellKind::Inv);
+    let flow = FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1);
+    assert_eq!(
+        cell.cache_key(&session).unwrap().class(),
+        RequestClass::Cell
+    );
+    assert_eq!(
+        lib.cache_key(&session).unwrap().class(),
+        RequestClass::Library
+    );
+    assert_eq!(
+        imm.cache_key(&session).unwrap().class(),
+        RequestClass::Immunity
+    );
+    assert_eq!(
+        flow.cache_key(&session).unwrap().class(),
+        RequestClass::Flow
+    );
 }
 
 #[test]
@@ -115,12 +141,12 @@ fn batch_equals_serial() {
     let serial_session = Session::new();
     let serial: Vec<_> = requests
         .iter()
-        .map(|r| serial_session.generate(r).unwrap())
+        .map(|r| serial_session.run(r).unwrap())
         .collect();
 
     let batch_session = Session::new();
     let batch: Vec<_> = batch_session
-        .generate_batch(&requests)
+        .run_batch(&requests)
         .into_iter()
         .map(|r| r.unwrap())
         .collect();
@@ -136,37 +162,54 @@ fn batch_equals_serial() {
     assert_eq!(batch_session.stats().batches, 1);
 
     // Re-running the same batch is served entirely from the cache.
-    let rerun = batch_session.generate_batch(&requests);
+    let rerun = batch_session.run_batch(&requests);
     assert!(rerun.into_iter().all(|r| r.unwrap().cached));
     assert_eq!(
-        batch_session.stats().cell_hits,
+        batch_session.stats().cells.hits,
         requests.len() as u64,
         "every rerun request must hit"
     );
 }
 
 #[test]
+fn run_batch_generalizes_beyond_cells() {
+    // The batch executor accepts any one request kind — here a slice of
+    // immunity requests, each recalling its batch-generated cell.
+    let session = Session::new();
+    let requests: Vec<ImmunityRequest> = StdCellKind::ALL
+        .into_iter()
+        .map(ImmunityRequest::certify)
+        .collect();
+    let reports: Vec<_> = session
+        .run_batch(&requests)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    assert!(reports.iter().all(|r| r.immune));
+    let stats = session.stats();
+    assert_eq!(stats.immunity.misses, requests.len() as u64);
+    assert_eq!(stats.cells.misses, requests.len() as u64);
+    assert_eq!(stats.batches, 1);
+}
+
+#[test]
 fn library_is_memoized_and_feeds_the_cell_cache() {
     let session = Session::new();
-    let lib1 = session
-        .library(&LibraryRequest::new(Scheme::Scheme1))
-        .unwrap();
-    let misses_after_build = session.stats().cell_misses;
+    let lib1 = session.run(&LibraryRequest::new(Scheme::Scheme1)).unwrap();
+    let misses_after_build = session.stats().cells.misses;
     assert_eq!(misses_after_build, lib1.cells.len() as u64);
 
     // Second build: whole library from the library cache.
-    let lib2 = session
-        .library(&LibraryRequest::new(Scheme::Scheme1))
-        .unwrap();
+    let lib2 = session.run(&LibraryRequest::new(Scheme::Scheme1)).unwrap();
     assert!(Arc::ptr_eq(&lib1, &lib2));
     let stats = session.stats();
-    assert_eq!(stats.library_hits, 1);
-    assert_eq!(stats.library_misses, 1);
-    assert_eq!(stats.cell_misses, misses_after_build, "no regeneration");
+    assert_eq!(stats.libraries.hits, 1);
+    assert_eq!(stats.libraries.misses, 1);
+    assert_eq!(stats.cells.misses, misses_after_build, "no regeneration");
 
     // A library cell requested directly is a cell-cache hit.
     let inv = session
-        .generate(
+        .run(
             &CellRequest::new(StdCellKind::Inv)
                 .options(cnfet::dk::library_options(session.kit(), Scheme::Scheme1))
                 .named("INV_X1"),
@@ -183,12 +226,12 @@ fn builder_defaults_apply_to_requests() {
         .sizing(Sizing::Uniform { width_lambda: 4 })
         .build();
     let c = session
-        .generate(&CellRequest::new(StdCellKind::Nand(2)))
+        .run(&CellRequest::new(StdCellKind::Nand(2)))
         .unwrap();
     assert_eq!(c.cell.scheme, Scheme::Scheme2);
 
     let s1 = Session::new()
-        .generate(&CellRequest::new(StdCellKind::Nand(2)))
+        .run(&CellRequest::new(StdCellKind::Nand(2)))
         .unwrap();
     assert!(
         c.cell.height_lambda < s1.cell.height_lambda,
@@ -200,7 +243,7 @@ fn builder_defaults_apply_to_requests() {
 fn immunity_through_the_session() {
     let session = Session::new();
     let cert = session
-        .immunity(&ImmunityRequest::certify(StdCellKind::Nand(2)))
+        .run(&ImmunityRequest::certify(StdCellKind::Nand(2)))
         .unwrap();
     assert!(cert.immune);
     assert!(cert.cert.is_some() && cert.mc.is_none());
@@ -210,7 +253,7 @@ fn immunity_through_the_session() {
         ..GenerateOptions::default()
     });
     let mc = session
-        .immunity(&ImmunityRequest {
+        .run(&ImmunityRequest {
             cell: vulnerable,
             engine: ImmunityEngine::MonteCarlo(cnfet::immunity::McOptions {
                 tubes: 2000,
@@ -221,34 +264,35 @@ fn immunity_through_the_session() {
     assert!(!mc.immune, "vulnerable layout must fail under Monte-Carlo");
     assert!(mc.mc.unwrap().failures > 0);
 
-    // The immune cell was generated once and reused by the repeat request.
+    // The repeat request is a pure immunity-cache hit — the whole report
+    // is memoized, so not even the cell cache is consulted again.
     let again = session
-        .immunity(&ImmunityRequest::certify(StdCellKind::Nand(2)))
+        .run(&ImmunityRequest::certify(StdCellKind::Nand(2)))
         .unwrap();
     assert!(again.immune);
-    assert!(session.stats().cell_hits >= 1);
+    assert_eq!(session.stats().immunity.hits, 1);
 }
 
 #[test]
 fn flow_through_the_session() {
     let session = Session::new();
     let cmos = session
-        .flow(&FlowRequest::cmos(FlowSource::FullAdder))
+        .run(&FlowRequest::cmos(FlowSource::FullAdder))
         .unwrap();
     let s1 = session
-        .flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1))
+        .run(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1))
         .unwrap();
     let s2 = session
-        .flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme2).with_gds())
+        .run(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme2).with_gds())
         .unwrap();
 
     assert!(cmos.placement.area_l2 > s1.placement.area_l2);
     assert!(s1.placement.area_l2 > s2.placement.area_l2);
     assert!(s2.gds.as_ref().is_some_and(|g| !g.is_empty()));
     assert!(cmos.gds.is_none() && s1.gds.is_none());
-    assert_eq!(session.stats().flows, 3);
+    assert_eq!(session.stats().flows.requests(), 3);
     // Scheme-1 library was built once and shared by the CMOS baseline run.
-    assert_eq!(session.stats().library_misses, 2);
+    assert_eq!(session.stats().libraries.misses, 2);
 }
 
 #[test]
@@ -259,12 +303,51 @@ module bad (input a, output y);
 endmodule
 "#;
     let err = Session::new()
-        .flow(&FlowRequest::cnfet(
+        .run(&FlowRequest::cnfet(
             FlowSource::Verilog(src.to_string()),
             Scheme::Scheme1,
         ))
         .unwrap_err();
     assert!(matches!(err, CnfetError::MissingCell(name) if name == "NAND2_X7"));
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_wrappers_still_serve_requests() {
+    // One release of grace: the four per-kind methods and generate_batch
+    // must behave exactly like `run`/`run_batch` (same caches, same
+    // stats) until they are removed.
+    let session = Session::new();
+    let via_wrapper = session
+        .generate(&CellRequest::new(StdCellKind::Nand(2)))
+        .unwrap();
+    let via_run = session
+        .run(&CellRequest::new(StdCellKind::Nand(2)))
+        .unwrap();
+    assert!(Arc::ptr_eq(&via_wrapper.cell, &via_run.cell));
+    assert!(via_run.cached, "wrapper and run share one cache entry");
+
+    let lib = session
+        .library(&LibraryRequest::new(Scheme::Scheme1))
+        .unwrap();
+    assert!(Arc::ptr_eq(
+        &lib,
+        &session.run(&LibraryRequest::new(Scheme::Scheme1)).unwrap()
+    ));
+    assert!(
+        session
+            .immunity(&ImmunityRequest::certify(StdCellKind::Nand(2)))
+            .unwrap()
+            .immune
+    );
+    let flow = session
+        .flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1))
+        .unwrap();
+    assert!(flow.placement.area_l2 > 0.0);
+
+    let batch = session.generate_batch(&[CellRequest::new(StdCellKind::Nand(2))]);
+    assert!(batch[0].as_ref().unwrap().cached);
+    assert_eq!(session.stats().batches, 1);
 }
 
 #[test]
@@ -293,7 +376,7 @@ fn errors_unify_under_cnfet_error() {
 
     // Verilog failure → CnfetError::Verilog.
     let err = session
-        .flow(&FlowRequest::cnfet(
+        .run(&FlowRequest::cnfet(
             FlowSource::Verilog("not verilog at all".into()),
             Scheme::Scheme1,
         ))
@@ -313,10 +396,20 @@ fn errors_unify_under_cnfet_error() {
 fn clear_cache_forgets_cells_but_keeps_counters() {
     let session = Session::new();
     let req = CellRequest::new(StdCellKind::Inv);
-    session.generate(&req).unwrap();
+    session.run(&req).unwrap();
     session.clear_cache();
     assert_eq!(session.cached_cells(), 0);
-    let again = session.generate(&req).unwrap();
+    let again = session.run(&req).unwrap();
     assert!(!again.cached);
-    assert_eq!(session.stats().cell_misses, 2);
+    assert_eq!(session.stats().cells.misses, 2);
+}
+
+#[test]
+fn session_clones_share_the_engine() {
+    let session = Session::new();
+    let clone = session.clone();
+    session.run(&CellRequest::new(StdCellKind::Inv)).unwrap();
+    let via_clone = clone.run(&CellRequest::new(StdCellKind::Inv)).unwrap();
+    assert!(via_clone.cached, "clones share one cache");
+    assert_eq!(clone.stats().cells.requests(), 2);
 }
