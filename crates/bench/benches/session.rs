@@ -1,14 +1,16 @@
 //! Bench: the `Session` engine — cold vs cached vs batched generation of
 //! the full `StdCellKind::ALL` × scheme request matrix, the library
-//! build, a contended multi-thread hit path, a skewed batch, and a
-//! heterogeneous `submit_all` mix riding the persistent job pool. This
-//! is the baseline future perf PRs (sharding, async serving) must not
-//! regress; CI gates the `cached_*`/`contended_*`/`mixed_batch_*`
-//! samples through `check_regression`.
+//! build, a contended multi-thread hit path, a skewed batch, a
+//! heterogeneous `submit_all` mix riding the persistent job pool, and a
+//! composite variation sweep. This is the baseline future perf PRs
+//! (sharding, async serving) must not regress; CI gates the
+//! `cached_*`/`contended_*`/`mixed_batch_*`/`sweep_grid_cached*` samples
+//! through `check_regression`.
 
 use cnfet::core::{GenerateOptions, Scheme, StdCellKind};
 use cnfet::{
     CellRequest, FlowRequest, FlowSource, ImmunityRequest, LibraryRequest, RequestKind, Session,
+    SweepMetrics, SweepRequest, VariationGrid,
 };
 use cnfet_bench::harness::Harness;
 
@@ -139,6 +141,31 @@ fn main() {
         for handle in handles {
             handle.wait().unwrap();
         }
+    });
+
+    // Variation sweep: the composite request — 3 cells × 4 corners
+    // fanned out through the pool with batch-targeted helping. Cold is
+    // informational (it times MC + reduction); the cached sample is the
+    // gated one — a repeated sweep must stay a pure Sweeps-class hit.
+    let sweep = SweepRequest::new([StdCellKind::Inv, StdCellKind::Nand(2), StdCellKind::Nor(2)])
+        .grid(
+            VariationGrid::nominal()
+                .tube_counts([26, 10])
+                .metallic_fractions([0.0, 0.05]),
+        )
+        .metrics(SweepMetrics::IMMUNITY)
+        .mc(cnfet::immunity::McOptions {
+            tubes: 200,
+            ..Default::default()
+        });
+    h.bench("sweep_grid_cold_3c4k", 10, || {
+        let session = Session::new();
+        session.run(&sweep).unwrap()
+    });
+    let warm_sweep = Session::new();
+    warm_sweep.run(&sweep).unwrap();
+    h.bench("sweep_grid_cached_3c4k", 200, || {
+        warm_sweep.run(&sweep).unwrap()
     });
 
     // Library build: cold (fresh session) vs memoized.

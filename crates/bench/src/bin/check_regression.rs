@@ -35,13 +35,14 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// Sample-name prefixes gated by default: the pure cache/lock hit paths,
-/// plus the heterogeneous `submit_all` mix (JobHandle + pool dispatch
-/// over cache hits).
-const DEFAULT_GATES: [&str; 4] = [
+/// the heterogeneous `submit_all` mix (JobHandle + pool dispatch over
+/// cache hits), and the composite sweep's whole-report hit.
+const DEFAULT_GATES: [&str; 5] = [
     "cached_",
     "contended_",
     "library_scheme1_cached",
     "mixed_batch_",
+    "sweep_grid_cached",
 ];
 
 struct Args {

@@ -43,6 +43,36 @@ impl TimingTable {
     }
 }
 
+/// A characterization corner: process-variation overrides applied on top
+/// of a kit's nominal CNT technology.
+///
+/// * `tubes_per_4lambda` replaces [`DesignKit::tubes_per_4lambda`] — CNT
+///   *count/density* variation (fewer grown tubes mean less drive and
+///   less gate capacitance, at a wider effective pitch).
+/// * `pitch_scale` multiplies the effective device width seen by the
+///   screening model — CNT *pitch/placement spread* variation (tubes
+///   bunched tighter than drawn screen each other harder; `1.0` is the
+///   evenly-pitched nominal). The drain-strip parasitic scales with it
+///   too, as the strip must span the grown spread.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CharCorner {
+    /// CNTs per 4λ of device width at this corner.
+    pub tubes_per_4lambda: u32,
+    /// Multiplier on the effective (screening) device width; `1.0` =
+    /// nominal.
+    pub pitch_scale: f64,
+}
+
+impl CharCorner {
+    /// The kit's nominal technology point.
+    pub fn nominal(kit: &DesignKit) -> CharCorner {
+        CharCorner {
+            tubes_per_4lambda: kit.tubes_per_4lambda,
+            pitch_scale: 1.0,
+        }
+    }
+}
+
 /// Builds the transistor-level circuit of a cell and measures delay from
 /// its first input pin to the output across the given loads.
 ///
@@ -56,6 +86,23 @@ pub fn characterize_cell(
     kit: &DesignKit,
     cell: &LibCell,
     loads_f: &[f64],
+) -> Result<TimingTable, SimError> {
+    characterize_cell_at(kit, cell, loads_f, CharCorner::nominal(kit))
+}
+
+/// [`characterize_cell`] at an explicit variation corner: the same
+/// transient measurement with the corner's tube count and pitch spread
+/// substituted for the kit's nominal technology. The nominal corner
+/// reproduces `characterize_cell` exactly.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when a transient fails to converge.
+pub fn characterize_cell_at(
+    kit: &DesignKit,
+    cell: &LibCell,
+    loads_f: &[f64],
+    corner: CharCorner,
 ) -> Result<TimingTable, SimError> {
     let (pdn, pun, vars) = cell.kind.networks();
     let n_inputs = vars.len();
@@ -108,6 +155,7 @@ pub fn characterize_cell(
             out,
             &input_nodes,
             cell.strength,
+            corner,
         );
         instantiate_network(
             kit,
@@ -118,6 +166,7 @@ pub fn characterize_cell(
             out,
             &input_nodes,
             cell.strength,
+            corner,
         );
         ckt.add_load(out, load);
 
@@ -160,7 +209,8 @@ fn sensitizing_mask(pdn: &SpNetwork, n_inputs: usize) -> u64 {
     0
 }
 
-/// Adds one pull network's FETs between `source` and `out`.
+/// Adds one pull network's FETs between `source` and `out`, sized at the
+/// given variation corner.
 #[allow(clippy::too_many_arguments)]
 fn instantiate_network(
     kit: &DesignKit,
@@ -171,6 +221,7 @@ fn instantiate_network(
     out: cnfet_spice::Node,
     inputs: &[cnfet_spice::Node],
     strength: u8,
+    corner: CharCorner,
 ) {
     let sized = SizedNetwork::from_network(
         net,
@@ -191,8 +242,9 @@ fn instantiate_network(
     }
     for (ei, e) in graph.edges().iter().enumerate() {
         let w_lambda = widths.get(ei).copied().unwrap_or(kit.base_width_lambda);
-        let width_m = w_lambda as f64 * 32.5e-9;
-        let tubes = (kit.tubes_per_4lambda as f64 * w_lambda as f64 / kit.base_width_lambda as f64)
+        let width_m = w_lambda as f64 * 32.5e-9 * corner.pitch_scale;
+        let tubes = (corner.tubes_per_4lambda as f64 * w_lambda as f64
+            / kit.base_width_lambda as f64)
             .round()
             .max(1.0) as u32;
         let dev = kit.cnfet.device(polarity, tubes * strength as u32, width_m);
@@ -229,6 +281,52 @@ mod tests {
         let nand = lib.cell("NAND2_X1").unwrap();
         let table = characterize_cell(&kit, nand, &[1e-15]).unwrap();
         assert!(table.delays_s[0] > 0.0 && table.delays_s[0] < 1e-9);
+    }
+
+    #[test]
+    fn corner_variation_moves_the_metrics() {
+        let kit = DesignKit::cnfet65();
+        let lib = build_library(&kit, Scheme::Scheme1).unwrap();
+        let inv = lib.cell("INV_X1").unwrap();
+        let loads = [1e-15];
+        let nominal = characterize_cell_at(&kit, inv, &loads, CharCorner::nominal(&kit)).unwrap();
+        let explicit = characterize_cell(&kit, inv, &loads).unwrap();
+        assert_eq!(
+            nominal.delays_s, explicit.delays_s,
+            "nominal corner reproduces characterize_cell"
+        );
+
+        // Fewer tubes = less drive = slower under the same external load.
+        let sparse = characterize_cell_at(
+            &kit,
+            inv,
+            &loads,
+            CharCorner {
+                tubes_per_4lambda: 8,
+                pitch_scale: 1.0,
+            },
+        )
+        .unwrap();
+        assert!(
+            sparse.delays_s[0] > nominal.delays_s[0],
+            "sparse {} vs nominal {}",
+            sparse.delays_s[0],
+            nominal.delays_s[0]
+        );
+
+        // Tubes bunched tighter than drawn screen each other harder:
+        // per-tube drive collapses, so the corner is slower as well.
+        let bunched = characterize_cell_at(
+            &kit,
+            inv,
+            &loads,
+            CharCorner {
+                tubes_per_4lambda: kit.tubes_per_4lambda,
+                pitch_scale: 0.5,
+            },
+        )
+        .unwrap();
+        assert!(bunched.delays_s[0] > nominal.delays_s[0]);
     }
 
     #[test]

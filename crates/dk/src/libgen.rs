@@ -38,6 +38,42 @@ pub struct LibCell {
     pub tubes_per_device: u32,
 }
 
+impl LibCell {
+    /// Assembles one library cell from a generated layout, deriving the
+    /// electrical summary — per-pin input capacitance and worst-case
+    /// stack-derated drive — from the kit's device model at
+    /// `tubes_per_device` CNTs per finger. This is the single home of
+    /// those sizing formulas; [`build_library_with`] and the umbrella
+    /// crate's characterization sweeps both assemble cells through it.
+    pub fn from_layout(
+        kit: &DesignKit,
+        kind: StdCellKind,
+        strength: u8,
+        layout: Arc<GeneratedCell>,
+        tubes_per_device: u32,
+    ) -> LibCell {
+        use cnfet_device::FetModel;
+        let device = kit.cnfet.device(
+            Polarity::N,
+            tubes_per_device.max(1),
+            kit.base_width_lambda as f64 * 32.5e-9,
+        );
+        // A pin drives one gate per finger in each network.
+        let input_cap = 2.0 * device.cgate() * strength as f64;
+        let (pdn, _, _) = kind.networks();
+        let depth = pdn.max_series_depth() as f64;
+        LibCell {
+            name: CellLibrary::cell_name(kind, strength),
+            kind,
+            strength,
+            layout,
+            input_cap_f: input_cap,
+            drive_a: device.ion() * strength as f64 / depth,
+            tubes_per_device,
+        }
+    }
+}
+
 /// A generated cell library.
 #[derive(Clone, Debug)]
 pub struct CellLibrary {
@@ -128,30 +164,9 @@ where
                 continue;
             }
             let layout = provider(kind, strength)?;
-            let name = CellLibrary::cell_name(kind, strength);
-
-            let device = kit.cnfet.device(
-                Polarity::N,
-                kit.tubes_per_4lambda,
-                kit.base_width_lambda as f64 * 32.5e-9,
-            );
-            use cnfet_device::FetModel;
-            // A pin drives one gate per finger in each network.
-            let input_cap = 2.0 * device.cgate() * strength as f64;
-            let (pdn, _, _) = kind.networks();
-            let depth = pdn.max_series_depth() as f64;
-            let drive = device.ion() * strength as f64 / depth;
-
-            by_name.insert(name.clone(), cells.len());
-            cells.push(LibCell {
-                name,
-                kind,
-                strength,
-                layout,
-                input_cap_f: input_cap,
-                drive_a: drive,
-                tubes_per_device: kit.tubes_per_4lambda,
-            });
+            let cell = LibCell::from_layout(kit, kind, strength, layout, kit.tubes_per_4lambda);
+            by_name.insert(cell.name.clone(), cells.len());
+            cells.push(cell);
         }
     }
 

@@ -28,6 +28,14 @@ pub struct McOptions {
     pub segment_len_lambda: f64,
     /// RNG seed (runs are deterministic).
     pub seed: u64,
+    /// Probability that a sampled mispositioned tube is a *surviving
+    /// metallic* tube (grown metallic and missed by the removal step). A
+    /// metallic tube conducts regardless of gate bias, so any
+    /// contact-to-contact trace between distinct nets it creates is a
+    /// functional failure — the gate-superset harmlessness criterion
+    /// cannot save it. `0.0` (the default, the paper's assumption of
+    /// perfect removal) keeps the RNG stream of earlier releases.
+    pub metallic_fraction: f64,
 }
 
 impl Default for McOptions {
@@ -37,6 +45,7 @@ impl Default for McOptions {
             tau: 1.0,
             segment_len_lambda: 6.0,
             seed: 0xC0FFEE,
+            metallic_fraction: 0.0,
         }
     }
 }
@@ -57,6 +66,9 @@ pub struct McReport {
     pub tubes: usize,
     /// Tubes that broke the cell's function.
     pub failures: usize,
+    /// Of the failures, how many were caused by a surviving metallic tube
+    /// (always `0` when [`McOptions::metallic_fraction`] is `0.0`).
+    pub metallic_failures: usize,
     /// Example failures (up to 8).
     pub witnesses: Vec<Witness>,
 }
@@ -83,9 +95,16 @@ pub fn simulate(sem: &SemanticLayout, opts: &McOptions) -> McReport {
     let seg_dx = (opts.segment_len_lambda * DBU_PER_LAMBDA as f64).max(1.0);
 
     let mut failures = 0usize;
+    let mut metallic_failures = 0usize;
     let mut witnesses = Vec::new();
 
     for _ in 0..opts.tubes {
+        // A tube is metallic when the removal step missed it. The draw is
+        // skipped entirely at fraction 0 so the nominal RNG stream (and
+        // therefore every pre-variation golden result) is unchanged.
+        let metallic =
+            opts.metallic_fraction > 0.0 && rng.gen_range(0.0..1.0) < opts.metallic_fraction;
+
         // Sample an x-monotone polyline spanning the cell.
         let mut poly: Vec<(f64, f64)> = Vec::new();
         let mut x = x0 as f64;
@@ -99,8 +118,11 @@ pub fn simulate(sem: &SemanticLayout, opts: &McOptions) -> McReport {
             poly.push((x, y));
         }
 
-        if let Some(seg) = first_harmful_segment(&cm, &poly, &mut judge) {
+        if let Some(seg) = first_harmful_segment(&cm, &poly, &mut judge, metallic) {
             failures += 1;
+            if metallic {
+                metallic_failures += 1;
+            }
             if witnesses.len() < 8 {
                 witnesses.push(Witness {
                     polyline: poly.iter().map(|&(a, b)| (a as i64, b as i64)).collect(),
@@ -113,15 +135,19 @@ pub fn simulate(sem: &SemanticLayout, opts: &McOptions) -> McReport {
     McReport {
         tubes: opts.tubes,
         failures,
+        metallic_failures,
         witnesses,
     }
 }
 
 /// Traces a polyline and returns its first harmful conduction segment.
+/// A `metallic` tube conducts with its gates stuck on: any segment
+/// between distinct nets is harmful no matter what sits over it.
 fn first_harmful_segment(
     cm: &ColumnMap,
     poly: &[(f64, f64)],
     judge: &mut Judge<'_>,
+    metallic: bool,
 ) -> Option<Segment> {
     // Sample the polyline densely and build the region sequence.
     let step = DBU_PER_LAMBDA as f64 / 4.0; // 0.25λ
@@ -163,7 +189,12 @@ fn first_harmful_segment(
                         net_b: net.clone(),
                         gates,
                     };
-                    if judge.classify(&seg) == Verdict::Harmful {
+                    let harmful = if metallic {
+                        seg.net_a != seg.net_b
+                    } else {
+                        judge.classify(&seg) == Verdict::Harmful
+                    };
+                    if harmful {
                         return Some(seg);
                     }
                 }
@@ -238,8 +269,48 @@ mod tests {
         let r = McReport {
             tubes: 200,
             failures: 25,
+            metallic_failures: 0,
             witnesses: Vec::new(),
         };
         assert!((r.failure_probability() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metallic_tubes_break_even_immune_layouts() {
+        // The new compact layout is 100% immune to *semiconducting*
+        // mispositioned tubes, but a surviving metallic tube conducts
+        // regardless of gate bias — with every sampled tube metallic, the
+        // failure count must be substantial and all-metallic.
+        let c = cell(StdCellKind::Nand(2), Style::NewImmune);
+        let clean = simulate(&c.semantics, &McOptions::default());
+        assert_eq!(clean.failures, 0);
+        assert_eq!(clean.metallic_failures, 0);
+
+        let dirty = simulate(
+            &c.semantics,
+            &McOptions {
+                metallic_fraction: 1.0,
+                ..McOptions::default()
+            },
+        );
+        assert!(dirty.failures > 0, "metallic tubes must cause failures");
+        assert_eq!(dirty.metallic_failures, dirty.failures);
+    }
+
+    #[test]
+    fn metallic_fraction_zero_keeps_the_nominal_stream() {
+        // fraction == 0 must not consume RNG draws: the failure count of
+        // the vulnerable layout is byte-for-byte the pre-variation result.
+        let c = cell(StdCellKind::Nand(2), Style::Vulnerable);
+        let a = simulate(&c.semantics, &McOptions::default());
+        let b = simulate(
+            &c.semantics,
+            &McOptions {
+                metallic_fraction: 0.0,
+                ..McOptions::default()
+            },
+        );
+        assert_eq!(a.failures, b.failures);
+        assert_eq!(a.metallic_failures, 0);
     }
 }

@@ -278,6 +278,91 @@ impl Circuit {
     pub fn add_load(&mut self, node: Node, farads: f64) -> &mut Circuit {
         self.add_capacitor(node, Circuit::GROUND, farads)
     }
+
+    /// Renders the circuit as a SPICE-like deck: one line per element in
+    /// insertion order, node names as interned, values in scientific
+    /// notation. The rendering is **deterministic** — equal circuits
+    /// render byte-identically — so it doubles as a canonical form for
+    /// golden-file tests and cache keys. FETs render as `M` cards carrying
+    /// the model quantities the in-repo simulator actually uses (polarity,
+    /// gate and drain capacitance).
+    pub fn to_spice(&self, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "* {title}");
+        let (mut nr, mut nc, mut nv, mut nm) = (0u32, 0u32, 0u32, 0u32);
+        for e in &self.elements {
+            match e {
+                Element::Resistor { a, b, ohms } => {
+                    nr += 1;
+                    let _ = writeln!(
+                        out,
+                        "R{nr} {} {} {ohms:.6e}",
+                        self.node_name(*a),
+                        self.node_name(*b)
+                    );
+                }
+                Element::Capacitor { a, b, farads } => {
+                    nc += 1;
+                    let _ = writeln!(
+                        out,
+                        "C{nc} {} {} {farads:.6e}",
+                        self.node_name(*a),
+                        self.node_name(*b)
+                    );
+                }
+                Element::VSource { p, n, wave } => {
+                    nv += 1;
+                    let _ = write!(out, "V{nv} {} {} ", self.node_name(*p), self.node_name(*n));
+                    match wave {
+                        Waveform::Dc(v) => {
+                            let _ = writeln!(out, "DC {v:.6e}");
+                        }
+                        Waveform::Pulse {
+                            v0,
+                            v1,
+                            delay,
+                            rise,
+                            fall,
+                            width,
+                            period,
+                        } => {
+                            let _ = writeln!(
+                                out,
+                                "PULSE({v0:.6e} {v1:.6e} {delay:.6e} {rise:.6e} {fall:.6e} {width:.6e} {period:.6e})"
+                            );
+                        }
+                        Waveform::Pwl(points) => {
+                            let _ = write!(out, "PWL(");
+                            for (i, (t, v)) in points.iter().enumerate() {
+                                let sep = if i == 0 { "" } else { " " };
+                                let _ = write!(out, "{sep}{t:.6e} {v:.6e}");
+                            }
+                            let _ = writeln!(out, ")");
+                        }
+                    }
+                }
+                Element::Fet { d, g, s, model } => {
+                    nm += 1;
+                    let polarity = match model.polarity() {
+                        cnfet_device::Polarity::N => "cnfet_n",
+                        cnfet_device::Polarity::P => "cnfet_p",
+                    };
+                    let _ = writeln!(
+                        out,
+                        "M{nm} {} {} {} {polarity} cg={:.6e} cd={:.6e}",
+                        self.node_name(*d),
+                        self.node_name(*g),
+                        self.node_name(*s),
+                        model.cgate(),
+                        model.cdrain()
+                    );
+                }
+            }
+        }
+        out.push_str(".end\n");
+        out
+    }
 }
 
 #[cfg(test)]
@@ -338,6 +423,38 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("a");
         c.add_resistor(a, Circuit::GROUND, -5.0);
+    }
+
+    #[test]
+    fn to_spice_renders_deterministically() {
+        let build = || {
+            let mut c = Circuit::new();
+            let a = c.node("in");
+            let b = c.node("out");
+            c.add_vsource(
+                a,
+                Circuit::GROUND,
+                Waveform::Pulse {
+                    v0: 0.0,
+                    v1: 1.0,
+                    delay: 1e-10,
+                    rise: 1e-11,
+                    fall: 1e-11,
+                    width: 1e-9,
+                    period: 2e-9,
+                },
+            );
+            c.add_resistor(a, b, 1e3);
+            c.add_capacitor(b, Circuit::GROUND, 1e-15);
+            c
+        };
+        let deck = build().to_spice("rc");
+        assert_eq!(deck, build().to_spice("rc"), "byte-identical rendering");
+        assert!(deck.starts_with("* rc\n"));
+        assert!(deck.contains("V1 in 0 PULSE("));
+        assert!(deck.contains("R1 in out 1.000000e3"));
+        assert!(deck.contains("C1 out 0 1.000000e-15"));
+        assert!(deck.ends_with(".end\n"));
     }
 
     #[test]

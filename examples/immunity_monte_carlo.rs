@@ -16,6 +16,7 @@ fn main() -> cnfet::Result<()> {
         tau: 1.0,
         segment_len_lambda: 6.0,
         seed: 42,
+        metallic_fraction: 0.0,
     };
 
     for style in [Style::Vulnerable, Style::OldEtched, Style::NewImmune] {

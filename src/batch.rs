@@ -1,5 +1,5 @@
 //! The work-stealing executor behind
-//! [`Session::generate_batch`](crate::Session::generate_batch).
+//! [`Session::run_batch`](crate::Session::run_batch).
 //!
 //! The PR-1 batch path handed indices out of one atomic counter, which
 //! balances *counts* but not *costs*: a worker that drew a heavy request

@@ -34,8 +34,29 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// A unit of work queued on the pool.
-pub(crate) type Job = Box<dyn FnOnce() + Send>;
+/// A unit of work queued on the pool, tagged with the submission batch it
+/// belongs to. The tag is what makes *targeted helping* safe: a composite
+/// request draining the queue while it waits runs only jobs of its own
+/// batch — never an arbitrary queued job, which could itself block on the
+/// very single-flight claim the helper is holding (a re-entrant
+/// deadlock).
+pub(crate) struct Job {
+    /// Batch the job was submitted under ([`UNBATCHED`] for solo
+    /// submissions).
+    pub(crate) batch: u64,
+    /// The work itself.
+    pub(crate) run: Box<dyn FnOnce() + Send>,
+}
+
+/// Batch tag of jobs submitted outside any batch.
+pub(crate) const UNBATCHED: u64 = 0;
+
+/// Allocates a fresh nonzero batch id (process-global, so ids never
+/// collide across sessions).
+pub(crate) fn next_batch_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
 
 // ---------------------------------------------------------------------------
 // Job handles
@@ -283,6 +304,60 @@ impl Pool {
     pub(crate) fn steals(&self) -> u64 {
         self.shared.steals.load(Ordering::Relaxed)
     }
+
+    /// Runs **one** queued job *of the given batch* on the calling
+    /// thread, if any is immediately available: the injector is scanned
+    /// front to back, then every worker deque back to front. Returns
+    /// whether a job ran.
+    ///
+    /// This is the deadlock escape hatch for *composite* requests — a
+    /// request whose `execute` submits a batch of sub-requests onto the
+    /// same pool and waits for them. On a bounded worker set the
+    /// executing worker would otherwise park forever on handles nobody
+    /// is left to serve; instead it calls this in its wait loop and
+    /// drains its own batch itself. Helping is restricted to that batch
+    /// on purpose: an arbitrary queued job (say, a second copy of the
+    /// same composite) can block on the single-flight claim the helping
+    /// thread currently holds, which would deadlock the helper on
+    /// itself. Sub-requests only ever wait *downward* (corners on cells,
+    /// never on sweeps), so batch-targeted helping cannot cycle.
+    /// Panicking jobs are contained exactly as on a worker (the job's
+    /// `Completion` cancels its handle while unwinding).
+    pub(crate) fn help_run_one(&self, batch: u64) -> bool {
+        // Injector: FIFO, take the frontmost matching job. Worker
+        // deques: take the hindmost, steal-style, so the helper contends
+        // with the owning worker's `pop_front` as little as possible.
+        let take_front = |queue: &Mutex<VecDeque<Job>>| -> Option<Job> {
+            let mut queue = queue.lock().expect("pool queue lock");
+            let at = queue.iter().position(|job| job.batch == batch)?;
+            queue.remove(at)
+        };
+        let take_back = |queue: &Mutex<VecDeque<Job>>| -> Option<Job> {
+            let mut queue = queue.lock().expect("pool queue lock");
+            let at = queue.iter().rposition(|job| job.batch == batch)?;
+            queue.remove(at)
+        };
+        let mut job = take_front(&self.shared.injector);
+        if job.is_none() {
+            // The batch's jobs may have been chunk-refilled or stolen
+            // into a worker deque whose owner is itself blocked helping
+            // a composite — their queued tails must stay reachable.
+            for local in &self.shared.locals {
+                job = take_back(local);
+                if job.is_some() {
+                    self.shared.steals.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        match job {
+            Some(job) => {
+                let _ = catch_unwind(AssertUnwindSafe(job.run));
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 impl Drop for Pool {
@@ -325,7 +400,7 @@ fn worker(shared: &PoolShared, me: usize) {
         {
             // A panicking request must not kill the worker; the job's
             // Completion resolves the handle to Canceled while unwinding.
-            let _ = catch_unwind(AssertUnwindSafe(job));
+            let _ = catch_unwind(AssertUnwindSafe(job.run));
         }
         if shared.shutdown.load(Ordering::Acquire) {
             return;
@@ -356,13 +431,21 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
 
+    /// An unbatched test job.
+    fn job(run: impl FnOnce() + Send + 'static) -> Job {
+        Job {
+            batch: UNBATCHED,
+            run: Box::new(run),
+        }
+    }
+
     #[test]
     fn jobs_resolve_handles() {
         let pool = Pool::new(2);
         let handles: Vec<_> = (0..32)
             .map(|i| {
                 let (completion, handle) = job_channel::<usize>();
-                pool.submit(Box::new(move || completion.complete(Ok(i * 2))));
+                pool.submit(job(move || completion.complete(Ok(i * 2))));
                 handle
             })
             .collect();
@@ -374,8 +457,8 @@ mod tests {
     #[test]
     fn dropped_unrun_jobs_cancel_their_handles() {
         let (completion, handle) = job_channel::<u32>();
-        let job: Job = Box::new(move || completion.complete(Ok(1)));
-        drop(job);
+        let unrun = job(move || completion.complete(Ok(1)));
+        drop(unrun);
         assert!(matches!(handle.wait(), Err(CnfetError::Canceled)));
     }
 
@@ -383,14 +466,14 @@ mod tests {
     fn panicking_job_cancels_instead_of_stranding() {
         let pool = Pool::new(1);
         let (completion, handle) = job_channel::<u32>();
-        pool.submit(Box::new(move || {
+        pool.submit(job(move || {
             let _keep = &completion;
             panic!("request blew up");
         }));
         assert!(matches!(handle.wait(), Err(CnfetError::Canceled)));
         // The worker survived the panic and still serves jobs.
         let (completion, handle) = job_channel::<u32>();
-        pool.submit(Box::new(move || completion.complete(Ok(7))));
+        pool.submit(job(move || completion.complete(Ok(7))));
         assert_eq!(handle.wait().unwrap(), 7);
     }
 
@@ -400,7 +483,7 @@ mod tests {
         let gate = Arc::new(AtomicUsize::new(0));
         let (completion, mut handle) = job_channel::<u32>();
         let worker_gate = gate.clone();
-        pool.submit(Box::new(move || {
+        pool.submit(job(move || {
             while worker_gate.load(Ordering::Acquire) == 0 {
                 std::thread::yield_now();
             }
@@ -425,6 +508,65 @@ mod tests {
     }
 
     #[test]
+    fn help_run_one_drains_only_its_batch() {
+        // Gate the single worker on a job, queue a batch plus a foreign
+        // job behind it, and drain from this thread via help_run_one —
+        // the shape a composite request relies on. Only the targeted
+        // batch may run; the foreign job must stay queued.
+        let pool = Pool::new(1);
+        let gate = Arc::new(AtomicUsize::new(0));
+        let worker_gate = gate.clone();
+        let (running, running_handle) = job_channel::<u32>();
+        let started = Arc::new(AtomicUsize::new(0));
+        let started_flag = started.clone();
+        pool.submit(job(move || {
+            started_flag.store(1, Ordering::Release);
+            while worker_gate.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+            running.complete(Ok(0));
+        }));
+        while started.load(Ordering::Acquire) == 0 {
+            std::thread::yield_now();
+        }
+        let batch = next_batch_id();
+        let (foreign_completion, mut foreign) = job_channel::<u32>();
+        pool.submit(job(move || foreign_completion.complete(Ok(99))));
+        let handles: Vec<_> = (1..=4u32)
+            .map(|i| {
+                let (completion, handle) = job_channel::<u32>();
+                pool.submit(Job {
+                    batch,
+                    run: Box::new(move || completion.complete(Ok(i))),
+                });
+                handle
+            })
+            .collect();
+        let mut ran = 0;
+        while pool.help_run_one(batch) {
+            ran += 1;
+        }
+        assert_eq!(ran, 4, "helper drained exactly its batch");
+        for (i, handle) in handles.into_iter().enumerate() {
+            assert_eq!(handle.wait().unwrap(), i as u32 + 1);
+        }
+        assert!(
+            foreign.try_get().is_none(),
+            "the foreign job was not helped"
+        );
+        gate.store(1, Ordering::Release);
+        assert_eq!(running_handle.wait().unwrap(), 0);
+        assert_eq!(
+            foreign
+                .wait_timeout(Duration::from_secs(60))
+                .unwrap()
+                .unwrap(),
+            99
+        );
+        assert!(!pool.help_run_one(batch), "nothing left to help with");
+    }
+
+    #[test]
     fn pool_drop_cancels_queued_jobs() {
         let pool = Pool::new(1);
         let gate = Arc::new(AtomicUsize::new(0));
@@ -432,7 +574,7 @@ mod tests {
         let (running, running_handle) = job_channel::<u32>();
         let started = Arc::new(AtomicUsize::new(0));
         let started_flag = started.clone();
-        pool.submit(Box::new(move || {
+        pool.submit(job(move || {
             started_flag.store(1, Ordering::Release);
             while worker_gate.load(Ordering::Acquire) == 0 {
                 std::thread::yield_now();
@@ -444,7 +586,7 @@ mod tests {
         }
         // Queued behind the gated job; the pool drops before it runs.
         let (queued, queued_handle) = job_channel::<u32>();
-        pool.submit(Box::new(move || queued.complete(Ok(2))));
+        pool.submit(job(move || queued.complete(Ok(2))));
         gate.store(1, Ordering::Release);
         drop(pool);
         assert_eq!(running_handle.wait().unwrap(), 1, "in-flight job finished");

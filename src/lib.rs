@@ -26,13 +26,21 @@
 //! | [`LibraryRequest`] | [`dk::CellLibrary`] | the full function × strength library |
 //! | [`ImmunityRequest`] | [`ImmunityReport`] | certification and/or Monte-Carlo |
 //! | [`FlowRequest`] | [`FlowResult`] | place → simulate → GDSII |
+//! | [`SweepRequest`] | [`SweepReport`] | a variation sweep fanning out per-corner sub-requests |
+//! | [`SweepCornerRequest`] | [`CornerRow`] | one cell at one process corner |
 //! | [`RequestKind`] (any mix) | [`ResponseKind`] | dispatch to the above |
 //!
-//! The per-kind methods of earlier releases (`Session::generate`,
-//! `::library`, `::immunity`, `::flow`, `::generate_batch`) are
-//! deprecated one-line wrappers over `run`/`run_batch` and will be
-//! removed after one release — migrate `session.generate(&r)` to
-//! `session.run(&r)` and so on.
+//! [`SweepRequest`] is the first *composite* request: its execution
+//! schedules per-corner sub-requests on the same pool (deadlock-free on
+//! a bounded worker set — see [`sweep`]) and reduces them into per-corner
+//! rows, a delay/energy/yield Pareto frontier, and best/worst-corner
+//! summaries.
+//!
+//! The per-kind methods of the 0.1 line (`Session::generate`,
+//! `::library`, `::immunity`, `::flow`, `::generate_batch`) were
+//! deprecated in 0.2.0 and are **removed** as of 0.3.0 — migrate
+//! `session.generate(&r)` to `session.run(&r)`, and `generate_batch` to
+//! [`Session::run_batch`] / [`Session::submit_all`].
 //!
 //! # Quickstart
 //!
@@ -74,9 +82,9 @@
 //! * [`flow`] — logic-to-GDSII: synthesis, placement, simulation, assembly.
 //!
 //! Under the hood every request class ([`RequestClass`]: cells,
-//! libraries, immunity verdicts, flow results) is memoized by its own
-//! sharded, bounded, single-flight LRU cache ([`cache`]) — tune it with
-//! [`SessionBuilder::cache_capacity`] and
+//! libraries, immunity verdicts, flow results, sweeps) is memoized by
+//! its own sharded, bounded, single-flight LRU cache ([`cache`]) — tune
+//! it with [`SessionBuilder::cache_capacity`] and
 //! [`SessionBuilder::cache_shards`] — and batches and submitted jobs run
 //! on std-only work-stealing executors. The per-crate free functions
 //! ([`core::generate_cell`], `dk::build_library`, …) remain available
@@ -100,6 +108,7 @@ mod jobs;
 mod request;
 mod session;
 mod steal;
+pub mod sweep;
 
 pub use cache::{CacheStats, ShardStats};
 pub use error::{CnfetError, Result};
@@ -109,4 +118,8 @@ pub use session::{
     CellRequest, CellResult, FlowRequest, FlowResult, FlowSource, FlowTarget, ImmunityEngine,
     ImmunityReport, ImmunityRequest, LibraryRequest, RequestStats, Session, SessionBuilder,
     SessionStats, SimSpec,
+};
+pub use sweep::{
+    CornerRow, CornerSummary, SweepCornerRequest, SweepMetrics, SweepReport, SweepRequest,
+    VariationCorner, VariationGrid,
 };

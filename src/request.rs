@@ -6,9 +6,10 @@
 //! construction and memoization, and only cells could fan out through the
 //! batch executor. This module retires that shape: every request kind —
 //! [`CellRequest`], [`LibraryRequest`], [`ImmunityRequest`],
-//! [`FlowRequest`] — implements [`SessionRequest`], and memoization,
-//! single-flight, and stats accounting live once, in the generic
-//! [`Session::run`](crate::Session::run).
+//! [`FlowRequest`], and the composite [`SweepRequest`] /
+//! [`SweepCornerRequest`] pair — implements [`SessionRequest`], and
+//! memoization, single-flight, and stats accounting live once, in the
+//! generic [`Session::run`](crate::Session::run).
 //!
 //! The trait has three hooks:
 //!
@@ -41,13 +42,14 @@ use crate::session::{
     CellKey, CellRequest, CellResult, FlowRequest, FlowResult, FlowSource, FlowTarget,
     ImmunityEngine, ImmunityReport, ImmunityRequest, LibraryRequest, Session,
 };
+use crate::sweep::{CornerRow, SweepCornerRequest, SweepReport, SweepRequest};
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // Request classes and cache keys
 // ---------------------------------------------------------------------------
 
-/// The four request kinds a session services, each with its own
+/// The five request kinds a session services, each with its own
 /// memoization cache and per-kind counters in
 /// [`SessionStats`](crate::SessionStats).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -60,15 +62,21 @@ pub enum RequestClass {
     Immunity,
     /// A logic-to-GDSII flow run ([`FlowRequest`]).
     Flow,
+    /// A variation-aware characterization sweep — both whole sweeps
+    /// ([`SweepRequest`]) and the per-corner sub-requests they fan out
+    /// ([`SweepCornerRequest`]) memoize here, so overlapping sweeps share
+    /// corner results.
+    Sweeps,
 }
 
 impl RequestClass {
     /// Every request class, in cache order.
-    pub const ALL: [RequestClass; 4] = [
+    pub const ALL: [RequestClass; 5] = [
         RequestClass::Cell,
         RequestClass::Library,
         RequestClass::Immunity,
         RequestClass::Flow,
+        RequestClass::Sweeps,
     ];
 
     /// Stable index of this class into the session's cache array.
@@ -78,6 +86,7 @@ impl RequestClass {
             RequestClass::Library => 1,
             RequestClass::Immunity => 2,
             RequestClass::Flow => 3,
+            RequestClass::Sweeps => 4,
         }
     }
 
@@ -88,6 +97,7 @@ impl RequestClass {
             RequestClass::Library => "library",
             RequestClass::Immunity => "immunity",
             RequestClass::Flow => "flow",
+            RequestClass::Sweeps => "sweeps",
         }
     }
 }
@@ -115,6 +125,14 @@ pub(crate) enum KeyInner {
     /// Flows: the request's canonical `Debug` rendering, which covers
     /// source, target, simulation spec and GDS flag.
     Flow(String),
+    /// Whole sweeps: a canonical rendering of the resolved cell keys plus
+    /// the grid, metric selection, MC base options, and loads.
+    Sweep(String),
+    /// One sweep corner: the resolved cell key plus the corner and the
+    /// metric/MC/load configuration. Lives in the [`RequestClass::Sweeps`]
+    /// cache next to whole sweeps — the variant tag keeps a one-corner
+    /// sweep and its own corner from ever colliding.
+    SweepCorner(String),
 }
 
 impl CacheKey {
@@ -126,6 +144,7 @@ impl CacheKey {
             KeyInner::Library(_) => RequestClass::Library,
             KeyInner::Immunity { .. } => RequestClass::Immunity,
             KeyInner::Flow(_) => RequestClass::Flow,
+            KeyInner::Sweep(_) | KeyInner::SweepCorner(_) => RequestClass::Sweeps,
         }
     }
 }
@@ -149,8 +168,10 @@ mod sealed {
 /// non-blocking submission ([`Session::submit`](crate::Session::submit)).
 ///
 /// This trait is sealed; the implementors are [`CellRequest`],
-/// [`LibraryRequest`], [`ImmunityRequest`], [`FlowRequest`] and the
-/// heterogeneous [`RequestKind`] wrapper.
+/// [`LibraryRequest`], [`ImmunityRequest`], [`FlowRequest`], the
+/// composite [`SweepRequest`] with its per-corner
+/// [`SweepCornerRequest`], and the heterogeneous [`RequestKind`]
+/// wrapper.
 ///
 /// [`cache_key`]: SessionRequest::cache_key
 /// [`execute`]: SessionRequest::execute
@@ -361,6 +382,60 @@ impl SessionRequest for FlowRequest {
 }
 
 // ---------------------------------------------------------------------------
+// Variation sweeps (composite requests)
+// ---------------------------------------------------------------------------
+
+impl sealed::Sealed for SweepRequest {}
+
+impl SessionRequest for SweepRequest {
+    type Output = Arc<SweepReport>;
+
+    /// Whole-sweep memoization: cell keys are resolved against the
+    /// session defaults (so implicit and explicit default options share
+    /// one entry, exactly like direct cell requests), then combined with
+    /// the grid, metric selection, MC base options and load list.
+    fn cache_key(&self, session: &Session) -> Option<CacheKey> {
+        let cell_keys: Vec<CellKey> = self
+            .cells
+            .iter()
+            .map(|cell| session.catalog_key(cell).0)
+            .collect();
+        Some(CacheKey(KeyInner::Sweep(format!(
+            "{cell_keys:?}|{:?}|{:?}|{:?}|{:?}",
+            self.grid, self.metrics, self.mc, self.loads_f
+        ))))
+    }
+
+    /// Fans the corner × cell cross-product out through the session's
+    /// job pool (one [`SweepCornerRequest`] per pair, each memoized in
+    /// the [`RequestClass::Sweeps`] cache) and reduces the rows into a
+    /// [`SweepReport`]. See [`crate::sweep`] for the full semantics,
+    /// including how the executing thread helps drain the pool so a
+    /// bounded worker set can never deadlock on the fan-out.
+    fn execute(&self, session: &Session) -> Result<Arc<SweepReport>> {
+        crate::sweep::execute_sweep(self, session)
+    }
+}
+
+impl sealed::Sealed for SweepCornerRequest {}
+
+impl SessionRequest for SweepCornerRequest {
+    type Output = CornerRow;
+
+    fn cache_key(&self, session: &Session) -> Option<CacheKey> {
+        let cell_key = session.catalog_key(&self.cell).0;
+        Some(CacheKey(KeyInner::SweepCorner(format!(
+            "{cell_key:?}|{:?}|{:?}|{:?}|{:?}",
+            self.corner, self.metrics, self.mc, self.loads_f
+        ))))
+    }
+
+    fn execute(&self, session: &Session) -> Result<CornerRow> {
+        crate::sweep::execute_corner(self, session)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Custom cells (explicit pull networks)
 // ---------------------------------------------------------------------------
 
@@ -424,7 +499,7 @@ impl SessionRequest for CustomCellRequest {
 // Heterogeneous requests
 // ---------------------------------------------------------------------------
 
-/// Any one of the four request kinds, for heterogeneous mixes: a list of
+/// Any one of the request kinds, for heterogeneous mixes: a list of
 /// `RequestKind`s is what [`Session::submit_all`](crate::Session::submit_all)
 /// fans out across the job pool. Dispatch is free of double caching —
 /// the wrapper itself is never memoized; the inner request is, under its
@@ -439,6 +514,12 @@ pub enum RequestKind {
     Immunity(ImmunityRequest),
     /// A [`FlowRequest`].
     Flow(FlowRequest),
+    /// A composite [`SweepRequest`] (itself fans out per-corner
+    /// sub-requests on the same pool).
+    Sweep(SweepRequest),
+    /// One sweep corner ([`SweepCornerRequest`]) — the currency of a
+    /// sweep's internal fan-out, also submittable directly.
+    SweepCorner(SweepCornerRequest),
 }
 
 impl RequestKind {
@@ -449,6 +530,7 @@ impl RequestKind {
             RequestKind::Library(_) => RequestClass::Library,
             RequestKind::Immunity(_) => RequestClass::Immunity,
             RequestKind::Flow(_) => RequestClass::Flow,
+            RequestKind::Sweep(_) | RequestKind::SweepCorner(_) => RequestClass::Sweeps,
         }
     }
 }
@@ -477,8 +559,20 @@ impl From<FlowRequest> for RequestKind {
     }
 }
 
+impl From<SweepRequest> for RequestKind {
+    fn from(r: SweepRequest) -> RequestKind {
+        RequestKind::Sweep(r)
+    }
+}
+
+impl From<SweepCornerRequest> for RequestKind {
+    fn from(r: SweepCornerRequest) -> RequestKind {
+        RequestKind::SweepCorner(r)
+    }
+}
+
 /// The answer to a [`RequestKind`]: the matching result kind, one variant
-/// per request class.
+/// per request kind.
 #[derive(Clone, Debug)]
 pub enum ResponseKind {
     /// Result of a [`RequestKind::Cell`].
@@ -489,6 +583,10 @@ pub enum ResponseKind {
     Immunity(ImmunityReport),
     /// Result of a [`RequestKind::Flow`].
     Flow(FlowResult),
+    /// Result of a [`RequestKind::Sweep`].
+    Sweep(Arc<SweepReport>),
+    /// Result of a [`RequestKind::SweepCorner`].
+    SweepCorner(CornerRow),
 }
 
 impl ResponseKind {
@@ -499,6 +597,7 @@ impl ResponseKind {
             ResponseKind::Library(_) => RequestClass::Library,
             ResponseKind::Immunity(_) => RequestClass::Immunity,
             ResponseKind::Flow(_) => RequestClass::Flow,
+            ResponseKind::Sweep(_) | ResponseKind::SweepCorner(_) => RequestClass::Sweeps,
         }
     }
 
@@ -533,6 +632,22 @@ impl ResponseKind {
             _ => None,
         }
     }
+
+    /// The sweep report, if this is a [`ResponseKind::Sweep`].
+    pub fn into_sweep(self) -> Option<Arc<SweepReport>> {
+        match self {
+            ResponseKind::Sweep(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The corner row, if this is a [`ResponseKind::SweepCorner`].
+    pub fn into_sweep_corner(self) -> Option<CornerRow> {
+        match self {
+            ResponseKind::SweepCorner(r) => Some(r),
+            _ => None,
+        }
+    }
 }
 
 impl sealed::Sealed for RequestKind {}
@@ -553,6 +668,8 @@ impl SessionRequest for RequestKind {
             RequestKind::Library(r) => ResponseKind::Library(session.run(r)?),
             RequestKind::Immunity(r) => ResponseKind::Immunity(session.run(r)?),
             RequestKind::Flow(r) => ResponseKind::Flow(session.run(r)?),
+            RequestKind::Sweep(r) => ResponseKind::Sweep(session.run(r)?),
+            RequestKind::SweepCorner(r) => ResponseKind::SweepCorner(session.run(r)?),
         })
     }
 }

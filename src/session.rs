@@ -4,11 +4,13 @@
 //! services every typed request through one generic entry point,
 //! [`Session::run`]: [`CellRequest`] → [`CellResult`], [`LibraryRequest`]
 //! → [`dk::CellLibrary`](crate::dk::CellLibrary), [`ImmunityRequest`] →
-//! [`ImmunityReport`], [`FlowRequest`] → [`FlowResult`]. All four kinds
-//! implement the [`SessionRequest`] trait, so memoization, per-key
-//! single-flight, and stats accounting are written once — `run` looks the
-//! request's [`CacheKey`](crate::CacheKey) up in the class's sharded
-//! cache ([`crate::cache`]) and executes only on a miss.
+//! [`ImmunityReport`], [`FlowRequest`] → [`FlowResult`], and the
+//! composite [`SweepRequest`](crate::SweepRequest) →
+//! [`SweepReport`](crate::SweepReport). Every kind implements the
+//! [`SessionRequest`] trait, so memoization, per-key single-flight, and
+//! stats accounting are written once — `run` looks the request's
+//! [`CacheKey`](crate::CacheKey) up in the class's sharded cache
+//! ([`crate::cache`]) and executes only on a miss.
 //!
 //! Three ways to drive it:
 //!
@@ -59,7 +61,7 @@
 use crate::batch;
 use crate::cache::{CacheStats, ShardedCache, DEFAULT_CAPACITY, DEFAULT_SHARDS};
 use crate::core::{GenerateOptions, GeneratedCell, RowPolicy, Scheme, Sizing, StdCellKind, Style};
-use crate::dk::{CellLibrary, DesignKit};
+use crate::dk::DesignKit;
 use crate::error::Result;
 use crate::flow::{Netlist, NetlistMetrics, Placement};
 use crate::immunity::{CertReport, McOptions, McReport};
@@ -350,6 +352,10 @@ pub struct SessionStats {
     pub immunity: RequestStats,
     /// Flow requests ([`RequestClass::Flow`]).
     pub flows: RequestStats,
+    /// Sweep requests ([`RequestClass::Sweeps`]): whole sweeps *and*
+    /// their per-corner sub-requests share this class, so an overlapping
+    /// sweep's corner reuse shows up here as hits.
+    pub sweeps: RequestStats,
     /// Times a request blocked waiting on another thread's in-flight
     /// build of the same key (across all caches).
     pub inflight_waits: u64,
@@ -370,6 +376,7 @@ impl SessionStats {
             RequestClass::Library => self.libraries,
             RequestClass::Immunity => self.immunity,
             RequestClass::Flow => self.flows,
+            RequestClass::Sweeps => self.sweeps,
         }
     }
 
@@ -563,7 +570,7 @@ struct SessionCore {
     /// [`RequestClass::index`]. Values are type-erased (see
     /// [`CachedValue`]); keys are class-tagged, so a key only ever meets
     /// values of its own class's output type.
-    caches: [ShardedCache<crate::request::CacheKey, CachedValue>; 4],
+    caches: [ShardedCache<crate::request::CacheKey, CachedValue>; 5],
     batch_workers: usize,
     stats: StatsInner,
     /// The persistent job pool, started on the first [`Session::submit`].
@@ -625,7 +632,7 @@ impl Session {
     /// A snapshot of the cache and executor counters, with every request
     /// class aggregated the same way over its cache shards.
     pub fn stats(&self) -> SessionStats {
-        let mut per_class = [RequestStats::default(); 4];
+        let mut per_class = [RequestStats::default(); 5];
         let mut inflight_waits = 0;
         for class in RequestClass::ALL {
             let s = self.core.caches[class.index()].stats();
@@ -642,6 +649,7 @@ impl Session {
             libraries: per_class[RequestClass::Library.index()],
             immunity: per_class[RequestClass::Immunity.index()],
             flows: per_class[RequestClass::Flow.index()],
+            sweeps: per_class[RequestClass::Sweeps.index()],
             inflight_waits,
             batches: self.core.stats.batches.load(Ordering::Relaxed),
             steals: self.core.stats.batch_steals.load(Ordering::Relaxed) + pool_steals,
@@ -765,40 +773,57 @@ impl Session {
         R: SessionRequest + Send + 'static,
     {
         let (completion, handle) = job_channel();
-        self.pool()
-            .submit(make_job(&self.core, request, completion));
+        self.pool().submit(make_job(
+            &self.core,
+            crate::jobs::UNBATCHED,
+            request,
+            completion,
+        ));
         self.core.stats.submitted.fetch_add(1, Ordering::Relaxed);
         handle
     }
 
     /// Enqueues a heterogeneous request mix — any combination of cells,
-    /// libraries, immunity verdicts, and flows wrapped in [`RequestKind`]
-    /// — under one queue lock, and returns one [`JobHandle`] per request
-    /// **in submission order**. The pool's workers chunk and steal across
-    /// the mix, so a cheap-cell tail never waits behind one heavy flow.
+    /// libraries, immunity verdicts, flows, and sweeps wrapped in
+    /// [`RequestKind`] — under one queue lock, and returns one
+    /// [`JobHandle`] per request **in submission order**. The pool's
+    /// workers chunk and steal across the mix, so a cheap-cell tail never
+    /// waits behind one heavy flow.
     pub fn submit_all<I>(&self, requests: I) -> Vec<JobHandle<ResponseKind>>
     where
         I: IntoIterator<Item = RequestKind>,
     {
+        self.submit_all_batched(requests).1
+    }
+
+    /// [`Session::submit_all`] returning the fresh batch id the jobs were
+    /// tagged with — composite requests pass it to
+    /// [`Session::help_run_queued_job`] so their wait loops drain exactly
+    /// their own fan-out.
+    pub(crate) fn submit_all_batched<I>(&self, requests: I) -> (u64, Vec<JobHandle<ResponseKind>>)
+    where
+        I: IntoIterator<Item = RequestKind>,
+    {
+        let batch = crate::jobs::next_batch_id();
         let mut jobs = Vec::new();
         let handles: Vec<_> = requests
             .into_iter()
             .map(|request| {
                 let (completion, handle) = job_channel();
-                jobs.push(make_job(&self.core, request, completion));
+                jobs.push(make_job(&self.core, batch, request, completion));
                 handle
             })
             .collect();
         if jobs.is_empty() {
             // Don't spin up worker threads for an empty fan-out.
-            return handles;
+            return (batch, handles);
         }
         self.core
             .stats
             .submitted
             .fetch_add(handles.len() as u64, Ordering::Relaxed);
         self.pool().submit_many(jobs);
-        handles
+        (batch, handles)
     }
 
     /// The persistent pool, started on first use with the session's
@@ -809,16 +834,37 @@ impl Session {
             .get_or_init(|| Pool::new(self.worker_count()))
     }
 
-    /// Effective executor width: the `batch_workers` knob, or the
-    /// machine's available parallelism when unset.
+    /// Runs one queued pool job *of the given batch* on the calling
+    /// thread, if any is immediately available. Composite requests
+    /// (sweeps) call this in their handle-wait loops so a bounded worker
+    /// set can never deadlock on a fan-out submitted from inside the
+    /// pool; helping is batch-targeted so a helper can never run a
+    /// foreign job that blocks on the helper's own single-flight claim.
+    pub(crate) fn help_run_queued_job(&self, batch: u64) -> bool {
+        self.core
+            .pool
+            .get()
+            .is_some_and(|pool| pool.help_run_one(batch))
+    }
+
+    /// Effective executor width: the `batch_workers` knob; else the
+    /// `CNFET_TEST_WORKERS` environment variable (the CI matrix sets it
+    /// to `1` to drive every suite through the single-worker composite
+    /// path); else the machine's available parallelism.
     fn worker_count(&self) -> usize {
         if self.core.batch_workers > 0 {
-            self.core.batch_workers
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            return self.core.batch_workers;
         }
+        if let Some(n) = std::env::var("CNFET_TEST_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
 
     // -- conveniences -------------------------------------------------------
@@ -846,53 +892,6 @@ impl Session {
             options,
         })
     }
-
-    // -- deprecated per-kind wrappers (one-release grace period) ------------
-
-    /// Services a [`CellRequest`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Session::run` — one generic entry point for every request kind"
-    )]
-    pub fn generate(&self, request: &CellRequest) -> Result<CellResult> {
-        self.run(request)
-    }
-
-    /// Services many cell requests at once.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Session::run_batch` (any request kind) or `Session::submit_all` (non-blocking, heterogeneous)"
-    )]
-    pub fn generate_batch(&self, requests: &[CellRequest]) -> Vec<Result<CellResult>> {
-        self.run_batch(requests)
-    }
-
-    /// Services a [`LibraryRequest`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Session::run` — one generic entry point for every request kind"
-    )]
-    pub fn library(&self, request: &LibraryRequest) -> Result<Arc<CellLibrary>> {
-        self.run(request)
-    }
-
-    /// Services an [`ImmunityRequest`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Session::run` — one generic entry point for every request kind"
-    )]
-    pub fn immunity(&self, request: &ImmunityRequest) -> Result<ImmunityReport> {
-        self.run(request)
-    }
-
-    /// Services a [`FlowRequest`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Session::run` — one generic entry point for every request kind"
-    )]
-    pub fn flow(&self, request: &FlowRequest) -> Result<FlowResult> {
-        self.run(request)
-    }
 }
 
 /// Packages one request as a pool job. The job holds the session core
@@ -902,6 +901,7 @@ impl Session {
 /// keeping a dead engine alive.
 fn make_job<R>(
     core: &Arc<SessionCore>,
+    batch: u64,
     request: R,
     completion: crate::jobs::Completion<R::Output>,
 ) -> crate::jobs::Job
@@ -909,11 +909,14 @@ where
     R: SessionRequest + Send + 'static,
 {
     let weak: Weak<SessionCore> = Arc::downgrade(core);
-    Box::new(move || match weak.upgrade() {
-        Some(core) => {
-            let session = Session { core };
-            completion.complete(session.run(&request));
-        }
-        None => drop(completion),
-    })
+    crate::jobs::Job {
+        batch,
+        run: Box::new(move || match weak.upgrade() {
+            Some(core) => {
+                let session = Session { core };
+                completion.complete(session.run(&request));
+            }
+            None => drop(completion),
+        }),
+    }
 }

@@ -226,6 +226,16 @@ fn clear_cache_drops_every_request_class() {
     session
         .run(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1))
         .unwrap();
+    session
+        .run(
+            &cnfet::SweepRequest::new([StdCellKind::Inv])
+                .metrics(cnfet::SweepMetrics::IMMUNITY)
+                .mc(cnfet::immunity::McOptions {
+                    tubes: 50,
+                    ..Default::default()
+                }),
+        )
+        .unwrap();
     for class in RequestClass::ALL {
         assert!(
             session.cache_stats(class).entries > 0,

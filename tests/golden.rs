@@ -1,0 +1,142 @@
+//! Golden-file tests: canonical text artifacts — the SPICE deck
+//! rendering and the design kit's Liberty/LEF exports — are committed
+//! under `tests/golden/` and diffed byte-for-byte against the current
+//! output, so any unintended change to an exporter (float formats, line
+//! order, unit conventions) fails loudly with the first differing line.
+//!
+//! To refresh the references after a *deliberate* format change:
+//!
+//! ```text
+//! CNFET_GOLDEN_REGEN=1 cargo test --test golden
+//! ```
+//!
+//! and commit the rewritten files alongside the change.
+
+use cnfet::core::Scheme;
+use cnfet::device::Polarity;
+use cnfet::dk::{build_library, write_lef, write_liberty, DesignKit, TimingTable};
+use cnfet::spice::{Circuit, Waveform};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Path of one committed golden file.
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Diffs `current` against the committed golden `name`; with
+/// `CNFET_GOLDEN_REGEN=1` rewrites the file instead and passes.
+fn assert_matches_golden(name: &str, current: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("CNFET_GOLDEN_REGEN").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, current).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden {}: {e}\n(run with CNFET_GOLDEN_REGEN=1 to create it)",
+            path.display()
+        )
+    });
+    if current == expected {
+        return;
+    }
+    // Report the first differing line, not a wall of text.
+    for (i, (got, want)) in current.lines().zip(expected.lines()).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "`{name}` first differs at line {} (regen with CNFET_GOLDEN_REGEN=1 if deliberate)",
+            i + 1
+        );
+    }
+    panic!(
+        "`{name}` differs in length: {} vs {} lines",
+        current.lines().count(),
+        expected.lines().count()
+    );
+}
+
+/// The deck of a loaded CNFET inverter driven by a pulse — covers every
+/// element card the renderer knows (V sources in all three waveforms, R,
+/// C, and both FET polarities).
+fn inverter_deck() -> String {
+    let kit = DesignKit::cnfet65();
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let vin = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.add_vsource(vdd, Circuit::GROUND, Waveform::Dc(kit.cnfet.vdd));
+    ckt.add_vsource(
+        vin,
+        Circuit::GROUND,
+        Waveform::Pulse {
+            v0: 0.0,
+            v1: kit.cnfet.vdd,
+            delay: 0.2e-9,
+            rise: 10e-12,
+            fall: 10e-12,
+            width: 2e-9,
+            period: 4e-9,
+        },
+    );
+    let bias = ckt.node("bias");
+    ckt.add_vsource(
+        bias,
+        Circuit::GROUND,
+        Waveform::Pwl(vec![(0.0, 0.0), (1e-9, 0.5), (2e-9, 0.5)]),
+    );
+    ckt.add_resistor(bias, out, 1e6);
+    let width_m = kit.base_width_lambda as f64 * 32.5e-9;
+    let n = kit
+        .cnfet
+        .device(Polarity::N, kit.tubes_per_4lambda, width_m);
+    let p = kit
+        .cnfet
+        .device(Polarity::P, kit.tubes_per_4lambda, width_m);
+    ckt.add_fet(out, vin, Circuit::GROUND, Arc::new(n));
+    ckt.add_fet(out, vin, vdd, Arc::new(p));
+    ckt.add_load(out, 1e-15);
+    ckt.to_spice("cnfet65 inverter, 1fF load")
+}
+
+#[test]
+fn spice_deck_rendering_matches_golden() {
+    assert_matches_golden("inverter.sp", &inverter_deck());
+}
+
+#[test]
+fn spice_deck_rendering_is_stable_across_builds() {
+    // Independent constructions render byte-identically — the property
+    // the golden file (and the cache keys derived from decks) relies on.
+    assert_eq!(inverter_deck(), inverter_deck());
+}
+
+#[test]
+fn liberty_export_matches_golden() {
+    let kit = DesignKit::cnfet65();
+    let lib = build_library(&kit, Scheme::Scheme1).unwrap();
+    // One synthetic (deterministic) timing view: golden-testing the
+    // renderer must not depend on transient-simulation float noise.
+    let mut timing = HashMap::new();
+    timing.insert(
+        "INV_X1".to_string(),
+        TimingTable {
+            loads_f: vec![0.5e-15, 1e-15, 2e-15],
+            delays_s: vec![4.25e-12, 6.5e-12, 11.0e-12],
+            energy_j: 1.375e-15,
+        },
+    );
+    assert_matches_golden("library_scheme1.lib", &write_liberty(&lib, &timing));
+}
+
+#[test]
+fn lef_export_matches_golden() {
+    let kit = DesignKit::cnfet65();
+    let lib = build_library(&kit, Scheme::Scheme2).unwrap();
+    assert_matches_golden("library_scheme2.lef", &write_lef(&lib));
+}

@@ -7,9 +7,25 @@ use cnfet::core::{Scheme, StdCellKind};
 use cnfet::immunity::McOptions;
 use cnfet::{
     CellRequest, CnfetError, FlowRequest, FlowSource, ImmunityRequest, LibraryRequest,
-    RequestClass, RequestKind, ResponseKind, Session, SessionBuilder,
+    RequestClass, RequestKind, ResponseKind, Session, SessionBuilder, SweepCornerRequest,
+    SweepMetrics, SweepRequest, VariationCorner, VariationGrid,
 };
 use std::time::{Duration, Instant};
+
+/// A small immunity-only sweep: 2 cells × 4 corners, cheap MC.
+fn small_sweep() -> SweepRequest {
+    SweepRequest::new([StdCellKind::Inv, StdCellKind::Nand(2)])
+        .grid(
+            VariationGrid::nominal()
+                .tube_counts([26, 10])
+                .metallic_fractions([0.0, 0.1]),
+        )
+        .metrics(SweepMetrics::IMMUNITY)
+        .mc(McOptions {
+            tubes: 100,
+            ..Default::default()
+        })
+}
 
 /// A deliberately slow request: a Monte-Carlo sweep big enough that a
 /// freshly submitted job cannot finish within a few milliseconds.
@@ -138,6 +154,77 @@ fn wrapped_and_unwrapped_requests_share_one_cache_entry() {
     assert!(std::sync::Arc::ptr_eq(&wrapped.cell, &direct.cell));
     assert!(direct.cached);
     assert_eq!(session.stats().cells.misses, 1);
+}
+
+#[test]
+fn composite_sweep_does_not_deadlock_a_single_worker_pool() {
+    // The sweep executes ON the pool's only worker and fans its corner
+    // sub-requests onto that same pool: without the helping protocol the
+    // worker would park on handles nobody is left to serve. Submit
+    // individual cell requests around it too — everything must resolve.
+    let session = SessionBuilder::new().batch_workers(1).build();
+    let before = session.submit(CellRequest::new(StdCellKind::Oai21));
+    let sweep = session.submit(small_sweep());
+    let after = session.submit(CellRequest::new(StdCellKind::Aoi22));
+
+    let mut sweep = sweep;
+    let report = sweep
+        .wait_timeout(Duration::from_secs(300))
+        .expect("composite sweep completes on a one-worker pool")
+        .unwrap();
+    assert_eq!(report.rows.len(), 2 * 4);
+    assert!(before.wait().is_ok());
+    assert!(after.wait().is_ok());
+
+    // Every row landed in the Sweeps cache (8 corners + the sweep key).
+    let stats = session.stats();
+    assert_eq!(stats.sweeps.misses, 9);
+}
+
+#[test]
+fn concurrent_identical_sweeps_reduce_once() {
+    // Two identical sweeps submitted at once: single-flight on the sweep
+    // key means one reduction; the other submission waits and shares the
+    // same Arc'd report.
+    let session = SessionBuilder::new().batch_workers(2).build();
+    let a = session.submit(small_sweep());
+    let b = session.submit(small_sweep());
+    let ra = a.wait().unwrap();
+    let rb = b.wait().unwrap();
+    assert!(std::sync::Arc::ptr_eq(&ra, &rb), "one reduction, shared");
+    let stats = session.stats();
+    assert_eq!(stats.sweeps.misses, 9, "8 corners + 1 sweep key");
+    assert_eq!(stats.sweeps.hits, 1, "the duplicate sweep hit");
+}
+
+#[test]
+fn abandoned_sweep_handles_cancel_on_session_drop() {
+    // Occupy the single worker with a slow request, queue a sweep behind
+    // it, and drop the session: the queued sweep is discarded during
+    // shutdown and must resolve to Canceled rather than strand a waiter.
+    let session = SessionBuilder::new().batch_workers(1).build();
+    let running = session.submit(slow_request());
+    let t0 = Instant::now();
+    while session.cache_stats(RequestClass::Immunity).in_flight == 0 {
+        assert!(t0.elapsed() < Duration::from_secs(60), "job never started");
+        std::thread::yield_now();
+    }
+    let queued_sweep = session.submit(small_sweep());
+    let queued_corner = session.submit(RequestKind::SweepCorner(SweepCornerRequest {
+        cell: CellRequest::new(StdCellKind::Inv),
+        corner: VariationCorner::nominal(),
+        metrics: SweepMetrics::IMMUNITY,
+        mc: McOptions {
+            tubes: 100,
+            ..Default::default()
+        },
+        loads_f: vec![1e-15],
+    }));
+
+    drop(session);
+    assert!(running.wait().unwrap().mc.is_some(), "in-flight job landed");
+    assert!(matches!(queued_sweep.wait(), Err(CnfetError::Canceled)));
+    assert!(matches!(queued_corner.wait(), Err(CnfetError::Canceled)));
 }
 
 #[test]

@@ -4,9 +4,9 @@
 //! these use the in-repo deterministic RNG (`cnfet_rng`) to sample random
 //! series–parallel expressions: same properties, reproducible cases.
 
-use cnfet::core::{GenerateOptions, Sizing};
+use cnfet::core::{GenerateOptions, Sizing, StdCellKind};
 use cnfet::logic::{euler_trails, Expr, PullGraph, SpNetwork, VarTable};
-use cnfet::Session;
+use cnfet::{Session, SessionBuilder, SweepMetrics, SweepRequest, VariationGrid};
 use cnfet_rng::{rngs::StdRng, Rng, SeedableRng};
 
 const CASES: usize = 64;
@@ -114,6 +114,75 @@ fn arbitrary_functions_generate_immune_layouts() {
     let stats = session.stats();
     assert_eq!(stats.cells.requests(), CASES as u64);
     assert_eq!(stats.cells.misses, session.cached_cells() as u64);
+}
+
+/// The reference sweep for the determinism properties: two cells, eight
+/// corners across every axis, every metric, fixed seeds everywhere.
+fn reference_sweep() -> SweepRequest {
+    SweepRequest::new([StdCellKind::Inv, StdCellKind::Nor(2)])
+        .grid(
+            VariationGrid::nominal()
+                .tube_counts([26, 12])
+                .pitch_scales([1.0, 0.8])
+                .metallic_fractions([0.0, 0.05])
+                .seeds([0xFEED]),
+        )
+        .metrics(SweepMetrics::ALL)
+        .mc(cnfet::immunity::McOptions {
+            tubes: 120,
+            ..Default::default()
+        })
+        .loads([0.5e-15, 2e-15])
+}
+
+/// A sweep report's canonical rendering: `Debug` covers every row, every
+/// float, the Pareto indices and both summaries, so byte-equality of the
+/// rendering is byte-equality of the report.
+fn render(report: &cnfet::SweepReport) -> String {
+    format!("{report:#?}")
+}
+
+/// A fixed-seed sweep must produce a byte-identical report no matter how
+/// the work is scheduled: one worker, two workers, or auto-sized, and
+/// with memoization disabled entirely (`cache_capacity(0)` — every
+/// corner re-executes instead of being recalled). Scheduling and caching
+/// may only change *when* rows are computed, never *what* they contain.
+#[test]
+fn sweep_reports_are_deterministic_across_workers_and_cache() {
+    let reference = render(
+        &SessionBuilder::new()
+            .batch_workers(1)
+            .build()
+            .run(&reference_sweep())
+            .unwrap(),
+    );
+    for workers in [2usize, 0] {
+        let session = SessionBuilder::new().batch_workers(workers).build();
+        let report = session.run(&reference_sweep()).unwrap();
+        assert_eq!(
+            render(&report),
+            reference,
+            "report changed under batch_workers({workers})"
+        );
+    }
+    let uncached = SessionBuilder::new()
+        .cache_capacity(0)
+        .batch_workers(2)
+        .build();
+    let report = uncached.run(&reference_sweep()).unwrap();
+    assert_eq!(render(&report), reference, "report changed with cache off");
+    // With capacity 0 nothing was memoized — every corner executed.
+    assert_eq!(uncached.stats().sweeps.hits, 0);
+}
+
+/// Submitting the same sweep non-blocking (through the pool) yields the
+/// same bytes as the synchronous path.
+#[test]
+fn sweep_reports_are_deterministic_across_submission_paths() {
+    let sync_report = render(&Session::new().run(&reference_sweep()).unwrap());
+    let session = SessionBuilder::new().batch_workers(1).build();
+    let submitted = session.submit(reference_sweep()).wait().unwrap();
+    assert_eq!(render(&submitted), sync_report);
 }
 
 /// Paths of a network characterize its conduction exactly.

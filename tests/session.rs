@@ -1,12 +1,13 @@
 //! Integration tests of the `cnfet::Session` engine: generic `run`
 //! cache hit/miss semantics, batch-vs-serial equivalence, library/flow
-//! memoization, the deprecated per-kind wrappers, and the unified error
+//! memoization, composite sweep memoization, and the unified error
 //! hierarchy.
 
 use cnfet::core::{GenerateOptions, Scheme, Sizing, StdCellKind, Style};
 use cnfet::{
     CellRequest, CnfetError, FlowRequest, FlowSource, ImmunityEngine, ImmunityRequest,
-    LibraryRequest, RequestClass, Session, SessionBuilder, SessionRequest,
+    LibraryRequest, RequestClass, Session, SessionBuilder, SessionRequest, SweepMetrics,
+    SweepRequest, VariationGrid,
 };
 use std::sync::Arc;
 
@@ -312,42 +313,119 @@ endmodule
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_wrappers_still_serve_requests() {
-    // One release of grace: the four per-kind methods and generate_batch
-    // must behave exactly like `run`/`run_batch` (same caches, same
-    // stats) until they are removed.
+fn sweep_is_memoized_whole_and_per_corner() {
+    // The composite request memoizes at both granularities in the
+    // `Sweeps` class: a repeated sweep is ONE pure sweep-key hit (no
+    // corner re-dispatch), and an overlapping sweep reuses every shared
+    // corner row and only executes the corners it adds.
     let session = Session::new();
-    let via_wrapper = session
-        .generate(&CellRequest::new(StdCellKind::Nand(2)))
-        .unwrap();
-    let via_run = session
-        .run(&CellRequest::new(StdCellKind::Nand(2)))
-        .unwrap();
-    assert!(Arc::ptr_eq(&via_wrapper.cell, &via_run.cell));
-    assert!(via_run.cached, "wrapper and run share one cache entry");
+    let small = SweepRequest::new([StdCellKind::Inv])
+        .grid(VariationGrid::nominal().tube_counts([26, 10]))
+        .metrics(SweepMetrics::IMMUNITY)
+        .mc(cnfet::immunity::McOptions {
+            tubes: 100,
+            ..Default::default()
+        });
 
-    let lib = session
-        .library(&LibraryRequest::new(Scheme::Scheme1))
-        .unwrap();
-    assert!(Arc::ptr_eq(
-        &lib,
-        &session.run(&LibraryRequest::new(Scheme::Scheme1)).unwrap()
-    ));
-    assert!(
-        session
-            .immunity(&ImmunityRequest::certify(StdCellKind::Nand(2)))
-            .unwrap()
-            .immune
+    let first = session.run(&small).unwrap();
+    assert_eq!(first.rows.len(), 2);
+    let stats = session.stats();
+    assert_eq!(
+        stats.sweeps.misses, 3,
+        "one sweep key + two corner keys executed"
     );
-    let flow = session
-        .flow(&FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1))
-        .unwrap();
-    assert!(flow.placement.area_l2 > 0.0);
+    assert_eq!(stats.sweeps.hits, 0);
 
-    let batch = session.generate_batch(&[CellRequest::new(StdCellKind::Nand(2))]);
-    assert!(batch[0].as_ref().unwrap().cached);
-    assert_eq!(session.stats().batches, 1);
+    // Pure whole-sweep hit: same Arc, no new corner work.
+    let again = session.run(&small).unwrap();
+    assert!(Arc::ptr_eq(&first, &again));
+    let stats = session.stats();
+    assert_eq!(stats.sweeps.hits, 1);
+    assert_eq!(stats.sweeps.misses, 3);
+
+    // Overlapping sweep: 2 shared corners hit, 2 fresh corners miss
+    // (plus the new sweep key itself).
+    let wider = small
+        .clone()
+        .grid(VariationGrid::nominal().tube_counts([26, 10, 8, 6]));
+    let report = session.run(&wider).unwrap();
+    assert_eq!(report.rows.len(), 4);
+    let stats = session.stats();
+    assert_eq!(stats.sweeps.hits, 3, "two corner reuses + earlier hit");
+    assert_eq!(stats.sweeps.misses, 6, "new sweep key + two new corners");
+    // The swept cell itself was generated exactly once.
+    assert_eq!(stats.cells.misses, 1);
+}
+
+#[test]
+fn sweep_report_metrics_are_consistent() {
+    let session = Session::new();
+    let report = session
+        .run(
+            &SweepRequest::new([StdCellKind::Inv, StdCellKind::Nand(2)])
+                .grid(VariationGrid::nominal().metallic_fractions([0.0, 0.5]))
+                .mc(cnfet::immunity::McOptions {
+                    tubes: 150,
+                    ..Default::default()
+                })
+                .loads([0.5e-15, 2e-15]),
+        )
+        .unwrap();
+
+    assert_eq!(report.cells, 2);
+    assert_eq!(report.corners.len(), 2);
+    assert_eq!(report.rows.len(), 4);
+
+    // Clean corner of the immune layouts: perfect combined yield, and a
+    // full liberty/NLDM view per row.
+    let clean = report.row(0, 0);
+    assert_eq!(clean.immune, Some(true));
+    assert_eq!(clean.yield_frac(), Some(1.0));
+    assert!(clean.delay_s().unwrap() > 0.0);
+    assert!(clean.energy_j().unwrap() > 0.0);
+    let liberty = clean.liberty.as_deref().unwrap();
+    assert!(liberty.starts_with("cell ("), "{liberty}");
+    assert!(liberty.contains("function : \"!A\""), "{liberty}");
+    assert!(liberty.contains("index_1"));
+
+    // The dirty corner must lose yield: surviving metallic tubes short
+    // devices regardless of layout immunity.
+    let dirty = report.row(0, 1);
+    assert!(dirty.yield_frac().unwrap() < clean.yield_frac().unwrap());
+
+    // Summaries rank the clean corner best, the metallic corner worst.
+    assert_eq!(report.best_corner.as_ref().unwrap().corner_index, 0);
+    assert_eq!(report.worst_corner.as_ref().unwrap().corner_index, 1);
+    assert!(!report.pareto.is_empty());
+    for &i in &report.pareto {
+        assert!(i < report.rows.len());
+    }
+}
+
+#[test]
+fn sweep_propagates_cell_generation_errors() {
+    // A sweep over an unrealizable cell must surface the generation
+    // error, not hang or panic.
+    let session = Session::new();
+    // The old etched style cannot realize nested branches, so a fingered
+    // AOI21 under it is a guaranteed GenerateError.
+    let bad = CellRequest::new(StdCellKind::Aoi21)
+        .strength(2)
+        .options(GenerateOptions {
+            style: Style::OldEtched,
+            ..GenerateOptions::default()
+        });
+    let err = session
+        .run(
+            &SweepRequest::new([bad]).metrics(SweepMetrics::IMMUNITY).mc(
+                cnfet::immunity::McOptions {
+                    tubes: 10,
+                    ..Default::default()
+                },
+            ),
+        )
+        .unwrap_err();
+    assert!(matches!(err, CnfetError::Generate(_)), "{err}");
 }
 
 #[test]
