@@ -1,0 +1,69 @@
+//! Bench: the `cnfet-serve` wire layer — full request → warm-cache-hit →
+//! response latency over real loopback TCP, against the in-process hit
+//! cost the `session` suite measures. The spread between
+//! `served_cached_hits` and the session suite's `cached_serial` sample
+//! is the protocol tax: HTTP parse + JSON decode/encode + two socket
+//! hops.
+//!
+//! Not gated by `check_regression`: loopback latency is far noisier
+//! across runners than the in-process samples, so these numbers are
+//! recorded (and uploaded as artifacts) for trend-watching, not gating.
+
+use cnfet_bench::harness::Harness;
+use cnfet_serve::json::Json;
+use cnfet_serve::{Client, ServeConfig, Server};
+
+fn cell_request(kind: &str) -> Json {
+    Json::obj([("type", Json::str("cell")), ("kind", Json::str(kind))])
+}
+
+fn main() {
+    let mut h = Harness::new("serve");
+    let server =
+        Server::start(ServeConfig::default().addr("127.0.0.1:0")).expect("bind ephemeral port");
+    let mut client = Client::new(server.addr());
+
+    // Warm every kind this suite touches, so the timed loops below are
+    // pure cache hits on the server side.
+    let kinds = ["inv", "nand2", "nand3", "nor2", "aoi22", "oai21"];
+    for kind in kinds {
+        client
+            .post("/v1/run", &cell_request(kind))
+            .expect("warmup request")
+            .expect_status(200);
+    }
+
+    // One request per round trip on a keep-alive connection: the
+    // headline number.
+    let mut i = 0usize;
+    h.bench("served_cached_hits", 400, || {
+        let kind = kinds[i % kinds.len()];
+        i += 1;
+        client
+            .post("/v1/run", &cell_request(kind))
+            .expect("served hit")
+            .expect_status(200)
+    });
+
+    // The same six hits as one wire batch: amortizes the HTTP round
+    // trip, keeps the JSON cost.
+    let batch = Json::obj([(
+        "requests",
+        kinds.iter().map(|k| cell_request(k)).collect::<Json>(),
+    )]);
+    h.bench("served_cached_batch_6", 200, || {
+        client
+            .post("/v1/batch", &batch)
+            .expect("served batch")
+            .expect_status(200)
+    });
+
+    // Stats polling cost — what a dashboard scraping /v1/stats pays.
+    h.bench("served_stats", 400, || {
+        client.get("/v1/stats").expect("stats").expect_status(200)
+    });
+
+    let report = server.shutdown();
+    assert_eq!(report.jobs_canceled, 0);
+    h.finish();
+}

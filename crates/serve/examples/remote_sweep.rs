@@ -1,0 +1,142 @@
+//! A co-optimization client driving a variation sweep **over the wire**:
+//! boots a `cnfet-serve` server on an ephemeral port, then talks to it
+//! purely through HTTP + JSON — exactly what a remote process-corner
+//! loop (Hills-style processing/circuit co-optimization) would do, with
+//! the server's warm cache shared across every client iteration.
+//!
+//! ```text
+//! cargo run --release -p cnfet-serve --example remote_sweep
+//! ```
+
+use cnfet_serve::json::Json;
+use cnfet_serve::{Client, ServeConfig, Server};
+
+fn sweep_request() -> Json {
+    Json::obj([
+        ("type", Json::str("sweep")),
+        (
+            "cells",
+            Json::Arr(vec![
+                Json::obj([("kind", Json::str("inv"))]),
+                Json::obj([("kind", Json::str("nand2"))]),
+                Json::obj([("kind", Json::str("aoi22"))]),
+            ]),
+        ),
+        (
+            "grid",
+            Json::obj([
+                ("tube_counts", [26u64, 10].into_iter().collect::<Json>()),
+                (
+                    "metallic_fractions",
+                    [0.0, 0.02].into_iter().collect::<Json>(),
+                ),
+            ]),
+        ),
+        ("metrics", Json::str("immunity")),
+        ("mc", Json::obj([("tubes", Json::from(400u64))])),
+    ])
+}
+
+fn class_stat(stats: &Json, class: &str, counter: &str) -> u64 {
+    stats
+        .get("classes")
+        .and_then(|c| c.get(class))
+        .and_then(|c| c.get(counter))
+        .and_then(Json::as_u64)
+        .expect("stats shape")
+}
+
+fn main() -> std::io::Result<()> {
+    // In production this is a separate `cnfet-serve` process; here the
+    // server rides along in-process so the example is self-contained —
+    // the conversation below is real TCP either way.
+    let server = Server::start(ServeConfig::default().addr("127.0.0.1:0"))?;
+    println!("server up on http://{}\n", server.addr());
+    let mut client = Client::new(server.addr());
+
+    let health = client.get("/v1/healthz")?.expect_status(200);
+    println!("GET /v1/healthz         -> {health}");
+
+    // Round 1: the engine executes every cell × corner.
+    let request = sweep_request();
+    let report = client.post("/v1/run", &request)?.expect_status(200);
+    let rows = report.get("rows").and_then(Json::as_arr).expect("rows");
+    println!(
+        "POST /v1/run (sweep)    -> {} cells x {} corners = {} rows",
+        report.get("cells").and_then(Json::as_u64).unwrap(),
+        report.get("corners").and_then(Json::as_arr).unwrap().len(),
+        rows.len(),
+    );
+    let worst = report.get("worst_corner").expect("worst corner");
+    println!(
+        "                           worst corner min yield {:.4}",
+        worst.get("min_yield").and_then(Json::as_f64).unwrap(),
+    );
+
+    let stats = client.get("/v1/stats")?.expect_status(200);
+    let misses_after_first = class_stat(&stats, "sweeps", "misses");
+    println!(
+        "GET /v1/stats           -> sweeps: {} misses, {} hits",
+        misses_after_first,
+        class_stat(&stats, "sweeps", "hits"),
+    );
+
+    // Round 2: the *identical* sweep — another client iteration of the
+    // co-optimization loop — is answered from the warm cache.
+    let again = client.post("/v1/run", &request)?.expect_status(200);
+    assert_eq!(again.render(), report.render(), "deterministic replay");
+    let stats = client.get("/v1/stats")?.expect_status(200);
+    assert_eq!(
+        class_stat(&stats, "sweeps", "misses"),
+        misses_after_first,
+        "repeat sweep executed nothing"
+    );
+    println!(
+        "POST /v1/run (repeat)   -> pure cache hit ({} sweep hits, misses unchanged)",
+        class_stat(&stats, "sweeps", "hits"),
+    );
+
+    // Non-blocking: submit a widened sweep, poll the job to completion.
+    // Only the added corners execute; the overlap is already cached.
+    let mut widened = sweep_request();
+    if let Json::Obj(fields) = &mut widened {
+        for (key, value) in fields.iter_mut() {
+            if key == "grid" {
+                *value = Json::obj([
+                    ("tube_counts", [26u64, 10, 6].into_iter().collect::<Json>()),
+                    (
+                        "metallic_fractions",
+                        [0.0, 0.02].into_iter().collect::<Json>(),
+                    ),
+                ]);
+            }
+        }
+    }
+    let submitted = client.post("/v1/submit", &widened)?.expect_status(202);
+    let job = submitted.get("jobs").and_then(Json::as_arr).expect("jobs")[0]
+        .as_u64()
+        .expect("job id");
+    println!("POST /v1/submit         -> job {job}");
+    let result = loop {
+        let poll = client.get(&format!("/v1/jobs/{job}"))?.expect_status(200);
+        match poll.get("status").and_then(Json::as_str) {
+            Some("pending") => std::thread::sleep(std::time::Duration::from_millis(10)),
+            Some("done") => break poll,
+            other => panic!("job ended {other:?}"),
+        }
+    };
+    let widened_rows = result
+        .get("result")
+        .and_then(|r| r.get("rows"))
+        .and_then(Json::as_arr)
+        .expect("widened rows")
+        .len();
+    println!("GET /v1/jobs/{job}        -> done, {widened_rows} rows (overlap served from cache)");
+
+    let report = server.shutdown();
+    println!(
+        "\nshutdown: {} requests served, {} jobs canceled",
+        report.requests_served, report.jobs_canceled
+    );
+    Ok(())
+}

@@ -1,0 +1,190 @@
+//! A minimal blocking HTTP/1.1 client for the wire protocol — enough
+//! for the bundled example, the integration tests, and the bench; real
+//! deployments can use any HTTP client (the protocol is plain JSON over
+//! HTTP, see `ARCHITECTURE.md` for curl transcripts).
+
+use crate::json::{self, Json};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// The parsed JSON body.
+    pub body: Json,
+}
+
+impl ClientResponse {
+    /// Fails loudly unless the status is the expected one — test and
+    /// example ergonomics.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the body in the message) on any other status.
+    pub fn expect_status(self, status: u16) -> Json {
+        assert!(
+            self.status == status,
+            "expected {status}, got {}: {}",
+            self.status,
+            self.body.render()
+        );
+        self.body
+    }
+}
+
+/// Whether an error is the signature of a keep-alive connection the
+/// server closed between requests (safe to retry on a fresh socket —
+/// the server never processes a request without writing a response, so
+/// zero response bytes means zero processing). Timeouts are excluded:
+/// a slow server may still be working on the request.
+fn is_stale_connection(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+    )
+}
+
+/// A keep-alive connection to a running server.
+pub struct Client {
+    addr: SocketAddr,
+    stream: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// A client for the given server address. The connection is opened
+    /// lazily on the first request and reused across requests.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client { addr, stream: None }
+    }
+
+    /// `GET`s a path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and protocol failures.
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST`s a JSON body to a path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and protocol failures.
+    pub fn post(&mut self, path: &str, body: &Json) -> io::Result<ClientResponse> {
+        self.request("POST", path, Some(body.render()))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<String>,
+    ) -> io::Result<ClientResponse> {
+        let reused = self.stream.is_some();
+        match self.request_once(method, path, body.as_deref()) {
+            Ok(response) => Ok(response),
+            // One reconnect attempt, but only when the failure looks like
+            // a stale keep-alive connection: the *reused* socket died
+            // without a single response byte. A timeout or a mid-response
+            // failure is NOT retried — the server may have processed the
+            // request, and blindly resending a POST (e.g. `/v1/submit`)
+            // would duplicate its effect.
+            Err(e) if reused && is_stale_connection(&e) => {
+                self.stream = None;
+                self.request_once(method, path, body.as_deref())
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<ClientResponse> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(BufReader::new(stream));
+        }
+        let reader = self.stream.as_mut().expect("connected above");
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: cnfet\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        {
+            let stream = reader.get_mut();
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(body.as_bytes())?;
+            stream.flush()?;
+        }
+
+        let mut status_line = String::new();
+        if reader.read_line(&mut status_line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "closed"));
+        }
+        let status: u16 = status_line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line `{}`", status_line.trim()),
+                )
+            })?;
+
+        let mut content_length = 0usize;
+        let mut close = false;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line)?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let value = value.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                }
+                if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close") {
+                    close = true;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        // A truncation here is mid-response, after the server committed
+        // to processing: surface it under a kind `is_stale_connection`
+        // will not retry.
+        reader.read_exact(&mut body).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("truncated response body: {e}"),
+            )
+        })?;
+        if close {
+            self.stream = None;
+        }
+        let text = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+        let body = json::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(ClientResponse { status, body })
+    }
+}

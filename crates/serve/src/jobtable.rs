@@ -1,0 +1,342 @@
+//! The bounded job table behind `POST /v1/submit` and `GET /v1/jobs/{id}`.
+//!
+//! A submit enqueues the request on the session's non-blocking pool
+//! ([`Session::submit`](cnfet::Session::submit)) and records the returned
+//! [`JobHandle`] under a fresh id. Polling a job
+//! harvests the handle at most once and caches the rendered outcome, so
+//! repeated `GET`s are cheap and always agree.
+//!
+//! Two bounds keep the table from growing without limit under load:
+//!
+//! * **capacity** — at most `capacity` *pending* jobs at once; a submit
+//!   past the bound is refused (the server answers `429`) instead of
+//!   queueing unboundedly when producers outpace the pool;
+//! * **expiry** — resolved jobs are dropped `ttl` after resolving
+//!   (their results have been deliverable for that long); expired ids
+//!   poll as `404`, exactly like ids that never existed.
+
+use crate::json::Json;
+use crate::wire;
+use cnfet::{CnfetError, JobHandle, RequestKind, ResponseKind, Session};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One job's current, client-visible state.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobView {
+    /// Still queued or executing.
+    Pending,
+    /// Finished; the rendered result summary.
+    Done(Json),
+    /// Failed; the HTTP status and structured error payload.
+    Failed(u16, Json),
+    /// Abandoned before producing a result (server shutdown).
+    Canceled,
+}
+
+enum JobState {
+    Pending(JobHandle<ResponseKind>),
+    Settled(JobView),
+}
+
+struct JobEntry {
+    state: JobState,
+    /// When the job settled (resolved and was first observed); drives
+    /// expiry. `None` while pending — pending jobs never expire.
+    settled_at: Option<Instant>,
+}
+
+/// Why a submit was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Backpressure {
+    /// The configured pending-job bound that was hit.
+    pub capacity: usize,
+}
+
+/// Aggregate table counters for `GET /v1/stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobTableStats {
+    /// Jobs currently pending.
+    pub pending: usize,
+    /// Settled jobs still within their expiry window.
+    pub settled: usize,
+    /// Submits refused with backpressure since start.
+    pub rejected: u64,
+    /// Jobs ever accepted.
+    pub submitted: u64,
+}
+
+/// The bounded, expiring id → job map. Internally synchronized; the
+/// server shares one behind an `Arc`.
+pub struct JobTable {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    ttl: Duration,
+}
+
+struct Inner {
+    jobs: HashMap<u64, JobEntry>,
+    next_id: u64,
+    /// Jobs currently in [`JobState::Pending`], maintained on every
+    /// transition so the submit/stats paths never scan the map.
+    pending: usize,
+    /// Polls since the last full expiry sweep (polls themselves expire
+    /// only the entry they touch, so the hot path stays O(1)).
+    polls_since_purge: u32,
+    rejected: u64,
+    submitted: u64,
+}
+
+/// A full expiry sweep runs on submit, on stats, and every this-many
+/// polls — often enough to bound memory, rare enough that polling a job
+/// stays O(1).
+const PURGE_EVERY_POLLS: u32 = 256;
+
+impl JobTable {
+    /// A table admitting at most `capacity` concurrently-pending jobs and
+    /// dropping settled jobs `ttl` after they resolve.
+    pub fn new(capacity: usize, ttl: Duration) -> JobTable {
+        JobTable {
+            inner: Mutex::new(Inner {
+                jobs: HashMap::new(),
+                next_id: 1,
+                pending: 0,
+                polls_since_purge: 0,
+                rejected: 0,
+                submitted: 0,
+            }),
+            capacity,
+            ttl,
+        }
+    }
+
+    /// Submits one request on the session's pool and returns its job id,
+    /// or refuses with [`Backpressure`] when `capacity` jobs are already
+    /// pending. Expired jobs are purged first, so a full table recovers
+    /// on its own as work drains.
+    pub fn submit(&self, session: &Session, request: RequestKind) -> Result<u64, Backpressure> {
+        let mut inner = self.inner.lock().expect("job table lock");
+        let now = Instant::now();
+        inner.refresh(now, self.ttl);
+        if inner.pending >= self.capacity {
+            inner.rejected += 1;
+            return Err(Backpressure {
+                capacity: self.capacity,
+            });
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.submitted += 1;
+        inner.pending += 1;
+        // Submit while holding the table lock so a concurrent poll of
+        // this id can never observe the id before the handle exists.
+        let handle = session.submit(request);
+        inner.jobs.insert(
+            id,
+            JobEntry {
+                state: JobState::Pending(handle),
+                settled_at: None,
+            },
+        );
+        Ok(id)
+    }
+
+    /// The job's current state; `None` for unknown (or expired) ids.
+    /// O(1): only the polled entry is expiry-checked (plus an amortized
+    /// full sweep every `PURGE_EVERY_POLLS` calls) — poll loops are
+    /// the protocol's hottest path.
+    pub fn poll(&self, id: u64) -> Option<JobView> {
+        let mut inner = self.inner.lock().expect("job table lock");
+        let now = Instant::now();
+        inner.polls_since_purge += 1;
+        if inner.polls_since_purge >= PURGE_EVERY_POLLS {
+            inner.refresh(now, self.ttl);
+        }
+        let ttl = self.ttl;
+        let (view, settled_now) = match inner.jobs.entry(id) {
+            std::collections::hash_map::Entry::Vacant(_) => return None,
+            std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                if occupied
+                    .get()
+                    .settled_at
+                    .is_some_and(|at| now.duration_since(at) >= ttl)
+                {
+                    occupied.remove();
+                    return None;
+                }
+                let entry = occupied.get_mut();
+                let mut settled_now = false;
+                if let JobState::Pending(handle) = &mut entry.state {
+                    if let Some(result) = handle.try_get() {
+                        entry.state = JobState::Settled(settle(result));
+                        entry.settled_at = Some(now);
+                        settled_now = true;
+                    }
+                }
+                let view = match &entry.state {
+                    JobState::Pending(_) => JobView::Pending,
+                    JobState::Settled(view) => view.clone(),
+                };
+                (view, settled_now)
+            }
+        };
+        if settled_now {
+            inner.pending -= 1;
+        }
+        Some(view)
+    }
+
+    /// Table counters for the stats endpoint.
+    pub fn stats(&self) -> JobTableStats {
+        let mut inner = self.inner.lock().expect("job table lock");
+        inner.refresh(Instant::now(), self.ttl);
+        JobTableStats {
+            pending: inner.pending,
+            settled: inner.jobs.len() - inner.pending,
+            rejected: inner.rejected,
+            submitted: inner.submitted,
+        }
+    }
+
+    /// Blocks until every pending job resolves (the session's pool has
+    /// been shut down, so queued jobs cancel) and returns how many ended
+    /// canceled. Called once during server shutdown, after the engine's
+    /// last live handle is dropped.
+    pub fn drain_canceled(&self) -> usize {
+        let mut inner = self.inner.lock().expect("job table lock");
+        let mut canceled = 0;
+        for entry in inner.jobs.values_mut() {
+            if let JobState::Pending(handle) = &mut entry.state {
+                // `wait_timeout` (rather than consuming `wait`) keeps the
+                // entry pollable; the pool is gone so this resolves fast.
+                // A job that somehow fails to resolve within the window is
+                // reported canceled — shutdown must terminate.
+                let view = match handle.wait_timeout(Duration::from_secs(60)) {
+                    Some(result) => settle(result),
+                    None => JobView::Canceled,
+                };
+                if view == JobView::Canceled {
+                    canceled += 1;
+                }
+                entry.state = JobState::Settled(view);
+                entry.settled_at = Some(Instant::now());
+            }
+        }
+        inner.pending = 0;
+        canceled
+    }
+}
+
+impl Inner {
+    /// Drops settled entries past their ttl (pending jobs never expire,
+    /// so `pending` is untouched).
+    fn refresh(&mut self, now: Instant, ttl: Duration) {
+        self.polls_since_purge = 0;
+        self.jobs.retain(|_, entry| match entry.settled_at {
+            Some(at) => now.duration_since(at) < ttl,
+            None => true,
+        });
+    }
+}
+
+/// Renders a resolved job outcome once; polls replay the rendering.
+fn settle(result: Result<ResponseKind, CnfetError>) -> JobView {
+    match result {
+        Ok(response) => JobView::Done(wire::render_response(&response)),
+        Err(CnfetError::Canceled) => JobView::Canceled,
+        Err(error) => {
+            let (status, body) = wire::error_response(&error);
+            JobView::Failed(status, body)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnfet::core::StdCellKind;
+    use cnfet::CellRequest;
+
+    fn cell() -> RequestKind {
+        RequestKind::from(CellRequest::new(StdCellKind::Inv))
+    }
+
+    #[test]
+    fn submit_poll_round_trip_and_expiry() {
+        let session = Session::new();
+        let table = JobTable::new(8, Duration::from_millis(40));
+        let id = table.submit(&session, cell()).unwrap();
+        let done = loop {
+            match table.poll(id).expect("job known") {
+                JobView::Pending => std::thread::yield_now(),
+                view => break view,
+            }
+        };
+        let JobView::Done(body) = done else {
+            panic!("expected Done, got {done:?}");
+        };
+        assert_eq!(body.get("type").unwrap().as_str(), Some("cell"));
+        // Settled polls replay the same outcome until the ttl expires.
+        assert!(matches!(table.poll(id), Some(JobView::Done(_))));
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(table.poll(id), None, "expired jobs poll as unknown");
+        assert_eq!(table.poll(9999), None, "unknown ids poll as unknown");
+    }
+
+    #[test]
+    fn zero_capacity_refuses_every_submit() {
+        let session = Session::new();
+        let table = JobTable::new(0, Duration::from_secs(5));
+        assert_eq!(
+            table.submit(&session, cell()),
+            Err(Backpressure { capacity: 0 })
+        );
+        assert_eq!(table.stats().rejected, 1);
+    }
+
+    #[test]
+    fn capacity_frees_as_jobs_settle() {
+        let session = Session::new();
+        let table = JobTable::new(1, Duration::from_secs(5));
+        let id = table.submit(&session, cell()).unwrap();
+        // Resolve the first job so the pending count returns to zero.
+        while matches!(table.poll(id), Some(JobView::Pending)) {
+            std::thread::yield_now();
+        }
+        table
+            .submit(&session, cell())
+            .expect("capacity freed once the first job settled");
+        let stats = table.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn drain_cancels_queued_jobs_when_the_engine_dies() {
+        // One pool worker, a queue of slow sweeps, and the session
+        // dropped underneath: drain must settle everything, counting the
+        // never-run tail as canceled.
+        let session = cnfet::SessionBuilder::new().batch_workers(1).build();
+        let table = JobTable::new(64, Duration::from_secs(5));
+        // Distinct seeds: identical sweeps would single-flight into one
+        // execution plus three instant cache hits, defeating the test.
+        for seed in 0..4 {
+            let slow = RequestKind::from(
+                cnfet::SweepRequest::new([StdCellKind::Aoi22])
+                    .metrics(cnfet::SweepMetrics::IMMUNITY)
+                    .grid(cnfet::VariationGrid::nominal().seeds([seed]))
+                    .mc(cnfet::immunity::McOptions {
+                        tubes: 30_000,
+                        ..Default::default()
+                    }),
+            );
+            table.submit(&session, slow).unwrap();
+        }
+        drop(session);
+        let canceled = table.drain_canceled();
+        assert!(canceled >= 1, "queued jobs cancel when the session dies");
+        let stats = table.stats();
+        assert_eq!(stats.pending, 0, "drain settles everything");
+    }
+}

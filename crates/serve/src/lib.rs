@@ -1,0 +1,63 @@
+//! # cnfet-serve — the `Session` engine over the wire
+//!
+//! A std-only, dependency-free HTTP/1.1 + JSON server that exposes the
+//! full [`cnfet::Session`] engine to concurrent network clients: every
+//! request kind the engine services in-process — cells, libraries,
+//! immunity verdicts, flows, variation sweeps — is one `POST` away, and
+//! all clients share one warm, sharded, single-flight cache. This is the
+//! serving shape of Hills-style co-optimization: many remote loops
+//! iterating processing/circuit corners against one memoizing engine.
+//!
+//! ## Endpoints
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /v1/run` | one request, synchronous; body: a wire request object |
+//! | `POST /v1/batch` | `{"requests": […]}`, fanned out on the engine's pool, answers in order |
+//! | `POST /v1/submit` | non-blocking; answers `202 {"jobs": [id, …]}` or `429` on backpressure |
+//! | `GET /v1/jobs/{id}` | `pending` / `done` + result / `error` + payload / `canceled`; `404` after expiry |
+//! | `GET /v1/stats` | full engine [`SessionStats`](cnfet::SessionStats): per-class hits/misses/evictions, cache occupancy, pool counters, job table |
+//! | `GET /v1/healthz` | liveness |
+//!
+//! The request/response encodings are documented in [`wire`], the JSON
+//! dialect (hand-rolled — the workspace builds offline) in [`json`], and
+//! the full protocol walk-through with curl transcripts in the
+//! repository's `ARCHITECTURE.md`.
+//!
+//! ## In-process quickstart
+//!
+//! ```
+//! use cnfet_serve::{json::Json, Client, ServeConfig, Server};
+//!
+//! // An ephemeral-port server; `cnfet-serve --addr 0.0.0.0:8373` is the
+//! // same engine as a standalone process.
+//! let server = Server::start(ServeConfig::default().addr("127.0.0.1:0"))?;
+//! let mut client = Client::new(server.addr());
+//!
+//! let request = Json::obj([
+//!     ("type", Json::str("cell")),
+//!     ("kind", Json::str("nand3")),
+//! ]);
+//! let first = client.post("/v1/run", &request)?.expect_status(200);
+//! assert_eq!(first.get("cached").unwrap().as_bool(), Some(false));
+//! // Same request again: a pure cache hit, visible to every client.
+//! let again = client.post("/v1/run", &request)?.expect_status(200);
+//! assert_eq!(again.get("cached").unwrap().as_bool(), Some(true));
+//!
+//! let report = server.shutdown();
+//! assert_eq!(report.requests_served, 2);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod http;
+pub mod jobtable;
+pub mod json;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientResponse};
+pub use server::{ServeConfig, Server, ShutdownReport};

@@ -1,0 +1,130 @@
+//! The `cnfet-serve` binary: flag parsing around
+//! [`Server::start`](cnfet_serve::Server::start), serving until SIGINT
+//! terminates the process.
+
+use cnfet_serve::{ServeConfig, Server};
+use std::time::Duration;
+
+const USAGE: &str = "\
+cnfet-serve — serve the cnfet Session engine over HTTP/1.1 + JSON
+
+USAGE:
+    cnfet-serve [OPTIONS]
+
+OPTIONS:
+    --addr <HOST:PORT>        listen address        [default: 127.0.0.1:8373]
+    --cache-capacity <N>      per-class cache bound [default: 4096]
+    --cache-shards <N>        cache lock stripes    [default: 16]
+    --workers <N>             HTTP worker threads   [default: available cores]
+    --engine-workers <N>      engine pool threads   [default: available cores]
+    --job-capacity <N>        pending submit bound  [default: 1024]
+    --job-ttl-secs <N>        settled-job expiry    [default: 300]
+    -h, --help                print this help
+";
+
+fn parse_flags(args: impl Iterator<Item = String>) -> Result<ServeConfig, String> {
+    let mut config = ServeConfig::default();
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        if flag == "-h" || flag == "--help" {
+            return Err(String::new());
+        }
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--cache-capacity" => config.cache_capacity = parse(&value("--cache-capacity")?)?,
+            "--cache-shards" => config.cache_shards = parse(&value("--cache-shards")?)?,
+            "--workers" => config.workers = parse(&value("--workers")?)?,
+            "--engine-workers" => config.engine_workers = parse(&value("--engine-workers")?)?,
+            "--job-capacity" => config.job_capacity = parse(&value("--job-capacity")?)?,
+            "--job-ttl-secs" => {
+                config.job_ttl = Duration::from_secs(parse(&value("--job-ttl-secs")?)? as u64);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(config)
+}
+
+fn parse(value: &str) -> Result<usize, String> {
+    value
+        .parse()
+        .map_err(|_| format!("expected a number, got `{value}`"))
+}
+
+fn main() {
+    let config = match parse_flags(std::env::args().skip(1)) {
+        Ok(config) => config,
+        Err(message) if message.is_empty() => {
+            print!("{USAGE}");
+            return;
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: failed to bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("cnfet-serve listening on http://{}", server.addr());
+    println!("  POST /v1/run /v1/batch /v1/submit · GET /v1/jobs/{{id}} /v1/stats /v1/healthz");
+    // Serve until the process is terminated; worker threads do the rest.
+    loop {
+        std::thread::park();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Result<ServeConfig, String> {
+        parse_flags(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_every_flag() {
+        let config = flags(&[
+            "--addr",
+            "0.0.0.0:9000",
+            "--cache-capacity",
+            "128",
+            "--cache-shards",
+            "4",
+            "--workers",
+            "3",
+            "--engine-workers",
+            "2",
+            "--job-capacity",
+            "7",
+            "--job-ttl-secs",
+            "60",
+        ])
+        .unwrap();
+        assert_eq!(config.addr, "0.0.0.0:9000");
+        assert_eq!(config.cache_capacity, 128);
+        assert_eq!(config.cache_shards, 4);
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.engine_workers, 2);
+        assert_eq!(config.job_capacity, 7);
+        assert_eq!(config.job_ttl, Duration::from_secs(60));
+    }
+
+    #[test]
+    fn rejects_unknown_and_valueless_flags() {
+        assert!(flags(&["--frobnicate"]).unwrap_err().contains("unknown"));
+        assert!(flags(&["--workers"]).unwrap_err().contains("missing value"));
+        assert!(flags(&["--workers", "lots"])
+            .unwrap_err()
+            .contains("expected a number"));
+        assert_eq!(flags(&["--help"]).unwrap_err(), "");
+    }
+}

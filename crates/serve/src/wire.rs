@@ -1,0 +1,786 @@
+//! The wire protocol: JSON encodings of every
+//! [`RequestKind`] the engine services and of every
+//! result / error it answers with.
+//!
+//! # Requests
+//!
+//! A request is an object with a `type` discriminant:
+//!
+//! ```json
+//! {"type": "cell", "kind": "nand3", "strength": 2, "name": "N3_X2", "scheme": "s2"}
+//! {"type": "library", "scheme": "s1"}
+//! {"type": "immunity", "cell": {"kind": "inv"}, "engine": "certify"}
+//! {"type": "immunity", "cell": {"kind": "aoi22"}, "engine": "monte_carlo",
+//!  "mc": {"tubes": 500, "seed": 7, "metallic_fraction": 0.02}}
+//! {"type": "flow", "source": "full_adder", "target": "s1", "emit_gds": true,
+//!  "sim": {"toggle_in": "A", "ties": {"B": true, "CI": false}, "watch_out": "S"}}
+//! {"type": "flow", "source": {"verilog": "module t(...); ... endmodule"}, "target": "cmos"}
+//! {"type": "sweep", "cells": [{"kind": "inv"}, {"kind": "nand2"}],
+//!  "grid": {"tube_counts": [26, 10], "metallic_fractions": [0.0, 0.02]},
+//!  "metrics": "immunity", "mc": {"tubes": 200}, "loads_f": [1e-15]}
+//! {"type": "sweep_corner", "cell": {"kind": "inv"},
+//!  "corner": {"tubes_per_4lambda": 10, "pitch_scale": 1.3,
+//!             "metallic_fraction": 0.0, "seed": 42}}
+//! ```
+//!
+//! Cell kinds are `inv`, `nand2..4`, `nor2..4`, `aoi21`, `aoi22`,
+//! `aoi31`, `oai21`, `oai22`; schemes are `s1` / `s2`. Every field
+//! beyond `type` (and per-type requireds) is optional and defaults like
+//! the in-process builders. A cell's optional `scheme` overrides the
+//! arrangement scheme while keeping the server's rule deck; richer
+//! [`GenerateOptions`] overrides stay an
+//! in-process feature.
+//!
+//! # Responses and errors
+//!
+//! Results are summaries — geometry accounting, verdicts, metrics —
+//! rather than full layout dumps; clients that need drawn geometry run
+//! in-process. Failures render as one structured shape,
+//!
+//! ```json
+//! {"error": {"kind": "generate", "message": "…"}}
+//! ```
+//!
+//! where `kind` names the [`CnfetError`] variant (`generate`, `parse`,
+//! `network`, `sim`, `gds`, `library`, `verilog`, `missing_cell`,
+//! `canceled`, `io`) and malformed requests use `bad_request` with a
+//! byte `position` when the JSON itself failed to parse.
+
+use crate::json::Json;
+use cnfet::core::{GenerateOptions, Scheme, StdCellKind};
+use cnfet::dk::CellLibrary;
+use cnfet::immunity::McOptions;
+use cnfet::sweep::{
+    CornerRow, CornerSummary, SweepCornerRequest, SweepMetrics, SweepReport, SweepRequest,
+    VariationCorner, VariationGrid,
+};
+use cnfet::{
+    CellRequest, CellResult, CnfetError, FlowRequest, FlowResult, FlowSource, FlowTarget,
+    ImmunityEngine, ImmunityReport, ImmunityRequest, LibraryRequest, RequestKind, ResponseKind,
+    SimSpec,
+};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A semantically malformed request: well-formed JSON that does not
+/// encode a request. The message names the offending field path
+/// (`cells[2].kind`), and the server answers `400`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// What is wrong, prefixed with the field path.
+    pub message: String,
+}
+
+impl WireError {
+    fn new(path: &str, message: impl std::fmt::Display) -> WireError {
+        WireError {
+            message: format!("{path}: {message}"),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The uniform error payload: `{"error": {"kind", "message"[, "position"]}}`.
+pub fn error_body(kind: &str, message: &str, position: Option<usize>) -> Json {
+    let mut fields = vec![
+        ("kind".to_string(), Json::str(kind)),
+        ("message".to_string(), Json::str(message)),
+    ];
+    if let Some(position) = position {
+        fields.push(("position".to_string(), Json::from(position)));
+    }
+    Json::obj([("error", Json::Obj(fields))])
+}
+
+/// Maps an execution failure to its HTTP status and structured payload.
+/// Domain failures are the client's problem (`422`); a canceled job
+/// means the engine is going away (`503`).
+pub fn error_response(error: &CnfetError) -> (u16, Json) {
+    let kind = match error {
+        CnfetError::Generate(_) => "generate",
+        CnfetError::Parse(_) => "parse",
+        CnfetError::Network(_) => "network",
+        CnfetError::Sim(_) => "sim",
+        CnfetError::Gds(_) => "gds",
+        CnfetError::Library(_) => "library",
+        CnfetError::Verilog(_) => "verilog",
+        CnfetError::MissingCell(_) => "missing_cell",
+        CnfetError::Canceled => "canceled",
+        CnfetError::Io(_) => "io",
+        _ => "internal",
+    };
+    let status = match error {
+        CnfetError::Canceled => 503,
+        CnfetError::Io(_) => 500,
+        _ => 422,
+    };
+    (status, error_body(kind, &error.to_string(), None))
+}
+
+// ---------------------------------------------------------------------------
+// Field helpers
+// ---------------------------------------------------------------------------
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+/// A present, non-null member.
+fn opt<'a>(obj: &'a Json, key: &str) -> Option<&'a Json> {
+    obj.get(key).filter(|v| !v.is_null())
+}
+
+fn need<'a>(obj: &'a Json, path: &str, key: &str) -> Result<&'a Json, WireError> {
+    opt(obj, key).ok_or_else(|| WireError::new(&join(path, key), "missing required field"))
+}
+
+fn as_str<'a>(value: &'a Json, path: &str) -> Result<&'a str, WireError> {
+    value
+        .as_str()
+        .ok_or_else(|| WireError::new(path, "expected a string"))
+}
+
+fn as_f64(value: &Json, path: &str) -> Result<f64, WireError> {
+    value
+        .as_f64()
+        .ok_or_else(|| WireError::new(path, "expected a number"))
+}
+
+fn as_u64(value: &Json, path: &str) -> Result<u64, WireError> {
+    value
+        .as_u64()
+        .ok_or_else(|| WireError::new(path, "expected a non-negative integer"))
+}
+
+fn as_bool(value: &Json, path: &str) -> Result<bool, WireError> {
+    value
+        .as_bool()
+        .ok_or_else(|| WireError::new(path, "expected a boolean"))
+}
+
+fn as_arr<'a>(value: &'a Json, path: &str) -> Result<&'a [Json], WireError> {
+    value
+        .as_arr()
+        .ok_or_else(|| WireError::new(path, "expected an array"))
+}
+
+fn num_list<T>(
+    obj: &Json,
+    path: &str,
+    key: &str,
+    convert: impl Fn(&Json, &str) -> Result<T, WireError>,
+) -> Result<Option<Vec<T>>, WireError> {
+    let Some(value) = opt(obj, key) else {
+        return Ok(None);
+    };
+    let path = join(path, key);
+    as_arr(value, &path)?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| convert(v, &format!("{path}[{i}]")))
+        .collect::<Result<Vec<T>, WireError>>()
+        .map(Some)
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing
+// ---------------------------------------------------------------------------
+
+/// Parses one wire request object into the engine's [`RequestKind`].
+pub fn parse_request(value: &Json) -> Result<RequestKind, WireError> {
+    parse_request_at(value, "")
+}
+
+fn parse_request_at(value: &Json, path: &str) -> Result<RequestKind, WireError> {
+    if !matches!(value, Json::Obj(_)) {
+        return Err(WireError::new(path, "expected a request object"));
+    }
+    let ty = as_str(need(value, path, "type")?, &join(path, "type"))?;
+    match ty {
+        "cell" => Ok(RequestKind::Cell(parse_cell(value, path)?)),
+        "library" => Ok(RequestKind::Library(LibraryRequest::new(parse_scheme(
+            need(value, path, "scheme")?,
+            &join(path, "scheme"),
+        )?))),
+        "immunity" => Ok(RequestKind::Immunity(parse_immunity(value, path)?)),
+        "flow" => Ok(RequestKind::Flow(parse_flow(value, path)?)),
+        "sweep" => Ok(RequestKind::Sweep(parse_sweep(value, path)?)),
+        "sweep_corner" => Ok(RequestKind::SweepCorner(parse_sweep_corner(value, path)?)),
+        other => Err(WireError::new(
+            &join(path, "type"),
+            format!("unknown request type `{other}`"),
+        )),
+    }
+}
+
+fn parse_kind(value: &Json, path: &str) -> Result<StdCellKind, WireError> {
+    match as_str(value, path)? {
+        "inv" => Ok(StdCellKind::Inv),
+        "nand2" => Ok(StdCellKind::Nand(2)),
+        "nand3" => Ok(StdCellKind::Nand(3)),
+        "nand4" => Ok(StdCellKind::Nand(4)),
+        "nor2" => Ok(StdCellKind::Nor(2)),
+        "nor3" => Ok(StdCellKind::Nor(3)),
+        "nor4" => Ok(StdCellKind::Nor(4)),
+        "aoi21" => Ok(StdCellKind::Aoi21),
+        "aoi22" => Ok(StdCellKind::Aoi22),
+        "aoi31" => Ok(StdCellKind::Aoi31),
+        "oai21" => Ok(StdCellKind::Oai21),
+        "oai22" => Ok(StdCellKind::Oai22),
+        other => Err(WireError::new(
+            path,
+            format!("unknown cell kind `{other}` (inv, nand2..4, nor2..4, aoi21/22/31, oai21/22)"),
+        )),
+    }
+}
+
+/// Renders a cell kind back to its wire name.
+pub fn kind_name(kind: StdCellKind) -> String {
+    match kind {
+        StdCellKind::Inv => "inv".to_string(),
+        StdCellKind::Nand(n) => format!("nand{n}"),
+        StdCellKind::Nor(n) => format!("nor{n}"),
+        StdCellKind::Aoi21 => "aoi21".to_string(),
+        StdCellKind::Aoi22 => "aoi22".to_string(),
+        StdCellKind::Aoi31 => "aoi31".to_string(),
+        StdCellKind::Oai21 => "oai21".to_string(),
+        StdCellKind::Oai22 => "oai22".to_string(),
+    }
+}
+
+fn parse_scheme(value: &Json, path: &str) -> Result<Scheme, WireError> {
+    match as_str(value, path)? {
+        "s1" | "scheme1" => Ok(Scheme::Scheme1),
+        "s2" | "scheme2" => Ok(Scheme::Scheme2),
+        other => Err(WireError::new(
+            path,
+            format!("unknown scheme `{other}` (s1, s2)"),
+        )),
+    }
+}
+
+fn scheme_name(scheme: Scheme) -> &'static str {
+    match scheme {
+        Scheme::Scheme1 => "s1",
+        Scheme::Scheme2 => "s2",
+    }
+}
+
+fn parse_cell(value: &Json, path: &str) -> Result<CellRequest, WireError> {
+    let mut request =
+        CellRequest::new(parse_kind(need(value, path, "kind")?, &join(path, "kind"))?);
+    if let Some(strength) = opt(value, "strength") {
+        let strength = as_u64(strength, &join(path, "strength"))?;
+        if !(1..=255).contains(&strength) {
+            return Err(WireError::new(&join(path, "strength"), "expected 1..=255"));
+        }
+        request = request.strength(strength as u8);
+    }
+    if let Some(name) = opt(value, "name") {
+        request = request.named(as_str(name, &join(path, "name"))?);
+    }
+    if let Some(scheme) = opt(value, "scheme") {
+        // Scheme override on the default rule deck; richer option
+        // overrides stay in-process (see the module docs).
+        request = request.options(GenerateOptions {
+            scheme: parse_scheme(scheme, &join(path, "scheme"))?,
+            ..GenerateOptions::default()
+        });
+    }
+    Ok(request)
+}
+
+fn parse_mc(value: &Json, path: &str) -> Result<McOptions, WireError> {
+    let mut mc = McOptions::default();
+    if let Some(tubes) = opt(value, "tubes") {
+        mc.tubes = as_u64(tubes, &join(path, "tubes"))? as usize;
+    }
+    if let Some(tau) = opt(value, "tau") {
+        mc.tau = as_f64(tau, &join(path, "tau"))?;
+    }
+    if let Some(len) = opt(value, "segment_len_lambda") {
+        mc.segment_len_lambda = as_f64(len, &join(path, "segment_len_lambda"))?;
+    }
+    if let Some(seed) = opt(value, "seed") {
+        mc.seed = as_u64(seed, &join(path, "seed"))?;
+    }
+    if let Some(fraction) = opt(value, "metallic_fraction") {
+        mc.metallic_fraction = as_f64(fraction, &join(path, "metallic_fraction"))?;
+    }
+    Ok(mc)
+}
+
+fn parse_immunity(value: &Json, path: &str) -> Result<ImmunityRequest, WireError> {
+    let cell = parse_cell(need(value, path, "cell")?, &join(path, "cell"))?;
+    let mc = match opt(value, "mc") {
+        Some(mc) => parse_mc(mc, &join(path, "mc"))?,
+        None => McOptions::default(),
+    };
+    let engine = match opt(value, "engine") {
+        None => ImmunityEngine::Certify,
+        Some(engine) => match as_str(engine, &join(path, "engine"))? {
+            "certify" => ImmunityEngine::Certify,
+            "monte_carlo" => ImmunityEngine::MonteCarlo(mc),
+            "both" => ImmunityEngine::Both(mc),
+            other => {
+                return Err(WireError::new(
+                    &join(path, "engine"),
+                    format!("unknown engine `{other}` (certify, monte_carlo, both)"),
+                ))
+            }
+        },
+    };
+    Ok(ImmunityRequest { cell, engine })
+}
+
+fn parse_flow(value: &Json, path: &str) -> Result<FlowRequest, WireError> {
+    let source = match need(value, path, "source")? {
+        Json::Str(s) if s == "full_adder" => FlowSource::FullAdder,
+        Json::Str(s) => {
+            return Err(WireError::new(
+                &join(path, "source"),
+                format!("unknown source `{s}` (full_adder, or {{\"verilog\": …}})"),
+            ))
+        }
+        obj @ Json::Obj(_) => FlowSource::Verilog(
+            as_str(
+                need(obj, &join(path, "source"), "verilog")?,
+                &join(path, "source.verilog"),
+            )?
+            .to_string(),
+        ),
+        _ => {
+            return Err(WireError::new(
+                &join(path, "source"),
+                "expected `full_adder` or {\"verilog\": …}",
+            ))
+        }
+    };
+    let target = match as_str(need(value, path, "target")?, &join(path, "target"))? {
+        "cmos" => FlowTarget::Cmos,
+        scheme => FlowTarget::Cnfet(parse_scheme(&Json::str(scheme), &join(path, "target"))?),
+    };
+    let mut request = FlowRequest {
+        source,
+        target,
+        sim: None,
+        emit_gds: false,
+    };
+    if let Some(gds) = opt(value, "emit_gds") {
+        request.emit_gds = as_bool(gds, &join(path, "emit_gds"))?;
+    }
+    if let Some(sim) = opt(value, "sim") {
+        let sim_path = join(path, "sim");
+        let mut ties = BTreeMap::new();
+        if let Some(Json::Obj(fields)) = opt(sim, "ties") {
+            for (name, tied) in fields {
+                ties.insert(
+                    name.clone(),
+                    as_bool(tied, &format!("{sim_path}.ties.{name}"))?,
+                );
+            }
+        }
+        request.sim = Some(SimSpec {
+            toggle_in: as_str(
+                need(sim, &sim_path, "toggle_in")?,
+                &join(&sim_path, "toggle_in"),
+            )?
+            .to_string(),
+            ties,
+            watch_out: as_str(
+                need(sim, &sim_path, "watch_out")?,
+                &join(&sim_path, "watch_out"),
+            )?
+            .to_string(),
+        });
+    }
+    Ok(request)
+}
+
+fn parse_metrics(value: &Json, path: &str) -> Result<SweepMetrics, WireError> {
+    match value {
+        Json::Str(s) => match s.as_str() {
+            "all" => Ok(SweepMetrics::ALL),
+            "immunity" => Ok(SweepMetrics::IMMUNITY),
+            "timing" => Ok(SweepMetrics::TIMING),
+            other => Err(WireError::new(
+                path,
+                format!("unknown metric set `{other}` (all, immunity, timing, or an object)"),
+            )),
+        },
+        obj @ Json::Obj(_) => {
+            let flag = |key: &str| -> Result<bool, WireError> {
+                opt(obj, key).map_or(Ok(false), |v| as_bool(v, &join(path, key)))
+            };
+            Ok(SweepMetrics {
+                immunity: flag("immunity")?,
+                timing: flag("timing")?,
+                liberty: flag("liberty")?,
+            })
+        }
+        _ => Err(WireError::new(path, "expected a string or an object")),
+    }
+}
+
+fn parse_grid(value: &Json, path: &str) -> Result<VariationGrid, WireError> {
+    let mut grid = VariationGrid::nominal();
+    if let Some(counts) = num_list(value, path, "tube_counts", |v, p| {
+        as_u64(v, p).map(|n| n as u32)
+    })? {
+        grid.tube_counts = counts;
+    }
+    if let Some(scales) = num_list(value, path, "pitch_scales", as_f64)? {
+        grid.pitch_scales = scales;
+    }
+    if let Some(fractions) = num_list(value, path, "metallic_fractions", as_f64)? {
+        grid.metallic_fractions = fractions;
+    }
+    if let Some(seeds) = num_list(value, path, "seeds", as_u64)? {
+        grid.seeds = seeds;
+    }
+    Ok(grid)
+}
+
+fn parse_sweep(value: &Json, path: &str) -> Result<SweepRequest, WireError> {
+    let cells_path = join(path, "cells");
+    let cells = as_arr(need(value, path, "cells")?, &cells_path)?
+        .iter()
+        .enumerate()
+        .map(|(i, c)| parse_cell(c, &format!("{cells_path}[{i}]")))
+        .collect::<Result<Vec<CellRequest>, WireError>>()?;
+    let mut request = SweepRequest::new(cells);
+    if let Some(grid) = opt(value, "grid") {
+        request = request.grid(parse_grid(grid, &join(path, "grid"))?);
+    }
+    if let Some(metrics) = opt(value, "metrics") {
+        request = request.metrics(parse_metrics(metrics, &join(path, "metrics"))?);
+    }
+    if let Some(mc) = opt(value, "mc") {
+        request = request.mc(parse_mc(mc, &join(path, "mc"))?);
+    }
+    if let Some(loads) = num_list(value, path, "loads_f", as_f64)? {
+        request = request.loads(loads);
+    }
+    Ok(request)
+}
+
+fn parse_corner(value: &Json, path: &str) -> Result<VariationCorner, WireError> {
+    let mut corner = VariationCorner::nominal();
+    if let Some(tubes) = opt(value, "tubes_per_4lambda") {
+        corner.tubes_per_4lambda = as_u64(tubes, &join(path, "tubes_per_4lambda"))? as u32;
+    }
+    if let Some(scale) = opt(value, "pitch_scale") {
+        corner.pitch_scale = as_f64(scale, &join(path, "pitch_scale"))?;
+    }
+    if let Some(fraction) = opt(value, "metallic_fraction") {
+        corner.metallic_fraction = as_f64(fraction, &join(path, "metallic_fraction"))?;
+    }
+    if let Some(seed) = opt(value, "seed") {
+        corner.seed = as_u64(seed, &join(path, "seed"))?;
+    }
+    Ok(corner)
+}
+
+fn parse_sweep_corner(value: &Json, path: &str) -> Result<SweepCornerRequest, WireError> {
+    let cell = parse_cell(need(value, path, "cell")?, &join(path, "cell"))?;
+    let corner = match opt(value, "corner") {
+        Some(corner) => parse_corner(corner, &join(path, "corner"))?,
+        None => VariationCorner::nominal(),
+    };
+    let metrics = match opt(value, "metrics") {
+        Some(metrics) => parse_metrics(metrics, &join(path, "metrics"))?,
+        None => SweepMetrics::ALL,
+    };
+    let mc = match opt(value, "mc") {
+        Some(mc) => parse_mc(mc, &join(path, "mc"))?,
+        None => McOptions::default(),
+    };
+    let loads_f = num_list(value, path, "loads_f", as_f64)?.unwrap_or_else(|| vec![1e-15]);
+    Ok(SweepCornerRequest {
+        cell,
+        corner,
+        metrics,
+        mc,
+        loads_f,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Response rendering
+// ---------------------------------------------------------------------------
+
+/// Renders any engine response as its wire summary.
+pub fn render_response(response: &ResponseKind) -> Json {
+    match response {
+        ResponseKind::Cell(r) => render_cell(r),
+        ResponseKind::Library(lib) => render_library(lib),
+        ResponseKind::Immunity(r) => render_immunity(r),
+        ResponseKind::Flow(r) => render_flow(r),
+        ResponseKind::Sweep(r) => render_sweep(r),
+        ResponseKind::SweepCorner(row) => {
+            let mut fields = match render_row(row) {
+                Json::Obj(fields) => fields,
+                _ => unreachable!("rows render as objects"),
+            };
+            fields.insert(0, ("type".to_string(), Json::str("sweep_corner")));
+            Json::Obj(fields)
+        }
+    }
+}
+
+fn render_cell(result: &CellResult) -> Json {
+    let cell = &result.cell;
+    Json::obj([
+        ("type", Json::str("cell")),
+        ("name", Json::str(&cell.name)),
+        ("kind", Json::str(kind_name(cell.kind))),
+        ("scheme", Json::str(scheme_name(cell.scheme))),
+        ("cached", Json::from(result.cached)),
+        ("width_lambda", Json::from(cell.width_lambda)),
+        ("height_lambda", Json::from(cell.height_lambda)),
+        ("footprint_l2", Json::from(cell.footprint_l2)),
+        ("pun_active_area_l2", Json::from(cell.pun_active_area_l2)),
+        ("pdn_active_area_l2", Json::from(cell.pdn_active_area_l2)),
+        ("via_on_gate_count", Json::from(cell.via_on_gate_count)),
+        (
+            "pins",
+            cell.pins
+                .iter()
+                .map(|(name, _)| name.as_str())
+                .collect::<Json>(),
+        ),
+    ])
+}
+
+fn render_library(lib: &CellLibrary) -> Json {
+    Json::obj([
+        ("type", Json::str("library")),
+        ("scheme", Json::str(scheme_name(lib.scheme))),
+        ("cells", Json::from(lib.cells.len())),
+        (
+            "names",
+            lib.cells.iter().map(|c| c.name.as_str()).collect::<Json>(),
+        ),
+    ])
+}
+
+fn render_immunity(report: &ImmunityReport) -> Json {
+    Json::obj([
+        ("type", Json::str("immunity")),
+        ("cell", Json::str(&report.cell.name)),
+        ("immune", Json::from(report.immune)),
+        (
+            "cert",
+            report.cert.as_ref().map_or(Json::Null, |cert| {
+                Json::obj([
+                    ("immune", Json::from(cert.immune)),
+                    ("segments_checked", Json::from(cert.segments_checked)),
+                    ("harmful", Json::from(cert.harmful.len())),
+                ])
+            }),
+        ),
+        (
+            "mc",
+            report.mc.as_ref().map_or(Json::Null, |mc| {
+                Json::obj([
+                    ("tubes", Json::from(mc.tubes)),
+                    ("failures", Json::from(mc.failures)),
+                    ("metallic_failures", Json::from(mc.metallic_failures)),
+                    ("failure_probability", Json::from(mc.failure_probability())),
+                ])
+            }),
+        ),
+    ])
+}
+
+fn render_flow(result: &FlowResult) -> Json {
+    Json::obj([
+        ("type", Json::str("flow")),
+        ("netlist", Json::str(&result.netlist.name)),
+        ("instances", Json::from(result.netlist.instances.len())),
+        (
+            "placement",
+            Json::obj([
+                ("width_l", Json::from(result.placement.width_l)),
+                ("height_l", Json::from(result.placement.height_l)),
+                ("area_l2", Json::from(result.placement.area_l2)),
+                ("utilization", Json::from(result.placement.utilization)),
+            ]),
+        ),
+        (
+            "metrics",
+            result.metrics.as_ref().map_or(Json::Null, |m| {
+                Json::obj([
+                    ("delay_s", Json::from(m.delay_s)),
+                    ("energy_j", Json::from(m.energy_j)),
+                ])
+            }),
+        ),
+        ("gds_len", Json::from(result.gds.as_ref().map(Vec::len))),
+    ])
+}
+
+fn render_corner(corner: &VariationCorner) -> Json {
+    Json::obj([
+        (
+            "tubes_per_4lambda",
+            Json::from(u64::from(corner.tubes_per_4lambda)),
+        ),
+        ("pitch_scale", Json::from(corner.pitch_scale)),
+        ("metallic_fraction", Json::from(corner.metallic_fraction)),
+        ("seed", Json::from(corner.seed)),
+    ])
+}
+
+fn render_row(row: &CornerRow) -> Json {
+    Json::obj([
+        ("cell", Json::str(&row.cell)),
+        ("kind", Json::str(kind_name(row.kind))),
+        ("strength", Json::from(u64::from(row.strength))),
+        ("corner", render_corner(&row.corner)),
+        ("mc_tubes", Json::from(row.mc_tubes)),
+        ("mc_failures", Json::from(row.mc_failures)),
+        ("immune", Json::from(row.immune)),
+        ("metallic_yield", Json::from(row.metallic_yield)),
+        ("delay_s", Json::from(row.delay_s())),
+        ("energy_j", Json::from(row.energy_j())),
+        ("yield", Json::from(row.yield_frac())),
+        ("liberty", Json::from(row.liberty.clone())),
+    ])
+}
+
+fn render_summary(summary: &CornerSummary) -> Json {
+    Json::obj([
+        ("corner_index", Json::from(summary.corner_index)),
+        ("corner", render_corner(&summary.corner)),
+        ("min_yield", Json::from(summary.min_yield)),
+        ("max_delay_s", Json::from(summary.max_delay_s)),
+        ("total_energy_j", Json::from(summary.total_energy_j)),
+    ])
+}
+
+fn render_sweep(report: &SweepReport) -> Json {
+    Json::obj([
+        ("type", Json::str("sweep")),
+        ("cells", Json::from(report.cells)),
+        (
+            "corners",
+            report.corners.iter().map(render_corner).collect::<Json>(),
+        ),
+        ("rows", report.rows.iter().map(render_row).collect::<Json>()),
+        ("pareto", report.pareto.iter().copied().collect::<Json>()),
+        (
+            "best_corner",
+            report
+                .best_corner
+                .as_ref()
+                .map_or(Json::Null, render_summary),
+        ),
+        (
+            "worst_corner",
+            report
+                .worst_corner
+                .as_ref()
+                .map_or(Json::Null, render_summary),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn req(doc: &str) -> Result<RequestKind, WireError> {
+        parse_request(&parse(doc).unwrap())
+    }
+
+    #[test]
+    fn parses_every_request_type() {
+        assert!(matches!(
+            req(r#"{"type":"cell","kind":"nand3","strength":2}"#).unwrap(),
+            RequestKind::Cell(c) if c.kind == StdCellKind::Nand(3) && c.strength == 2
+        ));
+        assert!(matches!(
+            req(r#"{"type":"library","scheme":"s2"}"#).unwrap(),
+            RequestKind::Library(l) if l.scheme == Scheme::Scheme2
+        ));
+        assert!(matches!(
+            req(r#"{"type":"immunity","cell":{"kind":"inv"},"engine":"both","mc":{"tubes":9}}"#)
+                .unwrap(),
+            RequestKind::Immunity(ImmunityRequest {
+                engine: ImmunityEngine::Both(mc),
+                ..
+            }) if mc.tubes == 9
+        ));
+        assert!(matches!(
+            req(r#"{"type":"flow","source":"full_adder","target":"cmos"}"#).unwrap(),
+            RequestKind::Flow(FlowRequest {
+                target: FlowTarget::Cmos,
+                ..
+            })
+        ));
+        let RequestKind::Sweep(sweep) = req(
+            r#"{"type":"sweep","cells":[{"kind":"inv"}],"metrics":"immunity",
+                "grid":{"tube_counts":[26,10],"seeds":[1,2]}}"#,
+        )
+        .unwrap() else {
+            panic!("expected a sweep");
+        };
+        assert_eq!(sweep.grid.len(), 4);
+        assert_eq!(sweep.metrics, SweepMetrics::IMMUNITY);
+        assert!(matches!(
+            req(r#"{"type":"sweep_corner","cell":{"kind":"inv"},"corner":{"seed":3}}"#).unwrap(),
+            RequestKind::SweepCorner(c) if c.corner.seed == 3
+        ));
+    }
+
+    #[test]
+    fn field_paths_name_the_offender() {
+        let e = req(r#"{"type":"sweep","cells":[{"kind":"inv"},{"kind":"frob"}]}"#).unwrap_err();
+        assert!(e.message.starts_with("cells[1].kind"), "{e}");
+        let e = req(r#"{"type":"cell"}"#).unwrap_err();
+        assert!(e.message.starts_with("kind: missing"), "{e}");
+        let e = req(r#"{"type":"immunity","cell":{"kind":"inv"},"engine":"maybe"}"#).unwrap_err();
+        assert!(e.message.starts_with("engine:"), "{e}");
+        let e = req(r#"{"type":"warp"}"#).unwrap_err();
+        assert!(e.message.contains("unknown request type"), "{e}");
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in StdCellKind::ALL {
+            let name = kind_name(kind);
+            assert_eq!(parse_kind(&Json::str(&name), "kind").unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn error_payloads_are_structured() {
+        let (status, body) = error_response(&CnfetError::MissingCell("X".into()));
+        assert_eq!(status, 422);
+        let error = body.get("error").unwrap();
+        assert_eq!(error.get("kind").unwrap().as_str(), Some("missing_cell"));
+        assert!(error
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("`X`"));
+        assert_eq!(error_response(&CnfetError::Canceled).0, 503);
+    }
+}

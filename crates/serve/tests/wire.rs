@@ -1,0 +1,446 @@
+//! Integration tests for the wire layer: a real server on an ephemeral
+//! port, driven over TCP by the bundled [`Client`].
+
+use cnfet_serve::json::Json;
+use cnfet_serve::{Client, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn server() -> Server {
+    Server::start(ServeConfig::default().addr("127.0.0.1:0")).expect("bind ephemeral port")
+}
+
+fn cell(kind: &str) -> Json {
+    Json::obj([("type", Json::str("cell")), ("kind", Json::str(kind))])
+}
+
+fn small_sweep(seed: u64) -> Json {
+    Json::obj([
+        ("type", Json::str("sweep")),
+        (
+            "cells",
+            Json::Arr(vec![cell_fields("inv"), cell_fields("nand2")]),
+        ),
+        (
+            "grid",
+            Json::obj([
+                ("tube_counts", [26u64, 10].into_iter().collect::<Json>()),
+                ("seeds", [seed].into_iter().collect::<Json>()),
+            ]),
+        ),
+        ("metrics", Json::str("immunity")),
+        ("mc", Json::obj([("tubes", Json::from(100u64))])),
+    ])
+}
+
+fn cell_fields(kind: &str) -> Json {
+    Json::obj([("kind", Json::str(kind))])
+}
+
+fn class_stat(stats: &Json, class: &str, counter: &str) -> u64 {
+    stats
+        .get("classes")
+        .and_then(|c| c.get(class))
+        .and_then(|c| c.get(counter))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stats missing classes.{class}.{counter}"))
+}
+
+#[test]
+fn healthz_run_and_stats_round_trip() {
+    let server = server();
+    let mut client = Client::new(server.addr());
+
+    let health = client.get("/v1/healthz").unwrap().expect_status(200);
+    assert_eq!(health.get("ok").unwrap().as_bool(), Some(true));
+
+    let first = client
+        .post("/v1/run", &cell("nand3"))
+        .unwrap()
+        .expect_status(200);
+    assert_eq!(first.get("type").unwrap().as_str(), Some("cell"));
+    assert_eq!(first.get("cached").unwrap().as_bool(), Some(false));
+    // The paper's Figure 3(b) accounting survives the wire.
+    assert_eq!(
+        first.get("pun_active_area_l2").unwrap().as_f64(),
+        Some(120.0)
+    );
+
+    let again = client
+        .post("/v1/run", &cell("nand3"))
+        .unwrap()
+        .expect_status(200);
+    assert_eq!(again.get("cached").unwrap().as_bool(), Some(true));
+
+    let stats = client.get("/v1/stats").unwrap().expect_status(200);
+    assert_eq!(class_stat(&stats, "cell", "hits"), 1);
+    assert_eq!(class_stat(&stats, "cell", "misses"), 1);
+    assert_eq!(class_stat(&stats, "cell", "entries"), 1);
+    assert!(
+        stats
+            .get("server")
+            .unwrap()
+            .get("requests")
+            .unwrap()
+            .as_u64()
+            >= Some(3)
+    );
+
+    let report = server.shutdown();
+    assert!(report.requests_served >= 4);
+    assert_eq!(report.jobs_canceled, 0);
+}
+
+#[test]
+fn batch_preserves_order_and_carries_item_errors() {
+    let server = server();
+    let mut client = Client::new(server.addr());
+    let body = Json::obj([(
+        "requests",
+        Json::Arr(vec![
+            cell("inv"),
+            Json::obj([
+                ("type", Json::str("flow")),
+                (
+                    "source",
+                    Json::obj([("verilog", Json::str("this is not verilog"))]),
+                ),
+                ("target", Json::str("s1")),
+            ]),
+            Json::obj([
+                ("type", Json::str("immunity")),
+                ("cell", cell_fields("inv")),
+            ]),
+        ]),
+    )]);
+    let results = client.post("/v1/batch", &body).unwrap().expect_status(200);
+    let results = results.get("results").unwrap().as_arr().unwrap();
+    assert_eq!(results.len(), 3);
+    assert_eq!(
+        results[0].get("ok").unwrap().get("type").unwrap().as_str(),
+        Some("cell")
+    );
+    // The failing flow answers in place, structured.
+    let error = results[1].get("error").expect("error payload");
+    assert_eq!(error.get("kind").unwrap().as_str(), Some("verilog"));
+    assert_eq!(
+        results[2]
+            .get("ok")
+            .unwrap()
+            .get("immune")
+            .unwrap()
+            .as_bool(),
+        Some(true)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn submit_poll_and_job_expiry() {
+    let server = Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .job_ttl(Duration::from_millis(100)),
+    )
+    .unwrap();
+    let mut client = Client::new(server.addr());
+
+    let submitted = client
+        .post("/v1/submit", &small_sweep(7))
+        .unwrap()
+        .expect_status(202);
+    let jobs = submitted.get("jobs").unwrap().as_arr().unwrap();
+    assert_eq!(jobs.len(), 1);
+    let id = jobs[0].as_u64().unwrap();
+
+    let done = loop {
+        let poll = client
+            .get(&format!("/v1/jobs/{id}"))
+            .unwrap()
+            .expect_status(200);
+        match poll.get("status").unwrap().as_str() {
+            Some("pending") => std::thread::sleep(Duration::from_millis(5)),
+            Some("done") => break poll,
+            other => panic!("unexpected job status {other:?}"),
+        }
+    };
+    let result = done.get("result").unwrap();
+    assert_eq!(result.get("type").unwrap().as_str(), Some("sweep"));
+    assert_eq!(result.get("rows").unwrap().as_arr().unwrap().len(), 4);
+
+    // Past the ttl the id is gone, exactly like one that never existed.
+    std::thread::sleep(Duration::from_millis(150));
+    let expired = client.get(&format!("/v1/jobs/{id}")).unwrap();
+    assert_eq!(expired.status, 404);
+    let missing = client.get("/v1/jobs/424242").unwrap();
+    assert_eq!(missing.status, 404);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_share_one_warm_cache() {
+    let server = server();
+
+    // Client A pays for the sweep...
+    let mut a = Client::new(server.addr());
+    let first = a
+        .post("/v1/run", &small_sweep(1))
+        .unwrap()
+        .expect_status(200);
+    let stats = a.get("/v1/stats").unwrap().expect_status(200);
+    let misses_after_first = class_stat(&stats, "sweeps", "misses");
+    let hits_after_first = class_stat(&stats, "sweeps", "hits");
+
+    // ...and client B, a separate TCP connection, replays it for free.
+    let mut b = Client::new(server.addr());
+    let second = b
+        .post("/v1/run", &small_sweep(1))
+        .unwrap()
+        .expect_status(200);
+    assert_eq!(second.render(), first.render(), "identical replay");
+    let stats = b.get("/v1/stats").unwrap().expect_status(200);
+    assert_eq!(
+        class_stat(&stats, "sweeps", "misses"),
+        misses_after_first,
+        "client B's sweep executed nothing"
+    );
+    assert_eq!(
+        class_stat(&stats, "sweeps", "hits"),
+        hits_after_first + 1,
+        "client B's sweep was one pure whole-sweep hit"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn json_escaping_survives_the_round_trip() {
+    let server = server();
+    let mut client = Client::new(server.addr());
+    // A cell name exercising quotes, backslashes, control characters,
+    // and non-ASCII — it must come back byte-identical.
+    let name = "INV \"quoted\" back\\slash\nnewline\ttab λ→😀";
+    let request = Json::obj([
+        ("type", Json::str("cell")),
+        ("kind", Json::str("inv")),
+        ("name", Json::str(name)),
+    ]);
+    let result = client.post("/v1/run", &request).unwrap().expect_status(200);
+    assert_eq!(result.get("name").unwrap().as_str(), Some(name));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_answer_structured_400s() {
+    let server = server();
+    let mut client = Client::new(server.addr());
+
+    // Broken JSON: the error names the byte position.
+    let response = client.post("/v1/run", &Json::str("placeholder")).unwrap();
+    assert_eq!(response.status, 400, "a bare string is not a request");
+    let raw = raw_request(
+        server.addr(),
+        "POST /v1/run HTTP/1.1\r\nconnection: close\r\ncontent-length: 9\r\n\r\n{\"type\": ",
+    );
+    assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+    assert!(raw.contains("\"position\":9"), "{raw}");
+
+    // Well-formed JSON, semantically wrong: the error names the field.
+    let response = client
+        .post(
+            "/v1/run",
+            &Json::obj([("type", Json::str("cell")), ("kind", Json::str("frob"))]),
+        )
+        .unwrap();
+    assert_eq!(response.status, 400);
+    let message = response
+        .body
+        .get("error")
+        .unwrap()
+        .get("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert!(message.starts_with("kind:"), "{message}");
+
+    // Unknown routes and unsupported methods.
+    assert_eq!(client.get("/v1/frobnicate").unwrap().status, 404);
+    assert_eq!(client.get("/v1/run").unwrap().status, 405);
+    assert_eq!(client.post("/v1/healthz", &Json::Null).unwrap().status, 405);
+    assert_eq!(client.get("/v1/jobs/notanumber").unwrap().status, 400);
+
+    // A request that is not HTTP at all.
+    let raw = raw_request(server.addr(), "EHLO wire\r\n\r\n");
+    assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+
+    // Chunked framing is refused rather than half-parsed (which would
+    // desync the keep-alive stream).
+    let raw = raw_request(
+        server.addr(),
+        "POST /v1/run HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+    );
+    assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+    assert!(raw.contains("transfer-encoding"), "{raw}");
+    server.shutdown();
+}
+
+#[test]
+fn head_and_foreign_methods_route_sanely() {
+    let server = server();
+    // HEAD answers like GET with no payload — the load-balancer probe.
+    let raw = raw_request(
+        server.addr(),
+        "HEAD /v1/healthz HTTP/1.1\r\nconnection: close\r\n\r\n",
+    );
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    assert!(raw.contains("content-length: 0"), "{raw}");
+    // Unsupported methods on known routes are 405, not 404.
+    for request in [
+        "PUT /v1/run HTTP/1.1\r\nconnection: close\r\n\r\n",
+        "DELETE /v1/stats HTTP/1.1\r\nconnection: close\r\n\r\n",
+        "POST /v1/jobs/1 HTTP/1.1\r\nconnection: close\r\ncontent-length: 0\r\n\r\n",
+    ] {
+        let raw = raw_request(server.addr(), request);
+        assert!(raw.starts_with("HTTP/1.1 405"), "{request} -> {raw}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn expect_100_continue_clients_get_their_nod() {
+    // curl defaults to `Expect: 100-continue` for larger bodies and
+    // holds the body until the server answers the interim 100.
+    let server = server();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let body = cell("nand2").render();
+    let head = format!(
+        "POST /v1/run HTTP/1.1\r\nexpect: 100-continue\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    // Wait for the interim response before sending a single body byte.
+    let mut interim = [0u8; 25];
+    stream.read_exact(&mut interim).unwrap();
+    assert_eq!(&interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut response = Vec::new();
+    let _ = stream.read_to_end(&mut response);
+    let response = String::from_utf8_lossy(&response);
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(response.contains("\"kind\":\"nand2\""), "{response}");
+    server.shutdown();
+}
+
+#[test]
+fn submit_backpressure_answers_429_and_recovers() {
+    // Capacity zero: always refused — deterministic backpressure.
+    let server = Server::start(ServeConfig::default().addr("127.0.0.1:0").job_capacity(0)).unwrap();
+    let mut client = Client::new(server.addr());
+    let refused = client.post("/v1/submit", &cell("inv")).unwrap();
+    assert_eq!(refused.status, 429);
+    assert_eq!(
+        refused
+            .body
+            .get("error")
+            .unwrap()
+            .get("kind")
+            .unwrap()
+            .as_str(),
+        Some("backpressure")
+    );
+    server.shutdown();
+
+    // Capacity one: refusals stop once the pending job settles.
+    let server = Server::start(ServeConfig::default().addr("127.0.0.1:0").job_capacity(1)).unwrap();
+    let mut client = Client::new(server.addr());
+    let first = client
+        .post("/v1/submit", &small_sweep(2))
+        .unwrap()
+        .expect_status(202);
+    let id = first.get("jobs").unwrap().as_arr().unwrap()[0]
+        .as_u64()
+        .unwrap();
+    // Poll the job to completion, then the table has room again.
+    loop {
+        let poll = client
+            .get(&format!("/v1/jobs/{id}"))
+            .unwrap()
+            .expect_status(200);
+        if poll.get("status").unwrap().as_str() != Some("pending") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    client
+        .post("/v1/submit", &cell("inv"))
+        .unwrap()
+        .expect_status(202);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_cancels_queued_jobs() {
+    // One engine worker and a queue of slow, distinct sweeps: shutdown
+    // must complete promptly, and the jobs that never ran settle as
+    // canceled rather than hanging anything.
+    let server =
+        Server::start(ServeConfig::default().addr("127.0.0.1:0").engine_workers(1)).unwrap();
+    let mut client = Client::new(server.addr());
+    for seed in 100..106 {
+        let slow = Json::obj([
+            ("type", Json::str("sweep")),
+            ("cells", Json::Arr(vec![cell_fields("aoi22")])),
+            (
+                "grid",
+                Json::obj([("seeds", [seed as u64].into_iter().collect::<Json>())]),
+            ),
+            ("metrics", Json::str("immunity")),
+            ("mc", Json::obj([("tubes", Json::from(50_000u64))])),
+        ]);
+        client.post("/v1/submit", &slow).unwrap().expect_status(202);
+    }
+    let report = server.shutdown();
+    assert!(
+        report.jobs_canceled >= 1,
+        "queued jobs settle as canceled on shutdown (got {report:?})"
+    );
+}
+
+#[test]
+fn shutdown_refuses_new_connections() {
+    let server = server();
+    let addr = server.addr();
+    let mut client = Client::new(addr);
+    client.get("/v1/healthz").unwrap().expect_status(200);
+    server.shutdown();
+    // The listener is gone: connects fail outright (or are reset before
+    // a response arrives).
+    let after = TcpStream::connect(addr).and_then(|mut stream| {
+        stream.write_all(b"GET /v1/healthz HTTP/1.1\r\n\r\n")?;
+        stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+        let mut buf = [0u8; 1];
+        match stream.read(&mut buf) {
+            Ok(0) => Err(std::io::Error::other("closed")),
+            Ok(_) => Ok(()),
+            Err(e) => Err(e),
+        }
+    });
+    assert!(after.is_err(), "no server behind the address anymore");
+}
+
+/// Sends raw bytes and returns the raw response — for malformed-HTTP
+/// cases the [`Client`] cannot produce.
+fn raw_request(addr: std::net::SocketAddr, bytes: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(bytes.as_bytes()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    String::from_utf8_lossy(&out).into_owned()
+}

@@ -19,7 +19,16 @@
 //!   the least-recently-used entry of that shard. `capacity == 0`
 //!   disables caching entirely (every request builds, nothing is stored).
 //! * **Per-shard stats** — hits, misses, evictions and in-flight waits
-//!   are counted per shard and aggregated in [`CacheStats`].
+//!   are counted per shard and aggregated in [`CacheStats`]. Counter
+//!   updates happen **while the shard lock is held** and snapshots read
+//!   them under the same lock, so a `stats()` call
+//!   racing concurrent traffic (the `GET /v1/stats` endpoint of
+//!   `cnfet-serve` polls exactly this) always observes a per-shard-
+//!   coherent view: every resident entry is accounted by a counted miss
+//!   (`misses >= entries + evictions`), and a reported hit's value was
+//!   resident when counted. Cross-shard skew remains possible — the
+//!   snapshot locks shards one at a time — but each shard's line adds
+//!   up.
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -247,8 +256,10 @@ impl<K: Clone + Eq + Hash, V: Clone> ShardedCache<K, V> {
                 if let Some((_, entry)) = bucket.iter_mut().find(|(k, _)| k == key) {
                     entry.last_used = tick;
                     let value = entry.value.clone();
-                    drop(state);
+                    // Counted before the lock drops: a stats snapshot can
+                    // never see this hit without the entry it came from.
                     shard.hits.fetch_add(1, Ordering::Relaxed);
+                    drop(state);
                     return Ok((value, true));
                 }
             }
@@ -283,6 +294,12 @@ impl<K: Clone + Eq + Hash, V: Clone> ShardedCache<K, V> {
                     },
                 ));
                 state.len += 1;
+                // Counted while the lock is held (insert and miss are one
+                // atomic step to observers): a stats snapshot can never
+                // see the entry without its miss, or the miss without its
+                // entry — `misses >= entries + evictions` holds at every
+                // instant.
+                shard.misses.fetch_add(1, Ordering::Relaxed);
                 while state.len > self.shard_capacity {
                     Self::evict_lru(&mut state);
                     shard.evictions.fetch_add(1, Ordering::Relaxed);
@@ -293,9 +310,6 @@ impl<K: Clone + Eq + Hash, V: Clone> ShardedCache<K, V> {
             Err(e) => Err(e),
         };
         drop(state);
-        if result.is_ok() {
-            shard.misses.fetch_add(1, Ordering::Relaxed);
-        }
         drop(claim);
         result
     }
@@ -355,17 +369,19 @@ impl<K: Clone + Eq + Hash, V: Clone> ShardedCache<K, V> {
             ..CacheStats::default()
         };
         for shard in &self.shards {
-            let (entries, in_flight) = {
+            // Counters are read while the shard lock is held, pairing
+            // with the under-lock increments in `get_or_build`: each
+            // shard's snapshot is internally coherent (see module docs).
+            let s = {
                 let state = shard.state.lock().expect("cache shard lock");
-                (state.len, state.in_flight.len())
-            };
-            let s = ShardStats {
-                entries,
-                hits: shard.hits.load(Ordering::Relaxed),
-                misses: shard.misses.load(Ordering::Relaxed),
-                evictions: shard.evictions.load(Ordering::Relaxed),
-                inflight_waits: shard.inflight_waits.load(Ordering::Relaxed),
-                in_flight,
+                ShardStats {
+                    entries: state.len,
+                    hits: shard.hits.load(Ordering::Relaxed),
+                    misses: shard.misses.load(Ordering::Relaxed),
+                    evictions: shard.evictions.load(Ordering::Relaxed),
+                    inflight_waits: shard.inflight_waits.load(Ordering::Relaxed),
+                    in_flight: state.in_flight.len(),
+                }
             };
             out.entries += s.entries;
             out.hits += s.hits;
@@ -482,6 +498,50 @@ mod tests {
         assert_eq!(stats.in_flight, 0, "claim released after the build");
         assert_eq!(stats.entries, 1, "the racing build landed post-clear");
         assert_eq!(cache.get_or_build(&1, ok(9)).unwrap(), (7, true));
+    }
+
+    #[test]
+    fn stats_snapshots_stay_coherent_under_concurrent_traffic() {
+        // Regression test for the counter ordering: inserts count their
+        // miss and hits count themselves *under the shard lock*, so a
+        // concurrent stats() poll (the serve stats endpoint) must always
+        // observe `misses >= entries + evictions` and `hits + misses`
+        // never exceeding the operations issued so far, per shard.
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(8, 4);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let writers: Vec<_> = (0..2u32)
+                .map(|t| {
+                    let cache = &cache;
+                    scope.spawn(move || {
+                        for i in 0..4000u32 {
+                            let key = (i % 23) * 2 + t;
+                            cache.get_or_build(&key, ok(key)).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            let poller = scope.spawn(|| {
+                let mut polls = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    for s in cache.stats().shards {
+                        assert!(
+                            s.misses >= (s.entries as u64 + s.evictions),
+                            "incoherent shard snapshot: {s:?}"
+                        );
+                    }
+                    polls += 1;
+                }
+                polls
+            });
+            for writer in writers {
+                writer.join().unwrap();
+            }
+            stop.store(true, Ordering::Release);
+            assert!(poller.join().unwrap() > 0, "the poller actually raced");
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 8000);
     }
 
     #[test]

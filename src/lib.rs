@@ -4,6 +4,12 @@
 //! Imperfection-Immune CNFET Layouts for Standard-Cell-Based Logic
 //! Synthesis"* (Bobba, Zhang, Pullini, Atienza, De Micheli — DATE 2009).
 //!
+//! **Start with `ARCHITECTURE.md` at the repository root** for the
+//! top-to-bottom guide: the workspace crate map, the [`SessionRequest`]
+//! lifecycle, the cache and pool designs (including the batch-targeted
+//! helping rule composite requests rely on), the determinism contract,
+//! and the `cnfet-serve` wire protocol with curl transcripts.
+//!
 //! # The `Session` engine
 //!
 //! The front door of the stack is [`Session`]: build one from a
@@ -91,6 +97,18 @@
 //! for one-shot use; the deprecated PR-1 shims that rebuilt state on
 //! every call (`dk::DesignKit::build_library`, `flow::place_cnfet`, …)
 //! have been removed.
+//!
+//! # Serving the engine over the wire
+//!
+//! The sibling crate `cnfet-serve` exposes this whole engine to network
+//! clients as a std-only HTTP/1.1 + JSON server: `POST /v1/run` and
+//! `/v1/batch` for synchronous requests, `POST /v1/submit` +
+//! `GET /v1/jobs/{id}` for the non-blocking [`Session::submit_all`]
+//! shape, and `GET /v1/stats` surfacing [`SessionStats`] — so many
+//! remote co-optimization loops share one warm cache. See
+//! `ARCHITECTURE.md` for the protocol.
+
+#![warn(missing_docs)]
 
 pub use cnfet_core as core;
 pub use cnfet_device as device;

@@ -587,6 +587,20 @@ struct SessionCore {
 /// ([`crate::cache`]): hits on different keys take different locks, and
 /// builds are single-flight per key — concurrent requests for the same
 /// key run one execution; the rest wait on their shard and hit.
+///
+/// # Example
+///
+/// ```
+/// use cnfet::{CellRequest, Session};
+/// use cnfet::core::StdCellKind;
+///
+/// let session = Session::new();
+/// let inv = session.run(&CellRequest::new(StdCellKind::Inv))?;
+/// assert!(!inv.cached, "first request generates");
+/// assert!(session.run(&CellRequest::new(StdCellKind::Inv))?.cached);
+/// assert_eq!(session.stats().cells.misses, 1);
+/// # Ok::<(), cnfet::CnfetError>(())
+/// ```
 #[derive(Clone)]
 pub struct Session {
     core: Arc<SessionCore>,
@@ -847,11 +861,14 @@ impl Session {
             .is_some_and(|pool| pool.help_run_one(batch))
     }
 
-    /// Effective executor width: the `batch_workers` knob; else the
+    /// Effective executor width used by [`Session::run_batch`] and the
+    /// persistent [`Session::submit`] pool: the
+    /// [`SessionBuilder::batch_workers`] knob; else the
     /// `CNFET_TEST_WORKERS` environment variable (the CI matrix sets it
     /// to `1` to drive every suite through the single-worker composite
-    /// path); else the machine's available parallelism.
-    fn worker_count(&self) -> usize {
+    /// path); else the machine's available parallelism. Public so
+    /// embedders — the `cnfet-serve` stats endpoint — can report it.
+    pub fn worker_count(&self) -> usize {
         if self.core.batch_workers > 0 {
             return self.core.batch_workers;
         }

@@ -262,6 +262,21 @@ impl Default for SweepMetrics {
 
 /// A variation-aware characterization sweep over a cell set — the
 /// engine's first composite request (see the [module docs](self)).
+///
+/// # Example
+///
+/// ```
+/// use cnfet::core::StdCellKind;
+/// use cnfet::{Session, SweepMetrics, SweepRequest, VariationGrid};
+///
+/// let request = SweepRequest::new([StdCellKind::Inv])
+///     .grid(VariationGrid::nominal().seeds([1, 2, 3]))
+///     .metrics(SweepMetrics::IMMUNITY)
+///     .mc(cnfet::immunity::McOptions { tubes: 50, ..Default::default() });
+/// let report = Session::new().run(&request)?;
+/// assert_eq!(report.rows.len(), 3, "one cell x three seed corners");
+/// # Ok::<(), cnfet::CnfetError>(())
+/// ```
 #[derive(Clone, Debug)]
 pub struct SweepRequest {
     /// Cells to sweep; each is generated through the session cell cache.

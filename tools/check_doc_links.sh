@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Doc rot check: every local markdown link target and every backticked
+# repo path mentioned in the top-level docs must actually exist. Run
+# from anywhere; CI runs it in the docs job so a renamed file with a
+# stale doc reference fails the build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOCS=(README.md ARCHITECTURE.md ROADMAP.md)
+fail=0
+
+check() {
+    local doc="$1" target="$2"
+    # Strip a #fragment; a bare fragment link needs no file check.
+    local path="${target%%#*}"
+    [ -z "$path" ] && return 0
+    if [ ! -e "$path" ]; then
+        echo "BROKEN: $doc -> $target"
+        fail=1
+    fi
+}
+
+for doc in "${DOCS[@]}"; do
+    [ -f "$doc" ] || { echo "BROKEN: missing doc $doc"; fail=1; continue; }
+
+    # Markdown links: [text](target), skipping http(s) and mailto.
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*) ;;
+            *) check "$doc" "$target" ;;
+        esac
+    done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+
+    # Backticked repo paths: `src/...`, `crates/...`, `tests/...`,
+    # `examples/...`, `tools/...`, `.github/...` with a file extension.
+    while IFS= read -r target; do
+        check "$doc" "$target"
+    done < <(grep -oE '`(src|crates|tests|examples|tools|\.github)/[A-Za-z0-9_./-]+\.[a-z]+`' "$doc" | tr -d '\`')
+done
+
+# The fragment anchors README points into ARCHITECTURE.md with must have
+# matching headings (GitHub slug: lowercase, spaces->-, strip punct).
+while IFS= read -r anchor; do
+    slug="$(grep -iE '^#{1,6} ' ARCHITECTURE.md \
+        | sed -E 's/^#{1,6} +//' \
+        | tr '[:upper:]' '[:lower:]' \
+        | sed -E "s/[\`(),:\"'.]//g; s/[^a-z0-9 -]//g; s/ /-/g" \
+        | grep -Fx "$anchor" || true)"
+    if [ -z "$slug" ]; then
+        echo "BROKEN: README.md -> ARCHITECTURE.md#$anchor (no such heading)"
+        fail=1
+    fi
+done < <(grep -oE 'ARCHITECTURE\.md#[a-z0-9-]+' README.md | sed 's/.*#//' | sort -u)
+
+if [ "$fail" -ne 0 ]; then
+    echo "doc link check FAILED"
+    exit 1
+fi
+echo "doc link check OK"
