@@ -2,17 +2,58 @@
 //! the full `StdCellKind::ALL` × scheme request matrix, the library
 //! build, a contended multi-thread hit path, a skewed batch, a
 //! heterogeneous `submit_all` mix riding the persistent job pool, and a
-//! composite variation sweep. This is the baseline future perf PRs
-//! (sharding, async serving) must not regress; CI gates the
-//! `cached_*`/`contended_*`/`mixed_batch_*`/`sweep_grid_cached*` samples
-//! through `check_regression`.
+//! composite variation sweep, plus the MNA engine's cold transient and
+//! characterization-sweep workloads. This is the baseline future perf
+//! PRs (sharding, async serving) must not regress; CI gates the
+//! `cached_*`/`contended_*`/`mixed_batch_*`/`sweep_grid_cached*`/
+//! `sweep_grid_mna*`/`tran_inverter_cold` samples through
+//! `check_regression`.
 
 use cnfet::core::{GenerateOptions, Scheme, StdCellKind};
+use cnfet::device::Polarity;
+use cnfet::dk::DesignKit;
+use cnfet::spice::{Circuit, Waveform};
 use cnfet::{
     CellRequest, FlowRequest, FlowSource, ImmunityRequest, LibraryRequest, RequestKind, Session,
     SweepMetrics, SweepRequest, VariationGrid,
 };
 use cnfet_bench::harness::Harness;
+use std::sync::Arc;
+
+/// The golden-test inverter: a loaded CNFET inverter driven by a pulse
+/// — the canonical single-cell transient workload for the MNA engine.
+fn inverter_circuit() -> Circuit {
+    let kit = DesignKit::cnfet65();
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let vin = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.add_vsource(vdd, Circuit::GROUND, Waveform::Dc(kit.cnfet.vdd));
+    ckt.add_vsource(
+        vin,
+        Circuit::GROUND,
+        Waveform::Pulse {
+            v0: 0.0,
+            v1: kit.cnfet.vdd,
+            delay: 0.2e-9,
+            rise: 10e-12,
+            fall: 10e-12,
+            width: 2e-9,
+            period: 4e-9,
+        },
+    );
+    let width_m = kit.base_width_lambda as f64 * 32.5e-9;
+    let n = kit
+        .cnfet
+        .device(Polarity::N, kit.tubes_per_4lambda, width_m);
+    let p = kit
+        .cnfet
+        .device(Polarity::P, kit.tubes_per_4lambda, width_m);
+    ckt.add_fet(out, vin, Circuit::GROUND, Arc::new(n));
+    ckt.add_fet(out, vin, vdd, Arc::new(p));
+    ckt.add_load(out, 1e-15);
+    ckt
+}
 
 fn matrix() -> Vec<CellRequest> {
     let mut requests = Vec::new();
@@ -166,6 +207,37 @@ fn main() {
     warm_sweep.run(&sweep).unwrap();
     h.bench("sweep_grid_cached_3c4k", 200, || {
         warm_sweep.run(&sweep).unwrap()
+    });
+
+    // MNA transient, cold: symbolic analysis + engine allocation + one
+    // backward-Euler pulse period every iteration — the whole
+    // lowering → analyze → stamp → refactor → solve chain. Gated: the
+    // reusable-factorization engine must not regress.
+    let inverter = inverter_circuit();
+    let inverter_mna = cnfet::spice::to_mna(&inverter);
+    h.bench("tran_inverter_cold", 20, || {
+        let pattern = Arc::new(cnfet::mna::Pattern::analyze(&inverter_mna));
+        let mut engine = cnfet::mna::Engine::new(pattern);
+        engine
+            .tran(&inverter_mna, &cnfet::mna::TranSpec::new(20e-12, 4e-9))
+            .unwrap()
+    });
+
+    // MNA-backed characterization sweep, cold: 3 cells × 4 corners of
+    // timing metrics, a fresh session every iteration — measures the
+    // per-corner transient stack (pattern-cache reuse included), not
+    // the memoization layer.
+    let mna_sweep =
+        SweepRequest::new([StdCellKind::Inv, StdCellKind::Nand(2), StdCellKind::Nor(2)])
+            .grid(
+                VariationGrid::nominal()
+                    .tube_counts([26, 10])
+                    .pitch_scales([1.0, 0.8]),
+            )
+            .metrics(SweepMetrics::TIMING);
+    h.bench("sweep_grid_mna_3c4k", 10, || {
+        let session = Session::new();
+        session.run(&mna_sweep).unwrap()
     });
 
     // Library build: cold (fresh session) vs memoized.

@@ -1,4 +1,13 @@
 //! Spice-based cell characterization: delay vs load and switching energy.
+//!
+//! Measurements run on the [`cnfet_mna`] engine: every cell circuit is
+//! lowered to an [`cnfet_mna::MnaCircuit`], its symbolic [`cnfet_mna::Pattern`]
+//! comes from a process-wide [`PatternCache`], and one
+//! [`cnfet_mna::Engine`] (with its factorization buffers and recorded
+//! pivot order) is reused across the load sweep. Since variation corners
+//! only change element *values*, repeated same-cell characterizations —
+//! across loads, corners and sweep points — do **zero** symbolic
+//! re-analysis.
 
 use crate::kit::DesignKit;
 #[cfg(test)]
@@ -8,10 +17,15 @@ use cnfet_core::SizedNetwork;
 use cnfet_core::Sizing;
 use cnfet_device::Polarity;
 use cnfet_logic::{NodeKind, PullGraph, SpNetwork};
-use cnfet_spice::{
-    energy_from_supply, propagation_delay, transient, Circuit, Edge, SimError, Waveform,
-};
-use std::sync::Arc;
+use cnfet_mna::{measure, Engine, PatternCache, Probe, TranSpec};
+use cnfet_spice::{to_mna, Circuit, Edge, SimError, Waveform};
+use std::sync::{Arc, OnceLock};
+
+/// The process-wide pattern cache shared by all characterization calls.
+fn global_patterns() -> &'static PatternCache {
+    static CACHE: OnceLock<PatternCache> = OnceLock::new();
+    CACHE.get_or_init(PatternCache::new)
+}
 
 /// NLDM-style load-indexed timing data for one cell arc.
 #[derive(Clone, Debug)]
@@ -104,12 +118,44 @@ pub fn characterize_cell_at(
     loads_f: &[f64],
     corner: CharCorner,
 ) -> Result<TimingTable, SimError> {
+    characterize_with_cache(kit, cell, loads_f, corner, global_patterns(), false)
+        .map(|(table, _)| table)
+}
+
+/// [`characterize_cell_at`] additionally returning the first-load
+/// transient rendered as a deterministic waveform table (`time in out
+/// i(vdd)`), for callers that retain waveforms alongside metrics.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when a transient fails to converge.
+pub fn characterize_cell_traces(
+    kit: &DesignKit,
+    cell: &LibCell,
+    loads_f: &[f64],
+    corner: CharCorner,
+) -> Result<(TimingTable, Option<String>), SimError> {
+    characterize_with_cache(kit, cell, loads_f, corner, global_patterns(), true)
+}
+
+/// The characterization engine room, parameterized over the pattern cache
+/// (tests pass a local cache to observe symbolic-analysis counts).
+fn characterize_with_cache(
+    kit: &DesignKit,
+    cell: &LibCell,
+    loads_f: &[f64],
+    corner: CharCorner,
+    patterns: &PatternCache,
+    retain_waveform: bool,
+) -> Result<(TimingTable, Option<String>), SimError> {
     let (pdn, pun, vars) = cell.kind.networks();
     let n_inputs = vars.len();
     let side_mask = sensitizing_mask(&pdn, n_inputs);
 
     let mut delays = Vec::with_capacity(loads_f.len());
     let mut energy = 0.0;
+    let mut waveform_table = None;
+    let mut engine: Option<Engine> = None;
     let period = 4e-9;
     for (li, &load) in loads_f.iter().enumerate() {
         let mut ckt = Circuit::new();
@@ -170,12 +216,24 @@ pub fn characterize_cell_at(
         );
         ckt.add_load(out, load);
 
-        let tran = transient(&ckt, 2e-12, period * 1.1)?;
-        let d1 = propagation_delay(&tran, vin, out, kit.cnfet.vdd, Edge::Rising, 0.0);
-        let d2 = propagation_delay(
-            &tran,
-            vin,
-            out,
+        // Lower once per load point; the symbolic pattern comes from the
+        // cache (hit on every same-topology load/corner) and the engine —
+        // buffers, pivot order — carries over whenever the pattern is the
+        // same Arc.
+        let mna = to_mna(&ckt);
+        let pattern = patterns.get_or_analyze(&mna);
+        let engine = match &mut engine {
+            Some(e) if Arc::ptr_eq(e.pattern(), &pattern) => e,
+            slot => slot.insert(Engine::new(pattern)),
+        };
+        let wave = engine.tran(&mna, &TranSpec::new(2e-12, period * 1.1))?;
+
+        let (p_in, p_out) = (Probe::Node(vin.0), Probe::Node(out.0));
+        let d1 = measure::propagation_delay(&wave, p_in, p_out, kit.cnfet.vdd, Edge::Rising, 0.0);
+        let d2 = measure::propagation_delay(
+            &wave,
+            p_in,
+            p_out,
             kit.cnfet.vdd,
             Edge::Falling,
             0.2e-9 + period / 2.0 - 50e-12,
@@ -187,15 +245,31 @@ pub fn characterize_cell_at(
         };
         delays.push(avg);
         if li == 0 {
-            energy = energy_from_supply(&tran, supply, kit.cnfet.vdd, 0.0, period * 1.05);
+            energy = measure::energy_from_supply(
+                &wave,
+                Probe::SourceCurrent(supply),
+                kit.cnfet.vdd,
+                0.0,
+                period * 1.05,
+            );
+            if retain_waveform {
+                waveform_table = Some(wave.render_table(&[
+                    ("in", p_in),
+                    ("out", p_out),
+                    ("i(vdd)", Probe::SourceCurrent(supply)),
+                ]));
+            }
         }
     }
 
-    Ok(TimingTable {
-        loads_f: loads_f.to_vec(),
-        delays_s: delays,
-        energy_j: energy,
-    })
+    Ok((
+        TimingTable {
+            loads_f: loads_f.to_vec(),
+            delays_s: delays,
+            energy_j: energy,
+        },
+        waveform_table,
+    ))
 }
 
 /// Chooses side-input values such that the output toggles with input 0.
@@ -327,6 +401,64 @@ mod tests {
         )
         .unwrap();
         assert!(bunched.delays_s[0] > nominal.delays_s[0]);
+    }
+
+    #[test]
+    fn repeated_corners_do_zero_symbolic_reanalysis() {
+        let kit = DesignKit::cnfet65();
+        let lib = build_library(&kit, Scheme::Scheme1).unwrap();
+        let inv = lib.cell("INV_X1").unwrap();
+        let loads = [0.5e-15, 2e-15];
+        let patterns = PatternCache::new();
+        // Two loads, same topology: one symbolic analysis total.
+        characterize_with_cache(
+            &kit,
+            inv,
+            &loads,
+            CharCorner::nominal(&kit),
+            &patterns,
+            false,
+        )
+        .unwrap();
+        assert_eq!(patterns.symbolic_builds(), 1, "loads share one pattern");
+        // Further corners only change values — still one analysis.
+        for tubes in [8, 10, 12, 26] {
+            let corner = CharCorner {
+                tubes_per_4lambda: tubes,
+                pitch_scale: 0.9,
+            };
+            characterize_with_cache(&kit, inv, &loads, corner, &patterns, false).unwrap();
+        }
+        assert_eq!(
+            patterns.symbolic_builds(),
+            1,
+            "same-topology corners must not re-analyze"
+        );
+        // A different cell is a different topology: exactly one more.
+        let nand = lib.cell("NAND2_X1").unwrap();
+        characterize_with_cache(
+            &kit,
+            nand,
+            &loads,
+            CharCorner::nominal(&kit),
+            &patterns,
+            false,
+        )
+        .unwrap();
+        assert_eq!(patterns.symbolic_builds(), 2);
+    }
+
+    #[test]
+    fn traces_render_a_waveform_table() {
+        let kit = DesignKit::cnfet65();
+        let lib = build_library(&kit, Scheme::Scheme1).unwrap();
+        let inv = lib.cell("INV_X1").unwrap();
+        let (table, wave) =
+            characterize_cell_traces(&kit, inv, &[1e-15], CharCorner::nominal(&kit)).unwrap();
+        assert!(table.delays_s[0] > 0.0);
+        let wave = wave.expect("waveform retained");
+        assert!(wave.starts_with("time in out i(vdd)\n"));
+        assert!(wave.lines().count() > 100, "full transient recorded");
     }
 
     #[test]

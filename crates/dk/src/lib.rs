@@ -27,7 +27,9 @@ pub mod lef;
 pub mod liberty;
 pub mod libgen;
 
-pub use characterize::{characterize_cell, characterize_cell_at, CharCorner, TimingTable};
+pub use characterize::{
+    characterize_cell, characterize_cell_at, characterize_cell_traces, CharCorner, TimingTable,
+};
 pub use export::library_gds;
 pub use kit::DesignKit;
 pub use lef::write_lef;

@@ -1,0 +1,322 @@
+//! AC small-signal analysis over a logarithmic frequency grid.
+//!
+//! The circuit is linearized about its DC operating point (FETs become
+//! `gds`/`gm`/`gs` conductance stamps), and the complex system
+//! `(G + jωC) X = B` is solved per frequency through a real `2n × 2n`
+//! embedding `[[G, −ωC], [ωC, G]]` — which keeps the whole analysis on
+//! the same real [`crate::LuFactor`] machinery, pivot-order reuse
+//! included: the first frequency factors, every later frequency
+//! refactors under the recorded order.
+
+use crate::circuit::{MnaCircuit, MnaElement};
+use crate::engine::{Engine, MnaError, GMIN};
+use crate::pattern::Plan;
+use crate::solver::LuFactor;
+use crate::stamp::fet_small_signal;
+
+/// An AC analysis request: which source is the unit excitation and the
+/// logarithmic frequency grid to sweep.
+#[derive(Clone, Debug)]
+pub struct AcSpec {
+    /// Index of the excited voltage source (insertion order); it drives
+    /// 1 V∠0°, every other source is AC-grounded.
+    pub source: usize,
+    /// Start frequency (Hz, inclusive).
+    pub f_start: f64,
+    /// Stop frequency (Hz, inclusive — appended if the grid misses it).
+    pub f_stop: f64,
+    /// Grid points per decade.
+    pub points_per_decade: usize,
+}
+
+impl AcSpec {
+    /// A decade sweep of source `source` from `f_start` to `f_stop`.
+    pub fn new(source: usize, f_start: f64, f_stop: f64, points_per_decade: usize) -> AcSpec {
+        AcSpec {
+            source,
+            f_start,
+            f_stop,
+            points_per_decade,
+        }
+    }
+}
+
+/// Builds the logarithmic grid: `f_start · 10^(k/ppd)` up to `f_stop`,
+/// with `f_stop` appended when the last decade step misses it.
+fn log_grid(f_start: f64, f_stop: f64, ppd: usize) -> Vec<f64> {
+    let mut freqs = Vec::new();
+    let mut k = 0usize;
+    loop {
+        let f = f_start * 10f64.powf(k as f64 / ppd as f64);
+        if f > f_stop * (1.0 + 1e-12) {
+            break;
+        }
+        freqs.push(f);
+        k += 1;
+    }
+    if freqs.last().is_none_or(|&f| f < f_stop * (1.0 - 1e-12)) {
+        freqs.push(f_stop);
+    }
+    freqs
+}
+
+/// Complex node-voltage phasors per frequency point.
+#[derive(Clone, Debug)]
+pub struct AcResult {
+    n_nodes: usize,
+    freqs: Vec<f64>,
+    /// Real parts, one row of `dim` unknowns per frequency.
+    re: Vec<Vec<f64>>,
+    /// Imaginary parts, same layout.
+    im: Vec<Vec<f64>>,
+}
+
+impl AcResult {
+    /// The swept frequencies (Hz, ascending).
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Number of frequency points.
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// Whether the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+
+    fn phasor(&self, k: usize, node: usize) -> (f64, f64) {
+        assert!(node <= self.n_nodes, "node {node} out of range");
+        if node == 0 {
+            (0.0, 0.0)
+        } else {
+            (self.re[k][node - 1], self.im[k][node - 1])
+        }
+    }
+
+    /// Voltage magnitude of `node` at frequency point `k`.
+    pub fn magnitude(&self, k: usize, node: usize) -> f64 {
+        let (re, im) = self.phasor(k, node);
+        re.hypot(im)
+    }
+
+    /// Voltage phase of `node` at frequency point `k`, in degrees.
+    pub fn phase_deg(&self, k: usize, node: usize) -> f64 {
+        let (re, im) = self.phasor(k, node);
+        im.atan2(re).to_degrees()
+    }
+}
+
+impl Engine {
+    /// Runs an AC small-signal analysis: DC operating point, linearize,
+    /// then solve the complex system over the log grid (reusing one pivot
+    /// order across all frequencies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError`] when the DC solve fails or the small-signal
+    /// system is singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive or reversed frequency range, an
+    /// out-of-range source index, or a topology mismatch.
+    pub fn ac(&mut self, circuit: &MnaCircuit, spec: &AcSpec) -> Result<AcResult, MnaError> {
+        assert!(
+            spec.f_start > 0.0 && spec.f_stop >= spec.f_start,
+            "frequency range must be positive and ascending"
+        );
+        assert!(
+            spec.source < self.pattern().n_vsources(),
+            "AC source index out of range"
+        );
+        assert!(spec.points_per_decade > 0, "points_per_decade must be > 0");
+        let op = self.dc(circuit)?;
+        let pattern = std::sync::Arc::clone(self.pattern());
+        let dim = pattern.dim();
+
+        // Frequency-independent real part G and the susceptance matrix C
+        // (the system is G + jω·C).
+        let mut g_mat = vec![0.0; dim * dim];
+        let mut c_mat = vec![0.0; dim * dim];
+        let set = |m: &mut Vec<f64>, r: Option<usize>, c: Option<usize>, v: f64| {
+            if let (Some(r), Some(c)) = (r, c) {
+                m[r * dim + c] += v;
+            }
+        };
+        let conduct = |m: &mut Vec<f64>, a: Option<usize>, b: Option<usize>, g: f64| {
+            if let Some(i) = a {
+                m[i * dim + i] += g;
+            }
+            if let Some(j) = b {
+                m[j * dim + j] += g;
+            }
+            if let (Some(i), Some(j)) = (a, b) {
+                m[i * dim + j] -= g;
+                m[j * dim + i] -= g;
+            }
+        };
+        let volt = |n: Option<usize>| n.map_or(0.0, |i| op[i + 1]);
+        let mut excitation_row = 0usize;
+        let mut src = 0usize;
+        for (plan, elem) in pattern.plans().iter().zip(circuit.elements()) {
+            match (plan, elem) {
+                (Plan::Conductance { a, b }, MnaElement::Resistor { ohms, .. }) => {
+                    conduct(&mut g_mat, *a, *b, 1.0 / ohms);
+                }
+                (Plan::Capacitor { a, b, .. }, MnaElement::Capacitor { farads, .. }) => {
+                    conduct(&mut c_mat, *a, *b, *farads);
+                }
+                (Plan::Inductor { a, b, row, .. }, MnaElement::Inductor { henries, .. }) => {
+                    // Branch row: v_a − v_b − jωL·i = 0.
+                    set(&mut g_mat, *a, Some(*row), 1.0);
+                    set(&mut g_mat, Some(*row), *a, 1.0);
+                    set(&mut g_mat, *b, Some(*row), -1.0);
+                    set(&mut g_mat, Some(*row), *b, -1.0);
+                    c_mat[*row * dim + *row] -= henries;
+                }
+                (Plan::VSource { p, n, row }, MnaElement::VSource { .. }) => {
+                    set(&mut g_mat, *p, Some(*row), 1.0);
+                    set(&mut g_mat, Some(*row), *p, 1.0);
+                    set(&mut g_mat, *n, Some(*row), -1.0);
+                    set(&mut g_mat, Some(*row), *n, -1.0);
+                    if src == spec.source {
+                        excitation_row = *row;
+                    }
+                    src += 1;
+                }
+                (Plan::Fet { d, g, s }, MnaElement::Fet { model, .. }) => {
+                    let (_, gds, gm, gsrc) =
+                        fet_small_signal(model.as_ref(), volt(*d), volt(*g), volt(*s));
+                    set(&mut g_mat, *d, *d, gds);
+                    set(&mut g_mat, *d, *g, gm);
+                    set(&mut g_mat, *d, *s, gsrc);
+                    set(&mut g_mat, *s, *d, -gds);
+                    set(&mut g_mat, *s, *g, -gm);
+                    set(&mut g_mat, *s, *s, -gsrc);
+                    set(&mut g_mat, *d, *d, GMIN);
+                    set(&mut g_mat, *s, *s, GMIN);
+                }
+                _ => unreachable!("pattern/circuit element mismatch"),
+            }
+        }
+
+        // Real embedding of (G + jωC)(xr + j·xi) = b:
+        //   [[G, −ωC], [ωC, G]] · [xr; xi] = [br; bi].
+        let freqs = log_grid(spec.f_start, spec.f_stop, spec.points_per_decade);
+        let dim2 = 2 * dim;
+        let mut lu = LuFactor::new(dim2);
+        let mut rhs = vec![0.0; dim2];
+        let mut re = Vec::with_capacity(freqs.len());
+        let mut im = Vec::with_capacity(freqs.len());
+        for &f in &freqs {
+            let w = 2.0 * std::f64::consts::PI * f;
+            {
+                let vals = lu.values_mut();
+                for r in 0..dim {
+                    for c in 0..dim {
+                        let g = g_mat[r * dim + c];
+                        let wc = w * c_mat[r * dim + c];
+                        vals[r * dim2 + c] = g;
+                        vals[r * dim2 + dim + c] = -wc;
+                        vals[(dim + r) * dim2 + c] = wc;
+                        vals[(dim + r) * dim2 + dim + c] = g;
+                    }
+                }
+            }
+            lu.refactor().map_err(|_| MnaError::Singular)?;
+            rhs.fill(0.0);
+            rhs[excitation_row] = 1.0;
+            lu.solve_in_place(&mut rhs);
+            re.push(rhs[..dim].to_vec());
+            im.push(rhs[dim..].to_vec());
+        }
+        Ok(AcResult {
+            n_nodes: pattern.n_nodes(),
+            freqs,
+            re,
+            im,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::SourceWave;
+    use crate::pattern::Pattern;
+    use std::sync::Arc;
+
+    #[test]
+    fn log_grid_hits_endpoints() {
+        let g = log_grid(1.0, 100.0, 2);
+        assert_eq!(g.len(), 5);
+        assert!((g[0] - 1.0).abs() < 1e-12);
+        assert!((g[4] - 100.0).abs() < 1e-9);
+        let ragged = log_grid(1.0, 30.0, 1);
+        assert_eq!(ragged.len(), 3); // 1, 10, then 30 appended
+        assert!((ragged[2] - 30.0).abs() < 1e-12);
+    }
+
+    /// Single-pole RC low-pass: at the pole, |H| = 1/√2 and phase −45°.
+    #[test]
+    fn rc_pole_magnitude_and_phase() {
+        let (r, c) = (1e3, 1e-12);
+        let f_pole = 1.0 / (2.0 * std::f64::consts::PI * r * c);
+        let mut ckt = MnaCircuit::new();
+        ckt.vsource(1, 0, SourceWave::Dc(0.0));
+        ckt.resistor(1, 2, r);
+        ckt.capacitor(2, 0, c);
+        let mut e = Engine::new(Arc::new(Pattern::analyze(&ckt)));
+        // Grid from a decade below to a decade above: index 10 lands on
+        // the pole exactly.
+        let res = e
+            .ac(&ckt, &AcSpec::new(0, f_pole / 10.0, f_pole * 10.0, 10))
+            .unwrap();
+        assert_eq!(res.len(), 21);
+        let at_pole = 10;
+        assert!((res.freqs()[at_pole] - f_pole).abs() / f_pole < 1e-9);
+        let mag = res.magnitude(at_pole, 2);
+        let ph = res.phase_deg(at_pole, 2);
+        assert!(
+            (mag - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6,
+            "pole magnitude {mag}"
+        );
+        assert!((ph + 45.0).abs() < 1e-6, "pole phase {ph}");
+        // Passband and stopband sanity.
+        assert!(res.magnitude(0, 2) > 0.99);
+        assert!(res.magnitude(20, 2) < 0.15);
+    }
+
+    /// Series RLC: the inductor branch makes the response second-order,
+    /// with the resonance peak where it belongs.
+    #[test]
+    fn rlc_resonance() {
+        let (r, l, c) = (10.0f64, 1e-9f64, 1e-12f64);
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt());
+        let mut ckt = MnaCircuit::new();
+        ckt.vsource(1, 0, SourceWave::Dc(0.0));
+        ckt.resistor(1, 2, r);
+        ckt.inductor(2, 3, l);
+        ckt.capacitor(3, 0, c);
+        let mut e = Engine::new(Arc::new(Pattern::analyze(&ckt)));
+        let res = e
+            .ac(&ckt, &AcSpec::new(0, f0 / 100.0, f0 * 100.0, 20))
+            .unwrap();
+        // Far below resonance the cap voltage tracks the source; well
+        // above it rolls off at −40 dB/decade.
+        assert!(res.magnitude(0, 3) > 0.999);
+        let last = res.len() - 1;
+        assert!(res.magnitude(last, 3) < 1e-3);
+        // At resonance, |V_c| = Q = (1/R)·√(L/C).
+        let q = (l / c).sqrt() / r;
+        let k0 = res
+            .freqs()
+            .iter()
+            .position(|&f| (f - f0).abs() / f0 < 1e-9)
+            .expect("grid hits f0");
+        assert!((res.magnitude(k0, 3) - q).abs() / q < 1e-3);
+    }
+}

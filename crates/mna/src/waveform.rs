@@ -1,0 +1,183 @@
+//! Transient result storage: strictly monotone timepoints with typed
+//! probes over node voltages and branch currents.
+
+use crate::pattern::Pattern;
+
+/// A typed handle into a [`Waveform`]'s traces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Probe {
+    /// Voltage of a circuit node (node 0 is ground: identically zero).
+    Node(usize),
+    /// Branch current of the i-th voltage source (insertion order;
+    /// positive flows into the positive terminal through the source, so
+    /// supplies see negative current).
+    SourceCurrent(usize),
+    /// Branch current of the i-th inductor (insertion order; positive
+    /// flows from terminal `a` to `b`).
+    InductorCurrent(usize),
+}
+
+/// Recorded `.tran` waveforms: one strictly increasing time axis plus a
+/// trace per unknown. Adaptive steps may land between nominal timepoints;
+/// monotonicity is asserted on every append.
+#[derive(Clone, Debug)]
+pub struct Waveform {
+    n_nodes: usize,
+    n_vsources: usize,
+    n_inductors: usize,
+    time: Vec<f64>,
+    /// One column per unknown, in unknown order (nodes, then source
+    /// branches, then inductor branches).
+    columns: Vec<Vec<f64>>,
+    /// The ground trace (all zeros), kept sample-aligned so
+    /// `probe(Node(0))` returns a real slice.
+    ground: Vec<f64>,
+}
+
+impl Waveform {
+    pub(crate) fn new(pattern: &Pattern, capacity: usize) -> Waveform {
+        Waveform {
+            n_nodes: pattern.n_nodes(),
+            n_vsources: pattern.n_vsources(),
+            n_inductors: pattern.n_inductors(),
+            time: Vec::with_capacity(capacity),
+            columns: vec![Vec::with_capacity(capacity); pattern.dim()],
+            ground: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a sample; `x` is the full unknown vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` does not strictly increase.
+    pub(crate) fn push(&mut self, t: f64, x: &[f64]) {
+        if let Some(&last) = self.time.last() {
+            assert!(t > last, "non-monotone timepoint: {t} after {last}");
+        }
+        self.time.push(t);
+        self.ground.push(0.0);
+        for (col, &v) in self.columns.iter_mut().zip(x) {
+            col.push(v);
+        }
+    }
+
+    /// Sample times (strictly increasing).
+    pub fn time(&self) -> &[f64] {
+        &self.time
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// Whether the run produced no samples.
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+
+    /// Number of node-voltage traces (excluding ground).
+    pub fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The trace behind a probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range probe.
+    pub fn probe(&self, probe: Probe) -> &[f64] {
+        match probe {
+            Probe::Node(0) => &self.ground,
+            Probe::Node(n) => {
+                assert!(n <= self.n_nodes, "node {n} out of range");
+                &self.columns[n - 1]
+            }
+            Probe::SourceCurrent(s) => {
+                assert!(s < self.n_vsources, "source {s} out of range");
+                &self.columns[self.n_nodes + s]
+            }
+            Probe::InductorCurrent(l) => {
+                assert!(l < self.n_inductors, "inductor {l} out of range");
+                &self.columns[self.n_nodes + self.n_vsources + l]
+            }
+        }
+    }
+
+    /// Voltage trace of a node (0 = ground).
+    pub fn voltage(&self, node: usize) -> &[f64] {
+        self.probe(Probe::Node(node))
+    }
+
+    /// Branch-current trace of the i-th voltage source.
+    pub fn source_current(&self, idx: usize) -> &[f64] {
+        self.probe(Probe::SourceCurrent(idx))
+    }
+
+    /// Renders selected probes as a deterministic whitespace-separated
+    /// table (`time` column first), the canonical form for golden files
+    /// and wire transport.
+    pub fn render_table(&self, probes: &[(&str, Probe)]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("time");
+        for (label, _) in probes {
+            out.push(' ');
+            out.push_str(label);
+        }
+        out.push('\n');
+        let traces: Vec<&[f64]> = probes.iter().map(|(_, p)| self.probe(*p)).collect();
+        for (k, t) in self.time.iter().enumerate() {
+            let _ = write!(out, "{t:.6e}");
+            for trace in &traces {
+                let _ = write!(out, " {:.6e}", trace[k]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{MnaCircuit, SourceWave};
+
+    fn pattern() -> Pattern {
+        let mut c = MnaCircuit::new();
+        c.vsource(1, 0, SourceWave::Dc(1.0));
+        c.resistor(1, 2, 1e3);
+        Pattern::analyze(&c)
+    }
+
+    #[test]
+    fn probes_address_unknowns() {
+        let p = pattern();
+        let mut w = Waveform::new(&p, 4);
+        w.push(0.0, &[1.0, 0.5, -1e-3]);
+        w.push(1e-9, &[1.0, 0.6, -2e-3]);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.voltage(0), &[0.0, 0.0]);
+        assert_eq!(w.voltage(2), &[0.5, 0.6]);
+        assert_eq!(w.source_current(0), &[-1e-3, -2e-3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-monotone")]
+    fn non_monotone_push_panics() {
+        let p = pattern();
+        let mut w = Waveform::new(&p, 4);
+        w.push(1e-9, &[0.0, 0.0, 0.0]);
+        w.push(1e-9, &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn table_is_deterministic() {
+        let p = pattern();
+        let mut w = Waveform::new(&p, 2);
+        w.push(0.0, &[1.0, 0.5, -1e-3]);
+        let table = w.render_table(&[("in", Probe::Node(1)), ("i(v1)", Probe::SourceCurrent(0))]);
+        assert_eq!(table, "time in i(v1)\n0.000000e0 1.000000e0 -1.000000e-3\n");
+    }
+}

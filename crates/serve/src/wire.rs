@@ -21,6 +21,8 @@
 //! {"type": "sweep_corner", "cell": {"kind": "inv"},
 //!  "corner": {"tubes_per_4lambda": 10, "pitch_scale": 1.3,
 //!             "metallic_fraction": 0.0, "seed": 42}}
+//! {"type": "tran", "deck": "V1 in 0 DC 1\nR1 in out 1k\nC1 out 0 1p\n.end",
+//!  "dt": 1e-11, "t_stop": 1e-8, "probes": ["out"]}
 //! ```
 //!
 //! Cell kinds are `inv`, `nand2..4`, `nor2..4`, `aoi21`, `aoi22`,
@@ -42,14 +44,18 @@
 //! ```
 //!
 //! where `kind` names the [`CnfetError`] variant (`generate`, `parse`,
-//! `network`, `sim`, `gds`, `library`, `verilog`, `missing_cell`,
-//! `canceled`, `io`) and malformed requests use `bad_request` with a
-//! byte `position` when the JSON itself failed to parse.
+//! `network`, `sim_singular`, `sim_no_convergence`, `deck`, `gds`,
+//! `library`, `verilog`, `missing_cell`, `canceled`, `io`) and malformed
+//! requests use `bad_request` with a byte `position` when the JSON
+//! itself failed to parse. Simulation failures split by cause so a
+//! client can tell a structurally broken deck (`sim_singular` — floating
+//! node or source loop) from Newton trouble (`sim_no_convergence`).
 
 use crate::json::Json;
 use cnfet::core::{GenerateOptions, Scheme, StdCellKind};
 use cnfet::dk::CellLibrary;
 use cnfet::immunity::McOptions;
+use cnfet::spice::SimError;
 use cnfet::sweep::{
     CornerRow, CornerSummary, SweepCornerRequest, SweepMetrics, SweepReport, SweepRequest,
     VariationCorner, VariationGrid,
@@ -57,7 +63,7 @@ use cnfet::sweep::{
 use cnfet::{
     CellRequest, CellResult, CnfetError, FlowRequest, FlowResult, FlowSource, FlowTarget,
     ImmunityEngine, ImmunityReport, ImmunityRequest, LibraryRequest, RequestKind, ResponseKind,
-    SimSpec,
+    SimSpec, TranRequest, TranResult,
 };
 use std::collections::BTreeMap;
 
@@ -110,7 +116,9 @@ pub fn error_response(error: &CnfetError) -> (u16, Json) {
         CnfetError::Generate(_) => "generate",
         CnfetError::Parse(_) => "parse",
         CnfetError::Network(_) => "network",
-        CnfetError::Sim(_) => "sim",
+        CnfetError::Sim(SimError::Singular) => "sim_singular",
+        CnfetError::Sim(SimError::NoConvergence { .. }) => "sim_no_convergence",
+        CnfetError::Deck(_) => "deck",
         CnfetError::Gds(_) => "gds",
         CnfetError::Library(_) => "library",
         CnfetError::Verilog(_) => "verilog",
@@ -220,6 +228,7 @@ fn parse_request_at(value: &Json, path: &str) -> Result<RequestKind, WireError> 
         "flow" => Ok(RequestKind::Flow(parse_flow(value, path)?)),
         "sweep" => Ok(RequestKind::Sweep(parse_sweep(value, path)?)),
         "sweep_corner" => Ok(RequestKind::SweepCorner(parse_sweep_corner(value, path)?)),
+        "tran" => Ok(RequestKind::Tran(parse_tran(value, path)?)),
         other => Err(WireError::new(
             &join(path, "type"),
             format!("unknown request type `{other}`"),
@@ -430,6 +439,7 @@ fn parse_metrics(value: &Json, path: &str) -> Result<SweepMetrics, WireError> {
                 immunity: flag("immunity")?,
                 timing: flag("timing")?,
                 liberty: flag("liberty")?,
+                retain_waveforms: flag("waveforms")?,
             })
         }
         _ => Err(WireError::new(path, "expected a string or an object")),
@@ -519,6 +529,34 @@ fn parse_sweep_corner(value: &Json, path: &str) -> Result<SweepCornerRequest, Wi
     })
 }
 
+fn parse_tran(value: &Json, path: &str) -> Result<TranRequest, WireError> {
+    let deck = as_str(need(value, path, "deck")?, &join(path, "deck"))?;
+    // Reject non-physical time steps here so the engine's own validation
+    // never has to run on a server thread with garbage input.
+    let positive = |key: &str| -> Result<f64, WireError> {
+        let p = join(path, key);
+        let v = as_f64(need(value, path, key)?, &p)?;
+        if v.is_finite() && v > 0.0 {
+            Ok(v)
+        } else {
+            Err(WireError::new(&p, "expected a positive finite number"))
+        }
+    };
+    let dt = positive("dt")?;
+    let t_stop = positive("t_stop")?;
+    let mut request = TranRequest::new(deck, dt, t_stop);
+    if let Some(probes) = opt(value, "probes") {
+        let probes_path = join(path, "probes");
+        let names = as_arr(probes, &probes_path)?
+            .iter()
+            .enumerate()
+            .map(|(i, v)| as_str(v, &format!("{probes_path}[{i}]")).map(str::to_string))
+            .collect::<Result<Vec<String>, WireError>>()?;
+        request = request.probes(names);
+    }
+    Ok(request)
+}
+
 // ---------------------------------------------------------------------------
 // Response rendering
 // ---------------------------------------------------------------------------
@@ -539,7 +577,28 @@ pub fn render_response(response: &ResponseKind) -> Json {
             fields.insert(0, ("type".to_string(), Json::str("sweep_corner")));
             Json::Obj(fields)
         }
+        ResponseKind::Tran(r) => render_tran(r),
     }
+}
+
+fn render_tran(result: &TranResult) -> Json {
+    Json::obj([
+        ("type", Json::str("tran")),
+        ("points", Json::from(result.time.len())),
+        ("time", result.time.iter().copied().collect::<Json>()),
+        (
+            "probes",
+            Json::Obj(
+                result
+                    .probes
+                    .iter()
+                    .map(|(name, samples)| {
+                        (name.clone(), samples.iter().copied().collect::<Json>())
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn render_cell(result: &CellResult) -> Json {
@@ -660,6 +719,7 @@ fn render_row(row: &CornerRow) -> Json {
         ("energy_j", Json::from(row.energy_j())),
         ("yield", Json::from(row.yield_frac())),
         ("liberty", Json::from(row.liberty.clone())),
+        ("waveform", Json::from(row.waveform.clone())),
     ])
 }
 
@@ -747,6 +807,13 @@ mod tests {
             req(r#"{"type":"sweep_corner","cell":{"kind":"inv"},"corner":{"seed":3}}"#).unwrap(),
             RequestKind::SweepCorner(c) if c.corner.seed == 3
         ));
+        let RequestKind::Tran(tran) = req(r#"{"type":"tran","deck":"V1 a 0 DC 1\n.end","dt":1e-11,
+                "t_stop":1e-9,"probes":["a"]}"#)
+        .unwrap() else {
+            panic!("expected a tran");
+        };
+        assert_eq!(tran.dt, 1e-11);
+        assert_eq!(tran.probes, vec!["a".to_string()]);
     }
 
     #[test]
@@ -759,6 +826,10 @@ mod tests {
         assert!(e.message.starts_with("engine:"), "{e}");
         let e = req(r#"{"type":"warp"}"#).unwrap_err();
         assert!(e.message.contains("unknown request type"), "{e}");
+        let e = req(r#"{"type":"tran","deck":".end","dt":-1e-11,"t_stop":1e-9}"#).unwrap_err();
+        assert!(e.message.starts_with("dt: expected a positive"), "{e}");
+        let e = req(r#"{"type":"tran","deck":".end","dt":1e-11,"t_stop":0}"#).unwrap_err();
+        assert!(e.message.starts_with("t_stop: expected a positive"), "{e}");
     }
 
     #[test]
@@ -782,5 +853,23 @@ mod tests {
             .unwrap()
             .contains("`X`"));
         assert_eq!(error_response(&CnfetError::Canceled).0, 503);
+
+        // Simulation failures split by cause on the wire.
+        let (status, body) = error_response(&CnfetError::Sim(SimError::Singular));
+        assert_eq!(status, 422);
+        let kind = body.get("error").unwrap().get("kind").unwrap();
+        assert_eq!(kind.as_str(), Some("sim_singular"));
+        let (_, body) = error_response(&CnfetError::Sim(SimError::NoConvergence { at_step: 7 }));
+        let error = body.get("error").unwrap();
+        assert_eq!(
+            error.get("kind").unwrap().as_str(),
+            Some("sim_no_convergence")
+        );
+        assert!(error
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("step 7"));
     }
 }

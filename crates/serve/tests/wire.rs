@@ -214,6 +214,71 @@ fn concurrent_clients_share_one_warm_cache() {
 }
 
 #[test]
+fn tran_requests_run_the_mna_engine_over_the_wire() {
+    let server = server();
+    let mut client = Client::new(server.addr());
+
+    // An RC charge through one time constant: out ≈ 1 − e⁻¹.
+    let request = Json::obj([
+        ("type", Json::str("tran")),
+        (
+            "deck",
+            Json::str("V1 in 0 PWL(0 0 1e-12 1)\nR1 in out 1k\nC1 out 0 1p\n.end"),
+        ),
+        ("dt", Json::from(1e-11)),
+        ("t_stop", Json::from(1e-9)),
+        ("probes", Json::Arr(vec![Json::str("out")])),
+    ]);
+    let result = client.post("/v1/run", &request).unwrap().expect_status(200);
+    assert_eq!(result.get("type").unwrap().as_str(), Some("tran"));
+    let points = result.get("points").unwrap().as_u64().unwrap();
+    assert!(points > 10, "a real waveform came back ({points} points)");
+    let out = result
+        .get("probes")
+        .unwrap()
+        .get("out")
+        .unwrap()
+        .as_arr()
+        .unwrap();
+    assert_eq!(out.len(), points as usize);
+    let last = out.last().unwrap().as_f64().unwrap();
+    assert!((last - 0.63).abs() < 0.01, "1τ RC charge, got {last}");
+
+    // A deliberately singular deck — two voltage sources fighting over
+    // one node — answers 422 with the structured singular kind.
+    let singular = Json::obj([
+        ("type", Json::str("tran")),
+        ("deck", Json::str("V1 a 0 DC 1\nV2 a 0 DC 2\n.end")),
+        ("dt", Json::from(1e-11)),
+        ("t_stop", Json::from(1e-10)),
+    ]);
+    let refused = client.post("/v1/run", &singular).unwrap();
+    assert_eq!(refused.status, 422);
+    let error = refused.body.get("error").unwrap();
+    assert_eq!(error.get("kind").unwrap().as_str(), Some("sim_singular"));
+
+    // An unknown probe name is a deck-level failure, kind `deck`.
+    let bad_probe = Json::obj([
+        ("type", Json::str("tran")),
+        ("deck", Json::str("V1 a 0 DC 1\nR1 a 0 1k\n.end")),
+        ("dt", Json::from(1e-11)),
+        ("t_stop", Json::from(1e-10)),
+        ("probes", Json::Arr(vec![Json::str("nope")])),
+    ]);
+    let refused = client.post("/v1/run", &bad_probe).unwrap();
+    assert_eq!(refused.status, 422);
+    let error = refused.body.get("error").unwrap();
+    assert_eq!(error.get("kind").unwrap().as_str(), Some("deck"));
+    assert!(error
+        .get("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("nope"));
+    server.shutdown();
+}
+
+#[test]
 fn json_escaping_survives_the_round_trip() {
     let server = server();
     let mut client = Client::new(server.addr());

@@ -1,0 +1,85 @@
+//! Lowering a netlist [`Circuit`] into the MNA engine's circuit form.
+//!
+//! The mapping is an identity on nodes (`Node(i)` → `i`, ground stays
+//! `0`) and one-to-one on elements, so waveform probes and source
+//! indices carry over unchanged: the i-th voltage source of the netlist
+//! is the i-th source branch of the lowered circuit.
+
+use crate::netlist::{Circuit, Element, Waveform};
+use cnfet_mna::{MnaCircuit, SourceWave};
+
+/// Converts a source waveform to its engine twin (same semantics, same
+/// `value_at` shape).
+fn lower_wave(wave: &Waveform) -> SourceWave {
+    match wave {
+        Waveform::Dc(v) => SourceWave::Dc(*v),
+        Waveform::Pulse {
+            v0,
+            v1,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        } => SourceWave::Pulse {
+            v0: *v0,
+            v1: *v1,
+            delay: *delay,
+            rise: *rise,
+            fall: *fall,
+            width: *width,
+            period: *period,
+        },
+        Waveform::Pwl(points) => SourceWave::Pwl(points.clone()),
+    }
+}
+
+/// Lowers a netlist into an [`MnaCircuit`] with identity node numbering.
+pub fn to_mna(circuit: &Circuit) -> MnaCircuit {
+    let mut mna = MnaCircuit::new();
+    // Interned-but-unconnected nodes must stay in the system so they
+    // surface as the floating-node (singular) diagnostic.
+    mna.reserve_nodes(circuit.node_count());
+    for e in circuit.elements() {
+        match e {
+            Element::Resistor { a, b, ohms } => {
+                mna.resistor(a.0, b.0, *ohms);
+            }
+            Element::Capacitor { a, b, farads } => {
+                mna.capacitor(a.0, b.0, *farads);
+            }
+            Element::Inductor { a, b, henries } => {
+                mna.inductor(a.0, b.0, *henries);
+            }
+            Element::VSource { p, n, wave } => {
+                mna.vsource(p.0, n.0, lower_wave(wave));
+            }
+            Element::Fet { d, g, s, model } => {
+                mna.fet(d.0, g.0, s.0, model.clone());
+            }
+        }
+    }
+    mna
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowering_preserves_nodes_and_source_order() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let v0 = c.add_vsource(a, Circuit::GROUND, Waveform::Dc(1.0));
+        c.add_resistor(a, b, 1e3);
+        c.add_capacitor(b, Circuit::GROUND, 1e-15);
+        c.add_inductor(b, Circuit::GROUND, 1e-9);
+        let v1 = c.add_vsource(b, Circuit::GROUND, Waveform::Dc(0.0));
+        let mna = to_mna(&c);
+        assert_eq!(mna.node_count(), c.node_count());
+        assert_eq!(mna.vsource_count(), 2);
+        assert_eq!((v0, v1), (0, 1));
+        assert_eq!(mna.elements().len(), c.elements().len());
+    }
+}

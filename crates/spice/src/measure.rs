@@ -3,16 +3,7 @@
 
 use crate::sim::Transient;
 
-/// Direction of a threshold crossing.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Edge {
-    /// Signal passes the threshold going up.
-    Rising,
-    /// Signal passes the threshold going down.
-    Falling,
-    /// Either direction.
-    Any,
-}
+pub use cnfet_mna::measure::Edge;
 
 /// Time at which `signal` crosses `threshold` with the given edge,
 /// starting the search at `t_from`. Linearly interpolates between samples.
@@ -37,27 +28,7 @@ pub fn crossing_time(
     t_from: f64,
 ) -> Option<f64> {
     assert_eq!(time.len(), signal.len(), "waveform length mismatch");
-    for k in 1..time.len() {
-        if time[k] < t_from {
-            continue;
-        }
-        let (v0, v1) = (signal[k - 1], signal[k]);
-        let rising = v0 < threshold && v1 >= threshold;
-        let falling = v0 > threshold && v1 <= threshold;
-        let hit = match edge {
-            Edge::Rising => rising,
-            Edge::Falling => falling,
-            Edge::Any => rising || falling,
-        };
-        if hit {
-            let frac = (threshold - v0) / (v1 - v0);
-            let t = time[k - 1] + frac * (time[k] - time[k - 1]);
-            if t >= t_from {
-                return Some(t);
-            }
-        }
-    }
-    None
+    cnfet_mna::measure::crossing_time(time, signal, threshold, edge, t_from)
 }
 
 /// Propagation delay from `input` crossing mid-rail to the *next* `output`

@@ -105,6 +105,15 @@ pub enum Element {
         /// Capacitance in farads.
         farads: f64,
     },
+    /// Linear inductor between two nodes.
+    Inductor {
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Inductance in henries.
+        henries: f64,
+    },
     /// Independent voltage source from `p` to `n`.
     VSource {
         /// Positive terminal.
@@ -133,6 +142,7 @@ impl std::fmt::Debug for Element {
         match self {
             Element::Resistor { a, b, ohms } => write!(f, "R({a:?},{b:?},{ohms})"),
             Element::Capacitor { a, b, farads } => write!(f, "C({a:?},{b:?},{farads})"),
+            Element::Inductor { a, b, henries } => write!(f, "L({a:?},{b:?},{henries})"),
             Element::VSource { p, n, .. } => write!(f, "V({p:?},{n:?})"),
             Element::Fet { d, g, s, .. } => write!(f, "FET(d={d:?},g={g:?},s={s:?})"),
         }
@@ -198,6 +208,15 @@ impl Circuit {
         &self.names[node.0]
     }
 
+    /// Looks up a node by name without creating it (honoring the `"0"` /
+    /// `"gnd"` ground aliases).
+    pub fn find_node(&self, name: &str) -> Option<Node> {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Some(Circuit::GROUND);
+        }
+        self.by_name.get(name).copied()
+    }
+
     /// Total node count including ground.
     pub fn node_count(&self) -> usize {
         self.names.len()
@@ -206,11 +225,6 @@ impl Circuit {
     /// All elements.
     pub fn elements(&self) -> &[Element] {
         &self.elements
-    }
-
-    /// Mutable element access (used by the simulator's source ramping).
-    pub(crate) fn elements_mut(&mut self) -> &mut [Element] {
-        &mut self.elements
     }
 
     /// Adds a resistor.
@@ -240,6 +254,20 @@ impl Circuit {
         if farads > 0.0 {
             self.elements.push(Element::Capacitor { a, b, farads });
         }
+        self
+    }
+
+    /// Adds an inductor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the inductance is positive and finite.
+    pub fn add_inductor(&mut self, a: Node, b: Node, henries: f64) -> &mut Circuit {
+        assert!(
+            henries.is_finite() && henries > 0.0,
+            "inductance must be positive"
+        );
+        self.elements.push(Element::Inductor { a, b, henries });
         self
     }
 
@@ -290,7 +318,7 @@ impl Circuit {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "* {title}");
-        let (mut nr, mut nc, mut nv, mut nm) = (0u32, 0u32, 0u32, 0u32);
+        let (mut nr, mut nc, mut nl, mut nv, mut nm) = (0u32, 0u32, 0u32, 0u32, 0u32);
         for e in &self.elements {
             match e {
                 Element::Resistor { a, b, ohms } => {
@@ -307,6 +335,15 @@ impl Circuit {
                     let _ = writeln!(
                         out,
                         "C{nc} {} {} {farads:.6e}",
+                        self.node_name(*a),
+                        self.node_name(*b)
+                    );
+                }
+                Element::Inductor { a, b, henries } => {
+                    nl += 1;
+                    let _ = writeln!(
+                        out,
+                        "L{nl} {} {} {henries:.6e}",
                         self.node_name(*a),
                         self.node_name(*b)
                     );

@@ -1,19 +1,19 @@
 //! DC operating point and transient simulation.
+//!
+//! This module is a thin compatibility layer over the [`cnfet_mna`]
+//! engine: the netlist is lowered ([`crate::lower::to_mna`]), a symbolic
+//! [`cnfet_mna::Pattern`] is analyzed, and the reusable-factorization
+//! [`cnfet_mna::Engine`] runs the solve. The historical API — node-indexed
+//! voltages, [`Transient`] with per-source branch currents, [`SimError`] —
+//! is preserved; callers needing waveform probes, trapezoidal
+//! integration, adaptive stepping or AC analysis should use the engine
+//! directly.
 
-use crate::netlist::{Circuit, Element, Node, Waveform};
-use crate::solve::Matrix;
+use crate::lower::to_mna;
+use crate::netlist::{Circuit, Node};
+use cnfet_mna::{Engine, MnaError, Pattern, TranSpec};
 use std::fmt;
-
-/// Final conductance from every FET terminal to ground, keeping the
-/// Jacobian well-conditioned when devices are off.
-const GMIN: f64 = 1e-9;
-/// Gmin-stepping ladder used to coax large circuits into their DC
-/// operating point: solve with heavy shunts first, then tighten.
-const GMIN_STEPS: [f64; 4] = [1e-3, 1e-5, 1e-7, GMIN];
-/// Newton–Raphson convergence tolerance on node voltages (volts).
-const NR_TOL: f64 = 1e-7;
-/// Maximum Newton iterations per solve.
-const NR_MAX_ITERS: usize = 400;
+use std::sync::Arc;
 
 /// Simulation failures.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -39,6 +39,15 @@ impl fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+impl From<MnaError> for SimError {
+    fn from(e: MnaError) -> SimError {
+        match e {
+            MnaError::NoConvergence { at_step } => SimError::NoConvergence { at_step },
+            MnaError::Singular => SimError::Singular,
+        }
+    }
+}
 
 /// Result of a transient run: waveforms for every node and every source
 /// branch current.
@@ -81,247 +90,6 @@ impl Transient {
     }
 }
 
-/// The system being assembled: nodes 1..n map to unknowns 0..n-1, then one
-/// unknown per voltage source branch current.
-struct Assembler<'a> {
-    circuit: &'a Circuit,
-    n_nodes: usize, // excluding ground
-    n_sources: usize,
-}
-
-impl<'a> Assembler<'a> {
-    fn new(circuit: &'a Circuit) -> Assembler<'a> {
-        let n_sources = circuit
-            .elements()
-            .iter()
-            .filter(|e| matches!(e, Element::VSource { .. }))
-            .count();
-        Assembler {
-            circuit,
-            n_nodes: circuit.node_count() - 1,
-            n_sources,
-        }
-    }
-
-    fn dim(&self) -> usize {
-        self.n_nodes + self.n_sources
-    }
-
-    /// Unknown index of a node (None for ground).
-    fn node_idx(&self, n: Node) -> Option<usize> {
-        if n == Circuit::GROUND {
-            None
-        } else {
-            Some(n.0 - 1)
-        }
-    }
-
-    fn voltage_of(&self, x: &[f64], n: Node) -> f64 {
-        match self.node_idx(n) {
-            None => 0.0,
-            Some(i) => x[i],
-        }
-    }
-
-    /// Assembles the linearized MNA system about the candidate solution `x`.
-    ///
-    /// `dt` of `None` means DC (capacitors open); otherwise backward-Euler
-    /// companion models reference `prev` (the solution at the previous
-    /// timestep).
-    #[allow(clippy::too_many_arguments)]
-    fn assemble(
-        &self,
-        a: &mut Matrix,
-        b: &mut [f64],
-        x: &[f64],
-        prev: Option<&[f64]>,
-        dt: Option<f64>,
-        t: f64,
-        gmin: f64,
-    ) {
-        a.clear();
-        b.fill(0.0);
-        let mut src_idx = 0usize;
-
-        for elem in self.circuit.elements() {
-            match elem {
-                Element::Resistor { a: na, b: nb, ohms } => {
-                    self.stamp_conductance(a, *na, *nb, 1.0 / ohms);
-                }
-                Element::Capacitor {
-                    a: na,
-                    b: nb,
-                    farads,
-                } => {
-                    if let Some(dt) = dt {
-                        // Backward Euler companion: i = C/dt (v - v_prev).
-                        let g = farads / dt;
-                        self.stamp_conductance(a, *na, *nb, g);
-                        let prev = prev.expect("transient step requires previous state");
-                        let vprev = self.voltage_of(prev, *na) - self.voltage_of(prev, *nb);
-                        let ieq = g * vprev;
-                        if let Some(i) = self.node_idx(*na) {
-                            b[i] += ieq;
-                        }
-                        if let Some(i) = self.node_idx(*nb) {
-                            b[i] -= ieq;
-                        }
-                    }
-                    // DC: open circuit — no stamp.
-                }
-                Element::VSource { p, n, wave } => {
-                    let row = self.n_nodes + src_idx;
-                    if let Some(i) = self.node_idx(*p) {
-                        a.stamp(i, row, 1.0);
-                        a.stamp(row, i, 1.0);
-                    }
-                    if let Some(i) = self.node_idx(*n) {
-                        a.stamp(i, row, -1.0);
-                        a.stamp(row, i, -1.0);
-                    }
-                    b[row] = wave.value_at(t);
-                    src_idx += 1;
-                }
-                Element::Fet { d, g, s, model } => {
-                    self.stamp_fet(a, b, x, *d, *g, *s, model.as_ref(), gmin);
-                }
-            }
-        }
-    }
-
-    fn stamp_conductance(&self, a: &mut Matrix, na: Node, nb: Node, g: f64) {
-        if let Some(i) = self.node_idx(na) {
-            a.stamp(i, i, g);
-        }
-        if let Some(j) = self.node_idx(nb) {
-            a.stamp(j, j, g);
-        }
-        if let (Some(i), Some(j)) = (self.node_idx(na), self.node_idx(nb)) {
-            a.stamp(i, j, -g);
-            a.stamp(j, i, -g);
-        }
-    }
-
-    /// Drain current (into the drain) of the device at the given terminal
-    /// voltages, with polarity and source/drain symmetry handled.
-    fn fet_current(model: &dyn cnfet_device::FetModel, vd: f64, vg: f64, vs: f64) -> f64 {
-        use cnfet_device::Polarity;
-        match model.polarity() {
-            Polarity::N => {
-                if vd >= vs {
-                    model.ids(vg - vs, vd - vs)
-                } else {
-                    -model.ids(vg - vd, vs - vd)
-                }
-            }
-            // A p-device is the n-device under voltage mirroring.
-            Polarity::P => {
-                if vd <= vs {
-                    -model.ids(vs - vg, vs - vd)
-                } else {
-                    model.ids(vd - vg, vd - vs)
-                }
-            }
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn stamp_fet(
-        &self,
-        a: &mut Matrix,
-        b: &mut [f64],
-        x: &[f64],
-        d: Node,
-        g: Node,
-        s: Node,
-        model: &dyn cnfet_device::FetModel,
-        gmin: f64,
-    ) {
-        let vd = self.voltage_of(x, d);
-        let vg = self.voltage_of(x, g);
-        let vs = self.voltage_of(x, s);
-
-        let id0 = Self::fet_current(model, vd, vg, vs);
-        // Numerical differentiation: robust against any model kinks.
-        let h = 1e-6;
-        let gds = (Self::fet_current(model, vd + h, vg, vs) - id0) / h;
-        let gm = (Self::fet_current(model, vd, vg + h, vs) - id0) / h;
-        let gs = (Self::fet_current(model, vd, vg, vs + h) - id0) / h;
-
-        // Linearized: i_d(v) ≈ id0 + gds·Δvd + gm·Δvg + gs·Δvs.
-        // Equivalent current source: ieq = id0 - gds·vd - gm·vg - gs·vs.
-        let ieq = id0 - gds * vd - gm * vg - gs * vs;
-
-        // Current leaves the drain node and enters the source node.
-        if let Some(i) = self.node_idx(d) {
-            if let Some(jd) = self.node_idx(d) {
-                a.stamp(i, jd, gds);
-            }
-            if let Some(jg) = self.node_idx(g) {
-                a.stamp(i, jg, gm);
-            }
-            if let Some(js) = self.node_idx(s) {
-                a.stamp(i, js, gs);
-            }
-            b[i] -= ieq;
-        }
-        if let Some(i) = self.node_idx(s) {
-            if let Some(jd) = self.node_idx(d) {
-                a.stamp(i, jd, -gds);
-            }
-            if let Some(jg) = self.node_idx(g) {
-                a.stamp(i, jg, -gm);
-            }
-            if let Some(js) = self.node_idx(s) {
-                a.stamp(i, js, -gs);
-            }
-            b[i] += ieq;
-        }
-
-        // Convergence aids: gmin from drain and source to ground.
-        if let Some(i) = self.node_idx(d) {
-            a.stamp(i, i, gmin);
-        }
-        if let Some(i) = self.node_idx(s) {
-            a.stamp(i, i, gmin);
-        }
-    }
-
-    /// One Newton solve at time `t`; `x` holds the initial guess and the
-    /// converged solution.
-    fn newton(
-        &self,
-        x: &mut [f64],
-        prev: Option<&[f64]>,
-        dt: Option<f64>,
-        t: f64,
-        step: usize,
-        gmin: f64,
-    ) -> Result<(), SimError> {
-        let dim = self.dim();
-        let mut a = Matrix::zeros(dim);
-        let mut b = vec![0.0; dim];
-        for _ in 0..NR_MAX_ITERS {
-            self.assemble(&mut a, &mut b, x, prev, dt, t, gmin);
-            let next = a.solve(&b).ok_or(SimError::Singular)?;
-            let mut delta: f64 = 0.0;
-            for i in 0..self.n_nodes {
-                delta = delta.max((next[i] - x[i]).abs());
-            }
-            // Damped update for large steps keeps the FET linearization in
-            // its region of validity.
-            let relax = if delta > 0.5 { 0.5 / delta } else { 1.0 };
-            for i in 0..dim {
-                x[i] += (next[i] - x[i]) * relax;
-            }
-            if delta < NR_TOL {
-                return Ok(());
-            }
-        }
-        Err(SimError::NoConvergence { at_step: step })
-    }
-}
-
 /// Solves the DC operating point at `t = 0` with source ramping, returning
 /// node voltages indexed by [`Node`] (`result[0]` is ground, 0 V).
 ///
@@ -330,37 +98,9 @@ impl<'a> Assembler<'a> {
 /// Returns [`SimError`] when the Newton iteration cannot converge or the
 /// system is singular.
 pub fn dc_operating_point(circuit: &Circuit) -> Result<Vec<f64>, SimError> {
-    let asm = Assembler::new(circuit);
-    let mut x = vec![0.0; asm.dim()];
-
-    // Source stepping: ramp all sources from 0 to their t=0 value.
-    let ramped = |fraction: f64| -> Circuit {
-        let mut c = circuit.clone();
-        for e in c.elements_mut() {
-            if let Element::VSource { wave, .. } = e {
-                let v = wave.value_at(0.0) * fraction;
-                *wave = Waveform::Dc(v);
-            }
-        }
-        c
-    };
-    // Source stepping at heavy gmin, then gmin stepping at full sources.
-    for step in 1..=4 {
-        let frac = step as f64 / 4.0;
-        let c = ramped(frac);
-        let asm_step = Assembler::new(&c);
-        asm_step.newton(&mut x, None, None, 0.0, 0, GMIN_STEPS[0])?;
-    }
-    for &gmin in &GMIN_STEPS[1..] {
-        let c = ramped(1.0);
-        let asm_step = Assembler::new(&c);
-        asm_step.newton(&mut x, None, None, 0.0, 0, gmin)?;
-    }
-
-    let mut volts = vec![0.0; circuit.node_count()];
-    let n = circuit.node_count();
-    volts[1..n].copy_from_slice(&x[..n - 1]);
-    Ok(volts)
+    let mna = to_mna(circuit);
+    let pattern = Arc::new(Pattern::analyze(&mna));
+    Ok(Engine::new(pattern).dc(&mna)?)
 }
 
 /// Runs a fixed-step backward-Euler transient from the DC operating point.
@@ -374,46 +114,20 @@ pub fn dc_operating_point(circuit: &Circuit) -> Result<Vec<f64>, SimError> {
 /// Panics unless `dt` and `t_stop` are positive.
 pub fn transient(circuit: &Circuit, dt: f64, t_stop: f64) -> Result<Transient, SimError> {
     assert!(dt > 0.0 && t_stop > 0.0, "dt and t_stop must be positive");
-    let asm = Assembler::new(circuit);
-    let dim = asm.dim();
-
-    // Initial condition: DC operating point at t=0.
-    let dc = dc_operating_point(circuit)?;
-    let mut x = vec![0.0; dim];
-    let n = circuit.node_count();
-    x[..n - 1].copy_from_slice(&dc[1..n]);
-
-    let steps = (t_stop / dt).ceil() as usize;
-    let mut time = Vec::with_capacity(steps + 1);
-    let mut voltages = vec![Vec::with_capacity(steps + 1); circuit.node_count()];
-    let mut currents = vec![Vec::with_capacity(steps + 1); asm.n_sources];
-
-    let record = |x: &[f64],
-                  t: f64,
-                  time: &mut Vec<f64>,
-                  voltages: &mut Vec<Vec<f64>>,
-                  currents: &mut Vec<Vec<f64>>| {
-        time.push(t);
-        voltages[0].push(0.0);
-        for n in 1..circuit.node_count() {
-            voltages[n].push(x[n - 1]);
-        }
-        for (s, current) in currents.iter_mut().enumerate() {
-            current.push(x[asm.n_nodes + s]);
-        }
-    };
-    record(&x, 0.0, &mut time, &mut voltages, &mut currents);
-
-    let mut prev = x.clone();
-    for k in 1..=steps {
-        let t = k as f64 * dt;
-        asm.newton(&mut x, Some(&prev), Some(dt), t, k, GMIN)?;
-        record(&x, t, &mut time, &mut voltages, &mut currents);
-        prev.copy_from_slice(&x);
-    }
-
+    let mna = to_mna(circuit);
+    let pattern = Arc::new(Pattern::analyze(&mna));
+    let n_sources = pattern.n_vsources();
+    let mut engine = Engine::new(pattern);
+    // max_halvings(0): the historical contract is a fixed uniform grid.
+    let wave = engine.tran(&mna, &TranSpec::new(dt, t_stop).max_halvings(0))?;
+    let voltages = (0..circuit.node_count())
+        .map(|n| wave.voltage(n).to_vec())
+        .collect();
+    let currents = (0..n_sources)
+        .map(|s| wave.source_current(s).to_vec())
+        .collect();
     Ok(Transient {
-        time,
+        time: wave.time().to_vec(),
         voltages,
         currents,
     })
@@ -422,6 +136,7 @@ pub fn transient(circuit: &Circuit, dt: f64, t_stop: f64) -> Result<Transient, S
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::netlist::Waveform;
     use cnfet_device::{CnfetModel, Polarity};
     use std::sync::Arc;
 
@@ -461,6 +176,23 @@ mod tests {
                 "t={t}: got {got}, expected {expected}"
             );
         }
+    }
+
+    #[test]
+    fn rlc_inductor_reaches_dc_current() {
+        // V — R — L: the inductor is a DC short, so the steady current is
+        // V/R and the inductor node settles at ground.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let mid = c.node("mid");
+        c.add_vsource(a, Circuit::GROUND, Waveform::Dc(1.0));
+        c.add_resistor(a, mid, 1e3);
+        c.add_inductor(mid, Circuit::GROUND, 1e-9);
+        let v = dc_operating_point(&c).unwrap();
+        assert!(v[mid.0].abs() < 1e-9);
+        let tran = transient(&c, 1e-12, 1e-11).unwrap();
+        let i = tran.source_current(0);
+        assert!((i.last().unwrap().abs() - 1e-3).abs() < 1e-6);
     }
 
     #[test]

@@ -2,12 +2,61 @@
 //!
 //! The paper's circuits (inverter chains, a full adder) have tens of nodes,
 //! where a dense solver is both simplest and fastest.
+//!
+//! [`Matrix::solve`] is the historical convenience path (factor + solve in
+//! one call); [`Matrix::factor`] / [`Factorization::resolve`] split the
+//! expensive pivoting from the cheap triangular solves when several
+//! right-hand sides share one matrix. The heavy lifting — in-place
+//! refactorization with pivot-order reuse across timesteps and sweep
+//! corners — lives in [`cnfet_mna::LuFactor`], which the simulator now
+//! runs on.
 
 /// A dense square matrix stored row-major.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Matrix {
     n: usize,
     data: Vec<f64>,
+}
+
+/// An LU factorization of a [`Matrix`], reusable across right-hand sides.
+#[derive(Clone, Debug)]
+pub struct Factorization {
+    n: usize,
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+}
+
+impl Factorization {
+    /// Solves `A x = b` against the stored factors — no pivoting, no
+    /// matrix copy, just two triangular substitutions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch.
+    pub fn resolve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "dimension mismatch");
+        let (n, lu, perm) = (self.n, &self.lu, &self.perm);
+        // Forward substitution (L has implicit unit diagonal).
+        let mut y = vec![0.0; n];
+        for (i, &row) in perm.iter().enumerate() {
+            let mut sum = b[row];
+            for (j, yj) in y.iter().enumerate().take(i) {
+                sum -= lu[row * n + j] * yj;
+            }
+            y[i] = sum;
+        }
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let row = perm[i];
+            let mut sum = y[i];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= lu[row * n + j] * xj;
+            }
+            x[i] = sum / lu[row * n + i];
+        }
+        x
+    }
 }
 
 impl Matrix {
@@ -41,11 +90,11 @@ impl Matrix {
         self.data.fill(0.0);
     }
 
-    /// Solves `A x = b` in place via LU with partial pivoting.
+    /// Factors the matrix via LU with partial pivoting, for reuse across
+    /// several right-hand sides.
     ///
     /// Returns `None` when the matrix is numerically singular.
-    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
-        assert_eq!(b.len(), self.n, "dimension mismatch");
+    pub fn factor(&self) -> Option<Factorization> {
         let n = self.n;
         let mut lu = self.data.clone();
         let mut perm: Vec<usize> = (0..n).collect();
@@ -75,27 +124,16 @@ impl Matrix {
                 }
             }
         }
+        Some(Factorization { n, lu, perm })
+    }
 
-        // Forward substitution (L has implicit unit diagonal).
-        let mut y = vec![0.0; n];
-        for (i, &row) in perm.iter().enumerate() {
-            let mut sum = b[row];
-            for (j, yj) in y.iter().enumerate().take(i) {
-                sum -= lu[row * n + j] * yj;
-            }
-            y[i] = sum;
-        }
-        // Back substitution.
-        let mut x = vec![0.0; n];
-        for i in (0..n).rev() {
-            let row = perm[i];
-            let mut sum = y[i];
-            for (j, xj) in x.iter().enumerate().skip(i + 1) {
-                sum -= lu[row * n + j] * xj;
-            }
-            x[i] = sum / lu[row * n + i];
-        }
-        Some(x)
+    /// Solves `A x = b` via LU with partial pivoting (one-shot: factors
+    /// and discards; use [`Matrix::factor`] to reuse the factorization).
+    ///
+    /// Returns `None` when the matrix is numerically singular.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(b.len(), self.n, "dimension mismatch");
+        Some(self.factor()?.resolve(b))
     }
 }
 
@@ -155,6 +193,32 @@ mod tests {
                 assert!((a - e).abs() < 1e-9, "n={n}: {a} vs {e}");
             }
         }
+    }
+
+    #[test]
+    fn factorization_resolves_many_rhs() {
+        let mut m = Matrix::zeros(2);
+        m.stamp(0, 1, 1.0);
+        m.stamp(1, 0, 2.0);
+        let f = m.factor().unwrap();
+        let x = f.resolve(&[3.0, 8.0]);
+        assert!((x[0] - 4.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        let x = f.resolve(&[1.0, 0.0]);
+        assert!(x[0].abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+        // Matches the one-shot path.
+        assert_eq!(f.resolve(&[5.0, 6.0]), m.solve(&[5.0, 6.0]).unwrap());
+    }
+
+    #[test]
+    fn singular_matrix_does_not_factor() {
+        let mut m = Matrix::zeros(2);
+        m.stamp(0, 0, 1.0);
+        m.stamp(0, 1, 2.0);
+        m.stamp(1, 0, 2.0);
+        m.stamp(1, 1, 4.0);
+        assert!(m.factor().is_none());
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub enum CnfetError {
     Network(crate::logic::network::NetworkError),
     /// Circuit simulation failed (`cnfet_spice`).
     Sim(crate::spice::SimError),
+    /// A SPICE deck could not be parsed, or a deck-level request (a
+    /// [`TranRequest`](crate::TranRequest) analysis spec or probe name)
+    /// was invalid (`cnfet_spice`).
+    Deck(crate::spice::DeckError),
     /// A GDSII stream could not be read (`cnfet_geom`).
     Gds(crate::geom::GdsError),
     /// A layout-library operation failed (`cnfet_geom`).
@@ -48,6 +52,7 @@ impl fmt::Display for CnfetError {
             CnfetError::Parse(e) => write!(f, "expression parse: {e}"),
             CnfetError::Network(e) => write!(f, "pull network: {e}"),
             CnfetError::Sim(e) => write!(f, "simulation: {e}"),
+            CnfetError::Deck(e) => write!(f, "{e}"),
             CnfetError::Gds(e) => write!(f, "gds: {e}"),
             CnfetError::Library(e) => write!(f, "layout library: {e}"),
             CnfetError::Verilog(e) => write!(f, "{e}"),
@@ -67,6 +72,7 @@ impl std::error::Error for CnfetError {
             CnfetError::Parse(e) => Some(e),
             CnfetError::Network(e) => Some(e),
             CnfetError::Sim(e) => Some(e),
+            CnfetError::Deck(e) => Some(e),
             CnfetError::Gds(e) => Some(e),
             CnfetError::Library(e) => Some(e),
             CnfetError::Verilog(e) => Some(e),
@@ -92,6 +98,7 @@ from_impl! {
     Parse <- crate::logic::ParseError,
     Network <- crate::logic::network::NetworkError,
     Sim <- crate::spice::SimError,
+    Deck <- crate::spice::DeckError,
     Gds <- crate::geom::GdsError,
     Library <- crate::geom::layout::LibraryError,
     Verilog <- crate::flow::VerilogError,
@@ -117,6 +124,12 @@ mod tests {
 
         let s: CnfetError = crate::spice::SimError::Singular.into();
         assert!(matches!(s, CnfetError::Sim(_)));
+
+        let k: CnfetError = crate::spice::Circuit::from_spice("Q1 a b c 1")
+            .unwrap_err()
+            .into();
+        assert!(matches!(k, CnfetError::Deck(_)));
+        assert!(k.to_string().contains("deck line 1"));
 
         let d: CnfetError = crate::geom::GdsError::Truncated.into();
         assert!(matches!(d, CnfetError::Gds(_)));

@@ -34,6 +34,7 @@
 //! | [`FlowRequest`] | [`FlowResult`] | place → simulate → GDSII |
 //! | [`SweepRequest`] | [`SweepReport`] | a variation sweep fanning out per-corner sub-requests |
 //! | [`SweepCornerRequest`] | [`CornerRow`] | one cell at one process corner |
+//! | [`TranRequest`] | [`TranResult`] | a SPICE-deck transient on the MNA engine (uncached) |
 //! | [`RequestKind`] (any mix) | [`ResponseKind`] | dispatch to the above |
 //!
 //! [`SweepRequest`] is the first *composite* request: its execution
@@ -77,7 +78,11 @@
 //! * [`logic`] — boolean expressions, series–parallel networks, Euler paths;
 //! * [`device`] — CNT physics, the screened CNFET compact model, the CMOS
 //!   65 nm baseline, FO4 analytics;
-//! * [`spice`] — MNA DC/transient simulation;
+//! * [`mna`] — the reusable-factorization MNA engine: one symbolic
+//!   analysis per topology, in-place LU re-factorization per timestep,
+//!   transient + AC analysis, `.measure`-style extraction;
+//! * [`spice`] — netlists, deck parsing/rendering, and DC/transient
+//!   simulation lowered onto [`mna`];
 //! * [`core`] — the paper's contribution: the compact misaligned-CNT-immune
 //!   layout generator (plus the old etched style and the vulnerable
 //!   baseline), schemes 1/2, Table 1 area models, DRC;
@@ -117,6 +122,7 @@ pub use cnfet_flow as flow;
 pub use cnfet_geom as geom;
 pub use cnfet_immunity as immunity;
 pub use cnfet_logic as logic;
+pub use cnfet_mna as mna;
 pub use cnfet_spice as spice;
 
 mod batch;
@@ -135,7 +141,7 @@ pub use request::{CacheKey, RequestClass, RequestKind, ResponseKind, SessionRequ
 pub use session::{
     CellRequest, CellResult, FlowRequest, FlowResult, FlowSource, FlowTarget, ImmunityEngine,
     ImmunityReport, ImmunityRequest, LibraryRequest, RequestStats, Session, SessionBuilder,
-    SessionStats, SimSpec,
+    SessionStats, SimSpec, TranRequest, TranResult,
 };
 pub use sweep::{
     CornerRow, CornerSummary, SweepCornerRequest, SweepMetrics, SweepReport, SweepRequest,

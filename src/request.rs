@@ -6,8 +6,9 @@
 //! construction and memoization, and only cells could fan out through the
 //! batch executor. This module retires that shape: every request kind —
 //! [`CellRequest`], [`LibraryRequest`], [`ImmunityRequest`],
-//! [`FlowRequest`], and the composite [`SweepRequest`] /
-//! [`SweepCornerRequest`] pair — implements [`SessionRequest`], and
+//! [`FlowRequest`], the composite [`SweepRequest`] /
+//! [`SweepCornerRequest`] pair, and the uncached [`TranRequest`] —
+//! implements [`SessionRequest`], and
 //! memoization, single-flight, and stats accounting live once, in the
 //! generic [`Session::run`](crate::Session::run).
 //!
@@ -22,8 +23,8 @@
 //! * [`SessionRequest::annotate`] — a post-cache touch-up applied to
 //!   every result (cells use it to set [`CellResult::cached`]).
 //!
-//! Heterogeneous mixes go through [`RequestKind`] (an enum over all four
-//! request kinds) and come back as [`ResponseKind`] — the currency of
+//! Heterogeneous mixes go through [`RequestKind`] (an enum over every
+//! request kind) and come back as [`ResponseKind`] — the currency of
 //! [`Session::submit_all`](crate::Session::submit_all).
 //!
 //! The trait is sealed: the set of request kinds is fixed per release, so
@@ -40,7 +41,8 @@ use crate::flow::{
 use crate::immunity::{certify, simulate};
 use crate::session::{
     CellKey, CellRequest, CellResult, FlowRequest, FlowResult, FlowSource, FlowTarget,
-    ImmunityEngine, ImmunityReport, ImmunityRequest, LibraryRequest, Session,
+    ImmunityEngine, ImmunityReport, ImmunityRequest, LibraryRequest, Session, TranRequest,
+    TranResult,
 };
 use crate::sweep::{CornerRow, SweepCornerRequest, SweepReport, SweepRequest};
 use std::sync::Arc;
@@ -170,8 +172,8 @@ mod sealed {
 /// This trait is sealed; the implementors are [`CellRequest`],
 /// [`LibraryRequest`], [`ImmunityRequest`], [`FlowRequest`], the
 /// composite [`SweepRequest`] with its per-corner
-/// [`SweepCornerRequest`], and the heterogeneous [`RequestKind`]
-/// wrapper.
+/// [`SweepCornerRequest`], the uncached [`TranRequest`], and the
+/// heterogeneous [`RequestKind`] wrapper.
 ///
 /// [`cache_key`]: SessionRequest::cache_key
 /// [`execute`]: SessionRequest::execute
@@ -381,6 +383,68 @@ impl SessionRequest for FlowRequest {
     }
 }
 
+impl sealed::Sealed for TranRequest {}
+
+impl SessionRequest for TranRequest {
+    type Output = TranResult;
+
+    /// `None`: transient runs are never memoized — waveforms are bulky
+    /// one-shot payloads keyed by free-form deck text (see
+    /// [`TranRequest`]).
+    fn cache_key(&self, _session: &Session) -> Option<CacheKey> {
+        None
+    }
+
+    /// Parses the deck, lowers it to MNA form, and integrates: one
+    /// symbolic analysis, one factorization, pivot-order reuse across
+    /// every timestep ([`crate::mna`]).
+    fn execute(&self, _session: &Session) -> Result<TranResult> {
+        let spec_err =
+            |message: String| CnfetError::Deck(crate::spice::DeckError { line: 0, message });
+        if !(self.dt > 0.0 && self.dt.is_finite()) {
+            return Err(spec_err(format!(
+                "tran dt must be positive and finite, got {:e}",
+                self.dt
+            )));
+        }
+        if !(self.t_stop > 0.0 && self.t_stop.is_finite()) {
+            return Err(spec_err(format!(
+                "tran t_stop must be positive and finite, got {:e}",
+                self.t_stop
+            )));
+        }
+        let circuit = crate::spice::Circuit::from_spice(&self.deck)?;
+        let probes: Vec<(String, usize)> = if self.probes.is_empty() {
+            (1..circuit.node_count())
+                .map(|n| (circuit.node_name(crate::spice::Node(n)).to_string(), n))
+                .collect()
+        } else {
+            self.probes
+                .iter()
+                .map(|name| {
+                    circuit
+                        .find_node(name)
+                        .map(|node| (name.clone(), node.0))
+                        .ok_or_else(|| spec_err(format!("unknown probe node `{name}`")))
+                })
+                .collect::<Result<_>>()?
+        };
+        let mna = crate::spice::to_mna(&circuit);
+        let pattern = Arc::new(crate::mna::Pattern::analyze(&mna));
+        let mut engine = crate::mna::Engine::new(pattern);
+        let wave = engine
+            .tran(&mna, &crate::mna::TranSpec::new(self.dt, self.t_stop))
+            .map_err(crate::spice::SimError::from)?;
+        Ok(TranResult {
+            time: wave.time().to_vec(),
+            probes: probes
+                .into_iter()
+                .map(|(name, n)| (name, wave.voltage(n).to_vec()))
+                .collect(),
+        })
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Variation sweeps (composite requests)
 // ---------------------------------------------------------------------------
@@ -520,17 +584,22 @@ pub enum RequestKind {
     /// One sweep corner ([`SweepCornerRequest`]) — the currency of a
     /// sweep's internal fan-out, also submittable directly.
     SweepCorner(SweepCornerRequest),
+    /// A deck transient run ([`TranRequest`]) — the one uncached kind:
+    /// it belongs to no [`RequestClass`] and executes fresh every time.
+    Tran(TranRequest),
 }
 
 impl RequestKind {
-    /// Which request class this wraps.
-    pub fn class(&self) -> RequestClass {
+    /// Which request class this wraps, or `None` for the uncached
+    /// [`RequestKind::Tran`].
+    pub fn class(&self) -> Option<RequestClass> {
         match self {
-            RequestKind::Cell(_) => RequestClass::Cell,
-            RequestKind::Library(_) => RequestClass::Library,
-            RequestKind::Immunity(_) => RequestClass::Immunity,
-            RequestKind::Flow(_) => RequestClass::Flow,
-            RequestKind::Sweep(_) | RequestKind::SweepCorner(_) => RequestClass::Sweeps,
+            RequestKind::Cell(_) => Some(RequestClass::Cell),
+            RequestKind::Library(_) => Some(RequestClass::Library),
+            RequestKind::Immunity(_) => Some(RequestClass::Immunity),
+            RequestKind::Flow(_) => Some(RequestClass::Flow),
+            RequestKind::Sweep(_) | RequestKind::SweepCorner(_) => Some(RequestClass::Sweeps),
+            RequestKind::Tran(_) => None,
         }
     }
 }
@@ -571,6 +640,12 @@ impl From<SweepCornerRequest> for RequestKind {
     }
 }
 
+impl From<TranRequest> for RequestKind {
+    fn from(r: TranRequest) -> RequestKind {
+        RequestKind::Tran(r)
+    }
+}
+
 /// The answer to a [`RequestKind`]: the matching result kind, one variant
 /// per request kind.
 #[derive(Clone, Debug)]
@@ -587,17 +662,21 @@ pub enum ResponseKind {
     Sweep(Arc<SweepReport>),
     /// Result of a [`RequestKind::SweepCorner`].
     SweepCorner(CornerRow),
+    /// Result of a [`RequestKind::Tran`].
+    Tran(TranResult),
 }
 
 impl ResponseKind {
-    /// Which request class produced this response.
-    pub fn class(&self) -> RequestClass {
+    /// Which request class produced this response, or `None` for the
+    /// uncached [`ResponseKind::Tran`].
+    pub fn class(&self) -> Option<RequestClass> {
         match self {
-            ResponseKind::Cell(_) => RequestClass::Cell,
-            ResponseKind::Library(_) => RequestClass::Library,
-            ResponseKind::Immunity(_) => RequestClass::Immunity,
-            ResponseKind::Flow(_) => RequestClass::Flow,
-            ResponseKind::Sweep(_) | ResponseKind::SweepCorner(_) => RequestClass::Sweeps,
+            ResponseKind::Cell(_) => Some(RequestClass::Cell),
+            ResponseKind::Library(_) => Some(RequestClass::Library),
+            ResponseKind::Immunity(_) => Some(RequestClass::Immunity),
+            ResponseKind::Flow(_) => Some(RequestClass::Flow),
+            ResponseKind::Sweep(_) | ResponseKind::SweepCorner(_) => Some(RequestClass::Sweeps),
+            ResponseKind::Tran(_) => None,
         }
     }
 
@@ -648,6 +727,14 @@ impl ResponseKind {
             _ => None,
         }
     }
+
+    /// The transient result, if this is a [`ResponseKind::Tran`].
+    pub fn into_tran(self) -> Option<TranResult> {
+        match self {
+            ResponseKind::Tran(r) => Some(r),
+            _ => None,
+        }
+    }
 }
 
 impl sealed::Sealed for RequestKind {}
@@ -670,6 +757,7 @@ impl SessionRequest for RequestKind {
             RequestKind::Flow(r) => ResponseKind::Flow(session.run(r)?),
             RequestKind::Sweep(r) => ResponseKind::Sweep(session.run(r)?),
             RequestKind::SweepCorner(r) => ResponseKind::SweepCorner(session.run(r)?),
+            RequestKind::Tran(r) => ResponseKind::Tran(session.run(r)?),
         })
     }
 }

@@ -306,6 +306,82 @@ pub struct FlowResult {
     pub gds: Option<Vec<u8>>,
 }
 
+/// A request to transient-simulate a SPICE deck on the workspace MNA
+/// engine ([`crate::mna`]): the deck is parsed
+/// ([`Circuit::from_spice`](crate::spice::Circuit::from_spice)), lowered
+/// to MNA form, analyzed once, and integrated with backward Euler on a
+/// uniform grid (adaptive halving on Newton trouble).
+///
+/// Unlike every other request kind, transient runs are **not memoized**:
+/// waveforms are bulky one-shot payloads, and decks arriving over the
+/// wire rarely repeat byte-for-byte. [`Session::run`] therefore executes
+/// every `TranRequest` fresh.
+///
+/// # Example
+///
+/// ```
+/// use cnfet::{Session, TranRequest};
+///
+/// let deck = "V1 in 0 DC 1\nR1 in out 1k\nC1 out 0 1p\n.end";
+/// let result = Session::new().run(&TranRequest::new(deck, 1e-11, 10e-9))?;
+/// let out = result.probe("out").unwrap();
+/// assert!((out.last().unwrap() - 1.0).abs() < 1e-3, "RC fully charged");
+/// # Ok::<(), cnfet::CnfetError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct TranRequest {
+    /// SPICE deck text (`R`/`C`/`L`/`V` cards; see
+    /// [`crate::spice::deck`]).
+    pub deck: String,
+    /// Nominal timestep, seconds (must be positive and finite).
+    pub dt: f64,
+    /// Stop time, seconds (must be positive and finite).
+    pub t_stop: f64,
+    /// Node names to record. Empty records every non-ground node in deck
+    /// order. An unknown name fails with
+    /// [`CnfetError::Deck`](crate::CnfetError::Deck).
+    pub probes: Vec<String>,
+}
+
+impl TranRequest {
+    /// A transient run over the given deck, recording every node.
+    pub fn new(deck: impl Into<String>, dt: f64, t_stop: f64) -> TranRequest {
+        TranRequest {
+            deck: deck.into(),
+            dt,
+            t_stop,
+            probes: Vec::new(),
+        }
+    }
+
+    /// Restricts the recorded traces to the named nodes.
+    #[must_use]
+    pub fn probes(mut self, probes: impl IntoIterator<Item = impl Into<String>>) -> TranRequest {
+        self.probes = probes.into_iter().map(Into::into).collect();
+        self
+    }
+}
+
+/// The answer to a [`TranRequest`]: the recorded waveforms.
+#[derive(Clone, Debug)]
+pub struct TranResult {
+    /// Strictly increasing sample times, seconds.
+    pub time: Vec<f64>,
+    /// One `(node name, voltage trace)` per requested probe, in request
+    /// (or deck) order; each trace is sample-aligned with `time`.
+    pub probes: Vec<(String, Vec<f64>)>,
+}
+
+impl TranResult {
+    /// The voltage trace of a probed node, by name.
+    pub fn probe(&self, name: &str) -> Option<&[f64]> {
+        self.probes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, trace)| trace.as_slice())
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Stats
 // ---------------------------------------------------------------------------

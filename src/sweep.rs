@@ -220,14 +220,21 @@ pub struct SweepMetrics {
     /// Liberty-style NLDM characterization: the full load-indexed
     /// [`TimingTable`] plus a rendered liberty `cell` group per row.
     pub liberty: bool,
+    /// Keep the nominal-load transient waveform of each characterized
+    /// row as a rendered `time in out i(vdd)` table
+    /// ([`CornerRow::waveform`]). Off in every preset — waveforms are
+    /// bulky, and most sweeps only want the scalar measures; flip it on
+    /// with [`SweepMetrics::with_waveforms`] for debugging or plotting.
+    pub retain_waveforms: bool,
 }
 
 impl SweepMetrics {
-    /// Everything: immunity + timing + liberty.
+    /// Everything: immunity + timing + liberty (no waveform retention).
     pub const ALL: SweepMetrics = SweepMetrics {
         immunity: true,
         timing: true,
         liberty: true,
+        retain_waveforms: false,
     };
 
     /// Immunity yield only (no transient simulation).
@@ -235,6 +242,7 @@ impl SweepMetrics {
         immunity: true,
         timing: false,
         liberty: false,
+        retain_waveforms: false,
     };
 
     /// Delay + energy only.
@@ -242,7 +250,15 @@ impl SweepMetrics {
         immunity: false,
         timing: true,
         liberty: false,
+        retain_waveforms: false,
     };
+
+    /// The same selection with waveform retention switched on.
+    #[must_use]
+    pub const fn with_waveforms(mut self) -> SweepMetrics {
+        self.retain_waveforms = true;
+        self
+    }
 
     /// Whether any metric requires the transient characterization.
     pub(crate) fn needs_characterization(&self) -> bool {
@@ -392,6 +408,10 @@ pub struct CornerRow {
     pub timing: Option<TimingTable>,
     /// Rendered liberty `cell` group (liberty metric only).
     pub liberty: Option<String>,
+    /// Rendered `time in out i(vdd)` transient table at the first
+    /// characterization load
+    /// ([`SweepMetrics::retain_waveforms`] only).
+    pub waveform: Option<String>,
 }
 
 impl CornerRow {
@@ -580,22 +600,25 @@ pub(crate) fn execute_corner(request: &SweepCornerRequest, session: &Session) ->
         (None, None, None, None)
     };
 
-    let timing = if request.metrics.needs_characterization() {
+    let (timing, waveform) = if request.metrics.needs_characterization() {
         let kit = session.kit();
         let lib_cell =
             LibCell::from_layout(kit, kind, strength, cell.clone(), corner.tubes_per_4lambda);
-        let table = crate::dk::characterize_cell_at(
-            kit,
-            &lib_cell,
-            &request.loads_f,
-            CharCorner {
-                tubes_per_4lambda: corner.tubes_per_4lambda.max(1),
-                pitch_scale: corner.pitch_scale,
-            },
-        )?;
-        Some(table)
+        let char_corner = CharCorner {
+            tubes_per_4lambda: corner.tubes_per_4lambda.max(1),
+            pitch_scale: corner.pitch_scale,
+        };
+        if request.metrics.retain_waveforms {
+            let (table, wave) =
+                crate::dk::characterize_cell_traces(kit, &lib_cell, &request.loads_f, char_corner)?;
+            (Some(table), wave)
+        } else {
+            let table =
+                crate::dk::characterize_cell_at(kit, &lib_cell, &request.loads_f, char_corner)?;
+            (Some(table), None)
+        }
     } else {
-        None
+        (None, None)
     };
 
     let liberty = if request.metrics.liberty {
@@ -617,6 +640,7 @@ pub(crate) fn execute_corner(request: &SweepCornerRequest, session: &Session) ->
         metallic_yield: metallic,
         timing,
         liberty,
+        waveform,
     })
 }
 
@@ -798,6 +822,7 @@ mod tests {
                 energy_j: energy.unwrap_or(0.0),
             }),
             liberty: None,
+            waveform: None,
         }
     }
 

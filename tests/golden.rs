@@ -61,10 +61,10 @@ fn assert_matches_golden(name: &str, current: &str) {
     );
 }
 
-/// The deck of a loaded CNFET inverter driven by a pulse — covers every
-/// element card the renderer knows (V sources in all three waveforms, R,
-/// C, and both FET polarities).
-fn inverter_deck() -> String {
+/// A loaded CNFET inverter driven by a pulse — covers every element
+/// card the renderer knows (V sources in all three waveforms, R, C, and
+/// both FET polarities).
+fn inverter_circuit() -> Circuit {
     let kit = DesignKit::cnfet65();
     let mut ckt = Circuit::new();
     let vdd = ckt.node("vdd");
@@ -101,12 +101,42 @@ fn inverter_deck() -> String {
     ckt.add_fet(out, vin, Circuit::GROUND, Arc::new(n));
     ckt.add_fet(out, vin, vdd, Arc::new(p));
     ckt.add_load(out, 1e-15);
-    ckt.to_spice("cnfet65 inverter, 1fF load")
+    ckt
+}
+
+fn inverter_deck() -> String {
+    inverter_circuit().to_spice("cnfet65 inverter, 1fF load")
 }
 
 #[test]
 fn spice_deck_rendering_matches_golden() {
     assert_matches_golden("inverter.sp", &inverter_deck());
+}
+
+#[test]
+fn inverter_transient_matches_golden() {
+    // One backward-Euler pulse period through the MNA engine, rendered
+    // as the canonical probe table: a byte-for-byte regression net over
+    // the whole lowering → analyze → stamp → refactor → solve chain.
+    let ckt = inverter_circuit();
+    let mna = cnfet::spice::to_mna(&ckt);
+    let pattern = Arc::new(cnfet::mna::Pattern::analyze(&mna));
+    let mut engine = cnfet::mna::Engine::new(pattern);
+    let wave = engine
+        .tran(&mna, &cnfet::mna::TranSpec::new(20e-12, 4e-9))
+        .unwrap();
+    let table = wave.render_table(&[
+        (
+            "v(in)",
+            cnfet::mna::Probe::Node(ckt.find_node("in").unwrap().0),
+        ),
+        (
+            "v(out)",
+            cnfet::mna::Probe::Node(ckt.find_node("out").unwrap().0),
+        ),
+        ("i(vdd)", cnfet::mna::Probe::SourceCurrent(0)),
+    ]);
+    assert_matches_golden("inverter.tran", &table);
 }
 
 #[test]

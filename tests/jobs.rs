@@ -8,7 +8,7 @@ use cnfet::immunity::McOptions;
 use cnfet::{
     CellRequest, CnfetError, FlowRequest, FlowSource, ImmunityRequest, LibraryRequest,
     RequestClass, RequestKind, ResponseKind, Session, SessionBuilder, SweepCornerRequest,
-    SweepMetrics, SweepRequest, VariationCorner, VariationGrid,
+    SweepMetrics, SweepRequest, TranRequest, VariationCorner, VariationGrid,
 };
 use std::time::{Duration, Instant};
 
@@ -112,15 +112,21 @@ fn submit_all_heterogeneous_returns_results_in_submission_order() {
         RequestKind::from(FlowRequest::cnfet(FlowSource::FullAdder, Scheme::Scheme1)),
         RequestKind::from(LibraryRequest::new(Scheme::Scheme2)),
         RequestKind::from(CellRequest::new(StdCellKind::Inv)),
+        RequestKind::from(TranRequest::new(
+            "V1 in 0 PWL(0 0 1e-12 1)\nR1 in out 1k\nC1 out 0 1p\n.end",
+            1e-11,
+            1e-9,
+        )),
     ];
-    let classes: Vec<RequestClass> = requests.iter().map(RequestKind::class).collect();
+    let classes: Vec<Option<RequestClass>> = requests.iter().map(RequestKind::class).collect();
+    assert_eq!(classes.last(), Some(&None), "tran belongs to no class");
 
     let handles = session.submit_all(requests);
-    assert_eq!(handles.len(), 5);
+    assert_eq!(handles.len(), 6);
     let responses: Vec<ResponseKind> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
 
     // One response per request, matching kinds in submission order.
-    let got: Vec<RequestClass> = responses.iter().map(ResponseKind::class).collect();
+    let got: Vec<Option<RequestClass>> = responses.iter().map(ResponseKind::class).collect();
     assert_eq!(got, classes, "results keep submission order");
 
     match &responses[0] {
@@ -135,7 +141,10 @@ fn submit_all_heterogeneous_returns_results_in_submission_order() {
         .unwrap()
         .cells
         .is_empty());
-    assert_eq!(session.stats().submitted, 5);
+    let tran = responses[5].clone().into_tran().unwrap();
+    assert!(!tran.time.is_empty());
+    assert!((tran.probe("out").unwrap().last().unwrap() - 0.63).abs() < 0.01);
+    assert_eq!(session.stats().submitted, 6);
 }
 
 #[test]

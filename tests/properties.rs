@@ -117,7 +117,8 @@ fn arbitrary_functions_generate_immune_layouts() {
 }
 
 /// The reference sweep for the determinism properties: two cells, eight
-/// corners across every axis, every metric, fixed seeds everywhere.
+/// corners across every axis, every metric — including the rendered MNA
+/// transient waveforms — fixed seeds everywhere.
 fn reference_sweep() -> SweepRequest {
     SweepRequest::new([StdCellKind::Inv, StdCellKind::Nor(2)])
         .grid(
@@ -127,7 +128,7 @@ fn reference_sweep() -> SweepRequest {
                 .metallic_fractions([0.0, 0.05])
                 .seeds([0xFEED]),
         )
-        .metrics(SweepMetrics::ALL)
+        .metrics(SweepMetrics::ALL.with_waveforms())
         .mc(cnfet::immunity::McOptions {
             tubes: 120,
             ..Default::default()
