@@ -5,16 +5,42 @@
 //! is the protocol tax: HTTP parse + JSON decode/encode + two socket
 //! hops.
 //!
-//! Not gated by `check_regression`: loopback latency is far noisier
-//! across runners than the in-process samples, so these numbers are
-//! recorded (and uploaded as artifacts) for trend-watching, not gating.
+//! `served_streaming` is gated by `check_regression` (anchored on
+//! `served_cached_hits`, so the ratio stays machine-relative); the rest
+//! is recorded and uploaded as artifacts for trend-watching only —
+//! loopback latency is far noisier across runners than the in-process
+//! samples.
 
+use cnfet::core::StdCellKind;
+use cnfet::{Session, SweepMetrics, SweepRequest, VariationGrid};
 use cnfet_bench::harness::Harness;
 use cnfet_serve::json::Json;
-use cnfet_serve::{Client, ServeConfig, Server};
+use cnfet_serve::{Client, Format, ServeConfig, Server, StreamEvent};
 
 fn cell_request(kind: &str) -> Json {
     Json::obj([("type", Json::str("cell")), ("kind", Json::str(kind))])
+}
+
+fn sweep_request() -> Json {
+    Json::obj([
+        ("type", Json::str("sweep")),
+        (
+            "cells",
+            Json::Arr(vec![
+                Json::obj([("kind", Json::str("inv"))]),
+                Json::obj([("kind", Json::str("nand2"))]),
+            ]),
+        ),
+        (
+            "grid",
+            Json::obj([
+                ("tube_counts", [26u64, 10].into_iter().collect::<Json>()),
+                ("seeds", [5u64].into_iter().collect::<Json>()),
+            ]),
+        ),
+        ("metrics", Json::str("immunity")),
+        ("mc", Json::obj([("tubes", Json::from(100u64))])),
+    ])
 }
 
 fn main() {
@@ -28,10 +54,18 @@ fn main() {
     let kinds = ["inv", "nand2", "nand3", "nor2", "aoi22", "oai21"];
     for kind in kinds {
         client
-            .post("/v1/run", &cell_request(kind))
+            .request("POST", "/v1/run")
+            .body(&cell_request(kind))
+            .send()
             .expect("warmup request")
             .expect_status(200);
     }
+    client
+        .request("POST", "/v1/run")
+        .body(&sweep_request())
+        .send()
+        .expect("warmup sweep")
+        .expect_status(200);
 
     // One request per round trip on a keep-alive connection: the
     // headline number.
@@ -40,7 +74,9 @@ fn main() {
         let kind = kinds[i % kinds.len()];
         i += 1;
         client
-            .post("/v1/run", &cell_request(kind))
+            .request("POST", "/v1/run")
+            .body(&cell_request(kind))
+            .send()
             .expect("served hit")
             .expect_status(200)
     });
@@ -53,17 +89,60 @@ fn main() {
     )]);
     h.bench("served_cached_batch_6", 200, || {
         client
-            .post("/v1/batch", &batch)
+            .request("POST", "/v1/batch")
+            .body(&batch)
+            .send()
             .expect("served batch")
             .expect_status(200)
     });
 
     // Stats polling cost — what a dashboard scraping /v1/stats pays.
     h.bench("served_stats", 400, || {
-        client.get("/v1/stats").expect("stats").expect_status(200)
+        client
+            .request("GET", "/v1/stats")
+            .send()
+            .expect("stats")
+            .expect_status(200)
+    });
+
+    // Submit + chunked `/stream` of a warm 4-row sweep: the cost of
+    // incremental delivery end to end (submit POST, job settlement,
+    // per-row frames, terminal event, connection teardown). Gated —
+    // this is the v2 protocol's headline path.
+    let sweep = sweep_request();
+    h.bench("served_streaming", 50, || {
+        let mut rows = 0usize;
+        client
+            .submit_and_stream(&sweep, Format::Binary, |event| {
+                if let StreamEvent::Row { .. } = event {
+                    rows += 1;
+                }
+            })
+            .expect("streamed sweep");
+        assert_eq!(rows, 4, "every corner row was streamed");
     });
 
     let report = server.shutdown();
     assert_eq!(report.jobs_canceled, 0);
+
+    // Snapshot round trip: persist a warm session's sweep cache and
+    // warm-boot a cold one from it — the restart-recovery cost a
+    // `--snapshot` deployment pays at shutdown + boot.
+    let warm = Session::new();
+    warm.run(
+        &SweepRequest::new([StdCellKind::Inv, StdCellKind::Nand(2)])
+            .grid(VariationGrid::nominal().seeds([5, 6]))
+            .metrics(SweepMetrics::IMMUNITY),
+    )
+    .expect("warm sweep");
+    let path = std::env::temp_dir().join(format!("cnfet-bench-{}.snap", std::process::id()));
+    h.bench("snapshot_warm_boot", 50, || {
+        let entries = warm.save_snapshot(&path).expect("save snapshot");
+        let cold = Session::new();
+        let restored = cold.load_snapshot(&path).expect("load snapshot");
+        assert_eq!(restored, entries);
+    });
+    let _ = std::fs::remove_file(&path);
+
     h.finish();
 }

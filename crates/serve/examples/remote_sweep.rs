@@ -9,7 +9,7 @@
 //! ```
 
 use cnfet_serve::json::Json;
-use cnfet_serve::{Client, ServeConfig, Server};
+use cnfet_serve::{Client, Format, ServeConfig, Server, StreamEvent};
 
 fn sweep_request() -> Json {
     Json::obj([
@@ -54,12 +54,19 @@ fn main() -> std::io::Result<()> {
     println!("server up on http://{}\n", server.addr());
     let mut client = Client::new(server.addr());
 
-    let health = client.get("/v1/healthz")?.expect_status(200);
+    let health = client
+        .request("GET", "/v1/healthz")
+        .send()?
+        .expect_status(200);
     println!("GET /v1/healthz         -> {health}");
 
     // Round 1: the engine executes every cell × corner.
     let request = sweep_request();
-    let report = client.post("/v1/run", &request)?.expect_status(200);
+    let report = client
+        .request("POST", "/v1/run")
+        .body(&request)
+        .send()?
+        .expect_status(200);
     let rows = report.get("rows").and_then(Json::as_arr).expect("rows");
     println!(
         "POST /v1/run (sweep)    -> {} cells x {} corners = {} rows",
@@ -73,7 +80,10 @@ fn main() -> std::io::Result<()> {
         worst.get("min_yield").and_then(Json::as_f64).unwrap(),
     );
 
-    let stats = client.get("/v1/stats")?.expect_status(200);
+    let stats = client
+        .request("GET", "/v1/stats")
+        .send()?
+        .expect_status(200);
     let misses_after_first = class_stat(&stats, "sweeps", "misses");
     println!(
         "GET /v1/stats           -> sweeps: {} misses, {} hits",
@@ -83,9 +93,16 @@ fn main() -> std::io::Result<()> {
 
     // Round 2: the *identical* sweep — another client iteration of the
     // co-optimization loop — is answered from the warm cache.
-    let again = client.post("/v1/run", &request)?.expect_status(200);
+    let again = client
+        .request("POST", "/v1/run")
+        .body(&request)
+        .send()?
+        .expect_status(200);
     assert_eq!(again.render(), report.render(), "deterministic replay");
-    let stats = client.get("/v1/stats")?.expect_status(200);
+    let stats = client
+        .request("GET", "/v1/stats")
+        .send()?
+        .expect_status(200);
     assert_eq!(
         class_stat(&stats, "sweeps", "misses"),
         misses_after_first,
@@ -96,8 +113,11 @@ fn main() -> std::io::Result<()> {
         class_stat(&stats, "sweeps", "hits"),
     );
 
-    // Non-blocking: submit a widened sweep, poll the job to completion.
-    // Only the added corners execute; the overlap is already cached.
+    // Incremental: submit a widened sweep and stream its rows as the
+    // engine harvests them — no poll loop, no waiting for the full
+    // report. Only the added corners execute; the overlap is already
+    // cached. `Format::Binary` negotiates the compact row encoding;
+    // the decoded rows are field-identical to the JSON ones.
     let mut widened = sweep_request();
     if let Json::Obj(fields) = &mut widened {
         for (key, value) in fields.iter_mut() {
@@ -112,26 +132,24 @@ fn main() -> std::io::Result<()> {
             }
         }
     }
-    let submitted = client.post("/v1/submit", &widened)?.expect_status(202);
-    let job = submitted.get("jobs").and_then(Json::as_arr).expect("jobs")[0]
-        .as_u64()
-        .expect("job id");
-    println!("POST /v1/submit         -> job {job}");
-    let result = loop {
-        let poll = client.get(&format!("/v1/jobs/{job}"))?.expect_status(200);
-        match poll.get("status").and_then(Json::as_str) {
-            Some("pending") => std::thread::sleep(std::time::Duration::from_millis(10)),
-            Some("done") => break poll,
-            other => panic!("job ended {other:?}"),
+    let mut streamed_rows = 0usize;
+    let mut done_rows = 0usize;
+    let job = client.submit_and_stream(&widened, Format::Binary, |event| match event {
+        StreamEvent::Row { .. } => streamed_rows += 1,
+        StreamEvent::Done(result) => {
+            done_rows = result
+                .get("rows")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len)
+                .unwrap_or(0);
         }
-    };
-    let widened_rows = result
-        .get("result")
-        .and_then(|r| r.get("rows"))
-        .and_then(Json::as_arr)
-        .expect("widened rows")
-        .len();
-    println!("GET /v1/jobs/{job}        -> done, {widened_rows} rows (overlap served from cache)");
+        _ => {}
+    })?;
+    assert_eq!(streamed_rows, done_rows, "every row arrived before `done`");
+    println!(
+        "GET /v1/jobs/{job}/stream -> {streamed_rows} binary rows streamed, then `done` \
+         (overlap served from cache)"
+    );
 
     let report = server.shutdown();
     println!(

@@ -224,7 +224,9 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        406 => "Not Acceptable",
         408 => "Request Timeout",
+        410 => "Gone",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
@@ -242,13 +244,56 @@ pub fn write_response(
     body: &str,
     close: bool,
 ) -> io::Result<()> {
+    write_response_bytes(stream, status, "application/json", body.as_bytes(), close)
+}
+
+/// Writes one response with an explicit content type and a raw byte
+/// body — the binary result encodings of [`crate::encode`] ride this.
+pub fn write_response_bytes(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> io::Result<()> {
     let connection = if close { "close" } else { "keep-alive" };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
         reason(status),
         body.len(),
     );
     stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Opens a `Transfer-Encoding: chunked` response. Streamed responses
+/// always close the connection afterwards: the peer may abandon the
+/// stream mid-chunk, at which point the framing (not the connection) is
+/// the only thing left in a known state.
+pub fn start_chunked(stream: &mut TcpStream, status: u16, content_type: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\nconnection: close\r\n\r\n",
+        reason(status),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes and flushes one non-empty chunk. (An empty slice is skipped:
+/// a zero-length chunk is the terminator, [`finish_chunked`]'s job.)
+pub fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    stream.write_all(format!("{:x}\r\n", data.len()).as_bytes())?;
+    stream.write_all(data)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Terminates a chunked response.
+pub fn finish_chunked(stream: &mut TcpStream) -> io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
     stream.flush()
 }

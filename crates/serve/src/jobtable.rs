@@ -1,4 +1,5 @@
-//! The bounded job table behind `POST /v1/submit` and `GET /v1/jobs/{id}`.
+//! The bounded job table behind `POST /v1/submit`, `GET /v1/jobs/{id}`,
+//! and `GET /v1/jobs/{id}/stream`.
 //!
 //! A submit enqueues the request on the session's non-blocking pool
 //! ([`Session::submit`](cnfet::Session::submit)) and records the returned
@@ -6,33 +7,137 @@
 //! harvests the handle at most once and caches the rendered outcome, so
 //! repeated `GET`s are cheap and always agree.
 //!
+//! Ids are handed out sequentially, which is what lets the table answer
+//! *expired* distinctly from *never existed*: an absent id below the
+//! next fresh id must have been dropped by TTL expiry ([`Polled::Expired`]
+//! → `410 Gone`), while an id the table never issued is
+//! [`Polled::Unknown`] (`404`).
+//!
+//! Every job also carries a [`Progress`] handle. For sweep requests the
+//! table attaches a [`RowObserver`] before submitting, so corner rows
+//! land on the progress as the engine harvests them — the feed under
+//! `/stream`. Whole-report cache hits never execute (the observer
+//! stays silent); the missing rows are back-filled from the final
+//! report when the job settles, so a streamed job always delivers every
+//! row before its terminal event.
+//!
 //! Two bounds keep the table from growing without limit under load:
 //!
 //! * **capacity** — at most `capacity` *pending* jobs at once; a submit
 //!   past the bound is refused (the server answers `429`) instead of
 //!   queueing unboundedly when producers outpace the pool;
 //! * **expiry** — resolved jobs are dropped `ttl` after resolving
-//!   (their results have been deliverable for that long); expired ids
-//!   poll as `404`, exactly like ids that never existed.
+//!   (their results have been deliverable for that long), counted in
+//!   [`JobTableStats::expired`].
 
 use crate::json::Json;
 use crate::wire;
-use cnfet::{CnfetError, JobHandle, RequestKind, ResponseKind, Session};
+use cnfet::sweep::CornerRow;
+use cnfet::{CnfetError, JobHandle, RequestKind, ResponseKind, RowObserver, Session, SweepReport};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::{Duration, Instant};
 
-/// One job's current, client-visible state.
+/// A settled job's client-visible outcome.
 #[derive(Clone, Debug, PartialEq)]
 pub enum JobView {
-    /// Still queued or executing.
-    Pending,
     /// Finished; the rendered result summary.
     Done(Json),
     /// Failed; the HTTP status and structured error payload.
     Failed(u16, Json),
     /// Abandoned before producing a result (server shutdown).
     Canceled,
+}
+
+/// What polling an id revealed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Polled {
+    /// The table never issued this id — `404`.
+    Unknown,
+    /// The id existed but its settled result passed the TTL — `410`.
+    Expired,
+    /// Still queued or executing, with backoff metadata for pollers.
+    Pending {
+        /// Milliseconds since the job was submitted.
+        age_ms: u64,
+        /// Jobs pending in the table right now (this one included) — a
+        /// proxy for how far back in the queue the job may be.
+        queued: usize,
+    },
+    /// Settled; replays the same outcome until expiry.
+    Settled(JobView),
+}
+
+/// The live row feed of one job, shared between the engine's
+/// [`RowObserver`] (producer) and `/stream` handlers (consumers).
+/// Non-sweep jobs carry one too, with `total` 0 — a stream of no rows
+/// and one terminal event.
+pub struct Progress {
+    total: usize,
+    state: Mutex<ProgressState>,
+    cv: Condvar,
+}
+
+struct ProgressState {
+    rows: Vec<CornerRow>,
+    finished: Option<JobView>,
+}
+
+impl Progress {
+    fn new(total: usize) -> Progress {
+        Progress {
+            total,
+            state: Mutex::new(ProgressState {
+                rows: Vec::new(),
+                finished: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Total rows this job will deliver (cells × corners; 0 for
+    /// non-sweep jobs).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Appends the next streamed row. Rows arrive in report order from
+    /// the sweep's single harvest loop; anything out of order (or after
+    /// the terminal state) is dropped rather than misfiled.
+    fn push(&self, index: usize, row: CornerRow) {
+        let mut state = self.state.lock().expect("progress lock");
+        if state.finished.is_none() && index == state.rows.len() {
+            state.rows.push(row);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Marks the job settled, back-filling any rows the observer never
+    /// saw (a whole-report cache hit skips execution entirely).
+    fn finish(&self, report: Option<&SweepReport>, view: JobView) {
+        let mut state = self.state.lock().expect("progress lock");
+        if state.finished.is_some() {
+            return;
+        }
+        if let Some(report) = report {
+            let seen = state.rows.len();
+            state.rows.extend(report.rows.iter().skip(seen).cloned());
+        }
+        state.finished = Some(view);
+        self.cv.notify_all();
+    }
+
+    /// Rows past `seen` plus the terminal view once settled; blocks up
+    /// to `timeout` when neither is available yet.
+    pub fn wait(&self, seen: usize, timeout: Duration) -> (Vec<CornerRow>, Option<JobView>) {
+        let mut state = self.state.lock().expect("progress lock");
+        if state.rows.len() <= seen && state.finished.is_none() {
+            let (guard, _) = self.cv.wait_timeout(state, timeout).expect("progress lock");
+            state = guard;
+        }
+        let rows = state.rows.get(seen..).unwrap_or(&[]).to_vec();
+        (rows, state.finished.clone())
+    }
 }
 
 enum JobState {
@@ -42,9 +147,12 @@ enum JobState {
 
 struct JobEntry {
     state: JobState,
+    /// When the job was submitted; drives the `age_ms` backoff hint.
+    created: Instant,
     /// When the job settled (resolved and was first observed); drives
     /// expiry. `None` while pending — pending jobs never expire.
     settled_at: Option<Instant>,
+    progress: Arc<Progress>,
 }
 
 /// Why a submit was refused.
@@ -65,6 +173,9 @@ pub struct JobTableStats {
     pub rejected: u64,
     /// Jobs ever accepted.
     pub submitted: u64,
+    /// Settled jobs dropped by TTL expiry since start — the table's
+    /// churn rate.
+    pub expired: u64,
 }
 
 /// The bounded, expiring id → job map. Internally synchronized; the
@@ -86,6 +197,7 @@ struct Inner {
     polls_since_purge: u32,
     rejected: u64,
     submitted: u64,
+    expired: u64,
 }
 
 /// A full expiry sweep runs on submit, on stats, and every this-many
@@ -105,6 +217,7 @@ impl JobTable {
                 polls_since_purge: 0,
                 rejected: 0,
                 submitted: 0,
+                expired: 0,
             }),
             capacity,
             ttl,
@@ -114,8 +227,27 @@ impl JobTable {
     /// Submits one request on the session's pool and returns its job id,
     /// or refuses with [`Backpressure`] when `capacity` jobs are already
     /// pending. Expired jobs are purged first, so a full table recovers
-    /// on its own as work drains.
+    /// on its own as work drains. Sweep requests get a [`RowObserver`]
+    /// attached so their rows feed the job's [`Progress`] live.
     pub fn submit(&self, session: &Session, request: RequestKind) -> Result<u64, Backpressure> {
+        // Build the progress (and, for sweeps, wire the observer) before
+        // taking the table lock: the observer closure only touches the
+        // progress's own lock, never the table's.
+        let (request, progress) = match request {
+            RequestKind::Sweep(sweep) => {
+                let progress = Arc::new(Progress::new(sweep.row_count()));
+                // Weak: once the entry expires, the engine's pushes (for
+                // a sweep another client re-triggered) go nowhere.
+                let feed: Weak<Progress> = Arc::downgrade(&progress);
+                let sweep = sweep.observe_rows(RowObserver::new(move |index, row| {
+                    if let Some(progress) = feed.upgrade() {
+                        progress.push(index, row.clone());
+                    }
+                }));
+                (RequestKind::Sweep(sweep), progress)
+            }
+            other => (other, Arc::new(Progress::new(0))),
+        };
         let mut inner = self.inner.lock().expect("job table lock");
         let now = Instant::now();
         inner.refresh(now, self.ttl);
@@ -136,17 +268,19 @@ impl JobTable {
             id,
             JobEntry {
                 state: JobState::Pending(handle),
+                created: now,
                 settled_at: None,
+                progress,
             },
         );
         Ok(id)
     }
 
-    /// The job's current state; `None` for unknown (or expired) ids.
-    /// O(1): only the polled entry is expiry-checked (plus an amortized
-    /// full sweep every `PURGE_EVERY_POLLS` calls) — poll loops are
-    /// the protocol's hottest path.
-    pub fn poll(&self, id: u64) -> Option<JobView> {
+    /// The job's current state. O(1): only the polled entry is
+    /// expiry-checked, with a single `Instant::now()` per call (plus an
+    /// amortized full sweep every `PURGE_EVERY_POLLS` calls) — poll
+    /// loops are the protocol's hottest path.
+    pub fn poll(&self, id: u64) -> Polled {
         let mut inner = self.inner.lock().expect("job table lock");
         let now = Instant::now();
         inner.polls_since_purge += 1;
@@ -154,8 +288,16 @@ impl JobTable {
             inner.refresh(now, self.ttl);
         }
         let ttl = self.ttl;
+        let issued = id >= 1 && id < inner.next_id;
+        let pending_count = inner.pending;
         let (view, settled_now) = match inner.jobs.entry(id) {
-            std::collections::hash_map::Entry::Vacant(_) => return None,
+            std::collections::hash_map::Entry::Vacant(_) => {
+                return if issued {
+                    Polled::Expired
+                } else {
+                    Polled::Unknown
+                };
+            }
             std::collections::hash_map::Entry::Occupied(mut occupied) => {
                 if occupied
                     .get()
@@ -163,20 +305,30 @@ impl JobTable {
                     .is_some_and(|at| now.duration_since(at) >= ttl)
                 {
                     occupied.remove();
-                    return None;
+                    inner.expired += 1;
+                    return Polled::Expired;
                 }
                 let entry = occupied.get_mut();
                 let mut settled_now = false;
                 if let JobState::Pending(handle) = &mut entry.state {
                     if let Some(result) = handle.try_get() {
-                        entry.state = JobState::Settled(settle(result));
+                        let report = match &result {
+                            Ok(ResponseKind::Sweep(report)) => Some(report.clone()),
+                            _ => None,
+                        };
+                        let view = settle(result);
+                        entry.progress.finish(report.as_deref(), view.clone());
+                        entry.state = JobState::Settled(view);
                         entry.settled_at = Some(now);
                         settled_now = true;
                     }
                 }
                 let view = match &entry.state {
-                    JobState::Pending(_) => JobView::Pending,
-                    JobState::Settled(view) => view.clone(),
+                    JobState::Pending(_) => Polled::Pending {
+                        age_ms: now.duration_since(entry.created).as_millis() as u64,
+                        queued: pending_count,
+                    },
+                    JobState::Settled(view) => Polled::Settled(view.clone()),
                 };
                 (view, settled_now)
             }
@@ -184,7 +336,18 @@ impl JobTable {
         if settled_now {
             inner.pending -= 1;
         }
-        Some(view)
+        view
+    }
+
+    /// The job's live [`Progress`] handle, for `/stream`; the `Err`
+    /// carries the same unknown/expired distinction as [`JobTable::poll`].
+    pub fn watch(&self, id: u64) -> Result<Arc<Progress>, Polled> {
+        let inner = self.inner.lock().expect("job table lock");
+        match inner.jobs.get(&id) {
+            Some(entry) => Ok(entry.progress.clone()),
+            None if id >= 1 && id < inner.next_id => Err(Polled::Expired),
+            None => Err(Polled::Unknown),
+        }
     }
 
     /// Table counters for the stats endpoint.
@@ -196,6 +359,7 @@ impl JobTable {
             settled: inner.jobs.len() - inner.pending,
             rejected: inner.rejected,
             submitted: inner.submitted,
+            expired: inner.expired,
         }
     }
 
@@ -206,21 +370,31 @@ impl JobTable {
     pub fn drain_canceled(&self) -> usize {
         let mut inner = self.inner.lock().expect("job table lock");
         let mut canceled = 0;
+        // One timestamp for the whole sweep: the per-entry work below is
+        // lock-held bookkeeping, not a place for repeated clock reads.
+        let now = Instant::now();
         for entry in inner.jobs.values_mut() {
             if let JobState::Pending(handle) = &mut entry.state {
                 // `wait_timeout` (rather than consuming `wait`) keeps the
                 // entry pollable; the pool is gone so this resolves fast.
                 // A job that somehow fails to resolve within the window is
                 // reported canceled — shutdown must terminate.
-                let view = match handle.wait_timeout(Duration::from_secs(60)) {
-                    Some(result) => settle(result),
-                    None => JobView::Canceled,
+                let (view, report) = match handle.wait_timeout(Duration::from_secs(60)) {
+                    Some(result) => {
+                        let report = match &result {
+                            Ok(ResponseKind::Sweep(report)) => Some(report.clone()),
+                            _ => None,
+                        };
+                        (settle(result), report)
+                    }
+                    None => (JobView::Canceled, None),
                 };
                 if view == JobView::Canceled {
                     canceled += 1;
                 }
+                entry.progress.finish(report.as_deref(), view.clone());
                 entry.state = JobState::Settled(view);
-                entry.settled_at = Some(Instant::now());
+                entry.settled_at = Some(now);
             }
         }
         inner.pending = 0;
@@ -230,13 +404,15 @@ impl JobTable {
 
 impl Inner {
     /// Drops settled entries past their ttl (pending jobs never expire,
-    /// so `pending` is untouched).
+    /// so `pending` is untouched), counting what it evicts.
     fn refresh(&mut self, now: Instant, ttl: Duration) {
         self.polls_since_purge = 0;
+        let before = self.jobs.len();
         self.jobs.retain(|_, entry| match entry.settled_at {
             Some(at) => now.duration_since(at) < ttl,
             None => true,
         });
+        self.expired += (before - self.jobs.len()) as u64;
     }
 }
 
@@ -262,26 +438,45 @@ mod tests {
         RequestKind::from(CellRequest::new(StdCellKind::Inv))
     }
 
+    fn settled(table: &JobTable, id: u64) -> JobView {
+        loop {
+            match table.poll(id) {
+                Polled::Pending { .. } => std::thread::yield_now(),
+                Polled::Settled(view) => break view,
+                other => panic!("job {id} vanished while pending: {other:?}"),
+            }
+        }
+    }
+
     #[test]
     fn submit_poll_round_trip_and_expiry() {
         let session = Session::new();
         let table = JobTable::new(8, Duration::from_millis(40));
         let id = table.submit(&session, cell()).unwrap();
-        let done = loop {
-            match table.poll(id).expect("job known") {
-                JobView::Pending => std::thread::yield_now(),
-                view => break view,
-            }
-        };
+        let done = settled(&table, id);
         let JobView::Done(body) = done else {
             panic!("expected Done, got {done:?}");
         };
         assert_eq!(body.get("type").unwrap().as_str(), Some("cell"));
         // Settled polls replay the same outcome until the ttl expires.
-        assert!(matches!(table.poll(id), Some(JobView::Done(_))));
+        assert!(matches!(table.poll(id), Polled::Settled(JobView::Done(_))));
         std::thread::sleep(Duration::from_millis(60));
-        assert_eq!(table.poll(id), None, "expired jobs poll as unknown");
-        assert_eq!(table.poll(9999), None, "unknown ids poll as unknown");
+        assert_eq!(table.poll(id), Polled::Expired, "issued ids expire");
+        assert_eq!(table.poll(9999), Polled::Unknown, "unissued ids 404");
+        assert!(table.stats().expired >= 1, "expiry is counted");
+    }
+
+    #[test]
+    fn pending_polls_carry_backoff_metadata() {
+        let session = Session::new();
+        let table = JobTable::new(8, Duration::from_secs(5));
+        let id = table.submit(&session, cell()).unwrap();
+        // The job may settle arbitrarily fast; only a pending poll (if
+        // we catch one) must carry the metadata.
+        if let Polled::Pending { queued, .. } = table.poll(id) {
+            assert!(queued >= 1, "the pending job itself counts");
+        }
+        settled(&table, id);
     }
 
     #[test]
@@ -301,15 +496,55 @@ mod tests {
         let table = JobTable::new(1, Duration::from_secs(5));
         let id = table.submit(&session, cell()).unwrap();
         // Resolve the first job so the pending count returns to zero.
-        while matches!(table.poll(id), Some(JobView::Pending)) {
-            std::thread::yield_now();
-        }
+        settled(&table, id);
         table
             .submit(&session, cell())
             .expect("capacity freed once the first job settled");
         let stats = table.stats();
         assert_eq!(stats.submitted, 2);
         assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn sweep_progress_streams_rows_then_finishes() {
+        let session = Session::new();
+        let table = JobTable::new(8, Duration::from_secs(5));
+        let sweep = RequestKind::from(
+            cnfet::SweepRequest::new([StdCellKind::Inv, StdCellKind::Nand(2)])
+                .metrics(cnfet::SweepMetrics::IMMUNITY)
+                .grid(cnfet::VariationGrid::nominal().seeds([1, 2]))
+                .mc(cnfet::immunity::McOptions {
+                    tubes: 60,
+                    ..Default::default()
+                }),
+        );
+        let id = table.submit(&session, sweep.clone()).unwrap();
+        let progress = table.watch(id).expect("job exists");
+        assert_eq!(progress.total(), 4);
+        let mut seen = 0;
+        let view = loop {
+            // Poll drives settlement; wait drains the row feed.
+            table.poll(id);
+            let (rows, finished) = progress.wait(seen, Duration::from_millis(10));
+            seen += rows.len();
+            if let Some(view) = finished {
+                break view;
+            }
+        };
+        assert_eq!(seen, 4, "every row streams before the terminal view");
+        let JobView::Done(body) = view else {
+            panic!("sweep failed: {view:?}");
+        };
+        assert_eq!(body.get("rows").unwrap().as_arr().unwrap().len(), 4);
+
+        // The same sweep again is a whole-report cache hit — the
+        // observer never fires, so the rows must back-fill at settle.
+        let id = table.submit(&session, sweep).unwrap();
+        let progress = table.watch(id).expect("job exists");
+        settled(&table, id);
+        let (rows, finished) = progress.wait(0, Duration::from_millis(10));
+        assert_eq!(rows.len(), 4, "cache-hit jobs back-fill every row");
+        assert!(finished.is_some());
     }
 
     #[test]

@@ -15,14 +15,25 @@
 //! | `POST /v1/run` | one request, synchronous; body: a wire request object |
 //! | `POST /v1/batch` | `{"requests": […]}`, fanned out on the engine's pool, answers in order |
 //! | `POST /v1/submit` | non-blocking; answers `202 {"jobs": [id, …]}` or `429` on backpressure |
-//! | `GET /v1/jobs/{id}` | `pending` / `done` + result / `error` + payload / `canceled`; `404` after expiry |
+//! | `GET /v1/jobs/{id}` | `pending` (+ `age_ms`/`queued`) / `done` + result / `error` + payload / `canceled`; `410` once expired, `404` if never issued |
+//! | `GET /v1/jobs/{id}/stream` | chunked progress stream: a `start` event, one row per corner as the engine harvests it, then a terminal `done`/`error`/`canceled` event |
 //! | `GET /v1/stats` | full engine [`SessionStats`](cnfet::SessionStats): per-class hits/misses/evictions, cache occupancy, pool counters, job table |
 //! | `GET /v1/healthz` | liveness |
 //!
-//! The request/response encodings are documented in [`wire`], the JSON
-//! dialect (hand-rolled — the workspace builds offline) in [`json`], and
-//! the full protocol walk-through with curl transcripts in the
-//! repository's `ARCHITECTURE.md`.
+//! Result formats are negotiated per request with `Accept`: JSON is the
+//! default, sweep results can instead come back in the length-prefixed
+//! binary row encoding of [`encode`]
+//! (`Accept: application/x-cnfet-rows`), and an `Accept` naming no
+//! format the server can produce answers `406`. With `--snapshot
+//! <PATH>` the server persists its sweep cache on graceful shutdown and
+//! warm-boots from it, so a restart replays prior sweeps as pure cache
+//! hits.
+//!
+//! The request/response encodings are documented in [`wire`], the
+//! binary row/stream framing in [`encode`], the JSON dialect
+//! (hand-rolled — the workspace builds offline) in [`json`], and the
+//! full protocol walk-through with curl transcripts in the repository's
+//! `ARCHITECTURE.md`.
 //!
 //! ## In-process quickstart
 //!
@@ -38,10 +49,18 @@
 //!     ("type", Json::str("cell")),
 //!     ("kind", Json::str("nand3")),
 //! ]);
-//! let first = client.post("/v1/run", &request)?.expect_status(200);
+//! let first = client
+//!     .request("POST", "/v1/run")
+//!     .body(&request)
+//!     .send()?
+//!     .expect_status(200);
 //! assert_eq!(first.get("cached").unwrap().as_bool(), Some(false));
 //! // Same request again: a pure cache hit, visible to every client.
-//! let again = client.post("/v1/run", &request)?.expect_status(200);
+//! let again = client
+//!     .request("POST", "/v1/run")
+//!     .body(&request)
+//!     .send()?
+//!     .expect_status(200);
 //! assert_eq!(again.get("cached").unwrap().as_bool(), Some(true));
 //!
 //! let report = server.shutdown();
@@ -53,11 +72,13 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod encode;
 pub mod http;
 pub mod jobtable;
 pub mod json;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientResponse};
+pub use client::{Client, ClientResponse, RequestBuilder, StreamEvent};
+pub use encode::Format;
 pub use server::{ServeConfig, Server, ShutdownReport};

@@ -19,6 +19,8 @@ OPTIONS:
     --engine-workers <N>      engine pool threads   [default: available cores]
     --job-capacity <N>        pending submit bound  [default: 1024]
     --job-ttl-secs <N>        settled-job expiry    [default: 300]
+    --snapshot <PATH>         warm-boot from PATH and persist the sweep
+                              cache there on graceful shutdown
     -h, --help                print this help
 ";
 
@@ -43,6 +45,7 @@ fn parse_flags(args: impl Iterator<Item = String>) -> Result<ServeConfig, String
             "--job-ttl-secs" => {
                 config.job_ttl = Duration::from_secs(parse(&value("--job-ttl-secs")?)? as u64);
             }
+            "--snapshot" => config.snapshot = Some(value("--snapshot")?.into()),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -67,6 +70,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let snapshot = config.snapshot.clone();
     let server = match Server::start(config) {
         Ok(server) => server,
         Err(e) => {
@@ -75,10 +79,27 @@ fn main() {
         }
     };
     println!("cnfet-serve listening on http://{}", server.addr());
-    println!("  POST /v1/run /v1/batch /v1/submit · GET /v1/jobs/{{id}} /v1/stats /v1/healthz");
+    println!(
+        "  POST /v1/run /v1/batch /v1/submit · GET /v1/jobs/{{id}} /v1/jobs/{{id}}/stream /v1/stats /v1/healthz"
+    );
     // Serve until the process is terminated; worker threads do the rest.
-    loop {
-        std::thread::park();
+    // With --snapshot, the main thread doubles as a periodic persister:
+    // a standalone process is usually ended by a signal, not a graceful
+    // `Server::shutdown`, so flushing every minute keeps the next boot
+    // warm anyway (writes are atomic temp-file + rename).
+    match snapshot {
+        Some(path) => loop {
+            std::thread::sleep(Duration::from_secs(60));
+            if let Err(e) = server.session().save_snapshot(&path) {
+                eprintln!(
+                    "cnfet-serve: warning: failed to write snapshot {}: {e}",
+                    path.display()
+                );
+            }
+        },
+        None => loop {
+            std::thread::park();
+        },
     }
 }
 
@@ -107,6 +128,8 @@ mod tests {
             "7",
             "--job-ttl-secs",
             "60",
+            "--snapshot",
+            "/tmp/sweeps.snap",
         ])
         .unwrap();
         assert_eq!(config.addr, "0.0.0.0:9000");
@@ -116,6 +139,10 @@ mod tests {
         assert_eq!(config.engine_workers, 2);
         assert_eq!(config.job_capacity, 7);
         assert_eq!(config.job_ttl, Duration::from_secs(60));
+        assert_eq!(
+            config.snapshot.as_deref(),
+            Some(std::path::Path::new("/tmp/sweeps.snap"))
+        );
     }
 
     #[test]

@@ -18,14 +18,16 @@
 //! the job table so every accepted-but-unfinished job settles as
 //! `canceled`.
 
+use crate::encode::{self, Format};
 use crate::http::{self, ReadError, Request};
-use crate::jobtable::{JobTable, JobView};
+use crate::jobtable::{JobTable, JobView, Polled};
 use crate::json::{self, Json};
 use crate::wire;
-use cnfet::{RequestClass, Session, SessionBuilder};
+use cnfet::{RequestClass, ResponseKind, Session, SessionBuilder};
 use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -65,6 +67,12 @@ pub struct ServeConfig {
     pub job_capacity: usize,
     /// How long settled jobs stay pollable (`--job-ttl-secs`).
     pub job_ttl: Duration,
+    /// Cache snapshot path (`--snapshot`). When set, the server
+    /// warm-boots from the file if it exists (a corrupt or
+    /// version-mismatched snapshot logs a warning and boots cold) and
+    /// writes a fresh snapshot on graceful shutdown, so a restarted
+    /// server replays prior sweeps as pure cache hits.
+    pub snapshot: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +85,7 @@ impl Default for ServeConfig {
             engine_workers: 0,
             job_capacity: 1024,
             job_ttl: Duration::from_secs(300),
+            snapshot: None,
         }
     }
 }
@@ -128,6 +137,13 @@ impl ServeConfig {
     #[must_use]
     pub fn job_ttl(mut self, ttl: Duration) -> ServeConfig {
         self.job_ttl = ttl;
+        self
+    }
+
+    /// Sets the warm-restart snapshot path.
+    #[must_use]
+    pub fn snapshot(mut self, path: impl Into<PathBuf>) -> ServeConfig {
+        self.snapshot = Some(path.into());
         self
     }
 }
@@ -192,6 +208,7 @@ pub struct Server {
     addr: SocketAddr,
     acceptor: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    snapshot: Option<PathBuf>,
 }
 
 impl Server {
@@ -210,6 +227,23 @@ impl Server {
             .cache_shards(config.cache_shards)
             .batch_workers(config.engine_workers)
             .build();
+        // Warm boot: seed the sweep cache from the snapshot, if any. A
+        // bad file (corrupt, truncated, old version) must never stop the
+        // server — it warns and boots cold.
+        if let Some(path) = &config.snapshot {
+            if path.exists() {
+                match session.load_snapshot(path) {
+                    Ok(restored) => eprintln!(
+                        "cnfet-serve: warm boot — restored {restored} cache entries from {}",
+                        path.display()
+                    ),
+                    Err(e) => eprintln!(
+                        "cnfet-serve: warning: ignoring snapshot {}: {e}; booting cold",
+                        path.display()
+                    ),
+                }
+            }
+        }
         // Floor of 4: on small machines a lone worker would serialize a
         // heavy request behind every other connection. Idle keep-alive
         // connections don't pin workers either way — see `worker_loop`.
@@ -253,6 +287,7 @@ impl Server {
             addr,
             acceptor: Some(acceptor),
             workers,
+            snapshot: config.snapshot,
         })
     }
 
@@ -291,6 +326,20 @@ impl Server {
         let shared = Arc::try_unwrap(self.shared)
             .unwrap_or_else(|_| unreachable!("all server threads joined"));
         let requests_served = shared.requests.load(Ordering::Relaxed);
+        // Persist the sweep cache before the engine goes away, so the
+        // next boot replays today's sweeps as pure hits.
+        if let Some(path) = &self.snapshot {
+            match shared.session.save_snapshot(path) {
+                Ok(saved) => eprintln!(
+                    "cnfet-serve: wrote {saved} cache entries to {}",
+                    path.display()
+                ),
+                Err(e) => eprintln!(
+                    "cnfet-serve: warning: failed to write snapshot {}: {e}",
+                    path.display()
+                ),
+            }
+        }
         drop(shared.session);
         let jobs_canceled = shared.jobs.drain_canceled();
         ShutdownReport {
@@ -380,16 +429,42 @@ fn serve_connection(mut conn: Conn, shared: &Shared) -> Option<Conn> {
                 conn.idle = Duration::ZERO;
                 shared.requests.fetch_add(1, Ordering::Relaxed);
                 let close = request.wants_close() || shared.shutdown.load(Ordering::Acquire);
-                let (status, body) = route(&request, shared);
-                // HEAD answers exactly like GET minus the payload (load
-                // balancers probe /v1/healthz this way).
-                let body = if request.method == "HEAD" {
-                    String::new()
-                } else {
-                    body.render()
-                };
-                if http::write_response(&mut conn.stream, status, &body, close).is_err() || close {
-                    return None;
+                match route(&request, shared) {
+                    Routed::Json(status, body) => {
+                        // HEAD answers exactly like GET minus the payload
+                        // (load balancers probe /v1/healthz this way).
+                        let body = if request.method == "HEAD" {
+                            String::new()
+                        } else {
+                            body.render()
+                        };
+                        if http::write_response(&mut conn.stream, status, &body, close).is_err()
+                            || close
+                        {
+                            return None;
+                        }
+                    }
+                    Routed::Binary(status, bytes) => {
+                        if http::write_response_bytes(
+                            &mut conn.stream,
+                            status,
+                            encode::BINARY_CONTENT_TYPE,
+                            &bytes,
+                            close,
+                        )
+                        .is_err()
+                            || close
+                        {
+                            return None;
+                        }
+                    }
+                    Routed::Stream { id, format } => {
+                        // Chunked responses always close the connection
+                        // (see `http::start_chunked`); the stream handler
+                        // owns the socket from here.
+                        stream_job(&mut conn.stream, shared, id, format);
+                        return None;
+                    }
                 }
             }
             Err(ReadError::TimedOut) => {
@@ -430,12 +505,238 @@ fn serve_connection(mut conn: Conn, shared: &Shared) -> Option<Conn> {
 // Routing
 // ---------------------------------------------------------------------------
 
-fn route(request: &Request, shared: &Shared) -> (u16, Json) {
+/// Where a routed request goes: a buffered JSON response, a buffered
+/// binary response, or the chunked `/stream` path (which needs the raw
+/// socket and is handled by the connection loop).
+enum Routed {
+    Json(u16, Json),
+    Binary(u16, Vec<u8>),
+    Stream { id: u64, format: Format },
+}
+
+/// Resolves the request's `Accept` header to a result format. JSON is
+/// the default (`*/*`, `application/*`, no header); the binary row
+/// encoding is `application/x-cnfet-rows`; anything else — a client
+/// asking for a format this server cannot produce — is `406`.
+fn negotiate(request: &Request) -> Result<Format, Routed> {
+    let Some(accept) = request.header("accept") else {
+        return Ok(Format::Json);
+    };
+    // First supported media range wins — clients list preferences in
+    // order. Quality parameters (`;q=`) are ignored.
+    for part in accept.split(',') {
+        let media = part.split(';').next().unwrap_or("").trim();
+        match media {
+            "" => continue,
+            "*/*" | "application/*" | "application/json" => return Ok(Format::Json),
+            m if m == encode::BINARY_CONTENT_TYPE => return Ok(Format::Binary),
+            _ => continue,
+        }
+    }
+    Err(Routed::Json(
+        406,
+        wire::error_body(
+            "not_acceptable",
+            &format!(
+                "no supported media type in accept `{accept}`; this server produces application/json and {}",
+                encode::BINARY_CONTENT_TYPE
+            ),
+            None,
+        ),
+    ))
+}
+
+fn route(request: &Request, shared: &Shared) -> Routed {
+    let format = match negotiate(request) {
+        Ok(format) => format,
+        Err(routed) => return routed,
+    };
     // HEAD routes exactly like GET; the connection loop strips the body.
     let method = match request.method.as_str() {
         "HEAD" => "GET",
         m => m,
     };
+    // The stream endpoint needs the raw socket; everything else buffers.
+    if let Some(id) = request
+        .path
+        .strip_prefix("/v1/jobs/")
+        .and_then(|rest| rest.strip_suffix("/stream"))
+    {
+        if request.method != "GET" {
+            return Routed::Json(
+                405,
+                wire::error_body(
+                    "method_not_allowed",
+                    &format!("{} is not supported on {}", request.method, request.path),
+                    None,
+                ),
+            );
+        }
+        return match id.parse::<u64>() {
+            Ok(id) => Routed::Stream { id, format },
+            Err(_) => Routed::Json(
+                400,
+                wire::error_body("bad_request", &format!("bad job id `{id}`"), None),
+            ),
+        };
+    }
+    // Binary form exists only for sweep results; on any other route the
+    // client asked for an encoding the response cannot take.
+    if format == Format::Binary {
+        if method == "POST" && request.path == "/v1/run" {
+            return run_binary(request, shared);
+        }
+        return Routed::Json(
+            406,
+            wire::error_body(
+                "not_acceptable",
+                "the binary row encoding is only defined for sweep results (POST /v1/run with a sweep request, or GET /v1/jobs/{id}/stream)",
+                None,
+            ),
+        );
+    }
+    let (status, body) = route_json(method, request, shared);
+    Routed::Json(status, body)
+}
+
+/// `POST /v1/run` with `Accept: application/x-cnfet-rows`: a sweep
+/// answers as a binary row table; any other result kind is `406`.
+fn run_binary(request: &Request, shared: &Shared) -> Routed {
+    let value = match parse_body(&request.body) {
+        Ok(value) => value,
+        Err((status, body)) => return Routed::Json(status, body),
+    };
+    let kind = match wire::parse_request(&value) {
+        Ok(kind) => kind,
+        Err(e) => {
+            return Routed::Json(400, wire::error_body("bad_request", &e.message, None));
+        }
+    };
+    match shared.session.run(&kind) {
+        Ok(ResponseKind::Sweep(report)) => {
+            Routed::Binary(200, encode::encode_row_table(&report.rows))
+        }
+        Ok(_) => Routed::Json(
+            406,
+            wire::error_body(
+                "not_acceptable",
+                "the binary row encoding is only defined for sweep results; request this kind as application/json",
+                None,
+            ),
+        ),
+        Err(error) => {
+            let (status, body) = wire::error_response(&error);
+            Routed::Json(status, body)
+        }
+    }
+}
+
+/// Serves `GET /v1/jobs/{id}/stream`: a chunked response of progress
+/// events and corner rows, flushed as the engine harvests them, ending
+/// in a terminal `done` / `error` / `canceled` event. A write failure
+/// (the peer hung up mid-stream) ends the handler immediately — the
+/// worker is freed and the job settles in the table like any other.
+fn stream_job(stream: &mut TcpStream, shared: &Shared, id: u64, format: Format) {
+    let progress = match shared.jobs.watch(id) {
+        Ok(progress) => progress,
+        Err(polled) => {
+            let (status, kind, message) = match polled {
+                Polled::Expired => (410, "job_expired", format!("job {id} has expired")),
+                _ => (404, "unknown_job", format!("no job {id}")),
+            };
+            let body = wire::error_body(kind, &message, None).render();
+            let _ = http::write_response(stream, status, &body, true);
+            return;
+        }
+    };
+    let content_type = match format {
+        Format::Json => "application/x-ndjson",
+        Format::Binary => encode::BINARY_CONTENT_TYPE,
+    };
+    if http::start_chunked(stream, 200, content_type).is_err() {
+        return;
+    }
+    let start = Json::obj([
+        ("event", Json::str("start")),
+        ("job", Json::from(id)),
+        ("total", Json::from(progress.total())),
+    ]);
+    if emit_event(stream, format, &start).is_err() {
+        return;
+    }
+    let mut seen = 0usize;
+    loop {
+        // Polling drives settlement (the job's handle is harvested under
+        // the table lock); waiting drains the row feed.
+        let _ = shared.jobs.poll(id);
+        let (rows, finished) = progress.wait(seen, READ_POLL);
+        for (offset, row) in rows.iter().enumerate() {
+            let written = match format {
+                Format::Json => emit_event(
+                    stream,
+                    format,
+                    &Json::obj([
+                        ("event", Json::str("row")),
+                        ("index", Json::from(seen + offset)),
+                        ("row", wire::render_row(row)),
+                    ]),
+                ),
+                Format::Binary => http::write_chunk(
+                    stream,
+                    &encode::frame(encode::FRAME_ROW, &encode::encode_row(row)),
+                ),
+            };
+            if written.is_err() {
+                return;
+            }
+        }
+        seen += rows.len();
+        if let Some(view) = finished {
+            let terminal = match view {
+                JobView::Done(result) => {
+                    Json::obj([("event", Json::str("done")), ("result", result)])
+                }
+                JobView::Failed(_, error) => {
+                    let mut fields = vec![("event".to_string(), Json::str("error"))];
+                    if let Json::Obj(error_fields) = error {
+                        fields.extend(error_fields);
+                    }
+                    Json::Obj(fields)
+                }
+                JobView::Canceled => Json::obj([("event", Json::str("canceled"))]),
+            };
+            if emit_event(stream, format, &terminal).is_ok() {
+                let _ = http::finish_chunked(stream);
+            }
+            return;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            let canceled = Json::obj([("event", Json::str("canceled"))]);
+            if emit_event(stream, format, &canceled).is_ok() {
+                let _ = http::finish_chunked(stream);
+            }
+            return;
+        }
+    }
+}
+
+/// One stream event: an ndjson line (JSON mode) or an event frame
+/// (binary mode).
+fn emit_event(stream: &mut TcpStream, format: Format, event: &Json) -> std::io::Result<()> {
+    match format {
+        Format::Json => {
+            let mut line = event.render();
+            line.push('\n');
+            http::write_chunk(stream, line.as_bytes())
+        }
+        Format::Binary => http::write_chunk(
+            stream,
+            &encode::frame(encode::FRAME_EVENT, event.render().as_bytes()),
+        ),
+    }
+}
+
+fn route_json(method: &str, request: &Request, shared: &Shared) -> (u16, Json) {
     match (method, request.path.as_str()) {
         ("GET", "/v1/healthz") => (200, Json::obj([("ok", Json::Bool(true))])),
         ("GET", "/v1/stats") => (200, stats_body(shared)),
@@ -497,23 +798,42 @@ fn route(request: &Request, shared: &Shared) -> (u16, Json) {
                 );
             };
             match shared.jobs.poll(id) {
-                None => (
+                Polled::Unknown => (
                     404,
-                    wire::error_body("unknown_job", &format!("no job {id} (expired?)"), None),
+                    wire::error_body("unknown_job", &format!("no job {id}"), None),
                 ),
-                Some(JobView::Pending) => (200, Json::obj([("status", Json::str("pending"))])),
-                Some(JobView::Done(result)) => (
+                // Distinct from never-issued: the job existed and its
+                // result aged out. `410 Gone` tells the poller to stop.
+                Polled::Expired => (
+                    410,
+                    wire::error_body(
+                        "job_expired",
+                        &format!("job {id} settled and its result expired"),
+                        None,
+                    ),
+                ),
+                Polled::Pending { age_ms, queued } => (
+                    200,
+                    Json::obj([
+                        ("status", Json::str("pending")),
+                        ("age_ms", Json::from(age_ms)),
+                        ("queued", Json::from(queued)),
+                    ]),
+                ),
+                Polled::Settled(JobView::Done(result)) => (
                     200,
                     Json::obj([("status", Json::str("done")), ("result", result)]),
                 ),
-                Some(JobView::Failed(_, error)) => {
+                Polled::Settled(JobView::Failed(_, error)) => {
                     let mut fields = vec![("status".to_string(), Json::str("error"))];
                     if let Json::Obj(error_fields) = error {
                         fields.extend(error_fields);
                     }
                     (200, Json::Obj(fields))
                 }
-                Some(JobView::Canceled) => (200, Json::obj([("status", Json::str("canceled"))])),
+                Polled::Settled(JobView::Canceled) => {
+                    (200, Json::obj([("status", Json::str("canceled"))]))
+                }
             }
         }
         // Any other method on a known route is a method error, not a
@@ -661,6 +981,7 @@ fn stats_body(shared: &Shared) -> Json {
                         ("settled", Json::from(jobs.settled)),
                         ("rejected", Json::from(jobs.rejected)),
                         ("submitted", Json::from(jobs.submitted)),
+                        ("expired", Json::from(jobs.expired)),
                     ]),
                 ),
             ]),

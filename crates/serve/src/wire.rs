@@ -693,7 +693,7 @@ fn render_flow(result: &FlowResult) -> Json {
     ])
 }
 
-fn render_corner(corner: &VariationCorner) -> Json {
+pub(crate) fn render_corner(corner: &VariationCorner) -> Json {
     Json::obj([
         (
             "tubes_per_4lambda",
@@ -705,7 +705,7 @@ fn render_corner(corner: &VariationCorner) -> Json {
     ])
 }
 
-fn render_row(row: &CornerRow) -> Json {
+pub(crate) fn render_row(row: &CornerRow) -> Json {
     Json::obj([
         ("cell", Json::str(&row.cell)),
         ("kind", Json::str(kind_name(row.kind))),

@@ -2,7 +2,7 @@
 //! port, driven over TCP by the bundled [`Client`].
 
 use cnfet_serve::json::Json;
-use cnfet_serve::{Client, ServeConfig, Server};
+use cnfet_serve::{encode, Client, Format, ServeConfig, Server, StreamEvent};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -52,11 +52,17 @@ fn healthz_run_and_stats_round_trip() {
     let server = server();
     let mut client = Client::new(server.addr());
 
-    let health = client.get("/v1/healthz").unwrap().expect_status(200);
+    let health = client
+        .request("GET", "/v1/healthz")
+        .send()
+        .unwrap()
+        .expect_status(200);
     assert_eq!(health.get("ok").unwrap().as_bool(), Some(true));
 
     let first = client
-        .post("/v1/run", &cell("nand3"))
+        .request("POST", "/v1/run")
+        .body(&cell("nand3"))
+        .send()
         .unwrap()
         .expect_status(200);
     assert_eq!(first.get("type").unwrap().as_str(), Some("cell"));
@@ -68,12 +74,18 @@ fn healthz_run_and_stats_round_trip() {
     );
 
     let again = client
-        .post("/v1/run", &cell("nand3"))
+        .request("POST", "/v1/run")
+        .body(&cell("nand3"))
+        .send()
         .unwrap()
         .expect_status(200);
     assert_eq!(again.get("cached").unwrap().as_bool(), Some(true));
 
-    let stats = client.get("/v1/stats").unwrap().expect_status(200);
+    let stats = client
+        .request("GET", "/v1/stats")
+        .send()
+        .unwrap()
+        .expect_status(200);
     assert_eq!(class_stat(&stats, "cell", "hits"), 1);
     assert_eq!(class_stat(&stats, "cell", "misses"), 1);
     assert_eq!(class_stat(&stats, "cell", "entries"), 1);
@@ -114,7 +126,12 @@ fn batch_preserves_order_and_carries_item_errors() {
             ]),
         ]),
     )]);
-    let results = client.post("/v1/batch", &body).unwrap().expect_status(200);
+    let results = client
+        .request("POST", "/v1/batch")
+        .body(&body)
+        .send()
+        .unwrap()
+        .expect_status(200);
     let results = results.get("results").unwrap().as_arr().unwrap();
     assert_eq!(results.len(), 3);
     assert_eq!(
@@ -147,7 +164,9 @@ fn submit_poll_and_job_expiry() {
     let mut client = Client::new(server.addr());
 
     let submitted = client
-        .post("/v1/submit", &small_sweep(7))
+        .request("POST", "/v1/submit")
+        .body(&small_sweep(7))
+        .send()
         .unwrap()
         .expect_status(202);
     let jobs = submitted.get("jobs").unwrap().as_arr().unwrap();
@@ -156,7 +175,8 @@ fn submit_poll_and_job_expiry() {
 
     let done = loop {
         let poll = client
-            .get(&format!("/v1/jobs/{id}"))
+            .request("GET", &format!("/v1/jobs/{id}"))
+            .send()
             .unwrap()
             .expect_status(200);
         match poll.get("status").unwrap().as_str() {
@@ -169,11 +189,24 @@ fn submit_poll_and_job_expiry() {
     assert_eq!(result.get("type").unwrap().as_str(), Some("sweep"));
     assert_eq!(result.get("rows").unwrap().as_arr().unwrap().len(), 4);
 
-    // Past the ttl the id is gone, exactly like one that never existed.
+    // Past the ttl the id answers a distinct `410 Gone` — the job was
+    // real, its result just expired — while an id that was never issued
+    // stays a plain 404.
     std::thread::sleep(Duration::from_millis(150));
-    let expired = client.get(&format!("/v1/jobs/{id}")).unwrap();
-    assert_eq!(expired.status, 404);
-    let missing = client.get("/v1/jobs/424242").unwrap();
+    let expired = client
+        .request("GET", &format!("/v1/jobs/{id}"))
+        .send()
+        .unwrap();
+    assert_eq!(expired.status, 410);
+    assert_eq!(
+        expired
+            .body
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("job_expired")
+    );
+    let missing = client.request("GET", "/v1/jobs/424242").send().unwrap();
     assert_eq!(missing.status, 404);
     server.shutdown();
 }
@@ -185,21 +218,33 @@ fn concurrent_clients_share_one_warm_cache() {
     // Client A pays for the sweep...
     let mut a = Client::new(server.addr());
     let first = a
-        .post("/v1/run", &small_sweep(1))
+        .request("POST", "/v1/run")
+        .body(&small_sweep(1))
+        .send()
         .unwrap()
         .expect_status(200);
-    let stats = a.get("/v1/stats").unwrap().expect_status(200);
+    let stats = a
+        .request("GET", "/v1/stats")
+        .send()
+        .unwrap()
+        .expect_status(200);
     let misses_after_first = class_stat(&stats, "sweeps", "misses");
     let hits_after_first = class_stat(&stats, "sweeps", "hits");
 
     // ...and client B, a separate TCP connection, replays it for free.
     let mut b = Client::new(server.addr());
     let second = b
-        .post("/v1/run", &small_sweep(1))
+        .request("POST", "/v1/run")
+        .body(&small_sweep(1))
+        .send()
         .unwrap()
         .expect_status(200);
     assert_eq!(second.render(), first.render(), "identical replay");
-    let stats = b.get("/v1/stats").unwrap().expect_status(200);
+    let stats = b
+        .request("GET", "/v1/stats")
+        .send()
+        .unwrap()
+        .expect_status(200);
     assert_eq!(
         class_stat(&stats, "sweeps", "misses"),
         misses_after_first,
@@ -229,7 +274,12 @@ fn tran_requests_run_the_mna_engine_over_the_wire() {
         ("t_stop", Json::from(1e-9)),
         ("probes", Json::Arr(vec![Json::str("out")])),
     ]);
-    let result = client.post("/v1/run", &request).unwrap().expect_status(200);
+    let result = client
+        .request("POST", "/v1/run")
+        .body(&request)
+        .send()
+        .unwrap()
+        .expect_status(200);
     assert_eq!(result.get("type").unwrap().as_str(), Some("tran"));
     let points = result.get("points").unwrap().as_u64().unwrap();
     assert!(points > 10, "a real waveform came back ({points} points)");
@@ -252,7 +302,11 @@ fn tran_requests_run_the_mna_engine_over_the_wire() {
         ("dt", Json::from(1e-11)),
         ("t_stop", Json::from(1e-10)),
     ]);
-    let refused = client.post("/v1/run", &singular).unwrap();
+    let refused = client
+        .request("POST", "/v1/run")
+        .body(&singular)
+        .send()
+        .unwrap();
     assert_eq!(refused.status, 422);
     let error = refused.body.get("error").unwrap();
     assert_eq!(error.get("kind").unwrap().as_str(), Some("sim_singular"));
@@ -265,7 +319,11 @@ fn tran_requests_run_the_mna_engine_over_the_wire() {
         ("t_stop", Json::from(1e-10)),
         ("probes", Json::Arr(vec![Json::str("nope")])),
     ]);
-    let refused = client.post("/v1/run", &bad_probe).unwrap();
+    let refused = client
+        .request("POST", "/v1/run")
+        .body(&bad_probe)
+        .send()
+        .unwrap();
     assert_eq!(refused.status, 422);
     let error = refused.body.get("error").unwrap();
     assert_eq!(error.get("kind").unwrap().as_str(), Some("deck"));
@@ -290,7 +348,12 @@ fn json_escaping_survives_the_round_trip() {
         ("kind", Json::str("inv")),
         ("name", Json::str(name)),
     ]);
-    let result = client.post("/v1/run", &request).unwrap().expect_status(200);
+    let result = client
+        .request("POST", "/v1/run")
+        .body(&request)
+        .send()
+        .unwrap()
+        .expect_status(200);
     assert_eq!(result.get("name").unwrap().as_str(), Some(name));
     server.shutdown();
 }
@@ -301,7 +364,11 @@ fn malformed_requests_answer_structured_400s() {
     let mut client = Client::new(server.addr());
 
     // Broken JSON: the error names the byte position.
-    let response = client.post("/v1/run", &Json::str("placeholder")).unwrap();
+    let response = client
+        .request("POST", "/v1/run")
+        .body(&Json::str("placeholder"))
+        .send()
+        .unwrap();
     assert_eq!(response.status, 400, "a bare string is not a request");
     let raw = raw_request(
         server.addr(),
@@ -312,10 +379,12 @@ fn malformed_requests_answer_structured_400s() {
 
     // Well-formed JSON, semantically wrong: the error names the field.
     let response = client
-        .post(
-            "/v1/run",
-            &Json::obj([("type", Json::str("cell")), ("kind", Json::str("frob"))]),
-        )
+        .request("POST", "/v1/run")
+        .body(&Json::obj([
+            ("type", Json::str("cell")),
+            ("kind", Json::str("frob")),
+        ]))
+        .send()
         .unwrap();
     assert_eq!(response.status, 400);
     let message = response
@@ -330,10 +399,32 @@ fn malformed_requests_answer_structured_400s() {
     assert!(message.starts_with("kind:"), "{message}");
 
     // Unknown routes and unsupported methods.
-    assert_eq!(client.get("/v1/frobnicate").unwrap().status, 404);
-    assert_eq!(client.get("/v1/run").unwrap().status, 405);
-    assert_eq!(client.post("/v1/healthz", &Json::Null).unwrap().status, 405);
-    assert_eq!(client.get("/v1/jobs/notanumber").unwrap().status, 400);
+    assert_eq!(
+        client
+            .request("GET", "/v1/frobnicate")
+            .send()
+            .unwrap()
+            .status,
+        404
+    );
+    assert_eq!(client.request("GET", "/v1/run").send().unwrap().status, 405);
+    assert_eq!(
+        client
+            .request("POST", "/v1/healthz")
+            .body(&Json::Null)
+            .send()
+            .unwrap()
+            .status,
+        405
+    );
+    assert_eq!(
+        client
+            .request("GET", "/v1/jobs/notanumber")
+            .send()
+            .unwrap()
+            .status,
+        400
+    );
 
     // A request that is not HTTP at all.
     let raw = raw_request(server.addr(), "EHLO wire\r\n\r\n");
@@ -405,7 +496,11 @@ fn submit_backpressure_answers_429_and_recovers() {
     // Capacity zero: always refused — deterministic backpressure.
     let server = Server::start(ServeConfig::default().addr("127.0.0.1:0").job_capacity(0)).unwrap();
     let mut client = Client::new(server.addr());
-    let refused = client.post("/v1/submit", &cell("inv")).unwrap();
+    let refused = client
+        .request("POST", "/v1/submit")
+        .body(&cell("inv"))
+        .send()
+        .unwrap();
     assert_eq!(refused.status, 429);
     assert_eq!(
         refused
@@ -423,7 +518,9 @@ fn submit_backpressure_answers_429_and_recovers() {
     let server = Server::start(ServeConfig::default().addr("127.0.0.1:0").job_capacity(1)).unwrap();
     let mut client = Client::new(server.addr());
     let first = client
-        .post("/v1/submit", &small_sweep(2))
+        .request("POST", "/v1/submit")
+        .body(&small_sweep(2))
+        .send()
         .unwrap()
         .expect_status(202);
     let id = first.get("jobs").unwrap().as_arr().unwrap()[0]
@@ -432,7 +529,8 @@ fn submit_backpressure_answers_429_and_recovers() {
     // Poll the job to completion, then the table has room again.
     loop {
         let poll = client
-            .get(&format!("/v1/jobs/{id}"))
+            .request("GET", &format!("/v1/jobs/{id}"))
+            .send()
             .unwrap()
             .expect_status(200);
         if poll.get("status").unwrap().as_str() != Some("pending") {
@@ -441,7 +539,9 @@ fn submit_backpressure_answers_429_and_recovers() {
         std::thread::sleep(Duration::from_millis(5));
     }
     client
-        .post("/v1/submit", &cell("inv"))
+        .request("POST", "/v1/submit")
+        .body(&cell("inv"))
+        .send()
         .unwrap()
         .expect_status(202);
     server.shutdown();
@@ -466,7 +566,12 @@ fn graceful_shutdown_cancels_queued_jobs() {
             ("metrics", Json::str("immunity")),
             ("mc", Json::obj([("tubes", Json::from(50_000u64))])),
         ]);
-        client.post("/v1/submit", &slow).unwrap().expect_status(202);
+        client
+            .request("POST", "/v1/submit")
+            .body(&slow)
+            .send()
+            .unwrap()
+            .expect_status(202);
     }
     let report = server.shutdown();
     assert!(
@@ -480,7 +585,11 @@ fn shutdown_refuses_new_connections() {
     let server = server();
     let addr = server.addr();
     let mut client = Client::new(addr);
-    client.get("/v1/healthz").unwrap().expect_status(200);
+    client
+        .request("GET", "/v1/healthz")
+        .send()
+        .unwrap()
+        .expect_status(200);
     server.shutdown();
     // The listener is gone: connects fail outright (or are reset before
     // a response arrives).
@@ -495,6 +604,340 @@ fn shutdown_refuses_new_connections() {
         }
     });
     assert!(after.is_err(), "no server behind the address anymore");
+}
+
+#[test]
+fn streamed_sweep_matches_the_buffered_report() {
+    let server = server();
+    let mut client = Client::new(server.addr());
+
+    // Cold sweep: every row must arrive as its own event, in report
+    // order, strictly before the terminal `done`.
+    let mut events = Vec::new();
+    client
+        .submit_and_stream(&small_sweep(11), Format::Json, |event| events.push(event))
+        .unwrap();
+    let mut streamed_rows = Vec::new();
+    let mut total = 0;
+    let mut done = None;
+    for (at, event) in events.iter().enumerate() {
+        match event {
+            StreamEvent::Start { total: t, .. } => {
+                assert_eq!(at, 0, "start comes first");
+                total = *t;
+            }
+            StreamEvent::Row { index, row } => {
+                assert!(done.is_none(), "rows precede the terminal event");
+                assert_eq!(*index, streamed_rows.len() as u64, "rows are in order");
+                streamed_rows.push(row.clone());
+            }
+            StreamEvent::Done(result) => done = Some(result.clone()),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    assert_eq!(total, 4);
+    assert_eq!(streamed_rows.len(), 4, "every corner row was streamed");
+    let done = done.expect("terminal done event");
+
+    // The buffered report — a pure cache hit now — is row-identical to
+    // what was streamed, and to the `done` payload.
+    let buffered = client
+        .request("POST", "/v1/run")
+        .body(&small_sweep(11))
+        .send()
+        .unwrap()
+        .expect_status(200);
+    let buffered_rows = buffered.get("rows").unwrap().as_arr().unwrap();
+    for (streamed, buffered) in streamed_rows.iter().zip(buffered_rows) {
+        assert_eq!(streamed.render(), buffered.render());
+    }
+    assert_eq!(
+        done.get("rows").unwrap().as_arr().unwrap().len(),
+        4,
+        "the done payload carries the full report"
+    );
+
+    // Streaming a whole-report cache hit back-fills the same rows.
+    let mut replayed = Vec::new();
+    client
+        .submit_and_stream(&small_sweep(11), Format::Json, |event| {
+            if let StreamEvent::Row { row, .. } = event {
+                replayed.push(row);
+            }
+        })
+        .unwrap();
+    assert_eq!(replayed.len(), 4);
+    for (replayed, streamed) in replayed.iter().zip(&streamed_rows) {
+        assert_eq!(replayed.render(), streamed.render());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn binary_rows_reassemble_identical_to_json() {
+    let server = server();
+    let mut client = Client::new(server.addr());
+
+    // Buffered: the binary row table decodes to exactly the JSON rows.
+    let json_report = client
+        .request("POST", "/v1/run")
+        .body(&small_sweep(12))
+        .send()
+        .unwrap()
+        .expect_status(200);
+    let json_rows = json_report.get("rows").unwrap().as_arr().unwrap();
+    let binary = client
+        .request("POST", "/v1/run")
+        .body(&small_sweep(12))
+        .accept(Format::Binary)
+        .send()
+        .unwrap();
+    assert_eq!(binary.status, 200);
+    assert_eq!(binary.content_type, "application/x-cnfet-rows");
+    assert_eq!(binary.body, Json::Null, "binary responses skip the parser");
+    let decoded = encode::decode_row_table(&binary.bytes).unwrap();
+    assert_eq!(decoded.len(), json_rows.len());
+    for (decoded, json) in decoded.iter().zip(json_rows) {
+        assert_eq!(decoded.render(), json.render());
+    }
+
+    // Streamed: binary frames decode to the same rows too.
+    let mut streamed = Vec::new();
+    client
+        .submit_and_stream(&small_sweep(12), Format::Binary, |event| {
+            if let StreamEvent::Row { row, .. } = event {
+                streamed.push(row);
+            }
+        })
+        .unwrap();
+    assert_eq!(streamed.len(), json_rows.len());
+    for (streamed, json) in streamed.iter().zip(json_rows) {
+        assert_eq!(streamed.render(), json.render());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn format_negotiation_answers_406_when_it_cannot_deliver() {
+    let server = server();
+    let mut client = Client::new(server.addr());
+
+    // An Accept naming no supported format.
+    let raw = raw_request(
+        server.addr(),
+        "GET /v1/stats HTTP/1.1\r\naccept: text/html\r\nconnection: close\r\n\r\n",
+    );
+    assert!(raw.starts_with("HTTP/1.1 406"), "{raw}");
+    assert!(raw.contains("not_acceptable"), "{raw}");
+
+    // The binary encoding is defined only for sweep results: asking for
+    // it on stats, or on a non-sweep run, is also 406.
+    let raw = raw_request(
+        server.addr(),
+        "GET /v1/stats HTTP/1.1\r\naccept: application/x-cnfet-rows\r\nconnection: close\r\n\r\n",
+    );
+    assert!(raw.starts_with("HTTP/1.1 406"), "{raw}");
+    let refused = client
+        .request("POST", "/v1/run")
+        .body(&cell("inv"))
+        .accept(Format::Binary)
+        .send()
+        .unwrap();
+    assert_eq!(refused.status, 406);
+
+    // A wildcard or weighted JSON Accept still negotiates fine — curl's
+    // default `*/*` must keep working.
+    let raw = raw_request(
+        server.addr(),
+        "GET /v1/healthz HTTP/1.1\r\naccept: */*\r\nconnection: close\r\n\r\n",
+    );
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    let raw = raw_request(
+        server.addr(),
+        "GET /v1/healthz HTTP/1.1\r\naccept: application/json;q=0.9, text/html\r\nconnection: close\r\n\r\n",
+    );
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    server.shutdown();
+}
+
+#[test]
+fn mid_stream_disconnect_frees_the_worker() {
+    // One engine worker: if a dropped stream connection pinned it, the
+    // follow-up requests below would hang.
+    let server =
+        Server::start(ServeConfig::default().addr("127.0.0.1:0").engine_workers(1)).unwrap();
+    let mut client = Client::new(server.addr());
+    let slow = Json::obj([
+        ("type", Json::str("sweep")),
+        ("cells", Json::Arr(vec![cell_fields("aoi22")])),
+        (
+            "grid",
+            Json::obj([("seeds", [31u64, 32].into_iter().collect::<Json>())]),
+        ),
+        ("metrics", Json::str("immunity")),
+        ("mc", Json::obj([("tubes", Json::from(20_000u64))])),
+    ]);
+    let submitted = client
+        .request("POST", "/v1/submit")
+        .body(&slow)
+        .send()
+        .unwrap()
+        .expect_status(202);
+    let id = submitted.get("jobs").unwrap().as_arr().unwrap()[0]
+        .as_u64()
+        .unwrap();
+
+    // While the only worker grinds on the sweep, a queued poll reports
+    // pending with its backoff metadata.
+    let poll = client
+        .request("GET", &format!("/v1/jobs/{id}"))
+        .send()
+        .unwrap()
+        .expect_status(200);
+    if poll.get("status").unwrap().as_str() == Some("pending") {
+        assert!(poll.get("age_ms").and_then(Json::as_u64).is_some());
+        assert!(poll.get("queued").and_then(Json::as_u64).is_some());
+    }
+
+    // Open the stream raw, read the head + first bytes, then vanish.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(
+            format!("GET /v1/jobs/{id}/stream HTTP/1.1\r\ncontent-length: 0\r\n\r\n").as_bytes(),
+        )
+        .unwrap();
+    let mut first = [0u8; 64];
+    stream.read_exact(&mut first).unwrap();
+    assert!(first.starts_with(b"HTTP/1.1 200"));
+    drop(stream);
+
+    // The server stays responsive and the job still settles.
+    client
+        .request("GET", "/v1/healthz")
+        .send()
+        .unwrap()
+        .expect_status(200);
+    loop {
+        let poll = client
+            .request("GET", &format!("/v1/jobs/{id}"))
+            .send()
+            .unwrap()
+            .expect_status(200);
+        match poll.get("status").unwrap().as_str() {
+            Some("pending") => std::thread::sleep(Duration::from_millis(10)),
+            Some("done") => break,
+            other => panic!("job ended {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+/// A fresh path in the target dir for snapshot files — unique per test
+/// so parallel runs never collide.
+fn scratch_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cnfet-wire-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn snapshot_warm_boot_replays_as_pure_hits() {
+    let path = scratch_path("warm.snap");
+    let _ = std::fs::remove_file(&path);
+
+    // Server 1 pays for the sweep, then persists it on shutdown.
+    let server = Server::start(ServeConfig::default().addr("127.0.0.1:0").snapshot(&path)).unwrap();
+    let mut client = Client::new(server.addr());
+    let report = client
+        .request("POST", "/v1/run")
+        .body(&small_sweep(21))
+        .send()
+        .unwrap()
+        .expect_status(200);
+    server.shutdown();
+    assert!(path.exists(), "graceful shutdown wrote the snapshot");
+
+    // Server 2 warm-boots from it: the same sweep replays without a
+    // single new miss, byte-identical.
+    let server = Server::start(ServeConfig::default().addr("127.0.0.1:0").snapshot(&path)).unwrap();
+    let mut client = Client::new(server.addr());
+    let stats = client
+        .request("GET", "/v1/stats")
+        .send()
+        .unwrap()
+        .expect_status(200);
+    let misses_at_boot = class_stat(&stats, "sweeps", "misses");
+    let replay = client
+        .request("POST", "/v1/run")
+        .body(&small_sweep(21))
+        .send()
+        .unwrap()
+        .expect_status(200);
+    assert_eq!(replay.render(), report.render(), "deterministic replay");
+    let stats = client
+        .request("GET", "/v1/stats")
+        .send()
+        .unwrap()
+        .expect_status(200);
+    assert_eq!(
+        class_stat(&stats, "sweeps", "misses"),
+        misses_at_boot,
+        "the warm-booted sweep executed nothing"
+    );
+    assert!(class_stat(&stats, "sweeps", "hits") >= 1);
+    server.shutdown();
+
+    // A corrupt snapshot degrades to a cold boot, never a crash.
+    let corrupt = scratch_path("corrupt.snap");
+    std::fs::write(&corrupt, b"not a snapshot at all").unwrap();
+    let server = Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .snapshot(&corrupt),
+    )
+    .unwrap();
+    let mut client = Client::new(server.addr());
+    let stats = client
+        .request("GET", "/v1/stats")
+        .send()
+        .unwrap()
+        .expect_status(200);
+    assert_eq!(class_stat(&stats, "sweeps", "entries"), 0, "cold boot");
+    server.shutdown();
+
+    // So does a version-mismatched one (future format rev).
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    let future = scratch_path("future.snap");
+    std::fs::write(&future, bytes).unwrap();
+    let server =
+        Server::start(ServeConfig::default().addr("127.0.0.1:0").snapshot(&future)).unwrap();
+    let mut client = Client::new(server.addr());
+    let stats = client
+        .request("GET", "/v1/stats")
+        .send()
+        .unwrap()
+        .expect_status(200);
+    assert_eq!(class_stat(&stats, "sweeps", "entries"), 0, "cold boot");
+    server.shutdown();
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_get_post_shims_still_answer() {
+    // The 0.3 surface keeps working through the 0.4 deprecation cycle.
+    let server = server();
+    let mut client = Client::new(server.addr());
+    client.get("/v1/healthz").unwrap().expect_status(200);
+    let result = client
+        .post("/v1/run", &cell("inv"))
+        .unwrap()
+        .expect_status(200);
+    assert_eq!(result.get("type").unwrap().as_str(), Some("cell"));
+    server.shutdown();
 }
 
 /// Sends raw bytes and returns the raw response — for malformed-HTTP

@@ -339,6 +339,61 @@ impl<K: Clone + Eq + Hash, V: Clone> ShardedCache<K, V> {
         state.len -= 1;
     }
 
+    /// Clones every resident `(key, value)` pair, shard by shard — the
+    /// export half of cache snapshotting ([`crate::snapshot`]). Each
+    /// shard is locked once; builds in flight when their shard is
+    /// visited are simply not included. Order is shard-major and
+    /// arbitrary within a shard.
+    pub(crate) fn export(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let state = shard.state.lock().expect("cache shard lock");
+            for bucket in state.buckets.values() {
+                for (key, entry) in bucket {
+                    out.push((key.clone(), entry.value.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Inserts one entry directly, bypassing the builder — the import
+    /// half of cache snapshotting (warm boot). The insert is counted as
+    /// a miss, preserving the per-shard invariant
+    /// `misses >= entries + evictions` (the miss was paid by whoever
+    /// built the snapshotted value, in a previous process). A key that
+    /// is already resident is left untouched (no hit or miss counted),
+    /// capacity is enforced with the usual LRU eviction, and a disabled
+    /// cache (`capacity == 0`) ignores the seed entirely.
+    pub(crate) fn seed(&self, key: K, value: V) {
+        if self.shard_capacity == 0 {
+            return;
+        }
+        let hash = Self::hash_of(&key);
+        let shard = &self.shards[(hash as usize) & self.mask];
+        let mut state = shard.state.lock().expect("cache shard lock");
+        if let Some(bucket) = state.buckets.get(&hash) {
+            if bucket.iter().any(|(k, _)| k == &key) {
+                return;
+            }
+        }
+        state.tick += 1;
+        let tick = state.tick;
+        state.buckets.entry(hash).or_default().push((
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        ));
+        state.len += 1;
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        while state.len > self.shard_capacity {
+            Self::evict_lru(&mut state);
+            shard.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Entries currently resident across all shards.
     pub(crate) fn len(&self) -> usize {
         self.shards
@@ -542,6 +597,45 @@ mod tests {
         });
         let stats = cache.stats();
         assert_eq!(stats.hits + stats.misses, 8000);
+    }
+
+    #[test]
+    fn export_and_seed_round_trip() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(16, 4);
+        cache.get_or_build(&1, ok(10)).unwrap();
+        cache.get_or_build(&2, ok(20)).unwrap();
+        let mut entries = cache.export();
+        entries.sort_unstable();
+        assert_eq!(entries, vec![(1, 10), (2, 20)]);
+
+        let warm: ShardedCache<u32, u32> = ShardedCache::new(16, 4);
+        for (k, v) in entries {
+            warm.seed(k, v);
+        }
+        // Seeded entries are pure hits, and the invariant held at boot.
+        assert_eq!(warm.get_or_build(&1, ok(99)).unwrap(), (10, true));
+        assert_eq!(warm.get_or_build(&2, ok(99)).unwrap(), (20, true));
+        let stats = warm.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.misses, 2, "each seed counts as a paid miss");
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn seed_respects_capacity_residency_and_disablement() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(2, 1);
+        cache.seed(1, 1);
+        cache.seed(1, 42);
+        assert_eq!(cache.get_or_build(&1, ok(0)).unwrap(), (1, true));
+        cache.seed(2, 2);
+        cache.seed(3, 3);
+        assert_eq!(cache.len(), 2, "seeding past capacity evicts LRU");
+        assert_eq!(cache.stats().evictions, 1);
+
+        let off: ShardedCache<u32, u32> = ShardedCache::new(0, 1);
+        off.seed(1, 1);
+        assert_eq!(off.len(), 0);
+        assert_eq!(off.stats().misses, 0, "disabled cache ignores seeds");
     }
 
     #[test]

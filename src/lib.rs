@@ -47,7 +47,10 @@
 //! `::library`, `::immunity`, `::flow`, `::generate_batch`) were
 //! deprecated in 0.2.0 and are **removed** as of 0.3.0 — migrate
 //! `session.generate(&r)` to `session.run(&r)`, and `generate_batch` to
-//! [`Session::run_batch`] / [`Session::submit_all`].
+//! [`Session::run_batch`] / [`Session::submit_all`]. The same
+//! one-release policy applies to the 0.4.0 wire-client deprecations:
+//! `cnfet_serve::Client::get`/`::post` give way to the
+//! `Client::request(…)` builder and will be removed in 0.5.
 //!
 //! # Quickstart
 //!
@@ -131,6 +134,7 @@ mod error;
 mod jobs;
 mod request;
 mod session;
+pub mod snapshot;
 mod steal;
 pub mod sweep;
 
@@ -143,7 +147,8 @@ pub use session::{
     ImmunityReport, ImmunityRequest, LibraryRequest, RequestStats, Session, SessionBuilder,
     SessionStats, SimSpec, TranRequest, TranResult,
 };
+pub use snapshot::SnapshotError;
 pub use sweep::{
-    CornerRow, CornerSummary, SweepCornerRequest, SweepMetrics, SweepReport, SweepRequest,
-    VariationCorner, VariationGrid,
+    CornerRow, CornerSummary, RowObserver, SweepCornerRequest, SweepMetrics, SweepReport,
+    SweepRequest, VariationCorner, VariationGrid,
 };

@@ -590,6 +590,19 @@ pub enum RequestKind {
 }
 
 impl RequestKind {
+    /// The wrapped sweep, if this is a [`RequestKind::Sweep`]. Mutable so
+    /// embedders can attach a
+    /// [`RowObserver`](crate::sweep::RowObserver) to a sweep arriving as
+    /// a heterogeneous submission (the serve tier's job streaming does
+    /// exactly this before handing the mix to
+    /// [`Session::submit_all`](crate::Session::submit_all)).
+    pub fn as_sweep_mut(&mut self) -> Option<&mut SweepRequest> {
+        match self {
+            RequestKind::Sweep(r) => Some(r),
+            _ => None,
+        }
+    }
+
     /// Which request class this wraps, or `None` for the uncached
     /// [`RequestKind::Tran`].
     pub fn class(&self) -> Option<RequestClass> {

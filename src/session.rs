@@ -494,7 +494,7 @@ pub(crate) enum CellKey {
 /// request's `Output`, recovered by downcast in [`Session::run`] — safe
 /// because [`CacheKey`](crate::CacheKey)s are class-tagged and each class
 /// has exactly one output type.
-type CachedValue = Arc<dyn Any + Send + Sync>;
+pub(crate) type CachedValue = Arc<dyn Any + Send + Sync>;
 
 // ---------------------------------------------------------------------------
 // Builder
@@ -776,6 +776,45 @@ impl Session {
         for cache in &self.core.caches {
             cache.clear();
         }
+    }
+
+    /// The type-erased cache of one request class — the seam
+    /// [`crate::snapshot`] exports from and seeds into.
+    pub(crate) fn class_cache(
+        &self,
+        class: RequestClass,
+    ) -> &ShardedCache<crate::request::CacheKey, CachedValue> {
+        &self.core.caches[class.index()]
+    }
+
+    /// Serializes the session's sweep-class cache — whole
+    /// [`SweepReport`](crate::SweepReport)s and their per-corner rows —
+    /// to a versioned snapshot file, atomically (written to a sibling
+    /// temp file and renamed into place). See [`crate::snapshot`] for
+    /// the format and the warm-boot contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing or renaming the file.
+    pub fn save_snapshot(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<usize> {
+        crate::snapshot::save(self, path.as_ref())
+    }
+
+    /// Seeds the session's sweep-class cache from a snapshot file
+    /// written by [`Session::save_snapshot`], returning the number of
+    /// entries restored. Restored entries replay as pure cache hits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`](crate::snapshot::SnapshotError) when
+    /// the file cannot be read, has a mismatched magic/version, or is
+    /// truncated/corrupt. The session is usable either way — a failed
+    /// load leaves it exactly as cold as it was.
+    pub fn load_snapshot(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::result::Result<usize, crate::snapshot::SnapshotError> {
+        crate::snapshot::load(self, path.as_ref())
     }
 
     /// Resolves a cell request's options against the session defaults.

@@ -273,6 +273,48 @@ impl Default for SweepMetrics {
 }
 
 // ---------------------------------------------------------------------------
+// Row observation
+// ---------------------------------------------------------------------------
+
+/// A callback invoked with each harvested [`CornerRow`] of an executing
+/// sweep, in row order (cell-major over the canonical corner sequence —
+/// exactly the order of [`SweepReport::rows`]). This is the hook
+/// incremental-delivery front ends (the `cnfet-serve` job streaming
+/// endpoint) use to flush rows as corners complete instead of waiting
+/// for the whole report.
+///
+/// The observer is **not** part of the sweep's identity: it is excluded
+/// from the cache key, so an observed and an unobserved sweep share one
+/// memoized report. Consequently the observer only fires when the sweep
+/// actually *executes* — a whole-report cache hit skips execution, and
+/// the caller already holds every row in the report it received.
+#[derive(Clone)]
+pub struct RowObserver(RowCallback);
+
+/// The shared callback behind a [`RowObserver`].
+type RowCallback = Arc<dyn Fn(usize, &CornerRow) + Send + Sync>;
+
+impl RowObserver {
+    /// Wraps a callback. It may be called from whichever thread executes
+    /// the sweep and must not block for long — it runs inside the
+    /// harvest loop, between corner completions.
+    pub fn new(f: impl Fn(usize, &CornerRow) + Send + Sync + 'static) -> RowObserver {
+        RowObserver(Arc::new(f))
+    }
+
+    /// Invokes the callback for row `index`.
+    pub(crate) fn notify(&self, index: usize, row: &CornerRow) {
+        (self.0)(index, row);
+    }
+}
+
+impl std::fmt::Debug for RowObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RowObserver")
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Requests
 // ---------------------------------------------------------------------------
 
@@ -306,6 +348,9 @@ pub struct SweepRequest {
     pub mc: McOptions,
     /// Output loads for timing/liberty characterization, farads.
     pub loads_f: Vec<f64>,
+    /// Per-row progress hook; excluded from the cache key (see
+    /// [`RowObserver`]).
+    observer: Option<RowObserver>,
 }
 
 impl SweepRequest {
@@ -318,6 +363,7 @@ impl SweepRequest {
             metrics: SweepMetrics::ALL,
             mc: McOptions::default(),
             loads_f: vec![1e-15],
+            observer: None,
         }
     }
 
@@ -347,6 +393,20 @@ impl SweepRequest {
     pub fn loads(mut self, loads_f: impl IntoIterator<Item = f64>) -> SweepRequest {
         self.loads_f = loads_f.into_iter().collect();
         self
+    }
+
+    /// Attaches a per-row progress observer (see [`RowObserver`] for the
+    /// ordering and cache-interaction contract).
+    #[must_use]
+    pub fn observe_rows(mut self, observer: RowObserver) -> SweepRequest {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Total rows this sweep will produce: cells × grid corners. The
+    /// count a streaming consumer should expect before the report lands.
+    pub fn row_count(&self) -> usize {
+        self.cells.len() * self.grid.len()
     }
 
     /// The per-corner sub-request of one (cell, corner) pair.
@@ -554,11 +614,15 @@ pub(crate) fn execute_sweep(request: &SweepRequest, session: &Session) -> Result
                 }
             }
         }?;
-        rows.push(
-            response
-                .into_sweep_corner()
-                .expect("corner submissions resolve to corner rows"),
-        );
+        let row = response
+            .into_sweep_corner()
+            .expect("corner submissions resolve to corner rows");
+        // Flush the row to any observer before moving on to the next
+        // handle: rows stream in exactly the `SweepReport::rows` order.
+        if let Some(observer) = &request.observer {
+            observer.notify(rows.len(), &row);
+        }
+        rows.push(row);
     }
     Ok(Arc::new(assemble(request.cells.len(), corners, rows)))
 }
