@@ -1,21 +1,23 @@
 //! Bench: the `Session` engine — cold vs cached vs batched generation of
 //! the full `StdCellKind::ALL` × scheme request matrix, the library
 //! build, a contended multi-thread hit path, a skewed batch, a
-//! heterogeneous `submit_all` mix riding the persistent job pool, and a
-//! composite variation sweep, plus the MNA engine's cold transient and
-//! characterization-sweep workloads. This is the baseline future perf
-//! PRs (sharding, async serving) must not regress; CI gates the
-//! `cached_*`/`contended_*`/`mixed_batch_*`/`sweep_grid_cached*`/
-//! `sweep_grid_mna*`/`tran_inverter_cold` samples through
-//! `check_regression`.
+//! heterogeneous `submit_all` mix riding the persistent job pool, the
+//! composite variation sweep and 1000-die repair-lot workloads (cold,
+//! cached, and the SAT-solver escalation), plus the MNA engine's cold
+//! transient and characterization-sweep workloads. This is the baseline
+//! future perf PRs (sharding, async serving) must not regress; CI gates
+//! the `cached_*`/`contended_*`/`mixed_batch_*`/
+//! `repair_1000_dies_cached`/`sweep_grid_cached*`/`sweep_grid_mna*`/
+//! `tran_inverter_cold` samples through `check_regression`.
 
 use cnfet::core::{GenerateOptions, Scheme, StdCellKind};
 use cnfet::device::Polarity;
 use cnfet::dk::DesignKit;
+use cnfet::repair::DefectParams;
 use cnfet::spice::{Circuit, Waveform};
 use cnfet::{
-    CellRequest, FlowRequest, FlowSource, ImmunityRequest, LibraryRequest, RequestKind, Session,
-    SweepMetrics, SweepRequest, VariationGrid,
+    CellRequest, FlowRequest, FlowSource, ImmunityRequest, LibraryRequest, RepairRequest,
+    RequestKind, Session, SweepMetrics, SweepRequest, VariationGrid,
 };
 use cnfet_bench::harness::Harness;
 use std::sync::Arc;
@@ -238,6 +240,50 @@ fn main() {
     h.bench("sweep_grid_mna_3c4k", 10, || {
         let session = Session::new();
         session.run(&mna_sweep).unwrap()
+    });
+
+    // Repair lot: the second composite — 1000 dies of per-die defect
+    // sampling + site testing + matching, fanned out through the pool.
+    // Cold is informational; the cached sample (a pure Repairs-class
+    // whole-report hit) is gated like the sweep's.
+    let lot = RepairRequest::new([StdCellKind::Inv, StdCellKind::Nand(2), StdCellKind::Nor(2)])
+        .dies(1000)
+        .base_seed(0xB0BBA)
+        .spares(2)
+        .params(DefectParams {
+            metallic_fraction: 0.05,
+            misposition_fraction: 0.2,
+            ..DefectParams::default()
+        });
+    h.bench("repair_1000_dies_cold", 10, || {
+        let session = Session::new();
+        session.run(&lot).unwrap()
+    });
+    let warm_repair = Session::new();
+    warm_repair.run(&lot).unwrap();
+    h.bench("repair_1000_dies_cached", 200, || {
+        warm_repair.run(&lot).unwrap()
+    });
+
+    // SAT fallback: the same defect mix under adjacency constraints, so
+    // every die routes through the DPLL solver instead of matching —
+    // informational, it times the solver escalation itself.
+    let constrained =
+        RepairRequest::new([StdCellKind::Inv, StdCellKind::Nand(2), StdCellKind::Nor(2)])
+            .dies(100)
+            .base_seed(0xB0BBA)
+            .spares(2)
+            .params(DefectParams {
+                metallic_fraction: 0.05,
+                misposition_fraction: 0.2,
+                ..DefectParams::default()
+            })
+            .adjacent([(0, 1), (1, 2)]);
+    h.bench("repair_sat_fallback_100_dies", 10, || {
+        let session = Session::new();
+        let report = session.run(&constrained).unwrap();
+        assert!(report.dies.iter().all(|d| d.solver == "sat"));
+        report
     });
 
     // Library build: cold (fresh session) vs memoized.

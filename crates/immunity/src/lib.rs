@@ -43,7 +43,7 @@ pub mod region;
 pub mod verdict;
 
 pub use cert::{certify, CertReport};
-pub use mc::{simulate, McOptions, McReport, Witness};
+pub use mc::{simulate, trace_polyline, McOptions, McReport, Witness};
 pub use metallic::{metallic_yield, MetallicProcess};
 pub use region::{build_columns, ColumnMap, RegionKind, Slab};
 pub use verdict::{Judge, Segment, Verdict};

@@ -118,7 +118,7 @@ pub fn simulate(sem: &SemanticLayout, opts: &McOptions) -> McReport {
             poly.push((x, y));
         }
 
-        if let Some(seg) = first_harmful_segment(&cm, &poly, &mut judge, metallic) {
+        if let Some(seg) = trace_polyline(&cm, &poly, &mut judge, metallic) {
             failures += 1;
             if metallic {
                 metallic_failures += 1;
@@ -140,10 +140,20 @@ pub fn simulate(sem: &SemanticLayout, opts: &McOptions) -> McReport {
     }
 }
 
-/// Traces a polyline and returns its first harmful conduction segment.
+/// Traces an x-monotone polyline through a region decomposition and
+/// returns its first harmful conduction segment, or `None` when every
+/// contact-to-contact segment it creates is harmless.
+///
 /// A `metallic` tube conducts with its gates stuck on: any segment
-/// between distinct nets is harmful no matter what sits over it.
-fn first_harmful_segment(
+/// between distinct nets is harmful no matter what sits over it. For a
+/// semiconducting tube each segment is judged with the full
+/// [`Judge::classify`] superset criterion.
+///
+/// This is the verdict seam the Monte-Carlo engine samples through; it
+/// is public so per-die defect-map testers (the `cnfet-repair` crate)
+/// can evaluate *explicit* tube populations against a layout with
+/// exactly the same machinery.
+pub fn trace_polyline(
     cm: &ColumnMap,
     poly: &[(f64, f64)],
     judge: &mut Judge<'_>,

@@ -1,0 +1,281 @@
+//! The repair core: logical cells onto healthy physical sites.
+//!
+//! A [`Problem`] is the compatibility matrix a die's site testing
+//! produced plus any adjacency constraints, and [`solve`] routes it to
+//! one of two interchangeable solvers:
+//!
+//! * **Matching** ([`crate::matching`]) — Hopcroft–Karp maximum
+//!   bipartite matching. Complete and fast for the unconstrained
+//!   problem: a die is repairable iff the matching saturates the cells.
+//!   Matching *cannot* express pairwise placement constraints, so it
+//!   refuses problems with adjacency pairs.
+//! * **SAT** ([`crate::sat`]) — a CNF encoding (one variable per
+//!   compatible cell × site pair; at-least-one per cell, at-most-one
+//!   per cell and per site, and an adjacency clause set) decided by the
+//!   in-repo DPLL solver. Strictly more expressive; used automatically
+//!   whenever adjacency constraints are present.
+//!
+//! [`Solver::Auto`] picks matching when it suffices and falls back to
+//! SAT otherwise; both paths are deterministic, and on unconstrained
+//! problems they always agree on repairability (matching is exact).
+
+use crate::matching::max_matching;
+use crate::sat::{Cnf, SatResult};
+
+/// Which assignment solver to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Solver {
+    /// Matching when the problem has no adjacency constraints, SAT
+    /// otherwise.
+    Auto,
+    /// Force Hopcroft–Karp matching. Adjacency constraints make the
+    /// problem inexpressible for matching; the die is then reported
+    /// unrepairable by this solver (use [`Solver::Sat`] or
+    /// [`Solver::Auto`]).
+    Matching,
+    /// Force the DPLL SAT solver.
+    Sat,
+}
+
+/// One die's assignment problem.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Problem {
+    /// Logical cells to place.
+    pub cells: usize,
+    /// Physical sites available (≥ `cells` for any hope of repair).
+    pub sites: usize,
+    /// `compat[c][s]`: cell `c`'s layout survives site `s`'s defects.
+    pub compat: Vec<Vec<bool>>,
+    /// Cell-index pairs that must land on adjacent sites
+    /// (`|site_a - site_b| == 1`).
+    pub adjacent: Vec<(usize, usize)>,
+}
+
+/// The solved assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// Whether every cell found a site (under all constraints).
+    pub repaired: bool,
+    /// Per-cell site, all `Some` when repaired, all `None` otherwise.
+    pub sites: Vec<Option<usize>>,
+    /// Which solver produced the verdict.
+    pub solver: &'static str,
+}
+
+/// Solves a [`Problem`] with the requested [`Solver`].
+pub fn solve(problem: &Problem, solver: Solver) -> Assignment {
+    match solver {
+        Solver::Matching => solve_matching(problem),
+        Solver::Sat => solve_sat(problem),
+        Solver::Auto if problem.adjacent.is_empty() => solve_matching(problem),
+        Solver::Auto => solve_sat(problem),
+    }
+}
+
+fn unrepaired(problem: &Problem, solver: &'static str) -> Assignment {
+    Assignment {
+        repaired: false,
+        sites: vec![None; problem.cells],
+        solver,
+    }
+}
+
+fn solve_matching(problem: &Problem) -> Assignment {
+    if !problem.adjacent.is_empty() {
+        // Pairwise placement coupling is outside matching's model; an
+        // honest "can't express it" beats a silently wrong assignment.
+        return unrepaired(problem, "matching");
+    }
+    let adj: Vec<Vec<usize>> = problem
+        .compat
+        .iter()
+        .map(|row| (0..problem.sites).filter(|&s| row[s]).collect())
+        .collect();
+    let matching = max_matching(problem.cells, problem.sites, &adj);
+    if matching.size == problem.cells {
+        Assignment {
+            repaired: true,
+            sites: matching.pairs,
+            solver: "matching",
+        }
+    } else {
+        unrepaired(problem, "matching")
+    }
+}
+
+/// CNF: `x[c][s]` ⇔ cell `c` sits at site `s`, variables only for
+/// compatible pairs.
+fn solve_sat(problem: &Problem) -> Assignment {
+    let (cells, sites) = (problem.cells, problem.sites);
+    // Variable numbering: dense over compatible pairs, row-major.
+    let mut var = vec![vec![0i32; sites]; cells];
+    let mut count = 0usize;
+    for (row, compat) in var.iter_mut().zip(&problem.compat) {
+        for (v, &ok) in row.iter_mut().zip(compat) {
+            if ok {
+                count += 1;
+                *v = count as i32;
+            }
+        }
+    }
+    let mut cnf = Cnf::new(count);
+
+    // At least one site per cell, and at most one site per cell.
+    for row in &var {
+        let options: Vec<i32> = row.iter().copied().filter(|&v| v != 0).collect();
+        if options.is_empty() {
+            return unrepaired(problem, "sat");
+        }
+        for (i, &v1) in options.iter().enumerate() {
+            for &v2 in &options[i + 1..] {
+                cnf.add_clause([-v1, -v2]);
+            }
+        }
+        cnf.add_clause(options);
+    }
+    // At most one cell per site.
+    for s in 0..sites {
+        let takers: Vec<i32> = var.iter().map(|row| row[s]).filter(|&v| v != 0).collect();
+        for (i, &v1) in takers.iter().enumerate() {
+            for &v2 in &takers[i + 1..] {
+                cnf.add_clause([-v1, -v2]);
+            }
+        }
+    }
+    // Adjacency: if a sits at s, b must sit next door (and vice versa).
+    for &(a, b) in &problem.adjacent {
+        if a >= cells || b >= cells {
+            return unrepaired(problem, "sat");
+        }
+        for (from, to) in [(a, b), (b, a)] {
+            for s in 0..sites {
+                if var[from][s] == 0 {
+                    continue;
+                }
+                let mut clause = vec![-var[from][s]];
+                if s > 0 && var[to][s - 1] != 0 {
+                    clause.push(var[to][s - 1]);
+                }
+                if s + 1 < sites && var[to][s + 1] != 0 {
+                    clause.push(var[to][s + 1]);
+                }
+                cnf.add_clause(clause);
+            }
+        }
+    }
+
+    match cnf.solve() {
+        SatResult::Unsat => unrepaired(problem, "sat"),
+        SatResult::Sat(model) => {
+            let mut assigned = vec![None; cells];
+            for c in 0..cells {
+                for s in 0..sites {
+                    if var[c][s] != 0 && model[(var[c][s] - 1) as usize] {
+                        assigned[c] = Some(s);
+                        break;
+                    }
+                }
+            }
+            let repaired = assigned.iter().all(Option::is_some);
+            Assignment {
+                repaired,
+                sites: if repaired {
+                    assigned
+                } else {
+                    vec![None; cells]
+                },
+                solver: "sat",
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problem(compat: Vec<Vec<bool>>, adjacent: Vec<(usize, usize)>) -> Problem {
+        let cells = compat.len();
+        let sites = compat.first().map_or(0, Vec::len);
+        Problem {
+            cells,
+            sites,
+            compat,
+            adjacent,
+        }
+    }
+
+    #[test]
+    fn solvers_agree_on_unconstrained_problems() {
+        let cases = [
+            problem(vec![vec![true, true], vec![true, false]], vec![]),
+            problem(vec![vec![false, true], vec![false, true]], vec![]),
+            problem(
+                vec![
+                    vec![true, false, true],
+                    vec![true, true, false],
+                    vec![false, true, true],
+                ],
+                vec![],
+            ),
+        ];
+        for p in &cases {
+            let m = solve(p, Solver::Matching);
+            let s = solve(p, Solver::Sat);
+            assert_eq!(m.repaired, s.repaired, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn auto_routes_by_constraint_presence() {
+        let free = problem(vec![vec![true]], vec![]);
+        assert_eq!(solve(&free, Solver::Auto).solver, "matching");
+        let tied = problem(vec![vec![true, true], vec![true, true]], vec![(0, 1)]);
+        assert_eq!(solve(&tied, Solver::Auto).solver, "sat");
+    }
+
+    #[test]
+    fn sat_solves_a_constrained_fixture_matching_cannot() {
+        // Sites 0..4; site 2 is dead for both cells. Cells 0 and 1 must
+        // be adjacent: the only adjacent healthy pair is (0, 1) or
+        // (3, 4)... here sites 0,1,3,4 healthy → SAT finds e.g. 0,1.
+        let p = problem(
+            vec![
+                vec![true, true, false, true, true],
+                vec![true, true, false, true, true],
+            ],
+            vec![(0, 1)],
+        );
+        let m = solve(&p, Solver::Matching);
+        assert!(!m.repaired, "matching cannot express adjacency");
+        let s = solve(&p, Solver::Sat);
+        assert!(s.repaired);
+        let (a, b) = (s.sites[0].unwrap(), s.sites[1].unwrap());
+        assert_eq!(a.abs_diff(b), 1, "constraint honored: {a} vs {b}");
+    }
+
+    #[test]
+    fn sat_reports_unsat_constraints() {
+        // Healthy sites 0 and 2 only — never adjacent.
+        let p = problem(
+            vec![vec![true, false, true], vec![true, false, true]],
+            vec![(0, 1)],
+        );
+        let s = solve(&p, Solver::Sat);
+        assert!(!s.repaired);
+        assert!(s.sites.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn hopeless_cell_short_circuits_sat() {
+        let p = problem(vec![vec![false, false]], vec![]);
+        assert!(!solve(&p, Solver::Sat).repaired);
+        assert!(!solve(&p, Solver::Matching).repaired);
+    }
+
+    #[test]
+    fn out_of_range_adjacency_is_unrepairable_not_a_panic() {
+        let p = problem(vec![vec![true]], vec![(0, 5)]);
+        assert!(!solve(&p, Solver::Sat).repaired);
+    }
+}

@@ -1,0 +1,216 @@
+//! Seed-keyed per-die defect sampling.
+//!
+//! A [`DefectMap`] is a concrete, reproducible defect population for
+//! one die: every physical site grows [`DefectParams::tubes_per_site`]
+//! CNTs, and each tube independently comes out *surviving metallic*
+//! (grown metallic and missed by the removal etch), *open* (broken or
+//! never grown), or *mispositioned* (a wavy tube at an arbitrary
+//! offset, the paper's imperfection model). The draw for every tube is
+//! keyed by `(base seed, die, site)` through [`mix_seed`], so a die's
+//! map is identical no matter how many dies the surrounding request
+//! samples — the overlap-reuse guarantee the engine's per-die
+//! memoization is built on.
+
+use cnfet_rng::rngs::StdRng;
+use cnfet_rng::{Rng, SeedableRng};
+
+/// CNT process parameters for defect sampling and site testing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DefectParams {
+    /// Probability a grown tube is a surviving metallic tube.
+    pub metallic_fraction: f64,
+    /// Probability a tube site is open (tube broken or never grown).
+    pub open_fraction: f64,
+    /// Probability a tube grows mispositioned (wavy, arbitrary offset).
+    pub misposition_fraction: f64,
+    /// Tubes grown per physical site.
+    pub tubes_per_site: u32,
+    /// Largest tolerable fraction of open tubes per site: more and the
+    /// site's drive is considered lost even without a short.
+    pub open_tolerance: f64,
+    /// Slope bound (`dy/dx`) per traced segment of a defective tube.
+    pub tau: f64,
+    /// Length (in x) of each straight traced sub-segment, λ.
+    pub segment_len_lambda: f64,
+}
+
+impl Default for DefectParams {
+    /// A mid-quality process: 2% surviving metallic, 4% open, 6%
+    /// mispositioned over 8 tubes per site, tolerating up to a quarter
+    /// of the tubes open, with the Monte-Carlo engine's default trace
+    /// geometry.
+    fn default() -> DefectParams {
+        DefectParams {
+            metallic_fraction: 0.02,
+            open_fraction: 0.04,
+            misposition_fraction: 0.06,
+            tubes_per_site: 8,
+            open_tolerance: 0.25,
+            tau: 1.0,
+            segment_len_lambda: 6.0,
+        }
+    }
+}
+
+/// What went wrong with one grown tube.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DefectKind {
+    /// Grown metallic and missed by the removal step: conducts with its
+    /// gates stuck on.
+    Metallic,
+    /// Broken or never grown: contributes no conduction (drive loss).
+    Open,
+    /// Grown semiconducting but wavy at an arbitrary vertical offset.
+    Mispositioned,
+}
+
+/// One defective tube of a site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TubeDefect {
+    /// Index of the tube within its site's grown population.
+    pub tube: u32,
+    /// The defect.
+    pub kind: DefectKind,
+    /// Seed for the tube's trace geometry (offset + slope walk),
+    /// consumed by [`SiteTester`](crate::SiteTester) against a concrete
+    /// layout.
+    pub seed: u64,
+}
+
+/// The defect population of one physical site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SiteDefects {
+    /// Site index on the die.
+    pub site: u32,
+    /// Tubes grown at this site.
+    pub tubes: u32,
+    /// The defective tubes, in tube order (healthy tubes are implicit).
+    pub defects: Vec<TubeDefect>,
+}
+
+/// A whole die's sampled defect population.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DefectMap {
+    /// Die index within the lot.
+    pub die: u64,
+    /// The per-die seed every site stream derives from.
+    pub seed: u64,
+    /// One entry per physical site, in site order.
+    pub sites: Vec<SiteDefects>,
+}
+
+/// Mixes two seeds into one (splitmix64 finalizer over the pair), the
+/// derivation step behind per-die and per-site streams.
+pub fn mix_seed(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .rotate_left(17)
+        .wrapping_add(b.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DefectMap {
+    /// Samples the map of die `die` in the lot keyed by `base_seed`:
+    /// `sites` sites of [`DefectParams::tubes_per_site`] tubes each.
+    /// Deterministic in all four arguments and independent of any lot
+    /// size.
+    pub fn sample(base_seed: u64, die: u64, sites: u32, params: &DefectParams) -> DefectMap {
+        let die_seed = mix_seed(base_seed, die);
+        let sites = (0..sites)
+            .map(|site| {
+                let mut rng = StdRng::seed_from_u64(mix_seed(die_seed, site as u64));
+                let mut defects = Vec::new();
+                for tube in 0..params.tubes_per_site {
+                    let draw = rng.gen_range(0.0..1.0);
+                    let kind = if draw < params.metallic_fraction {
+                        Some(DefectKind::Metallic)
+                    } else if draw < params.metallic_fraction + params.open_fraction {
+                        Some(DefectKind::Open)
+                    } else if draw
+                        < params.metallic_fraction
+                            + params.open_fraction
+                            + params.misposition_fraction
+                    {
+                        Some(DefectKind::Mispositioned)
+                    } else {
+                        None
+                    };
+                    // Every tube consumes exactly two draws (class +
+                    // geometry seed) so the stream shape never depends
+                    // on the sampled classes.
+                    let seed = rng.next_u64();
+                    if let Some(kind) = kind {
+                        defects.push(TubeDefect { tube, kind, seed });
+                    }
+                }
+                SiteDefects {
+                    site,
+                    tubes: params.tubes_per_site,
+                    defects,
+                }
+            })
+            .collect();
+        DefectMap {
+            die,
+            seed: die_seed,
+            sites,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_and_die_keyed() {
+        let p = DefectParams::default();
+        let a = DefectMap::sample(7, 3, 6, &p);
+        let b = DefectMap::sample(7, 3, 6, &p);
+        assert_eq!(a, b);
+        let other_die = DefectMap::sample(7, 4, 6, &p);
+        assert_ne!(a, other_die);
+        let other_lot = DefectMap::sample(8, 3, 6, &p);
+        assert_ne!(a, other_lot);
+    }
+
+    #[test]
+    fn site_streams_do_not_depend_on_site_count() {
+        let p = DefectParams::default();
+        let small = DefectMap::sample(1, 0, 2, &p);
+        let large = DefectMap::sample(1, 0, 5, &p);
+        assert_eq!(small.sites[..], large.sites[..2]);
+    }
+
+    #[test]
+    fn clean_process_has_no_defects() {
+        let p = DefectParams {
+            metallic_fraction: 0.0,
+            open_fraction: 0.0,
+            misposition_fraction: 0.0,
+            ..DefectParams::default()
+        };
+        let map = DefectMap::sample(1, 0, 4, &p);
+        assert!(map.sites.iter().all(|s| s.defects.is_empty()));
+    }
+
+    #[test]
+    fn dirty_process_defects_classify_in_order() {
+        let p = DefectParams {
+            metallic_fraction: 1.0,
+            ..DefectParams::default()
+        };
+        let map = DefectMap::sample(1, 0, 2, &p);
+        for site in &map.sites {
+            assert_eq!(site.defects.len() as u32, site.tubes);
+            assert!(site.defects.iter().all(|d| d.kind == DefectKind::Metallic));
+        }
+    }
+
+    #[test]
+    fn mix_seed_separates_close_inputs() {
+        assert_ne!(mix_seed(0, 0), mix_seed(0, 1));
+        assert_ne!(mix_seed(0, 1), mix_seed(1, 0));
+    }
+}

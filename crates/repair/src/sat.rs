@@ -1,0 +1,377 @@
+//! A small DPLL SAT solver: unit propagation over two watched literals
+//! per clause, chronological backtracking, deterministic branching.
+//!
+//! The repair core encodes constrained cell-to-site assignment as CNF
+//! (see [`crate::assign`]); this solver decides it. No clause learning
+//! or restarts — the instances are die-sized (tens of variables), and
+//! determinism matters more than raw speed: branching always picks the
+//! lowest unassigned variable, trying `true` first, so equal formulas
+//! always produce the same model.
+//!
+//! Literals are non-zero `i32`s, DIMACS style: `v` is variable `v`
+//! positive, `-v` negative; variables are numbered from 1.
+
+/// A CNF formula under construction.
+#[derive(Clone, Debug, Default)]
+pub struct Cnf {
+    vars: usize,
+    clauses: Vec<Vec<i32>>,
+    trivially_unsat: bool,
+}
+
+/// The solver's answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable; `model[v - 1]` is the value of variable `v`.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl Cnf {
+    /// An empty formula over `vars` variables (numbered `1..=vars`).
+    pub fn new(vars: usize) -> Cnf {
+        Cnf {
+            vars,
+            clauses: Vec::new(),
+            trivially_unsat: false,
+        }
+    }
+
+    /// Number of variables.
+    pub fn vars(&self) -> usize {
+        self.vars
+    }
+
+    /// Number of clauses added so far.
+    pub fn clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Adds a disjunction of literals. An empty clause makes the
+    /// formula trivially unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero literal or a variable outside `1..=vars`.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = i32>) {
+        let mut clause: Vec<i32> = lits.into_iter().collect();
+        for &l in &clause {
+            let v = l.unsigned_abs() as usize;
+            assert!(l != 0 && v <= self.vars, "literal {l} out of range");
+        }
+        clause.sort_unstable();
+        clause.dedup();
+        // A tautology (v ∨ ¬v) constrains nothing.
+        if clause.windows(2).any(|w| w[0] == -w[1]) {
+            return;
+        }
+        if clause.is_empty() {
+            self.trivially_unsat = true;
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Decides the formula.
+    pub fn solve(&self) -> SatResult {
+        if self.trivially_unsat {
+            return SatResult::Unsat;
+        }
+        Solver::new(self).run()
+    }
+}
+
+/// Index into the per-literal watch lists: positive literals of `v` at
+/// `2v`, negative at `2v + 1`.
+fn widx(l: i32) -> usize {
+    let v = l.unsigned_abs() as usize;
+    2 * v + usize::from(l < 0)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Value {
+    Unset,
+    True,
+    False,
+}
+
+struct Decision {
+    /// The literal decided (always positive-first on a fresh variable).
+    lit: i32,
+    /// Trail length before the decision.
+    trail_len: usize,
+    /// Whether the complementary branch has already been explored.
+    flipped: bool,
+}
+
+struct Solver {
+    /// Clause literal arrays; positions 0 and 1 are the watched pair.
+    clauses: Vec<Vec<i32>>,
+    /// `watches[widx(l)]` = clauses currently watching literal `l`.
+    watches: Vec<Vec<usize>>,
+    values: Vec<Value>,
+    trail: Vec<i32>,
+    /// Next trail position to propagate.
+    head: usize,
+    decisions: Vec<Decision>,
+    /// Level-0 units (from length-1 clauses).
+    units: Vec<i32>,
+    vars: usize,
+}
+
+impl Solver {
+    fn new(cnf: &Cnf) -> Solver {
+        let mut solver = Solver {
+            clauses: Vec::with_capacity(cnf.clauses.len()),
+            watches: vec![Vec::new(); 2 * cnf.vars + 2],
+            values: vec![Value::Unset; cnf.vars + 1],
+            trail: Vec::new(),
+            head: 0,
+            decisions: Vec::new(),
+            units: Vec::new(),
+            vars: cnf.vars,
+        };
+        for clause in &cnf.clauses {
+            if clause.len() == 1 {
+                solver.units.push(clause[0]);
+                continue;
+            }
+            let ci = solver.clauses.len();
+            solver.watches[widx(clause[0])].push(ci);
+            solver.watches[widx(clause[1])].push(ci);
+            solver.clauses.push(clause.clone());
+        }
+        solver
+    }
+
+    fn value(&self, l: i32) -> Value {
+        match (self.values[l.unsigned_abs() as usize], l > 0) {
+            (Value::Unset, _) => Value::Unset,
+            (v, true) => v,
+            (Value::True, false) => Value::False,
+            (Value::False, false) => Value::True,
+        }
+    }
+
+    /// Puts `l` on the trail as true. Returns false when `l` is already
+    /// false (immediate conflict).
+    fn assign(&mut self, l: i32) -> bool {
+        match self.value(l) {
+            Value::True => true,
+            Value::False => false,
+            Value::Unset => {
+                self.values[l.unsigned_abs() as usize] =
+                    if l > 0 { Value::True } else { Value::False };
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation from the current trail head. Returns false on
+    /// conflict.
+    fn propagate(&mut self) -> bool {
+        while self.head < self.trail.len() {
+            let falsified = -self.trail[self.head];
+            self.head += 1;
+            // Visit every clause watching the now-false literal; keep
+            // the list compacted in place.
+            let mut list = std::mem::take(&mut self.watches[widx(falsified)]);
+            let mut keep = 0;
+            let mut conflict = false;
+            'clauses: for li in 0..list.len() {
+                let ci = list[li];
+                if conflict {
+                    list[keep] = ci;
+                    keep += 1;
+                    continue;
+                }
+                // Normalize: the falsified watch sits at position 1.
+                if self.clauses[ci][0] == falsified {
+                    self.clauses[ci].swap(0, 1);
+                }
+                let other = self.clauses[ci][0];
+                if self.value(other) == Value::True {
+                    list[keep] = ci;
+                    keep += 1;
+                    continue;
+                }
+                // Find a replacement watch among the tail literals.
+                for k in 2..self.clauses[ci].len() {
+                    if self.value(self.clauses[ci][k]) != Value::False {
+                        self.clauses[ci].swap(1, k);
+                        let moved = self.clauses[ci][1];
+                        self.watches[widx(moved)].push(ci);
+                        continue 'clauses;
+                    }
+                }
+                // No replacement: unit on `other`, or conflict.
+                list[keep] = ci;
+                keep += 1;
+                if !self.assign(other) {
+                    conflict = true;
+                }
+            }
+            list.truncate(keep);
+            debug_assert!(self.watches[widx(falsified)].is_empty());
+            self.watches[widx(falsified)] = list;
+            if conflict {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Undoes the trail past `len` and resets the propagation head.
+    fn backtrack_to(&mut self, len: usize) {
+        while self.trail.len() > len {
+            let l = self.trail.pop().expect("trail shrinks to len");
+            self.values[l.unsigned_abs() as usize] = Value::Unset;
+        }
+        self.head = len;
+    }
+
+    fn run(mut self) -> SatResult {
+        for i in 0..self.units.len() {
+            if !self.assign(self.units[i]) {
+                return SatResult::Unsat;
+            }
+        }
+        loop {
+            if self.propagate() {
+                // Branch: lowest unassigned variable, true first.
+                match (1..=self.vars).find(|&v| self.values[v] == Value::Unset) {
+                    Some(v) => {
+                        self.decisions.push(Decision {
+                            lit: v as i32,
+                            trail_len: self.trail.len(),
+                            flipped: false,
+                        });
+                        let ok = self.assign(v as i32);
+                        debug_assert!(ok, "fresh variable cannot conflict");
+                    }
+                    None => {
+                        return SatResult::Sat(
+                            (1..=self.vars)
+                                .map(|v| self.values[v] == Value::True)
+                                .collect(),
+                        );
+                    }
+                }
+            } else {
+                // Conflict: flip the deepest untried decision.
+                loop {
+                    match self.decisions.pop() {
+                        None => return SatResult::Unsat,
+                        Some(d) if d.flipped => continue,
+                        Some(d) => {
+                            self.backtrack_to(d.trail_len);
+                            self.decisions.push(Decision {
+                                lit: -d.lit,
+                                trail_len: d.trail_len,
+                                flipped: true,
+                            });
+                            let flipped = -d.lit;
+                            let ok = self.assign(flipped);
+                            debug_assert!(ok, "freshly unwound variable cannot conflict");
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(result: SatResult) -> Vec<bool> {
+        match result {
+            SatResult::Sat(m) => m,
+            SatResult::Unsat => panic!("expected SAT"),
+        }
+    }
+
+    #[test]
+    fn trivial_and_unit_cases() {
+        let empty = Cnf::new(0);
+        assert_eq!(empty.solve(), SatResult::Sat(vec![]));
+
+        let mut unit = Cnf::new(1);
+        unit.add_clause([-1]);
+        assert_eq!(model(unit.solve()), vec![false]);
+
+        let mut contradiction = Cnf::new(1);
+        contradiction.add_clause([1]);
+        contradiction.add_clause([-1]);
+        assert_eq!(contradiction.solve(), SatResult::Unsat);
+
+        let mut hollow = Cnf::new(1);
+        hollow.add_clause([]);
+        assert_eq!(hollow.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn propagation_chases_implication_chains() {
+        // 1 → 2 → 3 → 4, with 1 forced.
+        let mut cnf = Cnf::new(4);
+        cnf.add_clause([1]);
+        cnf.add_clause([-1, 2]);
+        cnf.add_clause([-2, 3]);
+        cnf.add_clause([-3, 4]);
+        assert_eq!(model(cnf.solve()), vec![true; 4]);
+    }
+
+    #[test]
+    fn backtracking_explores_both_branches() {
+        // (1 ∨ 2) ∧ (¬1 ∨ 2) ∧ (¬2 ∨ ¬1): forces 2, then ¬1 — but the
+        // solver tries 1 = true first and must recover.
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([1, 2]);
+        cnf.add_clause([-1, 2]);
+        cnf.add_clause([-2, -1]);
+        assert_eq!(model(cnf.solve()), vec![false, true]);
+    }
+
+    #[test]
+    fn pigeonhole_three_into_two_is_unsat() {
+        // Pigeon p in hole h: var 2p + h + 1. Forces real search.
+        let v = |p: i32, h: i32| 2 * p + h + 1;
+        let mut cnf = Cnf::new(6);
+        for p in 0..3 {
+            cnf.add_clause([v(p, 0), v(p, 1)]);
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    cnf.add_clause([-v(p1, h), -v(p2, h)]);
+                }
+            }
+        }
+        assert_eq!(cnf.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn tautologies_are_dropped() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([1, -1]);
+        assert_eq!(cnf.clauses(), 0);
+        cnf.add_clause([2, 2]);
+        // Variable 1 is unconstrained; branching tries true first.
+        assert_eq!(model(cnf.solve()), vec![true, true]);
+    }
+
+    #[test]
+    fn deterministic_model_choice() {
+        // Two symmetric solutions; the lowest-variable-true-first rule
+        // must always pick the same one.
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([1, 2]);
+        cnf.add_clause([-1, -2]);
+        for _ in 0..3 {
+            assert_eq!(model(cnf.solve()), vec![true, false]);
+        }
+    }
+}

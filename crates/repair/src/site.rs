@@ -1,0 +1,220 @@
+//! Site testing: one layout against one site's concrete defects.
+//!
+//! A [`SiteTester`] prepares a layout once (region decomposition +
+//! verdict judge) and then evaluates any number of [`SiteDefects`]
+//! against it. Metallic and mispositioned tubes are traced through the
+//! decomposition with [`cnfet_immunity::trace_polyline`] — exactly the
+//! conduction-segment machinery of the Monte-Carlo immunity engine —
+//! so a "harmful" verdict here means precisely what it means there: the
+//! tube creates a contact-to-contact conduction segment that can alter
+//! the cell's function. Open tubes never short anything; they cost
+//! drive, and a site whose open fraction exceeds
+//! [`DefectParams::open_tolerance`](crate::DefectParams::open_tolerance)
+//! fails on drive loss alone.
+
+use crate::defect::{DefectKind, DefectParams, SiteDefects};
+use cnfet_core::SemanticLayout;
+use cnfet_geom::DBU_PER_LAMBDA;
+use cnfet_immunity::{build_columns, trace_polyline, ColumnMap, Judge};
+use cnfet_rng::rngs::StdRng;
+use cnfet_rng::{Rng, SeedableRng};
+
+/// The verdict of one (layout, site) evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SiteVerdict {
+    /// Whether the layout survives this site's defects: no harmful
+    /// short and an open fraction within tolerance.
+    pub functional: bool,
+    /// Defective tubes whose trace created a harmful conduction
+    /// segment.
+    pub harmful_shorts: u32,
+    /// Open tubes at the site.
+    pub open_tubes: u32,
+}
+
+/// A prepared per-layout tester: build once, test many sites.
+pub struct SiteTester<'a> {
+    cm: ColumnMap,
+    judge: Judge<'a>,
+    x0: f64,
+    x1: f64,
+    y0: f64,
+    y1: f64,
+}
+
+impl<'a> SiteTester<'a> {
+    /// Prepares the region decomposition and verdict judge of `sem`.
+    pub fn new(sem: &'a SemanticLayout) -> SiteTester<'a> {
+        let bbox = sem.bbox;
+        SiteTester {
+            cm: build_columns(sem),
+            judge: Judge::new(sem),
+            x0: bbox.x0().0 as f64,
+            x1: bbox.x1().0 as f64,
+            y0: bbox.y0().0 as f64,
+            y1: bbox.y1().0 as f64,
+        }
+    }
+
+    /// Evaluates one site's defects against the prepared layout.
+    ///
+    /// Each metallic or mispositioned tube's geometry is an x-monotone
+    /// polyline generated deterministically from the tube's recorded
+    /// seed (offset uniform over the cell height, then a bounded-slope
+    /// random walk — the Monte-Carlo engine's tube model), so the same
+    /// defect record always traces the same path over a given layout.
+    pub fn test(&mut self, site: &SiteDefects, params: &DefectParams) -> SiteVerdict {
+        let mut harmful_shorts = 0u32;
+        let mut open_tubes = 0u32;
+        for defect in &site.defects {
+            match defect.kind {
+                DefectKind::Open => open_tubes += 1,
+                DefectKind::Metallic | DefectKind::Mispositioned => {
+                    let poly = self.polyline(defect.seed, params);
+                    let metallic = defect.kind == DefectKind::Metallic;
+                    if trace_polyline(&self.cm, &poly, &mut self.judge, metallic).is_some() {
+                        harmful_shorts += 1;
+                    }
+                }
+            }
+        }
+        let open_ok = site.tubes == 0
+            || f64::from(open_tubes) <= params.open_tolerance * f64::from(site.tubes);
+        SiteVerdict {
+            functional: harmful_shorts == 0 && open_ok,
+            harmful_shorts,
+            open_tubes,
+        }
+    }
+
+    /// The tube's trace: an x-monotone polyline spanning the cell, with
+    /// a seeded vertical offset and bounded-slope segments of
+    /// [`DefectParams::segment_len_lambda`].
+    fn polyline(&self, seed: u64, params: &DefectParams) -> Vec<(f64, f64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seg_dx = (params.segment_len_lambda * DBU_PER_LAMBDA as f64).max(1.0);
+        let mut poly = Vec::new();
+        let mut x = self.x0;
+        let mut y = rng.gen_range(self.y0..=self.y1);
+        poly.push((x, y));
+        while x < self.x1 {
+            let slope: f64 = rng.gen_range(-params.tau..=params.tau);
+            let nx = (x + seg_dx).min(self.x1);
+            y += slope * (nx - x);
+            x = nx;
+            poly.push((x, y));
+        }
+        poly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defect::{DefectMap, TubeDefect};
+    use cnfet_core::{generate_cell, GenerateOptions, StdCellKind, Style};
+
+    fn cell(style: Style) -> cnfet_core::GeneratedCell {
+        generate_cell(
+            StdCellKind::Nand(2),
+            &GenerateOptions {
+                style,
+                ..GenerateOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn site_of(kind: DefectKind, tubes: u32, n: u32) -> SiteDefects {
+        SiteDefects {
+            site: 0,
+            tubes,
+            defects: (0..n)
+                .map(|tube| TubeDefect {
+                    tube,
+                    kind,
+                    seed: crate::mix_seed(0xFEED, tube as u64),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn immune_layout_shrugs_off_mispositioned_tubes() {
+        let c = cell(Style::NewImmune);
+        let mut tester = SiteTester::new(&c.semantics);
+        let verdict = tester.test(
+            &site_of(DefectKind::Mispositioned, 8, 8),
+            &DefectParams::default(),
+        );
+        assert!(verdict.functional, "{verdict:?}");
+        assert_eq!(verdict.harmful_shorts, 0);
+    }
+
+    #[test]
+    fn vulnerable_layout_fails_under_enough_mispositioning() {
+        let c = cell(Style::Vulnerable);
+        let mut tester = SiteTester::new(&c.semantics);
+        let failures: u32 = (0..64)
+            .map(|i| {
+                let site = SiteDefects {
+                    site: i,
+                    tubes: 8,
+                    defects: vec![TubeDefect {
+                        tube: 0,
+                        kind: DefectKind::Mispositioned,
+                        seed: crate::mix_seed(42, i as u64),
+                    }],
+                };
+                tester.test(&site, &DefectParams::default()).harmful_shorts
+            })
+            .sum();
+        assert!(failures > 0, "no harmful tube in 64 seeded sites");
+    }
+
+    #[test]
+    fn metallic_tubes_can_break_even_immune_layouts() {
+        let c = cell(Style::NewImmune);
+        let mut tester = SiteTester::new(&c.semantics);
+        let failures: u32 = (0..64)
+            .map(|i| {
+                let site = SiteDefects {
+                    site: i,
+                    tubes: 8,
+                    defects: vec![TubeDefect {
+                        tube: 0,
+                        kind: DefectKind::Metallic,
+                        seed: crate::mix_seed(7, i as u64),
+                    }],
+                };
+                tester.test(&site, &DefectParams::default()).harmful_shorts
+            })
+            .sum();
+        assert!(failures > 0, "no metallic short in 64 seeded sites");
+    }
+
+    #[test]
+    fn open_tubes_fail_on_tolerance_not_shorts() {
+        let c = cell(Style::NewImmune);
+        let mut tester = SiteTester::new(&c.semantics);
+        let params = DefectParams::default(); // tolerance 0.25 of 8 = 2
+        let fine = tester.test(&site_of(DefectKind::Open, 8, 2), &params);
+        assert!(fine.functional);
+        assert_eq!(fine.open_tubes, 2);
+        let dead = tester.test(&site_of(DefectKind::Open, 8, 3), &params);
+        assert!(!dead.functional);
+        assert_eq!(dead.harmful_shorts, 0);
+    }
+
+    #[test]
+    fn verdicts_are_deterministic() {
+        let c = cell(Style::NewImmune);
+        let params = DefectParams::default();
+        let map = DefectMap::sample(11, 0, 8, &params);
+        let mut a = SiteTester::new(&c.semantics);
+        let mut b = SiteTester::new(&c.semantics);
+        for site in &map.sites {
+            assert_eq!(a.test(site, &params), b.test(site, &params));
+        }
+    }
+}

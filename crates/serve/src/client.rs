@@ -54,22 +54,23 @@ impl ClientResponse {
 #[derive(Clone, Debug)]
 pub enum StreamEvent {
     /// The stream opened: the job id and the number of rows to expect
-    /// (`0` for non-sweep jobs).
+    /// (`0` for non-composite jobs).
     Start {
         /// The job being streamed.
         job: u64,
-        /// Total corner rows the sweep will deliver.
+        /// Total rows the job will deliver (corner rows for a sweep,
+        /// die outcomes for a repair lot).
         total: u64,
     },
-    /// One corner row, in canonical report order.
+    /// One corner row or die outcome, in canonical report order.
     Row {
         /// Zero-based position of this row in the final report.
         index: u64,
         /// The row, rendered exactly as in the buffered JSON report.
         row: Json,
     },
-    /// Terminal: the job succeeded; for sweeps the payload is the full
-    /// report (every row again, plus summaries).
+    /// Terminal: the job succeeded; for composites the payload is the
+    /// full report (every row again, plus summaries).
     Done(Json),
     /// Terminal: the job failed; the payload is the whole error event.
     Error(Json),
@@ -159,29 +160,6 @@ impl Client {
             body: None,
             accept: Format::Json,
         }
-    }
-
-    /// `GET`s a path.
-    ///
-    /// # Errors
-    ///
-    /// Propagates connection and protocol failures.
-    #[deprecated(since = "0.4.0", note = "use `client.request(\"GET\", path).send()`")]
-    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
-        self.request("GET", path).send()
-    }
-
-    /// `POST`s a JSON body to a path.
-    ///
-    /// # Errors
-    ///
-    /// Propagates connection and protocol failures.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `client.request(\"POST\", path).body(body).send()`"
-    )]
-    pub fn post(&mut self, path: &str, body: &Json) -> io::Result<ClientResponse> {
-        self.request("POST", path).body(body).send()
     }
 
     /// Submits one request to `/v1/submit` and polls its job to
@@ -284,9 +262,13 @@ impl Client {
                 Format::Binary => {
                     while let Some((tag, payload, used)) = encode::read_frame(&buffer[consumed..]) {
                         let event = match tag {
-                            encode::FRAME_ROW => {
-                                let row = encode::decode_row(payload)
-                                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                            encode::FRAME_ROW | encode::FRAME_DIE => {
+                                let row = if tag == encode::FRAME_ROW {
+                                    encode::decode_row(payload)
+                                } else {
+                                    encode::decode_die(payload)
+                                }
+                                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
                                 let index = next_row;
                                 next_row += 1;
                                 StreamEvent::Row { index, row }

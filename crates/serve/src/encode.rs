@@ -4,8 +4,8 @@
 //!
 //! JSON stays the protocol's default; a client opts in per request with
 //! `Accept: application/x-cnfet-rows`. Binary form is defined **only**
-//! for sweep results (the thousands-of-rows payloads worth compacting);
-//! requesting it anywhere else answers `406`.
+//! for sweep and repair results (the thousands-of-rows payloads worth
+//! compacting); requesting it anywhere else answers `406`.
 //!
 //! # Row table (`application/x-cnfet-rows`)
 //!
@@ -15,6 +15,15 @@
 //! magic   4 bytes  "CNR1"
 //! count   u32 LE   number of rows
 //! row*    u32 LE   payload length, then the row payload
+//! ```
+//!
+//! A buffered binary repair response is a *die table* with the same
+//! shape under its own magic:
+//!
+//! ```text
+//! magic   4 bytes  "CND1"
+//! count   u32 LE   number of dies
+//! die*    u32 LE   payload length, then the die payload
 //! ```
 //!
 //! # Row payload
@@ -32,6 +41,16 @@
 //! yield ?f64 · liberty ?str · waveform ?str
 //! ```
 //!
+//! # Die payload
+//!
+//! Same conventions; `assignment` is a `u32` count of per-cell entries,
+//! each an optional `u32` site index:
+//!
+//! ```text
+//! die u64 · sites u32 · defective_sites u32 · repaired u8 ·
+//! solver str · spares_used u32 · assignment (count u32, ?u32*)
+//! ```
+//!
 //! Floats are raw IEEE-754 bits, so binary responses inherit the
 //! engine's byte-for-byte determinism contract directly.
 //!
@@ -42,25 +61,33 @@
 //!
 //! * [`FRAME_EVENT`] (`0x01`) — a JSON event object (`start`, `done`,
 //!   `error`, `canceled`), exactly the ndjson line of the JSON stream;
-//! * [`FRAME_ROW`] (`0x02`) — one binary row payload.
+//! * [`FRAME_ROW`] (`0x02`) — one binary corner-row payload;
+//! * [`FRAME_DIE`] (`0x03`) — one binary die payload.
 //!
-//! [`decode_row`] reconstructs the *same* [`Json`] object
-//! [`crate::wire`] renders, so a client can consume either encoding
-//! through one code path — and a reassembled binary stream is
+//! [`decode_row`] / [`decode_die`] reconstruct the *same* [`Json`]
+//! object [`crate::wire`] renders, so a client can consume either
+//! encoding through one code path — and a reassembled binary stream is
 //! field-for-field identical to the buffered JSON report.
 
 use crate::json::Json;
 use crate::wire;
+use cnfet::repair::DieOutcome;
 use cnfet::sweep::{CornerRow, VariationCorner};
 
 /// Magic prefix of a binary row table.
 pub const ROW_TABLE_MAGIC: [u8; 4] = *b"CNR1";
 
+/// Magic prefix of a binary die table.
+pub const DIE_TABLE_MAGIC: [u8; 4] = *b"CND1";
+
 /// Stream frame tag: JSON event payload.
 pub const FRAME_EVENT: u8 = 0x01;
 
-/// Stream frame tag: binary row payload.
+/// Stream frame tag: binary corner-row payload.
 pub const FRAME_ROW: u8 = 0x02;
+
+/// Stream frame tag: binary die payload.
+pub const FRAME_DIE: u8 = 0x03;
 
 /// The content type of binary row tables and binary stream frames.
 pub const BINARY_CONTENT_TYPE: &str = "application/x-cnfet-rows";
@@ -171,6 +198,36 @@ pub fn encode_row_table(rows: &[CornerRow]) -> Vec<u8> {
     put_u32(&mut buf, rows.len() as u32);
     for row in rows {
         let payload = encode_row(row);
+        put_u32(&mut buf, payload.len() as u32);
+        buf.extend_from_slice(&payload);
+    }
+    buf
+}
+
+/// Encodes one die payload (no length prefix — the table and the frame
+/// formats add their own).
+pub fn encode_die(outcome: &DieOutcome) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32);
+    put_u64(&mut buf, outcome.die);
+    put_u32(&mut buf, outcome.sites);
+    put_u32(&mut buf, outcome.defective_sites);
+    buf.push(outcome.repaired as u8);
+    put_str(&mut buf, outcome.solver);
+    put_u32(&mut buf, outcome.spares_used);
+    put_u32(&mut buf, outcome.assignment.len() as u32);
+    for &site in &outcome.assignment {
+        put_opt(&mut buf, site, put_u32);
+    }
+    buf
+}
+
+/// Encodes a whole repair lot's die outcomes as a die table.
+pub fn encode_die_table(dies: &[DieOutcome]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&DIE_TABLE_MAGIC);
+    put_u32(&mut buf, dies.len() as u32);
+    for outcome in dies {
+        let payload = encode_die(outcome);
         put_u32(&mut buf, payload.len() as u32);
         buf.extend_from_slice(&payload);
     }
@@ -302,6 +359,61 @@ pub fn decode_row_table(bytes: &[u8]) -> Result<Vec<Json>, DecodeError> {
     Ok(rows)
 }
 
+/// Decodes one die payload into the same [`Json`] object the JSON
+/// encoding renders for that die.
+pub fn decode_die(bytes: &[u8]) -> Result<Json, DecodeError> {
+    let mut r = Reader { bytes, at: 0 };
+    let die = r.u64()?;
+    let sites = r.u32()?;
+    let defective_sites = r.u32()?;
+    let repaired = match r.u8()? {
+        0 => false,
+        1 => true,
+        b => return Err(corrupt(format!("invalid bool byte {b}"))),
+    };
+    let solver = r.string()?;
+    let spares_used = r.u32()?;
+    let count = r.u32()? as usize;
+    let mut assignment = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        assignment.push(Json::from(r.opt(Reader::u32)?.map(u64::from)));
+    }
+    let row = Json::obj([
+        ("die", Json::from(die)),
+        ("sites", Json::from(u64::from(sites))),
+        ("defective_sites", Json::from(u64::from(defective_sites))),
+        ("repaired", Json::from(repaired)),
+        ("solver", Json::str(solver)),
+        ("spares_used", Json::from(u64::from(spares_used))),
+        ("assignment", Json::Arr(assignment)),
+    ]);
+    if r.at != bytes.len() {
+        return Err(corrupt(format!(
+            "{} trailing bytes in die",
+            bytes.len() - r.at
+        )));
+    }
+    Ok(row)
+}
+
+/// Decodes a die table into the JSON die objects it encodes.
+pub fn decode_die_table(bytes: &[u8]) -> Result<Vec<Json>, DecodeError> {
+    let mut r = Reader { bytes, at: 0 };
+    if r.take(4)? != DIE_TABLE_MAGIC {
+        return Err(corrupt("bad die table magic"));
+    }
+    let count = r.u32()? as usize;
+    let mut dies = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let len = r.u32()? as usize;
+        dies.push(decode_die(r.take(len)?)?);
+    }
+    if r.at != bytes.len() {
+        return Err(corrupt("trailing bytes after die table"));
+    }
+    Ok(dies)
+}
+
 /// Splits one complete frame off the front of `buf`, returning
 /// `(tag, payload, bytes_consumed)`; `None` while the frame is still
 /// arriving. Malformed tags surface on decode of the payload, not here —
@@ -372,6 +484,47 @@ mod tests {
         let mut trailing = table.clone();
         trailing.push(0);
         assert!(decode_row_table(&trailing).is_err());
+    }
+
+    fn die(index: u64, repaired: bool) -> DieOutcome {
+        DieOutcome {
+            die: index,
+            sites: 4,
+            defective_sites: 1,
+            repaired,
+            solver: if repaired { "matching" } else { "sat" },
+            spares_used: u32::from(repaired),
+            assignment: if repaired {
+                vec![Some(0), Some(2), Some(3)]
+            } else {
+                vec![None, None, None]
+            },
+        }
+    }
+
+    #[test]
+    fn binary_die_decodes_to_the_json_rendering() {
+        for (index, repaired) in [(0, true), (7, false), (u64::MAX, true)] {
+            let outcome = die(index, repaired);
+            let decoded = decode_die(&encode_die(&outcome)).expect("die decodes");
+            assert_eq!(decoded.render(), wire::render_die_row(&outcome).render());
+        }
+    }
+
+    #[test]
+    fn die_tables_round_trip_and_refuse_garbage() {
+        let dies = vec![die(0, true), die(1, false), die(2, true)];
+        let table = encode_die_table(&dies);
+        let decoded = decode_die_table(&table).expect("table decodes");
+        assert_eq!(decoded.len(), 3);
+        for (json, outcome) in decoded.iter().zip(&dies) {
+            assert_eq!(json.render(), wire::render_die_row(outcome).render());
+        }
+        assert!(decode_die_table(&table[..table.len() - 1]).is_err());
+        assert!(decode_die_table(b"NOPE").is_err());
+        // A row table is not a die table, and vice versa.
+        assert!(decode_die_table(&encode_row_table(&[row(1)])).is_err());
+        assert!(decode_row_table(&table).is_err());
     }
 
     #[test]

@@ -13,13 +13,14 @@
 //! → `410 Gone`), while an id the table never issued is
 //! [`Polled::Unknown`] (`404`).
 //!
-//! Every job also carries a [`Progress`] handle. For sweep requests the
-//! table attaches a [`RowObserver`] before submitting, so corner rows
-//! land on the progress as the engine harvests them — the feed under
-//! `/stream`. Whole-report cache hits never execute (the observer
-//! stays silent); the missing rows are back-filled from the final
-//! report when the job settles, so a streamed job always delivers every
-//! row before its terminal event.
+//! Every job also carries a [`Progress`] handle. For composite requests
+//! the table attaches the matching observer before submitting — a
+//! [`RowObserver`] on sweeps, a [`DieObserver`] on repair lots — so
+//! corner rows / die outcomes land on the progress as the engine
+//! harvests them — the feed under `/stream`. Whole-report cache hits
+//! never execute (the observer stays silent); the missing rows are
+//! back-filled from the final report when the job settles, so a
+//! streamed job always delivers every row before its terminal event.
 //!
 //! Two bounds keep the table from growing without limit under load:
 //!
@@ -32,8 +33,9 @@
 
 use crate::json::Json;
 use crate::wire;
+use cnfet::repair::DieOutcome;
 use cnfet::sweep::CornerRow;
-use cnfet::{CnfetError, JobHandle, RequestKind, ResponseKind, RowObserver, Session, SweepReport};
+use cnfet::{CnfetError, DieObserver, JobHandle, RequestKind, ResponseKind, RowObserver, Session};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::{Duration, Instant};
@@ -68,10 +70,21 @@ pub enum Polled {
     Settled(JobView),
 }
 
-/// The live row feed of one job, shared between the engine's
-/// [`RowObserver`] (producer) and `/stream` handlers (consumers).
-/// Non-sweep jobs carry one too, with `total` 0 — a stream of no rows
-/// and one terminal event.
+/// One streamed progress row: a sweep's corner row or a repair lot's
+/// die outcome, in canonical report order either way.
+#[derive(Clone, Debug)]
+pub enum StreamRow {
+    /// One cell × corner row of an executing sweep.
+    Corner(CornerRow),
+    /// One die outcome of an executing repair lot.
+    Die(DieOutcome),
+}
+
+/// The live row feed of one job, shared between the engine's observer
+/// ([`RowObserver`] for sweeps, [`DieObserver`] for repair lots —
+/// producers) and `/stream` handlers (consumers). Non-composite jobs
+/// carry one too, with `total` 0 — a stream of no rows and one terminal
+/// event.
 pub struct Progress {
     total: usize,
     state: Mutex<ProgressState>,
@@ -79,7 +92,7 @@ pub struct Progress {
 }
 
 struct ProgressState {
-    rows: Vec<CornerRow>,
+    rows: Vec<StreamRow>,
     finished: Option<JobView>,
 }
 
@@ -95,16 +108,16 @@ impl Progress {
         }
     }
 
-    /// Total rows this job will deliver (cells × corners; 0 for
-    /// non-sweep jobs).
+    /// Total rows this job will deliver (cells × corners for a sweep,
+    /// dies for a repair lot; 0 for non-composite jobs).
     pub fn total(&self) -> usize {
         self.total
     }
 
     /// Appends the next streamed row. Rows arrive in report order from
-    /// the sweep's single harvest loop; anything out of order (or after
-    /// the terminal state) is dropped rather than misfiled.
-    fn push(&self, index: usize, row: CornerRow) {
+    /// the composite's single harvest loop; anything out of order (or
+    /// after the terminal state) is dropped rather than misfiled.
+    fn push(&self, index: usize, row: StreamRow) {
         let mut state = self.state.lock().expect("progress lock");
         if state.finished.is_none() && index == state.rows.len() {
             state.rows.push(row);
@@ -114,14 +127,14 @@ impl Progress {
 
     /// Marks the job settled, back-filling any rows the observer never
     /// saw (a whole-report cache hit skips execution entirely).
-    fn finish(&self, report: Option<&SweepReport>, view: JobView) {
+    fn finish(&self, rows: Option<Vec<StreamRow>>, view: JobView) {
         let mut state = self.state.lock().expect("progress lock");
         if state.finished.is_some() {
             return;
         }
-        if let Some(report) = report {
+        if let Some(rows) = rows {
             let seen = state.rows.len();
-            state.rows.extend(report.rows.iter().skip(seen).cloned());
+            state.rows.extend(rows.into_iter().skip(seen));
         }
         state.finished = Some(view);
         self.cv.notify_all();
@@ -129,7 +142,7 @@ impl Progress {
 
     /// Rows past `seen` plus the terminal view once settled; blocks up
     /// to `timeout` when neither is available yet.
-    pub fn wait(&self, seen: usize, timeout: Duration) -> (Vec<CornerRow>, Option<JobView>) {
+    pub fn wait(&self, seen: usize, timeout: Duration) -> (Vec<StreamRow>, Option<JobView>) {
         let mut state = self.state.lock().expect("progress lock");
         if state.rows.len() <= seen && state.finished.is_none() {
             let (guard, _) = self.cv.wait_timeout(state, timeout).expect("progress lock");
@@ -227,12 +240,13 @@ impl JobTable {
     /// Submits one request on the session's pool and returns its job id,
     /// or refuses with [`Backpressure`] when `capacity` jobs are already
     /// pending. Expired jobs are purged first, so a full table recovers
-    /// on its own as work drains. Sweep requests get a [`RowObserver`]
-    /// attached so their rows feed the job's [`Progress`] live.
+    /// on its own as work drains. Composite requests get an observer
+    /// attached ([`RowObserver`] on sweeps, [`DieObserver`] on repair
+    /// lots) so their rows feed the job's [`Progress`] live.
     pub fn submit(&self, session: &Session, request: RequestKind) -> Result<u64, Backpressure> {
-        // Build the progress (and, for sweeps, wire the observer) before
-        // taking the table lock: the observer closure only touches the
-        // progress's own lock, never the table's.
+        // Build the progress (and, for composites, wire the observer)
+        // before taking the table lock: the observer closure only touches
+        // the progress's own lock, never the table's.
         let (request, progress) = match request {
             RequestKind::Sweep(sweep) => {
                 let progress = Arc::new(Progress::new(sweep.row_count()));
@@ -241,10 +255,20 @@ impl JobTable {
                 let feed: Weak<Progress> = Arc::downgrade(&progress);
                 let sweep = sweep.observe_rows(RowObserver::new(move |index, row| {
                     if let Some(progress) = feed.upgrade() {
-                        progress.push(index, row.clone());
+                        progress.push(index, StreamRow::Corner(row.clone()));
                     }
                 }));
                 (RequestKind::Sweep(sweep), progress)
+            }
+            RequestKind::Repair(repair) => {
+                let progress = Arc::new(Progress::new(repair.die_count()));
+                let feed: Weak<Progress> = Arc::downgrade(&progress);
+                let repair = repair.observe_dies(DieObserver::new(move |index, outcome| {
+                    if let Some(progress) = feed.upgrade() {
+                        progress.push(index, StreamRow::Die(outcome.clone()));
+                    }
+                }));
+                (RequestKind::Repair(repair), progress)
             }
             other => (other, Arc::new(Progress::new(0))),
         };
@@ -312,12 +336,9 @@ impl JobTable {
                 let mut settled_now = false;
                 if let JobState::Pending(handle) = &mut entry.state {
                     if let Some(result) = handle.try_get() {
-                        let report = match &result {
-                            Ok(ResponseKind::Sweep(report)) => Some(report.clone()),
-                            _ => None,
-                        };
+                        let rows = backfill_rows(&result);
                         let view = settle(result);
-                        entry.progress.finish(report.as_deref(), view.clone());
+                        entry.progress.finish(rows, view.clone());
                         entry.state = JobState::Settled(view);
                         entry.settled_at = Some(now);
                         settled_now = true;
@@ -379,20 +400,17 @@ impl JobTable {
                 // entry pollable; the pool is gone so this resolves fast.
                 // A job that somehow fails to resolve within the window is
                 // reported canceled — shutdown must terminate.
-                let (view, report) = match handle.wait_timeout(Duration::from_secs(60)) {
+                let (view, rows) = match handle.wait_timeout(Duration::from_secs(60)) {
                     Some(result) => {
-                        let report = match &result {
-                            Ok(ResponseKind::Sweep(report)) => Some(report.clone()),
-                            _ => None,
-                        };
-                        (settle(result), report)
+                        let rows = backfill_rows(&result);
+                        (settle(result), rows)
                     }
                     None => (JobView::Canceled, None),
                 };
                 if view == JobView::Canceled {
                     canceled += 1;
                 }
-                entry.progress.finish(report.as_deref(), view.clone());
+                entry.progress.finish(rows, view.clone());
                 entry.state = JobState::Settled(view);
                 entry.settled_at = Some(now);
             }
@@ -413,6 +431,29 @@ impl Inner {
             None => true,
         });
         self.expired += (before - self.jobs.len()) as u64;
+    }
+}
+
+/// The full row list a settled composite result implies — what a
+/// whole-report cache hit back-fills into the progress feed in place of
+/// the observer rows that never fired.
+fn backfill_rows(result: &Result<ResponseKind, CnfetError>) -> Option<Vec<StreamRow>> {
+    match result {
+        Ok(ResponseKind::Sweep(report)) => Some(
+            report
+                .rows
+                .iter()
+                .map(|row| StreamRow::Corner(row.clone()))
+                .collect(),
+        ),
+        Ok(ResponseKind::Repair(report)) => Some(
+            report
+                .dies
+                .iter()
+                .map(|outcome| StreamRow::Die(outcome.clone()))
+                .collect(),
+        ),
+        _ => None,
     }
 }
 
@@ -544,6 +585,51 @@ mod tests {
         settled(&table, id);
         let (rows, finished) = progress.wait(0, Duration::from_millis(10));
         assert_eq!(rows.len(), 4, "cache-hit jobs back-fill every row");
+        assert!(finished.is_some());
+    }
+
+    #[test]
+    fn repair_progress_streams_die_rows_then_finishes() {
+        let session = Session::new();
+        let table = JobTable::new(8, Duration::from_secs(5));
+        let repair = RequestKind::from(
+            cnfet::RepairRequest::new([StdCellKind::Inv, StdCellKind::Nand(2)])
+                .dies(3)
+                .spares(1)
+                .base_seed(11),
+        );
+        let id = table.submit(&session, repair.clone()).unwrap();
+        let progress = table.watch(id).expect("job exists");
+        assert_eq!(progress.total(), 3);
+        let mut seen = 0;
+        let mut dies_streamed = 0;
+        let view = loop {
+            table.poll(id);
+            let (rows, finished) = progress.wait(seen, Duration::from_millis(10));
+            seen += rows.len();
+            dies_streamed += rows
+                .iter()
+                .filter(|row| matches!(row, StreamRow::Die(_)))
+                .count();
+            if let Some(view) = finished {
+                break view;
+            }
+        };
+        assert_eq!(seen, 3, "every die streams before the terminal view");
+        assert_eq!(dies_streamed, 3, "repair jobs stream die rows");
+        let JobView::Done(body) = view else {
+            panic!("repair failed: {view:?}");
+        };
+        assert_eq!(body.get("type").unwrap().as_str(), Some("repair"));
+        assert_eq!(body.get("dies").unwrap().as_arr().unwrap().len(), 3);
+
+        // The same lot again is a whole-report cache hit — the observer
+        // never fires, so the die rows must back-fill at settle.
+        let id = table.submit(&session, repair).unwrap();
+        let progress = table.watch(id).expect("job exists");
+        settled(&table, id);
+        let (rows, finished) = progress.wait(0, Duration::from_millis(10));
+        assert_eq!(rows.len(), 3, "cache-hit jobs back-fill every die row");
         assert!(finished.is_some());
     }
 

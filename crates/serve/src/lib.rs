@@ -3,7 +3,8 @@
 //! A std-only, dependency-free HTTP/1.1 + JSON server that exposes the
 //! full [`cnfet::Session`] engine to concurrent network clients: every
 //! request kind the engine services in-process — cells, libraries,
-//! immunity verdicts, flows, variation sweeps — is one `POST` away, and
+//! immunity verdicts, flows, variation sweeps, per-die repair lots — is
+//! one `POST` away, and
 //! all clients share one warm, sharded, single-flight cache. This is the
 //! serving shape of Hills-style co-optimization: many remote loops
 //! iterating processing/circuit corners against one memoizing engine.
@@ -16,18 +17,19 @@
 //! | `POST /v1/batch` | `{"requests": […]}`, fanned out on the engine's pool, answers in order |
 //! | `POST /v1/submit` | non-blocking; answers `202 {"jobs": [id, …]}` or `429` on backpressure |
 //! | `GET /v1/jobs/{id}` | `pending` (+ `age_ms`/`queued`) / `done` + result / `error` + payload / `canceled`; `410` once expired, `404` if never issued |
-//! | `GET /v1/jobs/{id}/stream` | chunked progress stream: a `start` event, one row per corner as the engine harvests it, then a terminal `done`/`error`/`canceled` event |
+//! | `GET /v1/jobs/{id}/stream` | chunked progress stream: a `start` event, one row per sweep corner (or repair die) as the engine harvests it, then a terminal `done`/`error`/`canceled` event |
 //! | `GET /v1/stats` | full engine [`SessionStats`](cnfet::SessionStats): per-class hits/misses/evictions, cache occupancy, pool counters, job table |
 //! | `GET /v1/healthz` | liveness |
 //!
 //! Result formats are negotiated per request with `Accept`: JSON is the
-//! default, sweep results can instead come back in the length-prefixed
-//! binary row encoding of [`encode`]
+//! default, sweep and repair results can instead come back in the
+//! length-prefixed binary row/die encoding of [`encode`]
 //! (`Accept: application/x-cnfet-rows`), and an `Accept` naming no
 //! format the server can produce answers `406`. With `--snapshot
-//! <PATH>` the server persists its sweep cache on graceful shutdown and
-//! warm-boots from it, so a restart replays prior sweeps as pure cache
-//! hits.
+//! <PATH>` the server persists its sweep cache on graceful shutdown —
+//! and periodically while serving (`--snapshot-interval-secs`), so an
+//! abrupt death loses at most one interval — and warm-boots from it, so
+//! a restart replays prior sweeps as pure cache hits.
 //!
 //! The request/response encodings are documented in [`wire`], the
 //! binary row/stream framing in [`encode`], the JSON dialect

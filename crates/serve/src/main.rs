@@ -20,7 +20,9 @@ OPTIONS:
     --job-capacity <N>        pending submit bound  [default: 1024]
     --job-ttl-secs <N>        settled-job expiry    [default: 300]
     --snapshot <PATH>         warm-boot from PATH and persist the sweep
-                              cache there on graceful shutdown
+                              cache there periodically and on shutdown
+    --snapshot-interval-secs <N>
+                              periodic snapshot flush cadence [default: 60]
     -h, --help                print this help
 ";
 
@@ -46,6 +48,10 @@ fn parse_flags(args: impl Iterator<Item = String>) -> Result<ServeConfig, String
                 config.job_ttl = Duration::from_secs(parse(&value("--job-ttl-secs")?)? as u64);
             }
             "--snapshot" => config.snapshot = Some(value("--snapshot")?.into()),
+            "--snapshot-interval-secs" => {
+                config.snapshot_interval =
+                    Duration::from_secs(parse(&value("--snapshot-interval-secs")?)? as u64);
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -70,7 +76,6 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let snapshot = config.snapshot.clone();
     let server = match Server::start(config) {
         Ok(server) => server,
         Err(e) => {
@@ -82,24 +87,10 @@ fn main() {
     println!(
         "  POST /v1/run /v1/batch /v1/submit · GET /v1/jobs/{{id}} /v1/jobs/{{id}}/stream /v1/stats /v1/healthz"
     );
-    // Serve until the process is terminated; worker threads do the rest.
-    // With --snapshot, the main thread doubles as a periodic persister:
-    // a standalone process is usually ended by a signal, not a graceful
-    // `Server::shutdown`, so flushing every minute keeps the next boot
-    // warm anyway (writes are atomic temp-file + rename).
-    match snapshot {
-        Some(path) => loop {
-            std::thread::sleep(Duration::from_secs(60));
-            if let Err(e) = server.session().save_snapshot(&path) {
-                eprintln!(
-                    "cnfet-serve: warning: failed to write snapshot {}: {e}",
-                    path.display()
-                );
-            }
-        },
-        None => loop {
-            std::thread::park();
-        },
+    // Serve until the process is terminated; the worker threads (and,
+    // with --snapshot, the server's own periodic flusher) do the rest.
+    loop {
+        std::thread::park();
     }
 }
 
@@ -130,6 +121,8 @@ mod tests {
             "60",
             "--snapshot",
             "/tmp/sweeps.snap",
+            "--snapshot-interval-secs",
+            "5",
         ])
         .unwrap();
         assert_eq!(config.addr, "0.0.0.0:9000");
@@ -143,6 +136,7 @@ mod tests {
             config.snapshot.as_deref(),
             Some(std::path::Path::new("/tmp/sweeps.snap"))
         );
+        assert_eq!(config.snapshot_interval, Duration::from_secs(5));
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use crate::encode::{self, Format};
 use crate::http::{self, ReadError, Request};
-use crate::jobtable::{JobTable, JobView, Polled};
+use crate::jobtable::{JobTable, JobView, Polled, StreamRow};
 use crate::json::{self, Json};
 use crate::wire;
 use cnfet::{RequestClass, ResponseKind, Session, SessionBuilder};
@@ -69,10 +69,16 @@ pub struct ServeConfig {
     pub job_ttl: Duration,
     /// Cache snapshot path (`--snapshot`). When set, the server
     /// warm-boots from the file if it exists (a corrupt or
-    /// version-mismatched snapshot logs a warning and boots cold) and
-    /// writes a fresh snapshot on graceful shutdown, so a restarted
-    /// server replays prior sweeps as pure cache hits.
+    /// version-mismatched snapshot logs a warning and boots cold),
+    /// flushes the file every [`snapshot_interval`](Self::snapshot_interval)
+    /// while running, and writes a final snapshot on graceful shutdown —
+    /// so a restarted server replays prior sweeps as pure cache hits
+    /// even when the previous process died abruptly between flushes.
     pub snapshot: Option<PathBuf>,
+    /// How often the background flusher persists the snapshot
+    /// (`--snapshot-interval-secs`). Only meaningful with
+    /// [`snapshot`](Self::snapshot) set.
+    pub snapshot_interval: Duration,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +92,7 @@ impl Default for ServeConfig {
             job_capacity: 1024,
             job_ttl: Duration::from_secs(300),
             snapshot: None,
+            snapshot_interval: Duration::from_secs(60),
         }
     }
 }
@@ -144,6 +151,13 @@ impl ServeConfig {
     #[must_use]
     pub fn snapshot(mut self, path: impl Into<PathBuf>) -> ServeConfig {
         self.snapshot = Some(path.into());
+        self
+    }
+
+    /// Replaces the periodic snapshot flush interval.
+    #[must_use]
+    pub fn snapshot_interval(mut self, interval: Duration) -> ServeConfig {
+        self.snapshot_interval = interval;
         self
     }
 }
@@ -208,6 +222,7 @@ pub struct Server {
     addr: SocketAddr,
     acceptor: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    flusher: Option<std::thread::JoinHandle<()>>,
     snapshot: Option<PathBuf>,
 }
 
@@ -281,12 +296,26 @@ impl Server {
                     .expect("spawn http worker")
             })
             .collect();
+        // The periodic flusher lives in the server, not the binary's
+        // main loop: an abrupt exit (SIGKILL, a crashed test harness, a
+        // dropped-without-shutdown server) still leaves a snapshot at
+        // most one interval old behind.
+        let flusher = config.snapshot.as_ref().map(|path| {
+            let shared = shared.clone();
+            let path = path.clone();
+            let interval = config.snapshot_interval;
+            std::thread::Builder::new()
+                .name("cnfet-serve-snapshot".to_string())
+                .spawn(move || flush_loop(&shared, &path, interval))
+                .expect("spawn snapshot flusher")
+        });
 
         Ok(Server {
             shared,
             addr,
             acceptor: Some(acceptor),
             workers,
+            flusher,
             snapshot: config.snapshot,
         })
     }
@@ -320,6 +349,9 @@ impl Server {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        if let Some(flusher) = self.flusher.take() {
+            let _ = flusher.join();
+        }
         // All worker handles are gone; this Arc is the last. Unwrap it so
         // the session — the engine's last live handle — actually drops:
         // its pool drains, and every still-queued job resolves canceled.
@@ -345,6 +377,35 @@ impl Server {
         ShutdownReport {
             jobs_canceled,
             requests_served,
+        }
+    }
+}
+
+/// Periodically persists the cache snapshot until shutdown. The final
+/// authoritative write still happens in [`Server::shutdown`]; this loop
+/// exists so ungraceful exits lose at most one interval of cache. Writes
+/// are atomic (temp file + rename), so a flush can never tear a
+/// concurrent warm boot from the same path. The shutdown flag is checked
+/// every [`READ_POLL`] so joining this thread is prompt even with long
+/// intervals.
+fn flush_loop(shared: &Shared, path: &std::path::Path, interval: Duration) {
+    let step = READ_POLL.min(interval);
+    let mut since_flush = Duration::ZERO;
+    loop {
+        std::thread::sleep(step);
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        since_flush += step;
+        if since_flush < interval {
+            continue;
+        }
+        since_flush = Duration::ZERO;
+        if let Err(e) = shared.session.save_snapshot(path) {
+            eprintln!(
+                "cnfet-serve: warning: failed to write snapshot {}: {e}",
+                path.display()
+            );
         }
     }
 }
@@ -580,8 +641,8 @@ fn route(request: &Request, shared: &Shared) -> Routed {
             ),
         };
     }
-    // Binary form exists only for sweep results; on any other route the
-    // client asked for an encoding the response cannot take.
+    // Binary form exists only for sweep and repair results; on any other
+    // route the client asked for an encoding the response cannot take.
     if format == Format::Binary {
         if method == "POST" && request.path == "/v1/run" {
             return run_binary(request, shared);
@@ -590,7 +651,7 @@ fn route(request: &Request, shared: &Shared) -> Routed {
             406,
             wire::error_body(
                 "not_acceptable",
-                "the binary row encoding is only defined for sweep results (POST /v1/run with a sweep request, or GET /v1/jobs/{id}/stream)",
+                "the binary row encoding is only defined for sweep and repair results (POST /v1/run with a sweep or repair request, or GET /v1/jobs/{id}/stream)",
                 None,
             ),
         );
@@ -600,7 +661,8 @@ fn route(request: &Request, shared: &Shared) -> Routed {
 }
 
 /// `POST /v1/run` with `Accept: application/x-cnfet-rows`: a sweep
-/// answers as a binary row table; any other result kind is `406`.
+/// answers as a binary row table, a repair lot as a binary die table;
+/// any other result kind is `406`.
 fn run_binary(request: &Request, shared: &Shared) -> Routed {
     let value = match parse_body(&request.body) {
         Ok(value) => value,
@@ -616,11 +678,14 @@ fn run_binary(request: &Request, shared: &Shared) -> Routed {
         Ok(ResponseKind::Sweep(report)) => {
             Routed::Binary(200, encode::encode_row_table(&report.rows))
         }
+        Ok(ResponseKind::Repair(report)) => {
+            Routed::Binary(200, encode::encode_die_table(&report.dies))
+        }
         Ok(_) => Routed::Json(
             406,
             wire::error_body(
                 "not_acceptable",
-                "the binary row encoding is only defined for sweep results; request this kind as application/json",
+                "the binary row encoding is only defined for sweep and repair results; request this kind as application/json",
                 None,
             ),
         ),
@@ -632,7 +697,7 @@ fn run_binary(request: &Request, shared: &Shared) -> Routed {
 }
 
 /// Serves `GET /v1/jobs/{id}/stream`: a chunked response of progress
-/// events and corner rows, flushed as the engine harvests them, ending
+/// events and corner/die rows, flushed as the engine harvests them, ending
 /// in a terminal `done` / `error` / `canceled` event. A write failure
 /// (the peer hung up mid-stream) ends the handler immediately — the
 /// worker is freed and the job settles in the table like any other.
@@ -672,19 +737,32 @@ fn stream_job(stream: &mut TcpStream, shared: &Shared, id: u64, format: Format) 
         let (rows, finished) = progress.wait(seen, READ_POLL);
         for (offset, row) in rows.iter().enumerate() {
             let written = match format {
-                Format::Json => emit_event(
-                    stream,
-                    format,
-                    &Json::obj([
-                        ("event", Json::str("row")),
-                        ("index", Json::from(seen + offset)),
-                        ("row", wire::render_row(row)),
-                    ]),
-                ),
-                Format::Binary => http::write_chunk(
-                    stream,
-                    &encode::frame(encode::FRAME_ROW, &encode::encode_row(row)),
-                ),
+                Format::Json => {
+                    let rendered = match row {
+                        StreamRow::Corner(row) => wire::render_row(row),
+                        StreamRow::Die(outcome) => wire::render_die_row(outcome),
+                    };
+                    emit_event(
+                        stream,
+                        format,
+                        &Json::obj([
+                            ("event", Json::str("row")),
+                            ("index", Json::from(seen + offset)),
+                            ("row", rendered),
+                        ]),
+                    )
+                }
+                Format::Binary => {
+                    let framed = match row {
+                        StreamRow::Corner(row) => {
+                            encode::frame(encode::FRAME_ROW, &encode::encode_row(row))
+                        }
+                        StreamRow::Die(outcome) => {
+                            encode::frame(encode::FRAME_DIE, &encode::encode_die(outcome))
+                        }
+                    };
+                    http::write_chunk(stream, &framed)
+                }
             };
             if written.is_err() {
                 return;

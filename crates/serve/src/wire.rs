@@ -23,6 +23,11 @@
 //!             "metallic_fraction": 0.0, "seed": 42}}
 //! {"type": "tran", "deck": "V1 in 0 DC 1\nR1 in out 1k\nC1 out 0 1p\n.end",
 //!  "dt": 1e-11, "t_stop": 1e-8, "probes": ["out"]}
+//! {"type": "repair", "cells": [{"kind": "inv"}, {"kind": "nand2"}],
+//!  "dies": 1000, "seed": 7, "spares": 2, "solver": "auto",
+//!  "params": {"metallic_fraction": 0.05, "misposition_fraction": 0.2},
+//!  "adjacent": [[0, 1]]}
+//! {"type": "die", "cells": [{"kind": "inv"}], "die": 42, "seed": 7}
 //! ```
 //!
 //! Cell kinds are `inv`, `nand2..4`, `nor2..4`, `aoi21`, `aoi22`,
@@ -55,15 +60,16 @@ use crate::json::Json;
 use cnfet::core::{GenerateOptions, Scheme, StdCellKind};
 use cnfet::dk::CellLibrary;
 use cnfet::immunity::McOptions;
+use cnfet::repair::{DefectParams, DieOutcome, Solver};
 use cnfet::spice::SimError;
 use cnfet::sweep::{
     CornerRow, CornerSummary, SweepCornerRequest, SweepMetrics, SweepReport, SweepRequest,
     VariationCorner, VariationGrid,
 };
 use cnfet::{
-    CellRequest, CellResult, CnfetError, FlowRequest, FlowResult, FlowSource, FlowTarget,
-    ImmunityEngine, ImmunityReport, ImmunityRequest, LibraryRequest, RequestKind, ResponseKind,
-    SimSpec, TranRequest, TranResult,
+    CellRequest, CellResult, CnfetError, DieRequest, FlowRequest, FlowResult, FlowSource,
+    FlowTarget, ImmunityEngine, ImmunityReport, ImmunityRequest, LibraryRequest, RepairReport,
+    RepairRequest, RequestKind, ResponseKind, SimSpec, TranRequest, TranResult,
 };
 use std::collections::BTreeMap;
 
@@ -229,6 +235,8 @@ fn parse_request_at(value: &Json, path: &str) -> Result<RequestKind, WireError> 
         "sweep" => Ok(RequestKind::Sweep(parse_sweep(value, path)?)),
         "sweep_corner" => Ok(RequestKind::SweepCorner(parse_sweep_corner(value, path)?)),
         "tran" => Ok(RequestKind::Tran(parse_tran(value, path)?)),
+        "repair" => Ok(RequestKind::Repair(parse_repair(value, path)?)),
+        "die" => Ok(RequestKind::Die(parse_die(value, path)?)),
         other => Err(WireError::new(
             &join(path, "type"),
             format!("unknown request type `{other}`"),
@@ -466,13 +474,7 @@ fn parse_grid(value: &Json, path: &str) -> Result<VariationGrid, WireError> {
 }
 
 fn parse_sweep(value: &Json, path: &str) -> Result<SweepRequest, WireError> {
-    let cells_path = join(path, "cells");
-    let cells = as_arr(need(value, path, "cells")?, &cells_path)?
-        .iter()
-        .enumerate()
-        .map(|(i, c)| parse_cell(c, &format!("{cells_path}[{i}]")))
-        .collect::<Result<Vec<CellRequest>, WireError>>()?;
-    let mut request = SweepRequest::new(cells);
+    let mut request = SweepRequest::new(parse_cells(value, path)?);
     if let Some(grid) = opt(value, "grid") {
         request = request.grid(parse_grid(grid, &join(path, "grid"))?);
     }
@@ -557,6 +559,110 @@ fn parse_tran(value: &Json, path: &str) -> Result<TranRequest, WireError> {
     Ok(request)
 }
 
+fn parse_cells(value: &Json, path: &str) -> Result<Vec<CellRequest>, WireError> {
+    let cells_path = join(path, "cells");
+    as_arr(need(value, path, "cells")?, &cells_path)?
+        .iter()
+        .enumerate()
+        .map(|(i, c)| parse_cell(c, &format!("{cells_path}[{i}]")))
+        .collect()
+}
+
+fn parse_defect_params(value: &Json, path: &str) -> Result<DefectParams, WireError> {
+    let mut params = DefectParams::default();
+    if let Some(fraction) = opt(value, "metallic_fraction") {
+        params.metallic_fraction = as_f64(fraction, &join(path, "metallic_fraction"))?;
+    }
+    if let Some(fraction) = opt(value, "open_fraction") {
+        params.open_fraction = as_f64(fraction, &join(path, "open_fraction"))?;
+    }
+    if let Some(fraction) = opt(value, "misposition_fraction") {
+        params.misposition_fraction = as_f64(fraction, &join(path, "misposition_fraction"))?;
+    }
+    if let Some(tubes) = opt(value, "tubes_per_site") {
+        params.tubes_per_site = as_u64(tubes, &join(path, "tubes_per_site"))? as u32;
+    }
+    if let Some(tolerance) = opt(value, "open_tolerance") {
+        params.open_tolerance = as_f64(tolerance, &join(path, "open_tolerance"))?;
+    }
+    if let Some(tau) = opt(value, "tau") {
+        params.tau = as_f64(tau, &join(path, "tau"))?;
+    }
+    if let Some(len) = opt(value, "segment_len_lambda") {
+        params.segment_len_lambda = as_f64(len, &join(path, "segment_len_lambda"))?;
+    }
+    Ok(params)
+}
+
+fn parse_solver(value: &Json, path: &str) -> Result<Solver, WireError> {
+    match as_str(value, path)? {
+        "auto" => Ok(Solver::Auto),
+        "matching" => Ok(Solver::Matching),
+        "sat" => Ok(Solver::Sat),
+        other => Err(WireError::new(
+            path,
+            format!("unknown solver `{other}` (auto, matching, sat)"),
+        )),
+    }
+}
+
+fn parse_adjacent(value: &Json, path: &str) -> Result<Vec<(u32, u32)>, WireError> {
+    let Some(pairs) = opt(value, "adjacent") else {
+        return Ok(Vec::new());
+    };
+    let path = join(path, "adjacent");
+    as_arr(pairs, &path)?
+        .iter()
+        .enumerate()
+        .map(|(i, pair)| {
+            let pair_path = format!("{path}[{i}]");
+            let pair = as_arr(pair, &pair_path)?;
+            if pair.len() != 2 {
+                return Err(WireError::new(&pair_path, "expected a [from, to] pair"));
+            }
+            Ok((
+                as_u64(&pair[0], &format!("{pair_path}[0]"))? as u32,
+                as_u64(&pair[1], &format!("{pair_path}[1]"))? as u32,
+            ))
+        })
+        .collect()
+}
+
+fn parse_repair(value: &Json, path: &str) -> Result<RepairRequest, WireError> {
+    let mut request = RepairRequest::new(parse_cells(value, path)?);
+    if let Some(dies) = opt(value, "dies") {
+        request = request.dies(as_u64(dies, &join(path, "dies"))?);
+    }
+    if let Some(seed) = opt(value, "seed") {
+        request = request.base_seed(as_u64(seed, &join(path, "seed"))?);
+    }
+    if let Some(spares) = opt(value, "spares") {
+        request = request.spares(as_u64(spares, &join(path, "spares"))? as u32);
+    }
+    if let Some(params) = opt(value, "params") {
+        request = request.params(parse_defect_params(params, &join(path, "params"))?);
+    }
+    if let Some(solver) = opt(value, "solver") {
+        request = request.solver(parse_solver(solver, &join(path, "solver"))?);
+    }
+    Ok(request.adjacent(parse_adjacent(value, path)?))
+}
+
+fn parse_die(value: &Json, path: &str) -> Result<DieRequest, WireError> {
+    // One die shares the repair request's fields minus the lot size; the
+    // required `die` index addresses the lot's seeded defect stream.
+    let lot = parse_repair(value, path)?;
+    Ok(DieRequest {
+        cells: lot.cells,
+        die: as_u64(need(value, path, "die")?, &join(path, "die"))?,
+        base_seed: lot.base_seed,
+        spares: lot.spares,
+        params: lot.params,
+        solver: lot.solver,
+        adjacent: lot.adjacent,
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Response rendering
 // ---------------------------------------------------------------------------
@@ -578,6 +684,15 @@ pub fn render_response(response: &ResponseKind) -> Json {
             Json::Obj(fields)
         }
         ResponseKind::Tran(r) => render_tran(r),
+        ResponseKind::Repair(r) => render_repair(r),
+        ResponseKind::Die(outcome) => {
+            let mut fields = match render_die_row(outcome) {
+                Json::Obj(fields) => fields,
+                _ => unreachable!("die rows render as objects"),
+            };
+            fields.insert(0, ("type".to_string(), Json::str("die")));
+            Json::Obj(fields)
+        }
     }
 }
 
@@ -757,6 +872,51 @@ fn render_sweep(report: &SweepReport) -> Json {
                 .as_ref()
                 .map_or(Json::Null, render_summary),
         ),
+    ])
+}
+
+pub(crate) fn render_die_row(outcome: &DieOutcome) -> Json {
+    Json::obj([
+        ("die", Json::from(outcome.die)),
+        ("sites", Json::from(u64::from(outcome.sites))),
+        (
+            "defective_sites",
+            Json::from(u64::from(outcome.defective_sites)),
+        ),
+        ("repaired", Json::from(outcome.repaired)),
+        ("solver", Json::str(outcome.solver)),
+        ("spares_used", Json::from(u64::from(outcome.spares_used))),
+        (
+            "assignment",
+            outcome
+                .assignment
+                .iter()
+                .map(|site| Json::from(site.map(u64::from)))
+                .collect::<Json>(),
+        ),
+    ])
+}
+
+fn render_repair(report: &RepairReport) -> Json {
+    Json::obj([
+        ("type", Json::str("repair")),
+        ("cells", Json::from(report.cells)),
+        ("spares", Json::from(u64::from(report.spares))),
+        (
+            "dies",
+            report.dies.iter().map(render_die_row).collect::<Json>(),
+        ),
+        ("repaired_dies", Json::from(report.repaired_dies)),
+        (
+            "unrepairable",
+            report.unrepairable.iter().copied().collect::<Json>(),
+        ),
+        ("spares_used", Json::from(report.spares_used)),
+        (
+            "yield_after_repair",
+            Json::from(report.yield_after_repair()),
+        ),
+        ("spare_utilization", Json::from(report.spare_utilization())),
     ])
 }
 

@@ -926,17 +926,216 @@ fn snapshot_warm_boot_replays_as_pure_hits() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_get_post_shims_still_answer() {
-    // The 0.3 surface keeps working through the 0.4 deprecation cycle.
-    let server = server();
+fn periodic_flush_warm_boots_while_the_first_server_still_runs() {
+    let path = scratch_path("midrun.snap");
+    let _ = std::fs::remove_file(&path);
+
+    // Server 1 flushes on a tight cadence; pay for a sweep, then wait
+    // for the background flusher — not shutdown — to persist it.
+    let server = Server::start(
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .snapshot(&path)
+            .snapshot_interval(Duration::from_millis(50)),
+    )
+    .unwrap();
     let mut client = Client::new(server.addr());
-    client.get("/v1/healthz").unwrap().expect_status(200);
-    let result = client
-        .post("/v1/run", &cell("inv"))
+    let report = client
+        .request("POST", "/v1/run")
+        .body(&small_sweep(23))
+        .send()
         .unwrap()
         .expect_status(200);
-    assert_eq!(result.get("type").unwrap().as_str(), Some("cell"));
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while !path.exists() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "periodic flusher never wrote {}",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Server 2 warm-boots from the mid-run flush while server 1 is
+    // still alive — the abrupt-death story: whatever was flushed last
+    // is enough to replay the sweep without re-executing it.
+    let warm = Server::start(ServeConfig::default().addr("127.0.0.1:0").snapshot(&path)).unwrap();
+    let mut warm_client = Client::new(warm.addr());
+    let stats = warm_client
+        .request("GET", "/v1/stats")
+        .send()
+        .unwrap()
+        .expect_status(200);
+    assert!(
+        class_stat(&stats, "sweeps", "entries") > 0,
+        "warm boot restored the flushed sweep cache"
+    );
+    let misses_at_boot = class_stat(&stats, "sweeps", "misses");
+    let replay = warm_client
+        .request("POST", "/v1/run")
+        .body(&small_sweep(23))
+        .send()
+        .unwrap()
+        .expect_status(200);
+    assert_eq!(replay.render(), report.render(), "deterministic replay");
+    let stats = warm_client
+        .request("GET", "/v1/stats")
+        .send()
+        .unwrap()
+        .expect_status(200);
+    assert_eq!(
+        class_stat(&stats, "sweeps", "misses"),
+        misses_at_boot,
+        "the warm-booted sweep executed nothing"
+    );
+    warm.shutdown();
+    server.shutdown();
+}
+
+fn repair_lot(dies: u64) -> Json {
+    Json::obj([
+        ("type", Json::str("repair")),
+        (
+            "cells",
+            Json::Arr(vec![cell_fields("inv"), cell_fields("nand2")]),
+        ),
+        ("dies", Json::from(dies)),
+        ("seed", Json::from(0xB0BBAu64)),
+        ("spares", Json::from(2u64)),
+        (
+            "params",
+            Json::obj([
+                ("metallic_fraction", Json::from(0.05)),
+                ("misposition_fraction", Json::from(0.2)),
+            ]),
+        ),
+    ])
+}
+
+#[test]
+fn repair_lot_streams_dies_and_reuses_overlap() {
+    let server = server();
+    let mut client = Client::new(server.addr());
+
+    // A 1000-die lot over the wire: the start event announces the lot
+    // size, every die arrives as its own row in order, and the terminal
+    // payload carries the assembled report.
+    let mut total = 0;
+    let mut rows = 0u64;
+    let mut done = None;
+    client
+        .submit_and_stream(&repair_lot(1000), Format::Json, |event| match event {
+            StreamEvent::Start { total: t, .. } => total = t,
+            StreamEvent::Row { index, row } => {
+                assert_eq!(index, rows, "dies stream in order");
+                assert_eq!(row.get("die").and_then(Json::as_u64), Some(rows));
+                rows += 1;
+            }
+            StreamEvent::Done(result) => done = Some(result),
+            other => panic!("unexpected event {other:?}"),
+        })
+        .unwrap();
+    assert_eq!(total, 1000);
+    assert_eq!(rows, 1000, "every die was streamed");
+    let done = done.expect("terminal done event");
+    assert_eq!(done.get("type").unwrap().as_str(), Some("repair"));
+    assert_eq!(done.get("dies").unwrap().as_arr().unwrap().len(), 1000);
+
+    let stats = client
+        .request("GET", "/v1/stats")
+        .send()
+        .unwrap()
+        .expect_status(200);
+    let hits = class_stat(&stats, "repairs", "hits");
+    let misses = class_stat(&stats, "repairs", "misses");
+
+    // Replaying the identical lot is one pure whole-report hit.
+    let replay = client
+        .request("POST", "/v1/run")
+        .body(&repair_lot(1000))
+        .send()
+        .unwrap()
+        .expect_status(200);
+    assert_eq!(replay.get("dies").unwrap().as_arr().unwrap().len(), 1000);
+    let stats = client
+        .request("GET", "/v1/stats")
+        .send()
+        .unwrap()
+        .expect_status(200);
+    assert_eq!(class_stat(&stats, "repairs", "hits"), hits + 1);
+    assert_eq!(
+        class_stat(&stats, "repairs", "misses"),
+        misses,
+        "no die re-ran"
+    );
+
+    // Growing the lot to 1200 dies reuses all 1000 cached dies and
+    // executes only the 200 new ones (plus the grown report itself).
+    let grown = client
+        .request("POST", "/v1/run")
+        .body(&repair_lot(1200))
+        .send()
+        .unwrap()
+        .expect_status(200);
+    assert_eq!(grown.get("dies").unwrap().as_arr().unwrap().len(), 1200);
+    let stats = client
+        .request("GET", "/v1/stats")
+        .send()
+        .unwrap()
+        .expect_status(200);
+    assert_eq!(
+        class_stat(&stats, "repairs", "hits"),
+        hits + 1 + 1000,
+        "the grown lot reused every previously repaired die"
+    );
+    assert_eq!(
+        class_stat(&stats, "repairs", "misses"),
+        misses + 200 + 1,
+        "only the added dies (and the new report key) executed"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn binary_die_tables_reassemble_identical_to_json() {
+    let server = server();
+    let mut client = Client::new(server.addr());
+
+    // Buffered: the binary die table decodes to exactly the JSON dies.
+    let json_report = client
+        .request("POST", "/v1/run")
+        .body(&repair_lot(6))
+        .send()
+        .unwrap()
+        .expect_status(200);
+    let json_dies = json_report.get("dies").unwrap().as_arr().unwrap();
+    let binary = client
+        .request("POST", "/v1/run")
+        .body(&repair_lot(6))
+        .accept(Format::Binary)
+        .send()
+        .unwrap();
+    assert_eq!(binary.status, 200);
+    assert_eq!(binary.content_type, "application/x-cnfet-rows");
+    let decoded = encode::decode_die_table(&binary.bytes).unwrap();
+    assert_eq!(decoded.len(), json_dies.len());
+    for (decoded, json) in decoded.iter().zip(json_dies) {
+        assert_eq!(decoded.render(), json.render());
+    }
+
+    // Streamed: FRAME_DIE frames decode to the same dies too.
+    let mut streamed = Vec::new();
+    client
+        .submit_and_stream(&repair_lot(6), Format::Binary, |event| {
+            if let StreamEvent::Row { row, .. } = event {
+                streamed.push(row);
+            }
+        })
+        .unwrap();
+    assert_eq!(streamed.len(), json_dies.len());
+    for (streamed, json) in streamed.iter().zip(json_dies) {
+        assert_eq!(streamed.render(), json.render());
+    }
     server.shutdown();
 }
 

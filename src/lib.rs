@@ -34,6 +34,8 @@
 //! | [`FlowRequest`] | [`FlowResult`] | place → simulate → GDSII |
 //! | [`SweepRequest`] | [`SweepReport`] | a variation sweep fanning out per-corner sub-requests |
 //! | [`SweepCornerRequest`] | [`CornerRow`] | one cell at one process corner |
+//! | [`RepairRequest`] | [`RepairReport`] | a per-die defect/repair lot fanning out per-die sub-requests |
+//! | [`DieRequest`] | [`repair::DieOutcome`] | one die: sample defects, test sites, assign cells |
 //! | [`TranRequest`] | [`TranResult`] | a SPICE-deck transient on the MNA engine (uncached) |
 //! | [`RequestKind`] (any mix) | [`ResponseKind`] | dispatch to the above |
 //!
@@ -41,16 +43,19 @@
 //! schedules per-corner sub-requests on the same pool (deadlock-free on
 //! a bounded worker set — see [`sweep`]) and reduces them into per-corner
 //! rows, a delay/energy/yield Pareto frontier, and best/worst-corner
-//! summaries.
+//! summaries. [`RepairRequest`] is the second, same shape over dies
+//! instead of corners: sample a seed-keyed defect map per die, test
+//! every site against every cell layout, and assign cells onto healthy
+//! sites with bipartite matching or the in-repo SAT solver ([`repair`]).
 //!
 //! The per-kind methods of the 0.1 line (`Session::generate`,
 //! `::library`, `::immunity`, `::flow`, `::generate_batch`) were
 //! deprecated in 0.2.0 and are **removed** as of 0.3.0 — migrate
 //! `session.generate(&r)` to `session.run(&r)`, and `generate_batch` to
 //! [`Session::run_batch`] / [`Session::submit_all`]. The same
-//! one-release policy applies to the 0.4.0 wire-client deprecations:
-//! `cnfet_serve::Client::get`/`::post` give way to the
-//! `Client::request(…)` builder and will be removed in 0.5.
+//! one-release policy retired the 0.4.0 wire-client deprecations in
+//! 0.5.0: `cnfet_serve::Client::get`/`::post` are gone — use the
+//! `Client::request(…)` builder.
 //!
 //! # Quickstart
 //!
@@ -96,7 +101,7 @@
 //! * [`flow`] — logic-to-GDSII: synthesis, placement, simulation, assembly.
 //!
 //! Under the hood every request class ([`RequestClass`]: cells,
-//! libraries, immunity verdicts, flow results, sweeps) is memoized by
+//! libraries, immunity verdicts, flow results, sweeps, repairs) is memoized by
 //! its own sharded, bounded, single-flight LRU cache ([`cache`]) — tune
 //! it with [`SessionBuilder::cache_capacity`] and
 //! [`SessionBuilder::cache_shards`] — and batches and submitted jobs run
@@ -132,6 +137,7 @@ mod batch;
 pub mod cache;
 mod error;
 mod jobs;
+pub mod repair;
 mod request;
 mod session;
 pub mod snapshot;
@@ -141,6 +147,7 @@ pub mod sweep;
 pub use cache::{CacheStats, ShardStats};
 pub use error::{CnfetError, Result};
 pub use jobs::JobHandle;
+pub use repair::{DieObserver, DieRequest, RepairReport, RepairRequest};
 pub use request::{CacheKey, RequestClass, RequestKind, ResponseKind, SessionRequest};
 pub use session::{
     CellRequest, CellResult, FlowRequest, FlowResult, FlowSource, FlowTarget, ImmunityEngine,

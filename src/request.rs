@@ -39,6 +39,7 @@ use crate::flow::{
     simulate_netlist_with, Tech,
 };
 use crate::immunity::{certify, simulate};
+use crate::repair::{DieOutcome, DieRequest, RepairReport, RepairRequest};
 use crate::session::{
     CellKey, CellRequest, CellResult, FlowRequest, FlowResult, FlowSource, FlowTarget,
     ImmunityEngine, ImmunityReport, ImmunityRequest, LibraryRequest, Session, TranRequest,
@@ -51,7 +52,7 @@ use std::sync::Arc;
 // Request classes and cache keys
 // ---------------------------------------------------------------------------
 
-/// The five request kinds a session services, each with its own
+/// The six request kinds a session services, each with its own
 /// memoization cache and per-kind counters in
 /// [`SessionStats`](crate::SessionStats).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -69,16 +70,22 @@ pub enum RequestClass {
     /// ([`SweepCornerRequest`]) memoize here, so overlapping sweeps share
     /// corner results.
     Sweeps,
+    /// A per-die defect-map repair lot — both whole lots
+    /// ([`RepairRequest`]) and the per-die sub-requests they fan out
+    /// ([`DieRequest`]) memoize here, so overlapping lots share die
+    /// outcomes.
+    Repairs,
 }
 
 impl RequestClass {
     /// Every request class, in cache order.
-    pub const ALL: [RequestClass; 5] = [
+    pub const ALL: [RequestClass; 6] = [
         RequestClass::Cell,
         RequestClass::Library,
         RequestClass::Immunity,
         RequestClass::Flow,
         RequestClass::Sweeps,
+        RequestClass::Repairs,
     ];
 
     /// Stable index of this class into the session's cache array.
@@ -89,6 +96,7 @@ impl RequestClass {
             RequestClass::Immunity => 2,
             RequestClass::Flow => 3,
             RequestClass::Sweeps => 4,
+            RequestClass::Repairs => 5,
         }
     }
 
@@ -100,6 +108,7 @@ impl RequestClass {
             RequestClass::Immunity => "immunity",
             RequestClass::Flow => "flow",
             RequestClass::Sweeps => "sweeps",
+            RequestClass::Repairs => "repairs",
         }
     }
 }
@@ -135,6 +144,16 @@ pub(crate) enum KeyInner {
     /// cache next to whole sweeps — the variant tag keeps a one-corner
     /// sweep and its own corner from ever colliding.
     SweepCorner(String),
+    /// Whole repair lots: a canonical rendering of the resolved cell
+    /// keys plus the lot size, seed, spare count, process parameters,
+    /// solver, and adjacency constraints.
+    Repair(String),
+    /// One die's repair: the same rendering with the die *index* in
+    /// place of the lot size — never the surrounding lot's die count, so
+    /// overlapping lots share die outcomes. Lives in the
+    /// [`RequestClass::Repairs`] cache next to whole lots; the variant
+    /// tag keeps a one-die lot and its own die from ever colliding.
+    Die(String),
 }
 
 impl CacheKey {
@@ -147,6 +166,7 @@ impl CacheKey {
             KeyInner::Immunity { .. } => RequestClass::Immunity,
             KeyInner::Flow(_) => RequestClass::Flow,
             KeyInner::Sweep(_) | KeyInner::SweepCorner(_) => RequestClass::Sweeps,
+            KeyInner::Repair(_) | KeyInner::Die(_) => RequestClass::Repairs,
         }
     }
 }
@@ -500,6 +520,69 @@ impl SessionRequest for SweepCornerRequest {
 }
 
 // ---------------------------------------------------------------------------
+// Die repair (composite requests)
+// ---------------------------------------------------------------------------
+
+impl sealed::Sealed for RepairRequest {}
+
+impl SessionRequest for RepairRequest {
+    type Output = Arc<RepairReport>;
+
+    /// Whole-lot memoization: cell keys are resolved against the session
+    /// defaults (implicit and explicit defaults share one entry), then
+    /// combined with the lot size, seed, spare count, process
+    /// parameters, solver, and adjacency constraints. The attached
+    /// [`DieObserver`](crate::DieObserver), if any, is deliberately
+    /// excluded — observation is not identity.
+    fn cache_key(&self, session: &Session) -> Option<CacheKey> {
+        let cell_keys: Vec<CellKey> = self
+            .cells
+            .iter()
+            .map(|cell| session.catalog_key(cell).0)
+            .collect();
+        Some(CacheKey(KeyInner::Repair(format!(
+            "{cell_keys:?}|{}|{}|{}|{:?}|{:?}|{:?}",
+            self.dies, self.base_seed, self.spares, self.params, self.solver, self.adjacent
+        ))))
+    }
+
+    /// Fans one [`DieRequest`] per die out through the session's job
+    /// pool (each memoized in the [`RequestClass::Repairs`] cache) and
+    /// reduces the outcomes into a [`RepairReport`]. See
+    /// [`crate::repair`] for the full semantics, including the
+    /// batch-targeted helping rule that keeps the fan-out deadlock-free
+    /// on a bounded worker set.
+    fn execute(&self, session: &Session) -> Result<Arc<RepairReport>> {
+        crate::repair::execute_repair(self, session)
+    }
+}
+
+impl sealed::Sealed for DieRequest {}
+
+impl SessionRequest for DieRequest {
+    type Output = DieOutcome;
+
+    /// Per-die memoization: keyed by the die *index* within the seeded
+    /// stream, never by any surrounding lot's size — a lot that overlaps
+    /// an earlier one re-executes only the dies it adds.
+    fn cache_key(&self, session: &Session) -> Option<CacheKey> {
+        let cell_keys: Vec<CellKey> = self
+            .cells
+            .iter()
+            .map(|cell| session.catalog_key(cell).0)
+            .collect();
+        Some(CacheKey(KeyInner::Die(format!(
+            "{cell_keys:?}|{}|{}|{}|{:?}|{:?}|{:?}",
+            self.die, self.base_seed, self.spares, self.params, self.solver, self.adjacent
+        ))))
+    }
+
+    fn execute(&self, session: &Session) -> Result<DieOutcome> {
+        crate::repair::execute_die(self, session)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Custom cells (explicit pull networks)
 // ---------------------------------------------------------------------------
 
@@ -584,6 +667,12 @@ pub enum RequestKind {
     /// One sweep corner ([`SweepCornerRequest`]) — the currency of a
     /// sweep's internal fan-out, also submittable directly.
     SweepCorner(SweepCornerRequest),
+    /// A composite [`RepairRequest`] (fans out per-die sub-requests on
+    /// the same pool).
+    Repair(RepairRequest),
+    /// One die's repair ([`DieRequest`]) — the currency of a repair
+    /// lot's internal fan-out, also submittable directly.
+    Die(DieRequest),
     /// A deck transient run ([`TranRequest`]) — the one uncached kind:
     /// it belongs to no [`RequestClass`] and executes fresh every time.
     Tran(TranRequest),
@@ -603,6 +692,18 @@ impl RequestKind {
         }
     }
 
+    /// The wrapped repair lot, if this is a [`RequestKind::Repair`].
+    /// Mutable for the same reason as [`RequestKind::as_sweep_mut`]: the
+    /// serve tier attaches a [`DieObserver`](crate::DieObserver) to lots
+    /// arriving as heterogeneous submissions before handing the mix to
+    /// [`Session::submit_all`](crate::Session::submit_all).
+    pub fn as_repair_mut(&mut self) -> Option<&mut RepairRequest> {
+        match self {
+            RequestKind::Repair(r) => Some(r),
+            _ => None,
+        }
+    }
+
     /// Which request class this wraps, or `None` for the uncached
     /// [`RequestKind::Tran`].
     pub fn class(&self) -> Option<RequestClass> {
@@ -612,6 +713,7 @@ impl RequestKind {
             RequestKind::Immunity(_) => Some(RequestClass::Immunity),
             RequestKind::Flow(_) => Some(RequestClass::Flow),
             RequestKind::Sweep(_) | RequestKind::SweepCorner(_) => Some(RequestClass::Sweeps),
+            RequestKind::Repair(_) | RequestKind::Die(_) => Some(RequestClass::Repairs),
             RequestKind::Tran(_) => None,
         }
     }
@@ -653,6 +755,18 @@ impl From<SweepCornerRequest> for RequestKind {
     }
 }
 
+impl From<RepairRequest> for RequestKind {
+    fn from(r: RepairRequest) -> RequestKind {
+        RequestKind::Repair(r)
+    }
+}
+
+impl From<DieRequest> for RequestKind {
+    fn from(r: DieRequest) -> RequestKind {
+        RequestKind::Die(r)
+    }
+}
+
 impl From<TranRequest> for RequestKind {
     fn from(r: TranRequest) -> RequestKind {
         RequestKind::Tran(r)
@@ -675,6 +789,10 @@ pub enum ResponseKind {
     Sweep(Arc<SweepReport>),
     /// Result of a [`RequestKind::SweepCorner`].
     SweepCorner(CornerRow),
+    /// Result of a [`RequestKind::Repair`].
+    Repair(Arc<RepairReport>),
+    /// Result of a [`RequestKind::Die`].
+    Die(DieOutcome),
     /// Result of a [`RequestKind::Tran`].
     Tran(TranResult),
 }
@@ -689,6 +807,7 @@ impl ResponseKind {
             ResponseKind::Immunity(_) => Some(RequestClass::Immunity),
             ResponseKind::Flow(_) => Some(RequestClass::Flow),
             ResponseKind::Sweep(_) | ResponseKind::SweepCorner(_) => Some(RequestClass::Sweeps),
+            ResponseKind::Repair(_) | ResponseKind::Die(_) => Some(RequestClass::Repairs),
             ResponseKind::Tran(_) => None,
         }
     }
@@ -741,6 +860,22 @@ impl ResponseKind {
         }
     }
 
+    /// The repair report, if this is a [`ResponseKind::Repair`].
+    pub fn into_repair(self) -> Option<Arc<RepairReport>> {
+        match self {
+            ResponseKind::Repair(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The die outcome, if this is a [`ResponseKind::Die`].
+    pub fn into_die(self) -> Option<DieOutcome> {
+        match self {
+            ResponseKind::Die(r) => Some(r),
+            _ => None,
+        }
+    }
+
     /// The transient result, if this is a [`ResponseKind::Tran`].
     pub fn into_tran(self) -> Option<TranResult> {
         match self {
@@ -770,6 +905,8 @@ impl SessionRequest for RequestKind {
             RequestKind::Flow(r) => ResponseKind::Flow(session.run(r)?),
             RequestKind::Sweep(r) => ResponseKind::Sweep(session.run(r)?),
             RequestKind::SweepCorner(r) => ResponseKind::SweepCorner(session.run(r)?),
+            RequestKind::Repair(r) => ResponseKind::Repair(session.run(r)?),
+            RequestKind::Die(r) => ResponseKind::Die(session.run(r)?),
             RequestKind::Tran(r) => ResponseKind::Tran(session.run(r)?),
         })
     }

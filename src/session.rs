@@ -432,6 +432,10 @@ pub struct SessionStats {
     /// their per-corner sub-requests share this class, so an overlapping
     /// sweep's corner reuse shows up here as hits.
     pub sweeps: RequestStats,
+    /// Repair requests ([`RequestClass::Repairs`]): whole lots *and*
+    /// their per-die sub-requests share this class, so an overlapping
+    /// lot's die reuse shows up here as hits.
+    pub repairs: RequestStats,
     /// Times a request blocked waiting on another thread's in-flight
     /// build of the same key (across all caches).
     pub inflight_waits: u64,
@@ -453,6 +457,7 @@ impl SessionStats {
             RequestClass::Immunity => self.immunity,
             RequestClass::Flow => self.flows,
             RequestClass::Sweeps => self.sweeps,
+            RequestClass::Repairs => self.repairs,
         }
     }
 
@@ -646,7 +651,7 @@ struct SessionCore {
     /// [`RequestClass::index`]. Values are type-erased (see
     /// [`CachedValue`]); keys are class-tagged, so a key only ever meets
     /// values of its own class's output type.
-    caches: [ShardedCache<crate::request::CacheKey, CachedValue>; 5],
+    caches: [ShardedCache<crate::request::CacheKey, CachedValue>; 6],
     batch_workers: usize,
     stats: StatsInner,
     /// The persistent job pool, started on the first [`Session::submit`].
@@ -722,7 +727,7 @@ impl Session {
     /// A snapshot of the cache and executor counters, with every request
     /// class aggregated the same way over its cache shards.
     pub fn stats(&self) -> SessionStats {
-        let mut per_class = [RequestStats::default(); 5];
+        let mut per_class = [RequestStats::default(); 6];
         let mut inflight_waits = 0;
         for class in RequestClass::ALL {
             let s = self.core.caches[class.index()].stats();
@@ -740,6 +745,7 @@ impl Session {
             immunity: per_class[RequestClass::Immunity.index()],
             flows: per_class[RequestClass::Flow.index()],
             sweeps: per_class[RequestClass::Sweeps.index()],
+            repairs: per_class[RequestClass::Repairs.index()],
             inflight_waits,
             batches: self.core.stats.batches.load(Ordering::Relaxed),
             steals: self.core.stats.batch_steals.load(Ordering::Relaxed) + pool_steals,

@@ -1,6 +1,6 @@
 //! Integration tests of the sharded session cache (bounded capacity, LRU
-//! eviction, disable switch, per-shard stats, uniform coverage of all
-//! four request classes) and the work-stealing batch executor under
+//! eviction, disable switch, per-shard stats, uniform coverage of every
+//! request class) and the work-stealing batch executor under
 //! skewed workloads.
 
 use cnfet::core::{GenerateOptions, Scheme, StdCellKind};
@@ -235,6 +235,9 @@ fn clear_cache_drops_every_request_class() {
                     ..Default::default()
                 }),
         )
+        .unwrap();
+    session
+        .run(&cnfet::RepairRequest::new([StdCellKind::Inv]).dies(2))
         .unwrap();
     for class in RequestClass::ALL {
         assert!(

@@ -147,6 +147,29 @@ fn spice_deck_rendering_is_stable_across_builds() {
 }
 
 #[test]
+fn die_repair_render_matches_golden() {
+    // A fixed-seed 12-die repair lot with a constrained tail: the
+    // committed rendering pins the defect sampler, the site tester, both
+    // assignment solvers, and the report formatter in one artifact.
+    let lot = cnfet::RepairRequest::new([
+        cnfet::core::StdCellKind::Inv,
+        cnfet::core::StdCellKind::Nand(2),
+        cnfet::core::StdCellKind::Nor(2),
+    ])
+    .dies(12)
+    .base_seed(0xB0BBA)
+    .spares(2)
+    .params(cnfet::repair::DefectParams {
+        metallic_fraction: 0.05,
+        misposition_fraction: 0.2,
+        ..cnfet::repair::DefectParams::default()
+    })
+    .adjacent([(0, 1)]);
+    let report = cnfet::Session::new().run(&lot).unwrap();
+    assert_matches_golden("die_repair.txt", &report.render());
+}
+
+#[test]
 fn liberty_export_matches_golden() {
     let kit = DesignKit::cnfet65();
     let lib = build_library(&kit, Scheme::Scheme1).unwrap();

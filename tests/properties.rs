@@ -6,7 +6,8 @@
 
 use cnfet::core::{GenerateOptions, Sizing, StdCellKind};
 use cnfet::logic::{euler_trails, Expr, PullGraph, SpNetwork, VarTable};
-use cnfet::{Session, SessionBuilder, SweepMetrics, SweepRequest, VariationGrid};
+use cnfet::repair::DefectParams;
+use cnfet::{RepairRequest, Session, SessionBuilder, SweepMetrics, SweepRequest, VariationGrid};
 use cnfet_rng::{rngs::StdRng, Rng, SeedableRng};
 
 const CASES: usize = 64;
@@ -184,6 +185,64 @@ fn sweep_reports_are_deterministic_across_submission_paths() {
     let session = SessionBuilder::new().batch_workers(1).build();
     let submitted = session.submit(reference_sweep()).wait().unwrap();
     assert_eq!(render(&submitted), sync_report);
+}
+
+/// The reference repair lot for the determinism properties: three cell
+/// types per die, a dirty defect mix so some dies need spares (and some
+/// are unrepairable), fixed seed base.
+fn reference_repair() -> RepairRequest {
+    RepairRequest::new([StdCellKind::Inv, StdCellKind::Nand(2), StdCellKind::Nor(2)])
+        .dies(24)
+        .base_seed(0xFEED)
+        .spares(2)
+        .params(DefectParams {
+            metallic_fraction: 0.05,
+            misposition_fraction: 0.2,
+            ..DefectParams::default()
+        })
+}
+
+/// A fixed-seed repair lot must render a byte-identical report no matter
+/// how the per-die fan-out is scheduled: one worker, two workers, or
+/// auto-sized (which in CI also spans `CNFET_TEST_WORKERS ∈ {auto, 1}` —
+/// `batch_workers(0)` defers to that variable), and with memoization
+/// disabled entirely. Each die's defect stream is keyed by
+/// `base_seed ⊕ die`, never by which worker sampled it.
+#[test]
+fn repair_reports_are_deterministic_across_workers_and_cache() {
+    let reference = SessionBuilder::new()
+        .batch_workers(1)
+        .build()
+        .run(&reference_repair())
+        .unwrap()
+        .render();
+    for workers in [2usize, 0] {
+        let session = SessionBuilder::new().batch_workers(workers).build();
+        let report = session.run(&reference_repair()).unwrap();
+        assert_eq!(
+            report.render(),
+            reference,
+            "report changed under batch_workers({workers})"
+        );
+    }
+    let uncached = SessionBuilder::new()
+        .cache_capacity(0)
+        .batch_workers(2)
+        .build();
+    let report = uncached.run(&reference_repair()).unwrap();
+    assert_eq!(report.render(), reference, "report changed with cache off");
+    // With capacity 0 nothing was memoized — every die executed.
+    assert_eq!(uncached.stats().repairs.hits, 0);
+}
+
+/// Submitting the same repair lot non-blocking (through the pool) yields
+/// the same bytes as the synchronous path.
+#[test]
+fn repair_reports_are_deterministic_across_submission_paths() {
+    let sync_report = Session::new().run(&reference_repair()).unwrap().render();
+    let session = SessionBuilder::new().batch_workers(1).build();
+    let submitted = session.submit(reference_repair()).wait().unwrap();
+    assert_eq!(submitted.render(), sync_report);
 }
 
 /// Paths of a network characterize its conduction exactly.
