@@ -16,8 +16,8 @@ use cnfet::dk::DesignKit;
 use cnfet::repair::DefectParams;
 use cnfet::spice::{Circuit, Waveform};
 use cnfet::{
-    CellRequest, FlowRequest, FlowSource, ImmunityRequest, LibraryRequest, RepairRequest,
-    RequestKind, Session, SweepMetrics, SweepRequest, VariationGrid,
+    CellRequest, FlowRequest, FlowSource, ImmunityRequest, LibraryRequest, OptimizeRequest,
+    OptimizeTarget, RepairRequest, RequestKind, Session, SweepMetrics, SweepRequest, VariationGrid,
 };
 use cnfet_bench::harness::Harness;
 use std::sync::Arc;
@@ -263,6 +263,37 @@ fn main() {
     warm_repair.run(&lot).unwrap();
     h.bench("repair_1000_dies_cached", 200, || {
         warm_repair.run(&lot).unwrap()
+    });
+
+    // Co-optimization: the third composite — a 20-candidate coordinate
+    // descent whose every evaluation is a memoized candidate sweep. Cold
+    // is informational (it times the search's sweep fan-out + helping);
+    // the cached sample is gated — a repeated converged search must stay
+    // a pure Optimizations-class trajectory hit.
+    let optimize = OptimizeRequest::new([StdCellKind::Inv, StdCellKind::Nand(2)])
+        .grid(
+            VariationGrid::nominal()
+                .tube_counts([26, 20, 16, 10, 8])
+                .pitch_scales([1.0, 0.9, 0.8])
+                .metallic_fractions([0.0, 0.01])
+                .seeds([7]),
+        )
+        .target(OptimizeTarget::new().min_yield(0.5))
+        .passes(2)
+        .metrics(SweepMetrics::IMMUNITY)
+        .mc(cnfet::immunity::McOptions {
+            tubes: 200,
+            ..Default::default()
+        });
+    assert_eq!(optimize.candidate_count(), 20);
+    h.bench("optimize_cold_20cand", 10, || {
+        let session = Session::new();
+        session.run(&optimize).unwrap()
+    });
+    let warm_optimize = Session::new();
+    assert!(warm_optimize.run(&optimize).unwrap().converged);
+    h.bench("optimize_converged_cached", 200, || {
+        warm_optimize.run(&optimize).unwrap()
     });
 
     // SAT fallback: the same defect mix under adjacency constraints, so

@@ -59,10 +59,12 @@ pub enum StreamEvent {
         /// The job being streamed.
         job: u64,
         /// Total rows the job will deliver (corner rows for a sweep,
-        /// die outcomes for a repair lot).
+        /// die outcomes for a repair lot, candidate evaluations for an
+        /// optimization).
         total: u64,
     },
-    /// One corner row or die outcome, in canonical report order.
+    /// One corner row, die outcome, or optimize candidate, in canonical
+    /// report order.
     Row {
         /// Zero-based position of this row in the final report.
         index: u64,

@@ -60,7 +60,9 @@
 //! `[u8 tag][u32 LE length][payload]`:
 //!
 //! * [`FRAME_EVENT`] (`0x01`) — a JSON event object (`start`, `done`,
-//!   `error`, `canceled`), exactly the ndjson line of the JSON stream;
+//!   `error`, `canceled`, and optimize-candidate `row` events, which
+//!   have no dedicated binary payload), exactly the ndjson line of the
+//!   JSON stream;
 //! * [`FRAME_ROW`] (`0x02`) — one binary corner-row payload;
 //! * [`FRAME_DIE`] (`0x03`) — one binary die payload.
 //!

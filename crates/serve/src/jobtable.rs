@@ -15,27 +15,37 @@
 //!
 //! Every job also carries a [`Progress`] handle. For composite requests
 //! the table attaches the matching observer before submitting — a
-//! [`RowObserver`] on sweeps, a [`DieObserver`] on repair lots — so
-//! corner rows / die outcomes land on the progress as the engine
+//! [`RowObserver`] on sweeps, a [`DieObserver`] on repair lots, a
+//! [`CandidateObserver`] on optimize searches — so corner rows / die
+//! outcomes / candidate rows land on the progress as the engine
 //! harvests them — the feed under `/stream`. Whole-report cache hits
 //! never execute (the observer stays silent); the missing rows are
 //! back-filled from the final report when the job settles, so a
 //! streamed job always delivers every row before its terminal event.
 //!
-//! Two bounds keep the table from growing without limit under load:
+//! Three bounds keep the table from growing without limit under load:
 //!
 //! * **capacity** — at most `capacity` *pending* jobs at once; a submit
 //!   past the bound is refused (the server answers `429`) instead of
 //!   queueing unboundedly when producers outpace the pool;
 //! * **expiry** — resolved jobs are dropped `ttl` after resolving
 //!   (their results have been deliverable for that long), counted in
-//!   [`JobTableStats::expired`].
+//!   [`JobTableStats::expired`];
+//! * **pending cap** — a job whose handle has not resolved within
+//!   [`JobTable::pending_ttl`] is settled [`JobView::Canceled`] and
+//!   counted in [`JobTableStats::expired`]. Expiry starts at
+//!   `settled_at`, so without this cap a handle that never resolves (a
+//!   wedged pool, a lost completion) would pin its entry — and its
+//!   slice of `capacity` — forever.
 
 use crate::json::Json;
 use crate::wire;
 use cnfet::repair::DieOutcome;
 use cnfet::sweep::CornerRow;
-use cnfet::{CnfetError, DieObserver, JobHandle, RequestKind, ResponseKind, RowObserver, Session};
+use cnfet::{
+    CandidateObserver, CandidateRow, CnfetError, DieObserver, JobHandle, RequestKind, ResponseKind,
+    RowObserver, Session,
+};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::{Duration, Instant};
@@ -70,14 +80,17 @@ pub enum Polled {
     Settled(JobView),
 }
 
-/// One streamed progress row: a sweep's corner row or a repair lot's
-/// die outcome, in canonical report order either way.
+/// One streamed progress row: a sweep's corner row, a repair lot's die
+/// outcome, or an optimize search's candidate row, in canonical report
+/// order either way.
 #[derive(Clone, Debug)]
 pub enum StreamRow {
     /// One cell × corner row of an executing sweep.
     Corner(CornerRow),
     /// One die outcome of an executing repair lot.
     Die(DieOutcome),
+    /// One evaluated candidate of an executing optimize search.
+    Candidate(CandidateRow),
 }
 
 /// The live row feed of one job, shared between the engine's observer
@@ -160,11 +173,17 @@ enum JobState {
 
 struct JobEntry {
     state: JobState,
-    /// When the job was submitted; drives the `age_ms` backoff hint.
+    /// When the job was submitted; drives the `age_ms` backoff hint and
+    /// the pending-age cap.
     created: Instant,
     /// When the job settled (resolved and was first observed); drives
-    /// expiry. `None` while pending — pending jobs never expire.
+    /// expiry. `None` while pending — a pending job is instead bounded
+    /// by the table's pending-age cap.
     settled_at: Option<Instant>,
+    /// Already counted in [`JobTableStats::expired`] (a pending job
+    /// canceled by the pending-age cap); its eventual TTL drop must not
+    /// count it twice.
+    counted_expired: bool,
     progress: Arc<Progress>,
 }
 
@@ -197,7 +216,13 @@ pub struct JobTable {
     inner: Mutex<Inner>,
     capacity: usize,
     ttl: Duration,
+    pending_ttl: Duration,
 }
+
+/// Default pending-age cap: generous enough for any real composite
+/// (cold 1000-die lots finish in seconds), small enough that a wedged
+/// handle frees its capacity slice the same hour it was leaked.
+pub const DEFAULT_PENDING_TTL: Duration = Duration::from_secs(3600);
 
 struct Inner {
     jobs: HashMap<u64, JobEntry>,
@@ -220,7 +245,9 @@ const PURGE_EVERY_POLLS: u32 = 256;
 
 impl JobTable {
     /// A table admitting at most `capacity` concurrently-pending jobs and
-    /// dropping settled jobs `ttl` after they resolve.
+    /// dropping settled jobs `ttl` after they resolve. Pending jobs are
+    /// bounded by [`DEFAULT_PENDING_TTL`]; tune it with
+    /// [`JobTable::pending_ttl`].
     pub fn new(capacity: usize, ttl: Duration) -> JobTable {
         JobTable {
             inner: Mutex::new(Inner {
@@ -234,7 +261,18 @@ impl JobTable {
             }),
             capacity,
             ttl,
+            pending_ttl: DEFAULT_PENDING_TTL,
         }
+    }
+
+    /// Replaces the pending-age cap: a job whose handle has not resolved
+    /// within this window is settled [`JobView::Canceled`] (and counted
+    /// in [`JobTableStats::expired`]) instead of pinning its entry — and
+    /// its slice of `capacity` — forever.
+    #[must_use]
+    pub fn pending_ttl(mut self, ttl: Duration) -> JobTable {
+        self.pending_ttl = ttl;
+        self
     }
 
     /// Submits one request on the session's pool and returns its job id,
@@ -270,11 +308,22 @@ impl JobTable {
                 }));
                 (RequestKind::Repair(repair), progress)
             }
+            RequestKind::Optimize(optimize) => {
+                let progress = Arc::new(Progress::new(optimize.candidate_count()));
+                let feed: Weak<Progress> = Arc::downgrade(&progress);
+                let optimize =
+                    optimize.observe_candidates(CandidateObserver::new(move |index, row| {
+                        if let Some(progress) = feed.upgrade() {
+                            progress.push(index, StreamRow::Candidate(row.clone()));
+                        }
+                    }));
+                (RequestKind::Optimize(optimize), progress)
+            }
             other => (other, Arc::new(Progress::new(0))),
         };
         let mut inner = self.inner.lock().expect("job table lock");
         let now = Instant::now();
-        inner.refresh(now, self.ttl);
+        inner.refresh(now, self.ttl, self.pending_ttl);
         if inner.pending >= self.capacity {
             inner.rejected += 1;
             return Err(Backpressure {
@@ -294,6 +343,7 @@ impl JobTable {
                 state: JobState::Pending(handle),
                 created: now,
                 settled_at: None,
+                counted_expired: false,
                 progress,
             },
         );
@@ -309,12 +359,13 @@ impl JobTable {
         let now = Instant::now();
         inner.polls_since_purge += 1;
         if inner.polls_since_purge >= PURGE_EVERY_POLLS {
-            inner.refresh(now, self.ttl);
+            inner.refresh(now, self.ttl, self.pending_ttl);
         }
         let ttl = self.ttl;
+        let pending_ttl = self.pending_ttl;
         let issued = id >= 1 && id < inner.next_id;
         let pending_count = inner.pending;
-        let (view, settled_now) = match inner.jobs.entry(id) {
+        let (view, settled_now, expired_now) = match inner.jobs.entry(id) {
             std::collections::hash_map::Entry::Vacant(_) => {
                 return if issued {
                     Polled::Expired
@@ -328,12 +379,16 @@ impl JobTable {
                     .settled_at
                     .is_some_and(|at| now.duration_since(at) >= ttl)
                 {
+                    let counted = occupied.get().counted_expired;
                     occupied.remove();
-                    inner.expired += 1;
+                    if !counted {
+                        inner.expired += 1;
+                    }
                     return Polled::Expired;
                 }
                 let entry = occupied.get_mut();
                 let mut settled_now = false;
+                let mut expired_now = false;
                 if let JobState::Pending(handle) = &mut entry.state {
                     if let Some(result) = handle.try_get() {
                         let rows = backfill_rows(&result);
@@ -342,6 +397,16 @@ impl JobTable {
                         entry.state = JobState::Settled(view);
                         entry.settled_at = Some(now);
                         settled_now = true;
+                    } else if now.duration_since(entry.created) >= pending_ttl {
+                        // The handle never resolved within the pending
+                        // cap: settle canceled so the entry — and its
+                        // slice of capacity — stops leaking.
+                        entry.progress.finish(None, JobView::Canceled);
+                        entry.state = JobState::Settled(JobView::Canceled);
+                        entry.settled_at = Some(now);
+                        entry.counted_expired = true;
+                        settled_now = true;
+                        expired_now = true;
                     }
                 }
                 let view = match &entry.state {
@@ -351,11 +416,14 @@ impl JobTable {
                     },
                     JobState::Settled(view) => Polled::Settled(view.clone()),
                 };
-                (view, settled_now)
+                (view, settled_now, expired_now)
             }
         };
         if settled_now {
             inner.pending -= 1;
+        }
+        if expired_now {
+            inner.expired += 1;
         }
         view
     }
@@ -374,7 +442,7 @@ impl JobTable {
     /// Table counters for the stats endpoint.
     pub fn stats(&self) -> JobTableStats {
         let mut inner = self.inner.lock().expect("job table lock");
-        inner.refresh(Instant::now(), self.ttl);
+        inner.refresh(Instant::now(), self.ttl, self.pending_ttl);
         JobTableStats {
             pending: inner.pending,
             settled: inner.jobs.len() - inner.pending,
@@ -421,16 +489,34 @@ impl JobTable {
 }
 
 impl Inner {
-    /// Drops settled entries past their ttl (pending jobs never expire,
-    /// so `pending` is untouched), counting what it evicts.
-    fn refresh(&mut self, now: Instant, ttl: Duration) {
+    /// Settles over-age pending jobs as canceled (the pending-age cap),
+    /// then drops settled entries past their ttl, counting both in
+    /// `expired` — each job at most once.
+    fn refresh(&mut self, now: Instant, ttl: Duration, pending_ttl: Duration) {
         self.polls_since_purge = 0;
-        let before = self.jobs.len();
+        for entry in self.jobs.values_mut() {
+            if matches!(entry.state, JobState::Pending(_))
+                && now.duration_since(entry.created) >= pending_ttl
+            {
+                entry.progress.finish(None, JobView::Canceled);
+                entry.state = JobState::Settled(JobView::Canceled);
+                entry.settled_at = Some(now);
+                entry.counted_expired = true;
+                self.pending -= 1;
+                self.expired += 1;
+            }
+        }
+        let mut dropped = 0;
         self.jobs.retain(|_, entry| match entry.settled_at {
-            Some(at) => now.duration_since(at) < ttl,
-            None => true,
+            Some(at) if now.duration_since(at) >= ttl => {
+                if !entry.counted_expired {
+                    dropped += 1;
+                }
+                false
+            }
+            _ => true,
         });
-        self.expired += (before - self.jobs.len()) as u64;
+        self.expired += dropped;
     }
 }
 
@@ -451,6 +537,13 @@ fn backfill_rows(result: &Result<ResponseKind, CnfetError>) -> Option<Vec<Stream
                 .dies
                 .iter()
                 .map(|outcome| StreamRow::Die(outcome.clone()))
+                .collect(),
+        ),
+        Ok(ResponseKind::Optimize(report)) => Some(
+            report
+                .candidates
+                .iter()
+                .map(|row| StreamRow::Candidate(row.clone()))
                 .collect(),
         ),
         _ => None,
@@ -631,6 +724,90 @@ mod tests {
         let (rows, finished) = progress.wait(0, Duration::from_millis(10));
         assert_eq!(rows.len(), 3, "cache-hit jobs back-fill every die row");
         assert!(finished.is_some());
+    }
+
+    #[test]
+    fn optimize_progress_streams_candidate_rows_then_finishes() {
+        let session = Session::new();
+        let table = JobTable::new(8, Duration::from_secs(5));
+        let optimize = RequestKind::from(
+            cnfet::OptimizeRequest::new([StdCellKind::Inv])
+                .grid(cnfet::VariationGrid::nominal().tube_counts([6, 26]))
+                .passes(1)
+                .metrics(cnfet::SweepMetrics::IMMUNITY)
+                .mc(cnfet::immunity::McOptions {
+                    tubes: 60,
+                    ..Default::default()
+                }),
+        );
+        let id = table.submit(&session, optimize.clone()).unwrap();
+        let progress = table.watch(id).expect("job exists");
+        assert_eq!(progress.total(), 4, "2 tube + 1 pitch + 1 metallic");
+        let mut seen = 0;
+        let mut candidates_streamed = 0;
+        let view = loop {
+            table.poll(id);
+            let (rows, finished) = progress.wait(seen, Duration::from_millis(10));
+            seen += rows.len();
+            candidates_streamed += rows
+                .iter()
+                .filter(|row| matches!(row, StreamRow::Candidate(_)))
+                .count();
+            if let Some(view) = finished {
+                break view;
+            }
+        };
+        assert_eq!(seen, 4, "every candidate streams before the terminal view");
+        assert_eq!(
+            candidates_streamed, 4,
+            "optimize jobs stream candidate rows"
+        );
+        let JobView::Done(body) = view else {
+            panic!("optimize failed: {view:?}");
+        };
+        assert_eq!(body.get("type").unwrap().as_str(), Some("optimize"));
+        assert_eq!(body.get("candidates").unwrap().as_arr().unwrap().len(), 4);
+
+        // The same search again is a whole-trajectory cache hit — the
+        // observer never fires, so the candidates must back-fill.
+        let id = table.submit(&session, optimize).unwrap();
+        let progress = table.watch(id).expect("job exists");
+        settled(&table, id);
+        let (rows, finished) = progress.wait(0, Duration::from_millis(10));
+        assert_eq!(rows.len(), 4, "cache-hit jobs back-fill every candidate");
+        assert!(finished.is_some());
+    }
+
+    #[test]
+    fn over_age_pending_jobs_settle_canceled_and_count_expired() {
+        let session = cnfet::SessionBuilder::new().batch_workers(1).build();
+        // Zero pending cap: any job still unresolved at its first poll
+        // is over-age. Before the cap, this entry would stay Pending —
+        // holding its capacity slice — forever.
+        let table = JobTable::new(8, Duration::from_millis(40)).pending_ttl(Duration::ZERO);
+        let slow = RequestKind::from(
+            cnfet::SweepRequest::new([StdCellKind::Aoi22])
+                .metrics(cnfet::SweepMetrics::IMMUNITY)
+                .grid(cnfet::VariationGrid::nominal().seeds([99]))
+                .mc(cnfet::immunity::McOptions {
+                    tubes: 30_000,
+                    ..Default::default()
+                }),
+        );
+        let id = table.submit(&session, slow).unwrap();
+        assert_eq!(table.poll(id), Polled::Settled(JobView::Canceled));
+        let stats = table.stats();
+        assert_eq!(stats.pending, 0, "the canceled job frees its slot");
+        assert_eq!(stats.expired, 1, "the pending expiry is counted");
+        // A streamer waiting on the job sees the terminal view, not a
+        // hang.
+        let progress = table.watch(id).expect("entry still serves polls");
+        let (_, finished) = progress.wait(0, Duration::from_millis(10));
+        assert_eq!(finished, Some(JobView::Canceled));
+        // The settled entry's eventual TTL drop must not count it twice.
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(table.poll(id), Polled::Expired);
+        assert_eq!(table.stats().expired, 1, "each job expires once");
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! A std-only, dependency-free HTTP/1.1 + JSON server that exposes the
 //! full [`cnfet::Session`] engine to concurrent network clients: every
 //! request kind the engine services in-process — cells, libraries,
-//! immunity verdicts, flows, variation sweeps, per-die repair lots — is
+//! immunity verdicts, flows, variation sweeps, per-die repair lots,
+//! processing↔circuit co-optimizations — is
 //! one `POST` away, and
 //! all clients share one warm, sharded, single-flight cache. This is the
 //! serving shape of Hills-style co-optimization: many remote loops
@@ -17,7 +18,7 @@
 //! | `POST /v1/batch` | `{"requests": […]}`, fanned out on the engine's pool, answers in order |
 //! | `POST /v1/submit` | non-blocking; answers `202 {"jobs": [id, …]}` or `429` on backpressure |
 //! | `GET /v1/jobs/{id}` | `pending` (+ `age_ms`/`queued`) / `done` + result / `error` + payload / `canceled`; `410` once expired, `404` if never issued |
-//! | `GET /v1/jobs/{id}/stream` | chunked progress stream: a `start` event, one row per sweep corner (or repair die) as the engine harvests it, then a terminal `done`/`error`/`canceled` event |
+//! | `GET /v1/jobs/{id}/stream` | chunked progress stream: a `start` event, one row per sweep corner (or repair die, or optimize candidate) as the engine harvests it, then a terminal `done`/`error`/`canceled` event |
 //! | `GET /v1/stats` | full engine [`SessionStats`](cnfet::SessionStats): per-class hits/misses/evictions, cache occupancy, pool counters, job table |
 //! | `GET /v1/healthz` | liveness |
 //!

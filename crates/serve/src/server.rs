@@ -67,6 +67,11 @@ pub struct ServeConfig {
     pub job_capacity: usize,
     /// How long settled jobs stay pollable (`--job-ttl-secs`).
     pub job_ttl: Duration,
+    /// Pending-age cap (`--pending-job-ttl-secs`): a submitted job whose
+    /// handle has not resolved within this window is settled `canceled`
+    /// instead of pinning its table entry — and its slice of
+    /// [`job_capacity`](Self::job_capacity) — forever.
+    pub pending_job_ttl: Duration,
     /// Cache snapshot path (`--snapshot`). When set, the server
     /// warm-boots from the file if it exists (a corrupt or
     /// version-mismatched snapshot logs a warning and boots cold),
@@ -91,6 +96,7 @@ impl Default for ServeConfig {
             engine_workers: 0,
             job_capacity: 1024,
             job_ttl: Duration::from_secs(300),
+            pending_job_ttl: crate::jobtable::DEFAULT_PENDING_TTL,
             snapshot: None,
             snapshot_interval: Duration::from_secs(60),
         }
@@ -144,6 +150,13 @@ impl ServeConfig {
     #[must_use]
     pub fn job_ttl(mut self, ttl: Duration) -> ServeConfig {
         self.job_ttl = ttl;
+        self
+    }
+
+    /// Replaces the pending-age cap.
+    #[must_use]
+    pub fn pending_job_ttl(mut self, ttl: Duration) -> ServeConfig {
+        self.pending_job_ttl = ttl;
         self
     }
 
@@ -272,7 +285,8 @@ impl Server {
         };
         let shared = Arc::new(Shared {
             session,
-            jobs: JobTable::new(config.job_capacity, config.job_ttl),
+            jobs: JobTable::new(config.job_capacity, config.job_ttl)
+                .pending_ttl(config.pending_job_ttl),
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -388,6 +402,13 @@ impl Server {
 /// concurrent warm boot from the same path. The shutdown flag is checked
 /// every [`READ_POLL`] so joining this thread is prompt even with long
 /// intervals.
+///
+/// Each flush goes through [`cnfet::snapshot::save_if`], re-checking the
+/// shutdown flag *under the process-wide save lock*: a flush that loses
+/// the race to shutdown is skipped entirely rather than staged alongside
+/// (or renamed after) the final snapshot, so the shutdown snapshot
+/// always wins — even for an embedder saving through
+/// [`Server::session`] concurrently.
 fn flush_loop(shared: &Shared, path: &std::path::Path, interval: Duration) {
     let step = READ_POLL.min(interval);
     let mut since_flush = Duration::ZERO;
@@ -401,7 +422,10 @@ fn flush_loop(shared: &Shared, path: &std::path::Path, interval: Duration) {
             continue;
         }
         since_flush = Duration::ZERO;
-        if let Err(e) = shared.session.save_snapshot(path) {
+        let saved = cnfet::snapshot::save_if(&shared.session, path, || {
+            !shared.shutdown.load(Ordering::Acquire)
+        });
+        if let Err(e) = saved {
             eprintln!(
                 "cnfet-serve: warning: failed to write snapshot {}: {e}",
                 path.display()
@@ -697,8 +721,8 @@ fn run_binary(request: &Request, shared: &Shared) -> Routed {
 }
 
 /// Serves `GET /v1/jobs/{id}/stream`: a chunked response of progress
-/// events and corner/die rows, flushed as the engine harvests them, ending
-/// in a terminal `done` / `error` / `canceled` event. A write failure
+/// events and corner/die/candidate rows, flushed as the engine harvests
+/// them, ending in a terminal `done` / `error` / `canceled` event. A write failure
 /// (the peer hung up mid-stream) ends the handler immediately — the
 /// worker is freed and the job settles in the table like any other.
 fn stream_job(stream: &mut TcpStream, shared: &Shared, id: u64, format: Format) {
@@ -741,6 +765,7 @@ fn stream_job(stream: &mut TcpStream, shared: &Shared, id: u64, format: Format) 
                     let rendered = match row {
                         StreamRow::Corner(row) => wire::render_row(row),
                         StreamRow::Die(outcome) => wire::render_die_row(outcome),
+                        StreamRow::Candidate(row) => wire::render_candidate(row),
                     };
                     emit_event(
                         stream,
@@ -760,6 +785,18 @@ fn stream_job(stream: &mut TcpStream, shared: &Shared, id: u64, format: Format) 
                         StreamRow::Die(outcome) => {
                             encode::frame(encode::FRAME_DIE, &encode::encode_die(outcome))
                         }
+                        // Candidates have no dedicated binary frame; they
+                        // ride in an event frame like start/done do.
+                        StreamRow::Candidate(row) => encode::frame(
+                            encode::FRAME_EVENT,
+                            Json::obj([
+                                ("event", Json::str("row")),
+                                ("index", Json::from(seen + offset)),
+                                ("row", wire::render_candidate(row)),
+                            ])
+                            .render()
+                            .as_bytes(),
+                        ),
                     };
                     http::write_chunk(stream, &framed)
                 }

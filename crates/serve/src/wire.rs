@@ -28,6 +28,10 @@
 //!  "params": {"metallic_fraction": 0.05, "misposition_fraction": 0.2},
 //!  "adjacent": [[0, 1]]}
 //! {"type": "die", "cells": [{"kind": "inv"}], "die": 42, "seed": 7}
+//! {"type": "optimize", "cells": [{"kind": "inv"}],
+//!  "grid": {"tube_counts": [6, 26], "pitch_scales": [1.0, 1.5]},
+//!  "target": {"min_yield": 0.9, "max_delay_s": 5e-11}, "passes": 2,
+//!  "metrics": "immunity", "mc": {"tubes": 200}}
 //! ```
 //!
 //! Cell kinds are `inv`, `nand2..4`, `nor2..4`, `aoi21`, `aoi22`,
@@ -50,11 +54,17 @@
 //!
 //! where `kind` names the [`CnfetError`] variant (`generate`, `parse`,
 //! `network`, `sim_singular`, `sim_no_convergence`, `deck`, `gds`,
-//! `library`, `verilog`, `missing_cell`, `canceled`, `io`) and malformed
-//! requests use `bad_request` with a byte `position` when the JSON
-//! itself failed to parse. Simulation failures split by cause so a
-//! client can tell a structurally broken deck (`sim_singular` — floating
-//! node or source loop) from Newton trouble (`sim_no_convergence`).
+//! `library`, `verilog`, `missing_cell`, `invalid_request`, `canceled`,
+//! `io`) and malformed requests use `bad_request` with a byte `position`
+//! when the JSON itself failed to parse. Simulation failures split by
+//! cause so a client can tell a structurally broken deck (`sim_singular`
+//! — floating node or source loop) from Newton trouble
+//! (`sim_no_convergence`). Grid axes are validated at parse time — a
+//! negative or non-finite `pitch_scales` / `metallic_fractions` entry
+//! answers `400` naming the offending index (`grid.pitch_scales[1]`)
+//! before the engine ever renders a cache key — and the engine's own
+//! [`CnfetError::InvalidRequest`] guard maps to `400` the same way, so
+//! a malformed value can never occupy a cache slot.
 
 use crate::json::Json;
 use cnfet::core::{GenerateOptions, Scheme, StdCellKind};
@@ -67,9 +77,10 @@ use cnfet::sweep::{
     VariationCorner, VariationGrid,
 };
 use cnfet::{
-    CellRequest, CellResult, CnfetError, DieRequest, FlowRequest, FlowResult, FlowSource,
-    FlowTarget, ImmunityEngine, ImmunityReport, ImmunityRequest, LibraryRequest, RepairReport,
-    RepairRequest, RequestKind, ResponseKind, SimSpec, TranRequest, TranResult,
+    CandidateRow, CellRequest, CellResult, CnfetError, DieRequest, FlowRequest, FlowResult,
+    FlowSource, FlowTarget, ImmunityEngine, ImmunityReport, ImmunityRequest, LibraryRequest,
+    OptimizeReport, OptimizeRequest, OptimizeTarget, RepairReport, RepairRequest, RequestKind,
+    ResponseKind, SimSpec, TranRequest, TranResult,
 };
 use std::collections::BTreeMap;
 
@@ -129,11 +140,13 @@ pub fn error_response(error: &CnfetError) -> (u16, Json) {
         CnfetError::Library(_) => "library",
         CnfetError::Verilog(_) => "verilog",
         CnfetError::MissingCell(_) => "missing_cell",
+        CnfetError::InvalidRequest { .. } => "invalid_request",
         CnfetError::Canceled => "canceled",
         CnfetError::Io(_) => "io",
         _ => "internal",
     };
     let status = match error {
+        CnfetError::InvalidRequest { .. } => 400,
         CnfetError::Canceled => 503,
         CnfetError::Io(_) => 500,
         _ => 422,
@@ -237,6 +250,7 @@ fn parse_request_at(value: &Json, path: &str) -> Result<RequestKind, WireError> 
         "tran" => Ok(RequestKind::Tran(parse_tran(value, path)?)),
         "repair" => Ok(RequestKind::Repair(parse_repair(value, path)?)),
         "die" => Ok(RequestKind::Die(parse_die(value, path)?)),
+        "optimize" => Ok(RequestKind::Optimize(parse_optimize(value, path)?)),
         other => Err(WireError::new(
             &join(path, "type"),
             format!("unknown request type `{other}`"),
@@ -454,6 +468,22 @@ fn parse_metrics(value: &Json, path: &str) -> Result<SweepMetrics, WireError> {
     }
 }
 
+/// A float axis value the grid key can render: finite and non-negative.
+/// Rejected here — mirroring the engine's own
+/// [`VariationGrid::validate`] guard — so a bad axis answers `400` with
+/// its index named instead of reaching the cache-key path at all.
+fn finite_axis(value: &Json, path: &str) -> Result<f64, WireError> {
+    let v = as_f64(value, path)?;
+    if v.is_finite() && v >= 0.0 {
+        Ok(v)
+    } else {
+        Err(WireError::new(
+            path,
+            format!("expected a finite non-negative number, got {v}"),
+        ))
+    }
+}
+
 fn parse_grid(value: &Json, path: &str) -> Result<VariationGrid, WireError> {
     let mut grid = VariationGrid::nominal();
     if let Some(counts) = num_list(value, path, "tube_counts", |v, p| {
@@ -461,10 +491,10 @@ fn parse_grid(value: &Json, path: &str) -> Result<VariationGrid, WireError> {
     })? {
         grid.tube_counts = counts;
     }
-    if let Some(scales) = num_list(value, path, "pitch_scales", as_f64)? {
+    if let Some(scales) = num_list(value, path, "pitch_scales", finite_axis)? {
         grid.pitch_scales = scales;
     }
-    if let Some(fractions) = num_list(value, path, "metallic_fractions", as_f64)? {
+    if let Some(fractions) = num_list(value, path, "metallic_fractions", finite_axis)? {
         grid.metallic_fractions = fractions;
     }
     if let Some(seeds) = num_list(value, path, "seeds", as_u64)? {
@@ -663,6 +693,48 @@ fn parse_die(value: &Json, path: &str) -> Result<DieRequest, WireError> {
     })
 }
 
+fn parse_target(value: &Json, path: &str) -> Result<OptimizeTarget, WireError> {
+    let mut target = OptimizeTarget::new();
+    if let Some(v) = opt(value, "min_yield") {
+        target = target.min_yield(as_f64(v, &join(path, "min_yield"))?);
+    }
+    if let Some(v) = opt(value, "max_delay_s") {
+        target = target.max_delay_s(as_f64(v, &join(path, "max_delay_s"))?);
+    }
+    if let Some(v) = opt(value, "max_energy_j") {
+        target = target.max_energy_j(as_f64(v, &join(path, "max_energy_j"))?);
+    }
+    Ok(target)
+}
+
+fn parse_optimize(value: &Json, path: &str) -> Result<OptimizeRequest, WireError> {
+    let mut request = OptimizeRequest::new(parse_cells(value, path)?);
+    if let Some(grid) = opt(value, "grid") {
+        request = request.grid(parse_grid(grid, &join(path, "grid"))?);
+    }
+    if let Some(target) = opt(value, "target") {
+        request = request.target(parse_target(target, &join(path, "target"))?);
+    }
+    if let Some(passes) = opt(value, "passes") {
+        let p = join(path, "passes");
+        let passes = as_u64(passes, &p)?;
+        if !(1..=u64::from(u32::MAX)).contains(&passes) {
+            return Err(WireError::new(&p, "expected a pass count of at least 1"));
+        }
+        request = request.passes(passes as u32);
+    }
+    if let Some(metrics) = opt(value, "metrics") {
+        request = request.metrics(parse_metrics(metrics, &join(path, "metrics"))?);
+    }
+    if let Some(mc) = opt(value, "mc") {
+        request = request.mc(parse_mc(mc, &join(path, "mc"))?);
+    }
+    if let Some(loads) = num_list(value, path, "loads_f", as_f64)? {
+        request = request.loads(loads);
+    }
+    Ok(request)
+}
+
 // ---------------------------------------------------------------------------
 // Response rendering
 // ---------------------------------------------------------------------------
@@ -693,6 +765,7 @@ pub fn render_response(response: &ResponseKind) -> Json {
             fields.insert(0, ("type".to_string(), Json::str("die")));
             Json::Obj(fields)
         }
+        ResponseKind::Optimize(report) => render_optimize(report),
     }
 }
 
@@ -897,6 +970,57 @@ pub(crate) fn render_die_row(outcome: &DieOutcome) -> Json {
     ])
 }
 
+pub(crate) fn render_candidate(row: &CandidateRow) -> Json {
+    Json::obj([
+        ("index", Json::from(row.index)),
+        ("pass", Json::from(u64::from(row.pass))),
+        ("axis", Json::str(row.axis.name())),
+        (
+            "tubes_per_4lambda",
+            Json::from(u64::from(row.outcome.tubes_per_4lambda)),
+        ),
+        ("pitch_scale", Json::from(row.outcome.pitch_scale)),
+        (
+            "metallic_fraction",
+            Json::from(row.outcome.metallic_fraction),
+        ),
+        ("rows", Json::from(row.outcome.rows)),
+        ("min_yield", Json::from(row.outcome.min_yield)),
+        ("max_delay_s", Json::from(row.outcome.max_delay_s)),
+        ("total_energy_j", Json::from(row.outcome.total_energy_j)),
+        ("score", Json::from(row.score)),
+        ("meets_target", Json::from(row.meets_target)),
+        ("best_so_far", Json::from(row.best_so_far)),
+    ])
+}
+
+fn render_target(target: &OptimizeTarget) -> Json {
+    Json::obj([
+        ("min_yield", Json::from(target.min_yield)),
+        ("max_delay_s", Json::from(target.max_delay_s)),
+        ("max_energy_j", Json::from(target.max_energy_j)),
+    ])
+}
+
+fn render_optimize(report: &OptimizeReport) -> Json {
+    Json::obj([
+        ("type", Json::str("optimize")),
+        ("cells", Json::from(report.cells)),
+        ("target", render_target(&report.target)),
+        ("passes", Json::from(u64::from(report.passes))),
+        (
+            "candidates",
+            report
+                .candidates
+                .iter()
+                .map(render_candidate)
+                .collect::<Json>(),
+        ),
+        ("best_index", Json::from(report.best_index)),
+        ("converged", Json::from(report.converged)),
+    ])
+}
+
 fn render_repair(report: &RepairReport) -> Json {
     Json::obj([
         ("type", Json::str("repair")),
@@ -990,6 +1114,59 @@ mod tests {
         assert!(e.message.starts_with("dt: expected a positive"), "{e}");
         let e = req(r#"{"type":"tran","deck":".end","dt":1e-11,"t_stop":0}"#).unwrap_err();
         assert!(e.message.starts_with("t_stop: expected a positive"), "{e}");
+    }
+
+    #[test]
+    fn parses_optimize_requests() {
+        let RequestKind::Optimize(opt) = req(r#"{"type":"optimize","cells":[{"kind":"inv"}],
+                "grid":{"tube_counts":[6,26],"pitch_scales":[1.0,1.5]},
+                "target":{"min_yield":0.9,"max_delay_s":5e-11},
+                "passes":3,"metrics":"immunity","mc":{"tubes":100}}"#)
+        .unwrap() else {
+            panic!("expected an optimize");
+        };
+        assert_eq!(opt.grid.tube_counts, vec![6, 26]);
+        assert_eq!(opt.target.min_yield, Some(0.9));
+        assert_eq!(opt.target.max_energy_j, None);
+        assert_eq!(opt.passes, 3);
+        assert_eq!(opt.mc.tubes, 100);
+        // passes must stay at least 1.
+        let e = req(r#"{"type":"optimize","cells":[{"kind":"inv"}],"passes":0}"#).unwrap_err();
+        assert!(e.message.starts_with("passes:"), "{e}");
+    }
+
+    #[test]
+    fn grid_axes_reject_non_finite_and_negative_values() {
+        let e = req(r#"{"type":"sweep","cells":[{"kind":"inv"}],
+                "grid":{"pitch_scales":[1.0,-0.5]}}"#)
+        .unwrap_err();
+        assert!(e.message.starts_with("grid.pitch_scales[1]"), "{e}");
+        assert!(e.message.contains("finite non-negative"), "{e}");
+        let e = req(r#"{"type":"optimize","cells":[{"kind":"inv"}],
+                "grid":{"metallic_fractions":[-1.0]}}"#)
+        .unwrap_err();
+        assert!(e.message.starts_with("grid.metallic_fractions[0]"), "{e}");
+        // Zero (including a parsed `-0.0`) is a valid axis value.
+        assert!(req(r#"{"type":"sweep","cells":[{"kind":"inv"}],
+                "grid":{"metallic_fractions":[-0.0, 0.02]}}"#,)
+        .is_ok());
+    }
+
+    #[test]
+    fn invalid_request_errors_answer_400_with_the_field_path() {
+        let (status, body) = error_response(&CnfetError::InvalidRequest {
+            field: "grid.metallic_fractions[1]".into(),
+            message: "expected a finite non-negative number, got NaN".into(),
+        });
+        assert_eq!(status, 400);
+        let error = body.get("error").unwrap();
+        assert_eq!(error.get("kind").unwrap().as_str(), Some("invalid_request"));
+        assert!(error
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("grid.metallic_fractions[1]"));
     }
 
     #[test]

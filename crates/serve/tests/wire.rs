@@ -1139,6 +1139,133 @@ fn binary_die_tables_reassemble_identical_to_json() {
     server.shutdown();
 }
 
+/// A small co-optimization body: one cell, a 2-value tube axis,
+/// fixed-seed cheap Monte-Carlo — 4 candidate evaluations per pass.
+fn small_optimize(min_yield: f64) -> Json {
+    Json::obj([
+        ("type", Json::str("optimize")),
+        ("cells", Json::Arr(vec![cell_fields("inv")])),
+        (
+            "grid",
+            Json::obj([
+                ("tube_counts", [6u64, 26].into_iter().collect::<Json>()),
+                ("seeds", [7u64].into_iter().collect::<Json>()),
+            ]),
+        ),
+        ("target", Json::obj([("min_yield", Json::from(min_yield))])),
+        ("passes", Json::from(1u64)),
+        ("metrics", Json::str("immunity")),
+        ("mc", Json::obj([("tubes", Json::from(60u64))])),
+    ])
+}
+
+#[test]
+fn optimize_runs_streams_and_reuses_over_the_wire() {
+    let server = server();
+    let mut client = Client::new(server.addr());
+
+    // Synchronous run: the buffered report carries the full trajectory.
+    let report = client
+        .request("POST", "/v1/run")
+        .body(&small_optimize(0.9))
+        .send()
+        .unwrap()
+        .expect_status(200);
+    assert_eq!(report.get("type").unwrap().as_str(), Some("optimize"));
+    let candidates = report.get("candidates").unwrap().as_arr().unwrap();
+    assert_eq!(candidates.len(), 4, "2 tubes + 1 pitch + 1 metallic");
+    assert!(report.get("best_index").unwrap().as_u64().is_some());
+
+    let stats = client
+        .request("GET", "/v1/stats")
+        .send()
+        .unwrap()
+        .expect_status(200);
+    let opt_misses = class_stat(&stats, "optimizations", "misses");
+    let sweep_misses = class_stat(&stats, "sweeps", "misses");
+    assert!(opt_misses > 0, "the search populated its class");
+
+    // Streaming the identical search: the trajectory is a pure cache
+    // hit, and every candidate back-fills as a row before `done`.
+    let mut rows = 0u64;
+    let mut done = None;
+    client
+        .submit_and_stream(&small_optimize(0.9), Format::Json, |event| match event {
+            StreamEvent::Start { total, .. } => assert_eq!(total, 4),
+            StreamEvent::Row { index, row } => {
+                assert_eq!(index, rows, "candidates stream in schedule order");
+                assert_eq!(row.get("index").and_then(Json::as_u64), Some(rows));
+                assert!(row.get("axis").unwrap().as_str().is_some());
+                rows += 1;
+            }
+            StreamEvent::Done(result) => done = Some(result),
+            other => panic!("unexpected event {other:?}"),
+        })
+        .unwrap();
+    assert_eq!(rows, 4, "every candidate was streamed");
+    let done = done.expect("terminal done event");
+    assert_eq!(
+        done.render(),
+        report.render(),
+        "the streamed terminal payload is the buffered report"
+    );
+
+    // A widened-target search misses only its new trajectory key: every
+    // candidate outcome is target-free, so no sweep corner re-executes —
+    // the acceptance check, observed entirely through `/v1/stats`.
+    client
+        .request("POST", "/v1/run")
+        .body(&small_optimize(0.5))
+        .send()
+        .unwrap()
+        .expect_status(200);
+    let stats = client
+        .request("GET", "/v1/stats")
+        .send()
+        .unwrap()
+        .expect_status(200);
+    assert_eq!(
+        class_stat(&stats, "optimizations", "misses"),
+        opt_misses + 1,
+        "only the widened trajectory key is new"
+    );
+    assert_eq!(
+        class_stat(&stats, "sweeps", "misses"),
+        sweep_misses,
+        "no sweep corner re-executed"
+    );
+
+    // Non-finite / negative grid axes are a structured 400 naming the
+    // offending element — never a cache entry.
+    let bad = Json::obj([
+        ("type", Json::str("optimize")),
+        ("cells", Json::Arr(vec![cell_fields("inv")])),
+        (
+            "grid",
+            Json::obj([(
+                "pitch_scales",
+                Json::Arr(vec![Json::from(1.0), Json::from(-2.0)]),
+            )]),
+        ),
+    ]);
+    let response = client.request("POST", "/v1/run").body(&bad).send().unwrap();
+    assert_eq!(response.status, 400);
+    let message = response
+        .body
+        .get("error")
+        .unwrap()
+        .get("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert!(
+        message.starts_with("grid.pitch_scales[1]:"),
+        "the 400 names the offending element: {message}"
+    );
+    server.shutdown();
+}
+
 /// Sends raw bytes and returns the raw response — for malformed-HTTP
 /// cases the [`Client`] cannot produce.
 fn raw_request(addr: std::net::SocketAddr, bytes: &str) -> String {

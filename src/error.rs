@@ -37,6 +37,17 @@ pub enum CnfetError {
     Verilog(crate::flow::VerilogError),
     /// A request referenced a cell the session's library does not hold.
     MissingCell(String),
+    /// A request carried a value no execution could give meaning to — a
+    /// NaN grid axis, an empty candidate schedule, a zero pass count.
+    /// Rejected *before* cache-key rendering so a malformed request can
+    /// neither poison a single-flight entry nor occupy a cache slot.
+    InvalidRequest {
+        /// Dotted path of the offending field (e.g.
+        /// `grid.metallic_fractions[1]`).
+        field: String,
+        /// What the field was expected to hold.
+        message: String,
+    },
     /// A submitted job was abandoned before it produced a result: its
     /// session shut down with the job still queued, or the request
     /// panicked on a pool worker.
@@ -59,6 +70,9 @@ impl fmt::Display for CnfetError {
             CnfetError::MissingCell(name) => {
                 write!(f, "cell `{name}` is not in the session's library")
             }
+            CnfetError::InvalidRequest { field, message } => {
+                write!(f, "invalid request: {field}: {message}")
+            }
             CnfetError::Canceled => write!(f, "job canceled before it produced a result"),
             CnfetError::Io(e) => write!(f, "io: {e}"),
         }
@@ -77,6 +91,7 @@ impl std::error::Error for CnfetError {
             CnfetError::Library(e) => Some(e),
             CnfetError::Verilog(e) => Some(e),
             CnfetError::MissingCell(_) => None,
+            CnfetError::InvalidRequest { .. } => None,
             CnfetError::Canceled => None,
             CnfetError::Io(e) => Some(e),
         }
@@ -148,5 +163,15 @@ mod tests {
     fn display_includes_inner_message() {
         let e: CnfetError = crate::spice::SimError::Singular.into();
         assert!(e.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn invalid_request_names_the_field() {
+        let e = CnfetError::InvalidRequest {
+            field: "grid.metallic_fractions[1]".into(),
+            message: "expected a finite non-negative number, got NaN".into(),
+        };
+        assert!(e.to_string().contains("grid.metallic_fractions[1]"));
+        assert!(e.source().is_none());
     }
 }

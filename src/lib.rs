@@ -36,6 +36,7 @@
 //! | [`SweepCornerRequest`] | [`CornerRow`] | one cell at one process corner |
 //! | [`RepairRequest`] | [`RepairReport`] | a per-die defect/repair lot fanning out per-die sub-requests |
 //! | [`DieRequest`] | [`repair::DieOutcome`] | one die: sample defects, test sites, assign cells |
+//! | [`OptimizeRequest`] | [`OptimizeReport`] | a processing↔circuit co-optimization search over memoized sweeps |
 //! | [`TranRequest`] | [`TranResult`] | a SPICE-deck transient on the MNA engine (uncached) |
 //! | [`RequestKind`] (any mix) | [`ResponseKind`] | dispatch to the above |
 //!
@@ -47,6 +48,11 @@
 //! instead of corners: sample a seed-keyed defect map per die, test
 //! every site against every cell layout, and assign cells onto healthy
 //! sites with bipartite matching or the in-repo SAT solver ([`repair`]).
+//! [`OptimizeRequest`] nests them deepest: a coordinate-descent /
+//! successive-halving search whose every candidate evaluation is itself
+//! a memoized sweep, so overlapping candidates re-execute only new
+//! corners and a re-targeted search replays measured candidates as pure
+//! cache hits ([`optimize`]).
 //!
 //! The per-kind methods of the 0.1 line (`Session::generate`,
 //! `::library`, `::immunity`, `::flow`, `::generate_batch`) were
@@ -101,7 +107,8 @@
 //! * [`flow`] — logic-to-GDSII: synthesis, placement, simulation, assembly.
 //!
 //! Under the hood every request class ([`RequestClass`]: cells,
-//! libraries, immunity verdicts, flow results, sweeps, repairs) is memoized by
+//! libraries, immunity verdicts, flow results, sweeps, repairs,
+//! optimizations) is memoized by
 //! its own sharded, bounded, single-flight LRU cache ([`cache`]) — tune
 //! it with [`SessionBuilder::cache_capacity`] and
 //! [`SessionBuilder::cache_shards`] — and batches and submitted jobs run
@@ -137,6 +144,7 @@ mod batch;
 pub mod cache;
 mod error;
 mod jobs;
+pub mod optimize;
 pub mod repair;
 mod request;
 mod session;
@@ -147,6 +155,10 @@ pub mod sweep;
 pub use cache::{CacheStats, ShardStats};
 pub use error::{CnfetError, Result};
 pub use jobs::JobHandle;
+pub use optimize::{
+    CandidateObserver, CandidateOutcome, CandidateRow, OptimizeAxis, OptimizeCandidateRequest,
+    OptimizeReport, OptimizeRequest, OptimizeTarget,
+};
 pub use repair::{DieObserver, DieRequest, RepairReport, RepairRequest};
 pub use request::{CacheKey, RequestClass, RequestKind, ResponseKind, SessionRequest};
 pub use session::{

@@ -39,6 +39,9 @@ use crate::flow::{
     simulate_netlist_with, Tech,
 };
 use crate::immunity::{certify, simulate};
+use crate::optimize::{
+    CandidateOutcome, OptimizeCandidateRequest, OptimizeReport, OptimizeRequest,
+};
 use crate::repair::{DieOutcome, DieRequest, RepairReport, RepairRequest};
 use crate::session::{
     CellKey, CellRequest, CellResult, FlowRequest, FlowResult, FlowSource, FlowTarget,
@@ -52,7 +55,7 @@ use std::sync::Arc;
 // Request classes and cache keys
 // ---------------------------------------------------------------------------
 
-/// The six request kinds a session services, each with its own
+/// The seven request kinds a session services, each with its own
 /// memoization cache and per-kind counters in
 /// [`SessionStats`](crate::SessionStats).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -75,17 +78,25 @@ pub enum RequestClass {
     /// ([`DieRequest`]) memoize here, so overlapping lots share die
     /// outcomes.
     Repairs,
+    /// A processing↔circuit co-optimization search — both whole
+    /// trajectories ([`OptimizeRequest`]) and the per-candidate outcomes
+    /// they derive ([`OptimizeCandidateRequest`]) memoize here, so a
+    /// re-run against a different target replays every already-measured
+    /// candidate as a hit (the measurements are target-free; only the
+    /// scoring depends on the target).
+    Optimizations,
 }
 
 impl RequestClass {
     /// Every request class, in cache order.
-    pub const ALL: [RequestClass; 6] = [
+    pub const ALL: [RequestClass; 7] = [
         RequestClass::Cell,
         RequestClass::Library,
         RequestClass::Immunity,
         RequestClass::Flow,
         RequestClass::Sweeps,
         RequestClass::Repairs,
+        RequestClass::Optimizations,
     ];
 
     /// Stable index of this class into the session's cache array.
@@ -97,6 +108,7 @@ impl RequestClass {
             RequestClass::Flow => 3,
             RequestClass::Sweeps => 4,
             RequestClass::Repairs => 5,
+            RequestClass::Optimizations => 6,
         }
     }
 
@@ -109,6 +121,7 @@ impl RequestClass {
             RequestClass::Flow => "flow",
             RequestClass::Sweeps => "sweeps",
             RequestClass::Repairs => "repairs",
+            RequestClass::Optimizations => "optimizations",
         }
     }
 }
@@ -154,6 +167,16 @@ pub(crate) enum KeyInner {
     /// [`RequestClass::Repairs`] cache next to whole lots; the variant
     /// tag keeps a one-die lot and its own die from ever colliding.
     Die(String),
+    /// Whole optimization trajectories: a canonical rendering of the
+    /// resolved cell keys plus the search grid, target, pass count,
+    /// metric selection, MC base options, and loads.
+    Optimize(String),
+    /// One measured candidate: the resolved cell keys plus the
+    /// candidate's canonical corner coordinates and the seed/metric/MC/
+    /// load configuration — never the target, so re-targeted searches
+    /// replay measured candidates as hits. Lives in the
+    /// [`RequestClass::Optimizations`] cache next to whole trajectories.
+    OptimizeCandidate(String),
 }
 
 impl CacheKey {
@@ -167,6 +190,7 @@ impl CacheKey {
             KeyInner::Flow(_) => RequestClass::Flow,
             KeyInner::Sweep(_) | KeyInner::SweepCorner(_) => RequestClass::Sweeps,
             KeyInner::Repair(_) | KeyInner::Die(_) => RequestClass::Repairs,
+            KeyInner::Optimize(_) | KeyInner::OptimizeCandidate(_) => RequestClass::Optimizations,
         }
     }
 }
@@ -477,8 +501,16 @@ impl SessionRequest for SweepRequest {
     /// Whole-sweep memoization: cell keys are resolved against the
     /// session defaults (so implicit and explicit default options share
     /// one entry, exactly like direct cell requests), then combined with
-    /// the grid, metric selection, MC base options and load list.
+    /// the **canonicalized** grid (`-0.0` folded to `0.0` — two
+    /// semantically identical grids must never render distinct keys),
+    /// the metric selection, MC base options and load list. A grid with
+    /// an invalid float axis (NaN, infinite, negative) gets no key at
+    /// all: `execute` rejects it, and an uncacheable request can neither
+    /// poison a single-flight entry nor occupy a cache slot.
     fn cache_key(&self, session: &Session) -> Option<CacheKey> {
+        if self.grid.validate("grid").is_err() {
+            return None;
+        }
         let cell_keys: Vec<CellKey> = self
             .cells
             .iter()
@@ -486,7 +518,10 @@ impl SessionRequest for SweepRequest {
             .collect();
         Some(CacheKey(KeyInner::Sweep(format!(
             "{cell_keys:?}|{:?}|{:?}|{:?}|{:?}",
-            self.grid, self.metrics, self.mc, self.loads_f
+            self.grid.clone().canonical(),
+            self.metrics,
+            self.mc,
+            self.loads_f
         ))))
     }
 
@@ -506,11 +541,21 @@ impl sealed::Sealed for SweepCornerRequest {}
 impl SessionRequest for SweepCornerRequest {
     type Output = CornerRow;
 
+    /// Per-corner memoization, keyed by the **canonical** corner (`-0.0`
+    /// folded to `0.0`, exactly like the whole-sweep key). Invalid float
+    /// fields (NaN, infinite, negative) yield no key — the corner
+    /// executes uncached and `execute` rejects it.
     fn cache_key(&self, session: &Session) -> Option<CacheKey> {
+        if self.corner.validate("corner").is_err() {
+            return None;
+        }
         let cell_key = session.catalog_key(&self.cell).0;
         Some(CacheKey(KeyInner::SweepCorner(format!(
             "{cell_key:?}|{:?}|{:?}|{:?}|{:?}",
-            self.corner, self.metrics, self.mc, self.loads_f
+            self.corner.canonical(),
+            self.metrics,
+            self.mc,
+            self.loads_f
         ))))
     }
 
@@ -579,6 +624,92 @@ impl SessionRequest for DieRequest {
 
     fn execute(&self, session: &Session) -> Result<DieOutcome> {
         crate::repair::execute_die(self, session)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Processing↔circuit co-optimization (composite requests)
+// ---------------------------------------------------------------------------
+
+impl sealed::Sealed for OptimizeRequest {}
+
+impl SessionRequest for OptimizeRequest {
+    type Output = Arc<OptimizeReport>;
+
+    /// Whole-trajectory memoization: resolved cell keys plus the
+    /// **canonicalized** search grid, the target, the pass count, and the
+    /// metric/MC/load configuration. An invalid request (NaN axis, empty
+    /// schedule, zero passes) gets no key — `execute` rejects it before
+    /// it can occupy a cache slot. The attached
+    /// [`CandidateObserver`](crate::optimize::CandidateObserver), if
+    /// any, is deliberately excluded — observation is not identity.
+    fn cache_key(&self, session: &Session) -> Option<CacheKey> {
+        if self.validate().is_err() {
+            return None;
+        }
+        let cell_keys: Vec<CellKey> = self
+            .cells
+            .iter()
+            .map(|cell| session.catalog_key(cell).0)
+            .collect();
+        Some(CacheKey(KeyInner::Optimize(format!(
+            "{cell_keys:?}|{:?}|{:?}|{}|{:?}|{:?}|{:?}",
+            self.grid.clone().canonical(),
+            self.target.canonical(),
+            self.passes,
+            self.metrics,
+            self.mc,
+            self.loads_f
+        ))))
+    }
+
+    /// Runs the coordinate-descent / successive-halving search: each
+    /// round fans candidate sweeps through the session's job pool
+    /// (batch-targeted helping, like every composite) and scores the
+    /// memoized [`CandidateOutcome`]s against the target. See
+    /// [`crate::optimize`] for the full schedule.
+    fn execute(&self, session: &Session) -> Result<Arc<OptimizeReport>> {
+        crate::optimize::execute_optimize(self, session)
+    }
+}
+
+impl sealed::Sealed for OptimizeCandidateRequest {}
+
+impl SessionRequest for OptimizeCandidateRequest {
+    type Output = CandidateOutcome;
+
+    /// Per-candidate memoization: resolved cell keys plus the
+    /// candidate's **canonical** coordinates and the seed/metric/MC/load
+    /// configuration — never any target, so a widened or re-targeted
+    /// search replays every already-measured candidate as a pure
+    /// `Optimizations`-class hit.
+    fn cache_key(&self, session: &Session) -> Option<CacheKey> {
+        if self.validate().is_err() {
+            return None;
+        }
+        let cell_keys: Vec<CellKey> = self
+            .cells
+            .iter()
+            .map(|cell| session.catalog_key(cell).0)
+            .collect();
+        let canonical = self.clone().canonical();
+        Some(CacheKey(KeyInner::OptimizeCandidate(format!(
+            "{cell_keys:?}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            canonical.tubes_per_4lambda,
+            canonical.pitch_scale,
+            canonical.metallic_fraction,
+            canonical.seeds,
+            canonical.metrics,
+            canonical.mc,
+            canonical.loads_f
+        ))))
+    }
+
+    /// Reduces the candidate's (memoized) sweep into target-free
+    /// aggregate measurements. The sweep itself is a pure hit whenever
+    /// the surrounding optimizer already fanned it out.
+    fn execute(&self, session: &Session) -> Result<CandidateOutcome> {
+        crate::optimize::execute_candidate(self, session)
     }
 }
 
@@ -673,6 +804,11 @@ pub enum RequestKind {
     /// One die's repair ([`DieRequest`]) — the currency of a repair
     /// lot's internal fan-out, also submittable directly.
     Die(DieRequest),
+    /// A composite [`OptimizeRequest`]: a co-optimization search that
+    /// fans candidate sweeps (themselves composites) out on the same
+    /// pool — the deepest nesting the engine runs (optimize → sweeps →
+    /// corners → cells).
+    Optimize(OptimizeRequest),
     /// A deck transient run ([`TranRequest`]) — the one uncached kind:
     /// it belongs to no [`RequestClass`] and executes fresh every time.
     Tran(TranRequest),
@@ -704,6 +840,19 @@ impl RequestKind {
         }
     }
 
+    /// The wrapped optimization, if this is a [`RequestKind::Optimize`].
+    /// Mutable for the same reason as [`RequestKind::as_sweep_mut`]: the
+    /// serve tier attaches a
+    /// [`CandidateObserver`](crate::optimize::CandidateObserver) to
+    /// searches arriving as heterogeneous submissions before handing the
+    /// mix to [`Session::submit_all`](crate::Session::submit_all).
+    pub fn as_optimize_mut(&mut self) -> Option<&mut OptimizeRequest> {
+        match self {
+            RequestKind::Optimize(r) => Some(r),
+            _ => None,
+        }
+    }
+
     /// Which request class this wraps, or `None` for the uncached
     /// [`RequestKind::Tran`].
     pub fn class(&self) -> Option<RequestClass> {
@@ -714,6 +863,7 @@ impl RequestKind {
             RequestKind::Flow(_) => Some(RequestClass::Flow),
             RequestKind::Sweep(_) | RequestKind::SweepCorner(_) => Some(RequestClass::Sweeps),
             RequestKind::Repair(_) | RequestKind::Die(_) => Some(RequestClass::Repairs),
+            RequestKind::Optimize(_) => Some(RequestClass::Optimizations),
             RequestKind::Tran(_) => None,
         }
     }
@@ -767,6 +917,12 @@ impl From<DieRequest> for RequestKind {
     }
 }
 
+impl From<OptimizeRequest> for RequestKind {
+    fn from(r: OptimizeRequest) -> RequestKind {
+        RequestKind::Optimize(r)
+    }
+}
+
 impl From<TranRequest> for RequestKind {
     fn from(r: TranRequest) -> RequestKind {
         RequestKind::Tran(r)
@@ -793,6 +949,8 @@ pub enum ResponseKind {
     Repair(Arc<RepairReport>),
     /// Result of a [`RequestKind::Die`].
     Die(DieOutcome),
+    /// Result of a [`RequestKind::Optimize`].
+    Optimize(Arc<OptimizeReport>),
     /// Result of a [`RequestKind::Tran`].
     Tran(TranResult),
 }
@@ -808,6 +966,7 @@ impl ResponseKind {
             ResponseKind::Flow(_) => Some(RequestClass::Flow),
             ResponseKind::Sweep(_) | ResponseKind::SweepCorner(_) => Some(RequestClass::Sweeps),
             ResponseKind::Repair(_) | ResponseKind::Die(_) => Some(RequestClass::Repairs),
+            ResponseKind::Optimize(_) => Some(RequestClass::Optimizations),
             ResponseKind::Tran(_) => None,
         }
     }
@@ -876,6 +1035,14 @@ impl ResponseKind {
         }
     }
 
+    /// The optimization report, if this is a [`ResponseKind::Optimize`].
+    pub fn into_optimize(self) -> Option<Arc<OptimizeReport>> {
+        match self {
+            ResponseKind::Optimize(r) => Some(r),
+            _ => None,
+        }
+    }
+
     /// The transient result, if this is a [`ResponseKind::Tran`].
     pub fn into_tran(self) -> Option<TranResult> {
         match self {
@@ -907,6 +1074,7 @@ impl SessionRequest for RequestKind {
             RequestKind::SweepCorner(r) => ResponseKind::SweepCorner(session.run(r)?),
             RequestKind::Repair(r) => ResponseKind::Repair(session.run(r)?),
             RequestKind::Die(r) => ResponseKind::Die(session.run(r)?),
+            RequestKind::Optimize(r) => ResponseKind::Optimize(session.run(r)?),
             RequestKind::Tran(r) => ResponseKind::Tran(session.run(r)?),
         })
     }

@@ -436,6 +436,11 @@ pub struct SessionStats {
     /// their per-die sub-requests share this class, so an overlapping
     /// lot's die reuse shows up here as hits.
     pub repairs: RequestStats,
+    /// Optimization requests ([`RequestClass::Optimizations`]): whole
+    /// search trajectories *and* their target-free per-candidate
+    /// outcomes share this class, so a re-targeted search's candidate
+    /// reuse shows up here as hits (its sweep reuse lands in `sweeps`).
+    pub optimizations: RequestStats,
     /// Times a request blocked waiting on another thread's in-flight
     /// build of the same key (across all caches).
     pub inflight_waits: u64,
@@ -458,6 +463,7 @@ impl SessionStats {
             RequestClass::Flow => self.flows,
             RequestClass::Sweeps => self.sweeps,
             RequestClass::Repairs => self.repairs,
+            RequestClass::Optimizations => self.optimizations,
         }
     }
 
@@ -651,7 +657,7 @@ struct SessionCore {
     /// [`RequestClass::index`]. Values are type-erased (see
     /// [`CachedValue`]); keys are class-tagged, so a key only ever meets
     /// values of its own class's output type.
-    caches: [ShardedCache<crate::request::CacheKey, CachedValue>; 6],
+    caches: [ShardedCache<crate::request::CacheKey, CachedValue>; 7],
     batch_workers: usize,
     stats: StatsInner,
     /// The persistent job pool, started on the first [`Session::submit`].
@@ -727,7 +733,7 @@ impl Session {
     /// A snapshot of the cache and executor counters, with every request
     /// class aggregated the same way over its cache shards.
     pub fn stats(&self) -> SessionStats {
-        let mut per_class = [RequestStats::default(); 6];
+        let mut per_class = [RequestStats::default(); 7];
         let mut inflight_waits = 0;
         for class in RequestClass::ALL {
             let s = self.core.caches[class.index()].stats();
@@ -746,6 +752,7 @@ impl Session {
             flows: per_class[RequestClass::Flow.index()],
             sweeps: per_class[RequestClass::Sweeps.index()],
             repairs: per_class[RequestClass::Repairs.index()],
+            optimizations: per_class[RequestClass::Optimizations.index()],
             inflight_waits,
             batches: self.core.stats.batches.load(Ordering::Relaxed),
             steals: self.core.stats.batch_steals.load(Ordering::Relaxed) + pool_steals,

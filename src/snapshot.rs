@@ -43,7 +43,7 @@ use crate::request::{CacheKey, KeyInner, RequestClass};
 use crate::session::{CachedValue, Session};
 use crate::sweep::{CornerRow, CornerSummary, SweepReport, VariationCorner};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The 8-byte file magic.
 pub const MAGIC: [u8; 8] = *b"CNFSWEEP";
@@ -102,12 +102,47 @@ impl From<std::io::Error> for SnapshotError {
 // Save / load
 // ---------------------------------------------------------------------------
 
+/// Serializes every snapshot save in the process. The staging file is
+/// the *fixed* sibling `<path>.tmp`: without this guard, two concurrent
+/// saves — a periodic flusher racing a shutdown snapshot, or two
+/// embedder threads — interleave their writes on that one temp file and
+/// then rename torn bytes into place, which the next boot rejects as
+/// corrupt. The guard also gives [`save_if`] its atomicity: the permit
+/// closure is evaluated under the same lock the write happens under, so
+/// a "shutdown has not begun" check cannot go stale between the check
+/// and the rename.
+static SAVE_LOCK: Mutex<()> = Mutex::new(());
+
 /// Serializes the session's `Sweeps` cache to `path`, atomically: the
 /// bytes land in a sibling `<path>.tmp` first and are renamed into
 /// place, so a crash mid-write can never leave a truncated file where
-/// the next boot expects a snapshot. Returns the number of entries
-/// written.
+/// the next boot expects a snapshot. Saves are serialized process-wide
+/// (see [`save_if`]), so concurrent callers cannot corrupt each other's
+/// staging file. Returns the number of entries written.
 pub fn save(session: &Session, path: &Path) -> std::io::Result<usize> {
+    save_if(session, path, || true)
+        .map(|written| written.expect("an unconditional save is always permitted"))
+}
+
+/// [`save`], gated by a `permit` evaluated **under the process-wide save
+/// lock**: when the permit returns `false`, nothing is written and
+/// `Ok(None)` comes back. This is the seam a periodic flusher uses to
+/// lose gracefully to a shutdown snapshot — with the permit checking
+/// "shutdown has not begun" under the same guard the shutdown save will
+/// take, a late flush is either fully renamed before the shutdown save
+/// starts, or skipped entirely; it can never overwrite the final
+/// snapshot or tear its staging file.
+pub fn save_if(
+    session: &Session,
+    path: &Path,
+    permit: impl FnOnce() -> bool,
+) -> std::io::Result<Option<usize>> {
+    // A poisoned guard only means some earlier save panicked mid-stage;
+    // the target file is still intact (rename is last), so keep saving.
+    let _guard = SAVE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    if !permit() {
+        return Ok(None);
+    }
     let entries = session.class_cache(RequestClass::Sweeps).export();
     let mut buf = Vec::new();
     buf.extend_from_slice(&MAGIC);
@@ -144,7 +179,7 @@ pub fn save(session: &Session, path: &Path) -> std::io::Result<usize> {
     let tmp = tmp_path(path);
     std::fs::write(&tmp, &buf)?;
     std::fs::rename(&tmp, path)?;
-    Ok(count as usize)
+    Ok(Some(count as usize))
 }
 
 /// Seeds the session's `Sweeps` cache from a snapshot at `path`,
@@ -614,6 +649,62 @@ mod tests {
             })
         ));
         assert_eq!(cold.cache_stats(RequestClass::Sweeps).entries, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_saves_never_tear_the_staging_file() {
+        use crate::immunity::McOptions;
+        use crate::sweep::{SweepMetrics, SweepRequest, VariationGrid};
+
+        let request = SweepRequest::new([StdCellKind::Inv])
+            .grid(VariationGrid::nominal().seeds([1, 2]))
+            .metrics(SweepMetrics::IMMUNITY)
+            .mc(McOptions {
+                tubes: 50,
+                ..McOptions::default()
+            });
+        let session = Session::new();
+        session.run(&request).expect("sweep runs");
+
+        let dir = std::env::temp_dir().join(format!(
+            "cnfet-snap-race-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.snap");
+
+        // Before the save lock, these interleaved writes to the shared
+        // `<path>.tmp` could rename torn bytes into place; now every
+        // save stages and renames alone, so the survivor always loads.
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..4 {
+                        assert_eq!(session.save_snapshot(&path).expect("saves"), 3);
+                    }
+                });
+            }
+        });
+        let warm = Session::new();
+        assert_eq!(warm.load_snapshot(&path).expect("survivor loads"), 3);
+    }
+
+    #[test]
+    fn save_if_denied_permit_writes_nothing() {
+        let session = Session::new();
+        let dir = std::env::temp_dir().join(format!(
+            "cnfet-snap-permit-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.snap");
+        assert_eq!(save_if(&session, &path, || false).expect("skips"), None);
+        assert!(!path.exists(), "a denied save leaves no file behind");
+        assert_eq!(save_if(&session, &path, || true).expect("saves"), Some(0));
+        assert!(path.exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -102,6 +102,58 @@ impl VariationCorner {
             seed: McOptions::default().seed,
         }
     }
+
+    /// The corner with its float fields in canonical form (`-0.0`
+    /// normalized to `0.0`). Cache keys render the canonical corner, so
+    /// two semantically identical corners that differ only in float sign
+    /// bits share one cache entry.
+    #[must_use]
+    pub fn canonical(mut self) -> VariationCorner {
+        self.pitch_scale = canonical_axis_value(self.pitch_scale);
+        self.metallic_fraction = canonical_axis_value(self.metallic_fraction);
+        self
+    }
+
+    /// Checks the corner's float fields are finite and non-negative.
+    /// `prefix` names the corner in the reported field path (e.g.
+    /// `corner`).
+    ///
+    /// # Errors
+    ///
+    /// [`CnfetError::InvalidRequest`](crate::CnfetError::InvalidRequest)
+    /// naming the offending field.
+    pub fn validate(&self, prefix: &str) -> Result<()> {
+        check_axis_value(self.pitch_scale, || format!("{prefix}.pitch_scale"))?;
+        check_axis_value(self.metallic_fraction, || {
+            format!("{prefix}.metallic_fraction")
+        })
+    }
+}
+
+/// Normalizes one float axis value: `-0.0` becomes `0.0` (the two
+/// compare equal but `Debug`-render differently, and cache keys are
+/// rendered). Other values — including the invalid ones `validate`
+/// rejects — pass through untouched.
+pub(crate) fn canonical_axis_value(value: f64) -> f64 {
+    if value == 0.0 {
+        0.0
+    } else {
+        value
+    }
+}
+
+/// Rejects NaN, infinite, and negative float axis values with a
+/// field-path [`CnfetError::InvalidRequest`](crate::CnfetError::InvalidRequest).
+/// `-0.0` is accepted (it
+/// *is* zero); `canonical_axis_value` folds it before any key render.
+pub(crate) fn check_axis_value(value: f64, field: impl FnOnce() -> String) -> Result<()> {
+    if !value.is_finite() || value < 0.0 {
+        return Err(crate::CnfetError::InvalidRequest {
+            field: field(),
+            message: format!("expected a finite non-negative number, got {value}"),
+        });
+    }
+    Ok(())
 }
 
 /// A cross-product variation grid: every combination of the four axes is
@@ -172,6 +224,38 @@ impl VariationGrid {
     /// Whether the grid has no corners (some axis is empty).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The grid with both float axes in canonical form (`-0.0` normalized
+    /// to `0.0`). Cache keys render the canonical grid — see
+    /// [`VariationCorner::canonical`].
+    #[must_use]
+    pub fn canonical(mut self) -> VariationGrid {
+        for scale in &mut self.pitch_scales {
+            *scale = canonical_axis_value(*scale);
+        }
+        for fraction in &mut self.metallic_fractions {
+            *fraction = canonical_axis_value(*fraction);
+        }
+        self
+    }
+
+    /// Checks every float axis value is finite and non-negative. `prefix`
+    /// names the grid in the reported field path (e.g. `grid`).
+    ///
+    /// # Errors
+    ///
+    /// [`CnfetError::InvalidRequest`](crate::CnfetError::InvalidRequest)
+    /// naming the offending axis entry,
+    /// e.g. `grid.metallic_fractions[1]`.
+    pub fn validate(&self, prefix: &str) -> Result<()> {
+        for (i, &scale) in self.pitch_scales.iter().enumerate() {
+            check_axis_value(scale, || format!("{prefix}.pitch_scales[{i}]"))?;
+        }
+        for (i, &fraction) in self.metallic_fractions.iter().enumerate() {
+            check_axis_value(fraction, || format!("{prefix}.metallic_fractions[{i}]"))?;
+        }
+        Ok(())
     }
 
     /// Every corner of the grid in canonical order: tube count outermost,
@@ -582,6 +666,7 @@ const HELP_WAIT: Duration = Duration::from_millis(2);
 /// [`SweepCornerRequest`] per cell × corner through the job pool, help
 /// drain the pool while waiting, reduce into a [`SweepReport`].
 pub(crate) fn execute_sweep(request: &SweepRequest, session: &Session) -> Result<Arc<SweepReport>> {
+    request.grid.validate("grid")?;
     let corners = request.grid.corners();
     let submissions: Vec<RequestKind> = request
         .cells
@@ -629,6 +714,7 @@ pub(crate) fn execute_sweep(request: &SweepRequest, session: &Session) -> Result
 
 /// Evaluates one cell at one corner.
 pub(crate) fn execute_corner(request: &SweepCornerRequest, session: &Session) -> Result<CornerRow> {
+    request.corner.validate("corner")?;
     let cell = session.run(&request.cell)?.cell;
     let corner = request.corner;
     let kind = request.cell.kind;
@@ -956,6 +1042,56 @@ mod tests {
         assert_eq!(best.max_delay_s, Some(1.2));
         assert!((best.total_energy_j.unwrap() - 2.1).abs() < 1e-12);
         assert_eq!(worst.min_yield, Some(0.4));
+    }
+
+    #[test]
+    fn canonical_folds_negative_zero() {
+        let grid = VariationGrid::nominal()
+            .pitch_scales([-0.0, 1.0])
+            .metallic_fractions([-0.0])
+            .canonical();
+        assert_eq!(grid.pitch_scales[0].to_bits(), 0.0_f64.to_bits());
+        assert_eq!(grid.metallic_fractions[0].to_bits(), 0.0_f64.to_bits());
+        // Canonicalization changes bits, not values: the grids compare equal.
+        assert_eq!(grid, grid.clone().canonical());
+
+        let corner = VariationCorner {
+            pitch_scale: -0.0,
+            metallic_fraction: -0.0,
+            ..VariationCorner::nominal()
+        }
+        .canonical();
+        assert_eq!(corner.pitch_scale.to_bits(), 0.0_f64.to_bits());
+        assert_eq!(corner.metallic_fraction.to_bits(), 0.0_f64.to_bits());
+    }
+
+    #[test]
+    fn validate_rejects_nan_and_negative_axes() {
+        let nan = VariationGrid::nominal().metallic_fractions([0.0, f64::NAN]);
+        let err = nan.validate("grid").unwrap_err();
+        match err {
+            crate::CnfetError::InvalidRequest { field, message } => {
+                assert_eq!(field, "grid.metallic_fractions[1]");
+                assert!(message.contains("NaN"));
+            }
+            other => panic!("expected InvalidRequest, got {other:?}"),
+        }
+
+        let negative = VariationGrid::nominal().pitch_scales([-1.0]);
+        assert!(negative.validate("grid").is_err());
+        let infinite = VariationGrid::nominal().pitch_scales([f64::INFINITY]);
+        assert!(infinite.validate("grid").is_err());
+        // -0.0 is zero: valid.
+        assert!(VariationGrid::nominal()
+            .pitch_scales([-0.0])
+            .validate("grid")
+            .is_ok());
+
+        let corner = VariationCorner {
+            metallic_fraction: f64::NAN,
+            ..VariationCorner::nominal()
+        };
+        assert!(corner.validate("corner").is_err());
     }
 
     #[test]

@@ -239,6 +239,19 @@ fn clear_cache_drops_every_request_class() {
     session
         .run(&cnfet::RepairRequest::new([StdCellKind::Inv]).dies(2))
         .unwrap();
+    session
+        .run(
+            &cnfet::OptimizeRequest::new([StdCellKind::Inv])
+                .grid(cnfet::VariationGrid::nominal().tube_counts([6]).seeds([7]))
+                .target(cnfet::OptimizeTarget::new().min_yield(0.0))
+                .passes(1)
+                .metrics(cnfet::SweepMetrics::IMMUNITY)
+                .mc(cnfet::immunity::McOptions {
+                    tubes: 50,
+                    ..Default::default()
+                }),
+        )
+        .unwrap();
     for class in RequestClass::ALL {
         assert!(
             session.cache_stats(class).entries > 0,

@@ -6,10 +6,24 @@
 use cnfet::core::{GenerateOptions, Scheme, Sizing, StdCellKind, Style};
 use cnfet::{
     CellRequest, CnfetError, FlowRequest, FlowSource, ImmunityEngine, ImmunityRequest,
-    LibraryRequest, RequestClass, Session, SessionBuilder, SessionRequest, SweepMetrics,
-    SweepRequest, VariationGrid,
+    LibraryRequest, OptimizeRequest, OptimizeTarget, RequestClass, Session, SessionBuilder,
+    SessionRequest, SweepMetrics, SweepRequest, VariationGrid,
 };
 use std::sync::Arc;
+
+/// A small co-optimization: one cell, a 2-value tube axis, cheap
+/// fixed-seed Monte-Carlo — 4 candidate evaluations per pass.
+fn small_optimize() -> OptimizeRequest {
+    OptimizeRequest::new([StdCellKind::Inv])
+        .grid(VariationGrid::nominal().tube_counts([6, 26]).seeds([7]))
+        .target(OptimizeTarget::new().min_yield(0.9))
+        .passes(1)
+        .metrics(SweepMetrics::IMMUNITY)
+        .mc(cnfet::immunity::McOptions {
+            tubes: 60,
+            ..Default::default()
+        })
+}
 
 #[test]
 fn concurrent_identical_requests_generate_once() {
@@ -468,6 +482,86 @@ fn errors_unify_under_cnfet_error() {
     assert!(matches!(gds, CnfetError::Gds(_)));
     let net: CnfetError = cnfet::logic::network::NetworkError::NotPositive.into();
     assert!(matches!(net, CnfetError::Network(_)));
+}
+
+#[test]
+fn optimize_memoizes_trajectory_and_reuses_candidates_on_retarget() {
+    // The search memoizes at BOTH granularities in the `Optimizations`
+    // class: the whole trajectory (keyed on the target) and every
+    // candidate outcome (target-free). A re-targeted search therefore
+    // misses only its new trajectory key — every measured candidate and
+    // every underlying sweep corner comes back from the cache.
+    let session = Session::new();
+    let first = session.run(&small_optimize()).unwrap();
+    assert_eq!(first.candidates.len(), 4, "2 tubes + 1 pitch + 1 metallic");
+    assert!(first.best_index.is_some());
+
+    let after_first = session.stats();
+    // The coordinate revisited by the pitch and metallic rounds is a
+    // candidate-cache hit, not a fourth sweep execution.
+    assert_eq!(
+        after_first.optimizations.misses, 3,
+        "one trajectory key + two distinct candidates"
+    );
+    assert_eq!(
+        after_first.optimizations.hits, 2,
+        "two revisited candidates"
+    );
+    let sweep_misses = after_first.sweeps.misses;
+    let cell_misses = after_first.cells.misses;
+
+    // Identical re-run: one pure trajectory hit, nothing re-dispatched.
+    let again = session.run(&small_optimize()).unwrap();
+    assert!(Arc::ptr_eq(&first, &again));
+    let stats = session.stats();
+    assert_eq!(stats.optimizations.hits, 3);
+    assert_eq!(stats.optimizations.misses, 3);
+    assert_eq!(stats.sweeps.misses, sweep_misses);
+
+    // Widened target: a fresh trajectory, but every candidate outcome is
+    // target-free — only the new trajectory key misses, and no sweep
+    // corner (or cell) executes again.
+    let widened = small_optimize().target(OptimizeTarget::new().min_yield(0.5));
+    let retargeted = session.run(&widened).unwrap();
+    assert_eq!(retargeted.candidates.len(), first.candidates.len());
+    let stats = session.stats();
+    assert_eq!(
+        stats.optimizations.misses, 4,
+        "only the widened trajectory key is new"
+    );
+    assert_eq!(stats.sweeps.misses, sweep_misses, "no corner re-executes");
+    assert_eq!(stats.cells.misses, cell_misses, "no layout regenerates");
+}
+
+#[test]
+fn optimize_report_is_deterministic_across_execution_shapes() {
+    // One fixed-seed search, rendered byte-identically regardless of
+    // pool shape (1 worker, 2 workers, the CNFET_TEST_WORKERS default),
+    // memoization (cache disabled entirely), and submission path
+    // (synchronous run vs a submitted job).
+    let request = small_optimize()
+        .grid(
+            VariationGrid::nominal()
+                .tube_counts([6, 26])
+                .pitch_scales([0.9, 1.0])
+                .seeds([7]),
+        )
+        .passes(2);
+    let reference = Session::new().run(&request).unwrap().render();
+    assert!(!reference.is_empty());
+
+    for workers in [1usize, 2, 0] {
+        let session = SessionBuilder::new().batch_workers(workers).build();
+        let report = session.run(&request).unwrap();
+        assert_eq!(report.render(), reference, "workers = {workers}");
+    }
+
+    let uncached = SessionBuilder::new().cache_capacity(0).build();
+    assert_eq!(uncached.run(&request).unwrap().render(), reference);
+
+    let session = Session::new();
+    let submitted = session.submit(request.clone()).wait().unwrap();
+    assert_eq!(submitted.render(), reference);
 }
 
 #[test]
