@@ -2,22 +2,25 @@
 //! the full `StdCellKind::ALL` × scheme request matrix, the library
 //! build, a contended multi-thread hit path, a skewed batch, a
 //! heterogeneous `submit_all` mix riding the persistent job pool, the
-//! composite variation sweep and 1000-die repair-lot workloads (cold,
-//! cached, and the SAT-solver escalation), plus the MNA engine's cold
-//! transient and characterization-sweep workloads. This is the baseline
-//! future perf PRs (sharding, async serving) must not regress; CI gates
-//! the `cached_*`/`contended_*`/`mixed_batch_*`/
-//! `repair_1000_dies_cached`/`sweep_grid_cached*`/`sweep_grid_mna*`/
-//! `tran_inverter_cold` samples through `check_regression`.
+//! composite variation sweep, 1000-die repair-lot, and 64-bit adder
+//! macro workloads (cold, cached, and the SAT-solver escalation), plus
+//! the MNA engine's cold transient and characterization-sweep workloads.
+//! This is the baseline future perf PRs (sharding, async serving) must
+//! not regress; CI gates the `cached_*`/`contended_*`/`mixed_batch_*`/
+//! `macro_cla64_cached`/`repair_1000_dies_cached`/`sweep_grid_cached*`/
+//! `sweep_grid_mna*`/`tran_inverter_cold` samples through
+//! `check_regression`.
 
 use cnfet::core::{GenerateOptions, Scheme, StdCellKind};
 use cnfet::device::Polarity;
 use cnfet::dk::DesignKit;
+use cnfet::logic::AdderKind;
 use cnfet::repair::DefectParams;
 use cnfet::spice::{Circuit, Waveform};
 use cnfet::{
-    CellRequest, FlowRequest, FlowSource, ImmunityRequest, LibraryRequest, OptimizeRequest,
-    OptimizeTarget, RepairRequest, RequestKind, Session, SweepMetrics, SweepRequest, VariationGrid,
+    CellRequest, FlowRequest, FlowSource, ImmunityRequest, LibraryRequest, MacroRequest,
+    OptimizeRequest, OptimizeTarget, RepairRequest, RequestKind, Session, SweepMetrics,
+    SweepRequest, VariationGrid,
 };
 use cnfet_bench::harness::Harness;
 use std::sync::Arc;
@@ -294,6 +297,23 @@ fn main() {
     assert!(warm_optimize.run(&optimize).unwrap().converged);
     h.bench("optimize_converged_cached", 200, || {
         warm_optimize.run(&optimize).unwrap()
+    });
+
+    // Hierarchical macro: the fourth composite — a 64-bit carry-look-
+    // ahead adder fanning 64 bit-slice characterizations out through the
+    // pool, then assembling placement + GDS around one shared full-adder
+    // sub-cell. Cold is informational (it times the MNA-backed slice
+    // characterizations + assembly); the cached sample (a pure
+    // Macros-class whole-report hit) is gated like the other composites'.
+    let cla64 = MacroRequest::new(AdderKind::Cla, 64).seed(0xB0BBA);
+    h.bench("macro_cla64_cold", 3, || {
+        let session = Session::new();
+        session.run(&cla64).unwrap()
+    });
+    let warm_macro = Session::new();
+    warm_macro.run(&cla64).unwrap();
+    h.bench("macro_cla64_cached", 200, || {
+        warm_macro.run(&cla64).unwrap()
     });
 
     // SAT fallback: the same defect mix under adjacency constraints, so

@@ -36,13 +36,14 @@ use std::process::ExitCode;
 
 /// Sample-name prefixes gated by default: the pure cache/lock hit paths,
 /// the heterogeneous `submit_all` mix (JobHandle + pool dispatch over
-/// cache hits), the composite sweep's, 1000-die repair lot's, and
-/// converged co-optimization's whole-report hits, and the MNA engine's
-/// cold transient + characterization-sweep workloads.
-const DEFAULT_GATES: [&str; 9] = [
+/// cache hits), the composite sweep's, 1000-die repair lot's, converged
+/// co-optimization's, and 64-bit adder macro's whole-report hits, and
+/// the MNA engine's cold transient + characterization-sweep workloads.
+const DEFAULT_GATES: [&str; 10] = [
     "cached_",
     "contended_",
     "library_scheme1_cached",
+    "macro_cla64_cached",
     "mixed_batch_",
     "optimize_converged_cached",
     "repair_1000_dies_cached",

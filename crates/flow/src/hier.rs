@@ -1,0 +1,569 @@
+//! Hierarchical arithmetic macros: multi-bit adders composed from the
+//! Figure 8 full adder by *reference instantiation*.
+//!
+//! Where [`crate::fa::full_adder`] and the flat flow treat one cell as
+//! the unit of work, this module composes `width` full-adder slices into
+//! 8/32/64-bit ripple-carry and carry-look-ahead adders without ever
+//! flattening the sub-cell: every slice holds an `Arc` to the *same*
+//! [`Netlist`], the placement places the slice as one block with the
+//! full adder's own placed footprint, and GDS assembly emits one
+//! `full_adder` cell definition referenced by `width` [`Instance`]s —
+//! the reference-instantiation contract the session layer's sub-cell
+//! memoization relies on (characterize the full adder once, reuse it per
+//! slice).
+//!
+//! The carry organization comes from [`cnfet_logic::adder::AdderPlan`]:
+//! ripple chains the slice carries, CLA materializes the plan's
+//! Kogge–Stone prefix tree as NAND2/INV glue (`AND(x,y) = INV(NAND(x,y))`,
+//! `OR(x,y) = NAND(INV(x), INV(y))`) that drives each slice's carry-in
+//! directly.
+
+use crate::netlist::Netlist;
+use crate::place::{place_cnfet_with, PlacedInst, CELL_SPACING_LAMBDA, RAIL_LAMBDA};
+use cnfet_core::StdCellKind;
+use cnfet_dk::CellLibrary;
+use cnfet_geom::{write_gds, Cell, Dbu, Instance, Layer, Library, Rect, Transform};
+use cnfet_logic::adder::{AdderKind, AdderPlan};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Port-to-net bindings of one full-adder slice (an `Arc` reference to
+/// the shared sub-cell netlist, never a flattened copy).
+#[derive(Clone, Debug)]
+pub struct SliceRef {
+    /// Instance name (`fa0`, `fa1`, …).
+    pub name: String,
+    /// Net driving the slice's `a` port.
+    pub a: String,
+    /// Net driving the slice's `b` port.
+    pub b: String,
+    /// Net driving the slice's `cin` port.
+    pub cin: String,
+    /// Net the slice's `sum` port drives.
+    pub sum: String,
+    /// Net the slice's `carry` port drives (dangles in CLA mode, where
+    /// the prefix tree computes every carry).
+    pub carry: String,
+}
+
+/// A hierarchical multi-bit adder: `width` full-adder slices referencing
+/// one shared sub-cell, plus the carry glue the [`AdderPlan`] calls for.
+#[derive(Clone, Debug)]
+pub struct MacroAdder {
+    /// Macro name (`adder_cla8`, `adder_ripple64`, …).
+    pub name: String,
+    /// Carry organization.
+    pub kind: AdderKind,
+    /// Operand width in bits.
+    pub width: u32,
+    /// The shared full-adder sub-cell, instantiated by reference.
+    pub fa: Arc<Netlist>,
+    /// Per-bit slice bindings.
+    pub slices: Vec<SliceRef>,
+    /// Carry glue gates (empty for ripple).
+    pub glue: Netlist,
+    /// The carry plan the glue materializes.
+    pub plan: AdderPlan,
+}
+
+/// Glue-gate builder state: allocates AND/OR macros from NAND2/INV at
+/// the drive strengths the full adder's own logic core uses.
+struct GlueBuilder {
+    netlist: Netlist,
+    tmp: usize,
+}
+
+impl GlueBuilder {
+    const NAND: StdCellKind = StdCellKind::Nand(2);
+    const INV: StdCellKind = StdCellKind::Inv;
+
+    fn new(name: &str) -> GlueBuilder {
+        GlueBuilder {
+            netlist: Netlist::new(format!("{name}_glue")),
+            tmp: 0,
+        }
+    }
+
+    fn fresh(&mut self) -> String {
+        let n = self.tmp;
+        self.tmp += 1;
+        format!("t{n}")
+    }
+
+    /// `out = x & y` as INV(NAND(x, y)).
+    fn and2(&mut self, x: &str, y: &str, out: &str) {
+        let mid = self.fresh();
+        self.netlist.add_gate(Self::NAND, 2, &[x, y], &mid);
+        self.netlist.add_gate(Self::INV, 4, &[&mid], out);
+    }
+
+    /// `out = x | y` as NAND(INV(x), INV(y)).
+    fn or2(&mut self, x: &str, y: &str, out: &str) {
+        let (nx, ny) = (self.fresh(), self.fresh());
+        self.netlist.add_gate(Self::INV, 4, &[x], &nx);
+        self.netlist.add_gate(Self::INV, 4, &[y], &ny);
+        self.netlist.add_gate(Self::NAND, 2, &[&nx, &ny], out);
+    }
+
+    /// `out = g_hi | (t_hi & g_lo)` — the generate half of a prefix
+    /// combine.
+    fn combine_g(&mut self, g_hi: &str, t_hi: &str, g_lo: &str, out: &str) {
+        let conj = self.fresh();
+        self.and2(t_hi, g_lo, &conj);
+        self.or2(g_hi, &conj, out);
+    }
+}
+
+impl MacroAdder {
+    /// Composes a `width`-bit adder of the given kind around the shared
+    /// full-adder sub-cell. Primary nets are `a{i}`/`b{i}`/`cin` in and
+    /// `s{i}`/`cout` out; internal carries are `c{i}` (carry *into* bit
+    /// `i`).
+    pub fn new(kind: AdderKind, width: u32) -> MacroAdder {
+        let width = width.max(1);
+        let plan = AdderPlan::new(kind, width);
+        let name = format!("adder_{}{}", kind.name(), width);
+        let fa = Arc::new(crate::fa::full_adder());
+
+        let carry_in = |i: u32| {
+            if i == 0 {
+                "cin".to_string()
+            } else {
+                format!("c{i}")
+            }
+        };
+
+        let mut glue = GlueBuilder::new(&name);
+        if kind == AdderKind::Cla {
+            // Per-bit generate/transmit off the primary inputs.
+            let mut g: Vec<String> = Vec::with_capacity(width as usize);
+            let mut t: Vec<String> = Vec::with_capacity(width as usize);
+            for i in 0..width {
+                let (gi, ti) = (format!("g0_{i}"), format!("t0_{i}"));
+                glue.and2(&format!("a{i}"), &format!("b{i}"), &gi);
+                glue.or2(&format!("a{i}"), &format!("b{i}"), &ti);
+                g.push(gi);
+                t.push(ti);
+            }
+            // Prefix combines in plan order; (g[i], t[i]) ends up
+            // spanning [0 ..= i].
+            for node in &plan.nodes {
+                let (hi, lo) = (node.bit as usize, (node.bit - node.distance) as usize);
+                let (gn, tn) = (
+                    format!("g{}_{}", node.level, node.bit),
+                    format!("t{}_{}", node.level, node.bit),
+                );
+                glue.combine_g(&g[hi].clone(), &t[hi].clone(), &g[lo].clone(), &gn);
+                glue.and2(&t[hi].clone(), &t[lo].clone(), &tn);
+                g[hi] = gn;
+                t[hi] = tn;
+            }
+            // Carry into bit i (and the macro carry-out) from the spans.
+            for i in 1..=width {
+                let out = if i == width {
+                    "cout".to_string()
+                } else {
+                    carry_in(i)
+                };
+                let span = (i - 1) as usize;
+                let conj = glue.fresh();
+                glue.and2(&t[span].clone(), "cin", &conj);
+                glue.or2(&g[span].clone(), &conj, &out);
+            }
+        }
+
+        let slices: Vec<SliceRef> = (0..width)
+            .map(|i| SliceRef {
+                name: format!("fa{i}"),
+                a: format!("a{i}"),
+                b: format!("b{i}"),
+                cin: carry_in(i),
+                sum: format!("s{i}"),
+                // Ripple chains the slice carries; in CLA mode the tree
+                // drives every carry-in and the slice outputs dangle.
+                carry: match kind {
+                    AdderKind::Ripple if i + 1 == width => "cout".to_string(),
+                    AdderKind::Ripple => carry_in(i + 1),
+                    AdderKind::Cla => format!("fc{i}"),
+                },
+            })
+            .collect();
+
+        MacroAdder {
+            name,
+            kind,
+            width,
+            fa,
+            slices,
+            glue: glue.netlist,
+            plan,
+        }
+    }
+
+    /// Library-cell instances across the hierarchy: `width` copies of the
+    /// sub-cell's gates plus the glue.
+    pub fn gate_count(&self) -> usize {
+        self.slices.len() * self.fa.instances.len() + self.glue.instances.len()
+    }
+
+    /// Evaluates the composed structure bit-accurately — glue gates
+    /// simulated gate-by-gate, each slice through the *shared* sub-cell's
+    /// own evaluator — returning `(sum, carry_out)`.
+    pub fn evaluate(&self, a: u64, b: u64, cin: bool) -> (u64, bool) {
+        let bit = |x: u64, i: u32| (x >> i) & 1 == 1;
+        let mut nets: BTreeMap<String, bool> = BTreeMap::new();
+        nets.insert("cin".into(), cin);
+        for i in 0..self.width {
+            nets.insert(format!("a{i}"), bit(a, i));
+            nets.insert(format!("b{i}"), bit(b, i));
+        }
+        if self.kind == AdderKind::Cla {
+            nets = self.glue.evaluate(&nets);
+        }
+
+        let mut sum = 0u64;
+        for (i, slice) in self.slices.iter().enumerate() {
+            let mut ports = BTreeMap::new();
+            ports.insert("a".to_string(), nets[&slice.a]);
+            ports.insert("b".to_string(), nets[&slice.b]);
+            ports.insert("cin".to_string(), nets[&slice.cin]);
+            let v = self.fa.evaluate(&ports);
+            if v["sum"] {
+                sum |= 1 << i;
+            }
+            nets.insert(slice.sum.clone(), v["sum"]);
+            nets.insert(slice.carry.clone(), v["carry"]);
+        }
+        (sum, nets["cout"])
+    }
+
+    /// Renders the hierarchy as a structural SPICE deck: one
+    /// `.subckt full_adder` definition, the top subckt instantiating it
+    /// `width` times by reference (`Xfa{i} … full_adder`) around the
+    /// glue gates. Deterministic, byte for byte.
+    pub fn to_spice(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "* {}: hierarchical {} adder, {} bits, {} slice instances",
+            self.name,
+            self.kind.name(),
+            self.width,
+            self.slices.len()
+        );
+        let _ = writeln!(s, ".subckt full_adder a b cin sum carry");
+        for inst in &self.fa.instances {
+            let _ = writeln!(
+                s,
+                "X{} {} {} {}",
+                inst.name,
+                inst.inputs.join(" "),
+                inst.output,
+                CellLibrary::cell_name(inst.kind, inst.strength)
+            );
+        }
+        let _ = writeln!(s, ".ends full_adder");
+
+        let mut ports: Vec<String> = Vec::new();
+        for i in 0..self.width {
+            ports.push(format!("a{i}"));
+        }
+        for i in 0..self.width {
+            ports.push(format!("b{i}"));
+        }
+        ports.push("cin".into());
+        for i in 0..self.width {
+            ports.push(format!("s{i}"));
+        }
+        ports.push("cout".into());
+        let _ = writeln!(s, ".subckt {} {}", self.name, ports.join(" "));
+        for inst in &self.glue.instances {
+            let _ = writeln!(
+                s,
+                "X{} {} {} {}",
+                inst.name,
+                inst.inputs.join(" "),
+                inst.output,
+                CellLibrary::cell_name(inst.kind, inst.strength)
+            );
+        }
+        for slice in &self.slices {
+            let _ = writeln!(
+                s,
+                "X{} {} {} {} {} {} full_adder",
+                slice.name, slice.a, slice.b, slice.cin, slice.sum, slice.carry
+            );
+        }
+        let _ = writeln!(s, ".ends {}", self.name);
+        s.push_str(".end\n");
+        s
+    }
+}
+
+/// A hierarchical placement: the sub-cell's internal placement (shared by
+/// every slice), the slice blocks, and the glue cells.
+#[derive(Clone, Debug)]
+pub struct MacroPlacement {
+    /// The full adder's own internal placement — one copy, referenced by
+    /// every slice block.
+    pub fa: crate::place::Placement,
+    /// Slice blocks (cell `full_adder`), one per bit.
+    pub slices: Vec<PlacedInst>,
+    /// Glue-gate placements (library cells).
+    pub glue: Vec<PlacedInst>,
+    /// Block width, λ.
+    pub width_l: f64,
+    /// Block height, λ.
+    pub height_l: f64,
+    /// Block area, λ².
+    pub area_l2: f64,
+}
+
+/// Places a macro adder: full-adder slice blocks on a near-square grid
+/// (each block carrying the sub-cell's placed footprint), glue cells
+/// packed in rows above. Deterministic for a given macro and library.
+///
+/// # Panics
+///
+/// Panics if the sub-cell or glue references cells missing from the
+/// library.
+pub fn place_macro(adder: &MacroAdder, lib: &CellLibrary) -> MacroPlacement {
+    let fa = place_cnfet_with(&adder.fa, lib);
+    let (fa_w, fa_h) = (fa.width_l, fa.height_l);
+    let pitch_x = fa_w + CELL_SPACING_LAMBDA;
+    let pitch_y = fa_h + 2.0 * RAIL_LAMBDA;
+
+    let n = adder.slices.len();
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let mut slices = Vec::with_capacity(n);
+    for (i, slice) in adder.slices.iter().enumerate() {
+        let (col, row) = (i % cols, i / cols);
+        slices.push(PlacedInst {
+            name: slice.name.clone(),
+            cell: "full_adder".to_string(),
+            x: col as f64 * pitch_x,
+            y: row as f64 * pitch_y,
+            w: fa_w,
+            h: fa_h,
+        });
+    }
+    let rows = n.div_ceil(cols);
+    let grid_w = cols as f64 * pitch_x;
+    let grid_h = rows as f64 * pitch_y;
+
+    // Glue rows above the slice grid, wrapped at the grid width.
+    let mut glue = Vec::with_capacity(adder.glue.instances.len());
+    let (mut x, mut y) = (0.0f64, grid_h);
+    let mut row_h = 0.0f64;
+    let mut max_x = grid_w;
+    for inst in &adder.glue.instances {
+        let cell = CellLibrary::cell_name(inst.kind, inst.strength);
+        let c = lib
+            .cell(&cell)
+            .unwrap_or_else(|| panic!("glue cell {cell} not in library"));
+        let (w, h) = (c.layout.width_lambda, c.layout.height_lambda);
+        if x + w > grid_w && x > 0.0 {
+            y += row_h + RAIL_LAMBDA;
+            x = 0.0;
+            row_h = 0.0;
+        }
+        glue.push(PlacedInst {
+            name: inst.name.clone(),
+            cell,
+            x,
+            y,
+            w,
+            h,
+        });
+        x += w + CELL_SPACING_LAMBDA;
+        row_h = row_h.max(h);
+        max_x = max_x.max(x);
+    }
+    let height = if adder.glue.instances.is_empty() {
+        grid_h
+    } else {
+        y + row_h + RAIL_LAMBDA
+    };
+
+    MacroPlacement {
+        fa,
+        slices,
+        glue,
+        width_l: max_x,
+        height_l: height,
+        area_l2: max_x * height,
+    }
+}
+
+/// Assembles a placed macro into a two-deep GDS stream: library cell
+/// definitions, one `full_adder` cell composed of placed library cells,
+/// and the top cell referencing `full_adder` once per slice (plus glue
+/// instances) — never a flattened copy of the sub-cell.
+///
+/// # Panics
+///
+/// Panics if a referenced cell is missing from the library.
+pub fn assemble_macro_gds(
+    adder: &MacroAdder,
+    placement: &MacroPlacement,
+    lib: &CellLibrary,
+) -> Vec<u8> {
+    let mut gds = Library::new(format!("{}_{}", adder.name, lib.scheme));
+
+    let mut used: Vec<&str> = placement
+        .fa
+        .instances
+        .iter()
+        .chain(&placement.glue)
+        .map(|p| p.cell.as_str())
+        .collect();
+    used.sort_unstable();
+    used.dedup();
+    for name in used {
+        let cell = lib.cell(name).expect("placed cell exists in library");
+        let mut c = cell.layout.cell.clone();
+        c.set_name(name);
+        gds.add_cell(c);
+    }
+
+    // The shared sub-cell: defined once, referenced per slice.
+    let mut fa_cell = Cell::new("full_adder");
+    for p in &placement.fa.instances {
+        fa_cell.add_instance(Instance {
+            cell: p.cell.clone(),
+            transform: Transform::translate(Dbu::from_lambda(p.x), Dbu::from_lambda(p.y)),
+            name: p.name.clone(),
+        });
+    }
+    fa_cell.add_rect(
+        Layer::Boundary,
+        Rect::new(
+            Dbu(0),
+            Dbu(0),
+            Dbu::from_lambda(placement.fa.width_l),
+            Dbu::from_lambda(placement.fa.height_l),
+        ),
+    );
+    gds.add_cell(fa_cell);
+
+    let mut top = Cell::new(adder.name.as_str());
+    for p in placement.slices.iter().chain(&placement.glue) {
+        top.add_instance(Instance {
+            cell: p.cell.clone(),
+            transform: Transform::translate(Dbu::from_lambda(p.x), Dbu::from_lambda(p.y)),
+            name: p.name.clone(),
+        });
+    }
+    top.add_rect(
+        Layer::Boundary,
+        Rect::new(
+            Dbu(0),
+            Dbu(0),
+            Dbu::from_lambda(placement.width_l),
+            Dbu::from_lambda(placement.height_l),
+        ),
+    );
+    gds.add_cell(top);
+    write_gds(&gds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnfet_core::Scheme;
+    use cnfet_dk::DesignKit;
+    use cnfet_geom::read_gds;
+
+    fn lib() -> CellLibrary {
+        cnfet_dk::build_library(&DesignKit::cnfet65(), Scheme::Scheme2).unwrap()
+    }
+
+    #[test]
+    fn macros_add_correctly() {
+        for kind in [AdderKind::Ripple, AdderKind::Cla] {
+            let adder = MacroAdder::new(kind, 8);
+            for (a, b, cin) in [
+                (0u64, 0u64, false),
+                (255, 1, false),
+                (0x5a, 0xa5, true),
+                (200, 100, false),
+                (255, 255, true),
+            ] {
+                let (sum, cout) = adder.evaluate(a, b, cin);
+                let wide = a + b + u64::from(cin);
+                assert_eq!(sum, wide & 0xff, "{kind:?} {a}+{b}+{cin}");
+                assert_eq!(cout, wide > 0xff, "{kind:?} cout");
+            }
+        }
+    }
+
+    #[test]
+    fn slices_share_one_subcell() {
+        let adder = MacroAdder::new(AdderKind::Cla, 64);
+        assert_eq!(adder.slices.len(), 64);
+        assert_eq!(Arc::strong_count(&adder.fa), 1, "one netlist, 64 refs");
+        assert_eq!(
+            adder.gate_count(),
+            64 * adder.fa.instances.len() + adder.glue.instances.len()
+        );
+    }
+
+    #[test]
+    fn ripple_needs_no_glue() {
+        let adder = MacroAdder::new(AdderKind::Ripple, 32);
+        assert!(adder.glue.instances.is_empty());
+        assert_eq!(adder.slices[0].cin, "cin");
+        assert_eq!(adder.slices[1].cin, "c1");
+        assert_eq!(adder.slices[31].carry, "cout");
+    }
+
+    #[test]
+    fn spice_deck_is_hierarchical() {
+        let adder = MacroAdder::new(AdderKind::Cla, 8);
+        let deck = adder.to_spice();
+        assert_eq!(deck.matches(".subckt full_adder").count(), 1);
+        // Eight slice references plus the `.ends full_adder` line.
+        assert_eq!(deck.matches("full_adder\n").count(), 8 + 1);
+        assert!(deck.contains("Xfa7 a7 b7 c7 s7 fc7 full_adder"));
+        assert!(deck.ends_with(".end\n"));
+        assert_eq!(adder.to_spice(), deck, "rendering is deterministic");
+    }
+
+    #[test]
+    fn gds_keeps_the_hierarchy() {
+        let adder = MacroAdder::new(AdderKind::Cla, 8);
+        let lib = lib();
+        let placement = place_macro(&adder, &lib);
+        let bytes = assemble_macro_gds(&adder, &placement, &lib);
+        let gds = read_gds(&bytes).unwrap();
+        let top = gds.cell("adder_cla8").expect("top cell present");
+        let refs = top
+            .instances()
+            .iter()
+            .filter(|i| i.cell == "full_adder")
+            .count();
+        assert_eq!(refs, 8, "slices are references, not flattened copies");
+        let flat = gds.flatten("adder_cla8").unwrap();
+        assert!(
+            flat.shapes_on(Layer::Gate).count() >= 8 * (9 * 4 + 6),
+            "two-deep flatten reaches every slice's gates"
+        );
+    }
+
+    #[test]
+    fn macro_placement_has_no_slice_overlaps() {
+        let adder = MacroAdder::new(AdderKind::Cla, 32);
+        let placement = place_macro(&adder, &lib());
+        let blocks: Vec<&PlacedInst> = placement.slices.iter().chain(&placement.glue).collect();
+        for i in 0..blocks.len() {
+            for j in i + 1..blocks.len() {
+                let (a, b) = (blocks[i], blocks[j]);
+                let overlap_x = a.x < b.x + b.w && b.x < a.x + a.w;
+                let overlap_y = a.y < b.y + b.h && b.y < a.y + a.h;
+                assert!(!(overlap_x && overlap_y), "{} overlaps {}", a.name, b.name);
+            }
+        }
+        assert!(placement.area_l2 > 0.0);
+    }
+}

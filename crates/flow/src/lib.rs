@@ -26,6 +26,7 @@
 
 pub mod assemble;
 pub mod fa;
+pub mod hier;
 pub mod netlist;
 pub mod place;
 pub mod sim;
@@ -34,6 +35,7 @@ pub mod verilog;
 
 pub use assemble::assemble_gds_with;
 pub use fa::full_adder;
+pub use hier::{assemble_macro_gds, place_macro, MacroAdder, MacroPlacement, SliceRef};
 pub use netlist::{GateInst, Netlist, PortDir};
 pub use place::{place_cmos_with, place_cnfet_with, Placement};
 pub use sim::{simulate_netlist, simulate_netlist_with, NetlistMetrics, Tech};

@@ -1,0 +1,257 @@
+//! Generate/propagate carry plans for multi-bit adder macros.
+//!
+//! The standard-cell layer composes full-adder cells into 8/32/64-bit
+//! arithmetic macros; this module provides the *logical* side of that
+//! composition: for a given width and [`AdderKind`], the plan of carry
+//! computation — the ripple chain, or a Kogge–Stone-style parallel
+//! prefix tree over per-bit `(g, t)` pairs (`g = a·b` generate,
+//! `t = a + b` transmit/propagate-inclusive) — together with the
+//! critical-path depth the characterization layer turns into delay, and
+//! a bit-accurate evaluator the tests pin the wiring down with.
+//!
+//! The plan is pure data: `cnfet-flow` materializes it into NAND2/INV
+//! glue gates around reference-instantiated full-adder sub-cells, and
+//! the umbrella crate's `MacroRequest` characterizes its critical carry
+//! path per bit slice.
+//!
+//! # Example
+//!
+//! ```
+//! use cnfet_logic::adder::{AdderKind, AdderPlan};
+//!
+//! let cla = AdderPlan::new(AdderKind::Cla, 32);
+//! let ripple = AdderPlan::new(AdderKind::Ripple, 32);
+//! assert!(cla.carry_depth() < ripple.carry_depth());
+//! let (sum, cout) = cla.evaluate(7, 9, false);
+//! assert_eq!((sum, cout), (16, false));
+//! ```
+
+/// Carry organization of an adder macro.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AdderKind {
+    /// Ripple-carry: bit `i`'s carry-out feeds bit `i + 1`'s carry-in;
+    /// depth grows linearly with width.
+    Ripple,
+    /// Carry-look-ahead: a radix-2 parallel prefix tree (Kogge–Stone
+    /// shape) over per-bit generate/transmit pairs; depth grows with
+    /// `log2(width)`.
+    Cla,
+}
+
+impl AdderKind {
+    /// Stable lower-case wire name (`"ripple"` / `"cla"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AdderKind::Ripple => "ripple",
+            AdderKind::Cla => "cla",
+        }
+    }
+}
+
+/// One combine node of the prefix tree: merges the `(g, t)` span ending
+/// at `bit` with the adjacent lower span of length `distance`, producing
+/// the span pair for `[bit - 2·distance + 1 ..= bit]` (spans clamp at
+/// bit 0, the Kogge–Stone boundary case).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrefixNode {
+    /// Tree level, 1-based (`distance == 1 << (level - 1)`).
+    pub level: u32,
+    /// Highest bit of the combined span — where the node's output lives.
+    pub bit: u32,
+    /// How far below `bit` the lower operand span starts.
+    pub distance: u32,
+}
+
+/// The carry plan of one adder macro: the prefix node list (empty for
+/// ripple) plus the derived critical-path depth.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdderPlan {
+    /// Carry organization.
+    pub kind: AdderKind,
+    /// Operand width in bits.
+    pub width: u32,
+    /// Prefix combine nodes in evaluation order (level-major, then bit);
+    /// empty for [`AdderKind::Ripple`].
+    pub nodes: Vec<PrefixNode>,
+}
+
+impl AdderPlan {
+    /// Plans a `width`-bit adder of the given kind. Widths of zero are
+    /// clamped to one.
+    pub fn new(kind: AdderKind, width: u32) -> AdderPlan {
+        let width = width.max(1);
+        let nodes = match kind {
+            AdderKind::Ripple => Vec::new(),
+            AdderKind::Cla => {
+                let mut nodes = Vec::new();
+                let mut distance = 1u32;
+                let mut level = 1u32;
+                while distance < width {
+                    for bit in distance..width {
+                        nodes.push(PrefixNode {
+                            level,
+                            bit,
+                            distance,
+                        });
+                    }
+                    distance *= 2;
+                    level += 1;
+                }
+                nodes
+            }
+        };
+        AdderPlan { kind, width, nodes }
+    }
+
+    /// Number of tree levels (`0` for ripple and for one-bit spans).
+    pub fn levels(&self) -> u32 {
+        self.nodes.last().map_or(0, |n| n.level)
+    }
+
+    /// Logic stages on the critical carry path, the quantity the
+    /// characterization layer scales a stage delay by: one generate
+    /// stage plus the chain (ripple) or the tree levels plus the final
+    /// carry merge (CLA).
+    pub fn carry_depth(&self) -> u32 {
+        match self.kind {
+            AdderKind::Ripple => self.width,
+            AdderKind::Cla => 1 + self.levels() + 1,
+        }
+    }
+
+    /// Prefix nodes whose *lower* operand is the level-0 span of `bit` —
+    /// the fan-out the bit's generate/transmit pair must drive beyond
+    /// its own slice. Always `0` for ripple.
+    pub fn fanout_of(&self, bit: u32) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.level == 1 && n.bit.saturating_sub(n.distance) == bit)
+            .count()
+    }
+
+    /// Evaluates the plan bit-accurately: `a + b + cin` over the low
+    /// `width` bits, returning `(sum, carry_out)`. The CLA path walks
+    /// the actual node list (not a shortcut addition), so a mis-planned
+    /// tree fails the comparison against native addition.
+    pub fn evaluate(&self, a: u64, b: u64, cin: bool) -> (u64, bool) {
+        let width = self.width.min(64);
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let (a, b) = (a & mask, b & mask);
+        let bit = |x: u64, i: u32| (x >> i) & 1 == 1;
+
+        // Per-bit generate/transmit (span length 1).
+        let mut g: Vec<bool> = (0..width).map(|i| bit(a, i) && bit(b, i)).collect();
+        let mut t: Vec<bool> = (0..width).map(|i| bit(a, i) || bit(b, i)).collect();
+
+        let carries: Vec<bool> = match self.kind {
+            AdderKind::Ripple => {
+                // c[i] = carry into bit i.
+                let mut carries = Vec::with_capacity(width as usize + 1);
+                carries.push(cin);
+                for i in 0..width as usize {
+                    let c = *carries.last().expect("seeded with cin");
+                    carries.push(g[i] || (t[i] && c));
+                }
+                carries
+            }
+            AdderKind::Cla => {
+                // Walk the node list: after all levels, (g[i], t[i]) span
+                // [0 ..= i], so carry into bit i+1 is g[i] | t[i]&cin.
+                for node in &self.nodes {
+                    let hi = node.bit as usize;
+                    let lo = (node.bit.saturating_sub(node.distance)) as usize;
+                    if lo == hi {
+                        continue; // span already reaches bit 0
+                    }
+                    let g_new = g[hi] || (t[hi] && g[lo]);
+                    let t_new = t[hi] && t[lo];
+                    g[hi] = g_new;
+                    t[hi] = t_new;
+                }
+                let mut carries = Vec::with_capacity(width as usize + 1);
+                carries.push(cin);
+                for i in 0..width as usize {
+                    carries.push(g[i] || (t[i] && cin));
+                }
+                carries
+            }
+        };
+
+        let mut sum = 0u64;
+        for i in 0..width {
+            let s = bit(a, i) ^ bit(b, i) ^ carries[i as usize];
+            if s {
+                sum |= 1 << i;
+            }
+        }
+        (sum, carries[width as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_match_native_addition() {
+        for kind in [AdderKind::Ripple, AdderKind::Cla] {
+            for width in [1u32, 5, 8, 32, 64] {
+                let plan = AdderPlan::new(kind, width);
+                let mask = if width == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << width) - 1
+                };
+                let samples = [
+                    (0u64, 0u64),
+                    (mask, 1),
+                    (mask, mask),
+                    (0x5555_5555_5555_5555, 0xAAAA_AAAA_AAAA_AAAA),
+                    (0xDEAD_BEEF_0123_4567, 0x0FED_CBA9_8765_4321),
+                ];
+                for (a, b) in samples {
+                    for cin in [false, true] {
+                        let (sum, cout) = plan.evaluate(a, b, cin);
+                        let wide =
+                            (u128::from(a & mask)) + (u128::from(b & mask)) + u128::from(cin);
+                        assert_eq!(sum, (wide as u64) & mask, "{kind:?} w{width} {a:x}+{b:x}");
+                        assert_eq!(cout, wide >> width & 1 == 1, "{kind:?} w{width} cout");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cla_depth_is_logarithmic() {
+        for (width, levels) in [(8u32, 3u32), (32, 5), (64, 6)] {
+            let plan = AdderPlan::new(AdderKind::Cla, width);
+            assert_eq!(plan.levels(), levels);
+            assert_eq!(plan.carry_depth(), levels + 2);
+            assert!(plan.carry_depth() < AdderPlan::new(AdderKind::Ripple, width).carry_depth());
+        }
+    }
+
+    #[test]
+    fn ripple_has_no_tree() {
+        let plan = AdderPlan::new(AdderKind::Ripple, 32);
+        assert!(plan.nodes.is_empty());
+        assert_eq!(plan.carry_depth(), 32);
+        assert_eq!(plan.fanout_of(3), 0);
+    }
+
+    #[test]
+    fn kogge_stone_fanout_shape() {
+        let plan = AdderPlan::new(AdderKind::Cla, 8);
+        // Level-1 nodes combine (i, i-1): bit i's pair feeds node i+1.
+        assert_eq!(plan.fanout_of(0), 1);
+        assert_eq!(plan.fanout_of(6), 1);
+        assert_eq!(plan.fanout_of(7), 0, "top bit feeds no lower span");
+        // Node count: sum over levels of (width - 2^(level-1)).
+        assert_eq!(plan.nodes.len(), (8 - 1) + (8 - 2) + (8 - 4));
+    }
+}

@@ -34,12 +34,14 @@
 //! assert_eq!(trail.nodes.len(), 4);
 //! ```
 
+pub mod adder;
 pub mod euler;
 pub mod expr;
 pub mod graph;
 pub mod network;
 pub mod vars;
 
+pub use adder::{AdderKind, AdderPlan, PrefixNode};
 pub use euler::{euler_path, euler_trails, Trail};
 pub use expr::{parse_letters, Expr, ExprWithVars, ParseError};
 pub use graph::{EdgeId, NodeId, NodeKind, PullGraph};

@@ -16,8 +16,9 @@
 //! Every job also carries a [`Progress`] handle. For composite requests
 //! the table attaches the matching observer before submitting — a
 //! [`RowObserver`] on sweeps, a [`DieObserver`] on repair lots, a
-//! [`CandidateObserver`] on optimize searches — so corner rows / die
-//! outcomes / candidate rows land on the progress as the engine
+//! [`CandidateObserver`] on optimize searches, a [`SliceObserver`] on
+//! adder macros — so corner rows / die outcomes / candidate rows /
+//! bit-slice outcomes land on the progress as the engine
 //! harvests them — the feed under `/stream`. Whole-report cache hits
 //! never execute (the observer stays silent); the missing rows are
 //! back-filled from the final report when the job settles, so a
@@ -44,7 +45,7 @@ use cnfet::repair::DieOutcome;
 use cnfet::sweep::CornerRow;
 use cnfet::{
     CandidateObserver, CandidateRow, CnfetError, DieObserver, JobHandle, RequestKind, ResponseKind,
-    RowObserver, Session,
+    RowObserver, Session, SliceObserver, SliceOutcome,
 };
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, Weak};
@@ -91,6 +92,8 @@ pub enum StreamRow {
     Die(DieOutcome),
     /// One evaluated candidate of an executing optimize search.
     Candidate(CandidateRow),
+    /// One characterized bit slice of an executing adder macro.
+    Slice(SliceOutcome),
 }
 
 /// The live row feed of one job, shared between the engine's observer
@@ -319,6 +322,16 @@ impl JobTable {
                     }));
                 (RequestKind::Optimize(optimize), progress)
             }
+            RequestKind::Macro(makro) => {
+                let progress = Arc::new(Progress::new(makro.slice_count()));
+                let feed: Weak<Progress> = Arc::downgrade(&progress);
+                let makro = makro.observe_slices(SliceObserver::new(move |index, outcome| {
+                    if let Some(progress) = feed.upgrade() {
+                        progress.push(index, StreamRow::Slice(*outcome));
+                    }
+                }));
+                (RequestKind::Macro(makro), progress)
+            }
             other => (other, Arc::new(Progress::new(0))),
         };
         let mut inner = self.inner.lock().expect("job table lock");
@@ -544,6 +557,13 @@ fn backfill_rows(result: &Result<ResponseKind, CnfetError>) -> Option<Vec<Stream
                 .candidates
                 .iter()
                 .map(|row| StreamRow::Candidate(row.clone()))
+                .collect(),
+        ),
+        Ok(ResponseKind::Macro(report)) => Some(
+            report
+                .slices
+                .iter()
+                .map(|outcome| StreamRow::Slice(*outcome))
                 .collect(),
         ),
         _ => None,

@@ -766,6 +766,7 @@ fn stream_job(stream: &mut TcpStream, shared: &Shared, id: u64, format: Format) 
                         StreamRow::Corner(row) => wire::render_row(row),
                         StreamRow::Die(outcome) => wire::render_die_row(outcome),
                         StreamRow::Candidate(row) => wire::render_candidate(row),
+                        StreamRow::Slice(outcome) => wire::render_slice_row(outcome),
                     };
                     emit_event(
                         stream,
@@ -785,14 +786,25 @@ fn stream_job(stream: &mut TcpStream, shared: &Shared, id: u64, format: Format) 
                         StreamRow::Die(outcome) => {
                             encode::frame(encode::FRAME_DIE, &encode::encode_die(outcome))
                         }
-                        // Candidates have no dedicated binary frame; they
-                        // ride in an event frame like start/done do.
+                        // Candidates and slices have no dedicated binary
+                        // frame; they ride in an event frame like
+                        // start/done do.
                         StreamRow::Candidate(row) => encode::frame(
                             encode::FRAME_EVENT,
                             Json::obj([
                                 ("event", Json::str("row")),
                                 ("index", Json::from(seen + offset)),
                                 ("row", wire::render_candidate(row)),
+                            ])
+                            .render()
+                            .as_bytes(),
+                        ),
+                        StreamRow::Slice(outcome) => encode::frame(
+                            encode::FRAME_EVENT,
+                            Json::obj([
+                                ("event", Json::str("row")),
+                                ("index", Json::from(seen + offset)),
+                                ("row", wire::render_slice_row(outcome)),
                             ])
                             .render()
                             .as_bytes(),
@@ -1055,6 +1067,7 @@ fn stats_body(shared: &Shared) -> Json {
                 class.name().to_string(),
                 Json::obj([
                     ("hits", Json::from(per_class.hits)),
+                    ("fast_hits", Json::from(per_class.fast_hits)),
                     ("misses", Json::from(per_class.misses)),
                     ("evictions", Json::from(per_class.evictions)),
                     ("requests", Json::from(per_class.requests())),

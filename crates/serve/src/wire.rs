@@ -32,6 +32,8 @@
 //!  "grid": {"tube_counts": [6, 26], "pitch_scales": [1.0, 1.5]},
 //!  "target": {"min_yield": 0.9, "max_delay_s": 5e-11}, "passes": 2,
 //!  "metrics": "immunity", "mc": {"tubes": 200}}
+//! {"type": "macro", "kind": "cla", "width": 64, "scheme": "s2", "seed": 7}
+//! {"type": "macro_slice", "kind": "cla", "width": 64, "bit": 9}
 //! ```
 //!
 //! Cell kinds are `inv`, `nand2..4`, `nor2..4`, `aoi21`, `aoi22`,
@@ -70,6 +72,7 @@ use crate::json::Json;
 use cnfet::core::{GenerateOptions, Scheme, StdCellKind};
 use cnfet::dk::CellLibrary;
 use cnfet::immunity::McOptions;
+use cnfet::logic::AdderKind;
 use cnfet::repair::{DefectParams, DieOutcome, Solver};
 use cnfet::spice::SimError;
 use cnfet::sweep::{
@@ -79,8 +82,9 @@ use cnfet::sweep::{
 use cnfet::{
     CandidateRow, CellRequest, CellResult, CnfetError, DieRequest, FlowRequest, FlowResult,
     FlowSource, FlowTarget, ImmunityEngine, ImmunityReport, ImmunityRequest, LibraryRequest,
-    OptimizeReport, OptimizeRequest, OptimizeTarget, RepairReport, RepairRequest, RequestKind,
-    ResponseKind, SimSpec, TranRequest, TranResult,
+    MacroReport, MacroRequest, MacroSliceRequest, OptimizeReport, OptimizeRequest, OptimizeTarget,
+    RepairReport, RepairRequest, RequestKind, ResponseKind, SimSpec, SliceOutcome, TranRequest,
+    TranResult,
 };
 use std::collections::BTreeMap;
 
@@ -251,6 +255,8 @@ fn parse_request_at(value: &Json, path: &str) -> Result<RequestKind, WireError> 
         "repair" => Ok(RequestKind::Repair(parse_repair(value, path)?)),
         "die" => Ok(RequestKind::Die(parse_die(value, path)?)),
         "optimize" => Ok(RequestKind::Optimize(parse_optimize(value, path)?)),
+        "macro" => Ok(RequestKind::Macro(parse_macro(value, path)?)),
+        "macro_slice" => Ok(RequestKind::MacroSlice(parse_macro_slice(value, path)?)),
         other => Err(WireError::new(
             &join(path, "type"),
             format!("unknown request type `{other}`"),
@@ -735,6 +741,60 @@ fn parse_optimize(value: &Json, path: &str) -> Result<OptimizeRequest, WireError
     Ok(request)
 }
 
+fn parse_adder_kind(value: &Json, path: &str) -> Result<AdderKind, WireError> {
+    match as_str(value, path)? {
+        "ripple" => Ok(AdderKind::Ripple),
+        "cla" => Ok(AdderKind::Cla),
+        other => Err(WireError::new(
+            path,
+            format!("unknown adder kind `{other}` (ripple, cla)"),
+        )),
+    }
+}
+
+/// The macro width gate, mirrored from [`MacroRequest::validate`] so a
+/// malformed width answers `400` with its field path at parse time — it
+/// never reaches the engine (whose own guard would also map to `400`).
+fn parse_width(value: &Json, path: &str) -> Result<u32, WireError> {
+    let width = as_u64(value, path)?;
+    if matches!(width, 8 | 32 | 64) {
+        Ok(width as u32)
+    } else {
+        Err(WireError::new(path, "expected one of 8|32|64"))
+    }
+}
+
+fn parse_macro(value: &Json, path: &str) -> Result<MacroRequest, WireError> {
+    let kind = parse_adder_kind(need(value, path, "kind")?, &join(path, "kind"))?;
+    let width = parse_width(need(value, path, "width")?, &join(path, "width"))?;
+    let mut request = MacroRequest::new(kind, width);
+    if let Some(scheme) = opt(value, "scheme") {
+        request = request.scheme(parse_scheme(scheme, &join(path, "scheme"))?);
+    }
+    if let Some(seed) = opt(value, "seed") {
+        request = request.seed(as_u64(seed, &join(path, "seed"))?);
+    }
+    Ok(request)
+}
+
+fn parse_macro_slice(value: &Json, path: &str) -> Result<MacroSliceRequest, WireError> {
+    // One slice shares the macro request's fields; the required `bit`
+    // index addresses the slice within the (width-keyed) prefix plan.
+    let whole = parse_macro(value, path)?;
+    let bit_path = join(path, "bit");
+    let bit = as_u64(need(value, path, "bit")?, &bit_path)?;
+    if bit >= u64::from(whole.width) {
+        return Err(WireError::new(&bit_path, "expected a bit below the width"));
+    }
+    Ok(MacroSliceRequest {
+        kind: whole.kind,
+        width: whole.width,
+        bit: bit as u32,
+        scheme: whole.scheme,
+        seed: whole.seed,
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Response rendering
 // ---------------------------------------------------------------------------
@@ -766,6 +826,15 @@ pub fn render_response(response: &ResponseKind) -> Json {
             Json::Obj(fields)
         }
         ResponseKind::Optimize(report) => render_optimize(report),
+        ResponseKind::Macro(report) => render_macro(report),
+        ResponseKind::MacroSlice(outcome) => {
+            let mut fields = match render_slice_row(outcome) {
+                Json::Obj(fields) => fields,
+                _ => unreachable!("slice rows render as objects"),
+            };
+            fields.insert(0, ("type".to_string(), Json::str("macro_slice")));
+            Json::Obj(fields)
+        }
     }
 }
 
@@ -1018,6 +1087,35 @@ fn render_optimize(report: &OptimizeReport) -> Json {
         ),
         ("best_index", Json::from(report.best_index)),
         ("converged", Json::from(report.converged)),
+    ])
+}
+
+pub(crate) fn render_slice_row(outcome: &SliceOutcome) -> Json {
+    Json::obj([
+        ("bit", Json::from(u64::from(outcome.bit))),
+        ("fanout", Json::from(u64::from(outcome.fanout))),
+        ("load_f", Json::from(outcome.load_f)),
+        ("sum_delay_s", Json::from(outcome.sum_delay_s)),
+        ("carry_delay_s", Json::from(outcome.carry_delay_s)),
+    ])
+}
+
+fn render_macro(report: &MacroReport) -> Json {
+    Json::obj([
+        ("type", Json::str("macro")),
+        ("kind", Json::str(report.kind.name())),
+        ("width", Json::from(u64::from(report.width))),
+        ("scheme", Json::str(scheme_name(report.scheme))),
+        (
+            "slices",
+            report.slices.iter().map(render_slice_row).collect::<Json>(),
+        ),
+        ("critical_path_s", Json::from(report.critical_path_s)),
+        ("area_l2", Json::from(report.area_l2)),
+        ("gate_count", Json::from(report.gate_count)),
+        ("fa_instances", Json::from(report.fa_instances)),
+        ("spice_len", Json::from(report.spice.len())),
+        ("gds_len", Json::from(report.gds.len())),
     ])
 }
 

@@ -1266,6 +1266,207 @@ fn optimize_runs_streams_and_reuses_over_the_wire() {
     server.shutdown();
 }
 
+/// A hierarchical adder-macro body: kind ∈ ripple|cla, width ∈ 8|32|64.
+fn adder_macro(kind: &str, width: u64, seed: u64) -> Json {
+    Json::obj([
+        ("type", Json::str("macro")),
+        ("kind", Json::str(kind)),
+        ("width", Json::from(width)),
+        ("seed", Json::from(seed)),
+    ])
+}
+
+#[test]
+fn adder_macros_round_trip_run_batch_and_submit() {
+    let server = server();
+    let mut client = Client::new(server.addr());
+
+    // Synchronous run: the buffered report carries every bit slice plus
+    // the hierarchical artifact sizes.
+    let report = client
+        .request("POST", "/v1/run")
+        .body(&adder_macro("cla", 8, 5))
+        .send()
+        .unwrap()
+        .expect_status(200);
+    assert_eq!(report.get("type").unwrap().as_str(), Some("macro"));
+    assert_eq!(report.get("kind").unwrap().as_str(), Some("cla"));
+    assert_eq!(report.get("width").unwrap().as_u64(), Some(8));
+    assert_eq!(report.get("fa_instances").unwrap().as_u64(), Some(8));
+    let slices = report.get("slices").unwrap().as_arr().unwrap();
+    assert_eq!(slices.len(), 8, "one row per bit");
+    for (bit, slice) in slices.iter().enumerate() {
+        assert_eq!(slice.get("bit").and_then(Json::as_u64), Some(bit as u64));
+        assert!(slice.get("carry_delay_s").unwrap().as_f64().unwrap() > 0.0);
+    }
+    assert!(report.get("critical_path_s").unwrap().as_f64().unwrap() > 0.0);
+    assert!(report.get("spice_len").unwrap().as_u64().unwrap() > 0);
+    assert!(report.get("gds_len").unwrap().as_u64().unwrap() > 0);
+
+    // Batch: a macro rides alongside other request types, in order.
+    let results = client
+        .request("POST", "/v1/batch")
+        .body(&Json::obj([(
+            "requests",
+            Json::Arr(vec![cell("inv"), adder_macro("ripple", 8, 5)]),
+        )]))
+        .send()
+        .unwrap()
+        .expect_status(200);
+    let results = results.get("results").unwrap().as_arr().unwrap();
+    assert_eq!(results.len(), 2);
+    let ripple = results[1].get("ok").expect("macro result");
+    assert_eq!(ripple.get("type").unwrap().as_str(), Some("macro"));
+    assert_eq!(ripple.get("kind").unwrap().as_str(), Some("ripple"));
+
+    // Submit + poll: the non-blocking shape settles with the same report
+    // (a pure cache hit now — the sync run above already paid for it).
+    let submitted = client
+        .request("POST", "/v1/submit")
+        .body(&adder_macro("cla", 8, 5))
+        .send()
+        .unwrap()
+        .expect_status(202);
+    let id = submitted.get("jobs").unwrap().as_arr().unwrap()[0]
+        .as_u64()
+        .unwrap();
+    let done = loop {
+        let poll = client
+            .request("GET", &format!("/v1/jobs/{id}"))
+            .send()
+            .unwrap()
+            .expect_status(200);
+        match poll.get("status").unwrap().as_str() {
+            Some("pending") => std::thread::sleep(Duration::from_millis(5)),
+            Some("done") => break poll,
+            other => panic!("unexpected job status {other:?}"),
+        }
+    };
+    assert_eq!(
+        done.get("result").unwrap().render(),
+        report.render(),
+        "the submitted macro settles byte-identical to the buffered run"
+    );
+
+    // A width outside 8|32|64 is a structured 400 naming the field —
+    // never a cache entry.
+    let refused = client
+        .request("POST", "/v1/run")
+        .body(&adder_macro("cla", 7, 0))
+        .send()
+        .unwrap();
+    assert_eq!(refused.status, 400);
+    let message = refused
+        .body
+        .get("error")
+        .unwrap()
+        .get("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert!(
+        message.starts_with("width: expected one of 8|32|64"),
+        "the 400 names the offending field: {message}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn macro_slices_stream_and_subcells_memoize() {
+    let server = server();
+    let mut client = Client::new(server.addr());
+
+    // Cold stream: the start event announces the bit count, every slice
+    // arrives as its own row in bit order, strictly before `done`.
+    let mut total = 0;
+    let mut rows = Vec::new();
+    let mut done = None;
+    client
+        .submit_and_stream(
+            &adder_macro("cla", 8, 99),
+            Format::Json,
+            |event| match event {
+                StreamEvent::Start { total: t, .. } => total = t,
+                StreamEvent::Row { index, row } => {
+                    assert!(done.is_none(), "rows precede the terminal event");
+                    assert_eq!(index, rows.len() as u64, "slices stream in order");
+                    assert_eq!(row.get("bit").and_then(Json::as_u64), Some(index));
+                    rows.push(row);
+                }
+                StreamEvent::Done(result) => done = Some(result),
+                other => panic!("unexpected event {other:?}"),
+            },
+        )
+        .unwrap();
+    assert_eq!(total, 8);
+    assert_eq!(rows.len(), 8, "every bit slice was streamed");
+    let done = done.expect("terminal done event");
+
+    // The buffered replay — a pure whole-macro hit now — matches the
+    // streamed terminal payload, and a second stream back-fills the
+    // same rows from the cache instead of re-executing slices.
+    let buffered = client
+        .request("POST", "/v1/run")
+        .body(&adder_macro("cla", 8, 99))
+        .send()
+        .unwrap()
+        .expect_status(200);
+    assert_eq!(buffered.render(), done.render());
+    let mut replayed = Vec::new();
+    client
+        .submit_and_stream(&adder_macro("cla", 8, 99), Format::Json, |event| {
+            if let StreamEvent::Row { row, .. } = event {
+                replayed.push(row);
+            }
+        })
+        .unwrap();
+    assert_eq!(replayed.len(), 8);
+    for (replayed, streamed) in replayed.iter().zip(&rows) {
+        assert_eq!(replayed.render(), streamed.render());
+    }
+
+    // Sub-cell memoization, observed entirely through `/v1/stats`: the
+    // first 64-bit macro pays for its sub-cell layouts; a second,
+    // different 64-bit macro re-executes its own slices but generates
+    // zero new cells — every sub-cell request is a hit on the shared
+    // cell class.
+    client
+        .request("POST", "/v1/run")
+        .body(&adder_macro("cla", 64, 99))
+        .send()
+        .unwrap()
+        .expect_status(200);
+    let stats = client
+        .request("GET", "/v1/stats")
+        .send()
+        .unwrap()
+        .expect_status(200);
+    let cell_misses = class_stat(&stats, "cell", "misses");
+    let macro_misses = class_stat(&stats, "macros", "misses");
+    client
+        .request("POST", "/v1/run")
+        .body(&adder_macro("ripple", 64, 99))
+        .send()
+        .unwrap()
+        .expect_status(200);
+    let stats = client
+        .request("GET", "/v1/stats")
+        .send()
+        .unwrap()
+        .expect_status(200);
+    assert_eq!(
+        class_stat(&stats, "cell", "misses"),
+        cell_misses,
+        "the second 64-bit macro generated zero new cells"
+    );
+    assert!(
+        class_stat(&stats, "macros", "misses") > macro_misses,
+        "the second macro was not a whole-report replay"
+    );
+    server.shutdown();
+}
+
 /// Sends raw bytes and returns the raw response — for malformed-HTTP
 /// cases the [`Client`] cannot produce.
 fn raw_request(addr: std::net::SocketAddr, bytes: &str) -> String {

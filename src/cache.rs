@@ -29,7 +29,21 @@
 //!   resident when counted. Cross-shard skew remains possible — the
 //!   snapshot locks shards one at a time — but each shard's line adds
 //!   up.
+//! * **A seqlock fast read path** — a clean hit takes **zero mutex
+//!   acquisitions**. Each shard guards its bucket table with a version
+//!   counter (odd while a writer is restructuring) plus a reader-presence
+//!   count: a fast reader announces itself, re-checks the version is
+//!   even, probes the table, clones the value, and withdraws; a writer
+//!   (always under the shard mutex, so writers are serialized) bumps the
+//!   version to odd, waits for announced readers to drain, mutates, and
+//!   bumps back to even. Readers that observe an odd version — or miss —
+//!   fall back to the locked path, which preserves every slow-path
+//!   property above (single-flight, LRU bounds, counter coherence). Fast
+//!   hits are counted in their own per-shard `fast_hits` counter and
+//!   refresh LRU recency through the entry's atomic tick, so an entry
+//!   kept hot by fast readers is still protected from eviction.
 
+use std::cell::UnsafeCell;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,8 +65,12 @@ pub struct ShardStats {
     /// Entries currently resident in the shard.
     pub entries: usize,
     /// Requests answered from this shard (including single-flight waits
-    /// that received a concurrent build's value).
+    /// that received a concurrent build's value, and including the
+    /// lock-free fast hits counted in `fast_hits`).
     pub hits: u64,
+    /// The subset of `hits` served by the seqlock fast path with zero
+    /// mutex acquisitions.
+    pub fast_hits: u64,
     /// Requests that ran the builder on this shard.
     pub misses: u64,
     /// Entries evicted from this shard to respect the capacity bound.
@@ -77,6 +95,8 @@ pub struct CacheStats {
     pub entries: usize,
     /// Aggregate hits.
     pub hits: u64,
+    /// Aggregate lock-free fast hits (a subset of `hits`).
+    pub fast_hits: u64,
     /// Aggregate misses.
     pub misses: u64,
     /// Aggregate evictions.
@@ -93,55 +113,184 @@ pub struct CacheStats {
 // Shards
 // ---------------------------------------------------------------------------
 
-#[derive(Debug)]
-struct Entry<V> {
+struct Stored<V> {
     value: V,
     /// Monotone per-shard use tick; smallest tick = least recently used.
-    last_used: u64,
+    /// Atomic so the lock-free fast path can refresh recency on a hit —
+    /// an entry kept hot by fast readers is still protected from LRU
+    /// eviction, exactly as on the locked path.
+    last_used: AtomicU64,
 }
 
-/// Shard storage is indexed by the key's full 64-bit hash (computed once
-/// per request, also used for shard selection) with a tiny collision
-/// vector per slot, so the hot hit path hashes the — potentially large —
-/// key exactly once and then does one `u64` map probe plus one key
-/// compare.
+/// The bucket table type of one shard: indexed by the key's full 64-bit
+/// hash (computed once per request, also used for shard selection) with a
+/// tiny collision vector per slot, so the hot hit path hashes the —
+/// potentially large — key exactly once and then does one `u64` map probe
+/// plus one key compare.
+type Buckets<K, V> = HashMap<u64, Vec<(K, Stored<V>)>>;
+
+/// The mutex-guarded remainder of a shard (the bucket table itself lives
+/// outside the mutex, in [`Shard::buckets`], so the seqlock fast path can
+/// read it without locking).
 #[derive(Debug)]
-struct ShardState<K, V> {
-    buckets: HashMap<u64, Vec<(K, Entry<V>)>>,
+struct ShardState {
     /// Total entries across all buckets.
     len: usize,
     /// Hashes with a build in flight. Keyed by hash, not key: a 64-bit
     /// collision merely serializes two unrelated builds, it never
     /// produces a wrong value (waiters re-check their own key on wake).
     in_flight: HashSet<u64>,
-    tick: u64,
 }
 
-#[derive(Debug)]
 struct Shard<K, V> {
-    state: Mutex<ShardState<K, V>>,
+    /// The bucket table. Written only inside [`Shard::mutate_buckets`]
+    /// (shard mutex held + seqlock write section); read either under the
+    /// shard mutex or from an announced fast-read section — see the
+    /// safety contract on [`Shard::read_buckets`].
+    buckets: UnsafeCell<Buckets<K, V>>,
+    /// Seqlock version of `buckets`: odd while a writer is inside the
+    /// write section.
+    seq: AtomicU64,
+    /// Fast readers currently announced into the read section. A writer
+    /// drains this to zero before mutating, which is what makes handing
+    /// `&V` references out of the table sound (no classic-seqlock torn
+    /// reads, and no use-after-free cloning a value mid-eviction).
+    readers: AtomicU64,
+    /// Monotone use tick, shared by both hit paths.
+    tick: AtomicU64,
+    state: Mutex<ShardState>,
     ready: Condvar,
     hits: AtomicU64,
+    fast_hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     inflight_waits: AtomicU64,
 }
 
+// SAFETY: the `buckets` UnsafeCell is written only inside
+// `mutate_buckets`, whose callers hold the shard mutex (serializing
+// writers) and which excludes announced fast readers via the
+// `seq`/`readers` handshake before touching the table; it is read only
+// under that same mutex or from inside an announced fast-read section.
+// `&Shard` therefore never yields unsynchronized aliased access to the
+// table. `K: Send + Sync` / `V: Send + Sync` keep the `&K`/`&V`
+// references the read paths hand out (and the clones they produce)
+// sound across threads.
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for Shard<K, V> {}
+
+impl<K, V> std::fmt::Debug for Shard<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("seq", &self.seq)
+            .field("readers", &self.readers)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<K, V> Shard<K, V> {
     fn new() -> Shard<K, V> {
         Shard {
+            buckets: UnsafeCell::new(HashMap::new()),
+            seq: AtomicU64::new(0),
+            readers: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
             state: Mutex::new(ShardState {
-                buckets: HashMap::new(),
                 len: 0,
                 in_flight: HashSet::new(),
-                tick: 0,
             }),
             ready: Condvar::new(),
             hits: AtomicU64::new(0),
+            fast_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             inflight_waits: AtomicU64::new(0),
         }
+    }
+
+    /// A shared view of the bucket table.
+    ///
+    /// # Safety
+    ///
+    /// The caller must either hold the shard mutex (which excludes the
+    /// write section, because every `mutate_buckets` caller holds it
+    /// too) or be inside an announced fast-read section (`readers`
+    /// incremented *before* observing `seq` even).
+    unsafe fn read_buckets(&self) -> &Buckets<K, V> {
+        // SAFETY: forwarded to the caller (see above).
+        unsafe { &*self.buckets.get() }
+    }
+
+    /// Runs `f` with exclusive access to the bucket table. The caller
+    /// must hold the shard mutex — that is what serializes writers; this
+    /// method's version/reader handshake then excludes the lock-free
+    /// fast readers: the version goes odd (new fast readers bounce to
+    /// the locked path), announced readers drain, `f` mutates, and the
+    /// version returns to even.
+    fn mutate_buckets<R>(&self, f: impl FnOnce(&mut Buckets<K, V>) -> R) -> R {
+        self.seq.fetch_add(1, Ordering::SeqCst);
+        let mut spins = 0u32;
+        while self.readers.load(Ordering::SeqCst) != 0 {
+            // Fast readers never block while announced, so the drain is
+            // short — but on a single CPU an announced reader may need
+            // the core this writer is spinning on, so yield periodically.
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // SAFETY: writers are serialized by the shard mutex held by the
+        // caller, the odd version keeps new fast readers out, and the
+        // announced readers have drained — this closure has exclusive
+        // access to the table.
+        let result = f(unsafe { &mut *self.buckets.get() });
+        self.seq.fetch_add(1, Ordering::SeqCst);
+        result
+    }
+
+    /// The lock-free fast hit path: zero mutex acquisitions on a clean
+    /// hit. Returns `None` (fall back to the locked path) on a miss or
+    /// whenever a writer is inside — or enters — the write section.
+    fn fast_hit(&self, hash: u64, key: &K) -> Option<V>
+    where
+        K: Eq,
+        V: Clone,
+    {
+        if self.seq.load(Ordering::SeqCst) & 1 != 0 {
+            // A writer is restructuring the table; don't even announce.
+            return None;
+        }
+        self.readers.fetch_add(1, Ordering::SeqCst);
+        // Re-check *after* announcing. SeqCst gives the Dekker-style
+        // guarantee with the writer's store(seq: odd) → load(readers)
+        // sequence: either this load sees the odd version (and the
+        // reader backs out without touching the table), or the writer's
+        // readers-drain loop sees this reader's announcement (and waits
+        // for it to withdraw before mutating). Both orders are safe;
+        // overlap is impossible.
+        let value = if self.seq.load(Ordering::SeqCst) & 1 == 0 {
+            // SAFETY: announced while the version was even — see above.
+            let buckets = unsafe { self.read_buckets() };
+            buckets
+                .get(&hash)
+                .and_then(|bucket| bucket.iter().find(|(k, _)| k == key))
+                .map(|(_, stored)| {
+                    let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+                    stored.last_used.store(tick, Ordering::Relaxed);
+                    stored.value.clone()
+                })
+        } else {
+            None
+        };
+        self.readers.fetch_sub(1, Ordering::SeqCst);
+        if value.is_some() {
+            // Fast hits count as hits (the aggregate hit/miss accounting
+            // is path-independent) and additionally as fast hits.
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.fast_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
     }
 }
 
@@ -248,19 +397,33 @@ impl<K: Clone + Eq + Hash, V: Clone> ShardedCache<K, V> {
             return Ok((value, false));
         }
 
+        // The seqlock fast path: a clean hit clones the value without
+        // touching the shard mutex. Contention with a writer — or a
+        // plain miss — falls through to the locked path below.
+        if let Some(value) = shard.fast_hit(hash, key) {
+            return Ok((value, true));
+        }
+
         let mut state = shard.state.lock().expect("cache shard lock");
         loop {
-            state.tick += 1;
-            let tick = state.tick;
-            if let Some(bucket) = state.buckets.get_mut(&hash) {
-                if let Some((_, entry)) = bucket.iter_mut().find(|(k, _)| k == key) {
-                    entry.last_used = tick;
-                    let value = entry.value.clone();
-                    // Counted before the lock drops: a stats snapshot can
-                    // never see this hit without the entry it came from.
-                    shard.hits.fetch_add(1, Ordering::Relaxed);
-                    drop(state);
-                    return Ok((value, true));
+            {
+                // SAFETY: the shard mutex is held — every bucket writer
+                // holds it too, so no write section can be active. (The
+                // reference must not outlive this block: `wait` below
+                // releases the mutex.)
+                let buckets = unsafe { shard.read_buckets() };
+                if let Some(bucket) = buckets.get(&hash) {
+                    if let Some((_, stored)) = bucket.iter().find(|(k, _)| k == key) {
+                        let tick = shard.tick.fetch_add(1, Ordering::Relaxed) + 1;
+                        stored.last_used.store(tick, Ordering::Relaxed);
+                        let value = stored.value.clone();
+                        // Counted before the lock drops: a stats snapshot
+                        // can never see this hit without the entry it
+                        // came from.
+                        shard.hits.fetch_add(1, Ordering::Relaxed);
+                        drop(state);
+                        return Ok((value, true));
+                    }
                 }
             }
             if !state.in_flight.contains(&hash) {
@@ -281,29 +444,34 @@ impl<K: Clone + Eq + Hash, V: Clone> ShardedCache<K, V> {
         let mut state = shard.state.lock().expect("cache shard lock");
         let result = match built {
             Ok(value) => {
-                state.tick += 1;
-                let tick = state.tick;
-                // The key cannot already be resident: its hash was held
-                // in `in_flight`, so every same-hash requester waited and
-                // re-checked above.
-                state.buckets.entry(hash).or_default().push((
-                    key.clone(),
-                    Entry {
-                        value: value.clone(),
-                        last_used: tick,
-                    },
-                ));
-                state.len += 1;
-                // Counted while the lock is held (insert and miss are one
-                // atomic step to observers): a stats snapshot can never
-                // see the entry without its miss, or the miss without its
-                // entry — `misses >= entries + evictions` holds at every
-                // instant.
-                shard.misses.fetch_add(1, Ordering::Relaxed);
-                while state.len > self.shard_capacity {
-                    Self::evict_lru(&mut state);
-                    shard.evictions.fetch_add(1, Ordering::Relaxed);
-                }
+                let tick = shard.tick.fetch_add(1, Ordering::Relaxed) + 1;
+                shard.mutate_buckets(|buckets| {
+                    // The key cannot already be resident: its hash was
+                    // held in `in_flight`, so every same-hash requester
+                    // waited and re-checked above.
+                    buckets.entry(hash).or_default().push((
+                        key.clone(),
+                        Stored {
+                            value: value.clone(),
+                            last_used: AtomicU64::new(tick),
+                        },
+                    ));
+                    state.len += 1;
+                    // Counted while the lock is held (insert and miss are
+                    // one atomic step to mutex-taking observers): a stats
+                    // snapshot can never see the entry without its miss,
+                    // or the miss without its entry —
+                    // `misses >= entries + evictions` holds at every
+                    // instant.
+                    shard.misses.fetch_add(1, Ordering::Relaxed);
+                    while state.len > self.shard_capacity {
+                        if !Self::evict_lru(buckets) {
+                            break;
+                        }
+                        state.len -= 1;
+                        shard.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
                 Ok((value, false))
             }
             // Waiters re-check and the next one retries the build.
@@ -314,29 +482,30 @@ impl<K: Clone + Eq + Hash, V: Clone> ShardedCache<K, V> {
         result
     }
 
-    /// Removes the least-recently-used entry of the shard (linear scan;
-    /// runs only on over-capacity inserts, never on hits).
-    fn evict_lru(state: &mut ShardState<K, V>) {
-        let Some((&lru_hash, lru_pos)) = state
-            .buckets
+    /// Removes the least-recently-used entry from the bucket table
+    /// (linear scan; runs only on over-capacity inserts, never on hits).
+    /// Must run inside a [`Shard::mutate_buckets`] write section; the
+    /// caller adjusts `len` and the eviction counter on `true`.
+    fn evict_lru(buckets: &mut Buckets<K, V>) -> bool {
+        let Some((&lru_hash, lru_pos)) = buckets
             .iter()
             .flat_map(|(h, bucket)| {
                 bucket
                     .iter()
                     .enumerate()
-                    .map(move |(i, (_, e))| ((h, i), e.last_used))
+                    .map(move |(i, (_, s))| ((h, i), s.last_used.load(Ordering::Relaxed)))
             })
             .min_by_key(|(_, used)| *used)
             .map(|(at, _)| at)
         else {
-            return;
+            return false;
         };
-        let bucket = state.buckets.get_mut(&lru_hash).expect("bucket exists");
+        let bucket = buckets.get_mut(&lru_hash).expect("bucket exists");
         bucket.swap_remove(lru_pos);
         if bucket.is_empty() {
-            state.buckets.remove(&lru_hash);
+            buckets.remove(&lru_hash);
         }
-        state.len -= 1;
+        true
     }
 
     /// Clones every resident `(key, value)` pair, shard by shard — the
@@ -348,11 +517,15 @@ impl<K: Clone + Eq + Hash, V: Clone> ShardedCache<K, V> {
         let mut out = Vec::new();
         for shard in &self.shards {
             let state = shard.state.lock().expect("cache shard lock");
-            for bucket in state.buckets.values() {
-                for (key, entry) in bucket {
-                    out.push((key.clone(), entry.value.clone()));
+            // SAFETY: the shard mutex is held, so no write section is
+            // active.
+            let buckets = unsafe { shard.read_buckets() };
+            for bucket in buckets.values() {
+                for (key, stored) in bucket {
+                    out.push((key.clone(), stored.value.clone()));
                 }
             }
+            drop(state);
         }
         out
     }
@@ -372,26 +545,35 @@ impl<K: Clone + Eq + Hash, V: Clone> ShardedCache<K, V> {
         let hash = Self::hash_of(&key);
         let shard = &self.shards[(hash as usize) & self.mask];
         let mut state = shard.state.lock().expect("cache shard lock");
-        if let Some(bucket) = state.buckets.get(&hash) {
-            if bucket.iter().any(|(k, _)| k == &key) {
-                return;
+        {
+            // SAFETY: the shard mutex is held, so no write section is
+            // active.
+            let buckets = unsafe { shard.read_buckets() };
+            if let Some(bucket) = buckets.get(&hash) {
+                if bucket.iter().any(|(k, _)| k == &key) {
+                    return;
+                }
             }
         }
-        state.tick += 1;
-        let tick = state.tick;
-        state.buckets.entry(hash).or_default().push((
-            key,
-            Entry {
-                value,
-                last_used: tick,
-            },
-        ));
-        state.len += 1;
-        shard.misses.fetch_add(1, Ordering::Relaxed);
-        while state.len > self.shard_capacity {
-            Self::evict_lru(&mut state);
-            shard.evictions.fetch_add(1, Ordering::Relaxed);
-        }
+        let tick = shard.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        shard.mutate_buckets(|buckets| {
+            buckets.entry(hash).or_default().push((
+                key,
+                Stored {
+                    value,
+                    last_used: AtomicU64::new(tick),
+                },
+            ));
+            state.len += 1;
+            shard.misses.fetch_add(1, Ordering::Relaxed);
+            while state.len > self.shard_capacity {
+                if !Self::evict_lru(buckets) {
+                    break;
+                }
+                state.len -= 1;
+                shard.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        });
     }
 
     /// Entries currently resident across all shards.
@@ -410,7 +592,7 @@ impl<K: Clone + Eq + Hash, V: Clone> ShardedCache<K, V> {
     pub(crate) fn clear(&self) {
         for shard in &self.shards {
             let mut state = shard.state.lock().expect("cache shard lock");
-            state.buckets.clear();
+            shard.mutate_buckets(|buckets| buckets.clear());
             state.len = 0;
         }
     }
@@ -432,6 +614,7 @@ impl<K: Clone + Eq + Hash, V: Clone> ShardedCache<K, V> {
                 ShardStats {
                     entries: state.len,
                     hits: shard.hits.load(Ordering::Relaxed),
+                    fast_hits: shard.fast_hits.load(Ordering::Relaxed),
                     misses: shard.misses.load(Ordering::Relaxed),
                     evictions: shard.evictions.load(Ordering::Relaxed),
                     inflight_waits: shard.inflight_waits.load(Ordering::Relaxed),
@@ -440,6 +623,7 @@ impl<K: Clone + Eq + Hash, V: Clone> ShardedCache<K, V> {
             };
             out.entries += s.entries;
             out.hits += s.hits;
+            out.fast_hits += s.fast_hits;
             out.misses += s.misses;
             out.evictions += s.evictions;
             out.inflight_waits += s.inflight_waits;
@@ -597,6 +781,90 @@ mod tests {
         });
         let stats = cache.stats();
         assert_eq!(stats.hits + stats.misses, 8000);
+    }
+
+    #[test]
+    fn fast_path_serves_clean_hits_and_counts_them() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(64, 4);
+        assert_eq!(cache.get_or_build(&1, ok(10)).unwrap(), (10, false));
+        // With no writer active, every subsequent hit is a fast hit.
+        for _ in 0..3 {
+            assert_eq!(cache.get_or_build(&1, ok(99)).unwrap(), (10, true));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 3, "fast hits are included in hits");
+        assert_eq!(stats.fast_hits, 3, "...and counted separately");
+    }
+
+    #[test]
+    fn fast_hits_refresh_lru_recency() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(2, 1);
+        cache.get_or_build(&1, ok(1)).unwrap();
+        cache.get_or_build(&2, ok(2)).unwrap();
+        // This touch goes through the lock-free fast path…
+        assert!(cache.get_or_build(&1, ok(0)).unwrap().1);
+        assert_eq!(cache.stats().fast_hits, 1);
+        // …and must still protect 1 from the eviction triggered by 3.
+        cache.get_or_build(&3, ok(3)).unwrap();
+        assert!(cache.get_or_build(&1, ok(0)).unwrap().1, "1 survives");
+        assert!(!cache.get_or_build(&2, ok(2)).unwrap().1, "2 was evicted");
+    }
+
+    #[test]
+    fn seqlock_read_path_survives_concurrent_eviction_churn() {
+        // Readers hammer one hot key through the fast path while a
+        // writer churns enough distinct keys through a tiny shard to
+        // force constant evictions (every insert enters the seqlock
+        // write section and restructures the table the readers probe).
+        // Values are self-checksummed so any torn read — a clone
+        // overlapping a table mutation — breaks the relation.
+        const MASK: u64 = 0x9e37_79b9_7f4a_7c15;
+        let make = |k: u32| {
+            let seed = u64::from(k) + 1;
+            move || Ok::<_, Infallible>(vec![seed, seed.wrapping_mul(3), seed ^ MASK])
+        };
+        let check = |v: &Vec<u64>| {
+            assert_eq!(v[1], v[0].wrapping_mul(3), "torn read: {v:?}");
+            assert_eq!(v[2], v[0] ^ MASK, "torn read: {v:?}");
+        };
+        let cache: ShardedCache<u32, Vec<u64>> = ShardedCache::new(4, 1);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    for _ in 0..10_000 {
+                        let (v, _) = cache.get_or_build(&1, make(1)).unwrap();
+                        check(&v);
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for i in 0..10_000u32 {
+                    let k = 2 + (i % 7);
+                    let (v, _) = cache.get_or_build(&k, make(k)).unwrap();
+                    check(&v);
+                }
+            });
+        });
+        // One guaranteed clean hit so `fast_hits > 0` holds even if the
+        // scheduler serialized the whole race above.
+        cache.get_or_build(&1, make(1)).unwrap();
+        let (v, _) = cache.get_or_build(&1, make(1)).unwrap();
+        check(&v);
+        let stats = cache.stats();
+        assert!(stats.fast_hits > 0, "fast path never engaged: {stats:?}");
+        assert!(
+            stats.fast_hits <= stats.hits,
+            "fast hits are a subset of hits: {stats:?}"
+        );
+        // 40k threaded probes + 2 tail probes, each a hit or a miss.
+        assert_eq!(stats.hits + stats.misses, 40_002);
+        for s in stats.shards {
+            assert!(
+                s.misses >= s.entries as u64 + s.evictions,
+                "incoherent shard accounting: {s:?}"
+            );
+        }
     }
 
     #[test]

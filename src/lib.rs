@@ -37,6 +37,8 @@
 //! | [`RepairRequest`] | [`RepairReport`] | a per-die defect/repair lot fanning out per-die sub-requests |
 //! | [`DieRequest`] | [`repair::DieOutcome`] | one die: sample defects, test sites, assign cells |
 //! | [`OptimizeRequest`] | [`OptimizeReport`] | a processing↔circuit co-optimization search over memoized sweeps |
+//! | [`MacroRequest`] | [`MacroReport`] | a hierarchical 8/32/64-bit adder macro fanning out per-bit-slice sub-requests |
+//! | [`MacroSliceRequest`] | [`macros::SliceOutcome`] | one bit slice: sub-cell recall + carry/sum arc characterization |
 //! | [`TranRequest`] | [`TranResult`] | a SPICE-deck transient on the MNA engine (uncached) |
 //! | [`RequestKind`] (any mix) | [`ResponseKind`] | dispatch to the above |
 //!
@@ -53,6 +55,12 @@
 //! a memoized sweep, so overlapping candidates re-execute only new
 //! corners and a re-targeted search replays measured candidates as pure
 //! cache hits ([`optimize`]).
+//! [`MacroRequest`] is the fourth and the first to climb a level of
+//! *layout* hierarchy: it composes the paper's full adder into an
+//! 8/32/64-bit ripple-carry or carry-look-ahead macro whose slices hold
+//! an `Arc` reference to one shared sub-cell (never flattened copies),
+//! fanning per-bit-slice characterizations out on the same pool
+//! ([`macros`]).
 //!
 //! The per-kind methods of the 0.1 line (`Session::generate`,
 //! `::library`, `::immunity`, `::flow`, `::generate_batch`) were
@@ -108,7 +116,7 @@
 //!
 //! Under the hood every request class ([`RequestClass`]: cells,
 //! libraries, immunity verdicts, flow results, sweeps, repairs,
-//! optimizations) is memoized by
+//! optimizations, macros) is memoized by
 //! its own sharded, bounded, single-flight LRU cache ([`cache`]) — tune
 //! it with [`SessionBuilder::cache_capacity`] and
 //! [`SessionBuilder::cache_shards`] — and batches and submitted jobs run
@@ -144,6 +152,7 @@ mod batch;
 pub mod cache;
 mod error;
 mod jobs;
+pub mod macros;
 pub mod optimize;
 pub mod repair;
 mod request;
@@ -155,6 +164,7 @@ pub mod sweep;
 pub use cache::{CacheStats, ShardStats};
 pub use error::{CnfetError, Result};
 pub use jobs::JobHandle;
+pub use macros::{MacroReport, MacroRequest, MacroSliceRequest, SliceObserver, SliceOutcome};
 pub use optimize::{
     CandidateObserver, CandidateOutcome, CandidateRow, OptimizeAxis, OptimizeCandidateRequest,
     OptimizeReport, OptimizeRequest, OptimizeTarget,

@@ -39,6 +39,7 @@ use crate::flow::{
     simulate_netlist_with, Tech,
 };
 use crate::immunity::{certify, simulate};
+use crate::macros::{MacroReport, MacroRequest, MacroSliceRequest, SliceOutcome};
 use crate::optimize::{
     CandidateOutcome, OptimizeCandidateRequest, OptimizeReport, OptimizeRequest,
 };
@@ -55,7 +56,7 @@ use std::sync::Arc;
 // Request classes and cache keys
 // ---------------------------------------------------------------------------
 
-/// The seven request kinds a session services, each with its own
+/// The eight request kinds a session services, each with its own
 /// memoization cache and per-kind counters in
 /// [`SessionStats`](crate::SessionStats).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -85,11 +86,17 @@ pub enum RequestClass {
     /// candidate as a hit (the measurements are target-free; only the
     /// scoring depends on the target).
     Optimizations,
+    /// A hierarchical arithmetic macro — both whole macros
+    /// ([`MacroRequest`]) and the per-bit-slice sub-requests they fan
+    /// out ([`MacroSliceRequest`]) memoize here, so overlapping macros
+    /// share slice characterizations (and the sub-cell layouts they
+    /// recall live in the `Cell` class, shared with library builds).
+    Macros,
 }
 
 impl RequestClass {
     /// Every request class, in cache order.
-    pub const ALL: [RequestClass; 7] = [
+    pub const ALL: [RequestClass; 8] = [
         RequestClass::Cell,
         RequestClass::Library,
         RequestClass::Immunity,
@@ -97,6 +104,7 @@ impl RequestClass {
         RequestClass::Sweeps,
         RequestClass::Repairs,
         RequestClass::Optimizations,
+        RequestClass::Macros,
     ];
 
     /// Stable index of this class into the session's cache array.
@@ -109,6 +117,7 @@ impl RequestClass {
             RequestClass::Sweeps => 4,
             RequestClass::Repairs => 5,
             RequestClass::Optimizations => 6,
+            RequestClass::Macros => 7,
         }
     }
 
@@ -122,6 +131,7 @@ impl RequestClass {
             RequestClass::Sweeps => "sweeps",
             RequestClass::Repairs => "repairs",
             RequestClass::Optimizations => "optimizations",
+            RequestClass::Macros => "macros",
         }
     }
 }
@@ -177,6 +187,16 @@ pub(crate) enum KeyInner {
     /// replay measured candidates as hits. Lives in the
     /// [`RequestClass::Optimizations`] cache next to whole trajectories.
     OptimizeCandidate(String),
+    /// Whole adder macros: a canonical rendering of the kind, width,
+    /// scheme and jitter seed (the attached observer is *observation,
+    /// not identity* — excluded, like every other composite's).
+    Macro(String),
+    /// One bit slice's characterization: the same rendering plus the
+    /// bit index. The macro *width* stays in the key — a CLA bit's
+    /// prefix-tree fan-out depends on the width it sits in, so equal
+    /// bits of different widths are different work. Lives in the
+    /// [`RequestClass::Macros`] cache next to whole macros.
+    MacroSlice(String),
 }
 
 impl CacheKey {
@@ -191,6 +211,7 @@ impl CacheKey {
             KeyInner::Sweep(_) | KeyInner::SweepCorner(_) => RequestClass::Sweeps,
             KeyInner::Repair(_) | KeyInner::Die(_) => RequestClass::Repairs,
             KeyInner::Optimize(_) | KeyInner::OptimizeCandidate(_) => RequestClass::Optimizations,
+            KeyInner::Macro(_) | KeyInner::MacroSlice(_) => RequestClass::Macros,
         }
     }
 }
@@ -714,6 +735,59 @@ impl SessionRequest for OptimizeCandidateRequest {
 }
 
 // ---------------------------------------------------------------------------
+// Hierarchical arithmetic macros (composite requests)
+// ---------------------------------------------------------------------------
+
+impl sealed::Sealed for MacroRequest {}
+
+impl SessionRequest for MacroRequest {
+    type Output = Arc<MacroReport>;
+
+    /// Whole-macro memoization: kind, width, scheme, jitter seed. A
+    /// request with an unsupported width gets no key — `execute` rejects
+    /// it before it can occupy a cache slot. The attached
+    /// [`SliceObserver`](crate::SliceObserver), if any, is deliberately
+    /// excluded — observation is not identity.
+    fn cache_key(&self, _session: &Session) -> Option<CacheKey> {
+        if self.validate().is_err() {
+            return None;
+        }
+        Some(CacheKey(KeyInner::Macro(format!(
+            "{:?}|{}|{:?}|{}",
+            self.kind, self.width, self.scheme, self.seed
+        ))))
+    }
+
+    /// Fans one slice per bit through the session's job pool
+    /// (batch-targeted helping, like every composite), then composes,
+    /// places and assembles the two-deep hierarchy. See [`crate::macros`].
+    fn execute(&self, session: &Session) -> Result<Arc<MacroReport>> {
+        crate::macros::execute_macro(self, session)
+    }
+}
+
+impl sealed::Sealed for MacroSliceRequest {}
+
+impl SessionRequest for MacroSliceRequest {
+    type Output = SliceOutcome;
+
+    /// Per-slice memoization: the whole-macro rendering plus the bit
+    /// index. Width stays in the key (a CLA bit's fan-out depends on
+    /// it); cross-macro sharing happens one level down, in the `Cell`
+    /// class the slice's sub-cell layouts memoize in.
+    fn cache_key(&self, _session: &Session) -> Option<CacheKey> {
+        Some(CacheKey(KeyInner::MacroSlice(format!(
+            "{:?}|{}|{}|{:?}|{}",
+            self.kind, self.width, self.bit, self.scheme, self.seed
+        ))))
+    }
+
+    fn execute(&self, session: &Session) -> Result<SliceOutcome> {
+        crate::macros::execute_slice(self, session)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Custom cells (explicit pull networks)
 // ---------------------------------------------------------------------------
 
@@ -809,6 +883,12 @@ pub enum RequestKind {
     /// pool — the deepest nesting the engine runs (optimize → sweeps →
     /// corners → cells).
     Optimize(OptimizeRequest),
+    /// A composite [`MacroRequest`] (fans out per-bit-slice
+    /// sub-requests on the same pool).
+    Macro(MacroRequest),
+    /// One bit slice ([`MacroSliceRequest`]) — the currency of a
+    /// macro's internal fan-out, also submittable directly.
+    MacroSlice(MacroSliceRequest),
     /// A deck transient run ([`TranRequest`]) — the one uncached kind:
     /// it belongs to no [`RequestClass`] and executes fresh every time.
     Tran(TranRequest),
@@ -853,6 +933,18 @@ impl RequestKind {
         }
     }
 
+    /// The wrapped macro, if this is a [`RequestKind::Macro`]. Mutable
+    /// for the same reason as [`RequestKind::as_sweep_mut`]: the serve
+    /// tier attaches a [`SliceObserver`](crate::SliceObserver) to macros
+    /// arriving as heterogeneous submissions before handing the mix to
+    /// [`Session::submit_all`](crate::Session::submit_all).
+    pub fn as_macro_mut(&mut self) -> Option<&mut MacroRequest> {
+        match self {
+            RequestKind::Macro(r) => Some(r),
+            _ => None,
+        }
+    }
+
     /// Which request class this wraps, or `None` for the uncached
     /// [`RequestKind::Tran`].
     pub fn class(&self) -> Option<RequestClass> {
@@ -864,6 +956,7 @@ impl RequestKind {
             RequestKind::Sweep(_) | RequestKind::SweepCorner(_) => Some(RequestClass::Sweeps),
             RequestKind::Repair(_) | RequestKind::Die(_) => Some(RequestClass::Repairs),
             RequestKind::Optimize(_) => Some(RequestClass::Optimizations),
+            RequestKind::Macro(_) | RequestKind::MacroSlice(_) => Some(RequestClass::Macros),
             RequestKind::Tran(_) => None,
         }
     }
@@ -923,6 +1016,18 @@ impl From<OptimizeRequest> for RequestKind {
     }
 }
 
+impl From<MacroRequest> for RequestKind {
+    fn from(r: MacroRequest) -> RequestKind {
+        RequestKind::Macro(r)
+    }
+}
+
+impl From<MacroSliceRequest> for RequestKind {
+    fn from(r: MacroSliceRequest) -> RequestKind {
+        RequestKind::MacroSlice(r)
+    }
+}
+
 impl From<TranRequest> for RequestKind {
     fn from(r: TranRequest) -> RequestKind {
         RequestKind::Tran(r)
@@ -951,6 +1056,10 @@ pub enum ResponseKind {
     Die(DieOutcome),
     /// Result of a [`RequestKind::Optimize`].
     Optimize(Arc<OptimizeReport>),
+    /// Result of a [`RequestKind::Macro`].
+    Macro(Arc<MacroReport>),
+    /// Result of a [`RequestKind::MacroSlice`].
+    MacroSlice(SliceOutcome),
     /// Result of a [`RequestKind::Tran`].
     Tran(TranResult),
 }
@@ -967,6 +1076,7 @@ impl ResponseKind {
             ResponseKind::Sweep(_) | ResponseKind::SweepCorner(_) => Some(RequestClass::Sweeps),
             ResponseKind::Repair(_) | ResponseKind::Die(_) => Some(RequestClass::Repairs),
             ResponseKind::Optimize(_) => Some(RequestClass::Optimizations),
+            ResponseKind::Macro(_) | ResponseKind::MacroSlice(_) => Some(RequestClass::Macros),
             ResponseKind::Tran(_) => None,
         }
     }
@@ -1043,6 +1153,22 @@ impl ResponseKind {
         }
     }
 
+    /// The macro report, if this is a [`ResponseKind::Macro`].
+    pub fn into_macro(self) -> Option<Arc<MacroReport>> {
+        match self {
+            ResponseKind::Macro(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The slice outcome, if this is a [`ResponseKind::MacroSlice`].
+    pub fn into_macro_slice(self) -> Option<SliceOutcome> {
+        match self {
+            ResponseKind::MacroSlice(r) => Some(r),
+            _ => None,
+        }
+    }
+
     /// The transient result, if this is a [`ResponseKind::Tran`].
     pub fn into_tran(self) -> Option<TranResult> {
         match self {
@@ -1075,6 +1201,8 @@ impl SessionRequest for RequestKind {
             RequestKind::Repair(r) => ResponseKind::Repair(session.run(r)?),
             RequestKind::Die(r) => ResponseKind::Die(session.run(r)?),
             RequestKind::Optimize(r) => ResponseKind::Optimize(session.run(r)?),
+            RequestKind::Macro(r) => ResponseKind::Macro(session.run(r)?),
+            RequestKind::MacroSlice(r) => ResponseKind::MacroSlice(session.run(r)?),
             RequestKind::Tran(r) => ResponseKind::Tran(session.run(r)?),
         })
     }

@@ -400,6 +400,10 @@ pub struct RequestStats {
     /// Requests answered from the cache (including single-flight waits
     /// that received a concurrent build's value).
     pub hits: u64,
+    /// The subset of `hits` served on the seqlock fast path — no mutex
+    /// acquisition at all (see [`cache`](crate::cache)). Always
+    /// `<= hits`.
+    pub fast_hits: u64,
     /// Requests that executed (every request, when caching is disabled).
     pub misses: u64,
     /// Results evicted to respect the capacity bound.
@@ -441,6 +445,11 @@ pub struct SessionStats {
     /// outcomes share this class, so a re-targeted search's candidate
     /// reuse shows up here as hits (its sweep reuse lands in `sweeps`).
     pub optimizations: RequestStats,
+    /// Macro requests ([`RequestClass::Macros`]): whole adder macros
+    /// *and* their per-bit-slice sub-requests share this class, so an
+    /// overlapping macro's slice reuse shows up here as hits (its
+    /// sub-cell reuse lands in `cells`).
+    pub macros: RequestStats,
     /// Times a request blocked waiting on another thread's in-flight
     /// build of the same key (across all caches).
     pub inflight_waits: u64,
@@ -464,6 +473,7 @@ impl SessionStats {
             RequestClass::Sweeps => self.sweeps,
             RequestClass::Repairs => self.repairs,
             RequestClass::Optimizations => self.optimizations,
+            RequestClass::Macros => self.macros,
         }
     }
 
@@ -657,7 +667,7 @@ struct SessionCore {
     /// [`RequestClass::index`]. Values are type-erased (see
     /// [`CachedValue`]); keys are class-tagged, so a key only ever meets
     /// values of its own class's output type.
-    caches: [ShardedCache<crate::request::CacheKey, CachedValue>; 7],
+    caches: [ShardedCache<crate::request::CacheKey, CachedValue>; 8],
     batch_workers: usize,
     stats: StatsInner,
     /// The persistent job pool, started on the first [`Session::submit`].
@@ -733,12 +743,13 @@ impl Session {
     /// A snapshot of the cache and executor counters, with every request
     /// class aggregated the same way over its cache shards.
     pub fn stats(&self) -> SessionStats {
-        let mut per_class = [RequestStats::default(); 7];
+        let mut per_class = [RequestStats::default(); 8];
         let mut inflight_waits = 0;
         for class in RequestClass::ALL {
             let s = self.core.caches[class.index()].stats();
             per_class[class.index()] = RequestStats {
                 hits: s.hits,
+                fast_hits: s.fast_hits,
                 misses: s.misses,
                 evictions: s.evictions,
             };
@@ -753,6 +764,7 @@ impl Session {
             sweeps: per_class[RequestClass::Sweeps.index()],
             repairs: per_class[RequestClass::Repairs.index()],
             optimizations: per_class[RequestClass::Optimizations.index()],
+            macros: per_class[RequestClass::Macros.index()],
             inflight_waits,
             batches: self.core.stats.batches.load(Ordering::Relaxed),
             steals: self.core.stats.batch_steals.load(Ordering::Relaxed) + pool_steals,

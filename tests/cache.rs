@@ -4,9 +4,10 @@
 //! skewed workloads.
 
 use cnfet::core::{GenerateOptions, Scheme, StdCellKind};
+use cnfet::logic::AdderKind;
 use cnfet::{
-    CellRequest, FlowRequest, FlowSource, ImmunityRequest, LibraryRequest, RequestClass, Session,
-    SessionBuilder,
+    CellRequest, FlowRequest, FlowSource, ImmunityRequest, LibraryRequest, MacroRequest,
+    RequestClass, Session, SessionBuilder,
 };
 use std::sync::Arc;
 
@@ -161,6 +162,89 @@ fn forced_workers_keep_single_flight() {
     assert!(results.iter().all(|r| Arc::ptr_eq(&r.cell, first)));
 }
 
+/// The seqlock fast path under fire: four threads hammer one hot cell
+/// while a writer forces eviction churn through the same single shard.
+/// Every read must come back untorn, the counters must stay coherent,
+/// and once the writer stops, clean hits must take the mutex-free path.
+#[test]
+fn seqlock_fast_path_survives_hot_key_contention() {
+    const HAMMERS: usize = 4;
+    const ROUNDS: usize = 200;
+    let session = SessionBuilder::new()
+        .cache_shards(1)
+        .cache_capacity(2)
+        .batch_workers(HAMMERS)
+        .build();
+    let hot = CellRequest::new(StdCellKind::Inv);
+    let reference = session.run(&hot).unwrap().cell;
+    let mut issued = 1u64;
+
+    // Distinct λ-width variants: each insert lands in the one shard, so
+    // the writer keeps evicting while the hammers read.
+    let churn: Vec<CellRequest> = [4i64, 6, 8, 10]
+        .into_iter()
+        .flat_map(|w| {
+            [StdCellKind::Nand(2), StdCellKind::Nor(2)].map(|kind| {
+                CellRequest::new(kind).options(GenerateOptions {
+                    sizing: cnfet::core::Sizing::Uniform { width_lambda: w },
+                    ..GenerateOptions::default()
+                })
+            })
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..HAMMERS {
+            scope.spawn(|| {
+                for _ in 0..ROUNDS {
+                    let result = session.run(&hot).unwrap();
+                    // Torn-read check: a half-published entry would hand
+                    // back a different (or corrupt) layout.
+                    assert_eq!(result.cell.name, reference.name);
+                    assert_eq!(result.cell.footprint_l2, reference.footprint_l2);
+                    assert_eq!(result.cell.width_lambda, reference.width_lambda);
+                }
+            });
+        }
+        scope.spawn(|| {
+            for _ in 0..2 {
+                for req in &churn {
+                    session.run(req).unwrap();
+                }
+            }
+        });
+    });
+    issued += (HAMMERS * ROUNDS) as u64 + 2 * churn.len() as u64;
+
+    // Quiet tail: with the writer gone, a resident hot key serves pure
+    // seqlock hits — this is what pins `fast_hits > 0` deterministically.
+    session.run(&hot).unwrap();
+    issued += 1;
+    for _ in 0..32 {
+        assert!(session.run(&hot).unwrap().cached);
+    }
+    issued += 32;
+
+    let stats = session.stats().cells;
+    assert_eq!(stats.hits + stats.misses, issued, "every request counted");
+    assert!(
+        stats.fast_hits <= stats.hits,
+        "fast hits are a subset of hits ({} > {})",
+        stats.fast_hits,
+        stats.hits
+    );
+    assert!(
+        stats.fast_hits >= 32,
+        "the uncontended tail must ride the mutex-free path"
+    );
+    let cache = session.cell_cache_stats();
+    assert!(
+        stats.misses >= cache.entries as u64 + stats.evictions,
+        "every resident or evicted entry was built by a miss"
+    );
+    assert!(stats.evictions > 0, "the writer actually forced churn");
+}
+
 #[test]
 fn immunity_verdicts_are_memoized() {
     let session = Session::new();
@@ -251,6 +335,11 @@ fn clear_cache_drops_every_request_class() {
                     ..Default::default()
                 }),
         )
+        .unwrap();
+    // Scheme 1 so the macro's internal library request hits the entry
+    // cached above instead of adding a second library miss.
+    session
+        .run(&MacroRequest::new(AdderKind::Ripple, 8).scheme(Scheme::Scheme1))
         .unwrap();
     for class in RequestClass::ALL {
         assert!(

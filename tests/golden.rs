@@ -61,6 +61,36 @@ fn assert_matches_golden(name: &str, current: &str) {
     );
 }
 
+/// Binary twin of [`assert_matches_golden`] for artifacts that are not
+/// text (GDSII streams). Reports the first differing byte offset.
+fn assert_matches_golden_bytes(name: &str, current: &[u8]) {
+    let path = golden_path(name);
+    if std::env::var_os("CNFET_GOLDEN_REGEN").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, current).unwrap();
+        return;
+    }
+    let expected = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden {}: {e}\n(run with CNFET_GOLDEN_REGEN=1 to create it)",
+            path.display()
+        )
+    });
+    if current == expected {
+        return;
+    }
+    let at = current
+        .iter()
+        .zip(&expected)
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| current.len().min(expected.len()));
+    panic!(
+        "`{name}` first differs at byte {at} ({} vs {} bytes; regen with CNFET_GOLDEN_REGEN=1 if deliberate)",
+        current.len(),
+        expected.len()
+    );
+}
+
 /// A loaded CNFET inverter driven by a pulse — covers every element
 /// card the renderer knows (V sources in all three waveforms, R, C, and
 /// both FET polarities).
@@ -167,6 +197,19 @@ fn die_repair_render_matches_golden() {
     .adjacent([(0, 1)]);
     let report = cnfet::Session::new().run(&lot).unwrap();
     assert_matches_golden("die_repair.txt", &report.render());
+}
+
+#[test]
+fn adder_macro_artifacts_match_golden() {
+    // A fixed-seed 8-bit carry-look-ahead macro: the committed SPICE deck
+    // pins the hierarchical netlist (one `.subckt full_adder` referenced
+    // by every slice, never flattened), and the committed GDSII stream
+    // pins the two-deep cell/instance assembly byte-for-byte.
+    let report = cnfet::Session::new()
+        .run(&cnfet::MacroRequest::new(cnfet::logic::AdderKind::Cla, 8).seed(0xB0BBA))
+        .unwrap();
+    assert_matches_golden("adder_cla8.sp", &report.spice);
+    assert_matches_golden_bytes("adder_cla8.gds", &report.gds);
 }
 
 #[test]

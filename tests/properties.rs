@@ -5,9 +5,11 @@
 //! series–parallel expressions: same properties, reproducible cases.
 
 use cnfet::core::{GenerateOptions, Sizing, StdCellKind};
-use cnfet::logic::{euler_trails, Expr, PullGraph, SpNetwork, VarTable};
+use cnfet::logic::{euler_trails, AdderKind, Expr, PullGraph, SpNetwork, VarTable};
 use cnfet::repair::DefectParams;
-use cnfet::{RepairRequest, Session, SessionBuilder, SweepMetrics, SweepRequest, VariationGrid};
+use cnfet::{
+    MacroRequest, RepairRequest, Session, SessionBuilder, SweepMetrics, SweepRequest, VariationGrid,
+};
 use cnfet_rng::{rngs::StdRng, Rng, SeedableRng};
 
 const CASES: usize = 64;
@@ -242,6 +244,66 @@ fn repair_reports_are_deterministic_across_submission_paths() {
     let sync_report = Session::new().run(&reference_repair()).unwrap().render();
     let session = SessionBuilder::new().batch_workers(1).build();
     let submitted = session.submit(reference_repair()).wait().unwrap();
+    assert_eq!(submitted.render(), sync_report);
+}
+
+/// The reference macro for the determinism properties: a 32-bit
+/// carry-look-ahead adder, fixed slice-jitter seed.
+fn reference_macro() -> MacroRequest {
+    MacroRequest::new(AdderKind::Cla, 32).seed(0xFEED)
+}
+
+/// A fixed-seed macro must render a byte-identical report — and emit
+/// byte-identical SPICE and GDS artifacts — no matter how the per-slice
+/// fan-out is scheduled: one worker, two workers, or auto-sized (which
+/// in CI also spans `CNFET_TEST_WORKERS ∈ {auto, 1}` — `batch_workers(0)`
+/// defers to that variable), and with memoization disabled entirely.
+/// Each slice's load jitter is keyed by `seed ⊕ bit`, never by which
+/// worker characterized it or whether its sub-cells were recalled.
+#[test]
+fn macro_reports_are_deterministic_across_workers_and_cache() {
+    let reference = SessionBuilder::new()
+        .batch_workers(1)
+        .build()
+        .run(&reference_macro())
+        .unwrap();
+    for workers in [2usize, 0] {
+        let session = SessionBuilder::new().batch_workers(workers).build();
+        let report = session.run(&reference_macro()).unwrap();
+        assert_eq!(
+            report.render(),
+            reference.render(),
+            "report changed under batch_workers({workers})"
+        );
+        assert_eq!(report.spice, reference.spice, "SPICE changed ({workers})");
+        assert_eq!(report.gds, reference.gds, "GDS changed ({workers})");
+    }
+    let uncached = SessionBuilder::new()
+        .cache_capacity(0)
+        .batch_workers(2)
+        .build();
+    let report = uncached.run(&reference_macro()).unwrap();
+    assert_eq!(
+        report.render(),
+        reference.render(),
+        "report changed with cache off"
+    );
+    assert_eq!(
+        report.spice, reference.spice,
+        "SPICE changed with cache off"
+    );
+    assert_eq!(report.gds, reference.gds, "GDS changed with cache off");
+    // With capacity 0 nothing was memoized — every slice executed.
+    assert_eq!(uncached.stats().macros.hits, 0);
+}
+
+/// Submitting the same macro non-blocking (through the pool) yields the
+/// same bytes as the synchronous path.
+#[test]
+fn macro_reports_are_deterministic_across_submission_paths() {
+    let sync_report = Session::new().run(&reference_macro()).unwrap().render();
+    let session = SessionBuilder::new().batch_workers(1).build();
+    let submitted = session.submit(reference_macro()).wait().unwrap();
     assert_eq!(submitted.render(), sync_report);
 }
 
